@@ -1,0 +1,131 @@
+//! Cold and init-only code generation.
+//!
+//! The paper's working-set measurements (Tables 5–7) hinge on a property
+//! of real scientific codes: *most of the text section is never executed*.
+//! At time 0 only 15–30 % of the text has been touched, dropping to
+//! 8–13 % once the computation phase begins — large applications carry
+//! startup code, error paths, and whole features that a given run never
+//! enters. Text-section fault injection is correspondingly insensitive
+//! (§6.1.2: "the small working set size is the cause of the low error
+//! rates").
+//!
+//! To reproduce that, each generated application links a configurable
+//! amount of *cold* code (never called) and *warm* code (called exactly
+//! once, from initialisation — the paper's "startup code" whose pages
+//! leave the working set at the phase shift).
+
+/// Deterministically generate `count` FL functions named `{prefix}_N`.
+/// Bodies vary by index so the instruction mix is not uniform.
+pub fn functions(prefix: &str, count: u32, seed: u64) -> String {
+    let mut out = String::new();
+    for i in 0..count {
+        let mut s = seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let c1 = 1.0 + (next() % 997) as f64 / 1000.0;
+        let c2 = (next() % 497) as f64 / 100.0;
+        let c3 = 1.0 + (next() % 89) as f64 / 10.0;
+        let k = 2 + next() % 5;
+        match i % 3 {
+            0 => out.push_str(&format!(
+                "fn {prefix}_{i}(float x, int n) -> float {{
+                     var float t;
+                     var int j;
+                     t = x * {c1:.4} + {c2:.4};
+                     for (j = 0; j < n; j = j + 1) {{ t = t + float(j) * {c3:.4}; }}
+                     if (t > {c3:.4}) {{ t = t - {c3:.4}; }}
+                     return t;
+                 }}\n"
+            )),
+            1 => out.push_str(&format!(
+                "fn {prefix}_{i}(float x, int n) -> float {{
+                     var float a;
+                     var float b;
+                     a = sin(x * {c1:.4});
+                     b = cos(x + {c2:.4});
+                     if (n % {k} == 0) {{ a = a * b; }} else {{ a = a - b * {c3:.4}; }}
+                     return a + b;
+                 }}\n"
+            )),
+            _ => out.push_str(&format!(
+                "fn {prefix}_{i}(float x, int n) -> float {{
+                     var float t;
+                     var int j;
+                     t = x;
+                     j = n;
+                     while (j > 0) {{ t = t * {c1:.4} + 1.0 / ({c2:.4} + t * t); j = j - 1; }}
+                     t = sqrt(fabs(t)) + float(n % {k});
+                     return t;
+                 }}\n"
+            )),
+        }
+    }
+    out
+}
+
+/// Generate a warm-up routine `{name}` that calls `{prefix}_0 ..
+/// {prefix}_{count-1}` once each and folds the results into the sink
+/// global `{sink}` — this is the run-once startup code of the phase-shift
+/// analysis.
+pub fn init_routine(name: &str, prefix: &str, count: u32, sink: &str) -> String {
+    let mut out = format!("fn {name}() {{\n    var float acc;\n    acc = {sink};\n");
+    for i in 0..count {
+        out.push_str(&format!("    acc = acc + {prefix}_{i}(acc * 0.125, {});\n", i % 7 + 1));
+    }
+    out.push_str(&format!("    {sink} = acc;\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_code_compiles_and_runs() {
+        let src = format!(
+            "global float sink = 0.5;\n{}\n{}\nfn main() {{ warmup(); print_flt(sink, 2); }}",
+            functions("cold", 12, 42),
+            init_routine("warmup", "cold", 12, "sink"),
+        );
+        let img = fl_lang::compile(&src).expect("cold code compiles");
+        let mut m = fl_machine::Machine::load(&img, fl_machine::MachineConfig::default());
+        let e = m.run(10_000_000);
+        assert!(matches!(e, fl_machine::Exit::Halted(0)), "{e:?}");
+        let text: String = m.console_text();
+        assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(functions("c", 5, 7), functions("c", 5, 7));
+        assert_ne!(functions("c", 5, 7), functions("c", 5, 8));
+    }
+
+    #[test]
+    fn body_shapes_vary() {
+        let src = functions("c", 3, 1);
+        assert!(src.contains("for (j"));
+        assert!(src.contains("while (j > 0)"));
+        assert!(src.contains("sin("));
+    }
+
+    #[test]
+    fn uncalled_cold_functions_stay_cold() {
+        // Compile with cold fns but never call them; they must still link
+        // (occupying text) without affecting execution.
+        let src = format!(
+            "{}\nfn main() {{ print_int(7); }}",
+            functions("cold", 30, 9),
+        );
+        let img = fl_lang::compile(&src).unwrap();
+        let small = fl_lang::compile("fn main() { print_int(7); }").unwrap();
+        assert!(img.text.len() > small.text.len() * 5, "cold code must bulk the text");
+        let mut m = fl_machine::Machine::load(&img, fl_machine::MachineConfig::default());
+        assert!(matches!(m.run(100_000), fl_machine::Exit::Halted(0)));
+        assert_eq!(m.console_text(), "7");
+    }
+}

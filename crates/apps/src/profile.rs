@@ -1,0 +1,128 @@
+//! Per-process application profiles — Table 1 of the paper.
+//!
+//! For each application the paper reports the per-process memory layout
+//! (text/data/BSS sizes from `objdump`/`nm`, the stable heap size from
+//! the malloc wrapper, a 5–10 KB stack) and the per-process incoming
+//! message volume with its header/user-data split.
+
+use crate::{App, Golden};
+use std::fmt::Write as _;
+
+/// One application's Table 1 row set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileRow {
+    /// Text section bytes.
+    pub text: u64,
+    /// Data section bytes.
+    pub data: u64,
+    /// BSS bytes.
+    pub bss: u64,
+    /// Per-process stable (peak) heap bytes: (min, max) across ranks.
+    pub heap: (u64, u64),
+    /// Per-process peak stack bytes: (min, max).
+    pub stack: (u64, u64),
+    /// Per-process incoming message volume in bytes: (min, max).
+    pub messages: (u64, u64),
+    /// Header percentage of the byte volume.
+    pub header_pct: f64,
+    /// User-data percentage.
+    pub user_pct: f64,
+}
+
+/// Compute the profile from a golden run.
+pub fn profile(app: &App, golden: &Golden) -> ProfileRow {
+    let (text, data, bss) = app.image.section_sizes();
+    let minmax = |v: &[u64]| {
+        (*v.iter().min().unwrap_or(&0), *v.iter().max().unwrap_or(&0))
+    };
+    let volumes: Vec<u64> = golden.profiles.iter().map(|p| p.total_bytes()).collect();
+    let mut total = fl_mpi::TrafficProfile::default();
+    for p in &golden.profiles {
+        total.merge(p);
+    }
+    ProfileRow {
+        text: text as u64,
+        data: data as u64,
+        bss: bss as u64,
+        heap: minmax(&golden.heap_peak),
+        stack: minmax(&golden.stack_peak),
+        messages: minmax(&volumes),
+        header_pct: total.header_percent(),
+        user_pct: total.user_percent(),
+    }
+}
+
+fn kb(v: u64) -> String {
+    format!("{:.1}", v as f64 / 1024.0)
+}
+
+fn kb_range(r: (u64, u64)) -> String {
+    if r.0 == r.1 {
+        kb(r.0)
+    } else {
+        format!("{}-{}", kb(r.0), kb(r.1))
+    }
+}
+
+/// Render Table 1 for a set of applications.
+pub fn render_profile_table(rows: &[(&str, ProfileRow)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22} {}", "", rows.iter().map(|(n, _)| format!("{n:>16}")).collect::<String>());
+    let mut line = |label: &str, f: &dyn Fn(&ProfileRow) -> String| {
+        let _ = write!(out, "{label:<22}");
+        for (_, r) in rows {
+            let _ = write!(out, "{:>16}", f(r));
+        }
+        out.push('\n');
+    };
+    line("Memory (KB)", &|_| String::new());
+    line("  Text Size", &|r| kb(r.text));
+    line("  Data Size", &|r| kb(r.data));
+    line("  BSS Size", &|r| kb(r.bss));
+    line("  Heap Size", &|r| kb_range(r.heap));
+    line("  Stack Size", &|r| kb_range(r.stack));
+    line("Message (KB)", &|r| kb_range(r.messages));
+    line("  Header %", &|r| format!("{:.0}", r.header_pct));
+    line("  User %", &|r| format!("{:.0}", r.user_pct));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppKind, AppParams};
+
+    #[test]
+    fn profiles_reflect_table1_shape() {
+        let mut rows = Vec::new();
+        for kind in AppKind::ALL {
+            let app = App::build(kind, AppParams::tiny(kind));
+            let g = app.golden(2_000_000_000);
+            rows.push((kind, profile(&app, &g)));
+        }
+        let get = |k: AppKind| rows.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        let (w, m, c) = (get(AppKind::Wavetoy), get(AppKind::Moldyn), get(AppKind::Climsim));
+        // Distribution shape of Table 1: wavetoy/moldyn user-dominated,
+        // climsim header-dominated.
+        assert!(w.user_pct > 80.0, "wavetoy user {:.0}%", w.user_pct);
+        assert!(m.user_pct > 60.0, "moldyn user {:.0}%", m.user_pct);
+        assert!(c.header_pct > 50.0, "climsim header {:.0}%", c.header_pct);
+        // Climsim carries the big data+bss sections; moldyn and wavetoy
+        // carry their state on the heap.
+        assert!(c.data > w.data && c.data > m.data);
+        assert!(w.heap.0 > 0 && m.heap.0 > w.heap.0 / 8);
+        // Paper: stacks are small (5-10 KB there; small here too).
+        assert!(w.stack.1 < 64 * 1024);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let g = app.golden(2_000_000_000);
+        let row = profile(&app, &g);
+        let table = render_profile_table(&[("wavetoy", row)]);
+        for label in ["Text Size", "Data Size", "BSS Size", "Heap Size", "Stack Size", "Message", "Header %", "User %"] {
+            assert!(table.contains(label), "{label}");
+        }
+    }
+}

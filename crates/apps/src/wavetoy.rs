@@ -1,0 +1,255 @@
+//! Wavetoy — the Cactus Wavetoy analogue (§4.2.1).
+//!
+//! A hyperbolic PDE solver: the 2-D wave equation on a grid decomposed by
+//! rows across ranks, leap-frog time stepping, and one halo-row exchange
+//! per neighbour per step. Reproduced signatures:
+//!
+//! * **Traffic is almost all user data.** Halo rows and the final gather
+//!   are bulk f64 arrays; headers are a small fraction of incoming bytes
+//!   (paper: 6 % headers / 94 % user).
+//! * **Field values are close to zero** away from the Gaussian pulse, so
+//!   payload bit flips usually perturb tiny numbers (§6.2: "most
+//!   transferred data are very close to zero").
+//! * **Plain-text output at limited precision.** Rank 0 writes the final
+//!   field as text with 4 fractional digits, which *hides* small
+//!   perturbations — the output-format masking effect of §6.2/§7.
+//! * **No internal checks, no error handler.** Table 2 records no
+//!   App-Detected or MPI-Detected manifestations for Wavetoy.
+//!
+//! The grid lives on the **heap** (three `malloc`ed planes), matching the
+//! paper's profile where Wavetoy's heap is its largest data region.
+
+use crate::coldgen;
+use crate::AppParams;
+
+/// Generate the Wavetoy FL source (standard plain-text output).
+pub fn source(p: &AppParams) -> String {
+    source_with(p, false)
+}
+
+/// Generate Wavetoy with text or binary output — the §6.2 ablation:
+/// "A binary output format would detect more cases of incorrect output."
+pub fn source_with(p: &AppParams, binary_output: bool) -> String {
+    let rows = p.scale.max(4);
+    let cols = (p.scale * 4).max(16);
+    let steps = p.steps;
+    let dump_stmt = if binary_output {
+        "fwrite_bin(rowbuf[c]);"
+    } else {
+        "fwrite_flt(rowbuf[c], 4);\n            fwrite_str(\" \");"
+    };
+    let dump_eol = if binary_output { "" } else { "fwrite_str(\"\\n\");" };
+    let cold = coldgen::functions("wt_cold", p.cold_fns, p.seed);
+    let warm = coldgen::functions("wt_warm", p.warm_fns, p.seed ^ 0xABCD);
+    let warmup = coldgen::init_routine("wt_startup", "wt_warm", p.warm_fns, "sink");
+    format!(
+        r#"// Wavetoy: 2-D wave equation, row decomposition, leap-frog.
+global int rows = {rows};
+global int cols = {cols};
+global int nsteps = {steps};
+global float kappa = 0.2;
+global float sink = 0.25;
+global int gp = 0;
+global int gc = 0;
+global int gn = 0;
+global int reserve = 0;
+global int me = 0;
+global int np = 0;
+// Zero-initialised staging buffers (BSS).
+global float rowbuf[{cols}];
+global float edge_trace[64];
+
+{cold}
+{warm}
+{warmup}
+
+fn cell(int g, int r, int c) -> int {{
+    return g + (r * cols + c) * 8;
+}}
+
+fn init_field() {{
+    var int r;
+    var int c;
+    var int nbytes;
+    var float gr;
+    var float gcc;
+    var float d;
+    nbytes = (rows + 2) * cols * 8;
+    gp = malloc(nbytes);
+    gc = malloc(nbytes);
+    gn = malloc(nbytes);
+    // Grid-hierarchy reserve (Cactus keeps refinement-level storage that
+    // a unigrid run never touches): cold heap, zeroed once at startup.
+    reserve = malloc(nbytes * 8);
+    for (r = 0; r < rows * cols; r = r + 2) {{
+        storef(reserve + r * 8, 0.0);
+    }}
+    for (r = 0; r < rows + 2; r = r + 1) {{
+        for (c = 0; c < cols; c = c + 1) {{
+            storef(cell(gp, r, c), 0.0);
+            storef(cell(gc, r, c), 0.0);
+            storef(cell(gn, r, c), 0.0);
+        }}
+    }}
+    // Gaussian pulse at the centre of the global grid.
+    for (r = 1; r <= rows; r = r + 1) {{
+        for (c = 0; c < cols; c = c + 1) {{
+            gr = float(me * rows + r - 1) - float(np * rows) / 2.0;
+            gcc = float(c) - float(cols) / 2.0;
+            d = (gr * gr + gcc * gcc) / 6.0;
+            if (d < 12.0) {{
+                storef(cell(gc, r, c), exp(0.0 - d));
+                storef(cell(gp, r, c), exp(0.0 - d));
+            }}
+        }}
+    }}
+}}
+
+fn exchange() {{
+    if (me > 0) {{
+        mpi_send(cell(gc, 1, 0), cols * 8, me - 1, 1);
+    }}
+    if (me < np - 1) {{
+        mpi_send(cell(gc, rows, 0), cols * 8, me + 1, 2);
+    }}
+    if (me > 0) {{
+        mpi_recv(cell(gc, 0, 0), cols * 8, me - 1, 2);
+    }}
+    if (me < np - 1) {{
+        mpi_recv(cell(gc, rows + 1, 0), cols * 8, me + 1, 1);
+    }}
+}}
+
+fn step_field() {{
+    var int r;
+    var int c;
+    var int t;
+    var float u;
+    var float west;
+    var float east;
+    var float lap;
+    for (r = 1; r <= rows; r = r + 1) {{
+        for (c = 0; c < cols; c = c + 1) {{
+            u = loadf(cell(gc, r, c));
+            if (c > 0) {{ west = loadf(cell(gc, r, c - 1)); }} else {{ west = u; }}
+            if (c < cols - 1) {{ east = loadf(cell(gc, r, c + 1)); }} else {{ east = u; }}
+            lap = loadf(cell(gc, r - 1, c)) + loadf(cell(gc, r + 1, c)) + west + east - 4.0 * u;
+            storef(cell(gn, r, c), 2.0 * u - loadf(cell(gp, r, c)) + kappa * lap);
+        }}
+    }}
+    t = gp;
+    gp = gc;
+    gc = gn;
+    gn = t;
+}}
+
+fn dump_block(int g) {{
+    var int r;
+    var int c;
+    for (r = 1; r <= rows; r = r + 1) {{
+        // Stage the row through a BSS buffer, as the real code stages
+        // output through Fortran common blocks.
+        for (c = 0; c < cols; c = c + 1) {{
+            rowbuf[c] = loadf(cell(g, r, c));
+        }}
+        for (c = 0; c < cols; c = c + 4) {{
+            {dump_stmt}
+        }}
+        {dump_eol}
+    }}
+}}
+
+fn write_output() {{
+    var int src;
+    var int bytes;
+    bytes = rows * cols * 8;
+    if (me == 0) {{
+        dump_block(gc);
+        for (src = 1; src < np; src = src + 1) {{
+            mpi_recv(cell(gp, 1, 0), bytes, src, 9);
+            dump_block(gp);
+        }}
+    }} else {{
+        mpi_send(cell(gc, 1, 0), bytes, 0, 9);
+    }}
+}}
+
+fn main() {{
+    var int s;
+    mpi_init();
+    me = mpi_rank();
+    np = mpi_size();
+    wt_startup();
+    init_field();
+    for (s = 0; s < nsteps; s = s + 1) {{
+        exchange();
+        step_field();
+    }}
+    write_output();
+    mpi_finalize();
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{App, AppKind};
+    use fl_mpi::WorldExit;
+
+    #[test]
+    fn wavetoy_runs_clean_and_writes_text_output() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let mut w = app.world(50_000_000);
+        assert_eq!(w.run(), WorldExit::Clean);
+        let out = String::from_utf8(w.machine(0).outfile.clone()).unwrap();
+        assert!(!out.is_empty());
+        // Text format with 4 fractional digits.
+        let first = out.split_whitespace().next().unwrap();
+        assert!(first.contains('.'), "{first}");
+        assert_eq!(first.split('.').nth(1).unwrap().len(), 4);
+        // Most field values are near zero (§6.2).
+        let vals: Vec<f64> =
+            out.split_whitespace().map(|s| s.parse().unwrap()).collect();
+        let near_zero = vals.iter().filter(|v| v.abs() < 0.05).count();
+        assert!(near_zero * 2 > vals.len(), "{near_zero}/{} near zero", vals.len());
+    }
+
+    #[test]
+    fn wavetoy_traffic_is_mostly_user_data() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let mut w = app.world(50_000_000);
+        assert_eq!(w.run(), WorldExit::Clean);
+        let mut total = fl_mpi::TrafficProfile::default();
+        for r in 0..app.params.nranks {
+            total.merge(w.profile(r));
+        }
+        assert!(
+            total.user_percent() > 80.0,
+            "wavetoy must be data-dominated, got {:.1}% user",
+            total.user_percent()
+        );
+    }
+
+    #[test]
+    fn wavetoy_output_is_deterministic() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let g1 = app.golden(50_000_000);
+        let g2 = app.golden(50_000_000);
+        assert_eq!(g1.output, g2.output);
+        assert!(!g1.output.is_empty());
+    }
+
+    #[test]
+    fn wavetoy_grid_lives_on_user_heap() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let mut w = app.world(50_000_000);
+        assert_eq!(w.run(), WorldExit::Clean);
+        let m = w.machine(1);
+        let user = m.heap.live_bytes(fl_machine::AllocTag::User);
+        let mpi = m.heap.live_bytes(fl_machine::AllocTag::Mpi);
+        assert!(user > 0 && mpi > 0);
+        assert!(user > mpi, "grid planes dominate the heap");
+    }
+}

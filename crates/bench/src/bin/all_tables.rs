@@ -1,0 +1,55 @@
+//! Regenerate **every table and figure** in one run: Table 1 (profiles),
+//! Tables 2–4 (injection campaigns), Tables 5–7 (working-set traces) and
+//! the §6.2 message analysis. Results land in `results/`.
+//!
+//! ```sh
+//! cargo run --release -p fl-bench --bin all_tables -- 200
+//! ```
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_bench::{emit, experiment_app, full_campaign, injections_from_args, BUDGET};
+use fl_inject::{estimation_error, render_table, render_tsv};
+
+fn main() {
+    let n = injections_from_args(200);
+    let t0 = std::time::Instant::now();
+
+    // Table 1.
+    let mut rows = Vec::new();
+    for kind in AppKind::ALL {
+        eprintln!("[{:>6.1?}] profiling {} ...", t0.elapsed(), kind.name());
+        let app = experiment_app(kind);
+        let golden = app.golden(BUDGET);
+        rows.push((kind.name(), fl_apps::profile(&app, &golden)));
+    }
+    let mut t1 = String::from("Table 1: Per-Process Profiles of Test Applications\n\n");
+    t1.push_str(&fl_apps::render_profile_table(&rows));
+    emit("table1.txt", &t1);
+
+    // Tables 2-4.
+    for (num, kind) in [(2u32, AppKind::Wavetoy), (3, AppKind::Moldyn), (4, AppKind::Climsim)] {
+        eprintln!("[{:>6.1?}] campaign: {} x {n}/region ...", t0.elapsed(), kind.name());
+        let result = full_campaign(kind, n, 0x1A00 + num as u64);
+        let title = format!(
+            "Table {num}: Fault Injection Results ({} / {} analogue), n = {n}, d = {:.1}% @95%",
+            kind.name(),
+            kind.paper_name(),
+            estimation_error(0.95, n) * 100.0
+        );
+        emit(&format!("table{num}.txt"), &render_table(&result, &title));
+        emit(&format!("table{num}.tsv"), &render_tsv(&result));
+    }
+
+    // Tables 5-7.
+    for (num, kind) in [(5u32, AppKind::Wavetoy), (6, AppKind::Moldyn), (7, AppKind::Climsim)] {
+        eprintln!("[{:>6.1?}] tracing {} ...", t0.elapsed(), kind.name());
+        let app = App::build(kind, AppParams::default_for(kind));
+        let report = fl_trace::trace_app(&app, BUDGET, 80);
+        let mut out = format!("Table {num}: Memory Trace of {}\n\n", kind.name());
+        out.push_str(&fl_trace::render_summary(&report));
+        emit(&format!("table{num}.txt"), &out);
+        emit(&format!("table{num}.tsv"), &fl_trace::render_tsv(&report));
+    }
+
+    eprintln!("[{:>6.1?}] all tables regenerated", t0.elapsed());
+}

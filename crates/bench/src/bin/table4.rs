@@ -1,0 +1,20 @@
+//! Regenerate **Table 4**: fault injection results for climsim
+//! (the paper's Climsim analogue): all eight regions with error rates
+//! and manifestation breakdowns.
+
+use fl_apps::AppKind;
+use fl_bench::{emit, full_campaign, injections_from_args};
+use fl_inject::{estimation_error, render_table, render_tsv};
+
+fn main() {
+    let n = injections_from_args(200);
+    eprintln!("table4: {n} injections per region (wall time scales with n) ...");
+    let result = full_campaign(AppKind::Climsim, n, 0x1A4);
+    let title = format!(
+        "Table 4: Fault Injection Results (climsim / {} analogue), n = {n}, d = {:.1}% @95%",
+        AppKind::Climsim.paper_name(),
+        estimation_error(0.95, n) * 100.0
+    );
+    emit("table4.txt", &render_table(&result, &title));
+    emit("table4.tsv", &render_tsv(&result));
+}

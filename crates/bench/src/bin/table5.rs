@@ -1,0 +1,16 @@
+//! Regenerate **Table 5**: the memory trace (working-set curves) of
+//! wavetoy, the paper's Wavetoy analogue — text accesses and
+//! Data+BSS+Heap loads as a function of basic-block count.
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_bench::{emit, BUDGET};
+
+fn main() {
+    eprintln!("table5: tracing wavetoy ...");
+    let app = App::build(AppKind::Wavetoy, AppParams::default_for(AppKind::Wavetoy));
+    let report = fl_trace::trace_app(&app, BUDGET, 80);
+    let mut out = format!("Table 5: Memory Trace of wavetoy\n\n");
+    out.push_str(&fl_trace::render_summary(&report));
+    emit("table5.txt", &out);
+    emit("table5.tsv", &fl_trace::render_tsv(&report));
+}

@@ -1,0 +1,16 @@
+//! Regenerate **Table 6**: the memory trace (working-set curves) of
+//! moldyn, the paper's Moldyn analogue — text accesses and
+//! Data+BSS+Heap loads as a function of basic-block count.
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_bench::{emit, BUDGET};
+
+fn main() {
+    eprintln!("table6: tracing moldyn ...");
+    let app = App::build(AppKind::Moldyn, AppParams::default_for(AppKind::Moldyn));
+    let report = fl_trace::trace_app(&app, BUDGET, 80);
+    let mut out = format!("Table 6: Memory Trace of moldyn\n\n");
+    out.push_str(&fl_trace::render_summary(&report));
+    emit("table6.txt", &out);
+    emit("table6.tsv", &fl_trace::render_tsv(&report));
+}

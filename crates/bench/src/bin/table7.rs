@@ -1,0 +1,16 @@
+//! Regenerate **Table 7**: the memory trace (working-set curves) of
+//! climsim, the paper's Climsim analogue — text accesses and
+//! Data+BSS+Heap loads as a function of basic-block count.
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_bench::{emit, BUDGET};
+
+fn main() {
+    eprintln!("table7: tracing climsim ...");
+    let app = App::build(AppKind::Climsim, AppParams::default_for(AppKind::Climsim));
+    let report = fl_trace::trace_app(&app, BUDGET, 80);
+    let mut out = format!("Table 7: Memory Trace of climsim\n\n");
+    out.push_str(&fl_trace::render_summary(&report));
+    emit("table7.txt", &out);
+    emit("table7.tsv", &fl_trace::render_tsv(&report));
+}

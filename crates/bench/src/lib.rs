@@ -1,0 +1,92 @@
+//! # fl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index), plus Criterion micro/macro benchmarks and the design-choice
+//! ablations. Every binary prints its table to stdout and, when a
+//! `results/` directory exists at the workspace root, writes a copy
+//! there.
+//!
+//! ```sh
+//! cargo run --release -p fl-bench --bin table1          # profiles
+//! cargo run --release -p fl-bench --bin table2 -- 200   # wavetoy campaign
+//! cargo run --release -p fl-bench --bin table3 -- 200   # moldyn campaign
+//! cargo run --release -p fl-bench --bin table4 -- 200   # climsim campaign
+//! cargo run --release -p fl-bench --bin table5          # wavetoy trace
+//! cargo run --release -p fl-bench --bin table6          # moldyn trace
+//! cargo run --release -p fl-bench --bin table7          # climsim trace
+//! cargo run --release -p fl-bench --bin message_analysis
+//! cargo run --release -p fl-bench --bin all_tables -- 200
+//! cargo bench -p fl-bench                               # perf + ablations
+//! ```
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_inject::{run_campaign, CampaignConfig, CampaignResult, TargetClass};
+use std::path::PathBuf;
+
+/// Default instruction budget for golden/traced runs.
+pub const BUDGET: u64 = 2_000_000_000;
+
+/// Build an application with its experiment-scale parameters.
+pub fn experiment_app(kind: AppKind) -> App {
+    App::build(kind, AppParams::default_for(kind))
+}
+
+/// Run the full eight-region campaign for an application — the engine
+/// behind Tables 2, 3 and 4.
+pub fn full_campaign(kind: AppKind, injections: u32, seed: u64) -> CampaignResult {
+    let app = experiment_app(kind);
+    run_campaign(
+        &app,
+        &TargetClass::ALL,
+        &CampaignConfig { injections, seed, ..Default::default() },
+    )
+}
+
+/// Injections per region taken from the first CLI argument, defaulting
+/// to `default_n`. The paper used 400–500 (d = 4.4–4.9 % at 95 %); on a
+/// single-core host smaller counts with a correspondingly larger d keep
+/// table regeneration to minutes.
+pub fn injections_from_args(default_n: u32) -> u32 {
+    std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default_n)
+}
+
+/// The workspace `results/` directory, if present.
+pub fn results_dir() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join("results");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Print a report and mirror it into `results/<name>`.
+pub fn emit(name: &str, content: &str) {
+    print!("{content}");
+    if let Some(dir) = results_dir() {
+        if let Err(e) = std::fs::write(dir.join(name), content) {
+            eprintln!("warning: could not write results/{name}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_apps_build() {
+        // Building at experiment scale is slow-ish; just check one.
+        let app = experiment_app(AppKind::Climsim);
+        assert!(app.image.text.len() > 50_000, "experiment-scale text should be substantial");
+    }
+
+    #[test]
+    fn injections_default_applies() {
+        assert_eq!(injections_from_args(123), 123);
+    }
+}

@@ -1,0 +1,400 @@
+//! `faultlab` — command-line driver for the FaultLab experiments.
+//!
+//! ```text
+//! faultlab profile  [<app> ...]                 Table 1 application profiles
+//! faultlab campaign <app> [options]             Tables 2-4 injection campaigns
+//! faultlab trace    <app> [--samples N]         Tables 5-7 working-set curves
+//! faultlab trial    <app> <region> --seed K     run one injection, verbosely
+//! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
+//! faultlab source   <app>                       print the generated FL source
+//! faultlab disasm   <app> [--limit N]           disassemble the app text
+//! ```
+//!
+//! Apps: `wavetoy`, `moldyn`, `climsim`. Regions: `regular-reg`, `fp-reg`,
+//! `bss`, `data`, `stack`, `text`, `heap`, `message` (or `all`).
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_inject::{
+    estimation_error, render_register_breakdown, render_table, render_tsv, run_campaign,
+    sample_size, CampaignConfig, TargetClass,
+};
+
+const DEFAULT_BUDGET: u64 = 2_000_000_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("faultlab: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "profile" => cmd_profile(rest),
+        "campaign" => cmd_campaign(rest),
+        "run-config" => cmd_run_config(rest),
+        "trace" => cmd_trace(rest),
+        "trial" => cmd_trial(rest),
+        "sample-size" => cmd_sample_size(rest),
+        "source" => cmd_source(rest),
+        "disasm" => cmd_disasm(rest),
+        "regpressure" => cmd_regpressure(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `faultlab help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "faultlab — software fault injection for MPI applications\n\
+         \n\
+         USAGE:\n\
+         \x20 faultlab profile  [<app> ...]\n\
+         \x20 faultlab campaign <app> [--injections N] [--regions R1,R2|all]\n\
+         \x20                   [--seed S] [--threads T] [--tiny] [--tsv] [--registers]\n\
+         \x20 faultlab trace    <app> [--samples N] [--tsv] [--tiny]\n\
+         \x20 faultlab trial    <app> <region> [--seed K] [--tiny]\n\
+         \x20 faultlab run-config <file.cfg>\n\
+         \x20 faultlab sample-size --error D [--confidence C] [--injections N]\n\
+         \x20 faultlab source   <app> [--tiny]\n\
+         \x20 faultlab disasm   <app> [--limit N] [--tiny]\n\
+         \x20 faultlab regpressure <app> [--tiny]\n\
+         \n\
+         APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM)\n\
+         REGIONS: regular-reg fp-reg bss data stack text heap message all"
+    );
+}
+
+fn parse_app(name: &str) -> Result<AppKind, String> {
+    match name {
+        "wavetoy" => Ok(AppKind::Wavetoy),
+        "moldyn" => Ok(AppKind::Moldyn),
+        "climsim" => Ok(AppKind::Climsim),
+        other => Err(format!("unknown app `{other}` (wavetoy|moldyn|climsim)")),
+    }
+}
+
+fn parse_region(name: &str) -> Result<TargetClass, String> {
+    Ok(match name {
+        "regular-reg" | "reg" => TargetClass::RegularReg,
+        "fp-reg" | "fp" => TargetClass::FpReg,
+        "bss" => TargetClass::Bss,
+        "data" => TargetClass::Data,
+        "stack" => TargetClass::Stack,
+        "text" => TargetClass::Text,
+        "heap" => TargetClass::Heap,
+        "message" | "msg" => TargetClass::Message,
+        other => return Err(format!("unknown region `{other}`")),
+    })
+}
+
+/// Pull `--flag value` options and bare words out of an argument list.
+struct Opts {
+    words: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut words = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                words.push(a.clone());
+            }
+            i += 1;
+        }
+        Opts { words, flags }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| format!("--{name} expects a number, got `{v}`"))
+            }
+        }
+    }
+}
+
+fn build_app(kind: AppKind, tiny: bool) -> App {
+    let params = if tiny { AppParams::tiny(kind) } else { AppParams::default_for(kind) };
+    App::build(kind, params)
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let kinds: Vec<AppKind> = if o.words.is_empty() {
+        AppKind::ALL.to_vec()
+    } else {
+        o.words.iter().map(|w| parse_app(w)).collect::<Result<_, _>>()?
+    };
+    let mut rows = Vec::new();
+    for kind in kinds {
+        eprintln!("profiling {} ...", kind.name());
+        let app = build_app(kind, o.has("tiny"));
+        let g = app.golden(DEFAULT_BUDGET);
+        rows.push((kind.name(), fl_apps::profile(&app, &g)));
+    }
+    println!("Table 1: Per-Process Profiles of Test Applications\n");
+    print!("{}", fl_apps::render_profile_table(&rows));
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("campaign needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let regions: Vec<TargetClass> = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list.split(',').map(parse_region).collect::<Result<_, _>>()?,
+    };
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(500),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+    };
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!(
+        "campaign: {} x {} injections over {} regions ...",
+        kind.name(),
+        cfg.injections,
+        regions.len()
+    );
+    let result = run_campaign(&app, &regions, &cfg);
+    if o.has("tsv") {
+        print!("{}", render_tsv(&result));
+    } else {
+        let title = format!(
+            "Fault Injection Results ({} / {} analogue), d = {:.1}% at 95% confidence",
+            kind.name(),
+            kind.paper_name(),
+            estimation_error(0.95, cfg.injections) * 100.0
+        );
+        print!("{}", render_table(&result, &title));
+        if o.has("registers") {
+            for class in [TargetClass::RegularReg, TargetClass::FpReg] {
+                if let Some(c) = result.class(class) {
+                    println!("\nPer-register breakdown ({}):", class.label());
+                    print!("{}", render_register_breakdown(c));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run_config(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let path = o.words.first().ok_or("run-config needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = fl_inject::parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    let app = build_app(spec.app, spec.tiny);
+    eprintln!(
+        "run-config: {} x {} injections over {} regions ...",
+        spec.app.name(),
+        spec.campaign.injections,
+        spec.classes.len()
+    );
+    let result = run_campaign(&app, &spec.classes, &spec.campaign);
+    let title = format!(
+        "Fault Injection Results ({}), n = {}, d = {:.1}% @95%",
+        spec.app.name(),
+        spec.campaign.injections,
+        estimation_error(0.95, spec.campaign.injections) * 100.0
+    );
+    print!("{}", render_table(&result, &title));
+    Ok(())
+}
+
+fn cmd_regpressure(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("regpressure needs an app name")?;
+    let app = build_app(parse_app(app_name)?, o.has("tiny"));
+    print!("{}", fl_inject::render_register_pressure(&app.image));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("trace needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let samples: usize = o.get_num("samples")?.unwrap_or(60);
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!("tracing {} ...", kind.name());
+    let report = fl_trace::trace_app(&app, DEFAULT_BUDGET, samples);
+    if o.has("tsv") {
+        print!("{}", fl_trace::render_tsv(&report));
+    } else {
+        print!("{}", fl_trace::render_summary(&report));
+    }
+    Ok(())
+}
+
+fn cmd_trial(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("trial needs an app name")?;
+    let region = o.words.get(1).ok_or("trial needs a region")?;
+    let kind = parse_app(app_name)?;
+    let class = parse_region(region)?;
+    let seed: u64 = o.get_num("seed")?.unwrap_or(1);
+    let app = build_app(kind, o.has("tiny"));
+    let golden = app.golden(DEFAULT_BUDGET);
+    let budget = golden.insns.iter().max().unwrap() * 3 + 2_000_000;
+    let dicts = fl_inject::Dictionaries::build(&app);
+    let rec = fl_inject::run_trial(&app, &golden, &dicts, class, seed, budget);
+    println!("app:     {}", kind.name());
+    println!("fault:   {}", rec.detail);
+    println!("outcome: {}", rec.outcome);
+    Ok(())
+}
+
+fn cmd_sample_size(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let conf: f64 = o.get_num("confidence")?.unwrap_or(0.95);
+    if let Some(n) = o.get_num::<u32>("injections")? {
+        println!(
+            "n = {n} at {:.0}% confidence -> estimation error d = {:.2}%",
+            conf * 100.0,
+            estimation_error(conf, n) * 100.0
+        );
+        return Ok(());
+    }
+    let d: f64 = o
+        .get_num("error")?
+        .ok_or("sample-size needs --error D (fraction) or --injections N")?;
+    println!(
+        "d = {:.2}% at {:.0}% confidence -> n >= {} injections (oversampled, P = 0.5)",
+        d * 100.0,
+        conf * 100.0,
+        sample_size(conf, d)
+    );
+    Ok(())
+}
+
+fn cmd_source(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("source needs an app name")?;
+    let app = build_app(parse_app(app_name)?, o.has("tiny"));
+    print!("{}", app.source);
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("disasm needs an app name")?;
+    let limit: usize = o.get_num("limit")?.unwrap_or(200);
+    let app = build_app(parse_app(app_name)?, o.has("tiny"));
+    let words: Vec<u32> = app
+        .image
+        .text
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let mut idx = 0;
+    let mut printed = 0;
+    while idx < words.len() && printed < limit {
+        let addr = fl_machine::TEXT_BASE + 4 * idx as u32;
+        if let Some(sym) = app.image.symbols.iter().find(|s| s.addr == addr && !s.library) {
+            println!("\n<{}>:", sym.name);
+        }
+        match fl_isa::decode_at(&words, idx) {
+            Ok((insn, len)) => {
+                println!("{addr:#010x}:  {}", fl_isa::disasm(&insn));
+                idx += len;
+            }
+            Err(e) => {
+                println!("{addr:#010x}:  (bad) {e}");
+                idx += 1;
+            }
+        }
+        printed += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_words_and_flags() {
+        let o = Opts::parse(&s(&["moldyn", "--injections", "400", "--tsv", "--seed", "7"]));
+        assert_eq!(o.words, vec!["moldyn"]);
+        assert!(o.has("tsv"));
+        assert_eq!(o.get("injections"), Some("400"));
+        assert_eq!(o.get_num::<u32>("injections").unwrap(), Some(400));
+        assert_eq!(o.get_num::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(o.get_num::<u32>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn opts_flag_followed_by_flag_has_no_value() {
+        let o = Opts::parse(&s(&["--tiny", "--tsv"]));
+        assert!(o.has("tiny"));
+        assert!(o.has("tsv"));
+        assert_eq!(o.get("tiny"), None);
+    }
+
+    #[test]
+    fn opts_bad_number_is_an_error() {
+        let o = Opts::parse(&s(&["--injections", "many"]));
+        assert!(o.get_num::<u32>("injections").is_err());
+    }
+
+    #[test]
+    fn app_and_region_parsing() {
+        assert_eq!(parse_app("wavetoy").unwrap(), AppKind::Wavetoy);
+        assert_eq!(parse_app("climsim").unwrap(), AppKind::Climsim);
+        assert!(parse_app("namd").is_err());
+        assert_eq!(parse_region("regular-reg").unwrap(), TargetClass::RegularReg);
+        assert_eq!(parse_region("msg").unwrap(), TargetClass::Message);
+        assert!(parse_region("rom").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn sample_size_command_works() {
+        assert!(cmd_sample_size(&s(&["--error", "0.05"])).is_ok());
+        assert!(cmd_sample_size(&s(&["--injections", "500"])).is_ok());
+        assert!(cmd_sample_size(&s(&[])).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Campaign execution: thousands of independent injection experiments,
+//! sampled per §4.3 and run in parallel across host threads.
+//!
+//! One *trial* = one application execution with exactly one injected
+//! fault: a (target, bit, rank, time) point drawn uniformly from the
+//! fault space, exactly the three-axis sampling of §4.3. The trial's
+//! world is torn down afterwards — the paper rebooted to a clean state
+//! between injections; we get the same isolation by constructing fresh
+//! machines.
+
+use crate::outcome::{classify, Manifestation, Tally};
+use crate::target::{
+    fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
+    TargetClass,
+};
+use fl_apps::{App, AppKind, Golden};
+use fl_mpi::{MessageFault, MpiWorld, PendingInjection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Injections per target class (the paper used 400–500 for most
+    /// regions, up to 2000 for messages).
+    pub injections: u32,
+    /// Master seed; trial k uses `seed + k` so campaigns are reproducible
+    /// and trials independent.
+    pub seed: u64,
+    /// Hang bound: per-rank instruction budget = `budget_factor` × the
+    /// longest golden rank (the paper's wait-past-expected-completion).
+    pub budget_factor: f64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { injections: 500, seed: 0xFA_17, budget_factor: 3.0, threads: 0 }
+    }
+}
+
+/// One trial's record: what was hit and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Target class.
+    pub class: TargetClass,
+    /// Human-readable description of the fault point (register + bit,
+    /// address, or message offset).
+    pub detail: String,
+    /// The observed outcome.
+    pub outcome: Manifestation,
+}
+
+/// Results for one class (one row of Tables 2–4).
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    /// The injected class.
+    pub class: TargetClass,
+    /// Aggregate counts.
+    pub tally: Tally,
+    /// Per-trial records (register analysis, §6.1.1).
+    pub trials: Vec<TrialRecord>,
+}
+
+/// A full campaign's results for one application.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Which application.
+    pub app: AppKind,
+    /// One entry per requested class, in request order.
+    pub classes: Vec<ClassResult>,
+    /// The fault-free reference run.
+    pub golden: Golden,
+}
+
+impl CampaignResult {
+    /// The result row for a class, if it was part of the campaign.
+    pub fn class(&self, c: TargetClass) -> Option<&ClassResult> {
+        self.classes.iter().find(|r| r.class == c)
+    }
+}
+
+/// Run a campaign over the given classes.
+pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) -> CampaignResult {
+    let budget0 = 2_000_000_000;
+    let golden = app.golden(budget0);
+    let budget =
+        (*golden.insns.iter().max().unwrap() as f64 * cfg.budget_factor) as u64 + 2_000_000;
+
+    let dicts = Dictionaries::build(app);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    let mut results = Vec::new();
+    for (ci, &class) in classes.iter().enumerate() {
+        let next = AtomicU32::new(0);
+        let records: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::new());
+        let class_seed = cfg.seed.wrapping_add((ci as u64) << 32);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= cfg.injections {
+                        break;
+                    }
+                    let rec = run_trial(
+                        app,
+                        &golden,
+                        &dicts,
+                        class,
+                        class_seed.wrapping_add(k as u64),
+                        budget,
+                    );
+                    records.lock().unwrap().push(rec);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        let trials = records.into_inner().unwrap();
+        let mut tally = Tally::default();
+        for t in &trials {
+            tally.record(t.outcome);
+        }
+        results.push(ClassResult { class, tally, trials });
+    }
+    CampaignResult { app: app.kind, classes: results, golden }
+}
+
+/// Pre-built fault dictionaries for the static regions.
+pub struct Dictionaries {
+    text: FaultDictionary,
+    data: FaultDictionary,
+    bss: FaultDictionary,
+}
+
+impl Dictionaries {
+    /// Build all three static-region dictionaries for an app.
+    pub fn build(app: &App) -> Dictionaries {
+        Dictionaries {
+            text: FaultDictionary::build(&app.image, fl_machine::Region::Text),
+            data: FaultDictionary::build(&app.image, fl_machine::Region::Data),
+            bss: FaultDictionary::build(&app.image, fl_machine::Region::Bss),
+        }
+    }
+
+    fn get(&self, class: TargetClass) -> &FaultDictionary {
+        match class {
+            TargetClass::Text => &self.text,
+            TargetClass::Data => &self.data,
+            TargetClass::Bss => &self.bss,
+            _ => unreachable!("no dictionary for {class:?}"),
+        }
+    }
+}
+
+/// Execute one injection experiment.
+pub fn run_trial(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+) -> TrialRecord {
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    let nranks = app.params.nranks;
+    let rank = rng.gen_range(0..nranks);
+    let mut cfg = app.world_config(budget);
+    cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
+    let mut world = MpiWorld::new(&app.image, cfg);
+
+    let detail = match class {
+        TargetClass::Message => {
+            let volume = golden.recv_bytes[rank as usize].max(1);
+            let off = rng.gen_range(0..volume);
+            let bit = rng.gen_range(0..8u8);
+            world.set_message_fault(MessageFault { rank, at_recv_byte: off, bit });
+            format!("rank {rank} recv byte {off} bit {bit}")
+        }
+        _ => {
+            let at_insns = rng.gen_range(1..golden.insns[rank as usize].max(2));
+            let (action, detail): (Box<dyn FnMut(&mut fl_machine::Machine) + Send>, String) =
+                match class {
+                    TargetClass::RegularReg | TargetClass::FpReg => {
+                        let regs = if class == TargetClass::RegularReg {
+                            regular_registers()
+                        } else {
+                            fp_registers()
+                        };
+                        let reg = regs[rng.gen_range(0..regs.len())];
+                        let bit = rng.gen_range(0..reg.width_bits());
+                        (
+                            Box::new(move |m: &mut fl_machine::Machine| {
+                                m.flip_register_bit(reg, bit);
+                            }),
+                            format!("{reg} bit {bit}"),
+                        )
+                    }
+                    TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
+                        let addr = dicts
+                            .get(class)
+                            .pick(&mut rng)
+                            .expect("static region must have symbols");
+                        let bit = rng.gen_range(0..8u8);
+                        (
+                            Box::new(move |m: &mut fl_machine::Machine| {
+                                m.flip_mem_bit(addr, bit);
+                            }),
+                            format!("{} {addr:#010x} bit {bit}", class.label()),
+                        )
+                    }
+                    TargetClass::Heap => {
+                        let (r1, r2) = (rng.gen::<u64>(), rng.gen::<u64>());
+                        let bit = rng.gen_range(0..8u8);
+                        (
+                            Box::new(move |m: &mut fl_machine::Machine| {
+                                if let Some(addr) = resolve_heap_target(m, r1, r2) {
+                                    m.flip_mem_bit(addr, bit);
+                                }
+                            }),
+                            format!("heap draw {r1:#x} bit {bit}"),
+                        )
+                    }
+                    TargetClass::Stack => {
+                        let r = rng.gen::<u64>();
+                        let bit = rng.gen_range(0..8u8);
+                        (
+                            Box::new(move |m: &mut fl_machine::Machine| {
+                                if let Some(addr) = resolve_stack_target(m, r) {
+                                    m.flip_mem_bit(addr, bit);
+                                }
+                            }),
+                            format!("stack draw {r:#x} bit {bit}"),
+                        )
+                    }
+                    TargetClass::Message => unreachable!(),
+                };
+            world.set_injection(PendingInjection { rank, at_insns, action, period: None });
+            format!("rank {rank} t={at_insns}: {detail}")
+        }
+    };
+
+    let exit = world.run();
+    let output = app.comparable_output(&world);
+    let outcome = classify(&exit, &output, &golden.output);
+    TrialRecord { class, detail, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_apps::AppParams;
+
+    fn mini_campaign(kind: AppKind, classes: &[TargetClass], n: u32) -> CampaignResult {
+        let app = App::build(kind, AppParams::tiny(kind));
+        run_campaign(
+            &app,
+            classes,
+            &CampaignConfig { injections: n, seed: 42, budget_factor: 3.0, threads: 0 },
+        )
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let cfg = CampaignConfig { injections: 12, seed: 7, budget_factor: 3.0, threads: 2 };
+        let a = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
+        let b = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
+        assert_eq!(a.classes[0].tally, b.classes[0].tally);
+    }
+
+    #[test]
+    fn register_faults_manifest_often() {
+        // §6.1.1: integer registers are the most vulnerable (38-63 %).
+        let r = mini_campaign(AppKind::Wavetoy, &[TargetClass::RegularReg], 60);
+        let rate = r.classes[0].tally.error_rate_percent();
+        assert!(rate > 20.0, "regular-register error rate {rate:.1}% too low");
+    }
+
+    #[test]
+    fn fp_faults_manifest_rarely() {
+        let r = mini_campaign(
+            AppKind::Wavetoy,
+            &[TargetClass::RegularReg, TargetClass::FpReg],
+            60,
+        );
+        let regular = r.classes[0].tally.error_rate_percent();
+        let fp = r.classes[1].tally.error_rate_percent();
+        assert!(
+            fp < regular,
+            "FP rate ({fp:.1}%) must be below regular-register rate ({regular:.1}%)"
+        );
+    }
+
+    #[test]
+    fn trials_complete_for_every_class() {
+        let r = mini_campaign(AppKind::Climsim, &TargetClass::ALL, 6);
+        assert_eq!(r.classes.len(), 8);
+        for c in &r.classes {
+            assert_eq!(c.tally.executions, 6, "{:?}", c.class);
+            assert_eq!(c.trials.len(), 6);
+        }
+    }
+
+    #[test]
+    fn message_faults_hit_headers_and_payloads() {
+        let r = mini_campaign(AppKind::Moldyn, &[TargetClass::Message], 40);
+        let t = &r.classes[0].tally;
+        assert_eq!(t.executions, 40);
+        // Some message faults must manifest for a data-heavy app with
+        // checksums; and not all of them (padding bytes, dead payloads).
+        assert!(t.errors() > 0, "no message fault manifested");
+        assert!(t.errors() < 40, "every message fault manifested");
+    }
+}

@@ -1,0 +1,210 @@
+//! Experiment configuration files.
+//!
+//! The paper's injector is driven by a configuration file parsed at
+//! `MPI_Init` time (§3.1). FaultLab keeps the same workflow: a small
+//! `key = value` format describing one campaign, so experiments are
+//! reproducible artifacts rather than command lines.
+//!
+//! ```text
+//! # moldyn register campaign
+//! app           = moldyn
+//! injections    = 400
+//! regions       = regular-reg, fp-reg, message
+//! seed          = 0xFA17
+//! threads       = 0
+//! budget_factor = 3.0
+//! tiny          = false
+//! ```
+
+use crate::campaign::CampaignConfig;
+use crate::target::TargetClass;
+use fl_apps::AppKind;
+use std::fmt;
+
+/// A parsed experiment specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Which application to inject into.
+    pub app: AppKind,
+    /// Target classes, in order.
+    pub classes: Vec<TargetClass>,
+    /// Campaign parameters.
+    pub campaign: CampaignConfig,
+    /// Use the fast tiny application parameters.
+    pub tiny: bool,
+}
+
+/// Configuration-file errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError { line, msg: msg.into() })
+}
+
+fn parse_u64(line: u32, v: &str) -> Result<u64, ConfigError> {
+    let r = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    r.map_err(|_| ConfigError { line, msg: format!("expected a number, got `{v}`") })
+}
+
+fn parse_region(line: u32, v: &str) -> Result<TargetClass, ConfigError> {
+    Ok(match v {
+        "regular-reg" | "reg" => TargetClass::RegularReg,
+        "fp-reg" | "fp" => TargetClass::FpReg,
+        "bss" => TargetClass::Bss,
+        "data" => TargetClass::Data,
+        "stack" => TargetClass::Stack,
+        "text" => TargetClass::Text,
+        "heap" => TargetClass::Heap,
+        "message" | "msg" => TargetClass::Message,
+        "all" => return err(line, "`all` must be the only region"),
+        other => return err(line, format!("unknown region `{other}`")),
+    })
+}
+
+/// Parse an experiment specification. Blank lines and `#` comments are
+/// ignored; unknown keys are errors (typos must not silently change an
+/// experiment).
+pub fn parse_spec(text: &str) -> Result<ExperimentSpec, ConfigError> {
+    let mut app = None;
+    let mut classes: Option<Vec<TargetClass>> = None;
+    let mut campaign = CampaignConfig::default();
+    let mut tiny = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i as u32 + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = body.split_once('=') else {
+            return err(line, format!("expected `key = value`, got `{body}`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "app" => {
+                app = Some(match value {
+                    "wavetoy" => AppKind::Wavetoy,
+                    "moldyn" => AppKind::Moldyn,
+                    "climsim" => AppKind::Climsim,
+                    other => return err(line, format!("unknown app `{other}`")),
+                })
+            }
+            "regions" => {
+                if value == "all" {
+                    classes = Some(TargetClass::ALL.to_vec());
+                } else {
+                    let mut v = Vec::new();
+                    for part in value.split(',') {
+                        v.push(parse_region(line, part.trim())?);
+                    }
+                    if v.is_empty() {
+                        return err(line, "empty region list");
+                    }
+                    classes = Some(v);
+                }
+            }
+            "injections" => campaign.injections = parse_u64(line, value)? as u32,
+            "seed" => campaign.seed = parse_u64(line, value)?,
+            "threads" => campaign.threads = parse_u64(line, value)? as usize,
+            "budget_factor" => {
+                campaign.budget_factor = value
+                    .parse()
+                    .map_err(|_| ConfigError { line, msg: format!("bad float `{value}`") })?
+            }
+            "tiny" => {
+                tiny = match value {
+                    "true" | "yes" | "1" => true,
+                    "false" | "no" | "0" => false,
+                    other => return err(line, format!("expected a boolean, got `{other}`")),
+                }
+            }
+            other => return err(line, format!("unknown key `{other}`")),
+        }
+    }
+    let app = app.ok_or(ConfigError { line: 0, msg: "missing required key `app`".into() })?;
+    Ok(ExperimentSpec {
+        app,
+        classes: classes.unwrap_or_else(|| TargetClass::ALL.to_vec()),
+        campaign,
+        tiny,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_parses() {
+        let spec = parse_spec(
+            "# campaign for the NAMD analogue\n\
+             app = moldyn\n\
+             injections = 400\n\
+             regions = regular-reg, fp-reg, message  # three rows\n\
+             seed = 0xFA17\n\
+             threads = 4\n\
+             budget_factor = 2.5\n\
+             tiny = true\n",
+        )
+        .unwrap();
+        assert_eq!(spec.app, AppKind::Moldyn);
+        assert_eq!(
+            spec.classes,
+            vec![TargetClass::RegularReg, TargetClass::FpReg, TargetClass::Message]
+        );
+        assert_eq!(spec.campaign.injections, 400);
+        assert_eq!(spec.campaign.seed, 0xFA17);
+        assert_eq!(spec.campaign.threads, 4);
+        assert!((spec.campaign.budget_factor - 2.5).abs() < 1e-12);
+        assert!(spec.tiny);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let spec = parse_spec("app = wavetoy\n").unwrap();
+        assert_eq!(spec.classes.len(), 8);
+        assert_eq!(spec.campaign.injections, CampaignConfig::default().injections);
+        assert!(!spec.tiny);
+    }
+
+    #[test]
+    fn all_regions_keyword() {
+        let spec = parse_spec("app = climsim\nregions = all\n").unwrap();
+        assert_eq!(spec.classes, TargetClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        assert_eq!(parse_spec("app = nosuch").unwrap_err().line, 1);
+        assert_eq!(parse_spec("app = moldyn\nbogus = 1").unwrap_err().line, 2);
+        assert_eq!(parse_spec("app = moldyn\n\nregions = heap, nope").unwrap_err().line, 3);
+        assert_eq!(parse_spec("injections = 10").unwrap_err().line, 0); // no app
+        assert_eq!(parse_spec("app moldyn").unwrap_err().line, 1); // no '='
+        assert_eq!(parse_spec("app = moldyn\ntiny = maybe").unwrap_err().line, 2);
+        assert_eq!(parse_spec("app = moldyn\ninjections = ten").unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = parse_spec("\n# header\n   \napp = wavetoy # trailing\n").unwrap();
+        assert_eq!(spec.app, AppKind::Wavetoy);
+    }
+}

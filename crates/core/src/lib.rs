@@ -1,0 +1,63 @@
+//! # fl-inject — software fault injection for MPI applications
+//!
+//! The paper's primary contribution (Lu & Reed, "Assessing Fault
+//! Sensitivity in MPI Applications", SC 2004), rebuilt on the FaultLab
+//! substrates: simulate single-event upsets by flipping single bits in
+//!
+//! * **registers** — general-purpose, EIP, EFLAGS, the 80-bit x87 data
+//!   registers and the seven FPU special registers;
+//! * **the application's address space** — text, data, BSS, heap and
+//!   stack, using the paper's region-targeting techniques (symbol-table
+//!   fault dictionary, tagged malloc-chunk scan, EBP stack walk), with
+//!   MPI-library objects excluded;
+//! * **MPI messages** — a bit at a uniformly drawn offset of a rank's
+//!   incoming channel-level byte stream, hitting headers and payloads in
+//!   proportion to the application's traffic mix (§3.3);
+//!
+//! then observe the run and classify it per §5.1 as Correct, Crash,
+//! Hang, Incorrect output, Application-Detected, or MPI-Detected.
+//!
+//! Quick start:
+//!
+//! ```
+//! use fl_apps::{App, AppKind, AppParams};
+//! use fl_inject::{run_campaign, CampaignConfig, TargetClass};
+//!
+//! let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+//! let result = run_campaign(
+//!     &app,
+//!     &[TargetClass::RegularReg],
+//!     &CampaignConfig { injections: 10, ..Default::default() },
+//! );
+//! let tally = &result.classes[0].tally;
+//! assert_eq!(tally.executions, 10);
+//! println!("{}", fl_inject::render_table(&result, "demo"));
+//! ```
+
+pub mod campaign;
+pub mod config;
+pub mod faultmodel;
+pub mod outcome;
+pub mod progress;
+pub mod regpressure;
+pub mod report;
+pub mod sampling;
+pub mod ser;
+pub mod target;
+
+pub use campaign::{
+    run_campaign, run_trial, CampaignConfig, CampaignResult, ClassResult, Dictionaries,
+    TrialRecord,
+};
+pub use config::{parse_spec, ConfigError, ExperimentSpec};
+pub use faultmodel::{compare_models, run_model_trial, FaultModel};
+pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};
+pub use ser::{application_corruptions_per_run, SerModel};
+pub use outcome::{classify, Manifestation, Tally};
+pub use progress::{ProgressMonitor, ProgressSample, ProgressVerdict};
+pub use report::{register_breakdown, render_register_breakdown, render_table, render_tsv};
+pub use sampling::{confidence_interval, estimation_error, sample_size, z_value};
+pub use target::{
+    fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
+    TargetClass,
+};

@@ -1,0 +1,146 @@
+//! Progress-metric hang detection (§7 of the paper).
+//!
+//! "Although determining if an execution will terminate is undecidable,
+//! simple progress metrics (e.g., FLOPS, messages per second or loop
+//! iterations per minute) can provide some practical detection
+//! mechanisms. If the application's performance drops below a
+//! user-defined threshold, it is very likely that the code is in a
+//! non-terminating mode."
+//!
+//! [`ProgressMonitor`] samples the cluster-wide counters between
+//! scheduler rounds and flags a stall when *all* of the configured
+//! metrics stop advancing for a number of consecutive windows — catching
+//! spin-loop hangs long before the instruction budget expires, and
+//! catching deadlocks trivially (nothing advances at all).
+
+use fl_mpi::MpiWorld;
+
+/// Aggregate progress counters across all ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Instructions retired (cluster-wide).
+    pub insns: u64,
+    /// Floating-point operations retired.
+    pub flops: u64,
+    /// MPI calls issued.
+    pub mpi_calls: u64,
+    /// Basic blocks retired.
+    pub blocks: u64,
+}
+
+impl ProgressSample {
+    /// Snapshot a world's counters.
+    pub fn take(world: &MpiWorld, nranks: u16) -> ProgressSample {
+        let mut s = ProgressSample::default();
+        for r in 0..nranks {
+            let c = &world.machine(r).counters;
+            s.insns += c.insns;
+            s.flops += c.flops;
+            s.mpi_calls += c.mpi_calls;
+            s.blocks += c.blocks;
+        }
+        s
+    }
+}
+
+/// Verdict after each sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressVerdict {
+    /// At least one useful-work metric advanced in the last window.
+    Progressing,
+    /// No useful-work metric has advanced for this many consecutive
+    /// windows (instructions may still be retiring — a spin loop).
+    Stalled(u32),
+}
+
+/// Sliding stall detector over the §7 metrics.
+#[derive(Debug, Clone)]
+pub struct ProgressMonitor {
+    last: Option<ProgressSample>,
+    consecutive_stalls: u32,
+    /// Windows of no useful progress before [`ProgressMonitor::hung`]
+    /// reports true.
+    pub stall_threshold: u32,
+}
+
+impl ProgressMonitor {
+    /// Create a monitor that reports a hang after `stall_threshold`
+    /// windows without FLOP or MPI progress.
+    pub fn new(stall_threshold: u32) -> ProgressMonitor {
+        ProgressMonitor { last: None, consecutive_stalls: 0, stall_threshold }
+    }
+
+    /// Feed the next sample.
+    pub fn observe(&mut self, s: ProgressSample) -> ProgressVerdict {
+        let verdict = match self.last {
+            None => ProgressVerdict::Progressing,
+            Some(prev) => {
+                let useful = s.flops > prev.flops || s.mpi_calls > prev.mpi_calls;
+                if useful {
+                    self.consecutive_stalls = 0;
+                    ProgressVerdict::Progressing
+                } else {
+                    self.consecutive_stalls += 1;
+                    ProgressVerdict::Stalled(self.consecutive_stalls)
+                }
+            }
+        };
+        self.last = Some(s);
+        verdict
+    }
+
+    /// Whether the stall threshold has been reached.
+    pub fn hung(&self) -> bool {
+        self.consecutive_stalls >= self.stall_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(flops: u64, mpi: u64, insns: u64) -> ProgressSample {
+        ProgressSample { insns, flops, mpi_calls: mpi, blocks: insns / 5 }
+    }
+
+    #[test]
+    fn progressing_while_flops_advance() {
+        let mut m = ProgressMonitor::new(3);
+        assert_eq!(m.observe(s(0, 0, 0)), ProgressVerdict::Progressing);
+        assert_eq!(m.observe(s(10, 0, 100)), ProgressVerdict::Progressing);
+        assert_eq!(m.observe(s(20, 0, 200)), ProgressVerdict::Progressing);
+        assert!(!m.hung());
+    }
+
+    #[test]
+    fn spin_loop_detected_despite_retiring_instructions() {
+        // The key §7 case: instructions advance, useful work does not.
+        let mut m = ProgressMonitor::new(3);
+        m.observe(s(10, 5, 100));
+        assert_eq!(m.observe(s(10, 5, 10_000)), ProgressVerdict::Stalled(1));
+        assert_eq!(m.observe(s(10, 5, 20_000)), ProgressVerdict::Stalled(2));
+        assert_eq!(m.observe(s(10, 5, 30_000)), ProgressVerdict::Stalled(3));
+        assert!(m.hung());
+    }
+
+    #[test]
+    fn mpi_progress_counts_as_useful() {
+        let mut m = ProgressMonitor::new(2);
+        m.observe(s(10, 5, 100));
+        m.observe(s(10, 5, 200));
+        assert_eq!(m.observe(s(10, 6, 300)), ProgressVerdict::Progressing);
+        assert!(!m.hung());
+    }
+
+    #[test]
+    fn stall_counter_resets_on_progress() {
+        let mut m = ProgressMonitor::new(3);
+        m.observe(s(1, 0, 1));
+        m.observe(s(1, 0, 2));
+        m.observe(s(1, 0, 3));
+        assert_eq!(m.observe(s(2, 0, 4)), ProgressVerdict::Progressing);
+        m.observe(s(2, 0, 5));
+        assert_eq!(m.observe(s(2, 0, 6)), ProgressVerdict::Stalled(2));
+        assert!(!m.hung());
+    }
+}

@@ -1,0 +1,131 @@
+//! Soft-error-rate arithmetic (§1–§2 of the paper).
+//!
+//! The paper motivates the study with back-of-envelope rates: FIT figures
+//! per megabit (1000–5000 FIT/Mb typical, 500 conservative), the derived
+//! "a system with 1 GB of RAM can expect a soft error every 10 days", and
+//! the ASCI Q extrapolation "33,000 × 0.05 or roughly 1,650 errors every
+//! ten days" under 95 % ECC coverage. This module makes those numbers —
+//! and the campaign planner built on them — first-class and unit-tested.
+
+/// Hours in a billion-hour FIT window.
+const FIT_HOURS: f64 = 1e9;
+
+/// A memory subsystem's soft-error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerModel {
+    /// Failure-In-Time rate per megabit (failures per 10⁹ device-hours).
+    pub fit_per_mbit: f64,
+    /// Fraction of soft errors the ECC corrects or detects (the paper
+    /// cites ~90 % on-chip coverage from Compaq and 82 % from
+    /// Constantinescu; its ASCI Q example assumes 95 %).
+    pub ecc_coverage: f64,
+}
+
+impl SerModel {
+    /// The paper's conservative model: 500 FIT/Mb, no ECC.
+    pub fn conservative_no_ecc() -> SerModel {
+        SerModel { fit_per_mbit: 500.0, ecc_coverage: 0.0 }
+    }
+
+    /// Raw soft errors per hour for `mbytes` of memory.
+    pub fn errors_per_hour(&self, mbytes: f64) -> f64 {
+        let mbits = mbytes * 8.0;
+        self.fit_per_mbit * mbits / FIT_HOURS
+    }
+
+    /// Errors per hour that *escape* the ECC.
+    pub fn uncovered_errors_per_hour(&self, mbytes: f64) -> f64 {
+        self.errors_per_hour(mbytes) * (1.0 - self.ecc_coverage)
+    }
+
+    /// Mean time between uncovered errors, in days.
+    pub fn mtbe_days(&self, mbytes: f64) -> f64 {
+        1.0 / self.uncovered_errors_per_hour(mbytes) / 24.0
+    }
+
+    /// Expected uncovered errors over an interval of days.
+    pub fn expected_errors(&self, mbytes: f64, days: f64) -> f64 {
+        self.uncovered_errors_per_hour(mbytes) * days * 24.0
+    }
+}
+
+/// Combine a hardware error-arrival model with measured fault-sensitivity
+/// (the campaign's error rate) to estimate how often a given application
+/// run is actually corrupted — the end-to-end question of §7.
+pub fn application_corruptions_per_run(
+    model: &SerModel,
+    resident_mbytes: f64,
+    run_hours: f64,
+    manifestation_rate: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&manifestation_rate));
+    model.uncovered_errors_per_hour(resident_mbytes) * run_hours * manifestation_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_gb_at_500_fit_is_an_error_every_ten_days() {
+        // §2.1: "even using a conservative soft error rate (500 FIT/Mb),
+        // a system with 1 GB of RAM can expect a soft error every 10
+        // days."
+        let m = SerModel::conservative_no_ecc();
+        let days = m.mtbe_days(1024.0);
+        assert!(
+            (days - 10.17).abs() < 0.1,
+            "1 GB @ 500 FIT/Mb gives MTBE {days:.2} days"
+        );
+    }
+
+    #[test]
+    fn asci_q_extrapolation() {
+        // §2: 33 TB of ECC memory, one error per 10 days per GB, 95 %
+        // coverage -> "33,000 x 0.05 or roughly 1,650 errors every ten
+        // days."
+        // Model it directly: rate such that 1 GB sees 1 raw error per 10
+        // days, scaled to 33,000 GB with 5 % escaping.
+        let per_gb_per_10days = 1.0f64;
+        let raw_in_10_days = 33_000.0 * per_gb_per_10days;
+        let uncovered = raw_in_10_days * 0.05;
+        assert!((uncovered - 1650.0).abs() < 1.0);
+
+        // And through SerModel: choose FIT so 1 GB has MTBE 10 days.
+        let fit = FIT_HOURS / (10.0 * 24.0 * 1024.0 * 8.0);
+        let m = SerModel { fit_per_mbit: fit, ecc_coverage: 0.95 };
+        let errors = m.expected_errors(33_000.0 * 1024.0, 10.0);
+        assert!((errors - 1650.0).abs() < 20.0, "got {errors:.0}");
+    }
+
+    #[test]
+    fn typical_fit_band() {
+        // §2.1 (Tezzaron): 1000-5000 FIT/Mb is typical for modern
+        // devices; at 1000 FIT a 1 GB system errors every ~5 days.
+        let m = SerModel { fit_per_mbit: 1000.0, ecc_coverage: 0.0 };
+        let days = m.mtbe_days(1024.0);
+        assert!(days > 4.0 && days < 6.0, "{days}");
+    }
+
+    #[test]
+    fn ecc_scales_linearly() {
+        let no_ecc = SerModel { fit_per_mbit: 2000.0, ecc_coverage: 0.0 };
+        let ecc = SerModel { fit_per_mbit: 2000.0, ecc_coverage: 0.9 };
+        let a = no_ecc.uncovered_errors_per_hour(512.0);
+        let b = ecc.uncovered_errors_per_hour(512.0);
+        assert!((a * 0.1 - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_corruption_estimate() {
+        // A 512 MB/process application running 5 hours under the
+        // conservative model, with a 30 % measured manifestation rate.
+        let m = SerModel::conservative_no_ecc();
+        let c = application_corruptions_per_run(&m, 512.0, 5.0, 0.30);
+        assert!(c > 0.0 && c < 1.0, "{c}");
+        // Monotone in every argument.
+        assert!(application_corruptions_per_run(&m, 1024.0, 5.0, 0.30) > c);
+        assert!(application_corruptions_per_run(&m, 512.0, 10.0, 0.30) > c);
+        assert!(application_corruptions_per_run(&m, 512.0, 5.0, 0.60) > c);
+    }
+}

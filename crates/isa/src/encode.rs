@@ -1,0 +1,390 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Word layout (little-endian in memory):
+//!
+//! ```text
+//!  31              20 19   16 15   12 11    8 7       0
+//! +------------------+-------+-------+-------+---------+
+//! |      aux12       |  rc   |  rb   |  ra   | opcode  |
+//! +------------------+-------+-------+-------+---------+
+//! ```
+//!
+//! `ra`/`rb`/`rc` are 4-bit register fields (GPRs use the low 3 bits; the
+//! 4th bit is ignored on decode so register-field bit flips always select a
+//! live register, as on IA-32). `aux12` holds the 12-bit signed memory
+//! displacement or the syscall number. Instructions whose opcode reports
+//! [`Opcode::has_imm_word`] are followed by one 32-bit immediate word.
+
+use crate::insn::{AluOp, Cond, FpuBinOp, FpuUnOp, Insn};
+use crate::opcode::Opcode;
+use crate::reg::Gpr;
+
+/// An encoded instruction: one or two 32-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedInsn {
+    words: [u32; 2],
+    len: u8,
+}
+
+impl EncodedInsn {
+    /// The encoded words (1 or 2).
+    pub fn to_words(self) -> Vec<u32> {
+        self.words[..self.len as usize].to_vec()
+    }
+
+    /// Little-endian byte representation.
+    pub fn to_bytes(self) -> Vec<u8> {
+        self.words[..self.len as usize]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect()
+    }
+
+    /// Number of 32-bit words.
+    pub fn len_words(self) -> usize {
+        self.len as usize
+    }
+}
+
+/// Errors produced while decoding a (possibly corrupted) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is one of the ~75 % undefined values.
+    IllegalOpcode(u8),
+    /// A field carries an out-of-range value (e.g. an undefined condition).
+    IllegalField,
+    /// The instruction needs an immediate word that lies past the end of
+    /// the provided slice (or the mapped text segment).
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::IllegalOpcode(b) => write!(f, "illegal opcode byte {b:#04x}"),
+            DecodeError::IllegalField => f.write_str("illegal instruction field"),
+            DecodeError::Truncated => f.write_str("truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn word(op: Opcode, ra: u8, rb: u8, rc: u8, aux: u16) -> u32 {
+    debug_assert!(aux < 1 << 12);
+    (op as u32)
+        | ((ra as u32 & 0xf) << 8)
+        | ((rb as u32 & 0xf) << 12)
+        | ((rc as u32 & 0xf) << 16)
+        | ((aux as u32) << 20)
+}
+
+fn aux_from_off(off: i32) -> u16 {
+    debug_assert!((-2048..2048).contains(&off), "offset {off} out of 12-bit range");
+    (off as u32 & 0xfff) as u16
+}
+
+fn off_from_aux(aux: u16) -> i32 {
+    // Sign-extend 12 bits.
+    ((aux as i32) << 20) >> 20
+}
+
+/// Encode one instruction.
+///
+/// # Panics
+///
+/// In debug builds, panics if a displacement exceeds the signed 12-bit
+/// range; the compiler is responsible for materialising larger offsets via
+/// `AddI`.
+pub fn encode(insn: &Insn) -> EncodedInsn {
+    use Insn::*;
+    let op = insn.opcode();
+    let (w0, imm) = match *insn {
+        Nop | Ret | Leave | Halt | Fldz | Fld1 | Fcomip | Fpop => (word(op, 0, 0, 0, 0), None),
+        MovI { rd, imm } => (word(op, rd.index(), 0, 0, 0), Some(imm)),
+        Mov { rd, rs } => (word(op, rd.index(), rs.index(), 0, 0), None),
+        Alu { rd, ra, rb, .. } => (word(op, rd.index(), ra.index(), rb.index(), 0), None),
+        AddI { rd, ra, imm } | MulI { rd, ra, imm } => {
+            (word(op, rd.index(), ra.index(), 0, 0), Some(imm))
+        }
+        Cmp { ra, rb } => (word(op, ra.index(), rb.index(), 0, 0), None),
+        CmpI { ra, imm } => (word(op, ra.index(), 0, 0, 0), Some(imm)),
+        J { cond, target } => (word(op, cond as u8, 0, 0, 0), Some(target)),
+        JmpR { rs } | CallR { rs } | Push { rs } | FildR { rs } => {
+            (word(op, rs.index(), 0, 0, 0), None)
+        }
+        Ld { rd, base, off } | LdB { rd, base, off } => {
+            (word(op, rd.index(), base.index(), 0, aux_from_off(off)), None)
+        }
+        St { rb, base, off } | StB { rb, base, off } => {
+            (word(op, rb.index(), base.index(), 0, aux_from_off(off)), None)
+        }
+        LdG { rd, addr } => (word(op, rd.index(), 0, 0, 0), Some(addr)),
+        StG { rs, addr } => (word(op, rs.index(), 0, 0, 0), Some(addr)),
+        Pop { rd } | FistpR { rd } => (word(op, rd.index(), 0, 0, 0), None),
+        Call { target } => (word(op, 0, 0, 0, 0), Some(target)),
+        Enter { frame } => (word(op, 0, 0, 0, 0), Some(frame)),
+        Sys { num } => (word(op, 0, 0, 0, num & 0xfff), None),
+        Fld { base, off } | Fst { base, off } | Fstp { base, off } | Fild { base, off }
+        | Fistp { base, off } => (word(op, 0, base.index(), 0, aux_from_off(off)), None),
+        FldG { addr } | FstpG { addr } => (word(op, 0, 0, 0, 0), Some(addr)),
+        Fbinp { .. } | Funop { .. } => (word(op, 0, 0, 0, 0), None),
+        Fxch { i } | FldSt { i } => (word(op, i & 7, 0, 0, 0), None),
+    };
+    match imm {
+        Some(v) => EncodedInsn { words: [w0, v], len: 2 },
+        None => EncodedInsn { words: [w0, 0], len: 1 },
+    }
+}
+
+/// Decode the instruction starting at `words[0]`.
+///
+/// Returns the instruction and the number of words consumed. This is the
+/// same decoder the machine uses at execution time, so corrupted encodings
+/// fail here exactly as they would in hardware.
+pub fn decode(words: &[u32]) -> Result<(Insn, usize), DecodeError> {
+    decode_at(words, 0)
+}
+
+/// Decode the instruction starting at `words[idx]`.
+pub fn decode_at(words: &[u32], idx: usize) -> Result<(Insn, usize), DecodeError> {
+    let w0 = *words.get(idx).ok_or(DecodeError::Truncated)?;
+    let opb = (w0 & 0xff) as u8;
+    let op = Opcode::from_byte(opb).ok_or(DecodeError::IllegalOpcode(opb))?;
+    let ra = ((w0 >> 8) & 0xf) as u8;
+    let rb = ((w0 >> 12) & 0xf) as u8;
+    let rc = ((w0 >> 16) & 0xf) as u8;
+    let aux = ((w0 >> 20) & 0xfff) as u16;
+    let imm = if op.has_imm_word() {
+        Some(*words.get(idx + 1).ok_or(DecodeError::Truncated)?)
+    } else {
+        None
+    };
+    let g = Gpr::from_index;
+    use Insn::*;
+    let insn = match op {
+        Opcode::Nop => Nop,
+        Opcode::MovI => MovI { rd: g(ra), imm: imm.unwrap() },
+        Opcode::Mov => Mov { rd: g(ra), rs: g(rb) },
+        Opcode::Add => Alu { op: AluOp::Add, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Sub => Alu { op: AluOp::Sub, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Mul => Alu { op: AluOp::Mul, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Div => Alu { op: AluOp::Div, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Mod => Alu { op: AluOp::Mod, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::And => Alu { op: AluOp::And, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Or => Alu { op: AluOp::Or, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Xor => Alu { op: AluOp::Xor, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Shl => Alu { op: AluOp::Shl, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Shr => Alu { op: AluOp::Shr, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::Sar => Alu { op: AluOp::Sar, rd: g(ra), ra: g(rb), rb: g(rc) },
+        Opcode::AddI => AddI { rd: g(ra), ra: g(rb), imm: imm.unwrap() },
+        Opcode::MulI => MulI { rd: g(ra), ra: g(rb), imm: imm.unwrap() },
+        Opcode::Cmp => Cmp { ra: g(ra), rb: g(rb) },
+        Opcode::CmpI => CmpI { ra: g(ra), imm: imm.unwrap() },
+        Opcode::J => J {
+            cond: Cond::from_index(ra).ok_or(DecodeError::IllegalField)?,
+            target: imm.unwrap(),
+        },
+        Opcode::JmpR => JmpR { rs: g(ra) },
+        Opcode::Ld => Ld { rd: g(ra), base: g(rb), off: off_from_aux(aux) },
+        Opcode::St => St { rb: g(ra), base: g(rb), off: off_from_aux(aux) },
+        Opcode::LdG => LdG { rd: g(ra), addr: imm.unwrap() },
+        Opcode::StG => StG { rs: g(ra), addr: imm.unwrap() },
+        Opcode::LdB => LdB { rd: g(ra), base: g(rb), off: off_from_aux(aux) },
+        Opcode::StB => StB { rb: g(ra), base: g(rb), off: off_from_aux(aux) },
+        Opcode::Push => Push { rs: g(ra) },
+        Opcode::Pop => Pop { rd: g(ra) },
+        Opcode::Call => Call { target: imm.unwrap() },
+        Opcode::CallR => CallR { rs: g(ra) },
+        Opcode::Ret => Ret,
+        Opcode::Enter => Enter { frame: imm.unwrap() },
+        Opcode::Leave => Leave,
+        Opcode::Sys => Sys { num: aux },
+        Opcode::Halt => Halt,
+        Opcode::Fld => Fld { base: g(rb), off: off_from_aux(aux) },
+        Opcode::FldG => FldG { addr: imm.unwrap() },
+        Opcode::Fst => Fst { base: g(rb), off: off_from_aux(aux) },
+        Opcode::Fstp => Fstp { base: g(rb), off: off_from_aux(aux) },
+        Opcode::FstpG => FstpG { addr: imm.unwrap() },
+        Opcode::Fild => Fild { base: g(rb), off: off_from_aux(aux) },
+        Opcode::Fistp => Fistp { base: g(rb), off: off_from_aux(aux) },
+        Opcode::FildR => FildR { rs: g(ra) },
+        Opcode::FistpR => FistpR { rd: g(ra) },
+        Opcode::Fldz => Fldz,
+        Opcode::Fld1 => Fld1,
+        Opcode::Faddp => Fbinp { op: FpuBinOp::Add },
+        Opcode::Fsubp => Fbinp { op: FpuBinOp::Sub },
+        Opcode::Fsubrp => Fbinp { op: FpuBinOp::SubR },
+        Opcode::Fmulp => Fbinp { op: FpuBinOp::Mul },
+        Opcode::Fdivp => Fbinp { op: FpuBinOp::Div },
+        Opcode::Fdivrp => Fbinp { op: FpuBinOp::DivR },
+        Opcode::Fchs => Funop { op: FpuUnOp::Chs },
+        Opcode::Fabs => Funop { op: FpuUnOp::Abs },
+        Opcode::Fsqrt => Funop { op: FpuUnOp::Sqrt },
+        Opcode::Fsin => Funop { op: FpuUnOp::Sin },
+        Opcode::Fcos => Funop { op: FpuUnOp::Cos },
+        Opcode::Fexp => Funop { op: FpuUnOp::Exp },
+        Opcode::Fln => Funop { op: FpuUnOp::Ln },
+        Opcode::Fxch => Fxch { i: ra & 7 },
+        Opcode::FldSt => FldSt { i: ra & 7 },
+        Opcode::Fcomip => Fcomip,
+        Opcode::Fpop => Fpop,
+    };
+    Ok((insn, if op.has_imm_word() { 2 } else { 1 }))
+}
+
+/// Render one instruction as assembly text (for debugging and the
+/// `faultlab disasm` subcommand).
+pub fn disasm(insn: &Insn) -> String {
+    use Insn::*;
+    match *insn {
+        Nop => "nop".into(),
+        MovI { rd, imm } => format!("mov {rd}, {imm:#x}"),
+        Mov { rd, rs } => format!("mov {rd}, {rs}"),
+        Alu { op, rd, ra, rb } => {
+            let n = format!("{op:?}").to_lowercase();
+            format!("{n} {rd}, {ra}, {rb}")
+        }
+        AddI { rd, ra, imm } => format!("add {rd}, {ra}, {:#x}", imm as i32),
+        MulI { rd, ra, imm } => format!("mul {rd}, {ra}, {:#x}", imm as i32),
+        Cmp { ra, rb } => format!("cmp {ra}, {rb}"),
+        CmpI { ra, imm } => format!("cmp {ra}, {:#x}", imm as i32),
+        J { cond, target } => format!("j{cond} {target:#010x}"),
+        JmpR { rs } => format!("jmp [{rs}]"),
+        Ld { rd, base, off } => format!("ld {rd}, [{base}{off:+}]"),
+        St { rb, base, off } => format!("st [{base}{off:+}], {rb}"),
+        LdG { rd, addr } => format!("ld {rd}, [{addr:#010x}]"),
+        StG { rs, addr } => format!("st [{addr:#010x}], {rs}"),
+        LdB { rd, base, off } => format!("ldb {rd}, [{base}{off:+}]"),
+        StB { rb, base, off } => format!("stb [{base}{off:+}], {rb}"),
+        Push { rs } => format!("push {rs}"),
+        Pop { rd } => format!("pop {rd}"),
+        Call { target } => format!("call {target:#010x}"),
+        CallR { rs } => format!("call [{rs}]"),
+        Ret => "ret".into(),
+        Enter { frame } => format!("enter {frame}"),
+        Leave => "leave".into(),
+        Sys { num } => format!("sys {num}"),
+        Halt => "halt".into(),
+        Fld { base, off } => format!("fld qword [{base}{off:+}]"),
+        FldG { addr } => format!("fld qword [{addr:#010x}]"),
+        Fst { base, off } => format!("fst qword [{base}{off:+}]"),
+        Fstp { base, off } => format!("fstp qword [{base}{off:+}]"),
+        FstpG { addr } => format!("fstp qword [{addr:#010x}]"),
+        Fild { base, off } => format!("fild dword [{base}{off:+}]"),
+        Fistp { base, off } => format!("fistp dword [{base}{off:+}]"),
+        FildR { rs } => format!("fild {rs}"),
+        FistpR { rd } => format!("fistp {rd}"),
+        Fldz => "fldz".into(),
+        Fld1 => "fld1".into(),
+        Fbinp { op } => format!("f{}p", format!("{op:?}").to_lowercase()),
+        Funop { op } => format!("f{}", format!("{op:?}").to_lowercase()),
+        Fxch { i } => format!("fxch st{i}"),
+        FldSt { i } => format!("fld st{i}"),
+        Fcomip => "fcomip".into(),
+        Fpop => "fpop".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Insn) {
+        let e = encode(&i);
+        let (d, n) = decode(&e.to_words()).unwrap_or_else(|err| panic!("{i:?}: {err}"));
+        assert_eq!(d, i);
+        assert_eq!(n, e.len_words());
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        use crate::insn::{AluOp::*, FpuBinOp, FpuUnOp};
+        use Gpr::*;
+        for i in [
+            Insn::Nop,
+            Insn::MovI { rd: Eax, imm: 0xdeadbeef },
+            Insn::Mov { rd: Esi, rs: Edi },
+            Insn::Alu { op: Add, rd: Eax, ra: Ebx, rb: Ecx },
+            Insn::Alu { op: Sar, rd: Edx, ra: Edx, rb: Ecx },
+            Insn::AddI { rd: Esp, ra: Esp, imm: (-8i32) as u32 },
+            Insn::MulI { rd: Eax, ra: Eax, imm: 24 },
+            Insn::Cmp { ra: Eax, rb: Ebx },
+            Insn::CmpI { ra: Ecx, imm: 100 },
+            Insn::J { cond: Cond::Lt, target: 0x08048100 },
+            Insn::JmpR { rs: Eax },
+            Insn::Ld { rd: Eax, base: Ebp, off: -12 },
+            Insn::St { rb: Ecx, base: Ebp, off: 2047 },
+            Insn::Ld { rd: Eax, base: Ebp, off: -2048 },
+            Insn::LdG { rd: Eax, addr: 0x0a000000 },
+            Insn::StG { rs: Edx, addr: 0x0a000004 },
+            Insn::LdB { rd: Eax, base: Esi, off: 3 },
+            Insn::StB { rb: Eax, base: Edi, off: 0 },
+            Insn::Push { rs: Ebp },
+            Insn::Pop { rd: Ebp },
+            Insn::Call { target: 0x40000000 },
+            Insn::CallR { rs: Eax },
+            Insn::Ret,
+            Insn::Enter { frame: 64 },
+            Insn::Leave,
+            Insn::Sys { num: 17 },
+            Insn::Halt,
+            Insn::Fld { base: Ebp, off: -16 },
+            Insn::FldG { addr: 0x0a000010 },
+            Insn::Fst { base: Ebp, off: -16 },
+            Insn::Fstp { base: Ebp, off: -24 },
+            Insn::FstpG { addr: 0x0a000018 },
+            Insn::Fild { base: Ebp, off: 8 },
+            Insn::Fistp { base: Ebp, off: 8 },
+            Insn::FildR { rs: Eax },
+            Insn::FistpR { rd: Eax },
+            Insn::Fldz,
+            Insn::Fld1,
+            Insn::Fbinp { op: FpuBinOp::Add },
+            Insn::Fbinp { op: FpuBinOp::DivR },
+            Insn::Funop { op: FpuUnOp::Sqrt },
+            Insn::Funop { op: FpuUnOp::Ln },
+            Insn::Fxch { i: 1 },
+            Insn::FldSt { i: 2 },
+            Insn::Fcomip,
+            Insn::Fpop,
+        ] {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    fn offsets_sign_extend() {
+        assert_eq!(off_from_aux(aux_from_off(-1)), -1);
+        assert_eq!(off_from_aux(aux_from_off(-2048)), -2048);
+        assert_eq!(off_from_aux(aux_from_off(2047)), 2047);
+        assert_eq!(off_from_aux(aux_from_off(0)), 0);
+    }
+
+    #[test]
+    fn illegal_opcode_reported() {
+        // 0x00 is undefined.
+        assert_eq!(decode(&[0u32]), Err(DecodeError::IllegalOpcode(0)));
+    }
+
+    #[test]
+    fn truncated_immediate_reported() {
+        let e = encode(&Insn::Call { target: 0x1000 });
+        let w = e.to_words();
+        assert_eq!(decode(&w[..1]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn illegal_condition_field_reported() {
+        // Build a J instruction with cond field = 13 (undefined).
+        let w0 = (Opcode::J as u32) | (13 << 8);
+        assert_eq!(decode(&[w0, 0]), Err(DecodeError::IllegalField));
+    }
+
+    #[test]
+    fn disasm_smoke() {
+        assert_eq!(disasm(&Insn::Nop), "nop");
+        assert_eq!(disasm(&Insn::Push { rs: Gpr::Ebp }), "push ebp");
+        assert!(disasm(&Insn::J { cond: Cond::Ne, target: 0x1000 }).starts_with("jne"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Opcode assignments.
+//!
+//! Opcode values are deliberately *sparse and scattered* across the 8-bit
+//! space (roughly 60 of 256 values are defined, none adjacent). A single
+//! bit flip in the opcode byte of an encoded instruction therefore lands on
+//! an undefined value most of the time, raising SIGILL — the dominant
+//! manifestation the paper observed for text-section faults that hit the
+//! working set. The remaining flips mutate one legal operation into another
+//! (e.g. `ADD` → `SUB`), which silently corrupts results instead.
+
+/// Operation codes for the FaultLab ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    // --- integer / control ---------------------------------------------
+    /// No operation.
+    Nop = 0x05,
+    /// `rd <- imm32` (trailing word).
+    MovI = 0x11,
+    /// `rd <- rs`.
+    Mov = 0x13,
+    /// `rd <- ra + rb` (wrapping).
+    Add = 0x17,
+    /// `rd <- ra - rb` (wrapping).
+    Sub = 0x19,
+    /// `rd <- ra * rb` (wrapping, low 32 bits).
+    Mul = 0x1D,
+    /// `rd <- ra / rb` (signed; divide by zero raises SIGFPE).
+    Div = 0x23,
+    /// `rd <- ra % rb` (signed; divide by zero raises SIGFPE).
+    Mod = 0x29,
+    /// `rd <- ra & rb`.
+    And = 0x2B,
+    /// `rd <- ra | rb`.
+    Or = 0x2F,
+    /// `rd <- ra ^ rb`.
+    Xor = 0x35,
+    /// `rd <- ra << (rb & 31)`.
+    Shl = 0x3B,
+    /// `rd <- ra >> (rb & 31)` (logical).
+    Shr = 0x3D,
+    /// `rd <- ra >> (rb & 31)` (arithmetic).
+    Sar = 0x43,
+    /// `rd <- ra + imm32` (trailing word).
+    AddI = 0x47,
+    /// `rd <- ra * imm32` (trailing word).
+    MulI = 0x4B,
+    /// Compare `ra` with `rb`; set EFLAGS.
+    Cmp = 0x53,
+    /// Compare `ra` with imm32; set EFLAGS (trailing word).
+    CmpI = 0x59,
+    /// Conditional/unconditional jump to absolute imm32 (trailing word);
+    /// condition encoded in the `ra` field.
+    J = 0x61,
+    /// Indirect jump to the address in `rs`.
+    JmpR = 0x67,
+    /// `rd <- mem32[ra + off12]`.
+    Ld = 0x6B,
+    /// `mem32[ra + off12] <- rb`.
+    St = 0x6D,
+    /// `rd <- mem32[imm32]` (trailing word).
+    LdG = 0x71,
+    /// `mem32[imm32] <- rs` (trailing word).
+    StG = 0x79,
+    /// `rd <- zero-extend mem8[ra + off12]`.
+    LdB = 0x7F,
+    /// `mem8[ra + off12] <- low byte of rb`.
+    StB = 0x83,
+    /// Push `rs` (ESP -= 4).
+    Push = 0x89,
+    /// Pop into `rd` (ESP += 4).
+    Pop = 0x8B,
+    /// Call absolute imm32: push return address, jump (trailing word).
+    Call = 0x95,
+    /// Call the address in `rs`.
+    CallR = 0x97,
+    /// Return: pop EIP.
+    Ret = 0x9D,
+    /// Function prologue: push EBP; EBP <- ESP; ESP -= imm32 (trailing word).
+    Enter = 0xA3,
+    /// Function epilogue: ESP <- EBP; pop EBP.
+    Leave = 0xA7,
+    /// System call; number in the 12-bit aux field.
+    Sys = 0xAD,
+    /// Halt the machine; exit status in EAX.
+    Halt = 0xB3,
+
+    // --- x87-style FPU ---------------------------------------------------
+    /// Push `mem_f64[ra + off12]` onto the FPU stack (extended to 80 bits).
+    Fld = 0xB5,
+    /// Push `mem_f64[imm32]` (trailing word).
+    FldG = 0xB9,
+    /// Store st0 to `mem_f64[ra + off12]` (no pop; rounds 80 -> 64 bits).
+    Fst = 0xBF,
+    /// Store st0 and pop.
+    Fstp = 0xC1,
+    /// Store st0 to `mem_f64[imm32]` and pop (trailing word).
+    FstpG = 0xC5,
+    /// Push `mem_i32[ra + off12]` converted to floating point.
+    Fild = 0xC7,
+    /// Store st0 as i32 (round to nearest) to `mem[ra + off12]`, pop.
+    Fistp = 0xCB,
+    /// Push the integer value of GPR `rs` (FaultLab extension; x87 routes
+    /// this through memory — see DESIGN.md).
+    FildR = 0xD3,
+    /// Pop st0 as i32 into GPR `rd` (FaultLab extension).
+    FistpR = 0xD9,
+    /// Push +0.0.
+    Fldz = 0xDF,
+    /// Push +1.0.
+    Fld1 = 0xE3,
+    /// st1 <- st1 + st0; pop.
+    Faddp = 0xE5,
+    /// st1 <- st1 - st0; pop.
+    Fsubp = 0xE9,
+    /// st1 <- st0 - st1; pop.
+    Fsubrp = 0xEB,
+    /// st1 <- st1 * st0; pop.
+    Fmulp = 0xEF,
+    /// st1 <- st1 / st0; pop.
+    Fdivp = 0xF1,
+    /// st1 <- st0 / st1; pop.
+    Fdivrp = 0xF5,
+    /// st0 <- -st0.
+    Fchs = 0xFB,
+    /// st0 <- |st0|.
+    Fabs = 0x0B,
+    /// st0 <- sqrt(st0).
+    Fsqrt = 0x0D,
+    /// st0 <- sin(st0).
+    Fsin = 0x25,
+    /// st0 <- cos(st0).
+    Fcos = 0x31,
+    /// st0 <- exp(st0) (FaultLab extension; x87 composes F2XM1/FSCALE).
+    Fexp = 0x37,
+    /// st0 <- ln(st0) (FaultLab extension; x87 composes FYL2X).
+    Fln = 0x41,
+    /// Exchange st0 with st(i); i in the `ra` field.
+    Fxch = 0x49,
+    /// Push a copy of st(i); i in the `ra` field.
+    FldSt = 0x51,
+    /// Compare st0 with st1, set EFLAGS (ZF/CF as x87 FCOMIP; unordered
+    /// sets both), pop st0.
+    Fcomip = 0x57,
+    /// Free st0 (x87 idiom `fstp st(0)`).
+    Fpop = 0x5B,
+}
+
+impl Opcode {
+    /// Every defined opcode, in a fixed order.
+    pub const ALL: [Opcode; 63] = [
+        Opcode::Nop,
+        Opcode::MovI,
+        Opcode::Mov,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Mod,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::AddI,
+        Opcode::MulI,
+        Opcode::Cmp,
+        Opcode::CmpI,
+        Opcode::J,
+        Opcode::JmpR,
+        Opcode::Ld,
+        Opcode::St,
+        Opcode::LdG,
+        Opcode::StG,
+        Opcode::LdB,
+        Opcode::StB,
+        Opcode::Push,
+        Opcode::Pop,
+        Opcode::Call,
+        Opcode::CallR,
+        Opcode::Ret,
+        Opcode::Enter,
+        Opcode::Leave,
+        Opcode::Sys,
+        Opcode::Halt,
+        Opcode::Fld,
+        Opcode::FldG,
+        Opcode::Fst,
+        Opcode::Fstp,
+        Opcode::FstpG,
+        Opcode::Fild,
+        Opcode::Fistp,
+        Opcode::FildR,
+        Opcode::FistpR,
+        Opcode::Fldz,
+        Opcode::Fld1,
+        Opcode::Faddp,
+        Opcode::Fsubp,
+        Opcode::Fsubrp,
+        Opcode::Fmulp,
+        Opcode::Fdivp,
+        Opcode::Fdivrp,
+        Opcode::Fchs,
+        Opcode::Fabs,
+        Opcode::Fsqrt,
+        Opcode::Fsin,
+        Opcode::Fcos,
+        Opcode::Fexp,
+        Opcode::Fln,
+        Opcode::Fxch,
+        Opcode::FldSt,
+        Opcode::Fcomip,
+        Opcode::Fpop,
+    ];
+
+    /// Decode an opcode byte; `None` for the ~196 undefined values
+    /// (an illegal instruction at execution time).
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x05 => Nop,
+            0x11 => MovI,
+            0x13 => Mov,
+            0x17 => Add,
+            0x19 => Sub,
+            0x1D => Mul,
+            0x23 => Div,
+            0x29 => Mod,
+            0x2B => And,
+            0x2F => Or,
+            0x35 => Xor,
+            0x3B => Shl,
+            0x3D => Shr,
+            0x43 => Sar,
+            0x47 => AddI,
+            0x4B => MulI,
+            0x53 => Cmp,
+            0x59 => CmpI,
+            0x61 => J,
+            0x67 => JmpR,
+            0x6B => Ld,
+            0x6D => St,
+            0x71 => LdG,
+            0x79 => StG,
+            0x7F => LdB,
+            0x83 => StB,
+            0x89 => Push,
+            0x8B => Pop,
+            0x95 => Call,
+            0x97 => CallR,
+            0x9D => Ret,
+            0xA3 => Enter,
+            0xA7 => Leave,
+            0xAD => Sys,
+            0xB3 => Halt,
+            0xB5 => Fld,
+            0xB9 => FldG,
+            0xBF => Fst,
+            0xC1 => Fstp,
+            0xC5 => FstpG,
+            0xC7 => Fild,
+            0xCB => Fistp,
+            0xD3 => FildR,
+            0xD9 => FistpR,
+            0xDF => Fldz,
+            0xE3 => Fld1,
+            0xE5 => Faddp,
+            0xE9 => Fsubp,
+            0xEB => Fsubrp,
+            0xEF => Fmulp,
+            0xF1 => Fdivp,
+            0xF5 => Fdivrp,
+            0xFB => Fchs,
+            0x0B => Fabs,
+            0x0D => Fsqrt,
+            0x25 => Fsin,
+            0x31 => Fcos,
+            0x37 => Fexp,
+            0x41 => Fln,
+            0x49 => Fxch,
+            0x51 => FldSt,
+            0x57 => Fcomip,
+            0x5B => Fpop,
+            _ => return None,
+        })
+    }
+
+    /// Whether instructions with this opcode carry a trailing 32-bit
+    /// immediate word.
+    pub fn has_imm_word(self) -> bool {
+        matches!(
+            self,
+            Opcode::MovI
+                | Opcode::AddI
+                | Opcode::MulI
+                | Opcode::CmpI
+                | Opcode::J
+                | Opcode::LdG
+                | Opcode::StG
+                | Opcode::Call
+                | Opcode::Enter
+                | Opcode::FldG
+                | Opcode::FstpG
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_defined_opcodes() {
+        let mut defined = 0;
+        for b in 0..=255u8 {
+            if let Some(op) = Opcode::from_byte(b) {
+                assert_eq!(op as u8, b, "opcode {op:?} must decode to itself");
+                defined += 1;
+            }
+        }
+        assert_eq!(defined, Opcode::ALL.len());
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn all_opcode_values_are_odd() {
+        // Every defined opcode is odd, so a flip of bit 0 is always illegal.
+        for op in Opcode::ALL {
+            assert_eq!((op as u8) & 1, 1, "{op:?} must be odd");
+        }
+    }
+
+    #[test]
+    fn opcode_space_is_sparse() {
+        let defined = (0..=255u8).filter(|&b| Opcode::from_byte(b).is_some()).count();
+        // At most a quarter of the space is defined, so random opcode-byte
+        // corruption is far more likely to be illegal than legal.
+        assert!(defined * 4 <= 256, "opcode space must stay sparse");
+    }
+
+    #[test]
+    fn no_two_defined_opcodes_are_adjacent() {
+        for b in 0..=254u8 {
+            assert!(
+                !(Opcode::from_byte(b).is_some() && Opcode::from_byte(b + 1).is_some()),
+                "opcodes {b:#x} and {:#x} are adjacent",
+                b + 1
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_mostly_illegal() {
+        // For every defined opcode, most of its 8 single-bit neighbours
+        // must be undefined; aggregate across the ISA we require >=60 %.
+        let mut total = 0;
+        let mut illegal = 0;
+        for b in 0..=255u8 {
+            if Opcode::from_byte(b).is_none() {
+                continue;
+            }
+            for bit in 0..8 {
+                total += 1;
+                if Opcode::from_byte(b ^ (1 << bit)).is_none() {
+                    illegal += 1;
+                }
+            }
+        }
+        assert!(
+            illegal * 2 >= total,
+            "only {illegal}/{total} single-bit opcode flips are illegal"
+        );
+    }
+
+    #[test]
+    fn imm_word_flags() {
+        assert!(Opcode::Call.has_imm_word());
+        assert!(Opcode::J.has_imm_word());
+        assert!(!Opcode::Ret.has_imm_word());
+        assert!(!Opcode::Faddp.has_imm_word());
+    }
+}

@@ -1,0 +1,226 @@
+//! Register names for the FaultLab machine.
+//!
+//! The register file mirrors the Intel IA-32 programming model that the
+//! paper injected faults into: eight 32-bit general-purpose registers, the
+//! instruction pointer and EFLAGS, and the x87 FPU register set — eight
+//! 80-bit data registers organised as a stack, plus the seven
+//! special-purpose registers CWD, SWD, TWD, FIP, FCS, FOO and FOS (§6.1.1).
+
+use std::fmt;
+
+/// General-purpose 32-bit registers, numbered as on IA-32.
+///
+/// ESP and EBP have architectural roles (stack pointer / frame pointer) and
+/// are therefore live in essentially every cycle of compiled code — one of
+/// the reasons the paper measured a 38–63 % manifestation rate for faults in
+/// the integer register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Gpr {
+    /// Accumulator; integer return values live here.
+    Eax = 0,
+    /// Counter / scratch.
+    Ecx = 1,
+    /// Data / scratch.
+    Edx = 2,
+    /// Callee-saved general register.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame (base) pointer; anchors the frame chain used by the paper's
+    /// stack walker.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Gpr {
+    /// All eight general-purpose registers in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// Decode a 3-bit register field. Values 0–7 are all valid, so a bit
+    /// flip in a register field always selects *some* live register —
+    /// faithful to IA-32 where register fields have no illegal encodings.
+    pub fn from_index(idx: u8) -> Gpr {
+        Self::ALL[(idx & 7) as usize]
+    }
+
+    /// The encoding index of this register.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Gpr::Eax => "eax",
+            Gpr::Ecx => "ecx",
+            Gpr::Edx => "edx",
+            Gpr::Ebx => "ebx",
+            Gpr::Esp => "esp",
+            Gpr::Ebp => "ebp",
+            Gpr::Esi => "esi",
+            Gpr::Edi => "edi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// x87 FPU special-purpose registers (§6.1.1 of the paper).
+///
+/// The paper found that faults in most of these do not manifest — with the
+/// notable exception of TWD, the tag word, where a flip can relabel a valid
+/// stack register as empty/special and so turn a number into a NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuSpecial {
+    /// Control word: rounding and precision control.
+    Cwd,
+    /// Status word: condition codes and the TOP-of-stack field.
+    Swd,
+    /// Tag word: two bits per data register classifying its content
+    /// (valid / zero / special / empty).
+    Twd,
+    /// FPU instruction pointer (offset of last FP instruction).
+    Fip,
+    /// FPU instruction pointer (code segment selector).
+    Fcs,
+    /// FPU operand pointer (offset of last FP memory operand).
+    Foo,
+    /// FPU operand pointer (segment selector).
+    Fos,
+}
+
+impl FpuSpecial {
+    /// All seven special registers.
+    pub const ALL: [FpuSpecial; 7] = [
+        FpuSpecial::Cwd,
+        FpuSpecial::Swd,
+        FpuSpecial::Twd,
+        FpuSpecial::Fip,
+        FpuSpecial::Fcs,
+        FpuSpecial::Foo,
+        FpuSpecial::Fos,
+    ];
+}
+
+impl fmt::Display for FpuSpecial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpuSpecial::Cwd => "cwd",
+            FpuSpecial::Swd => "swd",
+            FpuSpecial::Twd => "twd",
+            FpuSpecial::Fip => "fip",
+            FpuSpecial::Fcs => "fcs",
+            FpuSpecial::Foo => "foo",
+            FpuSpecial::Fos => "fos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Any injectable register, for fault targeting and reporting.
+///
+/// This is the "register axis" of the paper's fault space: the sixteen
+/// 32-bit registers (§4.3 counts 512 bit targets) plus the x87 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterName {
+    /// A general-purpose register.
+    Gpr(Gpr),
+    /// The instruction pointer.
+    Eip,
+    /// The flags register.
+    Eflags,
+    /// An 80-bit FPU data register, by *physical* index 0–7 (not
+    /// stack-relative), matching how a hardware upset strikes a cell.
+    St(u8),
+    /// An FPU special-purpose register.
+    FpuSpecial(FpuSpecial),
+}
+
+impl RegisterName {
+    /// Width of the register in bits, which bounds the bit axis of the
+    /// fault space for this target.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            RegisterName::Gpr(_) | RegisterName::Eip | RegisterName::Eflags => 32,
+            RegisterName::St(_) => 80,
+            RegisterName::FpuSpecial(_) => 16,
+        }
+    }
+}
+
+impl fmt::Display for RegisterName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterName::Gpr(g) => write!(f, "{g}"),
+            RegisterName::Eip => f.write_str("eip"),
+            RegisterName::Eflags => f.write_str("eflags"),
+            RegisterName::St(i) => write!(f, "st{i}"),
+            RegisterName::FpuSpecial(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// EFLAGS bit positions (the subset the ISA defines, as on IA-32).
+pub const EFLAGS_CF: u32 = 1 << 0;
+/// Zero flag.
+pub const EFLAGS_ZF: u32 = 1 << 6;
+/// Sign flag.
+pub const EFLAGS_SF: u32 = 1 << 7;
+/// Overflow flag.
+pub const EFLAGS_OF: u32 = 1 << 11;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip_index() {
+        for g in Gpr::ALL {
+            assert_eq!(Gpr::from_index(g.index()), g);
+        }
+    }
+
+    #[test]
+    fn gpr_from_index_masks_to_three_bits() {
+        assert_eq!(Gpr::from_index(8), Gpr::Eax);
+        assert_eq!(Gpr::from_index(0xff), Gpr::Edi);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::Esp.to_string(), "esp");
+        assert_eq!(RegisterName::St(3).to_string(), "st3");
+        assert_eq!(RegisterName::FpuSpecial(FpuSpecial::Twd).to_string(), "twd");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(RegisterName::Gpr(Gpr::Eax).width_bits(), 32);
+        assert_eq!(RegisterName::St(0).width_bits(), 80);
+        assert_eq!(RegisterName::FpuSpecial(FpuSpecial::Cwd).width_bits(), 16);
+    }
+
+    #[test]
+    fn flags_are_distinct_bits() {
+        let all = [EFLAGS_CF, EFLAGS_ZF, EFLAGS_SF, EFLAGS_OF];
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.count_ones(), 1);
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

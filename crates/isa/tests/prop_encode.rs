@@ -1,0 +1,117 @@
+//! Property-based tests for the instruction encoder/decoder.
+
+use fl_isa::insn::{AluOp, FpuBinOp, FpuUnOp};
+use fl_isa::{decode, encode, Cond, Gpr, Insn, Opcode};
+use proptest::prelude::*;
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..8).prop_map(Gpr::from_index)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..11).prop_map(|i| Cond::from_index(i).unwrap())
+}
+
+fn arb_off() -> impl Strategy<Value = i32> {
+    -2048i32..2048
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Mod),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Sar),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        (arb_gpr(), any::<u32>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
+        (arb_gpr(), arb_gpr()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
+        (arb_alu(), arb_gpr(), arb_gpr(), arb_gpr())
+            .prop_map(|(op, rd, ra, rb)| Insn::Alu { op, rd, ra, rb }),
+        (arb_gpr(), arb_gpr(), any::<u32>()).prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
+        (arb_gpr(), arb_gpr()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
+        (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Insn::J { cond, target }),
+        (arb_gpr(), arb_gpr(), arb_off()).prop_map(|(rd, base, off)| Insn::Ld { rd, base, off }),
+        (arb_gpr(), arb_gpr(), arb_off()).prop_map(|(rb, base, off)| Insn::St { rb, base, off }),
+        (arb_gpr(), arb_gpr(), arb_off()).prop_map(|(rd, base, off)| Insn::LdB { rd, base, off }),
+        (arb_gpr(), arb_gpr(), arb_off()).prop_map(|(rb, base, off)| Insn::StB { rb, base, off }),
+        arb_gpr().prop_map(|rs| Insn::Push { rs }),
+        arb_gpr().prop_map(|rd| Insn::Pop { rd }),
+        any::<u32>().prop_map(|target| Insn::Call { target }),
+        Just(Insn::Ret),
+        (0u32..4096).prop_map(|frame| Insn::Enter { frame }),
+        Just(Insn::Leave),
+        (0u16..4096).prop_map(|num| Insn::Sys { num }),
+        Just(Insn::Halt),
+        (arb_gpr(), arb_off()).prop_map(|(base, off)| Insn::Fld { base, off }),
+        (arb_gpr(), arb_off()).prop_map(|(base, off)| Insn::Fstp { base, off }),
+        any::<u32>().prop_map(|addr| Insn::FldG { addr }),
+        Just(Insn::Fldz),
+        Just(Insn::Fbinp { op: FpuBinOp::Mul }),
+        Just(Insn::Funop { op: FpuUnOp::Sqrt }),
+        (0u8..8).prop_map(|i| Insn::Fxch { i }),
+        Just(Insn::Fcomip),
+        Just(Insn::Fpop),
+    ]
+}
+
+proptest! {
+    /// Every encodable instruction decodes back to itself.
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let e = encode(&insn);
+        let (d, n) = decode(&e.to_words()).unwrap();
+        prop_assert_eq!(d, insn);
+        prop_assert_eq!(n, e.len_words());
+    }
+
+    /// Decoding never panics on arbitrary words — corrupted text either
+    /// decodes to a legal instruction or returns an error, exactly the
+    /// dichotomy the fault injector relies on.
+    #[test]
+    fn decode_total_on_random_words(w0 in any::<u32>(), w1 in any::<u32>()) {
+        let _ = decode(&[w0, w1]);
+    }
+
+    /// A decoded random word re-encodes to the same first word modulo
+    /// don't-care fields (we only check it decodes to the same insn).
+    #[test]
+    fn decode_encode_stable(w0 in any::<u32>(), w1 in any::<u32>()) {
+        if let Ok((insn, _)) = decode(&[w0, w1]) {
+            let e = encode(&insn);
+            let (again, _) = decode(&e.to_words()).unwrap();
+            prop_assert_eq!(insn, again);
+        }
+    }
+
+    /// The byte rendering is little-endian and word-aligned.
+    #[test]
+    fn bytes_match_words(insn in arb_insn()) {
+        let e = encode(&insn);
+        let bytes = e.to_bytes();
+        let words = e.to_words();
+        prop_assert_eq!(bytes.len(), words.len() * 4);
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(&bytes[i * 4..i * 4 + 4], &w.to_le_bytes());
+        }
+    }
+
+    /// Opcode byte of the encoding always matches `Insn::opcode`.
+    #[test]
+    fn opcode_byte_matches(insn in arb_insn()) {
+        let e = encode(&insn);
+        let b = e.to_bytes()[0];
+        prop_assert_eq!(Opcode::from_byte(b), Some(insn.opcode()));
+    }
+}

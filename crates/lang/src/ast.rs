@@ -1,0 +1,202 @@
+//! Abstract syntax tree for FL.
+
+/// Value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit float (80-bit in FPU registers).
+    Float,
+    /// No value (function return only).
+    Void,
+}
+
+impl Ty {
+    /// Size in bytes when stored in memory.
+    pub fn size(self) -> u32 {
+        match self {
+            Ty::Int => 4,
+            Ty::Float => 8,
+            Ty::Void => 0,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is int 0/1).
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (int).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (only valid as a builtin argument).
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array element.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration: `var int x;` or `var float a[16];`.
+    Var { name: String, ty: Ty, len: Option<u32> },
+    /// Scalar assignment.
+    Assign { name: String, value: Expr },
+    /// Array element assignment.
+    AssignIndex { name: String, index: Expr, value: Expr },
+    /// Expression evaluated for effect (a call).
+    Expr(Expr),
+    /// Conditional.
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// While loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// For loop: `for (init; cond; step) { body }` where init/step are
+    /// assignments.
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    /// Return (value required unless the function is void).
+    Return(Option<Expr>),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Array length; `None` for scalars.
+    pub len: Option<u32>,
+    /// Scalar initialiser (data section); uninitialised goes to BSS.
+    pub init: Option<Expr>,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global variable.
+    Global(Global),
+    /// A function.
+    Fn(FnDecl),
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over functions.
+    pub fn functions(&self) -> impl Iterator<Item = &FnDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Fn(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over globals.
+    pub fn globals(&self) -> impl Iterator<Item = &Global> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Float.size(), 8);
+        assert_eq!(Ty::Void.size(), 0);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program {
+            items: vec![
+                Item::Global(Global { name: "g".into(), ty: Ty::Int, len: None, init: None }),
+                Item::Fn(FnDecl {
+                    name: "main".into(),
+                    params: vec![],
+                    ret: Ty::Void,
+                    body: vec![],
+                }),
+            ],
+        };
+        assert_eq!(p.globals().count(), 1);
+        assert_eq!(p.functions().next().unwrap().name, "main");
+    }
+}

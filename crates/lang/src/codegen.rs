@@ -1,0 +1,797 @@
+//! Code generation: typed AST → per-function assembly with symbolic
+//! operands (the linker resolves labels and global symbols).
+//!
+//! The evaluation strategy is deliberately x86-like and register-poor,
+//! because that is what drives the paper's register-sensitivity results:
+//!
+//! * integer expressions evaluate into **EAX**, spilling the left operand
+//!   of a binary through **the machine stack** and reloading into **ECX**;
+//!   **EDX** carries addresses for indexed stores. ESP/EBP are live in
+//!   every instruction. The handful of general registers therefore hold
+//!   live data almost all the time (§6.1.1: 38–63 % manifestation).
+//! * float expressions evaluate on the **x87 register stack**, so the
+//!   number of live FPU registers equals the expression depth — small in
+//!   practice ("the generated x87 FPU instructions generally use only
+//!   four of the registers in the stack", §6.1.1). Expressions deeper
+//!   than 6 are rejected rather than spilled.
+
+use crate::ast::{BinOp, Ty, UnOp};
+use crate::sema::{Builtin, Place, TExpr, TExprKind, TFunction, TGlobal, TProgram, TStmt, VarSlot};
+use fl_isa::insn::{AluOp, FpuBinOp, FpuUnOp};
+use fl_isa::{Cond, Gpr, Insn, Syscall};
+
+/// One assembly item; symbolic operands are resolved by the linker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AItem {
+    /// A fully resolved instruction.
+    I(Insn),
+    /// Definition of a local label.
+    Label(u32),
+    /// Jump to a local label.
+    Jmp(Cond, u32),
+    /// Call a function symbol (user function or MPI wrapper).
+    CallSym(String),
+    /// `rd <- address of symbol + disp`.
+    MovSym(Gpr, String, i32),
+    /// `rd <- mem32[symbol + disp]`.
+    LdSym(Gpr, String, i32),
+    /// `mem32[symbol + disp] <- rs`.
+    StSym(Gpr, String, i32),
+    /// Push f64 at `symbol + disp` onto the FPU stack.
+    FldSym(String, i32),
+    /// Pop st0 into f64 at `symbol + disp`.
+    FstpSym(String, i32),
+}
+
+impl AItem {
+    /// Encoded size in 32-bit words (fixed per item kind, which lets the
+    /// linker lay out code in one pass).
+    pub fn words(&self) -> u32 {
+        match self {
+            AItem::I(i) => i.encoded_words() as u32,
+            AItem::Label(_) => 0,
+            // J / Call / MovI / LdG / StG / FldG / FstpG all carry an
+            // immediate word.
+            _ => 2,
+        }
+    }
+}
+
+/// A function's generated code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmFn {
+    /// Symbol name.
+    pub name: String,
+    /// Assembly items in order.
+    pub items: Vec<AItem>,
+}
+
+/// A compiled module awaiting linking.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Global variables (layout decided by the linker).
+    pub globals: Vec<TGlobal>,
+    /// Functions; `main` must be present to link an executable.
+    pub functions: Vec<AsmFn>,
+    /// Pooled string literals (symbol `$str<i>`).
+    pub strings: Vec<String>,
+    /// Pooled f64 constants (symbol `$fc<i>`).
+    pub fconsts: Vec<u64>,
+    /// Initial heap mapping size for the image.
+    pub heap_reserve: u32,
+}
+
+impl Module {
+    fn str_sym(&mut self, s: &str) -> (String, u32) {
+        let idx = match self.strings.iter().position(|x| x == s) {
+            Some(i) => i,
+            None => {
+                self.strings.push(s.to_string());
+                self.strings.len() - 1
+            }
+        };
+        (format!("$str{idx}"), s.len() as u32)
+    }
+
+    fn fconst_sym(&mut self, v: f64) -> String {
+        let bits = v.to_bits();
+        let idx = match self.fconsts.iter().position(|&x| x == bits) {
+            Some(i) => i,
+            None => {
+                self.fconsts.push(bits);
+                self.fconsts.len() - 1
+            }
+        };
+        format!("$fc{idx}")
+    }
+}
+
+struct Gen<'m> {
+    module: &'m mut Module,
+    items: Vec<AItem>,
+    next_label: u32,
+    fname: String,
+}
+
+type GResult<T = ()> = Result<T, String>;
+
+impl<'m> Gen<'m> {
+    fn label(&mut self) -> u32 {
+        self.next_label += 1;
+        self.next_label
+    }
+
+    fn emit(&mut self, i: Insn) {
+        self.items.push(AItem::I(i));
+    }
+
+    fn place_label(&mut self, l: u32) {
+        self.items.push(AItem::Label(l));
+    }
+
+    /// Maximum x87 stack depth an expression needs.
+    fn fpu_depth(e: &TExpr) -> u32 {
+        let kind_depth = match &e.kind {
+            TExprKind::Bin(_, l, r) => Self::fpu_depth(l).max(1 + Self::fpu_depth(r)),
+            TExprKind::Un(_, x) | TExprKind::Cast(x) => Self::fpu_depth(x),
+            TExprKind::ReadIndex(_, idx) => Self::fpu_depth(idx).max(1),
+            TExprKind::CallFn { args, .. } | TExprKind::CallBuiltin { args, .. } => {
+                // Arguments are flushed to the machine stack before the
+                // call, so only one argument's depth is live at a time;
+                // IsNan needs one extra slot for the duplicate.
+                args.iter().map(Self::fpu_depth).max().unwrap_or(0).max(1)
+                    + u32::from(matches!(
+                        &e.kind,
+                        TExprKind::CallBuiltin { b: Builtin::IsNan, .. }
+                    ))
+            }
+            _ => u32::from(e.ty == Ty::Float),
+        };
+        kind_depth.max(u32::from(e.ty == Ty::Float))
+    }
+
+    /// Evaluate an expression: int results land in EAX, float results on
+    /// st0.
+    fn eval(&mut self, e: &TExpr) -> GResult {
+        if e.ty == Ty::Float && Self::fpu_depth(e) > 6 {
+            return Err(format!(
+                "{}: float expression too deep for the x87 stack (max 6)",
+                self.fname
+            ));
+        }
+        self.eval_inner(e)
+    }
+
+    fn eval_inner(&mut self, e: &TExpr) -> GResult {
+        match &e.kind {
+            TExprKind::ConstInt(v) => {
+                self.emit(Insn::MovI { rd: Gpr::Eax, imm: *v as u32 });
+            }
+            TExprKind::ConstFloat(v) => {
+                if *v == 0.0 && v.is_sign_positive() {
+                    self.emit(Insn::Fldz);
+                } else if *v == 1.0 {
+                    self.emit(Insn::Fld1);
+                } else {
+                    let sym = self.module.fconst_sym(*v);
+                    self.items.push(AItem::FldSym(sym, 0));
+                }
+            }
+            TExprKind::Str(_) => return Err(format!("{}: stray string literal", self.fname)),
+            TExprKind::Read(slot) => match (&slot.place, slot.ty) {
+                (Place::Frame(off), Ty::Int) => {
+                    self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Ebp, off: *off })
+                }
+                (Place::Frame(off), Ty::Float) => {
+                    self.emit(Insn::Fld { base: Gpr::Ebp, off: *off })
+                }
+                (Place::Global(name), Ty::Int) => {
+                    self.items.push(AItem::LdSym(Gpr::Eax, name.clone(), 0))
+                }
+                (Place::Global(name), Ty::Float) => {
+                    self.items.push(AItem::FldSym(name.clone(), 0))
+                }
+                _ => return Err(format!("{}: void variable read", self.fname)),
+            },
+            TExprKind::ReadIndex(slot, idx) => {
+                self.element_addr(slot, idx)?; // address in EDX
+                match slot.ty {
+                    Ty::Int => self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Edx, off: 0 }),
+                    Ty::Float => self.emit(Insn::Fld { base: Gpr::Edx, off: 0 }),
+                    Ty::Void => return Err(format!("{}: void element", self.fname)),
+                }
+            }
+            TExprKind::AddrOf(slot, idx) => match idx {
+                None => self.addr_of_base(slot),
+                Some(i) => {
+                    self.element_addr(slot, i)?;
+                    self.emit(Insn::Mov { rd: Gpr::Eax, rs: Gpr::Edx });
+                }
+            },
+            TExprKind::Un(UnOp::Neg, x) => {
+                self.eval_inner(x)?;
+                match x.ty {
+                    Ty::Int => {
+                        self.emit(Insn::MovI { rd: Gpr::Ecx, imm: 0 });
+                        self.emit(Insn::Alu {
+                            op: AluOp::Sub,
+                            rd: Gpr::Eax,
+                            ra: Gpr::Ecx,
+                            rb: Gpr::Eax,
+                        });
+                    }
+                    Ty::Float => self.emit(Insn::Funop { op: FpuUnOp::Chs }),
+                    Ty::Void => return Err(format!("{}: negating void", self.fname)),
+                }
+            }
+            TExprKind::Un(UnOp::Not, x) => {
+                self.eval_inner(x)?;
+                // eax = (eax == 0)
+                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.bool_from_cond(Cond::Eq);
+            }
+            TExprKind::Cast(x) => {
+                self.eval_inner(x)?;
+                match (x.ty, e.ty) {
+                    (Ty::Int, Ty::Float) => self.emit(Insn::FildR { rs: Gpr::Eax }),
+                    (Ty::Float, Ty::Int) => self.emit(Insn::FistpR { rd: Gpr::Eax }),
+                    other => return Err(format!("{}: bad cast {other:?}", self.fname)),
+                }
+            }
+            TExprKind::Bin(op, l, r) => self.bin(*op, l, r)?,
+            TExprKind::CallFn { name, args } => {
+                let bytes = self.push_args(args)?;
+                self.items.push(AItem::CallSym(name.clone()));
+                self.drop_args(bytes);
+            }
+            TExprKind::CallBuiltin { b, args } => self.builtin(*b, args)?,
+        }
+        Ok(())
+    }
+
+    /// Leave `&slot` in EAX (scalars / array base).
+    fn addr_of_base(&mut self, slot: &VarSlot) {
+        match &slot.place {
+            Place::Frame(off) => {
+                self.emit(Insn::Mov { rd: Gpr::Eax, rs: Gpr::Ebp });
+                self.emit(Insn::AddI { rd: Gpr::Eax, ra: Gpr::Eax, imm: *off as u32 });
+            }
+            Place::Global(name) => self.items.push(AItem::MovSym(Gpr::Eax, name.clone(), 0)),
+        }
+    }
+
+    /// Compute the address of `slot[idx]` into EDX (clobbers EAX/ECX).
+    fn element_addr(&mut self, slot: &VarSlot, idx: &TExpr) -> GResult {
+        self.eval_inner(idx)?;
+        let esz = slot.ty.size();
+        self.emit(Insn::MulI { rd: Gpr::Eax, ra: Gpr::Eax, imm: esz });
+        match &slot.place {
+            Place::Frame(off) => {
+                self.emit(Insn::Mov { rd: Gpr::Edx, rs: Gpr::Ebp });
+                self.emit(Insn::AddI { rd: Gpr::Edx, ra: Gpr::Edx, imm: *off as u32 });
+                self.emit(Insn::Alu { op: AluOp::Add, rd: Gpr::Edx, ra: Gpr::Edx, rb: Gpr::Eax });
+            }
+            Place::Global(name) => {
+                self.items.push(AItem::MovSym(Gpr::Edx, name.clone(), 0));
+                self.emit(Insn::Alu { op: AluOp::Add, rd: Gpr::Edx, ra: Gpr::Edx, rb: Gpr::Eax });
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialise EAX = 1 if `cond` holds else 0 (flags already set).
+    fn bool_from_cond(&mut self, cond: Cond) {
+        let lt = self.label();
+        let le = self.label();
+        self.items.push(AItem::Jmp(cond, lt));
+        self.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 });
+        self.items.push(AItem::Jmp(Cond::Always, le));
+        self.place_label(lt);
+        self.emit(Insn::MovI { rd: Gpr::Eax, imm: 1 });
+        self.place_label(le);
+    }
+
+    fn bin(&mut self, op: BinOp, l: &TExpr, r: &TExpr) -> GResult {
+        if op.is_logical() {
+            let lfalse = self.label();
+            let ltrue = self.label();
+            let lend = self.label();
+            self.eval_inner(l)?;
+            self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+            match op {
+                BinOp::And => self.items.push(AItem::Jmp(Cond::Eq, lfalse)),
+                BinOp::Or => self.items.push(AItem::Jmp(Cond::Ne, ltrue)),
+                _ => unreachable!(),
+            }
+            self.eval_inner(r)?;
+            self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+            self.items.push(AItem::Jmp(Cond::Eq, lfalse));
+            self.place_label(ltrue);
+            self.emit(Insn::MovI { rd: Gpr::Eax, imm: 1 });
+            self.items.push(AItem::Jmp(Cond::Always, lend));
+            self.place_label(lfalse);
+            self.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 });
+            self.place_label(lend);
+            return Ok(());
+        }
+        let operand_ty = l.ty;
+        match operand_ty {
+            Ty::Int => {
+                self.eval_inner(l)?;
+                self.emit(Insn::Push { rs: Gpr::Eax });
+                self.eval_inner(r)?;
+                self.emit(Insn::Pop { rd: Gpr::Ecx });
+                if op.is_cmp() {
+                    self.emit(Insn::Cmp { ra: Gpr::Ecx, rb: Gpr::Eax });
+                    let cond = match op {
+                        BinOp::Eq => Cond::Eq,
+                        BinOp::Ne => Cond::Ne,
+                        BinOp::Lt => Cond::Lt,
+                        BinOp::Le => Cond::Le,
+                        BinOp::Gt => Cond::Gt,
+                        BinOp::Ge => Cond::Ge,
+                        _ => unreachable!(),
+                    };
+                    self.bool_from_cond(cond);
+                } else {
+                    let alu = match op {
+                        BinOp::Add => AluOp::Add,
+                        BinOp::Sub => AluOp::Sub,
+                        BinOp::Mul => AluOp::Mul,
+                        BinOp::Div => AluOp::Div,
+                        BinOp::Mod => AluOp::Mod,
+                        _ => unreachable!(),
+                    };
+                    self.emit(Insn::Alu { op: alu, rd: Gpr::Eax, ra: Gpr::Ecx, rb: Gpr::Eax });
+                }
+            }
+            Ty::Float => {
+                self.eval_inner(l)?; // st0 = l
+                self.eval_inner(r)?; // st0 = r, st1 = l
+                if op.is_cmp() {
+                    // FCOMIP compares st0 (r) with st1 (l): CF = r < l.
+                    self.emit(Insn::Fcomip);
+                    self.emit(Insn::Fpop); // discard l
+                    let cond = match op {
+                        BinOp::Eq => Cond::Eq,
+                        BinOp::Ne => Cond::Ne,
+                        BinOp::Lt => Cond::A,  // l < r  <=>  r > l
+                        BinOp::Le => Cond::Ae, // l <= r <=> !(r < l)
+                        BinOp::Gt => Cond::B,  // l > r  <=>  r < l
+                        BinOp::Ge => Cond::Be,
+                        _ => unreachable!(),
+                    };
+                    self.bool_from_cond(cond);
+                } else {
+                    let f = match op {
+                        BinOp::Add => FpuBinOp::Add,
+                        BinOp::Sub => FpuBinOp::Sub, // st1 - st0 = l - r
+                        BinOp::Mul => FpuBinOp::Mul,
+                        BinOp::Div => FpuBinOp::Div, // st1 / st0 = l / r
+                        _ => unreachable!(),
+                    };
+                    self.emit(Insn::Fbinp { op: f });
+                }
+            }
+            Ty::Void => return Err(format!("{}: void operand", self.fname)),
+        }
+        Ok(())
+    }
+
+    /// Push call arguments right-to-left; returns bytes pushed.
+    fn push_args(&mut self, args: &[TExpr]) -> GResult<u32> {
+        let mut bytes = 0;
+        for a in args.iter().rev() {
+            match a.ty {
+                Ty::Int => {
+                    self.eval_inner(a)?;
+                    self.emit(Insn::Push { rs: Gpr::Eax });
+                    bytes += 4;
+                }
+                Ty::Float => {
+                    self.eval_inner(a)?;
+                    self.emit(Insn::AddI {
+                        rd: Gpr::Esp,
+                        ra: Gpr::Esp,
+                        imm: (-8i32) as u32,
+                    });
+                    self.emit(Insn::Fstp { base: Gpr::Esp, off: 0 });
+                    bytes += 8;
+                }
+                Ty::Void => return Err(format!("{}: void argument", self.fname)),
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn drop_args(&mut self, bytes: u32) {
+        if bytes > 0 {
+            self.emit(Insn::AddI { rd: Gpr::Esp, ra: Gpr::Esp, imm: bytes });
+        }
+    }
+
+    fn sys(&mut self, s: Syscall) {
+        self.emit(Insn::Sys { num: s as u16 });
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[TExpr]) -> GResult {
+        use Builtin::*;
+        if b.is_mpi() {
+            // MPI builtins call the wrapper library at 0x40000000 so the
+            // call shows up as a real cross-library frame.
+            let sym = match b {
+                MpiInit => "MPI_Init",
+                MpiRank => "MPI_Comm_rank",
+                MpiSize => "MPI_Comm_size",
+                MpiSend => "MPI_Send",
+                MpiRecv => "MPI_Recv",
+                MpiBarrier => "MPI_Barrier",
+                MpiBcast => "MPI_Bcast",
+                MpiReduce => "MPI_Reduce",
+                MpiAllreduce => "MPI_Allreduce",
+                MpiFinalize => "MPI_Finalize",
+                MpiAbort => "MPI_Abort",
+                MpiErrhandlerSet => "MPI_Errhandler_set",
+                _ => unreachable!(),
+            };
+            let bytes = self.push_args(args)?;
+            self.items.push(AItem::CallSym(sym.to_string()));
+            self.drop_args(bytes);
+            return Ok(());
+        }
+        match b {
+            PrintStr | FwriteStr | AbortMsg => {
+                let TExprKind::Str(s) = &args[0].kind else {
+                    return Err(format!("{}: expected string literal", self.fname));
+                };
+                let (sym, len) = self.module.str_sym(s);
+                self.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
+                self.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
+                self.sys(match b {
+                    PrintStr => Syscall::PrintStr,
+                    FwriteStr => Syscall::FileWrite,
+                    _ => Syscall::AbortMsg,
+                });
+            }
+            PrintInt => {
+                self.eval_inner(&args[0])?;
+                self.sys(Syscall::PrintInt);
+            }
+            PrintFlt | FwriteFlt => {
+                // digits first (int, into ECX via stack), then the value.
+                self.eval_inner(&args[1])?;
+                self.emit(Insn::Push { rs: Gpr::Eax });
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Pop { rd: Gpr::Ecx });
+                self.sys(if b == PrintFlt { Syscall::PrintFlt } else { Syscall::FileWriteFlt });
+            }
+            FwriteBin => {
+                self.eval_inner(&args[0])?;
+                self.sys(Syscall::FileWriteBin);
+            }
+            Assert => {
+                let TExprKind::Str(s) = &args[1].kind else {
+                    return Err(format!("{}: assert needs a string literal", self.fname));
+                };
+                let (sym, len) = self.module.str_sym(s);
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                let lok = self.label();
+                self.items.push(AItem::Jmp(Cond::Ne, lok));
+                self.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
+                self.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
+                self.sys(Syscall::AbortMsg);
+                self.place_label(lok);
+            }
+            Sqrt | Sin | Cos | Exp | Ln | FAbs => {
+                self.eval_inner(&args[0])?;
+                let op = match b {
+                    Sqrt => FpuUnOp::Sqrt,
+                    Sin => FpuUnOp::Sin,
+                    Cos => FpuUnOp::Cos,
+                    Exp => FpuUnOp::Exp,
+                    Ln => FpuUnOp::Ln,
+                    _ => FpuUnOp::Abs,
+                };
+                self.emit(Insn::Funop { op });
+            }
+            IsNan => {
+                // x != x: duplicate st0, compare with itself.
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::FldSt { i: 0 });
+                self.emit(Insn::Fcomip); // pops copy; unordered sets ZF+CF
+                self.emit(Insn::Fpop); // discard original
+                self.bool_from_cond(Cond::B); // CF only set when unordered
+            }
+            CastInt => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::FistpR { rd: Gpr::Eax });
+            }
+            CastFloat => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::FildR { rs: Gpr::Eax });
+            }
+            LoadI => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Eax, off: 0 });
+            }
+            LoadF => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Fld { base: Gpr::Eax, off: 0 });
+            }
+            StoreI => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Push { rs: Gpr::Eax });
+                self.eval_inner(&args[1])?;
+                self.emit(Insn::Pop { rd: Gpr::Edx });
+                self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Edx, off: 0 });
+            }
+            StoreF => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Push { rs: Gpr::Eax });
+                self.eval_inner(&args[1])?;
+                self.emit(Insn::Pop { rd: Gpr::Edx });
+                self.emit(Insn::Fstp { base: Gpr::Edx, off: 0 });
+            }
+            Malloc => {
+                self.eval_inner(&args[0])?;
+                self.emit(Insn::Mov { rd: Gpr::Ecx, rs: Gpr::Eax });
+                self.sys(Syscall::Malloc);
+            }
+            Free => {
+                self.eval_inner(&args[0])?;
+                self.sys(Syscall::Free);
+            }
+            Addr => unreachable!("addr() is resolved to AddrOf in sema"),
+            _ => unreachable!("MPI handled above"),
+        }
+        Ok(())
+    }
+
+    /// Discard an unused expression result (for expression statements).
+    fn discard(&mut self, ty: Ty) {
+        if ty == Ty::Float {
+            self.emit(Insn::Fpop);
+        }
+    }
+
+    fn stmt(&mut self, s: &TStmt, epilogue: u32) -> GResult {
+        match s {
+            TStmt::Assign { slot, value } => {
+                self.eval(value)?;
+                match (&slot.place, slot.ty) {
+                    (Place::Frame(off), Ty::Int) => {
+                        self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Ebp, off: *off })
+                    }
+                    (Place::Frame(off), Ty::Float) => {
+                        self.emit(Insn::Fstp { base: Gpr::Ebp, off: *off })
+                    }
+                    (Place::Global(n), Ty::Int) => {
+                        self.items.push(AItem::StSym(Gpr::Eax, n.clone(), 0))
+                    }
+                    (Place::Global(n), Ty::Float) => {
+                        self.items.push(AItem::FstpSym(n.clone(), 0))
+                    }
+                    _ => return Err(format!("{}: void assignment", self.fname)),
+                }
+            }
+            TStmt::AssignIndex { slot, index, value } => {
+                // Address first (EDX), saved across the value evaluation.
+                self.element_addr(slot, index)?;
+                self.emit(Insn::Push { rs: Gpr::Edx });
+                self.eval(value)?;
+                self.emit(Insn::Pop { rd: Gpr::Edx });
+                match slot.ty {
+                    Ty::Int => self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Edx, off: 0 }),
+                    Ty::Float => self.emit(Insn::Fstp { base: Gpr::Edx, off: 0 }),
+                    Ty::Void => return Err(format!("{}: void element", self.fname)),
+                }
+            }
+            TStmt::Expr(e) => {
+                self.eval(e)?;
+                self.discard(e.ty);
+            }
+            TStmt::If { cond, then, els } => {
+                let lelse = self.label();
+                let lend = self.label();
+                self.eval(cond)?;
+                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.items.push(AItem::Jmp(Cond::Eq, lelse));
+                for s in then {
+                    self.stmt(s, epilogue)?;
+                }
+                self.items.push(AItem::Jmp(Cond::Always, lend));
+                self.place_label(lelse);
+                for s in els {
+                    self.stmt(s, epilogue)?;
+                }
+                self.place_label(lend);
+            }
+            TStmt::While { cond, body } => {
+                let ltop = self.label();
+                let lend = self.label();
+                self.place_label(ltop);
+                self.eval(cond)?;
+                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.items.push(AItem::Jmp(Cond::Eq, lend));
+                for s in body {
+                    self.stmt(s, epilogue)?;
+                }
+                self.items.push(AItem::Jmp(Cond::Always, ltop));
+                self.place_label(lend);
+            }
+            TStmt::Return(v) => {
+                if let Some(e) = v {
+                    self.eval(e)?;
+                }
+                self.items.push(AItem::Jmp(Cond::Always, epilogue));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Instrument every function with **control-flow signature checking**
+    /// — the software-signature technique of Oh/Shirvani/McCluskey that
+    /// §8.2 of the paper cites as a defence against text-region faults.
+    ///
+    /// Each function's prologue deposits a per-function signature
+    /// constant in a dedicated frame slot; the epilogue verifies it and
+    /// aborts ("control flow signature mismatch", an App-Detected
+    /// outcome) when execution arrived without passing the prologue —
+    /// e.g. after an EIP upset or a corrupted return address landed
+    /// mid-function.
+    pub control_flow_checks: bool,
+}
+
+/// Per-function signature constant for control-flow checking: a
+/// deterministic non-trivial hash of the name.
+fn cfc_signature(name: &str) -> u32 {
+    let mut h = 0x811C_9DC5u32; // FNV-1a
+    for b in name.bytes() {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h | 1 // never zero
+}
+
+/// Generate assembly for a whole program.
+pub fn emit(p: &TProgram) -> Result<Module, String> {
+    emit_with(p, &CompileOptions::default())
+}
+
+/// Generate assembly with explicit options.
+pub fn emit_with(p: &TProgram, opts: &CompileOptions) -> Result<Module, String> {
+    let mut module = Module {
+        globals: p.globals.clone(),
+        heap_reserve: 64 * 1024,
+        ..Default::default()
+    };
+    let mut functions = Vec::new();
+    for f in &p.functions {
+        functions.push(emit_fn(&mut module, f, opts)?);
+    }
+    module.functions = functions;
+    Ok(module)
+}
+
+fn emit_fn(module: &mut Module, f: &TFunction, opts: &CompileOptions) -> Result<AsmFn, String> {
+    let mut g = Gen { module, items: Vec::new(), next_label: 0, fname: f.name.clone() };
+    let epilogue = g.label();
+    // The CFC slot sits below the locals in an enlarged frame.
+    let frame =
+        if opts.control_flow_checks { f.frame_size + 8 } else { f.frame_size };
+    let cfc_off = -((f.frame_size + 8) as i32);
+    g.emit(Insn::Enter { frame });
+    if opts.control_flow_checks {
+        let sig = cfc_signature(&f.name);
+        g.emit(Insn::MovI { rd: Gpr::Eax, imm: sig });
+        g.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Ebp, off: cfc_off });
+    }
+    for s in &f.body {
+        g.stmt(s, epilogue)?;
+    }
+    // Fall-through default return value.
+    match f.ret {
+        Ty::Int => g.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 }),
+        Ty::Float => g.emit(Insn::Fldz),
+        Ty::Void => {}
+    }
+    g.place_label(epilogue);
+    if opts.control_flow_checks {
+        let sig = cfc_signature(&f.name);
+        let lok = g.label();
+        // Verify the signature without clobbering the return value in
+        // EAX/st0: ECX is dead at the epilogue.
+        g.emit(Insn::Ld { rd: Gpr::Ecx, base: Gpr::Ebp, off: cfc_off });
+        g.emit(Insn::CmpI { ra: Gpr::Ecx, imm: sig });
+        g.items.push(AItem::Jmp(Cond::Eq, lok));
+        let (sym, len) = g.module.str_sym("control flow signature mismatch");
+        g.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
+        g.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
+        g.emit(Insn::Sys { num: fl_isa::Syscall::AbortMsg as u16 });
+        g.place_label(lok);
+    }
+    g.emit(Insn::Leave);
+    g.emit(Insn::Ret);
+    Ok(AsmFn { name: f.name.clone(), items: g.items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn gen(src: &str) -> Module {
+        emit(&analyze(&parse(&lex(src).unwrap()).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_function_has_frame() {
+        let m = gen("fn main() { var int x; x = 1; }");
+        let f = &m.functions[0];
+        assert!(matches!(f.items[0], AItem::I(Insn::Enter { .. })));
+        assert!(f.items.iter().any(|i| matches!(i, AItem::I(Insn::Leave))));
+        assert!(matches!(f.items.last(), Some(AItem::I(Insn::Ret))));
+    }
+
+    #[test]
+    fn string_and_fconst_pooling() {
+        let m = gen(
+            r#"fn main() { print_str("a"); print_str("a"); print_str("b");
+                var float x; x = 3.5; x = 3.5; x = 0.0; x = 1.0; }"#,
+        );
+        assert_eq!(m.strings, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.fconsts, vec![3.5f64.to_bits()]); // 0.0/1.0 use fldz/fld1
+    }
+
+    #[test]
+    fn float_depth_limit_enforced() {
+        // A deliberately deep right-leaning float expression.
+        let mut e = String::from("1.5");
+        for _ in 0..8 {
+            e = format!("2.5 * ({e} + 3.5)");
+        }
+        let src = format!("fn main() {{ var float x; x = {e}; }}");
+        let toks = lex(&src).unwrap();
+        let prog = analyze(&parse(&toks).unwrap()).unwrap();
+        assert!(emit(&prog).is_err());
+    }
+
+    #[test]
+    fn mpi_builtin_becomes_library_call() {
+        let m = gen("fn main() { mpi_init(); mpi_barrier(); mpi_finalize(); }");
+        let calls: Vec<_> = m.functions[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                AItem::CallSym(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, ["MPI_Init", "MPI_Barrier", "MPI_Finalize"]);
+    }
+
+    #[test]
+    fn item_sizes_are_static() {
+        let m = gen("global float u[4]; fn main() { u[1] = u[0] * 2.5; }");
+        for item in &m.functions[0].items {
+            match item {
+                AItem::Label(_) => assert_eq!(item.words(), 0),
+                AItem::I(i) => assert_eq!(item.words(), i.encoded_words() as u32),
+                _ => assert_eq!(item.words(), 2),
+            }
+        }
+    }
+
+    #[test]
+    fn unused_float_call_result_is_popped() {
+        let m = gen("fn f() -> float { return 1.0; } fn main() { f(); }");
+        let main = m.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.items.iter().any(|i| matches!(i, AItem::I(Insn::Fpop))));
+    }
+}

@@ -1,0 +1,325 @@
+//! Lexer for FL source.
+
+use std::fmt;
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals & identifiers
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // keywords
+    KwGlobal,
+    KwFn,
+    KwVar,
+    KwInt,
+    KwFloat,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Arrow,
+    Assign,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Lexical errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    Some(match s {
+        "global" => TokenKind::KwGlobal,
+        "fn" => TokenKind::KwFn,
+        "var" => TokenKind::KwVar,
+        "int" => TokenKind::KwInt,
+        "float" => TokenKind::KwFloat,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "while" => TokenKind::KwWhile,
+        "for" => TokenKind::KwFor,
+        "return" => TokenKind::KwReturn,
+        _ => return None,
+    })
+}
+
+/// Tokenise FL source. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    let err = |msg: String, line: u32| LexError { msg, line };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse().map_err(|_| err(format!("bad float literal {text}"), line))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse().map_err(|_| err(format!("bad int literal {text}"), line))?,
+                    )
+                };
+                out.push(Token { kind, line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let kind =
+                    keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+                out.push(Token { kind, line });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err("unterminated string".into(), line));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = *b
+                                .get(i)
+                                .ok_or_else(|| err("unterminated escape".into(), line))?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(
+                                        format!("unknown escape \\{}", other as char),
+                                        line,
+                                    ))
+                                }
+                            });
+                            i += 1;
+                        }
+                        b'\n' => return Err(err("newline in string".into(), line)),
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), line });
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let (kind, adv) = match two {
+                    b"==" => (TokenKind::EqEq, 2),
+                    b"!=" => (TokenKind::NotEq, 2),
+                    b"<=" => (TokenKind::Le, 2),
+                    b">=" => (TokenKind::Ge, 2),
+                    b"&&" => (TokenKind::AndAnd, 2),
+                    b"||" => (TokenKind::OrOr, 2),
+                    b"->" => (TokenKind::Arrow, 2),
+                    _ => match c {
+                        b'(' => (TokenKind::LParen, 1),
+                        b')' => (TokenKind::RParen, 1),
+                        b'{' => (TokenKind::LBrace, 1),
+                        b'}' => (TokenKind::RBrace, 1),
+                        b'[' => (TokenKind::LBracket, 1),
+                        b']' => (TokenKind::RBracket, 1),
+                        b',' => (TokenKind::Comma, 1),
+                        b';' => (TokenKind::Semi, 1),
+                        b'=' => (TokenKind::Assign, 1),
+                        b'+' => (TokenKind::Plus, 1),
+                        b'-' => (TokenKind::Minus, 1),
+                        b'*' => (TokenKind::Star, 1),
+                        b'/' => (TokenKind::Slash, 1),
+                        b'%' => (TokenKind::Percent, 1),
+                        b'<' => (TokenKind::Lt, 1),
+                        b'>' => (TokenKind::Gt, 1),
+                        b'!' => (TokenKind::Not, 1),
+                        other => {
+                            return Err(err(format!("unexpected character {:?}", other as char), line))
+                        }
+                    },
+                };
+                out.push(Token { kind, line });
+                i += adv;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 3.5 1e3 2.5e-2"), vec![
+            Int(42),
+            Float(3.5),
+            Float(1000.0),
+            Float(0.025),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn identifiers_and_keywords() {
+        assert_eq!(kinds("fn foo int x_1"), vec![
+            KwFn,
+            Ident("foo".into()),
+            KwInt,
+            Ident("x_1".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(kinds("a==b != <= >= && || -> = < > ! %"), vec![
+            Ident("a".into()),
+            EqEq,
+            Ident("b".into()),
+            NotEq,
+            Le,
+            Ge,
+            AndAnd,
+            OrOr,
+            Arrow,
+            Assign,
+            Lt,
+            Gt,
+            Not,
+            Percent,
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds(r#""hi\n" "a\"b""#), vec![
+            Str("hi\n".into()),
+            Str("a\"b".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].kind, Ident("b".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        let e = lex("a\nb\n@").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn negative_handled_as_unary_minus() {
+        // '-5' lexes as Minus, Int(5); the parser folds it.
+        assert_eq!(kinds("-5"), vec![Minus, Int(5), Eof]);
+    }
+}

@@ -1,0 +1,613 @@
+//! Linking: section layout, relocation, MPI wrapper-library synthesis,
+//! and symbol-table production.
+//!
+//! The linker turns a [`Module`] into a [`ProgramImage`]:
+//!
+//! * application text at `0x08048000`: a `_start` shim, then every
+//!   function in declaration order;
+//! * application data: initialised globals, pooled string literals and
+//!   float constants;
+//! * BSS: uninitialised globals;
+//! * library text at `0x40000000`: the twelve `MPI_*` wrapper functions.
+//!   Each wrapper builds a real stack frame, loads its arguments from the
+//!   stack into registers, bumps a call counter in library data, and
+//!   issues the corresponding `SYS` trap — the structural analogue of
+//!   MPICH's API layer sitting above the ADI (Figure 2 of the paper);
+//! * library data: the wrappers' call-counter table and an internal
+//!   buffer, tagged `library: true` in the symbol table so the fault
+//!   dictionary excludes them (§3.2).
+
+use crate::ast::Ty;
+use crate::codegen::{AItem, Module};
+use crate::sema::InitVal;
+use fl_isa::{encode, Gpr, Insn, Syscall};
+use fl_machine::{align_up, ProgramImage, Region, Symbol, LIB_BASE, PAGE_SIZE, TEXT_BASE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Link-time errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// A referenced symbol has no definition.
+    Undefined(String),
+    /// The module has no `main`.
+    NoMain,
+    /// A section outgrew its address budget.
+    TooLarge(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::NoMain => f.write_str("no `main` function"),
+            LinkError::TooLarge(s) => write!(f, "section too large: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The twelve MPI wrapper functions, with their syscall, the number of
+/// integer arguments they forward, and whether they return a value.
+const WRAPPERS: &[(&str, Syscall, u8, bool)] = &[
+    ("MPI_Init", Syscall::MpiInit, 0, false),
+    ("MPI_Comm_rank", Syscall::MpiCommRank, 0, true),
+    ("MPI_Comm_size", Syscall::MpiCommSize, 0, true),
+    ("MPI_Send", Syscall::MpiSend, 4, false),
+    ("MPI_Recv", Syscall::MpiRecv, 4, true),
+    ("MPI_Barrier", Syscall::MpiBarrier, 0, false),
+    ("MPI_Bcast", Syscall::MpiBcast, 3, false),
+    ("MPI_Reduce", Syscall::MpiReduce, 4, false),
+    ("MPI_Allreduce", Syscall::MpiAllreduce, 3, false),
+    ("MPI_Finalize", Syscall::MpiFinalize, 0, false),
+    ("MPI_Abort", Syscall::MpiAbort, 0, false),
+    ("MPI_Errhandler_set", Syscall::MpiErrhandlerSet, 1, true),
+];
+
+/// Argument registers for wrapper marshalling, in stack order.
+const ARG_REGS: [Gpr; 4] = [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx];
+
+/// Build one wrapper's instructions. `counter_addr` is the wrapper's slot
+/// in the library-data call-counter table.
+fn wrapper_insns(sys: Syscall, nargs: u8, counter_addr: u32) -> Vec<Insn> {
+    let mut v = vec![Insn::Enter { frame: 0 }];
+    // Argument sanity marshalling: load from the caller's stack. A stack
+    // fault that corrupted an argument is faithfully forwarded — the MPI
+    // layer's argument checks are what turn it into "MPI Detected".
+    for i in 0..nargs {
+        v.push(Insn::Ld {
+            rd: ARG_REGS[i as usize],
+            base: Gpr::Ebp,
+            off: 8 + 4 * i as i32,
+        });
+    }
+    // Bump the per-wrapper call counter in library data (keeps library
+    // data genuinely live, as MPICH's internals are).
+    v.push(Insn::LdG { rd: Gpr::Esi, addr: counter_addr });
+    v.push(Insn::AddI { rd: Gpr::Esi, ra: Gpr::Esi, imm: 1 });
+    v.push(Insn::StG { rs: Gpr::Esi, addr: counter_addr });
+    v.push(Insn::Sys { num: sys as u16 });
+    v.push(Insn::Leave);
+    v.push(Insn::Ret);
+    v
+}
+
+/// Link a module into a program image.
+pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
+    if !module.functions.iter().any(|f| f.name == "main") {
+        return Err(LinkError::NoMain);
+    }
+
+    // ---- data / BSS layout ------------------------------------------------
+    let mut symtab: Vec<Symbol> = Vec::new();
+    let mut sym_addr: HashMap<String, u32> = HashMap::new();
+
+    // Measure text first: _start (4 words) + functions.
+    let start_words = 4u32; // call main (2) + movi eax,0 (2)... see below
+    let mut fn_base: HashMap<String, u32> = HashMap::new();
+    let mut cursor = TEXT_BASE + start_words * 4 + 4; // + sys exit word
+    for f in &module.functions {
+        fn_base.insert(f.name.clone(), cursor);
+        let words: u32 = f.items.iter().map(|i| i.words()).sum();
+        cursor += words * 4;
+    }
+    let text_end = cursor;
+    if text_end >= 0x0900_0000 {
+        return Err(LinkError::TooLarge(format!("text ends at {text_end:#x}")));
+    }
+    let text_len = text_end - TEXT_BASE;
+    let data_base = align_up(TEXT_BASE + text_len, PAGE_SIZE);
+
+    // Data: initialised globals, then strings, then float constants.
+    let mut data: Vec<u8> = Vec::new();
+    let place_data = |name: &str,
+                          bytes: &[u8],
+                          align: u32,
+                          data: &mut Vec<u8>,
+                          symtab: &mut Vec<Symbol>,
+                          sym_addr: &mut HashMap<String, u32>| {
+        while (data.len() as u32) % align != 0 {
+            data.push(0);
+        }
+        let addr = data_base + data.len() as u32;
+        data.extend_from_slice(bytes);
+        sym_addr.insert(name.to_string(), addr);
+        symtab.push(Symbol {
+            name: name.to_string(),
+            addr,
+            size: bytes.len() as u32,
+            region: Region::Data,
+            library: false,
+        });
+    };
+
+    let mut bss_entries: Vec<(String, u32, u32)> = Vec::new(); // name, align, size
+    for g in &module.globals {
+        match (&g.init, g.len) {
+            (Some(InitVal::Seeded(seed)), Some(len)) => {
+                // Deterministic table contents (Fortran DATA analogue):
+                // a 64-bit LCG drives either f64 values in [0, 1) or
+                // small ints, matching the element type.
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let mut next = || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state
+                };
+                let mut bytes = Vec::with_capacity((g.size()) as usize);
+                for _ in 0..len {
+                    match g.ty {
+                        Ty::Float => {
+                            let v = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
+                        _ => {
+                            let v = (next() >> 40) as u32;
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+                let align = if g.ty == Ty::Float { 8 } else { 4 };
+                place_data(&g.name, &bytes, align, &mut data, &mut symtab, &mut sym_addr);
+            }
+            (Some(InitVal::Int(v)), None) => place_data(
+                &g.name,
+                &v.to_le_bytes(),
+                4,
+                &mut data,
+                &mut symtab,
+                &mut sym_addr,
+            ),
+            (Some(InitVal::Float(v)), None) => place_data(
+                &g.name,
+                &v.to_le_bytes(),
+                8,
+                &mut data,
+                &mut symtab,
+                &mut sym_addr,
+            ),
+            _ => {
+                let align = if g.ty == Ty::Float { 8 } else { 4 };
+                bss_entries.push((g.name.clone(), align, g.size()));
+            }
+        }
+    }
+    for (i, s) in module.strings.iter().enumerate() {
+        place_data(&format!("$str{i}"), s.as_bytes(), 1, &mut data, &mut symtab, &mut sym_addr);
+    }
+    for (i, bits) in module.fconsts.iter().enumerate() {
+        place_data(
+            &format!("$fc{i}"),
+            &bits.to_le_bytes(),
+            8,
+            &mut data,
+            &mut symtab,
+            &mut sym_addr,
+        );
+    }
+
+    // BSS.
+    let bss_base = align_up(data_base + data.len() as u32, PAGE_SIZE);
+    let mut bss_size = 0u32;
+    for (name, align, size) in &bss_entries {
+        bss_size = align_up(bss_size, *align);
+        let addr = bss_base + bss_size;
+        sym_addr.insert(name.clone(), addr);
+        symtab.push(Symbol {
+            name: name.clone(),
+            addr,
+            size: *size,
+            region: Region::Bss,
+            library: false,
+        });
+        bss_size += size;
+    }
+
+    // ---- library ----------------------------------------------------------
+    // Library data first (wrappers reference counter addresses).
+    // Layout: one u32 counter per wrapper, then a 2 KiB internal buffer.
+    let mut lib_text: Vec<u8> = Vec::new();
+    let mut lib_fn_addr: HashMap<String, u32> = HashMap::new();
+    // Measure wrapper sizes to find lib text length.
+    let mut lcur = LIB_BASE;
+    for (name, sys, nargs, _) in WRAPPERS {
+        lib_fn_addr.insert(name.to_string(), lcur);
+        let insns = wrapper_insns(*sys, *nargs, 0);
+        let words: u32 = insns.iter().map(|i| i.encoded_words() as u32).sum();
+        lcur += words * 4;
+    }
+    let lib_text_len = lcur - LIB_BASE;
+    let lib_data_base = align_up(LIB_BASE + lib_text_len, PAGE_SIZE);
+    let mut lib_data = vec![0u8; WRAPPERS.len() * 4 + 2048];
+    // Internal "request pool" pattern so library data is not all zero.
+    for (i, b) in lib_data.iter_mut().enumerate().skip(WRAPPERS.len() * 4) {
+        *b = (i % 251) as u8;
+    }
+    for (i, (name, sys, nargs, _)) in WRAPPERS.iter().enumerate() {
+        let addr = lib_fn_addr[*name];
+        let counter = lib_data_base + 4 * i as u32;
+        let insns = wrapper_insns(*sys, *nargs, counter);
+        let mut bytes = Vec::new();
+        for insn in &insns {
+            bytes.extend(encode(insn).to_bytes());
+        }
+        debug_assert_eq!(LIB_BASE + lib_text.len() as u32, addr);
+        symtab.push(Symbol {
+            name: name.to_string(),
+            addr,
+            size: bytes.len() as u32,
+            region: Region::LibText,
+            library: true,
+        });
+        symtab.push(Symbol {
+            name: format!("mpich_calls_{name}"),
+            addr: counter,
+            size: 4,
+            region: Region::LibData,
+            library: true,
+        });
+        lib_text.extend(bytes);
+    }
+    symtab.push(Symbol {
+        name: "mpich_request_pool".to_string(),
+        addr: lib_data_base + WRAPPERS.len() as u32 * 4,
+        size: 2048,
+        region: Region::LibData,
+        library: true,
+    });
+
+    // ---- text emission ------------------------------------------------------
+    let resolve = |name: &str| -> Result<u32, LinkError> {
+        fn_base
+            .get(name)
+            .or_else(|| lib_fn_addr.get(name))
+            .copied()
+            .ok_or_else(|| LinkError::Undefined(name.to_string()))
+    };
+    let resolve_data = |name: &str| -> Result<u32, LinkError> {
+        sym_addr.get(name).copied().ok_or_else(|| LinkError::Undefined(name.to_string()))
+    };
+
+    let mut text: Vec<u8> = Vec::new();
+    // _start: call main; mov eax, 0; sys exit
+    let main_addr = resolve("main")?;
+    for insn in [
+        Insn::Call { target: main_addr },
+        Insn::MovI { rd: Gpr::Eax, imm: 0 },
+        Insn::Sys { num: Syscall::Exit as u16 },
+    ] {
+        text.extend(encode(&insn).to_bytes());
+    }
+    symtab.push(Symbol {
+        name: "_start".to_string(),
+        addr: TEXT_BASE,
+        size: text.len() as u32,
+        region: Region::Text,
+        library: false,
+    });
+
+    for f in &module.functions {
+        let base = fn_base[&f.name];
+        debug_assert_eq!(TEXT_BASE + text.len() as u32, base);
+        // Label addresses within the function.
+        let mut labels: HashMap<u32, u32> = HashMap::new();
+        let mut pc = base;
+        for item in &f.items {
+            if let AItem::Label(l) = item {
+                labels.insert(*l, pc);
+            }
+            pc += item.words() * 4;
+        }
+        let fn_size = pc - base;
+        for item in &f.items {
+            let insn = match item {
+                AItem::Label(_) => continue,
+                AItem::I(i) => *i,
+                AItem::Jmp(cond, l) => Insn::J {
+                    cond: *cond,
+                    target: *labels
+                        .get(l)
+                        .unwrap_or_else(|| panic!("{}: unplaced label {l}", f.name)),
+                },
+                AItem::CallSym(s) => Insn::Call { target: resolve(s)? },
+                AItem::MovSym(rd, s, d) => Insn::MovI {
+                    rd: *rd,
+                    imm: resolve_data(s)?.wrapping_add(*d as u32),
+                },
+                AItem::LdSym(rd, s, d) => Insn::LdG {
+                    rd: *rd,
+                    addr: resolve_data(s)?.wrapping_add(*d as u32),
+                },
+                AItem::StSym(rs, s, d) => Insn::StG {
+                    rs: *rs,
+                    addr: resolve_data(s)?.wrapping_add(*d as u32),
+                },
+                AItem::FldSym(s, d) => {
+                    Insn::FldG { addr: resolve_data(s)?.wrapping_add(*d as u32) }
+                }
+                AItem::FstpSym(s, d) => {
+                    Insn::FstpG { addr: resolve_data(s)?.wrapping_add(*d as u32) }
+                }
+            };
+            text.extend(encode(&insn).to_bytes());
+        }
+        symtab.push(Symbol {
+            name: f.name.clone(),
+            addr: base,
+            size: fn_size,
+            region: Region::Text,
+            library: false,
+        });
+    }
+    debug_assert_eq!(text.len() as u32, text_len);
+
+    Ok(ProgramImage {
+        text,
+        data,
+        bss_size: bss_size.max(4),
+        lib_text,
+        lib_data,
+        entry: TEXT_BASE,
+        symbols: symtab,
+        heap_reserve: module.heap_reserve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use fl_machine::{Exit, Machine, MachineConfig};
+
+    fn run(src: &str) -> (Machine, Exit) {
+        let img = compile(src).expect("compiles");
+        let mut m = Machine::load(&img, MachineConfig::default());
+        let e = m.run(10_000_000);
+        (m, e)
+    }
+
+    #[test]
+    fn hello_world() {
+        let (m, e) = run(r#"fn main() { print_str("hello, world\n"); }"#);
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "hello, world\n");
+    }
+
+    #[test]
+    fn arithmetic_loops_and_calls() {
+        let (m, e) = run(
+            "fn square(int x) -> int { return x * x; }
+             fn main() {
+                 var int i;
+                 var int total;
+                 total = 0;
+                 for (i = 1; i <= 10; i = i + 1) { total = total + square(i); }
+                 print_int(total);
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "385");
+    }
+
+    #[test]
+    fn float_math() {
+        let (m, e) = run(
+            "fn main() {
+                 var float x;
+                 x = sqrt(16.0) + 2.0 * 3.0;     // 10
+                 x = x / 4.0;                     // 2.5
+                 print_flt(x, 2);
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "2.50");
+    }
+
+    #[test]
+    fn globals_data_and_bss() {
+        let (m, e) = run(
+            "global int counter = 5;
+             global float accum;
+             global float tbl[4];
+             fn main() {
+                 var int i;
+                 counter = counter + 1;
+                 for (i = 0; i < 4; i = i + 1) { tbl[i] = float(i) * 1.5; }
+                 accum = tbl[0] + tbl[1] + tbl[2] + tbl[3];
+                 print_int(counter); print_str(\" \"); print_flt(accum, 1);
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "6 9.0");
+    }
+
+    #[test]
+    fn recursion() {
+        let (m, e) = run(
+            "fn fib(int n) -> int {
+                 if (n < 2) { return n; }
+                 return fib(n - 1) + fib(n - 2);
+             }
+             fn main() { print_int(fib(15)); }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "610");
+    }
+
+    #[test]
+    fn heap_via_malloc() {
+        let (m, e) = run(
+            "fn main() {
+                 var int p;
+                 var int i;
+                 p = malloc(80);
+                 for (i = 0; i < 10; i = i + 1) { storef(p + i * 8, float(i) * 2.0); }
+                 print_flt(loadf(p + 72), 1);
+                 free(p);
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "18.0");
+    }
+
+    #[test]
+    fn assertions_abort() {
+        let (_, e) = run(r#"fn main() { assert(1 < 0, "impossible"); }"#);
+        assert_eq!(e, Exit::Abort("impossible".into()));
+        let (_, e) = run(r#"fn main() { assert(1 > 0, "fine"); print_str("ok"); }"#);
+        assert_eq!(e, Exit::Halted(0));
+    }
+
+    #[test]
+    fn isnan_detects_nan() {
+        let (m, e) = run(
+            "fn main() {
+                 var float x;
+                 x = sqrt(0.0 - 1.0);       // NaN
+                 print_int(isnan(x));
+                 print_int(isnan(2.5));
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "10");
+    }
+
+    #[test]
+    fn logic_and_comparisons() {
+        let (m, e) = run(
+            "fn main() {
+                 print_int(1 && 1); print_int(1 && 0); print_int(0 || 3);
+                 print_int(!5); print_int(!0);
+                 print_int(2 < 3); print_int(3 < 2);
+                 print_int(2.5 >= 2.5); print_int(1.5 > 2.5);
+             }",
+        );
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "101011010");
+    }
+
+    #[test]
+    fn symbols_cover_sections() {
+        let img = compile(
+            "global int g = 1; global float b[8];
+             fn helper() { } fn main() { helper(); }",
+        )
+        .unwrap();
+        let find = |n: &str| img.symbols.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("g").region, Region::Data);
+        assert_eq!(find("b").region, Region::Bss);
+        assert_eq!(find("main").region, Region::Text);
+        assert_eq!(find("MPI_Send").region, Region::LibText);
+        assert!(find("MPI_Send").library);
+        assert!(find("mpich_request_pool").library);
+        assert!(!find("main").library);
+    }
+
+    #[test]
+    fn mpi_wrapper_traps_with_marshalled_args() {
+        let img = compile(
+            "global float buf[8];
+             fn main() { mpi_send(addr(buf), 64, 3, 42); }",
+        )
+        .unwrap();
+        let mut m = Machine::load(&img, MachineConfig::default());
+        let e = m.run(1_000_000);
+        assert_eq!(e, Exit::Mpi(Syscall::MpiSend));
+        // Arguments marshalled into EAX/ECX/EDX/EBX by the wrapper.
+        let buf_sym = img.symbols.iter().find(|s| s.name == "buf").unwrap();
+        assert_eq!(m.cpu.get(Gpr::Eax), buf_sym.addr);
+        assert_eq!(m.cpu.get(Gpr::Ecx), 64);
+        assert_eq!(m.cpu.get(Gpr::Edx), 3);
+        assert_eq!(m.cpu.get(Gpr::Ebx), 42);
+        // EIP parked inside the library wrapper.
+        let (lo, hi) = m.lib_text_range();
+        assert!((lo..hi).contains(&m.cpu.eip));
+    }
+
+    #[test]
+    fn wrapper_call_counters_increment() {
+        let img = compile("fn main() { mpi_init(); }").unwrap();
+        let counter = img
+            .symbols
+            .iter()
+            .find(|s| s.name == "mpich_calls_MPI_Init")
+            .unwrap()
+            .addr;
+        let mut m = Machine::load(&img, MachineConfig::default());
+        assert_eq!(m.run(1_000_000), Exit::Mpi(Syscall::MpiInit));
+        assert_eq!(m.mem.peek_u32(counter), 1);
+    }
+
+    #[test]
+    fn undefined_function_reported() {
+        let toks = crate::lexer::lex("fn main() { }").unwrap();
+        let prog = crate::sema::analyze(&crate::parser::parse(&toks).unwrap()).unwrap();
+        let mut module = crate::codegen::emit(&prog).unwrap();
+        module.functions[0].items.push(AItem::CallSym("nope".into()));
+        assert!(matches!(link(&module), Err(LinkError::Undefined(n)) if n == "nope"));
+    }
+
+    #[test]
+    fn no_main_reported() {
+        let toks = crate::lexer::lex("fn helper() { }").unwrap();
+        let prog = crate::sema::analyze(&crate::parser::parse(&toks).unwrap()).unwrap();
+        let module = crate::codegen::emit(&prog).unwrap();
+        assert!(matches!(link(&module), Err(LinkError::NoMain)));
+    }
+}
+
+#[cfg(test)]
+mod seeded_tests {
+    use crate::compile;
+    use fl_machine::{Exit, Machine, MachineConfig, Region};
+
+    #[test]
+    fn seeded_arrays_live_in_data_with_deterministic_content() {
+        let src = "global float tbl[64] = seeded(7);
+                   global int itbl[16] = seeded(3);
+                   fn main() { print_flt(tbl[0] + tbl[63], 6); }";
+        let img1 = compile(src).unwrap();
+        let img2 = compile(src).unwrap();
+        assert_eq!(img1.data, img2.data, "seeded fill must be deterministic");
+        let sym = img1.symbols.iter().find(|s| s.name == "tbl").unwrap();
+        assert_eq!(sym.region, Region::Data);
+        assert_eq!(sym.size, 512);
+        let isym = img1.symbols.iter().find(|s| s.name == "itbl").unwrap();
+        assert_eq!(isym.region, Region::Data);
+        assert_eq!(isym.size, 64);
+        let mut m = Machine::load(&img1, MachineConfig::default());
+        assert_eq!(m.run(100_000), Exit::Halted(0));
+        let printed: f64 = m.console_text().parse().unwrap();
+        assert!(printed > 0.0 && printed < 2.0, "values must be in [0,1): {printed}");
+    }
+
+    #[test]
+    fn seeded_on_scalar_rejected() {
+        assert!(compile("global float x = seeded(1); fn main() { }").is_err());
+    }
+
+    #[test]
+    fn arbitrary_array_initialiser_rejected() {
+        assert!(compile("global float a[4] = 1.0; fn main() { }").is_err());
+    }
+}

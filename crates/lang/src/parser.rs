@@ -1,0 +1,524 @@
+//! Recursive-descent parser for FL.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use std::fmt;
+
+/// Syntax errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: &TokenKind) -> PResult<()> {
+        if self.eat(k) {
+            Ok(())
+        } else {
+            self.err(format!("expected {k:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn ty(&mut self) -> PResult<Ty> {
+        match self.bump() {
+            TokenKind::KwInt => Ok(Ty::Int),
+            TokenKind::KwFloat => Ok(Ty::Float),
+            other => self.err(format!("expected type, found {other:?}")),
+        }
+    }
+
+    // --- items ----------------------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwGlobal => items.push(Item::Global(self.global()?)),
+                TokenKind::KwFn => items.push(Item::Fn(self.function()?)),
+                other => return self.err(format!("expected item, found {other:?}")),
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn global(&mut self) -> PResult<Global> {
+        self.expect(&TokenKind::KwGlobal)?;
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        let len = if self.eat(&TokenKind::LBracket) {
+            let n = match self.bump() {
+                TokenKind::Int(v) if v > 0 => v as u32,
+                other => return self.err(format!("expected array length, found {other:?}")),
+            };
+            self.expect(&TokenKind::RBracket)?;
+            Some(n)
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Assign) {
+            let e = self.expr()?;
+            // Arrays accept only `seeded(<int>)` — the FL equivalent of a
+            // Fortran DATA statement / C initialised table; the linker
+            // fills the data-section bytes deterministically.
+            if len.is_some() && !matches!(&e, Expr::Call(n, args) if n == "seeded" && args.len() == 1)
+            {
+                return self.err("array globals only accept a `seeded(<int>)` initialiser");
+            }
+            Some(e)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Global { name, ty, len, init })
+    }
+
+    fn function(&mut self) -> PResult<FnDecl> {
+        self.expect(&TokenKind::KwFn)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                params.push((pname, ty));
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        let ret = if self.eat(&TokenKind::Arrow) { self.ty()? } else { Ty::Void };
+        let body = self.block()?;
+        Ok(FnDecl { name, params, ret, body })
+    }
+
+    // --- statements -------------------------------------------------------
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::KwVar => {
+                self.bump();
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                let len = if self.eat(&TokenKind::LBracket) {
+                    let n = match self.bump() {
+                        TokenKind::Int(v) if v > 0 => v as u32,
+                        other => {
+                            return self.err(format!("expected array length, found {other:?}"))
+                        }
+                    };
+                    self.expect(&TokenKind::RBracket)?;
+                    Some(n)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Var { name, ty, len })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat(&TokenKind::KwElse) {
+                    if matches!(self.peek(), TokenKind::KwIf) {
+                        vec![self.stmt()?] // else-if chain
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = Box::new(self.simple_stmt()?);
+                self.expect(&TokenKind::Semi)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                let step = Box::new(self.simple_stmt()?);
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value =
+                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or expression statement (no trailing semicolon).
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        // Lookahead: Ident '=' / Ident '[' expr ']' '=' are assignments.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let save = self.pos;
+            self.bump();
+            if self.eat(&TokenKind::Assign) {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { name, value });
+            }
+            if self.eat(&TokenKind::LBracket) {
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr()?;
+                    return Ok(Stmt::AssignIndex { name, index, value });
+                }
+            }
+            self.pos = save;
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    // --- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let r = self.and_expr()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let r = self.cmp_expr()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.add_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                // Fold literal negation so "-5" is a literal.
+                Ok(match e {
+                    Expr::Int(v) => Expr::Int(-v),
+                    Expr::Float(v) => Expr::Float(-v),
+                    other => Expr::Un(UnOp::Neg, Box::new(other)),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Not, Box::new(e)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        // `int(...)` and `float(...)` are cast calls even though `int` and
+        // `float` are keywords.
+        if matches!(self.peek(), TokenKind::KwInt | TokenKind::KwFloat) {
+            let name = if matches!(self.peek(), TokenKind::KwInt) { "int" } else { "float" };
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Call(name.to_string(), vec![e]));
+        }
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat(&TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError { msg: format!("expected expression, found {other:?}"), line }),
+        }
+    }
+}
+
+/// Parse a token stream into a program.
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn globals() {
+        let p = parse_src("global int n = 100; global float u[64]; global float c = 0.5;");
+        let g: Vec<_> = p.globals().collect();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].init, Some(Expr::Int(100)));
+        assert_eq!(g[1].len, Some(64));
+        assert_eq!(g[2].ty, Ty::Float);
+    }
+
+    #[test]
+    fn function_with_params_and_return() {
+        let p = parse_src("fn f(int a, float b) -> float { return b; }");
+        let f = p.functions().next().unwrap();
+        assert_eq!(f.params, vec![("a".into(), Ty::Int), ("b".into(), Ty::Float)]);
+        assert_eq!(f.ret, Ty::Float);
+        assert_eq!(f.body, vec![Stmt::Return(Some(Expr::Var("b".into())))]);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("fn m() { x = 1 + 2 * 3; }");
+        let Stmt::Assign { value, .. } = &p.functions().next().unwrap().body[0] else {
+            panic!()
+        };
+        // 1 + (2*3)
+        assert_eq!(
+            *value,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))))
+            )
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let p = parse_src("fn m() { if (a < b && c != 0) { x = 1; } else { x = 2; } }");
+        let Stmt::If { cond, then, els } = &p.functions().next().unwrap().body[0] else {
+            panic!()
+        };
+        assert!(matches!(cond, Expr::Bin(BinOp::And, _, _)));
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse_src("fn m() { if (a) { } else if (b) { x = 1; } else { x = 2; } }");
+        let Stmt::If { els, .. } = &p.functions().next().unwrap().body[0] else { panic!() };
+        assert!(matches!(&els[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn for_loop() {
+        let p = parse_src("fn m() { for (i = 0; i < 10; i = i + 1) { s = s + i; } }");
+        let Stmt::For { init, cond, step, body } = &p.functions().next().unwrap().body[0] else {
+            panic!()
+        };
+        assert!(matches!(**init, Stmt::Assign { .. }));
+        assert!(matches!(cond, Expr::Bin(BinOp::Lt, _, _)));
+        assert!(matches!(**step, Stmt::Assign { .. }));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn array_read_write_and_calls() {
+        let p = parse_src("fn m() { u[i+1] = f(u[i], 2.0); g(); }");
+        let body = &p.functions().next().unwrap().body;
+        assert!(matches!(&body[0], Stmt::AssignIndex { .. }));
+        assert!(matches!(&body[1], Stmt::Expr(Expr::Call(_, _))));
+    }
+
+    #[test]
+    fn unary_folding() {
+        let p = parse_src("fn m() { x = -5; y = -2.5; z = -(a); }");
+        let body = &p.functions().next().unwrap().body;
+        assert!(matches!(&body[0], Stmt::Assign { value: Expr::Int(-5), .. }));
+        assert!(matches!(&body[1], Stmt::Assign { value: Expr::Float(v), .. } if *v == -2.5));
+        assert!(matches!(&body[2], Stmt::Assign { value: Expr::Un(UnOp::Neg, _), .. }));
+    }
+
+    #[test]
+    fn local_arrays() {
+        let p = parse_src("fn m() { var float buf[8]; var int i; }");
+        let body = &p.functions().next().unwrap().body;
+        assert_eq!(body[0], Stmt::Var { name: "buf".into(), ty: Ty::Float, len: Some(8) });
+        assert_eq!(body[1], Stmt::Var { name: "i".into(), ty: Ty::Int, len: None });
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let toks = lex("fn m() {\n  x = ;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn array_global_with_init_rejected() {
+        let toks = lex("global int a[4] = 3;").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+}

@@ -1,0 +1,774 @@
+//! Semantic analysis: name resolution, type checking, frame layout.
+//!
+//! Produces a typed program ([`TProgram`]) in which every variable
+//! reference is resolved to a *place* (a global symbol or an EBP-relative
+//! frame slot) and every expression carries its type, with implicit
+//! int↔float conversions made explicit as [`TExprKind::Cast`] nodes.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError { msg: msg.into() })
+}
+
+/// Where a resolved variable lives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// A global, addressed by symbol name (the linker assigns addresses).
+    Global(String),
+    /// An EBP-relative slot (negative: locals; positive: parameters).
+    Frame(i32),
+}
+
+/// A resolved variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSlot {
+    /// Element type.
+    pub ty: Ty,
+    /// Array length if the variable is an array.
+    pub len: Option<u32>,
+    /// Location.
+    pub place: Place,
+}
+
+/// Builtin functions, each with a bespoke lowering in codegen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    PrintStr,
+    PrintInt,
+    PrintFlt,
+    FwriteStr,
+    FwriteFlt,
+    FwriteBin,
+    AbortMsg,
+    Assert,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Ln,
+    FAbs,
+    IsNan,
+    CastInt,
+    CastFloat,
+    Addr,
+    LoadI,
+    LoadF,
+    StoreI,
+    StoreF,
+    Malloc,
+    Free,
+    MpiInit,
+    MpiRank,
+    MpiSize,
+    MpiSend,
+    MpiRecv,
+    MpiBarrier,
+    MpiBcast,
+    MpiReduce,
+    MpiAllreduce,
+    MpiFinalize,
+    MpiAbort,
+    MpiErrhandlerSet,
+}
+
+impl Builtin {
+    /// Parse a builtin name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "print_str" => PrintStr,
+            "print_int" => PrintInt,
+            "print_flt" => PrintFlt,
+            "fwrite_str" => FwriteStr,
+            "fwrite_flt" => FwriteFlt,
+            "fwrite_bin" => FwriteBin,
+            "abort_msg" => AbortMsg,
+            "assert" => Assert,
+            "sqrt" => Sqrt,
+            "sin" => Sin,
+            "cos" => Cos,
+            "exp" => Exp,
+            "ln" => Ln,
+            "fabs" => FAbs,
+            "isnan" => IsNan,
+            "int" => CastInt,
+            "float" => CastFloat,
+            "addr" => Addr,
+            "loadi" => LoadI,
+            "loadf" => LoadF,
+            "storei" => StoreI,
+            "storef" => StoreF,
+            "malloc" => Malloc,
+            "free" => Free,
+            "mpi_init" => MpiInit,
+            "mpi_rank" => MpiRank,
+            "mpi_size" => MpiSize,
+            "mpi_send" => MpiSend,
+            "mpi_recv" => MpiRecv,
+            "mpi_barrier" => MpiBarrier,
+            "mpi_bcast" => MpiBcast,
+            "mpi_reduce" => MpiReduce,
+            "mpi_allreduce" => MpiAllreduce,
+            "mpi_finalize" => MpiFinalize,
+            "mpi_abort" => MpiAbort,
+            "mpi_errhandler_set" => MpiErrhandlerSet,
+            _ => return None,
+        })
+    }
+
+    /// (parameter types, return type). `Str` params are encoded as `None`.
+    fn signature(self) -> (Vec<Option<Ty>>, Ty) {
+        use Builtin::*;
+        use Ty::*;
+        match self {
+            PrintStr | FwriteStr | AbortMsg => (vec![None], Void),
+            PrintInt => (vec![Some(Int)], Void),
+            PrintFlt | FwriteFlt => (vec![Some(Float), Some(Int)], Void),
+            FwriteBin => (vec![Some(Float)], Void),
+            Assert => (vec![Some(Int), None], Void),
+            Sqrt | Sin | Cos | Exp | Ln | FAbs => (vec![Some(Float)], Float),
+            IsNan => (vec![Some(Float)], Int),
+            CastInt => (vec![Some(Float)], Int),
+            CastFloat => (vec![Some(Int)], Float),
+            Addr => (vec![], Int), // checked specially
+            LoadI => (vec![Some(Int)], Int),
+            LoadF => (vec![Some(Int)], Float),
+            StoreI => (vec![Some(Int), Some(Int)], Void),
+            StoreF => (vec![Some(Int), Some(Float)], Void),
+            Malloc => (vec![Some(Int)], Int),
+            Free => (vec![Some(Int)], Void),
+            MpiInit | MpiBarrier | MpiFinalize | MpiAbort => (vec![], Void),
+            MpiRank | MpiSize => (vec![], Int),
+            MpiSend => (vec![Some(Int), Some(Int), Some(Int), Some(Int)], Void),
+            MpiRecv => (vec![Some(Int), Some(Int), Some(Int), Some(Int)], Int),
+            MpiBcast => (vec![Some(Int), Some(Int), Some(Int)], Void),
+            MpiReduce => (vec![Some(Int), Some(Int), Some(Int), Some(Int)], Void),
+            MpiAllreduce => (vec![Some(Int), Some(Int), Some(Int)], Void),
+            MpiErrhandlerSet => (vec![Some(Int)], Void),
+        }
+    }
+
+    /// True for the MPI builtins, which compile to *library calls* into
+    /// the wrapper functions at 0x40000000 rather than inline code.
+    pub fn is_mpi(self) -> bool {
+        use Builtin::*;
+        matches!(
+            self,
+            MpiInit
+                | MpiRank
+                | MpiSize
+                | MpiSend
+                | MpiRecv
+                | MpiBarrier
+                | MpiBcast
+                | MpiReduce
+                | MpiAllreduce
+                | MpiFinalize
+                | MpiAbort
+                | MpiErrhandlerSet
+        )
+    }
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TExpr {
+    /// Result type.
+    pub ty: Ty,
+    /// Node.
+    pub kind: TExprKind,
+}
+
+/// Typed expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExprKind {
+    ConstInt(i32),
+    ConstFloat(f64),
+    /// String literal (builtin argument only; the linker pools it).
+    Str(String),
+    /// Scalar variable read.
+    Read(VarSlot),
+    /// Array element read.
+    ReadIndex(VarSlot, Box<TExpr>),
+    /// Address of a variable or element.
+    AddrOf(VarSlot, Option<Box<TExpr>>),
+    Bin(BinOp, Box<TExpr>, Box<TExpr>),
+    Un(UnOp, Box<TExpr>),
+    /// int→float or float→int conversion.
+    Cast(Box<TExpr>),
+    /// User function call.
+    CallFn { name: String, args: Vec<TExpr> },
+    /// Builtin invocation.
+    CallBuiltin { b: Builtin, args: Vec<TExpr> },
+}
+
+/// A typed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TStmt {
+    Assign { slot: VarSlot, value: TExpr },
+    AssignIndex { slot: VarSlot, index: TExpr, value: TExpr },
+    Expr(TExpr),
+    If { cond: TExpr, then: Vec<TStmt>, els: Vec<TStmt> },
+    While { cond: TExpr, body: Vec<TStmt> },
+    Return(Option<TExpr>),
+}
+
+/// A typed function with its frame layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Frame bytes to reserve below EBP for locals.
+    pub frame_size: u32,
+    /// Bytes of arguments the caller pushes.
+    pub arg_bytes: u32,
+    /// Body.
+    pub body: Vec<TStmt>,
+}
+
+/// Global initialiser values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitVal {
+    Int(i32),
+    Float(f64),
+    /// Array filled deterministically from a seed (the FL analogue of an
+    /// initialised Fortran/C table; lives in the data section).
+    Seeded(u64),
+}
+
+/// A typed global.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TGlobal {
+    /// Symbol name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Array length for arrays.
+    pub len: Option<u32>,
+    /// Initial value; `None` places the global in BSS.
+    pub init: Option<InitVal>,
+}
+
+impl TGlobal {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.ty.size() * self.len.unwrap_or(1)
+    }
+}
+
+/// The analyzed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TProgram {
+    /// Globals in declaration order.
+    pub globals: Vec<TGlobal>,
+    /// Functions in declaration order.
+    pub functions: Vec<TFunction>,
+}
+
+struct FnSig {
+    params: Vec<Ty>,
+    ret: Ty,
+}
+
+struct Analyzer<'a> {
+    globals: HashMap<String, (Ty, Option<u32>)>,
+    fns: HashMap<String, FnSig>,
+    /// Current function's variables.
+    vars: HashMap<String, VarSlot>,
+    ret: Ty,
+    fname: &'a str,
+}
+
+impl<'a> Analyzer<'a> {
+    fn lookup(&self, name: &str) -> Result<VarSlot, SemaError> {
+        if let Some(v) = self.vars.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(&(ty, len)) = self.globals.get(name) {
+            return Ok(VarSlot { ty, len, place: Place::Global(name.to_string()) });
+        }
+        err(format!("{}: unknown variable `{name}`", self.fname))
+    }
+
+    fn coerce(&self, e: TExpr, want: Ty) -> Result<TExpr, SemaError> {
+        if e.ty == want {
+            return Ok(e);
+        }
+        match (e.ty, want) {
+            (Ty::Int, Ty::Float) | (Ty::Float, Ty::Int) => {
+                Ok(TExpr { ty: want, kind: TExprKind::Cast(Box::new(e)) })
+            }
+            (have, want) => {
+                err(format!("{}: type mismatch: have {have:?}, want {want:?}", self.fname))
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> Result<TExpr, SemaError> {
+        match e {
+            Expr::Int(v) => {
+                let v32 = i32::try_from(*v)
+                    .map_err(|_| SemaError { msg: format!("int literal {v} out of range") })?;
+                Ok(TExpr { ty: Ty::Int, kind: TExprKind::ConstInt(v32) })
+            }
+            Expr::Float(v) => Ok(TExpr { ty: Ty::Float, kind: TExprKind::ConstFloat(*v) }),
+            Expr::Str(s) => Ok(TExpr { ty: Ty::Void, kind: TExprKind::Str(s.clone()) }),
+            Expr::Var(name) => {
+                let slot = self.lookup(name)?;
+                if slot.len.is_some() {
+                    return err(format!(
+                        "{}: array `{name}` used as a scalar (index it or take addr())",
+                        self.fname
+                    ));
+                }
+                Ok(TExpr { ty: slot.ty, kind: TExprKind::Read(slot) })
+            }
+            Expr::Index(name, idx) => {
+                let slot = self.lookup(name)?;
+                if slot.len.is_none() {
+                    return err(format!("{}: `{name}` is not an array", self.fname));
+                }
+                let ti = self.coerce(self.expr(idx)?, Ty::Int)?;
+                Ok(TExpr { ty: slot.ty, kind: TExprKind::ReadIndex(slot, Box::new(ti)) })
+            }
+            Expr::Un(op, inner) => {
+                let ti = self.expr(inner)?;
+                match op {
+                    UnOp::Neg => {
+                        if ti.ty == Ty::Void {
+                            return err(format!("{}: negating a void value", self.fname));
+                        }
+                        Ok(TExpr { ty: ti.ty, kind: TExprKind::Un(UnOp::Neg, Box::new(ti)) })
+                    }
+                    UnOp::Not => {
+                        let ti = self.coerce(ti, Ty::Int)?;
+                        Ok(TExpr { ty: Ty::Int, kind: TExprKind::Un(UnOp::Not, Box::new(ti)) })
+                    }
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let tl = self.expr(l)?;
+                let tr = self.expr(r)?;
+                if op.is_logical() {
+                    let tl = self.coerce(tl, Ty::Int)?;
+                    let tr = self.coerce(tr, Ty::Int)?;
+                    return Ok(TExpr {
+                        ty: Ty::Int,
+                        kind: TExprKind::Bin(*op, Box::new(tl), Box::new(tr)),
+                    });
+                }
+                // Numeric: promote to float if either side is float.
+                let common = if tl.ty == Ty::Float || tr.ty == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
+                if *op == BinOp::Mod && common == Ty::Float {
+                    return err(format!("{}: `%` requires integer operands", self.fname));
+                }
+                let tl = self.coerce(tl, common)?;
+                let tr = self.coerce(tr, common)?;
+                let ty = if op.is_cmp() { Ty::Int } else { common };
+                Ok(TExpr { ty, kind: TExprKind::Bin(*op, Box::new(tl), Box::new(tr)) })
+            }
+            Expr::Call(name, args) => self.call(name, args),
+        }
+    }
+
+    fn call(&self, name: &str, args: &[Expr]) -> Result<TExpr, SemaError> {
+        if let Some(b) = Builtin::from_name(name) {
+            // addr(x) / addr(x[i]) need the unresolved lvalue.
+            if b == Builtin::Addr {
+                if args.len() != 1 {
+                    return err(format!("{}: addr() takes exactly one argument", self.fname));
+                }
+                return match &args[0] {
+                    Expr::Var(n) => {
+                        let slot = self.lookup(n)?;
+                        Ok(TExpr { ty: Ty::Int, kind: TExprKind::AddrOf(slot, None) })
+                    }
+                    Expr::Index(n, idx) => {
+                        let slot = self.lookup(n)?;
+                        if slot.len.is_none() {
+                            return err(format!("{}: `{n}` is not an array", self.fname));
+                        }
+                        let ti = self.coerce(self.expr(idx)?, Ty::Int)?;
+                        Ok(TExpr {
+                            ty: Ty::Int,
+                            kind: TExprKind::AddrOf(slot, Some(Box::new(ti))),
+                        })
+                    }
+                    _ => err(format!("{}: addr() needs a variable or element", self.fname)),
+                };
+            }
+            let (params, ret) = b.signature();
+            if args.len() != params.len() {
+                return err(format!(
+                    "{}: builtin `{name}` expects {} args, got {}",
+                    self.fname,
+                    params.len(),
+                    args.len()
+                ));
+            }
+            let mut targs = Vec::new();
+            for (a, p) in args.iter().zip(&params) {
+                let ta = self.expr(a)?;
+                match p {
+                    None => {
+                        if !matches!(ta.kind, TExprKind::Str(_)) {
+                            return err(format!(
+                                "{}: builtin `{name}` expects a string literal here",
+                                self.fname
+                            ));
+                        }
+                        targs.push(ta);
+                    }
+                    Some(want) => targs.push(self.coerce(ta, *want)?),
+                }
+            }
+            return Ok(TExpr { ty: ret, kind: TExprKind::CallBuiltin { b, args: targs } });
+        }
+        let sig = self
+            .fns
+            .get(name)
+            .ok_or_else(|| SemaError { msg: format!("{}: unknown function `{name}`", self.fname) })?;
+        if args.len() != sig.params.len() {
+            return err(format!(
+                "{}: `{name}` expects {} args, got {}",
+                self.fname,
+                sig.params.len(),
+                args.len()
+            ));
+        }
+        let mut targs = Vec::new();
+        for (a, &p) in args.iter().zip(&sig.params) {
+            let ta = self.expr(a)?;
+            targs.push(self.coerce(ta, p)?);
+        }
+        Ok(TExpr { ty: sig.ret, kind: TExprKind::CallFn { name: name.to_string(), args: targs } })
+    }
+
+    fn stmts(&self, body: &[Stmt]) -> Result<Vec<TStmt>, SemaError> {
+        let mut out = Vec::new();
+        for s in body {
+            match s {
+                Stmt::Var { .. } => {} // hoisted in layout pass
+                Stmt::Assign { name, value } => {
+                    let slot = self.lookup(name)?;
+                    if slot.len.is_some() {
+                        return err(format!("{}: cannot assign whole array `{name}`", self.fname));
+                    }
+                    let v = self.coerce(self.expr(value)?, slot.ty)?;
+                    out.push(TStmt::Assign { slot, value: v });
+                }
+                Stmt::AssignIndex { name, index, value } => {
+                    let slot = self.lookup(name)?;
+                    if slot.len.is_none() {
+                        return err(format!("{}: `{name}` is not an array", self.fname));
+                    }
+                    let ti = self.coerce(self.expr(index)?, Ty::Int)?;
+                    let v = self.coerce(self.expr(value)?, slot.ty)?;
+                    out.push(TStmt::AssignIndex { slot, index: ti, value: v });
+                }
+                Stmt::Expr(e) => {
+                    out.push(TStmt::Expr(self.expr(e)?));
+                }
+                Stmt::If { cond, then, els } => {
+                    let c = self.coerce(self.expr(cond)?, Ty::Int)?;
+                    out.push(TStmt::If { cond: c, then: self.stmts(then)?, els: self.stmts(els)? });
+                }
+                Stmt::While { cond, body } => {
+                    let c = self.coerce(self.expr(cond)?, Ty::Int)?;
+                    out.push(TStmt::While { cond: c, body: self.stmts(body)? });
+                }
+                Stmt::For { init, cond, step, body } => {
+                    // Desugar: init; while (cond) { body; step; }
+                    let mut init_t = self.stmts(std::slice::from_ref(init))?;
+                    let c = self.coerce(self.expr(cond)?, Ty::Int)?;
+                    let mut b = self.stmts(body)?;
+                    b.extend(self.stmts(std::slice::from_ref(step))?);
+                    out.append(&mut init_t);
+                    out.push(TStmt::While { cond: c, body: b });
+                }
+                Stmt::Return(v) => {
+                    let tv = match (v, self.ret) {
+                        (None, Ty::Void) => None,
+                        (None, other) => {
+                            return err(format!(
+                                "{}: return without value in {other:?} function",
+                                self.fname
+                            ))
+                        }
+                        (Some(_), Ty::Void) => {
+                            return err(format!(
+                                "{}: return with value in void function",
+                                self.fname
+                            ))
+                        }
+                        (Some(e), want) => Some(self.coerce(self.expr(e)?, want)?),
+                    };
+                    out.push(TStmt::Return(tv));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Recursively collect `var` declarations (FL hoists them to the frame).
+fn collect_vars(body: &[Stmt], out: &mut Vec<(String, Ty, Option<u32>)>) {
+    for s in body {
+        match s {
+            Stmt::Var { name, ty, len } => out.push((name.clone(), *ty, *len)),
+            Stmt::If { then, els, .. } => {
+                collect_vars(then, out);
+                collect_vars(els, out);
+            }
+            Stmt::While { body, .. } => collect_vars(body, out),
+            Stmt::For { init, step, body, .. } => {
+                collect_vars(std::slice::from_ref(init), out);
+                collect_vars(std::slice::from_ref(step), out);
+                collect_vars(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Analyze a parsed program.
+pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
+    // Globals.
+    let mut globals = Vec::new();
+    let mut gmap = HashMap::new();
+    for g in p.globals() {
+        if gmap.insert(g.name.clone(), (g.ty, g.len)).is_some() {
+            return err(format!("duplicate global `{}`", g.name));
+        }
+        let init = match &g.init {
+            None => None,
+            Some(Expr::Call(name, args)) if name == "seeded" => {
+                if g.len.is_none() {
+                    return err(format!("global `{}`: seeded() is for arrays", g.name));
+                }
+                match args.as_slice() {
+                    [Expr::Int(s)] if *s >= 0 => Some(InitVal::Seeded(*s as u64)),
+                    _ => return err(format!("global `{}`: seeded(<int>) required", g.name)),
+                }
+            }
+            Some(Expr::Int(v)) => {
+                let v32 = i32::try_from(*v)
+                    .map_err(|_| SemaError { msg: format!("initialiser {v} out of range") })?;
+                match g.ty {
+                    Ty::Int => Some(InitVal::Int(v32)),
+                    Ty::Float => Some(InitVal::Float(v32 as f64)),
+                    Ty::Void => unreachable!(),
+                }
+            }
+            Some(Expr::Float(v)) => match g.ty {
+                Ty::Float => Some(InitVal::Float(*v)),
+                _ => return err(format!("global `{}`: float initialiser for int", g.name)),
+            },
+            Some(_) => {
+                return err(format!("global `{}`: initialiser must be a literal", g.name))
+            }
+        };
+        globals.push(TGlobal { name: g.name.clone(), ty: g.ty, len: g.len, init });
+    }
+
+    // Function signatures.
+    let mut fns = HashMap::new();
+    for f in p.functions() {
+        if Builtin::from_name(&f.name).is_some() {
+            return err(format!("function `{}` shadows a builtin", f.name));
+        }
+        let sig = FnSig { params: f.params.iter().map(|(_, t)| *t).collect(), ret: f.ret };
+        if fns.insert(f.name.clone(), sig).is_some() {
+            return err(format!("duplicate function `{}`", f.name));
+        }
+    }
+
+    // Bodies.
+    let mut functions = Vec::new();
+    for f in p.functions() {
+        let mut vars: HashMap<String, VarSlot> = HashMap::new();
+        // Parameters: pushed right-to-left, so the first parameter is at
+        // EBP+8.
+        let mut off = 8i32;
+        for (name, ty) in &f.params {
+            if vars
+                .insert(
+                    name.clone(),
+                    VarSlot { ty: *ty, len: None, place: Place::Frame(off) },
+                )
+                .is_some()
+            {
+                return err(format!("{}: duplicate parameter `{name}`", f.name));
+            }
+            off += ty.size() as i32;
+        }
+        let arg_bytes = (off - 8) as u32;
+        // Locals: hoisted, 8-byte aligned frame.
+        let mut decls = Vec::new();
+        collect_vars(&f.body, &mut decls);
+        let mut frame = 0u32;
+        for (name, ty, len) in decls {
+            let size = ty.size() * len.unwrap_or(1);
+            frame = (frame + size + (ty.size() - 1)) & !(ty.size() - 1);
+            let slot = VarSlot { ty, len, place: Place::Frame(-(frame as i32)) };
+            if vars.contains_key(&name) {
+                return err(format!("{}: duplicate variable `{name}`", f.name));
+            }
+            vars.insert(name, slot);
+        }
+        // Real compilers pad and align frames generously (gcc -O0 keeps
+        // 16-byte alignment plus spill headroom); the resulting dead
+        // bytes are exactly why the paper's stack-fault rate stays at
+        // 9-13 % even though every walked frame is live.
+        let frame_size = ((frame + 15) & !15) + 32;
+        if frame_size >= 2040 {
+            // 12-bit displacement limit of Ld/St minus headroom; large
+            // buffers belong in globals or on the heap.
+            return err(format!(
+                "{}: frame of {frame_size} bytes exceeds the 2 KB frame limit",
+                f.name
+            ));
+        }
+        let a = Analyzer { globals: gmap.clone(), fns, vars, ret: f.ret, fname: &f.name };
+        let body = a.stmts(&f.body)?;
+        fns = a.fns; // move back
+        functions.push(TFunction {
+            name: f.name.clone(),
+            ret: f.ret,
+            frame_size,
+            arg_bytes,
+            body,
+        });
+    }
+    Ok(TProgram { globals, functions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<TProgram, SemaError> {
+        analyze(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn globals_data_vs_bss() {
+        let p = analyze_src("global int a = 3; global float b; global float c[8];").unwrap();
+        assert_eq!(p.globals[0].init, Some(InitVal::Int(3)));
+        assert_eq!(p.globals[1].init, None);
+        assert_eq!(p.globals[2].size(), 64);
+    }
+
+    #[test]
+    fn int_literal_promotes_in_float_global() {
+        let p = analyze_src("global float x = 2;").unwrap();
+        assert_eq!(p.globals[0].init, Some(InitVal::Float(2.0)));
+    }
+
+    #[test]
+    fn frame_layout_and_params() {
+        let p = analyze_src(
+            "fn f(int a, float b) -> int { var int x; var float y; var float buf[4]; return a; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.arg_bytes, 12);
+        // x:4, y:8 (aligned), buf:32 -> frame >= 44, 8-aligned.
+        assert!(f.frame_size >= 44);
+        assert_eq!(f.frame_size % 8, 0);
+    }
+
+    #[test]
+    fn implicit_promotion_in_binops() {
+        let p = analyze_src("fn f() -> float { var int i; i = 3; return i * 2.5; }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body.last().unwrap() else { panic!() };
+        assert_eq!(e.ty, Ty::Float);
+        let TExprKind::Bin(BinOp::Mul, l, _) = &e.kind else { panic!() };
+        assert!(matches!(l.kind, TExprKind::Cast(_)));
+    }
+
+    #[test]
+    fn comparisons_yield_int() {
+        let p = analyze_src("fn f() -> int { return 1.5 < 2.5; }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(e.ty, Ty::Int);
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let p =
+            analyze_src("fn f() { var int i; for (i = 0; i < 3; i = i + 1) { } }").unwrap();
+        assert!(matches!(p.functions[0].body[1], TStmt::While { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(analyze_src("fn f() { x = 1; }").is_err()); // unknown var
+        assert!(analyze_src("fn f() { f(1); }").is_err()); // arity
+        assert!(analyze_src("fn f() -> int { return; }").is_err());
+        assert!(analyze_src("fn f() { return 1; }").is_err());
+        assert!(analyze_src("global int a; global int a;").is_err());
+        assert!(analyze_src("fn f() {} fn f() {}").is_err());
+        assert!(analyze_src("fn sqrt(float x) -> float { return x; }").is_err()); // shadows builtin
+        assert!(analyze_src("fn f() { var float a[4]; a = 1.0; }").is_err()); // whole-array assign
+        assert!(analyze_src("fn f() { var int i; i = 1.0 % 2.0; }").is_err()); // float mod
+        assert!(analyze_src("fn f() { var float big[300]; }").is_err()); // frame limit
+    }
+
+    #[test]
+    fn builtins_check_string_args() {
+        assert!(analyze_src(r#"fn f() { print_str("ok"); }"#).is_ok());
+        assert!(analyze_src("fn f() { var int x; x = 1; print_str(x); }").is_err());
+        assert!(analyze_src(r#"fn f() { assert(1 < 2, "msg"); }"#).is_ok());
+    }
+
+    #[test]
+    fn addr_of_global_and_element() {
+        let p = analyze_src(
+            "global float u[16]; fn f() -> int { return addr(u[3]); }",
+        )
+        .unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(e.kind, TExprKind::AddrOf(_, Some(_))));
+        assert!(analyze_src("fn f() -> int { return addr(1 + 2); }").is_err());
+    }
+
+    #[test]
+    fn mpi_builtins_typed() {
+        let src = "global float buf[8];
+                   fn f() { mpi_init(); mpi_send(addr(buf), 64, 1, 7); mpi_finalize(); }";
+        assert!(analyze_src(src).is_ok());
+    }
+
+    #[test]
+    fn array_as_scalar_rejected() {
+        assert!(analyze_src("global int a[4]; fn f() -> int { return a; }").is_err());
+        assert!(analyze_src("global int a; fn f() -> int { return a[0]; }").is_err());
+    }
+}

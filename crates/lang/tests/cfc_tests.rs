@@ -1,0 +1,120 @@
+//! Tests for control-flow signature checking (§8.2's software-signature
+//! defence, compiled in via [`fl_lang::CompileOptions`]).
+
+use fl_lang::{compile, compile_with, CompileOptions};
+use fl_machine::{Exit, Machine, MachineConfig};
+
+const PROGRAM: &str = "
+fn helper(int x) -> int {
+    var int acc;
+    var int i;
+    acc = 0;
+    for (i = 0; i < x; i = i + 1) { acc = acc + i; }
+    return acc;
+}
+fn main() { print_int(helper(10)); }
+";
+
+fn cfc() -> CompileOptions {
+    CompileOptions { control_flow_checks: true }
+}
+
+#[test]
+fn instrumented_program_behaves_identically() {
+    let plain = compile(PROGRAM).unwrap();
+    let checked = compile_with(PROGRAM, &cfc()).unwrap();
+    let mut a = Machine::load(&plain, MachineConfig::default());
+    let mut b = Machine::load(&checked, MachineConfig::default());
+    assert_eq!(a.run(1_000_000), Exit::Halted(0));
+    assert_eq!(b.run(1_000_000), Exit::Halted(0));
+    assert_eq!(a.console_text(), b.console_text());
+}
+
+#[test]
+fn instrumentation_has_modest_overhead() {
+    let plain = compile(PROGRAM).unwrap();
+    let checked = compile_with(PROGRAM, &cfc()).unwrap();
+    let mut a = Machine::load(&plain, MachineConfig::default());
+    let mut b = Machine::load(&checked, MachineConfig::default());
+    a.run(1_000_000);
+    b.run(1_000_000);
+    let (ia, ib) = (a.counters.insns, b.counters.insns);
+    assert!(ib > ia, "instrumentation must add instructions");
+    let overhead = (ib - ia) as f64 / ia as f64;
+    assert!(overhead < 0.40, "overhead too high: {ia} -> {ib}");
+}
+
+#[test]
+fn wild_jump_into_function_body_is_detected() {
+    // Jump straight into helper's body (skipping Enter + signature
+    // store): the frame slot holds garbage, the epilogue check fires.
+    let checked = compile_with(PROGRAM, &cfc()).unwrap();
+    let helper = checked.symbols.iter().find(|s| s.name == "helper").unwrap();
+    let mut m = Machine::load(&checked, MachineConfig { budget: 1_000_000, ..Default::default() });
+    // Let main set up its own frame first.
+    for _ in 0..4 {
+        assert!(m.step().is_none());
+    }
+    // Land past the prologue (Enter=2w, MovI=2w, St=1w -> +20 bytes).
+    m.cpu.eip = helper.addr + 20;
+    match m.run(1_000_000) {
+        Exit::Abort(msg) => assert!(msg.contains("control flow"), "{msg}"),
+        // Depending on the landing state a SIGSEGV can pre-empt the
+        // check; re-land exactly at the first post-prologue instruction
+        // should not though.
+        other => panic!("expected control-flow abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn uninstrumented_program_misses_the_same_fault() {
+    let plain = compile(PROGRAM).unwrap();
+    let helper = plain.symbols.iter().find(|s| s.name == "helper").unwrap();
+    let mut m = Machine::load(&plain, MachineConfig { budget: 1_000_000, ..Default::default() });
+    for _ in 0..4 {
+        assert!(m.step().is_none());
+    }
+    m.cpu.eip = helper.addr + 4; // past Enter only
+    let exit = m.run(1_000_000);
+    assert!(
+        !matches!(exit, Exit::Abort(_)),
+        "plain build has no check to fire: {exit:?}"
+    );
+}
+
+#[test]
+fn signatures_are_per_function() {
+    // Two functions' prologues must deposit different signatures, or a
+    // cross-function jump would validate.
+    let src = "fn a() -> int { return 1; }
+               fn b() -> int { return 2; }
+               fn main() { print_int(a() + b()); }";
+    let img = compile_with(src, &cfc()).unwrap();
+    // Extract the MovI immediates right after each Enter.
+    let words: Vec<u32> = img
+        .text
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let mut sigs = Vec::new();
+    let mut idx = 0;
+    while idx < words.len() {
+        match fl_isa::decode_at(&words, idx) {
+            Ok((fl_isa::Insn::Enter { .. }, len)) => {
+                if let Ok((fl_isa::Insn::MovI { imm, .. }, _)) =
+                    fl_isa::decode_at(&words, idx + len)
+                {
+                    sigs.push(imm);
+                }
+                idx += len;
+            }
+            Ok((_, len)) => idx += len,
+            Err(_) => idx += 1,
+        }
+    }
+    sigs.sort_unstable();
+    let before = sigs.len();
+    sigs.dedup();
+    assert_eq!(sigs.len(), before, "duplicate signatures");
+    assert!(sigs.len() >= 3, "expected at least three instrumented functions");
+}

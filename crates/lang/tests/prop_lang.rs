@@ -1,0 +1,121 @@
+//! Property tests for the compiler pipeline: totality of lexing/parsing
+//! on arbitrary input, and compile-and-run correctness of generated
+//! integer arithmetic against a Rust reference evaluator.
+
+use fl_lang::{compile, lex, parse};
+use fl_machine::{Exit, Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// A small expression AST mirrored in both FL source and Rust semantics.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_fl(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.to_fl(), b.to_fl()),
+            E::Sub(a, b) => format!("({} - {})", a.to_fl(), b.to_fl()),
+            E::Mul(a, b) => format!("({} * {})", a.to_fl(), b.to_fl()),
+        }
+    }
+
+    /// Wrapping i32 semantics, as the machine implements.
+    fn eval(&self) -> i32 {
+        match self {
+            E::Lit(v) => *v,
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-1000i32..1000).prop_map(E::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(s in "\\PC*") {
+        let _ = lex(&s);
+    }
+
+    /// The parser never panics on arbitrary token streams from valid
+    /// lexes of printable garbage.
+    #[test]
+    fn parser_total(s in "[a-z0-9 (){};=+*<>!,._\\-\"\\[\\]]*") {
+        if let Ok(toks) = lex(&s) {
+            let _ = parse(&toks);
+        }
+    }
+
+    /// Compiled integer arithmetic matches wrapping Rust semantics.
+    #[test]
+    fn integer_arithmetic_matches_reference(e in arb_expr()) {
+        let src = format!("fn main() {{ print_int({}); }}", e.to_fl());
+        let img = compile(&src).unwrap();
+        let mut m = Machine::load(&img, MachineConfig { budget: 1_000_000, ..Default::default() });
+        let exit = m.run(u64::MAX);
+        prop_assert_eq!(exit, Exit::Halted(0));
+        prop_assert_eq!(m.console_text(), e.eval().to_string());
+    }
+
+    /// Compiled float arithmetic (additions/multiplications on literal
+    /// trees) matches Rust f64 semantics at printed precision.
+    #[test]
+    fn float_sums_match_reference(vals in proptest::collection::vec(-100.0f64..100.0, 1..8)) {
+        let expr = vals.iter().map(|v| format!("({v:.6})")).collect::<Vec<_>>().join(" + ");
+        let src = format!("fn main() {{ print_flt({expr}, 6); }}");
+        let img = compile(&src).unwrap();
+        let mut m = Machine::load(&img, MachineConfig { budget: 1_000_000, ..Default::default() });
+        prop_assert_eq!(m.run(u64::MAX), Exit::Halted(0));
+        let want: f64 = vals.iter().map(|v| format!("{v:.6}").parse::<f64>().unwrap()).sum();
+        prop_assert_eq!(m.console_text(), format!("{want:.6}"));
+    }
+
+    /// Loops compute the same sums as Rust.
+    #[test]
+    fn loop_sums_match_reference(n in 0i32..200, step in 1i32..5) {
+        let src = format!(
+            "fn main() {{
+                 var int i;
+                 var int acc;
+                 acc = 0;
+                 for (i = 0; i < {n}; i = i + {step}) {{ acc = acc + i; }}
+                 print_int(acc);
+             }}"
+        );
+        let img = compile(&src).unwrap();
+        let mut m = Machine::load(&img, MachineConfig { budget: 10_000_000, ..Default::default() });
+        prop_assert_eq!(m.run(u64::MAX), Exit::Halted(0));
+        let mut want = 0i32;
+        let mut i = 0;
+        while i < n {
+            want += i;
+            i += step;
+        }
+        prop_assert_eq!(m.console_text(), want.to_string());
+    }
+}

@@ -1,0 +1,283 @@
+//! Software model of the x87 80-bit extended-precision floating point
+//! register format.
+//!
+//! The paper (§6.1.1) attributes part of the FPU's low fault sensitivity to
+//! the register format itself: "because the FPU data registers are 80 bits
+//! long ... some bits are discarded when the value in FPU data register is
+//! written to memory". To reproduce that masking effect we model the
+//! *storage format* bit-exactly — sign, 15-bit exponent, and a 64-bit
+//! significand with an **explicit** integer bit — so that a fault injected
+//! into the low bits of a register's significand is genuinely rounded away
+//! by the 80→64-bit store conversion.
+//!
+//! Arithmetic is routed through host `f64` (a documented substitution, see
+//! DESIGN.md): the paper's effects come from the storage format and the
+//! tag-word semantics, not from 80-bit arithmetic precision.
+
+/// An 80-bit x87 extended-precision value: 1 sign bit, 15 exponent bits
+/// (bias 16383), 64 significand bits with an explicit integer bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F80 {
+    /// Sign (bit 79) and exponent (bits 64–78); bit 15 is the sign.
+    pub se: u16,
+    /// Significand, bit 63 being the explicit integer bit.
+    pub mantissa: u64,
+}
+
+/// Classification of an 80-bit value, matching the x87 tag-word classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum F80Class {
+    /// A normal, finite, non-zero number.
+    Valid,
+    /// Positive or negative zero.
+    Zero,
+    /// NaN, infinity, denormal, or an *unnormal* (non-zero exponent with a
+    /// clear integer bit — invalid on the 387 and later, reads as NaN).
+    Special,
+}
+
+const EXP_MASK: u16 = 0x7fff;
+const BIAS80: i32 = 16383;
+const BIAS64: i32 = 1023;
+
+impl F80 {
+    /// Positive zero.
+    pub const ZERO: F80 = F80 { se: 0, mantissa: 0 };
+    /// One.
+    pub const ONE: F80 = F80 { se: BIAS80 as u16, mantissa: 1 << 63 };
+
+    /// Convert from IEEE-754 binary64. Exact: every f64 is representable.
+    pub fn from_f64(v: f64) -> F80 {
+        let bits = v.to_bits();
+        let sign = ((bits >> 63) as u16) << 15;
+        let exp64 = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        if exp64 == 0 {
+            if frac == 0 {
+                return F80 { se: sign, mantissa: 0 };
+            }
+            // Subnormal f64: value = frac * 2^-1074. Normalise so the
+            // integer bit (63) is set; the unbiased exponent is then
+            // (index of frac's highest set bit) - 1074.
+            let lz = frac.leading_zeros() as i32;
+            let mant = frac << lz;
+            let exp80 = (63 - lz) - 1074 + BIAS80;
+            return F80 { se: sign | (exp80 as u16 & EXP_MASK), mantissa: mant };
+        }
+        if exp64 == 0x7ff {
+            // Inf or NaN: integer bit set, fraction shifted up.
+            return F80 { se: sign | EXP_MASK, mantissa: (1 << 63) | (frac << 11) };
+        }
+        let exp80 = (exp64 - BIAS64 + BIAS80) as u16;
+        F80 { se: sign | exp80, mantissa: (1 << 63) | (frac << 11) }
+    }
+
+    /// Convert to IEEE-754 binary64, rounding to nearest-even. This is the
+    /// 80→64-bit store conversion that discards low significand bits —
+    /// the masking effect of §6.1.1.
+    pub fn to_f64(self) -> f64 {
+        let sign = ((self.se >> 15) as u64) << 63;
+        let exp80 = (self.se & EXP_MASK) as i32;
+        let mant = self.mantissa;
+        if exp80 == 0 && mant == 0 {
+            return f64::from_bits(sign);
+        }
+        if exp80 == EXP_MASK as i32 {
+            // Inf if fraction (below integer bit) is zero, else NaN.
+            let frac = (mant & ((1u64 << 63) - 1)) >> 11;
+            if frac == 0 && mant >> 63 == 1 {
+                return f64::from_bits(sign | (0x7ffu64 << 52));
+            }
+            return f64::from_bits(sign | (0x7ffu64 << 52) | frac.max(1));
+        }
+        if mant >> 63 == 0 {
+            // Denormal-80 or unnormal: the 387 treats unnormals as invalid
+            // operands. Normalise what we can; a zero significand is zero.
+            if mant == 0 {
+                return f64::from_bits(sign);
+            }
+            let lz = mant.leading_zeros() as i32;
+            let nm = mant << lz;
+            let ne = exp80 - lz;
+            return Self { se: (self.se & 0x8000) | (ne.max(0) as u16), mantissa: nm }
+                .to_f64_normal(sign, ne);
+        }
+        self.to_f64_normal(sign, exp80)
+    }
+
+    fn to_f64_normal(self, sign: u64, exp80: i32) -> f64 {
+        let unbiased = exp80 - BIAS80;
+        let exp64 = unbiased + BIAS64;
+        if exp64 >= 0x7ff {
+            // Overflows binary64: infinity.
+            return f64::from_bits(sign | (0x7ffu64 << 52));
+        }
+        if exp64 <= 0 {
+            // Underflows to subnormal or zero.
+            let shift = 12 - exp64; // total right shift of the significand
+            if shift >= 64 {
+                return f64::from_bits(sign);
+            }
+            let kept = self.mantissa >> shift;
+            let rem = self.mantissa & ((1u64 << shift) - 1);
+            let half = 1u64 << (shift - 1);
+            let rounded = kept
+                + u64::from(rem > half || (rem == half && kept & 1 == 1));
+            return f64::from_bits(sign | rounded);
+        }
+        // Normal: keep 53 bits (integer bit implied), round the low 11.
+        let kept = self.mantissa >> 11;
+        let rem = self.mantissa & 0x7ff;
+        let mut frac = kept & ((1u64 << 52) - 1);
+        let mut e = exp64 as u64;
+        let round_up = rem > 0x400 || (rem == 0x400 && kept & 1 == 1);
+        if round_up {
+            frac += 1;
+            if frac == 1 << 52 {
+                frac = 0;
+                e += 1;
+                if e >= 0x7ff {
+                    return f64::from_bits(sign | (0x7ffu64 << 52));
+                }
+            }
+        }
+        f64::from_bits(sign | (e << 52) | frac)
+    }
+
+    /// Classify for the x87 tag word.
+    pub fn classify(self) -> F80Class {
+        let exp = self.se & EXP_MASK;
+        if exp == 0 && self.mantissa == 0 {
+            F80Class::Zero
+        } else if exp == EXP_MASK || self.mantissa >> 63 == 0 {
+            // NaN/Inf, or denormal/unnormal (clear integer bit).
+            F80Class::Special
+        } else {
+            F80Class::Valid
+        }
+    }
+
+    /// The full 80-bit image as (low 64 bits, high 16 bits).
+    pub fn to_bits(self) -> (u64, u16) {
+        (self.mantissa, self.se)
+    }
+
+    /// Rebuild from an 80-bit image.
+    pub fn from_bits(mantissa: u64, se: u16) -> F80 {
+        F80 { se, mantissa }
+    }
+
+    /// Flip bit `bit` (0–79) of the 80-bit register image — the fault
+    /// injector's single-event-upset model for FPU data registers.
+    pub fn flip_bit(self, bit: u32) -> F80 {
+        assert!(bit < 80, "bit index {bit} out of range for an 80-bit register");
+        if bit < 64 {
+            F80 { se: self.se, mantissa: self.mantissa ^ (1 << bit) }
+        } else {
+            F80 { se: self.se ^ (1 << (bit - 64)), mantissa: self.mantissa }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            std::f64::consts::PI,
+            1e300,
+            -1e-300,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            2.2250738585072014e-308,
+            5e-324, // smallest subnormal
+        ] {
+            let f = F80::from_f64(v);
+            let back = f.to_f64();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_inf_nan() {
+        assert_eq!(F80::from_f64(f64::INFINITY).to_f64(), f64::INFINITY);
+        assert_eq!(F80::from_f64(f64::NEG_INFINITY).to_f64(), f64::NEG_INFINITY);
+        assert!(F80::from_f64(f64::NAN).to_f64().is_nan());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(F80::ZERO.classify(), F80Class::Zero);
+        assert_eq!(F80::ONE.classify(), F80Class::Valid);
+        assert_eq!(F80::from_f64(3.25).classify(), F80Class::Valid);
+        assert_eq!(F80::from_f64(f64::NAN).classify(), F80Class::Special);
+        assert_eq!(F80::from_f64(f64::INFINITY).classify(), F80Class::Special);
+        // An f64 subnormal *normalises* in the wider 80-bit format, so it
+        // is a valid extended-precision number (as on real x87).
+        assert_eq!(F80::from_f64(5e-324).classify(), F80Class::Valid);
+    }
+
+    #[test]
+    fn low_mantissa_flips_are_rounded_away_on_store() {
+        // §6.1.1: flips below the 53-bit f64 significand vanish on store.
+        let f = F80::from_f64(std::f64::consts::E);
+        for bit in 0..10 {
+            let flipped = f.flip_bit(bit);
+            assert_eq!(
+                flipped.to_f64().to_bits(),
+                f.to_f64().to_bits(),
+                "bit {bit} should round away"
+            );
+        }
+    }
+
+    #[test]
+    fn high_bit_flips_change_the_value() {
+        let f = F80::from_f64(std::f64::consts::E);
+        // Flip the top explicit fraction bit (62) and a mid exponent bit.
+        assert_ne!(f.flip_bit(62).to_f64().to_bits(), f.to_f64().to_bits());
+        assert_ne!(f.flip_bit(70).to_f64().to_bits(), f.to_f64().to_bits());
+    }
+
+    #[test]
+    fn exponent_flip_can_make_special() {
+        // Setting all exponent bits produces inf/NaN class.
+        let mut f = F80::from_f64(1.0);
+        f.se |= EXP_MASK;
+        assert_eq!(f.classify(), F80Class::Special);
+    }
+
+    #[test]
+    fn integer_bit_flip_makes_unnormal_special() {
+        let f = F80::from_f64(1.0).flip_bit(63);
+        assert_eq!(f.classify(), F80Class::Special);
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let f = F80::from_f64(2.5).flip_bit(79);
+        assert_eq!(f.to_f64(), -2.5);
+    }
+
+    #[test]
+    fn overflow_to_infinity_on_store() {
+        // An 80-bit value with exponent beyond f64 range stores as inf.
+        let f = F80 { se: (BIAS80 + 2000) as u16, mantissa: 1 << 63 };
+        assert_eq!(f.to_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let f = F80::from_f64(-123.456);
+        let (m, se) = f.to_bits();
+        assert_eq!(F80::from_bits(m, se), f);
+    }
+}

@@ -1,0 +1,282 @@
+//! The Linux IA-32 process memory model (Figure 1 of the paper).
+//!
+//! ```text
+//! 0x08048000  +--------------------+
+//!             |  Text              |  application code (r-x)
+//!             |  Data              |  initialised globals (rw-)
+//!             |  BSS               |  zero-initialised globals (rw-)
+//!             |  Heap (grows up)   |  malloc arena (rw-)
+//! 0x40000000  +--------------------+
+//!             |  Shared libraries  |  MPI library text + data
+//!             +--------------------+
+//!             |  Stack (grows down)|  (rw-) top at 0xBFFFF000
+//! 0xC0000000  +--------------------+
+//!             |  Kernel space      |  any access faults
+//! 0xFFFFFFFF  +--------------------+
+//! ```
+//!
+//! The paper confines injection to the text, data, BSS, heap and stack of
+//! the *application*, excluding the MPI library's objects; the region map
+//! here is what both the machine's protection checks and the injector's
+//! region targeting are built on.
+
+use std::fmt;
+
+/// Application text base (standard Linux ELF load address).
+pub const TEXT_BASE: u32 = 0x0804_8000;
+/// Shared-library (MPI library) region base.
+pub const LIB_BASE: u32 = 0x4000_0000;
+/// Top of the user stack.
+pub const STACK_TOP: u32 = 0xBFFF_F000;
+/// Start of kernel space; all user access faults.
+pub const KERNEL_BASE: u32 = 0xC000_0000;
+/// Default stack reservation (1 MiB, typical RLIMIT_STACK granularity).
+pub const DEFAULT_STACK_SIZE: u32 = 1 << 20;
+/// Page size.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Memory region kinds — the paper's injection targets plus the regions it
+/// deliberately excludes (library, kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Application machine code (read/execute).
+    Text,
+    /// Initialised application globals.
+    Data,
+    /// Zero-initialised application globals.
+    Bss,
+    /// The malloc arena (shared by application and MPI library
+    /// allocations; chunks are told apart by their 8-byte headers, §3.2).
+    Heap,
+    /// The user stack.
+    Stack,
+    /// MPI library code (excluded from injection, §3).
+    LibText,
+    /// MPI library globals (excluded from injection).
+    LibData,
+}
+
+impl Region {
+    /// The five application regions the paper injects into, in the order
+    /// its result tables list them.
+    pub const INJECTABLE: [Region; 5] =
+        [Region::Bss, Region::Data, Region::Stack, Region::Text, Region::Heap];
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Text => "Text",
+            Region::Data => "Data",
+            Region::Bss => "BSS",
+            Region::Heap => "Heap",
+            Region::Stack => "Stack",
+            Region::LibText => "LibText",
+            Region::LibData => "LibData",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access permissions for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perms {
+    pub read: bool,
+    pub write: bool,
+    pub exec: bool,
+}
+
+impl Perms {
+    /// Read + execute (text).
+    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+    /// Read + write (data).
+    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+}
+
+/// One mapped extent.
+#[derive(Debug, Clone, Copy)]
+pub struct Mapping {
+    /// First byte of the extent.
+    pub start: u32,
+    /// One past the last byte.
+    pub end: u32,
+    pub region: Region,
+    pub perms: Perms,
+}
+
+impl Mapping {
+    /// Number of bytes in the extent.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the extent.
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+}
+
+/// The full address-space map of one process.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpaceMap {
+    maps: Vec<Mapping>,
+}
+
+impl AddressSpaceMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a mapping. Extents must not overlap and `end` must not reach
+    /// kernel space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlap or kernel-space intrusion — both are loader bugs,
+    /// not runtime conditions.
+    pub fn add(&mut self, m: Mapping) {
+        assert!(m.start < m.end, "empty mapping for {:?}", m.region);
+        assert!(m.end <= KERNEL_BASE, "{:?} mapping reaches kernel space", m.region);
+        for e in &self.maps {
+            assert!(
+                m.end <= e.start || m.start >= e.end,
+                "mapping {:?} overlaps {:?}",
+                m.region,
+                e.region
+            );
+        }
+        self.maps.push(m);
+        self.maps.sort_by_key(|e| e.start);
+    }
+
+    /// Find the mapping containing `addr`.
+    pub fn lookup(&self, addr: u32) -> Option<&Mapping> {
+        let idx = self.maps.partition_point(|m| m.end <= addr);
+        self.maps.get(idx).filter(|m| m.contains(addr))
+    }
+
+    /// Find the mapping for a region kind.
+    pub fn region(&self, r: Region) -> Option<&Mapping> {
+        self.maps.iter().find(|m| m.region == r)
+    }
+
+    /// Grow a region's extent upward to `new_end` (used by the heap brk).
+    /// Returns false if that would collide with the next mapping or the
+    /// kernel boundary.
+    pub fn grow(&mut self, r: Region, new_end: u32) -> bool {
+        let idx = match self.maps.iter().position(|m| m.region == r) {
+            Some(i) => i,
+            None => return false,
+        };
+        if new_end <= self.maps[idx].end {
+            return true;
+        }
+        let limit = self.maps.get(idx + 1).map(|m| m.start).unwrap_or(KERNEL_BASE);
+        if new_end > limit {
+            return false;
+        }
+        self.maps[idx].end = new_end;
+        true
+    }
+
+    /// All mappings, ordered by address.
+    pub fn iter(&self) -> impl Iterator<Item = &Mapping> {
+        self.maps.iter()
+    }
+}
+
+/// Round `v` up to the next multiple of `align` (a power of two).
+pub fn align_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_map() -> AddressSpaceMap {
+        let mut m = AddressSpaceMap::new();
+        m.add(Mapping { start: TEXT_BASE, end: TEXT_BASE + 0x1000, region: Region::Text, perms: Perms::RX });
+        m.add(Mapping { start: TEXT_BASE + 0x1000, end: TEXT_BASE + 0x2000, region: Region::Data, perms: Perms::RW });
+        m.add(Mapping {
+            start: STACK_TOP - DEFAULT_STACK_SIZE,
+            end: STACK_TOP,
+            region: Region::Stack,
+            perms: Perms::RW,
+        });
+        m
+    }
+
+    #[test]
+    fn lookup_finds_containing_mapping() {
+        let m = demo_map();
+        assert_eq!(m.lookup(TEXT_BASE).unwrap().region, Region::Text);
+        assert_eq!(m.lookup(TEXT_BASE + 0xfff).unwrap().region, Region::Text);
+        assert_eq!(m.lookup(TEXT_BASE + 0x1000).unwrap().region, Region::Data);
+        assert_eq!(m.lookup(STACK_TOP - 4).unwrap().region, Region::Stack);
+        assert!(m.lookup(0).is_none());
+        assert!(m.lookup(STACK_TOP).is_none());
+        assert!(m.lookup(KERNEL_BASE).is_none());
+        assert!(m.lookup(0xffff_ffff).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_panics() {
+        let mut m = demo_map();
+        m.add(Mapping {
+            start: TEXT_BASE + 0x800,
+            end: TEXT_BASE + 0x1800,
+            region: Region::Heap,
+            perms: Perms::RW,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel space")]
+    fn kernel_intrusion_panics() {
+        let mut m = AddressSpaceMap::new();
+        m.add(Mapping {
+            start: KERNEL_BASE - 4,
+            end: KERNEL_BASE + 4,
+            region: Region::Heap,
+            perms: Perms::RW,
+        });
+    }
+
+    #[test]
+    fn grow_respects_neighbours() {
+        let mut m = demo_map();
+        // Text cannot grow into data.
+        assert!(!m.grow(Region::Text, TEXT_BASE + 0x1001));
+        // Data can grow until the stack mapping.
+        assert!(m.grow(Region::Data, TEXT_BASE + 0x9000));
+        assert_eq!(m.region(Region::Data).unwrap().end, TEXT_BASE + 0x9000);
+        // Shrinking is a no-op success.
+        assert!(m.grow(Region::Data, TEXT_BASE + 0x100));
+        assert_eq!(m.region(Region::Data).unwrap().end, TEXT_BASE + 0x9000);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 4096), 0);
+        assert_eq!(align_up(1, 4096), 4096);
+        assert_eq!(align_up(4096, 4096), 4096);
+        assert_eq!(align_up(4097, 8), 4104);
+    }
+
+    #[test]
+    fn injectable_regions_match_paper_tables() {
+        // Tables 2-4 list BSS, Data, Stack, Text, Heap (after registers).
+        assert_eq!(Region::INJECTABLE.len(), 5);
+        assert!(Region::INJECTABLE.contains(&Region::Heap));
+        assert!(!Region::INJECTABLE.contains(&Region::LibText));
+    }
+}

@@ -1,0 +1,1274 @@
+//! The FaultLab virtual machine: CPU state, the execution loop, syscall
+//! dispatch, and the privileged access the fault injector uses.
+//!
+//! One `Machine` models one MPI process — a Linux IA-32 process in the
+//! paper. Faults propagate mechanically: a corrupted pointer faults the
+//! protection check (SIGSEGV), a corrupted opcode fails the decoder
+//! (SIGILL), a corrupted divisor traps (SIGFPE), a corrupted loop counter
+//! burns the instruction budget (hang), and corrupted data flows silently
+//! into output (incorrect output). These are precisely the manifestation
+//! classes of §5.1.
+
+use crate::fpu::Fpu;
+use crate::image::ProgramImage;
+use crate::layout::{
+    Mapping, Perms, Region, DEFAULT_STACK_SIZE, LIB_BASE, STACK_TOP, TEXT_BASE,
+};
+use crate::malloc::{AllocTag, HeapAllocator, HeapError};
+use crate::mem::Memory;
+use crate::AddressSpaceMap;
+use fl_isa::insn::{AluOp, FpuBinOp, FpuUnOp};
+use fl_isa::{decode_at, Cond, Gpr, Insn, RegisterName, Syscall};
+use fl_isa::{EFLAGS_CF, EFLAGS_OF, EFLAGS_SF, EFLAGS_ZF};
+
+use crate::f80::F80;
+
+/// CPU register state (the paper's register fault targets).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// The eight general-purpose registers, indexed by [`Gpr`].
+    pub gpr: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Flags register.
+    pub eflags: u32,
+    /// x87 FPU state.
+    pub fpu: Fpu,
+}
+
+impl Cpu {
+    fn new(entry: u32, esp: u32) -> Self {
+        let mut gpr = [0u32; 8];
+        gpr[Gpr::Esp as usize] = esp;
+        gpr[Gpr::Ebp as usize] = 0; // frame-chain terminator
+        Cpu { gpr, eip: entry, eflags: 0, fpu: Fpu::new() }
+    }
+
+    /// Read a GPR.
+    pub fn get(&self, r: Gpr) -> u32 {
+        self.gpr[r as usize]
+    }
+
+    /// Write a GPR.
+    pub fn set(&mut self, r: Gpr, v: u32) {
+        self.gpr[r as usize] = v;
+    }
+}
+
+/// Fatal signals, named after their POSIX counterparts. MPICH handles all
+/// of these and aborts the whole application (§5.1, "Crash").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Invalid memory reference.
+    Segv { addr: u32 },
+    /// Illegal instruction.
+    Ill { eip: u32 },
+    /// Arithmetic fault (integer divide by zero / overflow).
+    Fpe { eip: u32 },
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Signal::Segv { addr } => write!(f, "SIGSEGV at address {addr:#010x}"),
+            Signal::Ill { eip } => write!(f, "SIGILL at eip {eip:#010x}"),
+            Signal::Fpe { eip } => write!(f, "SIGFPE at eip {eip:#010x}"),
+        }
+    }
+}
+
+/// Why the execution loop returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exit {
+    /// Clean termination with an exit status.
+    Halted(i32),
+    /// Abnormal termination by signal.
+    Signal(Signal),
+    /// The application aborted itself after a failed internal check
+    /// ("Application Detected", §5.1).
+    Abort(String),
+    /// The allocator detected heap corruption or an invalid free —
+    /// glibc-style abort, classified as a crash.
+    HeapCorruption(HeapError),
+    /// The process issued an MPI syscall and is parked until the MPI
+    /// layer completes it (number identifies the call; arguments are in
+    /// the registers).
+    Mpi(Syscall),
+    /// The per-call instruction quantum expired (cooperative scheduling).
+    Quantum,
+    /// The total instruction budget was exhausted — the deterministic
+    /// analogue of the paper's "one minute past expected completion"
+    /// hang rule.
+    Budget,
+}
+
+/// Execution statistics, including the progress metrics §7 proposes for
+/// hang detection (FLOP and message-call rates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Instructions retired.
+    pub insns: u64,
+    /// Basic blocks retired (control transfers) — the time axis of the
+    /// paper's working-set plots.
+    pub blocks: u64,
+    /// Floating-point operations retired.
+    pub flops: u64,
+    /// `malloc` calls served.
+    pub mallocs: u64,
+    /// MPI syscalls issued.
+    pub mpi_calls: u64,
+}
+
+/// Configuration for machine construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Stack reservation in bytes.
+    pub stack_size: u32,
+    /// Hard cap on heap growth in bytes.
+    pub heap_limit: u32,
+    /// Total instruction budget; `u64::MAX` means unlimited.
+    pub budget: u64,
+    /// Trace text/data accesses for working-set analysis (slower).
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            stack_size: DEFAULT_STACK_SIZE,
+            heap_limit: 64 << 20,
+            budget: u64::MAX,
+            trace: false,
+        }
+    }
+}
+
+struct ICache {
+    base: u32,
+    entries: Vec<Option<(Insn, u8)>>,
+}
+
+impl ICache {
+    fn new(base: u32, len: u32) -> Self {
+        ICache { base, entries: vec![None; (len as usize).div_ceil(4)] }
+    }
+
+    fn idx(&self, addr: u32) -> Option<usize> {
+        if addr < self.base || addr % 4 != 0 {
+            return None;
+        }
+        let i = ((addr - self.base) / 4) as usize;
+        (i < self.entries.len()).then_some(i)
+    }
+
+    fn invalidate(&mut self, addr: u32) {
+        // A poke at `addr` can change the instruction starting there or
+        // the immediate word of the instruction one word earlier.
+        if let Some(i) = self.idx(addr & !3) {
+            self.entries[i] = None;
+            if i > 0 {
+                self.entries[i - 1] = None;
+            }
+        }
+    }
+}
+
+/// One simulated MPI process.
+pub struct Machine {
+    /// CPU registers.
+    pub cpu: Cpu,
+    /// The process address space.
+    pub mem: Memory,
+    /// The malloc arena.
+    pub heap: HeapAllocator,
+    /// Console (stdout) bytes.
+    pub console: Vec<u8>,
+    /// Output-file bytes (rank 0 writes results here).
+    pub outfile: Vec<u8>,
+    /// True while servicing an MPI call — drives heap-chunk tagging
+    /// (§3.2's "at entry to an MPI routine, a flag is set").
+    pub in_mpi: bool,
+    /// Execution statistics.
+    pub counters: Counters,
+    budget: u64,
+    text_end: u32,
+    lib_text_end: u32,
+    icache_app: ICache,
+    icache_lib: ICache,
+    /// Lowest ESP observed on a push — measures peak stack depth for the
+    /// Table 1 profile ("the stack size varied between 5-10 KB").
+    min_esp: u32,
+}
+
+impl Machine {
+    /// Load a program image.
+    pub fn load(image: &ProgramImage, cfg: MachineConfig) -> Machine {
+        let mut map = AddressSpaceMap::new();
+        let text_len = image.text.len() as u32;
+        map.add(Mapping {
+            start: TEXT_BASE,
+            end: TEXT_BASE + text_len.max(4),
+            region: Region::Text,
+            perms: Perms::RX,
+        });
+        let data_base = image.data_base();
+        if !image.data.is_empty() {
+            map.add(Mapping {
+                start: data_base,
+                end: data_base + image.data.len() as u32,
+                region: Region::Data,
+                perms: Perms::RW,
+            });
+        }
+        let bss_base = image.bss_base();
+        if image.bss_size > 0 {
+            map.add(Mapping {
+                start: bss_base,
+                end: bss_base + image.bss_size,
+                region: Region::Bss,
+                perms: Perms::RW,
+            });
+        }
+        let heap_base = image.heap_base();
+        map.add(Mapping {
+            start: heap_base,
+            end: heap_base + image.heap_reserve.max(4096),
+            region: Region::Heap,
+            perms: Perms::RW,
+        });
+        let lib_text_len = image.lib_text.len() as u32;
+        map.add(Mapping {
+            start: LIB_BASE,
+            end: LIB_BASE + lib_text_len.max(4),
+            region: Region::LibText,
+            perms: Perms::RX,
+        });
+        let lib_data_base = image.lib_data_base();
+        map.add(Mapping {
+            start: lib_data_base,
+            end: lib_data_base + (image.lib_data.len() as u32).max(4096),
+            region: Region::LibData,
+            perms: Perms::RW,
+        });
+        map.add(Mapping {
+            start: STACK_TOP - cfg.stack_size,
+            end: STACK_TOP,
+            region: Region::Stack,
+            perms: Perms::RW,
+        });
+
+        let mut mem = Memory::new(map);
+        if cfg.trace {
+            mem.enable_tracing(&[Region::Text, Region::Data, Region::Bss, Region::Heap]);
+        }
+        mem.poke(TEXT_BASE, &image.text);
+        mem.poke(data_base, &image.data);
+        mem.poke(LIB_BASE, &image.lib_text);
+        mem.poke(lib_data_base, &image.lib_data);
+
+        let heap_limit = heap_base + cfg.heap_limit.min(LIB_BASE - heap_base);
+        Machine {
+            cpu: Cpu::new(image.entry, STACK_TOP - 16),
+            mem,
+            heap: HeapAllocator::new(heap_base, heap_limit),
+            console: Vec::new(),
+            outfile: Vec::new(),
+            in_mpi: false,
+            counters: Counters::default(),
+            budget: cfg.budget,
+            text_end: TEXT_BASE + text_len,
+            lib_text_end: LIB_BASE + lib_text_len,
+            icache_app: ICache::new(TEXT_BASE, text_len.max(4)),
+            icache_lib: ICache::new(LIB_BASE, lib_text_len.max(4)),
+            min_esp: STACK_TOP - 16,
+        }
+    }
+
+    /// Peak stack usage in bytes.
+    pub fn peak_stack_bytes(&self) -> u32 {
+        (STACK_TOP - 16).saturating_sub(self.min_esp)
+    }
+
+    /// The application text range (for the stack walker and injector).
+    pub fn app_text_range(&self) -> (u32, u32) {
+        (TEXT_BASE, self.text_end)
+    }
+
+    /// The library text range.
+    pub fn lib_text_range(&self) -> (u32, u32) {
+        (LIB_BASE, self.lib_text_end)
+    }
+
+    /// Remaining instruction budget.
+    pub fn budget_left(&self) -> u64 {
+        self.budget.saturating_sub(self.counters.insns)
+    }
+
+    // --- flags -----------------------------------------------------------
+
+    fn set_flag(&mut self, mask: u32, on: bool) {
+        if on {
+            self.cpu.eflags |= mask;
+        } else {
+            self.cpu.eflags &= !mask;
+        }
+    }
+
+    fn flags_from_sub(&mut self, a: u32, b: u32) {
+        let (res, carry) = a.overflowing_sub(b);
+        let (_, of) = (a as i32).overflowing_sub(b as i32);
+        self.set_flag(EFLAGS_ZF, res == 0);
+        self.set_flag(EFLAGS_SF, (res as i32) < 0);
+        self.set_flag(EFLAGS_CF, carry);
+        self.set_flag(EFLAGS_OF, of);
+    }
+
+    fn cond_holds(&self, c: Cond) -> bool {
+        let f = self.cpu.eflags;
+        let zf = f & EFLAGS_ZF != 0;
+        let sf = f & EFLAGS_SF != 0;
+        let cf = f & EFLAGS_CF != 0;
+        let of = f & EFLAGS_OF != 0;
+        match c {
+            Cond::Always => true,
+            Cond::Eq => zf,
+            Cond::Ne => !zf,
+            Cond::Lt => sf != of,
+            Cond::Le => zf || sf != of,
+            Cond::Gt => !zf && sf == of,
+            Cond::Ge => sf == of,
+            Cond::B => cf,
+            Cond::Ae => !cf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+        }
+    }
+
+    // --- stack helpers ----------------------------------------------------
+
+    fn push(&mut self, v: u32) -> Result<(), Signal> {
+        let esp = self.cpu.get(Gpr::Esp).wrapping_sub(4);
+        self.cpu.set(Gpr::Esp, esp);
+        self.min_esp = self.min_esp.min(esp);
+        self.mem
+            .store_u32(esp, v, self.counters.blocks)
+            .map_err(|f| Signal::Segv { addr: f.addr })
+    }
+
+    fn pop(&mut self) -> Result<u32, Signal> {
+        let esp = self.cpu.get(Gpr::Esp);
+        let v = self
+            .mem
+            .load_u32(esp, self.counters.blocks)
+            .map_err(|f| Signal::Segv { addr: f.addr })?;
+        self.cpu.set(Gpr::Esp, esp.wrapping_add(4));
+        Ok(v)
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Run until an exit condition, retiring at most `quantum` further
+    /// instructions (then returning [`Exit::Quantum`]).
+    pub fn run(&mut self, quantum: u64) -> Exit {
+        let stop_at = self.counters.insns.saturating_add(quantum);
+        loop {
+            if self.counters.insns >= self.budget {
+                return Exit::Budget;
+            }
+            if self.counters.insns >= stop_at {
+                return Exit::Quantum;
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Execute one instruction. `None` means keep going.
+    pub fn step(&mut self) -> Option<Exit> {
+        let eip = self.cpu.eip;
+        let now = self.counters.blocks;
+
+        // Decode (through the i-cache for aligned text addresses).
+        let cached = self
+            .icache_app
+            .idx(eip)
+            .and_then(|i| self.icache_app.entries[i])
+            .or_else(|| self.icache_lib.idx(eip).and_then(|i| self.icache_lib.entries[i]));
+        let (insn, len) = match cached {
+            Some((insn, len)) => {
+                // Protection was checked when the cache entry was built and
+                // text is immutable to the program itself, so the fetch
+                // only needs repeating when access tracing wants to see it.
+                if self.mem.tracing_enabled() {
+                    if let Err(f) = self.mem.fetch_words(eip, now) {
+                        return Some(Exit::Signal(Signal::Segv { addr: f.addr }));
+                    }
+                }
+                (insn, len as usize)
+            }
+            None => {
+                let words = match self.mem.fetch_words(eip, now) {
+                    Ok(w) => w,
+                    Err(f) => return Some(Exit::Signal(Signal::Segv { addr: f.addr })),
+                };
+                match decode_at(&words, 0) {
+                    Ok((insn, len)) => {
+                        if let Some(i) = self.icache_app.idx(eip) {
+                            self.icache_app.entries[i] = Some((insn, len as u8));
+                        } else if let Some(i) = self.icache_lib.idx(eip) {
+                            self.icache_lib.entries[i] = Some((insn, len as u8));
+                        }
+                        (insn, len)
+                    }
+                    Err(_) => return Some(Exit::Signal(Signal::Ill { eip })),
+                }
+            }
+        };
+
+        self.counters.insns += 1;
+        if insn.is_block_end() {
+            self.counters.blocks += 1;
+        }
+        let next = eip.wrapping_add(4 * len as u32);
+        match self.exec(insn, eip, next) {
+            Ok(None) => None,
+            Ok(Some(exit)) => Some(exit),
+            Err(sig) => Some(Exit::Signal(sig)),
+        }
+    }
+
+    fn exec(&mut self, insn: Insn, eip: u32, next: u32) -> Result<Option<Exit>, Signal> {
+        use Insn::*;
+        let now = self.counters.blocks;
+        let mut jumped = false;
+        match insn {
+            Nop => {}
+            MovI { rd, imm } => self.cpu.set(rd, imm),
+            Mov { rd, rs } => {
+                let v = self.cpu.get(rs);
+                self.cpu.set(rd, v);
+            }
+            Alu { op, rd, ra, rb } => {
+                let a = self.cpu.get(ra);
+                let b = self.cpu.get(rb);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Div | AluOp::Mod => {
+                        let (sa, sb) = (a as i32, b as i32);
+                        if sb == 0 || (sa == i32::MIN && sb == -1) {
+                            return Err(Signal::Fpe { eip });
+                        }
+                        if op == AluOp::Div { (sa / sb) as u32 } else { (sa % sb) as u32 }
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Shl => a.wrapping_shl(b & 31),
+                    AluOp::Shr => a.wrapping_shr(b & 31),
+                    AluOp::Sar => ((a as i32).wrapping_shr(b & 31)) as u32,
+                };
+                self.cpu.set(rd, v);
+            }
+            AddI { rd, ra, imm } => {
+                let v = self.cpu.get(ra).wrapping_add(imm);
+                self.cpu.set(rd, v);
+            }
+            MulI { rd, ra, imm } => {
+                let v = self.cpu.get(ra).wrapping_mul(imm);
+                self.cpu.set(rd, v);
+            }
+            Cmp { ra, rb } => {
+                let (a, b) = (self.cpu.get(ra), self.cpu.get(rb));
+                self.flags_from_sub(a, b);
+            }
+            CmpI { ra, imm } => {
+                let a = self.cpu.get(ra);
+                self.flags_from_sub(a, imm);
+            }
+            J { cond, target } => {
+                if self.cond_holds(cond) {
+                    self.cpu.eip = target;
+                    jumped = true;
+                }
+            }
+            JmpR { rs } => {
+                self.cpu.eip = self.cpu.get(rs);
+                jumped = true;
+            }
+            Ld { rd, base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.set(rd, v);
+            }
+            St { rb, base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.cpu.get(rb);
+                self.mem.store_u32(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+            }
+            LdG { rd, addr } => {
+                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.set(rd, v);
+            }
+            StG { rs, addr } => {
+                let v = self.cpu.get(rs);
+                self.mem.store_u32(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+            }
+            LdB { rd, base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.mem.load_u8(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.set(rd, v as u32);
+            }
+            StB { rb, base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.cpu.get(rb) as u8;
+                self.mem.store_u8(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+            }
+            Push { rs } => {
+                let v = self.cpu.get(rs);
+                self.push(v)?;
+            }
+            Pop { rd } => {
+                let v = self.pop()?;
+                self.cpu.set(rd, v);
+            }
+            Call { target } => {
+                self.push(next)?;
+                self.cpu.eip = target;
+                jumped = true;
+            }
+            CallR { rs } => {
+                let t = self.cpu.get(rs);
+                self.push(next)?;
+                self.cpu.eip = t;
+                jumped = true;
+            }
+            Ret => {
+                let t = self.pop()?;
+                self.cpu.eip = t;
+                jumped = true;
+            }
+            Enter { frame } => {
+                let ebp = self.cpu.get(Gpr::Ebp);
+                self.push(ebp)?;
+                let esp = self.cpu.get(Gpr::Esp);
+                self.cpu.set(Gpr::Ebp, esp);
+                self.cpu.set(Gpr::Esp, esp.wrapping_sub(frame));
+            }
+            Leave => {
+                let ebp = self.cpu.get(Gpr::Ebp);
+                self.cpu.set(Gpr::Esp, ebp);
+                let saved = self.pop()?;
+                self.cpu.set(Gpr::Ebp, saved);
+            }
+            Sys { num } => {
+                // EIP must already point past the SYS so MPI traps resume
+                // correctly.
+                self.cpu.eip = next;
+                return self.exec_sys(num, eip).map(Some).or_else(|e| match e {
+                    SysOutcome::Signal(s) => Err(s),
+                    SysOutcome::Continue => Ok(None),
+                });
+            }
+            Halt => return Ok(Some(Exit::Halted(self.cpu.get(Gpr::Eax) as i32))),
+
+            // --- FPU ------------------------------------------------------
+            Fld { base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.mem.load_f64(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.push(F80::from_f64(v));
+            }
+            FldG { addr } => {
+                let v = self.mem.load_f64(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.push(F80::from_f64(v));
+            }
+            Fst { base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.cpu.fpu.read_st_f64(0);
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+            }
+            Fstp { base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.cpu.fpu.read_st_f64(0);
+                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.pop();
+            }
+            FstpG { addr } => {
+                let v = self.cpu.fpu.read_st_f64(0);
+                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.pop();
+            }
+            Fild { base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.push(F80::from_f64(v as i32 as f64));
+            }
+            Fistp { base, off } => {
+                let addr = self.cpu.get(base).wrapping_add(off as u32);
+                let v = self.cpu.fpu.read_st_f64(0);
+                let iv = f64_to_i32_x87(v);
+                self.mem
+                    .store_u32(addr, iv as u32, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.cpu.fpu.note_insn(eip, Some(addr));
+                self.cpu.fpu.pop();
+            }
+            FildR { rs } => {
+                let v = self.cpu.get(rs) as i32 as f64;
+                self.cpu.fpu.note_insn(eip, None);
+                self.cpu.fpu.push(F80::from_f64(v));
+            }
+            FistpR { rd } => {
+                let v = self.cpu.fpu.read_st_f64(0);
+                self.cpu.fpu.pop();
+                self.cpu.fpu.note_insn(eip, None);
+                self.cpu.set(rd, f64_to_i32_x87(v) as u32);
+            }
+            Fldz => {
+                self.cpu.fpu.note_insn(eip, None);
+                self.cpu.fpu.push(F80::ZERO);
+            }
+            Fld1 => {
+                self.cpu.fpu.note_insn(eip, None);
+                self.cpu.fpu.push(F80::ONE);
+            }
+            Fbinp { op } => {
+                let b = self.cpu.fpu.read_st_f64(0);
+                let a = self.cpu.fpu.read_st_f64(1);
+                let v = match op {
+                    FpuBinOp::Add => a + b,
+                    FpuBinOp::Sub => a - b,
+                    FpuBinOp::SubR => b - a,
+                    FpuBinOp::Mul => a * b,
+                    FpuBinOp::Div => a / b,
+                    FpuBinOp::DivR => b / a,
+                };
+                self.cpu.fpu.write_st(1, F80::from_f64(v));
+                self.cpu.fpu.pop();
+                self.cpu.fpu.note_insn(eip, None);
+                self.counters.flops += 1;
+            }
+            Funop { op } => {
+                let a = self.cpu.fpu.read_st_f64(0);
+                let v = match op {
+                    FpuUnOp::Chs => -a,
+                    FpuUnOp::Abs => a.abs(),
+                    FpuUnOp::Sqrt => a.sqrt(),
+                    FpuUnOp::Sin => a.sin(),
+                    FpuUnOp::Cos => a.cos(),
+                    FpuUnOp::Exp => a.exp(),
+                    FpuUnOp::Ln => a.ln(),
+                };
+                self.cpu.fpu.write_st(0, F80::from_f64(v));
+                self.cpu.fpu.note_insn(eip, None);
+                self.counters.flops += 1;
+            }
+            Fxch { i } => {
+                self.cpu.fpu.fxch(i);
+                self.cpu.fpu.note_insn(eip, None);
+            }
+            FldSt { i } => {
+                let v = self.cpu.fpu.read_st(i);
+                self.cpu.fpu.note_insn(eip, None);
+                self.cpu.fpu.push(v);
+            }
+            Fcomip => {
+                let a = self.cpu.fpu.read_st_f64(0);
+                let b = self.cpu.fpu.read_st_f64(1);
+                // x87 FCOMI semantics: unordered sets ZF and CF.
+                if a.is_nan() || b.is_nan() {
+                    self.set_flag(EFLAGS_ZF, true);
+                    self.set_flag(EFLAGS_CF, true);
+                } else {
+                    self.set_flag(EFLAGS_ZF, a == b);
+                    self.set_flag(EFLAGS_CF, a < b);
+                }
+                self.set_flag(EFLAGS_SF, false);
+                self.set_flag(EFLAGS_OF, false);
+                self.cpu.fpu.pop();
+                self.cpu.fpu.note_insn(eip, None);
+            }
+            Fpop => {
+                self.cpu.fpu.pop();
+                self.cpu.fpu.note_insn(eip, None);
+            }
+        }
+        if !jumped {
+            self.cpu.eip = next;
+        }
+        Ok(None)
+    }
+
+    fn exec_sys(&mut self, num: u16, eip: u32) -> Result<Exit, SysOutcome> {
+        let call = match Syscall::from_num(num) {
+            Some(c) => c,
+            // Unknown syscall number (e.g. a corrupted SYS field): the
+            // kernel would deliver SIGSYS; we fold it into SIGILL.
+            None => return Err(SysOutcome::Signal(Signal::Ill { eip })),
+        };
+        let eax = self.cpu.get(Gpr::Eax);
+        let ecx = self.cpu.get(Gpr::Ecx);
+        let now = self.counters.blocks;
+        match call {
+            Syscall::Exit => Ok(Exit::Halted(eax as i32)),
+            Syscall::PrintStr | Syscall::FileWrite => {
+                let bytes = self
+                    .mem
+                    .load(eax, ecx, now)
+                    .map_err(|f| SysOutcome::Signal(Signal::Segv { addr: f.addr }))?;
+                if call == Syscall::PrintStr {
+                    self.console.extend_from_slice(&bytes);
+                } else {
+                    self.outfile.extend_from_slice(&bytes);
+                }
+                Err(SysOutcome::Continue)
+            }
+            Syscall::PrintInt => {
+                let s = (eax as i32).to_string();
+                self.console.extend_from_slice(s.as_bytes());
+                Err(SysOutcome::Continue)
+            }
+            Syscall::PrintFlt | Syscall::FileWriteFlt => {
+                let digits = (ecx as usize).min(17);
+                let v = self.cpu.fpu.pop().to_f64();
+                let s = format!("{v:.digits$}");
+                if call == Syscall::PrintFlt {
+                    self.console.extend_from_slice(s.as_bytes());
+                } else {
+                    self.outfile.extend_from_slice(s.as_bytes());
+                }
+                Err(SysOutcome::Continue)
+            }
+            Syscall::FileWriteBin => {
+                let v = self.cpu.fpu.pop().to_f64();
+                self.outfile.extend_from_slice(&v.to_bits().to_le_bytes());
+                Err(SysOutcome::Continue)
+            }
+            Syscall::Malloc => {
+                self.counters.mallocs += 1;
+                let tag = if self.in_mpi || self.eip_in_lib(eip) {
+                    AllocTag::Mpi
+                } else {
+                    AllocTag::User
+                };
+                let ptr = self.heap.alloc(&mut self.mem, ecx, tag).unwrap_or(0);
+                self.cpu.set(Gpr::Eax, ptr);
+                Err(SysOutcome::Continue)
+            }
+            Syscall::Free => match self.heap.free(&mut self.mem, eax) {
+                Ok(()) => Err(SysOutcome::Continue),
+                Err(e) => Ok(Exit::HeapCorruption(e)),
+            },
+            Syscall::AbortMsg => {
+                let bytes = self
+                    .mem
+                    .load(eax, ecx.min(4096), now)
+                    .map_err(|f| SysOutcome::Signal(Signal::Segv { addr: f.addr }))?;
+                Ok(Exit::Abort(String::from_utf8_lossy(&bytes).into_owned()))
+            }
+            mpi if mpi.is_mpi() => {
+                self.counters.mpi_calls += 1;
+                self.in_mpi = true;
+                Ok(Exit::Mpi(mpi))
+            }
+            _ => unreachable!("non-MPI syscalls all handled above"),
+        }
+    }
+
+    fn eip_in_lib(&self, eip: u32) -> bool {
+        (LIB_BASE..self.lib_text_end).contains(&eip)
+    }
+
+    /// Complete an MPI syscall: optionally write a return value to EAX and
+    /// clear the in-MPI flag. The machine continues at the instruction
+    /// after the trapping `SYS` on the next `run`.
+    pub fn mpi_complete(&mut self, ret: Option<u32>) {
+        if let Some(v) = ret {
+            self.cpu.set(Gpr::Eax, v);
+        }
+        self.in_mpi = false;
+    }
+
+    // --- fault-injection interface (the `ptrace` analogue, §3.1) ---------
+
+    /// Privileged memory write; keeps the decode cache coherent.
+    pub fn poke_mem(&mut self, addr: u32, data: &[u8]) {
+        self.mem.poke(addr, data);
+        for i in 0..data.len() as u32 {
+            self.icache_app.invalidate(addr + i);
+            self.icache_lib.invalidate(addr + i);
+        }
+    }
+
+    /// Flip one bit of memory (privileged).
+    pub fn flip_mem_bit(&mut self, addr: u32, bit: u8) {
+        let b = self.mem.peek_u8(addr) ^ (1 << (bit & 7));
+        self.poke_mem(addr, &[b]);
+    }
+
+    /// Force one bit of memory to a value — the stuck-at fault model
+    /// (hard errors / long-duration faults, cf. Constantinescu's ASCI Red
+    /// study discussed in §8.1 of the paper). Returns true if the byte
+    /// changed.
+    pub fn set_mem_bit(&mut self, addr: u32, bit: u8, value: bool) -> bool {
+        let old = self.mem.peek_u8(addr);
+        let mask = 1 << (bit & 7);
+        let new = if value { old | mask } else { old & !mask };
+        if new != old {
+            self.poke_mem(addr, &[new]);
+        }
+        new != old
+    }
+
+    /// Force one bit of a 32-bit register to a value (stuck-at model).
+    /// FPU registers re-route through [`Machine::flip_register_bit`]
+    /// semantics: the bit is read, and flipped only when it differs.
+    pub fn set_register_bit(&mut self, reg: RegisterName, bit: u32, value: bool) {
+        let current = match reg {
+            RegisterName::Gpr(g) => self.cpu.get(g) >> (bit & 31) & 1 == 1,
+            RegisterName::Eip => self.cpu.eip >> (bit & 31) & 1 == 1,
+            RegisterName::Eflags => self.cpu.eflags >> (bit & 31) & 1 == 1,
+            RegisterName::St(i) => {
+                let (m, se) = self.cpu.fpu.regs[(i & 7) as usize].to_bits();
+                let b = bit % 80;
+                if b < 64 {
+                    m >> b & 1 == 1
+                } else {
+                    se >> (b - 64) & 1 == 1
+                }
+            }
+            RegisterName::FpuSpecial(s) => {
+                let f = &self.cpu.fpu;
+                let v: u32 = match s {
+                    fl_isa::FpuSpecial::Cwd => f.cwd as u32,
+                    fl_isa::FpuSpecial::Swd => f.swd as u32,
+                    fl_isa::FpuSpecial::Twd => f.twd as u32,
+                    fl_isa::FpuSpecial::Fip => f.fip,
+                    fl_isa::FpuSpecial::Fcs => f.fcs as u32,
+                    fl_isa::FpuSpecial::Foo => f.foo,
+                    fl_isa::FpuSpecial::Fos => f.fos as u32,
+                };
+                v >> (bit % reg.width_bits()) & 1 == 1
+            }
+        };
+        if current != value {
+            self.flip_register_bit(reg, bit);
+        }
+    }
+
+    /// Flip one bit of a register — the register fault model of §3.2.
+    ///
+    /// FPU data registers are addressed *physically* (a particle strike
+    /// hits a cell, not a stack slot) and the tag word is deliberately NOT
+    /// updated: the upset changes the bits behind the FPU's back.
+    pub fn flip_register_bit(&mut self, reg: RegisterName, bit: u32) {
+        match reg {
+            RegisterName::Gpr(g) => {
+                let v = self.cpu.get(g) ^ (1 << (bit & 31));
+                self.cpu.set(g, v);
+            }
+            RegisterName::Eip => self.cpu.eip ^= 1 << (bit & 31),
+            RegisterName::Eflags => self.cpu.eflags ^= 1 << (bit & 31),
+            RegisterName::St(i) => {
+                let p = (i & 7) as usize;
+                self.cpu.fpu.regs[p] = self.cpu.fpu.regs[p].flip_bit(bit % 80);
+            }
+            RegisterName::FpuSpecial(s) => {
+                use crate::fpu::Fpu;
+                let f: &mut Fpu = &mut self.cpu.fpu;
+                match s {
+                    fl_isa::FpuSpecial::Cwd => f.cwd ^= 1 << (bit & 15),
+                    fl_isa::FpuSpecial::Swd => f.swd ^= 1 << (bit & 15),
+                    fl_isa::FpuSpecial::Twd => f.twd ^= 1 << (bit & 15),
+                    fl_isa::FpuSpecial::Fip => f.fip ^= 1 << (bit & 31),
+                    fl_isa::FpuSpecial::Fcs => f.fcs ^= 1 << (bit & 15),
+                    fl_isa::FpuSpecial::Foo => f.foo ^= 1 << (bit & 31),
+                    fl_isa::FpuSpecial::Fos => f.fos ^= 1 << (bit & 15),
+                }
+            }
+        }
+    }
+
+    /// Console contents as UTF-8 (lossy).
+    pub fn console_text(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+}
+
+enum SysOutcome {
+    Signal(Signal),
+    Continue,
+}
+
+/// x87 FIST conversion: round to nearest even; out-of-range and NaN yield
+/// the "integer indefinite" value 0x80000000.
+fn f64_to_i32_x87(v: f64) -> i32 {
+    if v.is_nan() || !(-2147483648.0..=2147483647.0).contains(&v) {
+        return i32::MIN;
+    }
+    let r = v.round_ties_even();
+    if !(-2147483648.0..=2147483647.0).contains(&r) {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::KERNEL_BASE;
+    use fl_isa::encode;
+
+    /// Assemble a program image from instructions placed at TEXT_BASE.
+    fn image(insns: &[Insn]) -> ProgramImage {
+        let mut text = Vec::new();
+        for i in insns {
+            text.extend(encode(i).to_bytes());
+        }
+        ProgramImage {
+            text,
+            data: vec![0u8; 64],
+            bss_size: 64,
+            lib_text: encode(&Insn::Ret).to_bytes(),
+            lib_data: Vec::new(),
+            entry: TEXT_BASE,
+            symbols: Vec::new(),
+            heap_reserve: 4096,
+        }
+    }
+
+    fn run_insns(insns: &[Insn]) -> (Machine, Exit) {
+        let img = image(insns);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        let e = m.run(100_000);
+        (m, e)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        use Gpr::*;
+        let (m, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: 20 },
+            Insn::MovI { rd: Ebx, imm: 22 },
+            Insn::Alu { op: AluOp::Add, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::Halt,
+        ]);
+        assert_eq!(e, Exit::Halted(42));
+        assert_eq!(m.counters.insns, 4);
+        assert_eq!(m.counters.blocks, 1); // only Halt ends a block
+    }
+
+    #[test]
+    fn division_by_zero_sigfpe() {
+        use Gpr::*;
+        let (_, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: 7 },
+            Insn::MovI { rd: Ebx, imm: 0 },
+            Insn::Alu { op: AluOp::Div, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::Halt,
+        ]);
+        assert!(matches!(e, Exit::Signal(Signal::Fpe { .. })));
+    }
+
+    #[test]
+    fn int_min_div_minus_one_sigfpe() {
+        use Gpr::*;
+        let (_, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: 0x8000_0000 },
+            Insn::MovI { rd: Ebx, imm: (-1i32) as u32 },
+            Insn::Alu { op: AluOp::Div, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::Halt,
+        ]);
+        assert!(matches!(e, Exit::Signal(Signal::Fpe { .. })));
+    }
+
+    #[test]
+    fn wild_load_sigsegv() {
+        use Gpr::*;
+        let (_, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: 0x1234 },
+            Insn::Ld { rd: Ebx, base: Eax, off: 0 },
+            Insn::Halt,
+        ]);
+        assert_eq!(e, Exit::Signal(Signal::Segv { addr: 0x1234 }));
+    }
+
+    #[test]
+    fn kernel_space_access_sigsegv() {
+        use Gpr::*;
+        let (_, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: KERNEL_BASE },
+            Insn::Ld { rd: Ebx, base: Eax, off: 16 },
+            Insn::Halt,
+        ]);
+        assert!(matches!(e, Exit::Signal(Signal::Segv { .. })));
+    }
+
+    #[test]
+    fn illegal_opcode_sigill() {
+        let img = {
+            let mut i = image(&[Insn::Nop]);
+            i.text = vec![0u8; 8]; // opcode 0 is undefined
+            i
+        };
+        let mut m = Machine::load(&img, MachineConfig::default());
+        assert!(matches!(m.run(10), Exit::Signal(Signal::Ill { .. })));
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        use Gpr::*;
+        // sum 1..=10 in EBX
+        let loop_start = TEXT_BASE + 8 + 8; // after two MovI (2 words each)
+        let (m, e) = run_insns(&[
+            Insn::MovI { rd: Ecx, imm: 1 },
+            Insn::MovI { rd: Ebx, imm: 0 },
+            // loop:
+            Insn::Alu { op: AluOp::Add, rd: Ebx, ra: Ebx, rb: Ecx },
+            Insn::AddI { rd: Ecx, ra: Ecx, imm: 1 },
+            Insn::CmpI { ra: Ecx, imm: 10 },
+            Insn::J { cond: Cond::Le, target: loop_start },
+            Insn::Mov { rd: Eax, rs: Ebx },
+            Insn::Halt,
+        ]);
+        assert_eq!(e, Exit::Halted(55));
+        assert!(m.counters.blocks >= 10);
+    }
+
+    #[test]
+    fn call_ret_and_frames() {
+        use Gpr::*;
+        // main: call f; halt.  f: enter 8; mov eax, 99; leave; ret
+        // Layout: call (2w) halt (1w) -> f at TEXT_BASE+12
+        let f_addr = TEXT_BASE + 12;
+        let (m, e) = run_insns(&[
+            Insn::Call { target: f_addr },
+            Insn::Halt,
+            Insn::Enter { frame: 8 },
+            Insn::MovI { rd: Eax, imm: 99 },
+            Insn::Leave,
+            Insn::Ret,
+        ]);
+        assert_eq!(e, Exit::Halted(99));
+        assert_eq!(m.cpu.get(Esp), STACK_TOP - 16); // balanced
+    }
+
+    #[test]
+    fn fpu_computation() {
+        use Gpr::*;
+        // Compute sqrt(2.0 * 8.0) = 4.0 and print it.
+        let data_base = image(&[Insn::Nop; 12]).data_base();
+        let img = {
+            let mut i = image(&[
+                Insn::FldG { addr: data_base },
+                Insn::FldG { addr: data_base + 8 },
+                Insn::Fbinp { op: FpuBinOp::Mul },
+                Insn::Funop { op: FpuUnOp::Sqrt },
+                Insn::MovI { rd: Ecx, imm: 3 },
+                Insn::Sys { num: Syscall::PrintFlt as u16 },
+                Insn::MovI { rd: Eax, imm: 0 },
+                Insn::Sys { num: Syscall::Exit as u16 },
+            ]);
+            i.data[..8].copy_from_slice(&2.0f64.to_le_bytes());
+            i.data[8..16].copy_from_slice(&8.0f64.to_le_bytes());
+            i
+        };
+        let mut m = Machine::load(&img, MachineConfig::default());
+        let e = m.run(1000);
+        assert_eq!(e, Exit::Halted(0));
+        assert_eq!(m.console_text(), "4.000");
+        assert_eq!(m.counters.flops, 2);
+    }
+
+    #[test]
+    fn malloc_free_via_syscalls() {
+        use Gpr::*;
+        let (m, e) = run_insns(&[
+            Insn::MovI { rd: Ecx, imm: 128 },
+            Insn::Sys { num: Syscall::Malloc as u16 },
+            Insn::Mov { rd: Esi, rs: Eax },
+            // store through the pointer
+            Insn::MovI { rd: Ebx, imm: 7 },
+            Insn::St { rb: Ebx, base: Esi, off: 0 },
+            Insn::Mov { rd: Eax, rs: Esi },
+            Insn::Sys { num: Syscall::Free as u16 },
+            Insn::Ld { rd: Eax, base: Esi, off: 0 }, // use-after-free reads ok (no poison)
+            Insn::Halt,
+        ]);
+        assert!(matches!(e, Exit::Halted(_)));
+        assert_eq!(m.counters.mallocs, 1);
+        assert_eq!(m.heap.live_chunks().len(), 0);
+    }
+
+    #[test]
+    fn corrupted_free_crashes_like_glibc() {
+        use Gpr::*;
+        let (_, e) = run_insns(&[
+            Insn::MovI { rd: Eax, imm: 0x0b00_0000 },
+            Insn::Sys { num: Syscall::Free as u16 },
+            Insn::Halt,
+        ]);
+        assert!(matches!(e, Exit::HeapCorruption(_)));
+    }
+
+    #[test]
+    fn abort_msg_is_app_detected() {
+        use Gpr::*;
+        let data_base = image(&[Insn::Nop]).data_base();
+        let img = {
+            let mut i = image(&[
+                Insn::MovI { rd: Eax, imm: data_base },
+                Insn::MovI { rd: Ecx, imm: 9 },
+                Insn::Sys { num: Syscall::AbortMsg as u16 },
+                Insn::Halt,
+            ]);
+            i.data[..9].copy_from_slice(b"NaN check");
+            i
+        };
+        let mut m = Machine::load(&img, MachineConfig::default());
+        assert_eq!(m.run(100), Exit::Abort("NaN check".into()));
+    }
+
+    #[test]
+    fn mpi_syscall_traps_and_resumes() {
+        use Gpr::*;
+        let (mut m, e) = {
+            let img = image(&[
+                Insn::Sys { num: Syscall::MpiCommRank as u16 },
+                Insn::Mov { rd: Ebx, rs: Eax },
+                Insn::Halt,
+            ]);
+            let mut m = Machine::load(&img, MachineConfig::default());
+            let e = m.run(100);
+            (m, e)
+        };
+        assert_eq!(e, Exit::Mpi(Syscall::MpiCommRank));
+        assert!(m.in_mpi);
+        m.mpi_complete(Some(3));
+        assert!(!m.in_mpi);
+        assert_eq!(m.run(100), Exit::Halted(3));
+        assert_eq!(m.cpu.get(Ebx), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_hang() {
+        // Infinite loop.
+        let img = image(&[Insn::J { cond: Cond::Always, target: TEXT_BASE }]);
+        let mut m = Machine::load(&img, MachineConfig { budget: 5000, ..Default::default() });
+        assert_eq!(m.run(u64::MAX), Exit::Budget);
+        assert_eq!(m.counters.insns, 5000);
+    }
+
+    #[test]
+    fn quantum_preemption_preserves_state() {
+        use Gpr::*;
+        let loop_start = TEXT_BASE + 8;
+        let img = image(&[
+            Insn::MovI { rd: Ecx, imm: 0 },
+            Insn::AddI { rd: Ecx, ra: Ecx, imm: 1 },
+            Insn::CmpI { ra: Ecx, imm: 100 },
+            Insn::J { cond: Cond::Lt, target: loop_start },
+            Insn::Mov { rd: Eax, rs: Ecx },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        let mut quanta = 0;
+        loop {
+            match m.run(7) {
+                Exit::Quantum => quanta += 1,
+                Exit::Halted(v) => {
+                    assert_eq!(v, 100);
+                    break;
+                }
+                other => panic!("unexpected exit {other:?}"),
+            }
+        }
+        assert!(quanta > 10);
+    }
+
+    #[test]
+    fn text_bit_flip_through_poke_changes_execution() {
+        use Gpr::*;
+        let img = image(&[Insn::MovI { rd: Eax, imm: 5 }, Insn::Halt]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        // Run once partially to warm the i-cache, then rewind.
+        assert!(matches!(m.run(100), Exit::Halted(5)));
+
+        let mut m = Machine::load(&img, MachineConfig::default());
+        // Flip a bit in the immediate word of MovI (word 1, bit 1): 5 -> 7.
+        m.flip_mem_bit(TEXT_BASE + 4, 1);
+        assert!(matches!(m.run(100), Exit::Halted(7)));
+    }
+
+    #[test]
+    fn icache_invalidation_after_poke() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Eax, imm: 5 },
+            Insn::J { cond: Cond::Always, target: TEXT_BASE + 12 },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        // Execute the MovI once (warming the cache) via single steps.
+        assert!(m.step().is_none());
+        // Now corrupt the MovI opcode to an illegal value and jump back.
+        m.poke_mem(TEXT_BASE, &[0x00]);
+        m.cpu.eip = TEXT_BASE;
+        assert!(matches!(m.run(10), Exit::Signal(Signal::Ill { .. })));
+    }
+
+    #[test]
+    fn register_flip_gpr() {
+        use Gpr::*;
+        let img = image(&[Insn::Halt]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.cpu.set(Eax, 0b100);
+        m.flip_register_bit(RegisterName::Gpr(Eax), 0);
+        assert_eq!(m.cpu.get(Eax), 0b101);
+        m.flip_register_bit(RegisterName::Eip, 31);
+        assert_eq!(m.cpu.eip, TEXT_BASE ^ (1 << 31));
+    }
+
+    #[test]
+    fn register_flip_fpu_does_not_update_tag() {
+        let img = image(&[Insn::Halt]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.cpu.fpu.push(F80::from_f64(1.0));
+        let p = m.cpu.fpu.phys(0) as u8;
+        let tag_before = m.cpu.fpu.tag(p as usize);
+        // Flip the integer bit: value becomes an unnormal, but the tag
+        // still says "valid" — the upset happened behind the FPU's back.
+        m.flip_register_bit(RegisterName::St(p), 63);
+        assert_eq!(m.cpu.fpu.tag(p as usize), tag_before);
+        assert!(m.cpu.fpu.read_st(0).classify() == crate::f80::F80Class::Special);
+    }
+
+    #[test]
+    fn fist_conversion_edge_cases() {
+        assert_eq!(f64_to_i32_x87(1.5), 2); // ties to even
+        assert_eq!(f64_to_i32_x87(2.5), 2);
+        assert_eq!(f64_to_i32_x87(-1.5), -2);
+        assert_eq!(f64_to_i32_x87(f64::NAN), i32::MIN);
+        assert_eq!(f64_to_i32_x87(1e300), i32::MIN);
+        assert_eq!(f64_to_i32_x87(-1e300), i32::MIN);
+    }
+
+    #[test]
+    fn eip_flip_usually_crashes() {
+        // The classic register-injection outcome: a flipped EIP lands
+        // outside any mapping and faults.
+        let img = image(&[Insn::Nop, Insn::Nop, Insn::Halt]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.flip_register_bit(RegisterName::Eip, 30);
+        assert!(matches!(m.run(10), Exit::Signal(Signal::Segv { .. })));
+    }
+}

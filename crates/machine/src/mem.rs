@@ -1,0 +1,480 @@
+//! Sparse paged memory with region protection and access tracing.
+//!
+//! Pages are allocated lazily (a 3 GiB address space costs nothing until
+//! touched). Every user-mode access is checked against the
+//! [`AddressSpaceMap`]; a reference outside any mapping, into kernel space,
+//! or violating permissions raises a fault that the machine turns into
+//! SIGSEGV — which is how corrupted pointers and return addresses crash,
+//! the dominant manifestation in the paper's memory-injection tables.
+//!
+//! Tracing, when enabled, records the basic-block count of the most recent
+//! *instruction fetch* (text) and *data load* (data/BSS/heap) per 4-byte
+//! granule, which is exactly the measurement the paper took with Valgrind
+//! to produce the working-set curves of Tables 5–7.
+
+use crate::layout::{AddressSpaceMap, Mapping, Region, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// A memory access fault (turned into SIGSEGV by the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: u32,
+    /// What the access attempted.
+    pub kind: AccessKind,
+}
+
+/// The kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+    Exec,
+}
+
+/// Which accesses the tracer records for a granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Instruction fetch (text accesses in the paper's Valgrind runs).
+    Fetch,
+    /// Data load (memory loads in Data/BSS/Heap).
+    Load,
+}
+
+/// Last-access timestamps for one traced extent, at 4-byte granularity.
+#[derive(Debug, Clone)]
+pub struct AccessTrace {
+    start: u32,
+    /// `last[i]` = 1 + block count of the most recent access to granule
+    /// `i`, or 0 if never accessed.
+    last: Vec<u64>,
+}
+
+impl AccessTrace {
+    fn new(m: &Mapping) -> Self {
+        AccessTrace { start: m.start, last: vec![0; (m.len() as usize).div_ceil(4)] }
+    }
+
+    fn record(&mut self, addr: u32, len: u32, now: u64) {
+        let lo = (addr - self.start) / 4;
+        let hi = (addr + len.max(1) - 1 - self.start) / 4;
+        // Grow on demand (the heap mapping grows via brk), bounded so a
+        // wild traced access cannot exhaust memory.
+        const MAX_GRANULES: usize = 1 << 26;
+        if (hi as usize) >= self.last.len() && (hi as usize) < MAX_GRANULES {
+            self.last.resize(hi as usize + 1, 0);
+        }
+        for g in lo..=hi {
+            if let Some(slot) = self.last.get_mut(g as usize) {
+                *slot = now + 1;
+            }
+        }
+    }
+
+    /// Number of granules whose most recent access is at block count
+    /// >= `t` — the paper's "working set size at time t".
+    pub fn working_set_granules(&self, t: u64) -> usize {
+        self.last.iter().filter(|&&l| l > t).count()
+    }
+
+    /// Bytes covered by [`Self::working_set_granules`].
+    pub fn working_set_bytes(&self, t: u64) -> u64 {
+        self.working_set_granules(t) as u64 * 4
+    }
+
+    /// Total traced granules.
+    pub fn granules(&self) -> usize {
+        self.last.len()
+    }
+}
+
+/// The process memory: lazily allocated pages plus the region map.
+pub struct Memory {
+    map: AddressSpaceMap,
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Traces keyed by region; present only while tracing is on.
+    traces: Option<HashMap<Region, AccessTrace>>,
+    /// Bytes currently backed by pages (for diagnostics).
+    resident_pages: usize,
+}
+
+impl Memory {
+    /// Create memory over an address-space map.
+    pub fn new(map: AddressSpaceMap) -> Self {
+        Memory { map, pages: HashMap::new(), traces: None, resident_pages: 0 }
+    }
+
+    /// The region map.
+    pub fn map(&self) -> &AddressSpaceMap {
+        &self.map
+    }
+
+    /// Mutable region map access (heap growth).
+    pub fn map_mut(&mut self) -> &mut AddressSpaceMap {
+        &mut self.map
+    }
+
+    /// Enable access tracing for the given regions (working-set analysis).
+    pub fn enable_tracing(&mut self, regions: &[Region]) {
+        let mut t = HashMap::new();
+        for &r in regions {
+            if let Some(m) = self.map.region(r) {
+                t.insert(r, AccessTrace::new(m));
+            }
+        }
+        self.traces = Some(t);
+    }
+
+    /// The trace for a region, if tracing was enabled.
+    pub fn trace(&self, r: Region) -> Option<&AccessTrace> {
+        self.traces.as_ref()?.get(&r)
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident_pages
+    }
+
+    fn page(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        let key = addr / PAGE_SIZE;
+        let resident = &mut self.resident_pages;
+        self.pages.entry(key).or_insert_with(|| {
+            *resident += 1;
+            Box::new([0u8; PAGE_SIZE as usize])
+        })
+    }
+
+    /// Whether access tracing is active (the machine consults this to
+    /// decide if cached instruction fetches still need bookkeeping).
+    pub fn tracing_enabled(&self) -> bool {
+        self.traces.is_some()
+    }
+
+    fn check(&self, addr: u32, len: u32, kind: AccessKind) -> Result<Region, MemFault> {
+        let m = self.map.lookup(addr).ok_or(MemFault { addr, kind })?;
+        let ok = match kind {
+            AccessKind::Read => m.perms.read,
+            AccessKind::Write => m.perms.write,
+            AccessKind::Exec => m.perms.exec,
+        };
+        if !ok {
+            return Err(MemFault { addr, kind });
+        }
+        // An access spanning past the mapping's end faults at the first
+        // byte outside it.
+        let end = addr.checked_add(len).ok_or(MemFault { addr, kind })?;
+        if end > m.end {
+            return Err(MemFault { addr: m.end, kind });
+        }
+        Ok(m.region)
+    }
+
+    fn note(&mut self, region: Region, addr: u32, len: u32, now: u64, kind: TraceKind) {
+        if let Some(traces) = self.traces.as_mut() {
+            let relevant = match kind {
+                TraceKind::Fetch => region == Region::Text || region == Region::LibText,
+                TraceKind::Load => matches!(region, Region::Data | Region::Bss | Region::Heap),
+            };
+            if relevant {
+                if let Some(t) = traces.get_mut(&region) {
+                    t.record(addr, len, now);
+                }
+            }
+        }
+    }
+
+    // --- raw byte plumbing (no checks) ----------------------------------
+
+    fn raw_read(&mut self, addr: u32, out: &mut [u8]) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + out.len() <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page.
+            let page = self.page(addr);
+            out.copy_from_slice(&page[off..off + out.len()]);
+            return;
+        }
+        let mut a = addr;
+        for b in out.iter_mut() {
+            let off = (a % PAGE_SIZE) as usize;
+            *b = self.page(a)[off];
+            a = a.wrapping_add(1);
+        }
+    }
+
+    fn raw_write(&mut self, addr: u32, data: &[u8]) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + data.len() <= PAGE_SIZE as usize {
+            let page = self.page(addr);
+            page[off..off + data.len()].copy_from_slice(data);
+            return;
+        }
+        let mut a = addr;
+        for &b in data {
+            let off = (a % PAGE_SIZE) as usize;
+            self.page(a)[off] = b;
+            a = a.wrapping_add(1);
+        }
+    }
+
+    // --- checked user-mode accesses --------------------------------------
+
+    /// Load `N` bytes with protection checks and load tracing.
+    pub fn load(&mut self, addr: u32, len: u32, now: u64) -> Result<Vec<u8>, MemFault> {
+        let region = self.check(addr, len, AccessKind::Read)?;
+        self.note(region, addr, len, now, TraceKind::Load);
+        let mut out = vec![0u8; len as usize];
+        self.raw_read(addr, &mut out);
+        Ok(out)
+    }
+
+    /// Load a 32-bit little-endian word.
+    pub fn load_u32(&mut self, addr: u32, now: u64) -> Result<u32, MemFault> {
+        let region = self.check(addr, 4, AccessKind::Read)?;
+        self.note(region, addr, 4, now, TraceKind::Load);
+        let mut b = [0u8; 4];
+        self.raw_read(addr, &mut b);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Load a byte.
+    pub fn load_u8(&mut self, addr: u32, now: u64) -> Result<u8, MemFault> {
+        let region = self.check(addr, 1, AccessKind::Read)?;
+        self.note(region, addr, 1, now, TraceKind::Load);
+        let mut b = [0u8; 1];
+        self.raw_read(addr, &mut b);
+        Ok(b[0])
+    }
+
+    /// Load a 64-bit float.
+    pub fn load_f64(&mut self, addr: u32, now: u64) -> Result<f64, MemFault> {
+        let region = self.check(addr, 8, AccessKind::Read)?;
+        self.note(region, addr, 8, now, TraceKind::Load);
+        let mut b = [0u8; 8];
+        self.raw_read(addr, &mut b);
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Store a 32-bit word.
+    pub fn store_u32(&mut self, addr: u32, v: u32, _now: u64) -> Result<(), MemFault> {
+        self.check(addr, 4, AccessKind::Write)?;
+        self.raw_write(addr, &v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Store a byte.
+    pub fn store_u8(&mut self, addr: u32, v: u8, _now: u64) -> Result<(), MemFault> {
+        self.check(addr, 1, AccessKind::Write)?;
+        self.raw_write(addr, &[v]);
+        Ok(())
+    }
+
+    /// Store a 64-bit float.
+    pub fn store_f64(&mut self, addr: u32, v: f64, _now: u64) -> Result<(), MemFault> {
+        self.check(addr, 8, AccessKind::Write)?;
+        self.raw_write(addr, &v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Fetch two instruction words for the decoder (exec permission),
+    /// recording a text access for the first word. The second word may lie
+    /// outside the mapping (the instruction may be 1 word long); it reads
+    /// as 0 in that case and the decoder's `Truncated` error surfaces only
+    /// if the opcode wanted an immediate.
+    pub fn fetch_words(&mut self, addr: u32, now: u64) -> Result<[u32; 2], MemFault> {
+        let region = self.check(addr, 4, AccessKind::Exec)?;
+        self.note(region, addr, 4, now, TraceKind::Fetch);
+        let mut b = [0u8; 4];
+        self.raw_read(addr, &mut b);
+        let w0 = u32::from_le_bytes(b);
+        let w1 = if self.check(addr + 4, 4, AccessKind::Exec).is_ok() {
+            self.note(region, addr + 4, 4, now, TraceKind::Fetch);
+            let mut b1 = [0u8; 4];
+            self.raw_read(addr + 4, &mut b1);
+            u32::from_le_bytes(b1)
+        } else {
+            0
+        };
+        Ok([w0, w1])
+    }
+
+    /// Record that the second word of a 2-word instruction was consumed
+    /// (so immediate words count toward the text working set precisely).
+    pub fn note_imm_fetch(&mut self, _addr: u32, _now: u64) {}
+
+    // --- privileged access (loader, fault injector, MPI library) --------
+
+    /// Read bytes with no protection check and no tracing.
+    pub fn peek(&mut self, addr: u32, out: &mut [u8]) {
+        self.raw_read(addr, out);
+    }
+
+    /// Read one byte, privileged.
+    pub fn peek_u8(&mut self, addr: u32) -> u8 {
+        let mut b = [0u8; 1];
+        self.raw_read(addr, &mut b);
+        b[0]
+    }
+
+    /// Read a u32, privileged.
+    pub fn peek_u32(&mut self, addr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        self.raw_read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write bytes with no protection check — the `ptrace`-style poke the
+    /// fault injector uses to corrupt text, data and message buffers.
+    pub fn poke(&mut self, addr: u32, data: &[u8]) {
+        self.raw_write(addr, data);
+    }
+
+    /// Write a u32, privileged.
+    pub fn poke_u32(&mut self, addr: u32, v: u32) {
+        self.raw_write(addr, &v.to_le_bytes());
+    }
+
+    /// Flip one bit at `addr` (privileged) and return the new byte value.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> u8 {
+        debug_assert!(bit < 8);
+        let b = self.peek_u8(addr) ^ (1 << bit);
+        self.poke(addr, &[b]);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Perms, TEXT_BASE};
+
+    fn mem() -> Memory {
+        let mut map = AddressSpaceMap::new();
+        map.add(Mapping { start: TEXT_BASE, end: TEXT_BASE + 0x2000, region: Region::Text, perms: Perms::RX });
+        map.add(Mapping {
+            start: TEXT_BASE + 0x2000,
+            end: TEXT_BASE + 0x4000,
+            region: Region::Data,
+            perms: Perms::RW,
+        });
+        Memory::new(map)
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.store_u32(a, 0xdeadbeef, 0).unwrap();
+        assert_eq!(m.load_u32(a, 0).unwrap(), 0xdeadbeef);
+        m.store_f64(a + 8, -2.5, 0).unwrap();
+        assert_eq!(m.load_f64(a + 8, 0).unwrap(), -2.5);
+        m.store_u8(a + 16, 0xab, 0).unwrap();
+        assert_eq!(m.load_u8(a + 16, 0).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn unaligned_and_page_spanning_access() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000 + 4094; // spans a page boundary
+        m.store_u32(a, 0x11223344, 0).unwrap();
+        assert_eq!(m.load_u32(a, 0).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn write_to_text_faults() {
+        let mut m = mem();
+        let err = m.store_u32(TEXT_BASE, 1, 0).unwrap_err();
+        assert_eq!(err.kind, AccessKind::Write);
+        assert_eq!(err.addr, TEXT_BASE);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = mem();
+        assert!(m.load_u32(0x1000, 0).is_err());
+        assert!(m.load_u32(0xC000_0000, 0).is_err()); // kernel space
+        assert!(m.load_u32(0xffff_fffc, 0).is_err());
+    }
+
+    #[test]
+    fn access_spanning_mapping_end_faults() {
+        let mut m = mem();
+        let last = TEXT_BASE + 0x4000 - 2;
+        let err = m.load_u32(last, 0).unwrap_err();
+        assert_eq!(err.addr, TEXT_BASE + 0x4000);
+    }
+
+    #[test]
+    fn exec_from_data_faults() {
+        let mut m = mem();
+        let err = m.fetch_words(TEXT_BASE + 0x2000, 0).unwrap_err();
+        assert_eq!(err.kind, AccessKind::Exec);
+    }
+
+    #[test]
+    fn poke_bypasses_protection() {
+        let mut m = mem();
+        m.poke_u32(TEXT_BASE, 0xfeedface);
+        assert_eq!(m.peek_u32(TEXT_BASE), 0xfeedface);
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut m = mem();
+        m.poke(TEXT_BASE, &[0b1010_1010]);
+        let nb = m.flip_bit(TEXT_BASE, 0);
+        assert_eq!(nb, 0b1010_1011);
+        let nb = m.flip_bit(TEXT_BASE, 7);
+        assert_eq!(nb, 0b0010_1011);
+    }
+
+    #[test]
+    fn tracing_records_loads_and_fetches() {
+        let mut m = mem();
+        m.enable_tracing(&[Region::Text, Region::Data]);
+        // A load at block count 5.
+        m.store_u32(TEXT_BASE + 0x2000, 7, 0).unwrap();
+        m.load_u32(TEXT_BASE + 0x2000, 5).unwrap();
+        let t = m.trace(Region::Data).unwrap();
+        assert_eq!(t.working_set_granules(0), 1);
+        assert_eq!(t.working_set_granules(5), 1);
+        assert_eq!(t.working_set_granules(6), 0);
+        // Stores are NOT loads: only the earlier load registered.
+        m.store_u32(TEXT_BASE + 0x2100, 7, 9).unwrap();
+        assert_eq!(m.trace(Region::Data).unwrap().working_set_granules(6), 0);
+        // A fetch registers in the text trace.
+        m.fetch_words(TEXT_BASE, 3).unwrap();
+        let t = m.trace(Region::Text).unwrap();
+        assert!(t.working_set_granules(0) >= 1);
+    }
+
+    #[test]
+    fn working_set_is_nonincreasing_in_t() {
+        let mut m = mem();
+        m.enable_tracing(&[Region::Data]);
+        for i in 0..16u32 {
+            m.load_u32(TEXT_BASE + 0x2000 + i * 4, i as u64).unwrap();
+        }
+        let t = m.trace(Region::Data).unwrap();
+        let mut prev = usize::MAX;
+        for time in 0..20u64 {
+            let ws = t.working_set_granules(time);
+            assert!(ws <= prev);
+            prev = ws;
+        }
+        assert_eq!(t.working_set_granules(0), 16);
+        assert_eq!(t.working_set_granules(15), 1);
+        assert_eq!(t.working_set_granules(16), 0);
+    }
+
+    #[test]
+    fn resident_pages_grow_lazily() {
+        let mut m = mem();
+        assert_eq!(m.resident_pages(), 0);
+        m.store_u8(TEXT_BASE + 0x2000, 1, 0).unwrap();
+        assert_eq!(m.resident_pages(), 1);
+        m.store_u8(TEXT_BASE + 0x2001, 1, 0).unwrap();
+        assert_eq!(m.resident_pages(), 1);
+        m.store_u8(TEXT_BASE + 0x3000, 1, 0).unwrap();
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the machine is *total* — no guest program and no
+//! injected fault may ever panic the host. This is the core soundness
+//! property a fault injector depends on: every corruption must land in
+//! one of the defined exits (halt, signal, abort, trap, budget), never in
+//! UB or a crash of the simulator itself.
+
+use fl_isa::{Gpr, RegisterName};
+use fl_machine::{Exit, Machine, MachineConfig, ProgramImage, F80, TEXT_BASE};
+use proptest::prelude::*;
+
+/// A hand-assembled program: a counted loop with frame, FPU use and
+/// stores to data — enough live state for flips to matter.
+fn loop_program() -> ProgramImage {
+    use fl_isa::insn::{AluOp, FpuBinOp};
+    use fl_isa::{Cond, Insn};
+    let data_base = image_from_bytes(vec![0; 4]).data_base();
+    let insns = [
+        Insn::Enter { frame: 16 },                                       // 2w @ +0
+        Insn::MovI { rd: Gpr::Ecx, imm: 0 },                             // 2w @ +8
+        // loop: @ +16
+        Insn::St { rb: Gpr::Ecx, base: Gpr::Ebp, off: -4 },              // 1w
+        Insn::Push { rs: Gpr::Ecx },                                     // 1w
+        Insn::Pop { rd: Gpr::Edx },                                      // 1w
+        Insn::Alu { op: AluOp::Add, rd: Gpr::Eax, ra: Gpr::Ecx, rb: Gpr::Edx }, // 1w
+        Insn::StG { rs: Gpr::Eax, addr: data_base },                     // 2w
+        Insn::FildR { rs: Gpr::Eax },                                    // 1w
+        Insn::Fld1,                                                      // 1w
+        Insn::Fbinp { op: FpuBinOp::Add },                               // 1w
+        Insn::FistpR { rd: Gpr::Esi },                                   // 1w
+        Insn::AddI { rd: Gpr::Ecx, ra: Gpr::Ecx, imm: 1 },               // 2w
+        Insn::CmpI { ra: Gpr::Ecx, imm: 4000 },                          // 2w
+        Insn::J { cond: Cond::Lt, target: TEXT_BASE + 16 },              // 2w
+        Insn::Leave,                                                     // 1w
+        Insn::Halt,                                                      // 1w
+    ];
+    let mut text = Vec::new();
+    for i in &insns {
+        text.extend(fl_isa::encode(i).to_bytes());
+    }
+    image_from_bytes(text)
+}
+
+/// Build an image whose text is arbitrary bytes.
+fn image_from_bytes(text: Vec<u8>) -> ProgramImage {
+    ProgramImage {
+        text,
+        data: vec![0u8; 256],
+        bss_size: 256,
+        lib_text: fl_isa::encode(&fl_isa::Insn::Ret).to_bytes(),
+        lib_data: vec![0u8; 64],
+        entry: TEXT_BASE,
+        symbols: Vec::new(),
+        heap_reserve: 4096,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes as text: the machine must terminate with a defined
+    /// exit, never panic.
+    #[test]
+    fn random_text_never_panics(bytes in proptest::collection::vec(any::<u8>(), 16..512)) {
+        let img = image_from_bytes(bytes);
+        let mut m = Machine::load(&img, MachineConfig { budget: 20_000, ..Default::default() });
+        let exit = m.run(u64::MAX);
+        prop_assert!(!matches!(exit, Exit::Quantum));
+    }
+
+    /// Random valid instructions (re-encoded from random words when they
+    /// decode) still terminate within budget.
+    #[test]
+    fn random_decodable_text_never_panics(words in proptest::collection::vec(any::<u32>(), 8..128)) {
+        let mut text = Vec::new();
+        for w in &words {
+            if let Ok((insn, _)) = fl_isa::decode(&[*w, 0]) {
+                text.extend(fl_isa::encode(&insn).to_bytes());
+            }
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        let img = image_from_bytes(text);
+        let mut m = Machine::load(&img, MachineConfig { budget: 50_000, ..Default::default() });
+        let _ = m.run(u64::MAX);
+    }
+
+    /// Any single register bit flip at any point of a real program leaves
+    /// the machine runnable to a defined exit.
+    #[test]
+    fn register_flips_never_panic(
+        warm in 0u64..500,
+        reg_idx in 0usize..10,
+        bit in 0u32..32,
+    ) {
+        let img = loop_program();
+        let mut m = Machine::load(&img, MachineConfig { budget: 200_000, ..Default::default() });
+        for _ in 0..warm {
+            if m.step().is_some() {
+                break;
+            }
+        }
+        let regs: Vec<RegisterName> = Gpr::ALL
+            .iter()
+            .map(|&g| RegisterName::Gpr(g))
+            .chain([RegisterName::Eip, RegisterName::Eflags])
+            .collect();
+        m.flip_register_bit(regs[reg_idx], bit);
+        let _ = m.run(u64::MAX);
+    }
+
+    /// Any single memory bit flip anywhere in the mapped image likewise.
+    #[test]
+    fn memory_flips_never_panic(
+        warm in 0u64..500,
+        region_pick in 0u8..4,
+        offset in 0u32..4096,
+        bit in 0u8..8,
+    ) {
+        let img = loop_program();
+        let mut m = Machine::load(&img, MachineConfig { budget: 200_000, ..Default::default() });
+        for _ in 0..warm {
+            if m.step().is_some() {
+                break;
+            }
+        }
+        let addr = match region_pick {
+            0 => TEXT_BASE + offset % (img.text.len() as u32),
+            1 => img.data_base() + offset % (img.data.len().max(4) as u32),
+            2 => img.bss_base() + offset % img.bss_size.max(4),
+            _ => 0xBFFF_0000 + offset % 0xF000, // stack area
+        };
+        m.flip_mem_bit(addr, bit);
+        let _ = m.run(u64::MAX);
+    }
+
+    /// F80 conversion total and idempotent through f64.
+    #[test]
+    fn f80_total(bits in any::<u64>(), se in any::<u16>(), flip in 0u32..80) {
+        let f = F80::from_bits(bits, se);
+        let v1 = f.to_f64();
+        let f2 = F80::from_f64(v1);
+        let v2 = f2.to_f64();
+        // Conversion through f64 must be stable after one normalisation.
+        prop_assert!(v1.is_nan() && v2.is_nan() || v1.to_bits() == v2.to_bits());
+        let _ = f.flip_bit(flip).to_f64();
+        let _ = f.classify();
+    }
+}

@@ -1,0 +1,31 @@
+//! # fl-mpi — a simulated MPI-1.1 message layer
+//!
+//! The substrate substitution for MPICH (see DESIGN.md). The layering
+//! follows Figure 2 of the paper:
+//!
+//! ```text
+//!   User App          FL application code (crates/apps)
+//!   ------- API       MPI_* wrapper functions at 0x40000000 (fl-lang link)
+//!   ------- ADI       match/queue/collectives semantics   (world.rs)
+//!   ------- Channel   raw byte transport + traffic accounting; the
+//!                     message fault injector flips bits HERE (§3.3)
+//! ```
+//!
+//! Point-to-point sends are eager below a threshold and RTS/CTS
+//! rendezvous above it; barriers are dissemination rounds of header-only
+//! control messages; broadcast/reduce/allreduce are flat root-based
+//! exchanges. Headers are parsed from raw bytes on arrival, so injected
+//! bit flips corrupt real fields with the paper's three outcomes:
+//! malformed packets abort the job, mismatched envelopes hang it, and
+//! payload corruption silently reaches user buffers.
+
+pub mod message;
+pub mod profile;
+pub mod world;
+
+pub use message::{CtlOp, Header, HeaderError, MsgKind, WireMsg, HEADER_SIZE, MAX_PAYLOAD};
+pub use profile::TrafficProfile;
+pub use world::{
+    MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig, WorldExit, ANY_SOURCE,
+    MAX_USER_TAG,
+};

@@ -1,0 +1,304 @@
+//! Wire-format messages.
+//!
+//! MPICH's ch_p4 channel moves two kinds of messages, both carrying a
+//! 32–64 byte header (§4.2 of the paper): *control* messages that are all
+//! header, and *data* messages with a payload of user bytes. We use a
+//! fixed 48-byte header. Headers are parsed from raw bytes at the
+//! receiving ADI, so a bit flip injected at the channel level (§3.3) can
+//! corrupt any field and produce the paper's observed failure modes:
+//! a broken magic/length kills the library ("about a 40 percent
+//! probability of corrupting the Cactus execution" came mostly from
+//! headers), a broken tag or source strands the message (hang), and a
+//! broken payload flows silently into user data.
+
+/// Header magic ("MPIH" little-endian).
+pub const HEADER_MAGIC: u32 = 0x4849_504D;
+/// Wire header size in bytes.
+pub const HEADER_SIZE: usize = 48;
+/// Largest payload the ADI accepts; a corrupted length field beyond this
+/// is detected as a malformed message.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Header-only control traffic.
+    Control = 1,
+    /// Header + user payload.
+    Data = 2,
+}
+
+/// Control operations (carried in the `ctl_op` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlOp {
+    /// Not a control message.
+    None = 0,
+    /// Barrier round token.
+    Barrier = 1,
+    /// Rendezvous request-to-send.
+    Rts = 2,
+    /// Rendezvous clear-to-send.
+    Cts = 3,
+}
+
+impl CtlOp {
+    fn from_u8(v: u8) -> Option<CtlOp> {
+        Some(match v {
+            0 => CtlOp::None,
+            1 => CtlOp::Barrier,
+            2 => CtlOp::Rts,
+            3 => CtlOp::Cts,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Control or data.
+    pub kind: MsgKind,
+    /// Control operation for control messages.
+    pub ctl_op: CtlOp,
+    /// Sending rank.
+    pub src: u16,
+    /// Destination rank.
+    pub dst: u16,
+    /// MPI tag (or barrier round for barrier tokens).
+    pub tag: u32,
+    /// Per-sender sequence number.
+    pub seq: u32,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+}
+
+/// Why a raw message failed to parse — an "MPICH internal error" that
+/// aborts the application (classified as a Crash, §5.1/§6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`HEADER_SIZE`] bytes.
+    Truncated,
+    /// Magic word mismatch.
+    BadMagic(u32),
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// Unknown control op.
+    BadCtlOp(u8),
+    /// Length field exceeds [`MAX_PAYLOAD`] or disagrees with the bytes
+    /// on the wire.
+    BadLength { declared: u32, actual: u32 },
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::Truncated => f.write_str("truncated message"),
+            HeaderError::BadMagic(m) => write!(f, "bad header magic {m:#010x}"),
+            HeaderError::BadKind(k) => write!(f, "bad message kind {k}"),
+            HeaderError::BadCtlOp(o) => write!(f, "bad control op {o}"),
+            HeaderError::BadLength { declared, actual } => {
+                write!(f, "bad length: header says {declared}, wire has {actual}")
+            }
+        }
+    }
+}
+
+impl Header {
+    /// Serialise to the 48-byte wire format.
+    pub fn to_bytes(&self) -> [u8; HEADER_SIZE] {
+        let mut b = [0u8; HEADER_SIZE];
+        b[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+        b[4] = self.kind as u8;
+        b[5] = self.ctl_op as u8;
+        b[6..8].copy_from_slice(&self.src.to_le_bytes());
+        b[8..10].copy_from_slice(&self.dst.to_le_bytes());
+        b[12..16].copy_from_slice(&self.tag.to_le_bytes());
+        b[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        b[20..24].copy_from_slice(&self.payload_len.to_le_bytes());
+        // Bytes 24..48: reserved/envelope padding (as real headers carry
+        // context ids, request pointers, etc.). A deterministic pattern so
+        // flips there are representative but inert.
+        for (i, slot) in b[24..].iter_mut().enumerate() {
+            *slot = (0xA0 + i as u8) ^ (self.seq as u8);
+        }
+        b
+    }
+
+    /// Parse and validate a header from raw wire bytes.
+    pub fn parse(raw: &[u8]) -> Result<Header, HeaderError> {
+        if raw.len() < HEADER_SIZE {
+            return Err(HeaderError::Truncated);
+        }
+        let word = |o: usize| u32::from_le_bytes(raw[o..o + 4].try_into().unwrap());
+        let magic = word(0);
+        if magic != HEADER_MAGIC {
+            return Err(HeaderError::BadMagic(magic));
+        }
+        let kind = match raw[4] {
+            1 => MsgKind::Control,
+            2 => MsgKind::Data,
+            k => return Err(HeaderError::BadKind(k)),
+        };
+        let ctl_op = CtlOp::from_u8(raw[5]).ok_or(HeaderError::BadCtlOp(raw[5]))?;
+        let src = u16::from_le_bytes(raw[6..8].try_into().unwrap());
+        let dst = u16::from_le_bytes(raw[8..10].try_into().unwrap());
+        let tag = word(12);
+        let seq = word(16);
+        let payload_len = word(20);
+        let actual = (raw.len() - HEADER_SIZE) as u32;
+        if payload_len > MAX_PAYLOAD || payload_len != actual {
+            return Err(HeaderError::BadLength { declared: payload_len, actual });
+        }
+        if kind == MsgKind::Control && payload_len != 0 {
+            return Err(HeaderError::BadLength { declared: payload_len, actual });
+        }
+        Ok(Header { kind, ctl_op, src, dst, tag, seq, payload_len })
+    }
+}
+
+/// A message on the wire: raw bytes (header + payload), exactly what the
+/// channel-level fault injector can flip bits in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMsg {
+    /// Raw bytes: 48-byte header followed by the payload.
+    pub raw: Vec<u8>,
+}
+
+impl WireMsg {
+    /// Build a data message.
+    pub fn data(src: u16, dst: u16, tag: u32, seq: u32, payload: &[u8]) -> WireMsg {
+        let h = Header {
+            kind: MsgKind::Data,
+            ctl_op: CtlOp::None,
+            src,
+            dst,
+            tag,
+            seq,
+            payload_len: payload.len() as u32,
+        };
+        let mut raw = h.to_bytes().to_vec();
+        raw.extend_from_slice(payload);
+        WireMsg { raw }
+    }
+
+    /// Build a control message.
+    pub fn control(op: CtlOp, src: u16, dst: u16, tag: u32, seq: u32) -> WireMsg {
+        let h = Header {
+            kind: MsgKind::Control,
+            ctl_op: op,
+            src,
+            dst,
+            tag,
+            seq,
+            payload_len: 0,
+        };
+        WireMsg { raw: h.to_bytes().to_vec() }
+    }
+
+    /// Total bytes on the wire.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the message is empty (never true for well-formed messages).
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Parse the header.
+    pub fn header(&self) -> Result<Header, HeaderError> {
+        Header::parse(&self.raw)
+    }
+
+    /// The payload bytes (after the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.raw[HEADER_SIZE.min(self.raw.len())..]
+    }
+
+    /// Flip one bit, `offset` bytes into the wire image — the §3.3 fault
+    /// model applied to this message.
+    pub fn flip_bit(&mut self, offset: usize, bit: u8) {
+        if let Some(b) = self.raw.get_mut(offset) {
+            *b ^= 1 << (bit & 7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let m = WireMsg::data(3, 7, 99, 12, &[1, 2, 3, 4]);
+        let h = m.header().unwrap();
+        assert_eq!(h.kind, MsgKind::Data);
+        assert_eq!((h.src, h.dst, h.tag, h.seq), (3, 7, 99, 12));
+        assert_eq!(h.payload_len, 4);
+        assert_eq!(m.payload(), &[1, 2, 3, 4]);
+        assert_eq!(m.len(), HEADER_SIZE + 4);
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        let m = WireMsg::control(CtlOp::Barrier, 0, 1, 2, 5);
+        let h = m.header().unwrap();
+        assert_eq!(h.kind, MsgKind::Control);
+        assert_eq!(h.ctl_op, CtlOp::Barrier);
+        assert_eq!(h.payload_len, 0);
+        assert_eq!(m.len(), HEADER_SIZE);
+    }
+
+    #[test]
+    fn corrupted_magic_detected() {
+        let mut m = WireMsg::data(0, 1, 0, 0, &[9]);
+        m.flip_bit(1, 3);
+        assert!(matches!(m.header(), Err(HeaderError::BadMagic(_))));
+    }
+
+    #[test]
+    fn corrupted_kind_detected() {
+        let mut m = WireMsg::data(0, 1, 0, 0, &[9]);
+        m.flip_bit(4, 2); // kind 2 -> 6
+        assert!(matches!(m.header(), Err(HeaderError::BadKind(6))));
+    }
+
+    #[test]
+    fn corrupted_length_detected() {
+        let mut m = WireMsg::data(0, 1, 0, 0, &[9, 9, 9]);
+        m.flip_bit(20, 7); // payload_len 3 -> 131
+        assert!(matches!(m.header(), Err(HeaderError::BadLength { .. })));
+    }
+
+    #[test]
+    fn corrupted_tag_parses_but_mismatches() {
+        // Tag corruption is NOT detectable at parse time — the message
+        // simply never matches, the paper's hang mode.
+        let mut m = WireMsg::data(0, 1, 5, 0, &[9]);
+        m.flip_bit(12, 4);
+        let h = m.header().unwrap();
+        assert_eq!(h.tag, 5 ^ 16);
+    }
+
+    #[test]
+    fn payload_corruption_is_silent() {
+        let mut m = WireMsg::data(0, 1, 5, 0, &2.0f64.to_le_bytes());
+        m.flip_bit(HEADER_SIZE + 6, 4);
+        assert!(m.header().is_ok());
+        let v = f64::from_le_bytes(m.payload().try_into().unwrap());
+        assert_ne!(v, 2.0);
+    }
+
+    #[test]
+    fn padding_flips_are_inert() {
+        let mut m = WireMsg::data(2, 3, 4, 5, &[8, 8]);
+        m.flip_bit(30, 1);
+        let h = m.header().unwrap();
+        assert_eq!((h.src, h.dst, h.tag, h.seq, h.payload_len), (2, 3, 4, 5, 2));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        assert!(matches!(Header::parse(&[0u8; 10]), Err(HeaderError::Truncated)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Channel-level traffic accounting.
+//!
+//! The paper modified MPICH to "measure and classify the incoming traffic
+//! at the Channel and ADI levels" (§4.2): per process, how many control
+//! messages (header only) and data messages (header + user payload)
+//! arrive, and what fraction of the byte volume is headers vs user data.
+//! Table 1's "Message (MB)" rows and the header/user distribution come
+//! from this measurement, and §6.2's analysis of Cactus ("94 percent of
+//! its incoming MPI traffic is user data") depends on it.
+
+use crate::message::{Header, MsgKind, HEADER_SIZE};
+
+/// Per-rank incoming traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// Control (header-only) messages received.
+    pub control_msgs: u64,
+    /// Data messages received.
+    pub data_msgs: u64,
+    /// Total header bytes received.
+    pub header_bytes: u64,
+    /// Total user-payload bytes received.
+    pub payload_bytes: u64,
+}
+
+impl TrafficProfile {
+    /// Record one parsed incoming message.
+    pub fn record(&mut self, h: &Header) {
+        self.header_bytes += HEADER_SIZE as u64;
+        match h.kind {
+            MsgKind::Control => self.control_msgs += 1,
+            MsgKind::Data => {
+                self.data_msgs += 1;
+                self.payload_bytes += h.payload_len as u64;
+            }
+        }
+    }
+
+    /// Total bytes received at the channel level.
+    pub fn total_bytes(&self) -> u64 {
+        self.header_bytes + self.payload_bytes
+    }
+
+    /// Fraction of the byte volume that is headers (Table 1's "Header"
+    /// distribution column), in percent.
+    pub fn header_percent(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            return 0.0;
+        }
+        100.0 * self.header_bytes as f64 / self.total_bytes() as f64
+    }
+
+    /// Fraction of the byte volume that is user data, in percent.
+    pub fn user_percent(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            return 0.0;
+        }
+        100.0 - self.header_percent()
+    }
+
+    /// Merge another profile (for cluster-wide aggregates).
+    pub fn merge(&mut self, other: &TrafficProfile) {
+        self.control_msgs += other.control_msgs;
+        self.data_msgs += other.data_msgs;
+        self.header_bytes += other.header_bytes;
+        self.payload_bytes += other.payload_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CtlOp, WireMsg};
+
+    #[test]
+    fn record_classifies() {
+        let mut p = TrafficProfile::default();
+        p.record(&WireMsg::control(CtlOp::Barrier, 0, 1, 0, 0).header().unwrap());
+        p.record(&WireMsg::data(0, 1, 0, 1, &[0u8; 52]).header().unwrap());
+        assert_eq!(p.control_msgs, 1);
+        assert_eq!(p.data_msgs, 1);
+        assert_eq!(p.header_bytes, 96);
+        assert_eq!(p.payload_bytes, 52);
+        assert_eq!(p.total_bytes(), 148);
+    }
+
+    #[test]
+    fn percentages() {
+        let mut p = TrafficProfile::default();
+        assert_eq!(p.header_percent(), 0.0);
+        p.header_bytes = 6;
+        p.payload_bytes = 94;
+        assert!((p.header_percent() - 6.0).abs() < 1e-12);
+        assert!((p.user_percent() - 94.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = TrafficProfile {
+            control_msgs: 1,
+            data_msgs: 2,
+            header_bytes: 144,
+            payload_bytes: 100,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.control_msgs, 2);
+        assert_eq!(a.payload_bytes, 200);
+    }
+}

@@ -1,0 +1,875 @@
+//! The MPI world: N simulated processes, a cooperative scheduler, and the
+//! ADI-level semantics of MPI-1.1 point-to-point and collective calls.
+//!
+//! Semantics reproduced from the paper:
+//!
+//! * **Error handlers (§6.2).** MPICH (and LAM/LA-MPI) raise the
+//!   user-registered error handler *only* when argument checks fail —
+//!   e.g. a non-existent destination rank, which is exactly what a stack
+//!   fault that corrupts an argument produces. Abnormal termination of a
+//!   peer aborts the whole application without invoking the handler.
+//! * **Crash containment (§5.1).** A signal in any rank aborts the whole
+//!   job (MPICH handles SIGSEGV/SIGBUS and terminates); so do malformed
+//!   wire messages ("MPICH internal error").
+//! * **Hangs.** A corrupted tag or source strands a receive forever; the
+//!   scheduler detects global quiescence (deadlock) immediately, and a
+//!   spinning rank runs out of its instruction budget — the deterministic
+//!   version of the paper's wait-one-minute rule.
+//! * **Eager vs rendezvous.** Payloads up to the eager threshold travel as
+//!   one data message; larger ones handshake RTS/CTS in control messages,
+//!   which is where much of a control-dominated application's header
+//!   traffic comes from.
+//! * **Nondeterminism (§4.2.2).** With `nondet` scheduling the per-round
+//!   rank order is shuffled, so arrival order — and thus ANY_SOURCE
+//!   matching order — varies across runs, reproducing NAMD's
+//!   nondeterministic execution.
+
+use crate::message::{CtlOp, Header, MsgKind, WireMsg, MAX_PAYLOAD};
+use crate::profile::TrafficProfile;
+use fl_machine::{Exit, Machine, MachineConfig, ProgramImage};
+use fl_isa::{Gpr, Syscall};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Maximum user tag value (larger tags are reserved for collectives).
+pub const MAX_USER_TAG: u32 = 0xFFFF;
+/// ANY_SOURCE wildcard as passed by applications (-1).
+pub const ANY_SOURCE: i32 = -1;
+/// Tag base for collective operations.
+const COLL_TAG_BASE: u32 = 0x4000_0000;
+/// Tag base for barrier tokens.
+const BARRIER_TAG_BASE: u32 = 0x4100_0000;
+
+/// World configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub nranks: u16,
+    /// Instructions per scheduling slice.
+    pub quantum: u64,
+    /// RNG seed (scheduling shuffle in nondet mode).
+    pub seed: u64,
+    /// Shuffle rank scheduling order each round (NAMD-style arrival
+    /// nondeterminism).
+    pub nondet: bool,
+    /// Per-rank machine configuration (budget = hang bound).
+    pub machine: MachineConfig,
+    /// Payloads larger than this use the RTS/CTS rendezvous protocol.
+    pub eager_threshold: u32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            nranks: 4,
+            quantum: 10_000,
+            seed: 0x5EED,
+            nondet: false,
+            machine: MachineConfig::default(),
+            eager_threshold: 1024,
+        }
+    }
+}
+
+/// Why a blocked rank is blocked.
+#[derive(Debug, Clone, PartialEq)]
+enum Blocked {
+    Recv { buf: u32, cap: u32, src: i32, tag: u32 },
+    SendRts { dst: u16, tag: u32, payload: Vec<u8>, seq: u32 },
+    Barrier { round: u32, seq: u32 },
+    ReduceRoot { acc: Vec<f64>, remaining: u32, recvbuf: u32, tag: u32 },
+}
+
+/// Scheduler-visible rank state.
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Ready,
+    Blocked(Blocked),
+    Finalized,
+    Exited,
+}
+
+struct Rank {
+    machine: Machine,
+    status: Status,
+    errhandler: bool,
+    /// Arrived, parsed, unmatched messages.
+    arrived: VecDeque<(Header, WireMsg)>,
+    /// Cumulative bytes ingested at the channel level.
+    received_bytes: u64,
+    /// Per-sender sequence counter.
+    send_seq: u32,
+    /// Collective sequence counter (MPI requires identical collective
+    /// order on every rank).
+    coll_seq: u32,
+    profile: TrafficProfile,
+}
+
+/// A fault to apply to a rank's machine state at a given local
+/// instruction count — the injector-daemon wakeup of §3.1.
+pub struct PendingInjection {
+    /// Target rank.
+    pub rank: u16,
+    /// Rank-local instruction count at which to fire (first).
+    pub at_insns: u64,
+    /// The corruption to apply (built by `fl-inject` at fire time so heap
+    /// scans and stack walks see the live state). `FnMut` so persistent
+    /// faults can re-assert.
+    pub action: Box<dyn FnMut(&mut Machine) + Send>,
+    /// `None` fires once (a transient upset). `Some(p)` re-fires every
+    /// `p` instructions — the stuck-at / long-duration fault model of
+    /// the §8.1 hardware studies.
+    pub period: Option<u64>,
+}
+
+impl PendingInjection {
+    /// A one-shot (transient) injection.
+    pub fn once(
+        rank: u16,
+        at_insns: u64,
+        action: impl FnMut(&mut Machine) + Send + 'static,
+    ) -> PendingInjection {
+        PendingInjection { rank, at_insns, action: Box::new(action), period: None }
+    }
+
+    /// A persistent injection re-asserted every `period` instructions.
+    pub fn persistent(
+        rank: u16,
+        at_insns: u64,
+        period: u64,
+        action: impl FnMut(&mut Machine) + Send + 'static,
+    ) -> PendingInjection {
+        PendingInjection { rank, at_insns, action: Box::new(action), period: Some(period.max(1)) }
+    }
+}
+
+/// A channel-level message fault (§3.3): flip `bit` of the byte at
+/// cumulative received-volume offset `at_recv_byte` on `rank`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFault {
+    /// Receiving rank.
+    pub rank: u16,
+    /// Offset into the rank's cumulative incoming byte stream.
+    pub at_recv_byte: u64,
+    /// Bit index 0–7.
+    pub bit: u8,
+}
+
+/// Where an armed [`MessageFault`] actually landed — recorded when the
+/// flip is applied, for the §6.2 header-vs-payload analysis ("perturbing
+/// the headers has about a 40 percent probability of corrupting the
+/// Cactus execution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFaultHit {
+    /// Byte offset within the struck message.
+    pub offset_in_msg: usize,
+    /// True if the byte was in the 48-byte header.
+    pub in_header: bool,
+    /// Total wire length of the struck message.
+    pub msg_len: usize,
+}
+
+/// Final disposition of a world run — raw material for the §5.1
+/// manifestation classification done in `fl-inject`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldExit {
+    /// Every rank reached MPI_Finalize and exited 0.
+    Clean,
+    /// Abnormal termination: signal, heap corruption, malformed wire
+    /// message, nonzero exit, exit before finalize, or MPI_Abort.
+    Crashed { rank: u16, reason: String },
+    /// An application internal check aborted (abort_msg / assert).
+    AppAborted { rank: u16, msg: String },
+    /// The user-registered MPI error handler fired (argument check).
+    MpiDetected { rank: u16, what: String },
+    /// Deadlock or instruction budget exhaustion.
+    Hung { reason: String },
+}
+
+/// The simulated cluster.
+pub struct MpiWorld {
+    ranks: Vec<Rank>,
+    cfg: WorldConfig,
+    rng: StdRng,
+    injection: Option<PendingInjection>,
+    message_fault: Option<MessageFault>,
+    message_fault_hit: Option<MessageFaultHit>,
+    /// Set once a fatal event is recorded.
+    fatal: Option<WorldExit>,
+}
+
+impl MpiWorld {
+    /// Create a world of `cfg.nranks` processes all running `image`.
+    pub fn new(image: &ProgramImage, cfg: WorldConfig) -> MpiWorld {
+        assert!(cfg.nranks >= 1);
+        let ranks = (0..cfg.nranks)
+            .map(|_| Rank {
+                machine: Machine::load(image, cfg.machine),
+                status: Status::Ready,
+                errhandler: false,
+                arrived: VecDeque::new(),
+                received_bytes: 0,
+                send_seq: 0,
+                coll_seq: 0,
+                profile: TrafficProfile::default(),
+            })
+            .collect();
+        MpiWorld {
+            ranks,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            injection: None,
+            message_fault: None,
+            message_fault_hit: None,
+            fatal: None,
+        }
+    }
+
+    /// Arm a register/memory injection.
+    pub fn set_injection(&mut self, inj: PendingInjection) {
+        assert!((inj.rank as usize) < self.ranks.len());
+        self.injection = Some(inj);
+    }
+
+    /// Arm a message-payload fault.
+    pub fn set_message_fault(&mut self, f: MessageFault) {
+        assert!((f.rank as usize) < self.ranks.len());
+        self.message_fault = Some(f);
+    }
+
+    /// Where the armed message fault landed, if it has fired.
+    pub fn message_fault_hit(&self) -> Option<MessageFaultHit> {
+        self.message_fault_hit
+    }
+
+    /// Direct access to a rank's machine (profiling, output collection).
+    pub fn machine(&self, rank: u16) -> &Machine {
+        &self.ranks[rank as usize].machine
+    }
+
+    /// Mutable access (used by the injector for immediate faults).
+    pub fn machine_mut(&mut self, rank: u16) -> &mut Machine {
+        &mut self.ranks[rank as usize].machine
+    }
+
+    /// A rank's channel-level traffic profile.
+    pub fn profile(&self, rank: u16) -> &TrafficProfile {
+        &self.ranks[rank as usize].profile
+    }
+
+    /// Total bytes received by a rank so far (the paper's per-process
+    /// message volume, used to draw the injection offset).
+    pub fn received_bytes(&self, rank: u16) -> u64 {
+        self.ranks[rank as usize].received_bytes
+    }
+
+    fn fatal(&mut self, e: WorldExit) {
+        if self.fatal.is_none() {
+            self.fatal = Some(e);
+        }
+    }
+
+    // --- channel ---------------------------------------------------------
+
+    /// Ingest a message at `dst`'s channel level: apply any armed fault
+    /// whose offset falls inside this message, account traffic, parse.
+    fn ingest(&mut self, dst: u16, mut msg: WireMsg) {
+        let r = &mut self.ranks[dst as usize];
+        let start = r.received_bytes;
+        let len = msg.len() as u64;
+        r.received_bytes += len;
+        if let Some(f) = self.message_fault {
+            if f.rank == dst && f.at_recv_byte >= start && f.at_recv_byte < start + len {
+                let off = (f.at_recv_byte - start) as usize;
+                msg.flip_bit(off, f.bit);
+                self.message_fault_hit = Some(MessageFaultHit {
+                    offset_in_msg: off,
+                    in_header: off < crate::message::HEADER_SIZE,
+                    msg_len: msg.len(),
+                });
+                self.message_fault = None;
+            }
+        }
+        let r = &mut self.ranks[dst as usize];
+        match msg.header() {
+            Ok(h) => {
+                r.profile.record(&h);
+                r.arrived.push_back((h, msg));
+            }
+            Err(e) => {
+                // Malformed packet: MPICH internal error, fatal to the job.
+                self.fatal(WorldExit::Crashed {
+                    rank: dst,
+                    reason: format!("MPICH internal error: {e}"),
+                });
+            }
+        }
+    }
+
+    /// Guard for destinations computed from *parsed wire headers*: a
+    /// corrupted src field can name a rank that does not exist. Real
+    /// MPICH fails trying to reach the nonexistent peer and aborts the
+    /// job — model that rather than indexing out of range.
+    fn check_wire_dst(&mut self, from: u16, dst: u16) -> bool {
+        if (dst as usize) < self.ranks.len() {
+            return true;
+        }
+        self.fatal(WorldExit::Crashed {
+            rank: from,
+            reason: format!("MPICH internal error: no route to rank {dst}"),
+        });
+        false
+    }
+
+    fn send_data(&mut self, src: u16, dst: u16, tag: u32, payload: &[u8]) {
+        if !self.check_wire_dst(src, dst) {
+            return;
+        }
+        let seq = self.ranks[src as usize].send_seq;
+        self.ranks[src as usize].send_seq += 1;
+        let m = WireMsg::data(src, dst, tag, seq, payload);
+        self.ingest(dst, m);
+    }
+
+    fn send_control(&mut self, op: CtlOp, src: u16, dst: u16, tag: u32) {
+        if !self.check_wire_dst(src, dst) {
+            return;
+        }
+        let seq = self.ranks[src as usize].send_seq;
+        self.ranks[src as usize].send_seq += 1;
+        let m = WireMsg::control(op, src, dst, tag, seq);
+        self.ingest(dst, m);
+    }
+
+    // --- MPI error path ---------------------------------------------------
+
+    /// An MPI-level error on `rank` (bad argument, truncation). Raises the
+    /// registered handler (→ MpiDetected) or aborts (→ Crash), per §6.2.
+    fn mpi_error(&mut self, rank: u16, what: String) {
+        if self.ranks[rank as usize].errhandler {
+            self.fatal(WorldExit::MpiDetected { rank, what });
+        } else {
+            self.fatal(WorldExit::Crashed { rank, reason: format!("MPI error: {what}") });
+        }
+    }
+
+    fn valid_rank(&self, r: i32) -> bool {
+        r >= 0 && (r as usize) < self.ranks.len()
+    }
+
+    /// Validate a buffer range is mapped and writable/readable.
+    fn valid_buffer(&mut self, rank: u16, buf: u32, len: u32, write: bool) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let m = &self.ranks[rank as usize].machine;
+        let Some(mapping) = m.mem.map().lookup(buf) else { return false };
+        if write && !mapping.perms.write || !write && !mapping.perms.read {
+            return false;
+        }
+        match buf.checked_add(len) {
+            Some(end) => end <= mapping.end,
+            None => false,
+        }
+    }
+
+    // --- syscall servicing -------------------------------------------------
+
+    /// Service the MPI syscall `rank` trapped on. Arguments are in the
+    /// registers, marshalled there by the library wrappers.
+    fn service(&mut self, rank: u16, call: Syscall) {
+        let (eax, ecx, edx, ebx) = {
+            let c = &self.ranks[rank as usize].machine.cpu;
+            (c.get(Gpr::Eax), c.get(Gpr::Ecx), c.get(Gpr::Edx), c.get(Gpr::Ebx))
+        };
+        match call {
+            Syscall::MpiInit => {
+                // MPICH allocates internal unexpected-message buffers at
+                // init; they land in the shared heap tagged MPI, which is
+                // exactly what the §3.2 chunk-identifier scheme exists to
+                // exclude from injection.
+                let m = &mut self.ranks[rank as usize].machine;
+                for sz in [1024u32, 512, 2048] {
+                    let _ = m.heap.alloc(&mut m.mem, sz, fl_machine::AllocTag::Mpi);
+                }
+                self.complete(rank, None)
+            }
+            Syscall::MpiCommRank => self.complete(rank, Some(rank as u32)),
+            Syscall::MpiCommSize => self.complete(rank, Some(self.ranks.len() as u32)),
+            Syscall::MpiErrhandlerSet => {
+                self.ranks[rank as usize].errhandler = eax != 0;
+                self.complete(rank, Some(0));
+            }
+            Syscall::MpiFinalize => {
+                self.ranks[rank as usize].status = Status::Finalized;
+                self.ranks[rank as usize].machine.mpi_complete(None);
+            }
+            Syscall::MpiAbort => {
+                self.fatal(WorldExit::Crashed { rank, reason: "MPI_Abort called".into() });
+            }
+            Syscall::MpiSend => {
+                let (buf, len, dst, tag) = (eax, ecx, edx as i32, ebx);
+                if !self.valid_rank(dst) {
+                    return self.mpi_error(rank, format!("MPI_Send: invalid rank {dst}"));
+                }
+                if tag > MAX_USER_TAG {
+                    return self.mpi_error(rank, format!("MPI_Send: invalid tag {tag}"));
+                }
+                if len > MAX_PAYLOAD || !self.valid_buffer(rank, buf, len, false) {
+                    return self.mpi_error(
+                        rank,
+                        format!("MPI_Send: invalid buffer {buf:#x}+{len}"),
+                    );
+                }
+                let mut payload = vec![0u8; len as usize];
+                self.ranks[rank as usize].machine.mem.peek(buf, &mut payload);
+                if len <= self.cfg.eager_threshold {
+                    self.send_data(rank, dst as u16, tag, &payload);
+                    self.complete(rank, None);
+                } else {
+                    // Rendezvous: RTS now, data after CTS.
+                    let seq = self.ranks[rank as usize].send_seq;
+                    self.send_control(CtlOp::Rts, rank, dst as u16, tag);
+                    self.ranks[rank as usize].status = Status::Blocked(Blocked::SendRts {
+                        dst: dst as u16,
+                        tag,
+                        payload,
+                        seq,
+                    });
+                }
+            }
+            Syscall::MpiRecv => {
+                let (buf, cap, src, tag) = (eax, ecx, edx as i32, ebx);
+                if src != ANY_SOURCE && !self.valid_rank(src) {
+                    return self.mpi_error(rank, format!("MPI_Recv: invalid rank {src}"));
+                }
+                if tag > MAX_USER_TAG {
+                    return self.mpi_error(rank, format!("MPI_Recv: invalid tag {tag}"));
+                }
+                if cap > MAX_PAYLOAD || !self.valid_buffer(rank, buf, cap, true) {
+                    return self.mpi_error(
+                        rank,
+                        format!("MPI_Recv: invalid buffer {buf:#x}+{cap}"),
+                    );
+                }
+                self.ranks[rank as usize].status =
+                    Status::Blocked(Blocked::Recv { buf, cap, src, tag });
+            }
+            Syscall::MpiBarrier => {
+                let seq = self.ranks[rank as usize].coll_seq;
+                self.ranks[rank as usize].coll_seq += 1;
+                if self.ranks.len() == 1 {
+                    return self.complete(rank, None);
+                }
+                self.barrier_send(rank, 0, seq);
+                self.ranks[rank as usize].status =
+                    Status::Blocked(Blocked::Barrier { round: 0, seq });
+            }
+            Syscall::MpiBcast => {
+                let (buf, len, root) = (eax, ecx, edx as i32);
+                if !self.valid_rank(root) {
+                    return self.mpi_error(rank, format!("MPI_Bcast: invalid root {root}"));
+                }
+                let seq = self.ranks[rank as usize].coll_seq;
+                self.ranks[rank as usize].coll_seq += 1;
+                let ctag = COLL_TAG_BASE + seq;
+                let is_root = rank as i32 == root;
+                if len > MAX_PAYLOAD || !self.valid_buffer(rank, buf, len, !is_root) {
+                    return self.mpi_error(
+                        rank,
+                        format!("MPI_Bcast: invalid buffer {buf:#x}+{len}"),
+                    );
+                }
+                if is_root {
+                    let mut payload = vec![0u8; len as usize];
+                    self.ranks[rank as usize].machine.mem.peek(buf, &mut payload);
+                    for d in 0..self.ranks.len() as u16 {
+                        if d != rank {
+                            self.send_data(rank, d, ctag, &payload);
+                        }
+                    }
+                    self.complete(rank, None);
+                } else {
+                    self.ranks[rank as usize].status = Status::Blocked(Blocked::Recv {
+                        buf,
+                        cap: len,
+                        src: root,
+                        tag: ctag,
+                    });
+                }
+            }
+            Syscall::MpiReduce | Syscall::MpiAllreduce => {
+                // Reduce(sum of f64): EAX=sendbuf, ECX=count, EDX=root (or
+                // recvbuf for allreduce), EBX=recvbuf (or unused).
+                let allreduce = call == Syscall::MpiAllreduce;
+                let (sendbuf, count) = (eax, ecx);
+                let (root, recvbuf) =
+                    if allreduce { (0i32, edx) } else { (edx as i32, ebx) };
+                if !self.valid_rank(root) {
+                    return self.mpi_error(rank, format!("MPI_Reduce: invalid root {root}"));
+                }
+                let bytes = count.saturating_mul(8);
+                if count > MAX_PAYLOAD / 8 || !self.valid_buffer(rank, sendbuf, bytes, false) {
+                    return self
+                        .mpi_error(rank, format!("MPI_Reduce: invalid sendbuf {sendbuf:#x}"));
+                }
+                let is_root = rank as i32 == root;
+                if is_root && !self.valid_buffer(rank, recvbuf, bytes, true) {
+                    return self
+                        .mpi_error(rank, format!("MPI_Reduce: invalid recvbuf {recvbuf:#x}"));
+                }
+                if allreduce && !is_root && !self.valid_buffer(rank, recvbuf, bytes, true) {
+                    return self
+                        .mpi_error(rank, format!("MPI_Allreduce: invalid recvbuf {recvbuf:#x}"));
+                }
+                let seq = self.ranks[rank as usize].coll_seq;
+                // Allreduce consumes two collective slots (reduce+bcast).
+                self.ranks[rank as usize].coll_seq += if allreduce { 2 } else { 1 };
+                let ctag = COLL_TAG_BASE + seq;
+                let mut local = vec![0u8; bytes as usize];
+                self.ranks[rank as usize].machine.mem.peek(sendbuf, &mut local);
+                if is_root {
+                    let acc: Vec<f64> = local
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    if self.ranks.len() == 1 {
+                        self.finish_reduce(rank, &acc, recvbuf, allreduce, ctag);
+                    } else {
+                        self.ranks[rank as usize].status =
+                            Status::Blocked(Blocked::ReduceRoot {
+                                acc,
+                                remaining: self.ranks.len() as u32 - 1,
+                                recvbuf,
+                                tag: ctag,
+                            });
+                    }
+                } else {
+                    self.send_data(rank, root as u16, ctag, &local);
+                    if allreduce {
+                        // Wait for the broadcast of the result.
+                        self.ranks[rank as usize].status = Status::Blocked(Blocked::Recv {
+                            buf: recvbuf,
+                            cap: bytes,
+                            src: root,
+                            tag: ctag + 1,
+                        });
+                    } else {
+                        self.complete(rank, None);
+                    }
+                }
+            }
+            other => {
+                // A non-MPI syscall should never trap here.
+                self.fatal(WorldExit::Crashed {
+                    rank,
+                    reason: format!("unexpected trap {other:?}"),
+                });
+            }
+        }
+    }
+
+    /// Root finished accumulating a reduce: deposit and, for allreduce,
+    /// broadcast the result.
+    fn finish_reduce(&mut self, rank: u16, acc: &[f64], recvbuf: u32, allreduce: bool, ctag: u32) {
+        let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.ranks[rank as usize].machine.mem.poke(recvbuf, &bytes);
+        if allreduce {
+            for d in 0..self.ranks.len() as u16 {
+                if d != rank {
+                    self.send_data(rank, d, ctag + 1, &bytes);
+                }
+            }
+        }
+        self.complete(rank, None);
+    }
+
+    fn complete(&mut self, rank: u16, ret: Option<u32>) {
+        let r = &mut self.ranks[rank as usize];
+        r.machine.mpi_complete(ret);
+        r.status = Status::Ready;
+    }
+
+    // --- barrier (dissemination) -------------------------------------------
+
+    fn barrier_rounds(&self) -> u32 {
+        let n = self.ranks.len() as u32;
+        32 - (n - 1).leading_zeros() // ceil(log2(n)) for n >= 2
+    }
+
+    fn barrier_send(&mut self, rank: u16, round: u32, seq: u32) {
+        let n = self.ranks.len() as u32;
+        let peer = ((rank as u32) + (1 << round)) % n;
+        let tag = BARRIER_TAG_BASE + (seq << 6) + round;
+        self.send_control(CtlOp::Barrier, rank, peer as u16, tag);
+    }
+
+    // --- matching / progress -------------------------------------------------
+
+    /// Try to unblock `rank`; returns true if its status changed.
+    fn try_unblock(&mut self, rank: usize) -> bool {
+        let blocked = match &self.ranks[rank].status {
+            Status::Blocked(b) => b.clone(),
+            _ => return false,
+        };
+        match blocked {
+            Blocked::Recv { buf, cap, src, tag } => {
+                let pos = self.ranks[rank].arrived.iter().position(|(h, _)| {
+                    h.tag == tag
+                        && (src == ANY_SOURCE || h.src as i32 == src)
+                        && (h.kind == MsgKind::Data
+                            || (h.kind == MsgKind::Control && h.ctl_op == CtlOp::Rts))
+                });
+                let Some(pos) = pos else { return false };
+                let (h, msg) = self.ranks[rank].arrived.remove(pos).unwrap();
+                match h.kind {
+                    MsgKind::Control => {
+                        // An RTS: grant a CTS and keep waiting for data.
+                        self.send_control(CtlOp::Cts, rank as u16, h.src, h.tag);
+                        false
+                    }
+                    MsgKind::Data => {
+                        if h.payload_len > cap {
+                            self.mpi_error(
+                                rank as u16,
+                                format!(
+                                    "MPI_Recv: message truncated ({} > {cap})",
+                                    h.payload_len
+                                ),
+                            );
+                            return true;
+                        }
+                        let payload = msg.payload().to_vec();
+                        self.ranks[rank].machine.mem.poke(buf, &payload);
+                        self.complete(rank as u16, Some(h.payload_len));
+                        true
+                    }
+                }
+            }
+            Blocked::SendRts { dst, tag, payload, seq: _ } => {
+                let pos = self.ranks[rank].arrived.iter().position(|(h, _)| {
+                    h.kind == MsgKind::Control
+                        && h.ctl_op == CtlOp::Cts
+                        && h.src == dst
+                        && h.tag == tag
+                });
+                let Some(pos) = pos else { return false };
+                self.ranks[rank].arrived.remove(pos);
+                self.send_data(rank as u16, dst, tag, &payload);
+                self.complete(rank as u16, None);
+                true
+            }
+            Blocked::Barrier { round, seq } => {
+                let n = self.ranks.len() as u32;
+                let expect_from = ((rank as u32) + n - (1 << round) % n) % n;
+                let tag = BARRIER_TAG_BASE + (seq << 6) + round;
+                let pos = self.ranks[rank].arrived.iter().position(|(h, _)| {
+                    h.kind == MsgKind::Control
+                        && h.ctl_op == CtlOp::Barrier
+                        && h.tag == tag
+                        && h.src as u32 == expect_from
+                });
+                let Some(pos) = pos else { return false };
+                self.ranks[rank].arrived.remove(pos);
+                let next = round + 1;
+                if next >= self.barrier_rounds() {
+                    self.complete(rank as u16, None);
+                } else {
+                    self.barrier_send(rank as u16, next, seq);
+                    self.ranks[rank].status =
+                        Status::Blocked(Blocked::Barrier { round: next, seq });
+                }
+                true
+            }
+            Blocked::ReduceRoot { mut acc, mut remaining, recvbuf, tag } => {
+                let mut changed = false;
+                loop {
+                    let pos = self.ranks[rank]
+                        .arrived
+                        .iter()
+                        .position(|(h, _)| h.kind == MsgKind::Data && h.tag == tag);
+                    let Some(pos) = pos else { break };
+                    let (_, msg) = self.ranks[rank].arrived.remove(pos).unwrap();
+                    for (i, c) in msg.payload().chunks_exact(8).enumerate() {
+                        if let Some(slot) = acc.get_mut(i) {
+                            *slot += f64::from_le_bytes(c.try_into().unwrap());
+                        }
+                    }
+                    remaining -= 1;
+                    changed = true;
+                    if remaining == 0 {
+                        self.finish_reduce_root(rank as u16, &acc, recvbuf, tag);
+                        return true;
+                    }
+                }
+                if changed {
+                    self.ranks[rank].status = Status::Blocked(Blocked::ReduceRoot {
+                        acc,
+                        remaining,
+                        recvbuf,
+                        tag,
+                    });
+                }
+                changed
+            }
+        }
+    }
+
+    /// Root completion for reduce/allreduce: the allreduce flag is
+    /// recovered from whether any peer awaits `tag + 1`.
+    fn finish_reduce_root(&mut self, rank: u16, acc: &[f64], recvbuf: u32, tag: u32) {
+        // Allreduce peers block on Recv(tag+1); a plain reduce has none.
+        let allreduce = self.ranks.iter().any(|r| {
+            matches!(&r.status, Status::Blocked(Blocked::Recv { tag: t, .. }) if *t == tag + 1)
+        });
+        self.finish_reduce(rank, acc, recvbuf, allreduce, tag);
+    }
+
+    /// Run matching to fixpoint.
+    fn progress(&mut self) {
+        loop {
+            let mut any = false;
+            for i in 0..self.ranks.len() {
+                if self.fatal.is_some() {
+                    return;
+                }
+                any |= self.try_unblock(i);
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    // --- the scheduler ----------------------------------------------------
+
+    /// Run the world to completion and classify the outcome.
+    pub fn run(&mut self) -> WorldExit {
+        loop {
+            if let Some(e) = self.run_round() {
+                return e;
+            }
+        }
+    }
+
+    /// Run one scheduler round (each runnable rank gets one quantum).
+    /// Returns the outcome when the world finishes; `None` to continue.
+    /// Exposed so external monitors — e.g. the §7 progress-metric
+    /// watchdog — can sample counters between rounds.
+    pub fn run_round(&mut self) -> Option<WorldExit> {
+        if let Some(f) = self.fatal.take() {
+            return Some(f);
+        }
+        self.progress();
+        if let Some(f) = self.fatal.take() {
+            return Some(f);
+        }
+        if self.ranks.iter().all(|r| matches!(r.status, Status::Exited)) {
+            return Some(WorldExit::Clean);
+        }
+        let mut order: Vec<usize> = (0..self.ranks.len())
+            .filter(|&i| matches!(self.ranks[i].status, Status::Ready | Status::Finalized))
+            .collect();
+        // Finalized ranks still need to run to their exit.
+        if order.is_empty() {
+            // Everyone blocked or exited, and progress() found nothing:
+            // deadlock.
+            let blocked: Vec<u16> = (0..self.ranks.len() as u16)
+                .filter(|&i| matches!(self.ranks[i as usize].status, Status::Blocked(_)))
+                .collect();
+            return Some(WorldExit::Hung {
+                reason: format!("deadlock: ranks {blocked:?} blocked with no traffic"),
+            });
+        }
+        if self.cfg.nondet {
+            order.shuffle(&mut self.rng);
+        }
+        for i in order {
+            if self.fatal.is_some() {
+                break;
+            }
+            if !matches!(self.ranks[i].status, Status::Ready | Status::Finalized) {
+                continue;
+            }
+            self.step_rank(i);
+            self.progress();
+        }
+        None
+    }
+
+    fn step_rank(&mut self, i: usize) {
+        // Clip the quantum to a pending injection point on this rank.
+        let mut quantum = self.cfg.quantum;
+        let mut fire = false;
+        if let Some(inj) = &self.injection {
+            if inj.rank as usize == i {
+                let done = self.ranks[i].machine.counters.insns;
+                if done >= inj.at_insns {
+                    fire = true;
+                } else {
+                    quantum = quantum.min(inj.at_insns - done);
+                }
+            }
+        }
+        if fire {
+            let mut inj = self.injection.take().unwrap();
+            (inj.action)(&mut self.ranks[i].machine);
+            if let Some(p) = inj.period {
+                // Persistent fault: re-arm for the next assertion and
+                // keep the quantum clipped to it.
+                inj.at_insns = self.ranks[i].machine.counters.insns + p;
+                quantum = quantum.min(p);
+                self.injection = Some(inj);
+            }
+        }
+        let exit = self.ranks[i].machine.run(quantum);
+        let rank = i as u16;
+        match exit {
+            Exit::Quantum => {}
+            Exit::Mpi(call) => {
+                if matches!(self.ranks[i].status, Status::Finalized)
+                    && call != Syscall::MpiAbort
+                {
+                    self.fatal(WorldExit::Crashed {
+                        rank,
+                        reason: format!("{call:?} after MPI_Finalize"),
+                    });
+                } else {
+                    self.service(rank, call);
+                }
+            }
+            Exit::Halted(code) => {
+                let finalized = matches!(self.ranks[i].status, Status::Finalized);
+                if !finalized {
+                    self.fatal(WorldExit::Crashed {
+                        rank,
+                        reason: "process exited before MPI_Finalize".into(),
+                    });
+                } else if code != 0 {
+                    self.fatal(WorldExit::Crashed {
+                        rank,
+                        reason: format!("nonzero exit status {code}"),
+                    });
+                } else {
+                    self.ranks[i].status = Status::Exited;
+                }
+            }
+            Exit::Signal(sig) => {
+                self.fatal(WorldExit::Crashed { rank, reason: sig.to_string() });
+            }
+            Exit::HeapCorruption(e) => {
+                self.fatal(WorldExit::Crashed { rank, reason: format!("glibc abort: {e:?}") });
+            }
+            Exit::Abort(msg) => {
+                self.fatal(WorldExit::AppAborted { rank, msg });
+            }
+            Exit::Budget => {
+                self.fatal(WorldExit::Hung {
+                    reason: format!("rank {rank} exhausted its instruction budget"),
+                });
+            }
+        }
+    }
+}

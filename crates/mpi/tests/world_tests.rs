@@ -1,0 +1,557 @@
+//! End-to-end tests of the MPI world running compiled FL programs.
+
+use fl_lang::compile;
+use fl_machine::MachineConfig;
+use fl_mpi::{MessageFault, MpiWorld, WorldConfig, WorldExit};
+
+fn world(src: &str, nranks: u16) -> MpiWorld {
+    let img = compile(src).expect("compiles");
+    MpiWorld::new(
+        &img,
+        WorldConfig {
+            nranks,
+            machine: MachineConfig { budget: 50_000_000, ..Default::default() },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn single_rank_init_finalize() {
+    let mut w = world(
+        r#"fn main() { mpi_init(); print_str("alone\n"); mpi_finalize(); }"#,
+        1,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "alone\n");
+}
+
+#[test]
+fn rank_and_size() {
+    let mut w = world(
+        "fn main() {
+             mpi_init();
+             print_int(mpi_rank()); print_str(\"/\"); print_int(mpi_size());
+             mpi_finalize();
+         }",
+        3,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "0/3");
+    assert_eq!(w.machine(2).console_text(), "2/3");
+}
+
+#[test]
+fn eager_ping_pong() {
+    let mut w = world(
+        "global float buf[4];
+         fn main() {
+             var int me;
+             mpi_init();
+             me = mpi_rank();
+             if (me == 0) {
+                 buf[0] = 12.5;
+                 mpi_send(addr(buf), 32, 1, 7);
+                 mpi_recv(addr(buf), 32, 1, 8);
+                 print_flt(buf[0], 1);
+             } else {
+                 mpi_recv(addr(buf), 32, 0, 7);
+                 buf[0] = buf[0] * 2.0;
+                 mpi_send(addr(buf), 32, 0, 8);
+             }
+             mpi_finalize();
+         }",
+        2,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "25.0");
+}
+
+#[test]
+fn rendezvous_large_message() {
+    // 4096-byte payload exceeds the 1024-byte eager threshold.
+    let mut w = world(
+        "global float big[512];
+         fn main() {
+             var int me;
+             var int i;
+             mpi_init();
+             me = mpi_rank();
+             if (me == 0) {
+                 for (i = 0; i < 512; i = i + 1) { big[i] = float(i); }
+                 mpi_send(addr(big), 4096, 1, 3);
+             } else {
+                 mpi_recv(addr(big), 4096, 0, 3);
+                 print_flt(big[511], 1);
+             }
+             mpi_finalize();
+         }",
+        2,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(1).console_text(), "511.0");
+    // Rendezvous generated control traffic: rank 0 received a CTS,
+    // rank 1 received an RTS.
+    assert!(w.profile(0).control_msgs >= 1);
+    assert!(w.profile(1).control_msgs >= 1);
+    assert_eq!(w.profile(1).data_msgs, 1);
+}
+
+#[test]
+fn any_source_receive() {
+    let mut w = world(
+        "global float v[1];
+         fn main() {
+             var int me;
+             var int i;
+             var float total;
+             mpi_init();
+             me = mpi_rank();
+             if (me == 0) {
+                 total = 0.0;
+                 for (i = 1; i < 4; i = i + 1) {
+                     mpi_recv(addr(v), 8, -1, 5);
+                     total = total + v[0];
+                 }
+                 print_flt(total, 1);
+             } else {
+                 v[0] = float(me);
+                 mpi_send(addr(v), 8, 0, 5);
+             }
+             mpi_finalize();
+         }",
+        4,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "6.0");
+}
+
+#[test]
+fn barrier_synchronises() {
+    for n in [2u16, 3, 4, 8] {
+        let mut w = world(
+            "fn main() { mpi_init(); mpi_barrier(); mpi_barrier(); mpi_finalize(); }",
+            n,
+        );
+        assert_eq!(w.run(), WorldExit::Clean, "n={n}");
+        // Barrier traffic is pure control messages.
+        for r in 0..n {
+            assert!(w.profile(r).control_msgs > 0);
+            assert_eq!(w.profile(r).data_msgs, 0);
+        }
+    }
+}
+
+#[test]
+fn bcast_delivers_to_all() {
+    let mut w = world(
+        "global float arr[8];
+         fn main() {
+             var int i;
+             mpi_init();
+             if (mpi_rank() == 0) {
+                 for (i = 0; i < 8; i = i + 1) { arr[i] = float(i) * 3.0; }
+             }
+             mpi_bcast(addr(arr), 64, 0);
+             print_flt(arr[7], 1);
+             mpi_finalize();
+         }",
+        4,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    for r in 0..4 {
+        assert_eq!(w.machine(r).console_text(), "21.0", "rank {r}");
+    }
+}
+
+#[test]
+fn reduce_sums_to_root() {
+    let mut w = world(
+        "global float part[2];
+         global float out[2];
+         fn main() {
+             var int me;
+             mpi_init();
+             me = mpi_rank();
+             part[0] = float(me);
+             part[1] = 1.0;
+             mpi_reduce(addr(part), 2, 0, addr(out));
+             if (me == 0) { print_flt(out[0], 1); print_str(\" \"); print_flt(out[1], 1); }
+             mpi_finalize();
+         }",
+        4,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "6.0 4.0");
+}
+
+#[test]
+fn allreduce_sums_everywhere() {
+    let mut w = world(
+        "global float part[1];
+         global float out[1];
+         fn main() {
+             mpi_init();
+             part[0] = float(mpi_rank() + 1);
+             mpi_allreduce(addr(part), 1, addr(out));
+             print_flt(out[0], 1);
+             mpi_finalize();
+         }",
+        4,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    for r in 0..4 {
+        assert_eq!(w.machine(r).console_text(), "10.0", "rank {r}");
+    }
+}
+
+#[test]
+fn mismatched_recv_deadlocks() {
+    let mut w = world(
+        "global float b[1];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { mpi_recv(addr(b), 8, 1, 99); }
+             mpi_finalize();
+         }",
+        2,
+    );
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+}
+
+#[test]
+fn invalid_dest_without_handler_crashes() {
+    let mut w = world(
+        "global float b[1];
+         fn main() { mpi_init(); mpi_send(addr(b), 8, 77, 1); mpi_finalize(); }",
+        2,
+    );
+    let e = w.run();
+    assert!(
+        matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("invalid rank")),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn invalid_dest_with_handler_is_mpi_detected() {
+    let mut w = world(
+        "global float b[1];
+         fn main() {
+             mpi_init();
+             mpi_errhandler_set(1);
+             mpi_send(addr(b), 8, 77, 1);
+             mpi_finalize();
+         }",
+        2,
+    );
+    let e = w.run();
+    assert!(matches!(&e, WorldExit::MpiDetected { .. }), "{e:?}");
+}
+
+#[test]
+fn invalid_buffer_detected() {
+    let mut w = world(
+        // Address 64 is unmapped.
+        "fn main() { mpi_init(); mpi_errhandler_set(1); mpi_send(64, 8, 1, 1); mpi_finalize(); }",
+        2,
+    );
+    assert!(matches!(w.run(), WorldExit::MpiDetected { .. }));
+}
+
+#[test]
+fn exit_before_finalize_crashes_job() {
+    let mut w = world(
+        "fn main() {
+             mpi_init();
+             if (mpi_rank() == 1) { } else { mpi_barrier(); }
+         }",
+        2,
+    );
+    // Rank 1 returns from main without finalize -> job abort.
+    let e = w.run();
+    assert!(matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("before MPI_Finalize")), "{e:?}");
+}
+
+#[test]
+fn message_fault_in_payload_corrupts_silently() {
+    let src = "global float buf[1];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) {
+                 buf[0] = 1.0;
+                 mpi_send(addr(buf), 8, 1, 2);
+             } else {
+                 mpi_recv(addr(buf), 8, 0, 2);
+                 print_flt(buf[0], 6);
+             }
+             mpi_finalize();
+         }";
+    // Golden run.
+    let mut w = world(src, 2);
+    assert_eq!(w.run(), WorldExit::Clean);
+    let golden = w.machine(1).console_text();
+    // Faulted run: flip a high mantissa bit of the payload's f64
+    // (payload starts after the 48-byte header).
+    let mut w = world(src, 2);
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 48 + 6, bit: 4 });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_ne!(w.machine(1).console_text(), golden, "payload corruption must show");
+}
+
+#[test]
+fn message_fault_in_header_magic_crashes() {
+    let src = "global float buf[1];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { buf[0] = 1.0; mpi_send(addr(buf), 8, 1, 2); }
+             else { mpi_recv(addr(buf), 8, 0, 2); }
+             mpi_finalize();
+         }";
+    let mut w = world(src, 2);
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 1, bit: 3 });
+    let e = w.run();
+    assert!(
+        matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("MPICH internal error")),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn message_fault_in_tag_hangs() {
+    let src = "global float buf[1];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { buf[0] = 1.0; mpi_send(addr(buf), 8, 1, 2); }
+             else { mpi_recv(addr(buf), 8, 0, 2); }
+             mpi_finalize();
+         }";
+    let mut w = world(src, 2);
+    // Byte 12 is the tag field.
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 12, bit: 6 });
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+}
+
+#[test]
+fn app_abort_is_app_detected() {
+    let mut w = world(
+        r#"fn main() { mpi_init(); assert(mpi_size() == 99, "wrong world"); mpi_finalize(); }"#,
+        2,
+    );
+    assert!(matches!(w.run(), WorldExit::AppAborted { msg, .. } if msg == "wrong world"));
+}
+
+#[test]
+fn nondet_changes_any_source_order_but_reduction_stays_stable() {
+    // Sum of contributions is order-independent; the arrival order of the
+    // individual messages is not. Both worlds must produce the same total.
+    let src = "global float v[1];
+         fn main() {
+             var int i;
+             var float total;
+             mpi_init();
+             if (mpi_rank() == 0) {
+                 total = 0.0;
+                 for (i = 1; i < 6; i = i + 1) { mpi_recv(addr(v), 8, -1, 4); total = total + v[0]; }
+                 print_flt(total, 2);
+             } else {
+                 v[0] = 1.0 / float(mpi_rank());
+                 mpi_send(addr(v), 8, 0, 4);
+             }
+             mpi_finalize();
+         }";
+    let img = compile(src).unwrap();
+    let mut outputs = Vec::new();
+    for seed in 0..4 {
+        let mut w = MpiWorld::new(
+            &img,
+            WorldConfig {
+                nranks: 6,
+                nondet: true,
+                seed,
+                machine: MachineConfig { budget: 50_000_000, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert_eq!(w.run(), WorldExit::Clean);
+        outputs.push(w.machine(0).console_text());
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "totals must agree: {outputs:?}");
+}
+
+#[test]
+fn traffic_profile_counts_messages() {
+    let mut w = world(
+        "global float b[16];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { mpi_send(addr(b), 128, 1, 1); }
+             else { mpi_recv(addr(b), 128, 0, 1); }
+             mpi_barrier();
+             mpi_finalize();
+         }",
+        2,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    let p1 = *w.profile(1);
+    assert_eq!(p1.data_msgs, 1);
+    assert_eq!(p1.payload_bytes, 128);
+    assert!(p1.control_msgs >= 1); // barrier token
+    assert!(p1.header_percent() > 0.0 && p1.header_percent() < 100.0);
+    assert!(w.received_bytes(1) >= p1.total_bytes());
+}
+
+#[test]
+fn truncated_receive_raises_handler() {
+    // Receiver's capacity is smaller than the payload: MPI_ERR_TRUNCATE
+    // raises the registered handler (MPI Detected path).
+    let mut w = world(
+        "global float big[8];
+         global float small[1];
+         fn main() {
+             mpi_init();
+             mpi_errhandler_set(1);
+             if (mpi_rank() == 0) { mpi_send(addr(big), 64, 1, 5); }
+             else { mpi_recv(addr(small), 8, 0, 5); }
+             mpi_finalize();
+         }",
+        2,
+    );
+    let e = w.run();
+    assert!(
+        matches!(&e, WorldExit::MpiDetected { what, .. } if what.contains("truncated")),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn send_to_self_matches_own_receive() {
+    let mut w = world(
+        "global float b[1];
+         fn main() {
+             mpi_init();
+             b[0] = 7.5;
+             mpi_send(addr(b), 8, mpi_rank(), 3);
+             b[0] = 0.0;
+             mpi_recv(addr(b), 8, mpi_rank(), 3);
+             print_flt(b[0], 1);
+             mpi_finalize();
+         }",
+        2,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "7.5");
+}
+
+#[test]
+fn single_rank_collectives_are_identity() {
+    let mut w = world(
+        "global float v[2];
+         global float o[2];
+         fn main() {
+             mpi_init();
+             v[0] = 3.0; v[1] = 4.0;
+             mpi_bcast(addr(v), 16, 0);
+             mpi_reduce(addr(v), 2, 0, addr(o));
+             mpi_allreduce(addr(v), 2, addr(o));
+             mpi_barrier();
+             print_flt(o[0] + o[1], 1);
+             mpi_finalize();
+         }",
+        1,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(0).console_text(), "7.0");
+}
+
+#[test]
+fn back_to_back_collectives_do_not_cross_match() {
+    // Two consecutive bcasts with different payloads: collective
+    // sequence numbers keep them apart even though src/root coincide.
+    let mut w = world(
+        "global float a[1];
+         global float b[1];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { a[0] = 1.0; b[0] = 2.0; }
+             mpi_bcast(addr(a), 8, 0);
+             mpi_bcast(addr(b), 8, 0);
+             print_flt(a[0], 0); print_flt(b[0], 0);
+             mpi_finalize();
+         }",
+        3,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    for r in 0..3 {
+        assert_eq!(w.machine(r).console_text(), "12", "rank {r}");
+    }
+}
+
+#[test]
+fn allreduce_twice_accumulates_independently() {
+    let mut w = world(
+        "global float v[1];
+         global float o[1];
+         fn main() {
+             mpi_init();
+             v[0] = 1.0;
+             mpi_allreduce(addr(v), 1, addr(o));
+             v[0] = o[0];
+             mpi_allreduce(addr(v), 1, addr(o));
+             print_flt(o[0], 0);
+             mpi_finalize();
+         }",
+        3,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    // 3 -> 9 across two allreduces on 3 ranks.
+    for r in 0..3 {
+        assert_eq!(w.machine(r).console_text(), "9", "rank {r}");
+    }
+}
+
+#[test]
+fn message_fault_hit_reports_location() {
+    let src = "global float buf[4];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { mpi_send(addr(buf), 32, 1, 2); }
+             else { mpi_recv(addr(buf), 32, 0, 2); }
+             mpi_finalize();
+         }";
+    // Header hit.
+    let mut w = world(src, 2);
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 30, bit: 0 });
+    let _ = w.run();
+    let hit = w.message_fault_hit().expect("fault fired");
+    assert!(hit.in_header);
+    assert_eq!(hit.offset_in_msg, 30);
+    // Payload hit.
+    let mut w = world(src, 2);
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 60, bit: 0 });
+    let _ = w.run();
+    let hit = w.message_fault_hit().expect("fault fired");
+    assert!(!hit.in_header);
+    assert_eq!(hit.msg_len, 48 + 32);
+}
+
+#[test]
+fn corrupted_src_field_crashes_instead_of_panicking() {
+    // A rendezvous RTS whose src field is corrupted to a nonexistent
+    // rank: granting the CTS must fail like MPICH (job abort), not
+    // panic the simulator. Byte 6 is the low byte of the src field.
+    let src = "global float big[256];
+         fn main() {
+             mpi_init();
+             if (mpi_rank() == 0) { mpi_send(addr(big), 2048, 1, 3); }
+             else { mpi_recv(addr(big), 2048, 0, 3); }
+             mpi_finalize();
+         }";
+    let mut w = world(src, 2);
+    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 6, bit: 5 });
+    let e = w.run();
+    assert!(
+        matches!(&e, WorldExit::Crashed { .. } | WorldExit::Hung { .. }),
+        "{e:?}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Bring your own application: write an MPI program in FL, compile it,
+//! run it on the simulated cluster, and inject faults into it.
+//!
+//! This exercises the full public API surface without the pre-built app
+//! suite: `fl_lang::compile` → `fl_mpi::MpiWorld` → register injection →
+//! outcome classification.
+//!
+//! ```sh
+//! cargo run --release --example custom_app
+//! ```
+
+use fl_inject::{classify, Manifestation};
+use fl_isa::{Gpr, RegisterName};
+use fl_machine::MachineConfig;
+use fl_mpi::{MpiWorld, PendingInjection, WorldConfig};
+
+/// A small pi-by-numerical-integration MPI program, written in FL.
+const PI_SOURCE: &str = r#"
+global int nsteps = 20000;
+global float h = 0.0;
+global float partial[1];
+global float total[1];
+
+fn f(float x) -> float {
+    return 4.0 / (1.0 + x * x);
+}
+
+fn main() {
+    var int me;
+    var int np;
+    var int i;
+    var float x;
+    var float sum;
+    mpi_init();
+    me = mpi_rank();
+    np = mpi_size();
+    h = 1.0 / float(nsteps);
+    sum = 0.0;
+    for (i = me; i < nsteps; i = i + np) {
+        x = (float(i) + 0.5) * h;
+        sum = sum + f(x);
+    }
+    partial[0] = sum * h;
+    mpi_allreduce(addr(partial), 1, addr(total));
+    if (me == 0) {
+        print_str("pi ~= ");
+        print_flt(total[0], 9);
+        print_str("\n");
+    }
+    mpi_finalize();
+}
+"#;
+
+fn main() {
+    // Compile the FL source into a program image (text at 0x08048000,
+    // the MPI wrapper library at 0x40000000, symbols for everything).
+    let image = fl_lang::compile(PI_SOURCE).expect("FL program compiles");
+    println!(
+        "compiled: {} bytes text, {} bytes data, entry {:#010x}",
+        image.text.len(),
+        image.data.len(),
+        image.entry
+    );
+
+    let config = WorldConfig {
+        nranks: 4,
+        machine: MachineConfig { budget: 200_000_000, ..Default::default() },
+        ..Default::default()
+    };
+
+    // Fault-free run.
+    let mut golden_world = MpiWorld::new(&image, config);
+    let exit = golden_world.run();
+    let golden = golden_world.machine(0).console_text();
+    println!("clean run: {exit:?} -> {golden}");
+
+    // Flip one bit of ESP on rank 2 at staggered times and classify.
+    let run_series = |reg: Gpr| -> Vec<Manifestation> {
+        [0u32, 2, 4, 8, 16, 24]
+            .into_iter()
+            .enumerate()
+            .map(|(k, bit)| {
+                let mut w = MpiWorld::new(&image, config);
+                w.set_injection(PendingInjection {
+                    rank: 2,
+                    at_insns: 50_000 + 17_231 * k as u64,
+                    action: Box::new(move |m| {
+                        m.flip_register_bit(RegisterName::Gpr(reg), bit);
+                    }),
+                    period: None,
+                });
+                let exit = w.run();
+                let out = w.machine(0).console.clone();
+                let m = classify(&exit, &out, golden.as_bytes());
+                println!("{reg} bit {bit:>2}: {m}");
+                m
+            })
+            .collect()
+    };
+
+    println!("\n-- ESP (stack pointer) flips --");
+    let esp = run_series(Gpr::Esp);
+    println!("\n-- EAX (accumulator) flips --");
+    let eax = run_series(Gpr::Eax);
+
+    let crashes = |v: &[Manifestation]| v.iter().filter(|m| **m == Manifestation::Crash).count();
+    let errors = |v: &[Manifestation]| v.iter().filter(|m| m.is_error()).count();
+    println!(
+        "\nESP: {}/6 crashed, {}/6 manifested; EAX: {}/6 manifested.\n\
+         Low-order ESP shifts are often *healed* by the frame discipline\n\
+         (`leave` restores ESP from EBP) — while a high bit strands the\n\
+         stack outside its mapping and SIGSEGVs. Corrupted EAX data flows\n\
+         silently into results instead. This per-register texture is what\n\
+         `faultlab campaign --registers` measures at scale (§6.1.1).",
+        crashes(&esp),
+        errors(&esp),
+        errors(&eax),
+    );
+}
