@@ -242,7 +242,12 @@ mod tests {
         assert!(data >= 64 * 1024, "data {data}");
         assert!(bss >= 64 * 1024, "bss {bss}"); // work[8192] alone is 64 KiB
         assert!(text > 0);
-        let tbl = app.image.symbols.iter().find(|s| s.name == "rad_table").unwrap();
+        let tbl = app
+            .image
+            .symbols
+            .iter()
+            .find(|s| s.name == "rad_table")
+            .unwrap();
         assert_eq!(tbl.region, Region::Data);
     }
 

@@ -23,7 +23,9 @@ pub fn functions(prefix: &str, count: u32, seed: u64) -> String {
             .wrapping_add(i as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
         let c1 = 1.0 + (next() % 997) as f64 / 1000.0;
@@ -74,7 +76,10 @@ pub fn functions(prefix: &str, count: u32, seed: u64) -> String {
 pub fn init_routine(name: &str, prefix: &str, count: u32, sink: &str) -> String {
     let mut out = format!("fn {name}() {{\n    var float acc;\n    acc = {sink};\n");
     for i in 0..count {
-        out.push_str(&format!("    acc = acc + {prefix}_{i}(acc * 0.125, {});\n", i % 7 + 1));
+        out.push_str(&format!(
+            "    acc = acc + {prefix}_{i}(acc * 0.125, {});\n",
+            i % 7 + 1
+        ));
     }
     out.push_str(&format!("    {sink} = acc;\n}}\n"));
     out
@@ -123,7 +128,10 @@ mod tests {
         );
         let img = fl_lang::compile(&src).unwrap();
         let small = fl_lang::compile("fn main() { print_int(7); }").unwrap();
-        assert!(img.text.len() > small.text.len() * 5, "cold code must bulk the text");
+        assert!(
+            img.text.len() > small.text.len() * 5,
+            "cold code must bulk the text"
+        );
         let mut m = fl_machine::Machine::load(&img, fl_machine::MachineConfig::default());
         assert!(matches!(m.run(100_000), fl_machine::Exit::Halted(0)));
         assert_eq!(m.console_text(), "7");

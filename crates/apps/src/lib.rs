@@ -226,7 +226,12 @@ impl App {
         };
         let image = fl_lang::compile_with(&source, &opts)
             .unwrap_or_else(|e| panic!("{} does not compile: {e}", kind.name()));
-        App { kind, source, image, params }
+        App {
+            kind,
+            source,
+            image,
+            params,
+        }
     }
 
     /// World configuration for this app. Moldyn runs with nondeterministic
@@ -238,8 +243,15 @@ impl App {
             nranks: self.params.nranks,
             nondet: self.kind == AppKind::Moldyn,
             seed: self.params.seed,
-            machine: MachineConfig { budget, ..Default::default() },
-            eager_threshold: if self.kind == AppKind::Moldyn { 512 } else { 1024 },
+            machine: MachineConfig {
+                budget,
+                ..Default::default()
+            },
+            eager_threshold: if self.kind == AppKind::Moldyn {
+                512
+            } else {
+                1024
+            },
             ..Default::default()
         }
     }
@@ -284,7 +296,12 @@ impl App {
     pub fn golden(&self, budget: u64) -> Golden {
         let mut w = self.world(budget);
         let exit = w.run();
-        assert_eq!(exit, WorldExit::Clean, "{}: golden run must be clean", self.kind.name());
+        assert_eq!(
+            exit,
+            WorldExit::Clean,
+            "{}: golden run must be clean",
+            self.kind.name()
+        );
         let n = self.params.nranks;
         Golden {
             output: self.comparable_output(&w),
@@ -292,8 +309,12 @@ impl App {
             recv_bytes: (0..n).map(|r| w.received_bytes(r)).collect(),
             profiles: (0..n).map(|r| *w.profile(r)).collect(),
             blocks: (0..n).map(|r| w.machine(r).counters.blocks).collect(),
-            heap_peak: (0..n).map(|r| w.machine(r).heap.peak_bytes() as u64).collect(),
-            stack_peak: (0..n).map(|r| w.machine(r).peak_stack_bytes() as u64).collect(),
+            heap_peak: (0..n)
+                .map(|r| w.machine(r).heap.peak_bytes() as u64)
+                .collect(),
+            stack_peak: (0..n)
+                .map(|r| w.machine(r).peak_stack_bytes() as u64)
+                .collect(),
         }
     }
 }
@@ -318,7 +339,12 @@ mod tests {
             let g = app.golden(200_000_000);
             assert!(!g.output.is_empty(), "{}", kind.name());
             assert_eq!(g.insns.len(), app.params.nranks as usize);
-            assert!(g.insns.iter().all(|&i| i > 10_000), "{}: {:?}", kind.name(), g.insns);
+            assert!(
+                g.insns.iter().all(|&i| i > 10_000),
+                "{}: {:?}",
+                kind.name(),
+                g.insns
+            );
             assert!(g.recv_bytes.iter().all(|&b| b > 0));
         }
     }
@@ -327,11 +353,19 @@ mod tests {
     fn cold_code_bulks_text() {
         let small = App::build(
             AppKind::Wavetoy,
-            AppParams { cold_fns: 0, warm_fns: 1, ..AppParams::tiny(AppKind::Wavetoy) },
+            AppParams {
+                cold_fns: 0,
+                warm_fns: 1,
+                ..AppParams::tiny(AppKind::Wavetoy)
+            },
         );
         let big = App::build(
             AppKind::Wavetoy,
-            AppParams { cold_fns: 100, warm_fns: 1, ..AppParams::tiny(AppKind::Wavetoy) },
+            AppParams {
+                cold_fns: 100,
+                warm_fns: 1,
+                ..AppParams::tiny(AppKind::Wavetoy)
+            },
         );
         assert!(big.image.text.len() > small.image.text.len() * 3);
     }

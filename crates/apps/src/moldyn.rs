@@ -375,7 +375,11 @@ mod tests {
         for r in 0..app.params.nranks {
             total.merge(w.profile(r));
         }
-        assert!(total.user_percent() > 70.0, "{:.1}% user", total.user_percent());
+        assert!(
+            total.user_percent() > 70.0,
+            "{:.1}% user",
+            total.user_percent()
+        );
         assert!(total.control_msgs > 0, "rendezvous must generate RTS/CTS");
     }
 
@@ -389,7 +393,11 @@ mod tests {
         let golden = app.golden(100_000_000);
         let mid = golden.recv_bytes[1] / 2;
         let mut w = app.world(100_000_000);
-        w.set_message_fault(fl_mpi::MessageFault { rank: 1, at_recv_byte: mid, bit: 3 });
+        w.set_message_fault(fl_mpi::MessageFault {
+            rank: 1,
+            at_recv_byte: mid,
+            bit: 3,
+        });
         let e = w.run();
         // Depending on where mid lands this is a checksum abort, an MPI
         // crash/hang (header), or (rarely) clean; the common case for a

@@ -32,9 +32,7 @@ pub struct ProfileRow {
 /// Compute the profile from a golden run.
 pub fn profile(app: &App, golden: &Golden) -> ProfileRow {
     let (text, data, bss) = app.image.section_sizes();
-    let minmax = |v: &[u64]| {
-        (*v.iter().min().unwrap_or(&0), *v.iter().max().unwrap_or(&0))
-    };
+    let minmax = |v: &[u64]| (*v.iter().min().unwrap_or(&0), *v.iter().max().unwrap_or(&0));
     let volumes: Vec<u64> = golden.profiles.iter().map(|p| p.total_bytes()).collect();
     let mut total = fl_mpi::TrafficProfile::default();
     for p in &golden.profiles {
@@ -67,7 +65,14 @@ fn kb_range(r: (u64, u64)) -> String {
 /// Render Table 1 for a set of applications.
 pub fn render_profile_table(rows: &[(&str, ProfileRow)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<22} {}", "", rows.iter().map(|(n, _)| format!("{n:>16}")).collect::<String>());
+    let _ = writeln!(
+        out,
+        "{:<22} {}",
+        "",
+        rows.iter()
+            .map(|(n, _)| format!("{n:>16}"))
+            .collect::<String>()
+    );
     let mut line = |label: &str, f: &dyn Fn(&ProfileRow) -> String| {
         let _ = write!(out, "{label:<22}");
         for (_, r) in rows {
@@ -101,7 +106,11 @@ mod tests {
             rows.push((kind, profile(&app, &g)));
         }
         let get = |k: AppKind| rows.iter().find(|(kk, _)| *kk == k).unwrap().1;
-        let (w, m, c) = (get(AppKind::Wavetoy), get(AppKind::Moldyn), get(AppKind::Climsim));
+        let (w, m, c) = (
+            get(AppKind::Wavetoy),
+            get(AppKind::Moldyn),
+            get(AppKind::Climsim),
+        );
         // Distribution shape of Table 1: wavetoy/moldyn user-dominated,
         // climsim header-dominated.
         assert!(w.user_pct > 80.0, "wavetoy user {:.0}%", w.user_pct);
@@ -121,7 +130,16 @@ mod tests {
         let g = app.golden(2_000_000_000);
         let row = profile(&app, &g);
         let table = render_profile_table(&[("wavetoy", row)]);
-        for label in ["Text Size", "Data Size", "BSS Size", "Heap Size", "Stack Size", "Message", "Header %", "User %"] {
+        for label in [
+            "Text Size",
+            "Data Size",
+            "BSS Size",
+            "Heap Size",
+            "Stack Size",
+            "Message",
+            "Header %",
+            "User %",
+        ] {
             assert!(table.contains(label), "{label}");
         }
     }

@@ -38,7 +38,11 @@ pub fn source_with(p: &AppParams, binary_output: bool) -> String {
     } else {
         "fwrite_flt(rowbuf[c], 4);\n            fwrite_str(\" \");"
     };
-    let dump_eol = if binary_output { "" } else { "fwrite_str(\"\\n\");" };
+    let dump_eol = if binary_output {
+        ""
+    } else {
+        "fwrite_str(\"\\n\");"
+    };
     let cold = coldgen::functions("wt_cold", p.cold_fns, p.seed);
     let warm = coldgen::functions("wt_warm", p.warm_fns, p.seed ^ 0xABCD);
     let warmup = coldgen::init_routine("wt_startup", "wt_warm", p.warm_fns, "sink");
@@ -210,10 +214,13 @@ mod tests {
         assert!(first.contains('.'), "{first}");
         assert_eq!(first.split('.').nth(1).unwrap().len(), 4);
         // Most field values are near zero (§6.2).
-        let vals: Vec<f64> =
-            out.split_whitespace().map(|s| s.parse().unwrap()).collect();
+        let vals: Vec<f64> = out.split_whitespace().map(|s| s.parse().unwrap()).collect();
         let near_zero = vals.iter().filter(|v| v.abs() < 0.05).count();
-        assert!(near_zero * 2 > vals.len(), "{near_zero}/{} near zero", vals.len());
+        assert!(
+            near_zero * 2 > vals.len(),
+            "{near_zero}/{} near zero",
+            vals.len()
+        );
     }
 
     #[test]

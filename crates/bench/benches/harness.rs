@@ -92,7 +92,11 @@ fn bench_trial_throughput(c: &mut Criterion) {
     let _ = CampaignConfig::default();
     let mut g = c.benchmark_group("trial");
     g.sample_size(20);
-    for class in [TargetClass::RegularReg, TargetClass::Text, TargetClass::Message] {
+    for class in [
+        TargetClass::RegularReg,
+        TargetClass::Text,
+        TargetClass::Message,
+    ] {
         let mut seed = 0u64;
         g.bench_function(class.label().replace(' ', "_").replace('.', ""), |b| {
             b.iter(|| {

@@ -1,0 +1,69 @@
+//! Cold vs snapshot-forked trial throughput.
+//!
+//! Measures the campaign fast path's payoff: identical trials (same
+//! seeds, same faults, same records) run once with full prefix
+//! re-execution and once forked from the epoch cache. Writes the
+//! trials/sec for both paths and the speedup to `BENCH_snapshot.json`
+//! at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::{App, AppKind, AppParams};
+use fl_inject::{run_trial, run_trial_forked, trial_seed, Dictionaries, TargetClass};
+use fl_snap::EpochCache;
+use std::cell::Cell;
+
+/// Seeds cycled by both paths so they execute the same trial population.
+const SEEDS: u32 = 64;
+
+fn bench_snapshot_fork(c: &mut Criterion) {
+    let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+    let golden = app.golden(2_000_000_000);
+    let budget = golden.insns.iter().max().unwrap() * 3 + 2_000_000;
+    let dicts = Dictionaries::build(&app);
+    let cache = EpochCache::build(&app.image, app.world_config(budget), 8);
+    let class = TargetClass::RegularReg;
+    let campaign_seed = 0xBE7C_u64;
+
+    let k = Cell::new(0u32);
+    c.bench_function("snapshot_fork/cold", |b| {
+        b.iter(|| {
+            let s = trial_seed(campaign_seed, 0, k.get() % SEEDS);
+            k.set(k.get().wrapping_add(1));
+            run_trial(&app, &golden, &dicts, class, s, budget)
+        })
+    });
+    let cold_ns = c.last_ns_per_iter.expect("cold bench must have run");
+
+    let k = Cell::new(0u32);
+    c.bench_function("snapshot_fork/forked", |b| {
+        b.iter(|| {
+            let s = trial_seed(campaign_seed, 0, k.get() % SEEDS);
+            k.set(k.get().wrapping_add(1));
+            run_trial_forked(&app, &golden, &dicts, class, s, budget, Some(&cache))
+        })
+    });
+    let forked_ns = c.last_ns_per_iter.expect("forked bench must have run");
+
+    let cold_tps = 1e9 / cold_ns;
+    let forked_tps = 1e9 / forked_ns;
+    let speedup = forked_tps / cold_tps;
+    println!(
+        "snapshot_fork: cold {cold_tps:.2} trials/s, forked {forked_tps:.2} trials/s, \
+         speedup {speedup:.2}x ({} epochs)",
+        cache.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_fork\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"class\": \"regular-reg\",\n  \"epoch_rounds\": 8,\n  \"epochs\": {},\n  \
+         \"cold_trials_per_sec\": {cold_tps:.3},\n  \
+         \"forked_trials_per_sec\": {forked_tps:.3},\n  \"speedup\": {speedup:.3}\n}}\n",
+        cache.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(path, json).expect("write BENCH_snapshot.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_snapshot_fork);
+criterion_main!(benches);

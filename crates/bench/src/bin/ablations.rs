@@ -32,7 +32,11 @@ fn message_outcomes(app: &App, trials: u32, seed: u64) -> Vec<Manifestation> {
         let mut cfg = app.world_config(budget);
         cfg.seed = rng.gen();
         let mut w = fl_mpi::MpiWorld::new(&app.image, cfg);
-        w.set_message_fault(MessageFault { rank, at_recv_byte: off, bit });
+        w.set_message_fault(MessageFault {
+            rank,
+            at_recv_byte: off,
+            bit,
+        });
         let exit = w.run();
         out.push(classify(&exit, &app.comparable_output(&w), &golden.output));
     }
@@ -58,7 +62,10 @@ fn main() {
     let mut out = String::new();
 
     // --- E11: output format --------------------------------------------
-    let _ = writeln!(out, "Ablation E11: Wavetoy output format (n = {trials} message faults)");
+    let _ = writeln!(
+        out,
+        "Ablation E11: Wavetoy output format (n = {trials} message faults)"
+    );
     let params = AppParams::default_for(AppKind::Wavetoy);
     let text_app = App::build(AppKind::Wavetoy, params);
     let bin_app = App::build_variant(AppKind::Wavetoy, params, AppVariant::BinaryOutput);
@@ -68,9 +75,7 @@ fn main() {
     let bin_out = message_outcomes(&bin_app, trials, 0xE11A);
     let _ = writeln!(out, "  text (4 digits) : {}", dist(&text_out));
     let _ = writeln!(out, "  binary (full)   : {}", dist(&bin_out));
-    let inc = |v: &[Manifestation]| {
-        v.iter().filter(|&&m| m == Manifestation::Incorrect).count()
-    };
+    let inc = |v: &[Manifestation]| v.iter().filter(|&&m| m == Manifestation::Incorrect).count();
     let _ = writeln!(
         out,
         "  incorrect-output detections: text {} vs binary {} — \"a binary\n\
@@ -80,7 +85,10 @@ fn main() {
     );
 
     // --- E12: message checksums -----------------------------------------
-    let _ = writeln!(out, "Ablation E12: Moldyn message checksums (n = {trials} message faults)");
+    let _ = writeln!(
+        out,
+        "Ablation E12: Moldyn message checksums (n = {trials} message faults)"
+    );
     let params = AppParams::default_for(AppKind::Moldyn);
     let with = App::build(AppKind::Moldyn, params);
     let without = App::build_variant(AppKind::Moldyn, params, AppVariant::NoChecksums);
@@ -101,11 +109,11 @@ fn main() {
     let _ = writeln!(out, "  with checksums    : {}", dist(&o_with));
     let _ = writeln!(out, "  without checksums : {}", dist(&o_without));
     let det = |v: &[Manifestation]| {
-        v.iter().filter(|&&m| m == Manifestation::AppDetected).count()
+        v.iter()
+            .filter(|&&m| m == Manifestation::AppDetected)
+            .count()
     };
-    let silent = |v: &[Manifestation]| {
-        v.iter().filter(|&&m| m == Manifestation::Incorrect).count()
-    };
+    let silent = |v: &[Manifestation]| v.iter().filter(|&&m| m == Manifestation::Incorrect).count();
     let _ = writeln!(
         out,
         "  app-detected {} -> {}; silent corruption {} -> {} — removing the\n\
@@ -133,7 +141,11 @@ fn main() {
     );
     use fl_inject::{run_campaign, CampaignConfig, TargetClass};
     let classes = [TargetClass::RegularReg, TargetClass::Text];
-    let cfg = CampaignConfig { injections: trials, seed: 0xE13A, ..Default::default() };
+    let cfg = CampaignConfig {
+        injections: trials,
+        seed: 0xE13A,
+        ..Default::default()
+    };
     eprintln!("ablation E13: plain build ...");
     let r_plain = run_campaign(&plain, &classes, &cfg);
     eprintln!("ablation E13: instrumented build ...");

@@ -27,8 +27,16 @@ fn main() {
     emit("table1.txt", &t1);
 
     // Tables 2-4.
-    for (num, kind) in [(2u32, AppKind::Wavetoy), (3, AppKind::Moldyn), (4, AppKind::Climsim)] {
-        eprintln!("[{:>6.1?}] campaign: {} x {n}/region ...", t0.elapsed(), kind.name());
+    for (num, kind) in [
+        (2u32, AppKind::Wavetoy),
+        (3, AppKind::Moldyn),
+        (4, AppKind::Climsim),
+    ] {
+        eprintln!(
+            "[{:>6.1?}] campaign: {} x {n}/region ...",
+            t0.elapsed(),
+            kind.name()
+        );
         let result = full_campaign(kind, n, 0x1A00 + num as u64);
         let title = format!(
             "Table {num}: Fault Injection Results ({} / {} analogue), n = {n}, d = {:.1}% @95%",
@@ -41,7 +49,11 @@ fn main() {
     }
 
     // Tables 5-7.
-    for (num, kind) in [(5u32, AppKind::Wavetoy), (6, AppKind::Moldyn), (7, AppKind::Climsim)] {
+    for (num, kind) in [
+        (5u32, AppKind::Wavetoy),
+        (6, AppKind::Moldyn),
+        (7, AppKind::Climsim),
+    ] {
         eprintln!("[{:>6.1?}] tracing {} ...", t0.elapsed(), kind.name());
         let app = App::build(kind, AppParams::default_for(kind));
         let report = fl_trace::trace_app(&app, BUDGET, 80);

@@ -17,8 +17,12 @@ fn main() {
          {:<14} {:>11} {:>11} {:>11} {:>11}\n",
         "Region", "transient", "held-flip", "stuck-at-0", "stuck-at-1"
     );
-    for class in [TargetClass::RegularReg, TargetClass::Text, TargetClass::Data, TargetClass::Bss]
-    {
+    for class in [
+        TargetClass::RegularReg,
+        TargetClass::Text,
+        TargetClass::Data,
+        TargetClass::Bss,
+    ] {
         eprintln!("fault models: {class:?} ...");
         let rows = compare_models(&app, class, trials, 0xE16);
         let _ = writeln!(

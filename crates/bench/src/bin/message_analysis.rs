@@ -37,11 +37,21 @@ fn main() {
             let mut cfg = app.world_config(budget);
             cfg.seed = rng.gen();
             let mut w = fl_mpi::MpiWorld::new(&app.image, cfg);
-            w.set_message_fault(MessageFault { rank, at_recv_byte: off, bit });
+            w.set_message_fault(MessageFault {
+                rank,
+                at_recv_byte: off,
+                bit,
+            });
             let exit = w.run();
             let outcome = classify(&exit, &app.comparable_output(&w), &golden.output);
-            let Some(hit) = w.message_fault_hit() else { continue };
-            let slot = if hit.in_header { &mut header } else { &mut payload };
+            let Some(hit) = w.message_fault_hit() else {
+                continue;
+            };
+            let slot = if hit.in_header {
+                &mut header
+            } else {
+                &mut payload
+            };
             slot.0 += 1;
             if outcome.is_error() {
                 slot.1 += 1;
@@ -55,7 +65,13 @@ fn main() {
         for p in &golden.profiles {
             traffic.merge(p);
         }
-        let pct = |n: u32, d: u32| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        let pct = |n: u32, d: u32| {
+            if d == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / d as f64
+            }
+        };
         let _ = writeln!(
             out,
             "\n{} ({} analogue): traffic = {:.0}% header / {:.0}% user",

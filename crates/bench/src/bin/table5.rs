@@ -9,7 +9,7 @@ fn main() {
     eprintln!("table5: tracing wavetoy ...");
     let app = App::build(AppKind::Wavetoy, AppParams::default_for(AppKind::Wavetoy));
     let report = fl_trace::trace_app(&app, BUDGET, 80);
-    let mut out = format!("Table 5: Memory Trace of wavetoy\n\n");
+    let mut out = "Table 5: Memory Trace of wavetoy\n\n".to_string();
     out.push_str(&fl_trace::render_summary(&report));
     emit("table5.txt", &out);
     emit("table5.tsv", &fl_trace::render_tsv(&report));

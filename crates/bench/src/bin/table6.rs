@@ -9,7 +9,7 @@ fn main() {
     eprintln!("table6: tracing moldyn ...");
     let app = App::build(AppKind::Moldyn, AppParams::default_for(AppKind::Moldyn));
     let report = fl_trace::trace_app(&app, BUDGET, 80);
-    let mut out = format!("Table 6: Memory Trace of moldyn\n\n");
+    let mut out = "Table 6: Memory Trace of moldyn\n\n".to_string();
     out.push_str(&fl_trace::render_summary(&report));
     emit("table6.txt", &out);
     emit("table6.tsv", &fl_trace::render_tsv(&report));

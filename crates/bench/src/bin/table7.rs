@@ -9,7 +9,7 @@ fn main() {
     eprintln!("table7: tracing climsim ...");
     let app = App::build(AppKind::Climsim, AppParams::default_for(AppKind::Climsim));
     let report = fl_trace::trace_app(&app, BUDGET, 80);
-    let mut out = format!("Table 7: Memory Trace of climsim\n\n");
+    let mut out = "Table 7: Memory Trace of climsim\n\n".to_string();
     out.push_str(&fl_trace::render_summary(&report));
     emit("table7.txt", &out);
     emit("table7.tsv", &fl_trace::render_tsv(&report));

@@ -38,7 +38,11 @@ pub fn full_campaign(kind: AppKind, injections: u32, seed: u64) -> CampaignResul
     run_campaign(
         &app,
         &TargetClass::ALL,
-        &CampaignConfig { injections, seed, ..Default::default() },
+        &CampaignConfig {
+            injections,
+            seed,
+            ..Default::default()
+        },
     )
 }
 
@@ -47,7 +51,10 @@ pub fn full_campaign(kind: AppKind, injections: u32, seed: u64) -> CampaignResul
 /// single-core host smaller counts with a correspondingly larger d keep
 /// table regeneration to minutes.
 pub fn injections_from_args(default_n: u32) -> u32 {
-    std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default_n)
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_n)
 }
 
 /// The workspace `results/` directory, if present.
@@ -82,7 +89,10 @@ mod tests {
     fn experiment_apps_build() {
         // Building at experiment scale is slow-ish; just check one.
         let app = experiment_app(AppKind::Climsim);
-        assert!(app.image.text.len() > 50_000, "experiment-scale text should be substantial");
+        assert!(
+            app.image.text.len() > 50_000,
+            "experiment-scale text should be substantial"
+        );
     }
 
     #[test]

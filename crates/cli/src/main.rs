@@ -18,6 +18,7 @@ use fl_inject::{
     estimation_error, render_register_breakdown, render_table, render_tsv, run_campaign,
     sample_size, CampaignConfig, TargetClass,
 };
+use fl_snap::RecoveryConfig;
 
 const DEFAULT_BUDGET: u64 = 2_000_000_000;
 
@@ -45,6 +46,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run-config" => cmd_run_config(rest),
         "trace" => cmd_trace(rest),
         "trial" => cmd_trial(rest),
+        "replay" => cmd_replay(rest),
+        "recovery" => cmd_recovery(rest),
         "sample-size" => cmd_sample_size(rest),
         "source" => cmd_source(rest),
         "disasm" => cmd_disasm(rest),
@@ -64,9 +67,14 @@ fn print_usage() {
          USAGE:\n\
          \x20 faultlab profile  [<app> ...]\n\
          \x20 faultlab campaign <app> [--injections N] [--regions R1,R2|all]\n\
-         \x20                   [--seed S] [--threads T] [--tiny] [--tsv] [--registers]\n\
+         \x20                   [--seed S] [--threads T] [--epoch-rounds E]\n\
+         \x20                   [--tiny] [--tsv] [--registers]\n\
          \x20 faultlab trace    <app> [--samples N] [--tsv] [--tiny]\n\
          \x20 faultlab trial    <app> <region> [--seed K] [--tiny]\n\
+         \x20 faultlab replay   <app> <region> --trial K [--regions R1,R2|all]\n\
+         \x20                   [--seed S] [--injections N] [--epoch-rounds E] [--tiny]\n\
+         \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
+         \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
          \x20 faultlab sample-size --error D [--confidence C] [--injections N]\n\
          \x20 faultlab source   <app> [--tiny]\n\
@@ -133,21 +141,29 @@ impl Opts {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     fn get_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.get(name) {
             None => Ok(None),
-            Some(v) => {
-                v.parse().map(Some).map_err(|_| format!("--{name} expects a number, got `{v}`"))
-            }
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
 }
 
 fn build_app(kind: AppKind, tiny: bool) -> App {
-    let params = if tiny { AppParams::tiny(kind) } else { AppParams::default_for(kind) };
+    let params = if tiny {
+        AppParams::tiny(kind)
+    } else {
+        AppParams::default_for(kind)
+    };
     App::build(kind, params)
 }
 
@@ -156,7 +172,10 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let kinds: Vec<AppKind> = if o.words.is_empty() {
         AppKind::ALL.to_vec()
     } else {
-        o.words.iter().map(|w| parse_app(w)).collect::<Result<_, _>>()?
+        o.words
+            .iter()
+            .map(|w| parse_app(w))
+            .collect::<Result<_, _>>()?
     };
     let mut rows = Vec::new();
     for kind in kinds {
@@ -176,13 +195,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let kind = parse_app(app_name)?;
     let regions: Vec<TargetClass> = match o.get("regions") {
         None | Some("all") => TargetClass::ALL.to_vec(),
-        Some(list) => list.split(',').map(parse_region).collect::<Result<_, _>>()?,
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
     };
     let cfg = CampaignConfig {
         injections: o.get_num("injections")?.unwrap_or(500),
         seed: o.get_num("seed")?.unwrap_or(0xFA17),
         budget_factor: 3.0,
         threads: o.get_num("threads")?.unwrap_or(0),
+        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
     };
     let app = build_app(kind, o.has("tiny"));
     eprintln!(
@@ -279,6 +302,104 @@ fn cmd_trial(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("replay needs an app name")?;
+    let region = o.words.get(1).ok_or("replay needs a region")?;
+    let kind = parse_app(app_name)?;
+    let class = parse_region(region)?;
+    let regions: Vec<TargetClass> = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
+    };
+    let ci = regions
+        .iter()
+        .position(|&c| c == class)
+        .ok_or_else(|| format!("region `{region}` is not in the campaign's region list"))?;
+    let k: u32 = o.get_num("trial")?.ok_or("replay needs --trial K")?;
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(500),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+    };
+    if k >= cfg.injections {
+        return Err(format!(
+            "--trial {k} out of range (campaign has {} trials)",
+            cfg.injections
+        ));
+    }
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!("replaying {} {} trial {k} ...", kind.name(), class.label());
+    let rec = fl_inject::replay_trial(&app, &regions, &cfg, ci, k);
+    println!("app:     {}", kind.name());
+    println!("class:   {}", class.label());
+    println!(
+        "trial:   {k} (seed {:#x})",
+        fl_inject::trial_seed(cfg.seed, ci, k)
+    );
+    println!("fault:   {}", rec.detail);
+    println!("outcome: {}", rec.outcome);
+    Ok(())
+}
+
+fn cmd_recovery(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("recovery needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let app = build_app(kind, o.has("tiny"));
+    let golden = app.golden(DEFAULT_BUDGET);
+    let budget = golden.insns.iter().max().unwrap() * 3 + 2_000_000;
+    let wcfg = app.world_config(budget);
+    let every: u32 = o.get_num("checkpoint-every")?.unwrap_or(16);
+    let kill_rank: u16 = o.get_num("kill-rank")?.unwrap_or(1);
+    if kill_rank >= app.params.nranks {
+        return Err(format!(
+            "--kill-rank {kill_rank} out of range (app has {} ranks)",
+            app.params.nranks
+        ));
+    }
+    let kill_round: u64 = match o.get_num("kill-round")? {
+        Some(r) => r,
+        None => {
+            // Default: mid-run, measured on a throwaway golden pass.
+            fl_snap::EpochCache::build(&app.image, wcfg, u32::MAX).rounds() / 2
+        }
+    };
+    eprintln!(
+        "recovery: {}, checkpoint every {every} rounds, kill rank {kill_rank} at round {kill_round} ...",
+        kind.name()
+    );
+    let r = fl_snap::run_recovery(
+        &app.image,
+        wcfg,
+        RecoveryConfig {
+            checkpoint_every: every,
+            kill_rank,
+            kill_round,
+        },
+    );
+    println!("golden run:        {} scheduler rounds", r.golden_rounds);
+    println!("crash:             {:?}", r.crash_exit);
+    println!("checkpoints taken: {}", r.checkpoints_taken);
+    println!("restored from:     round {}", r.checkpoint_round);
+    println!("work lost:         {} rounds", r.lost_rounds);
+    println!("re-run exit:       {:?}", r.recovered_exit);
+    println!(
+        "recovered:         {}",
+        if r.recovered {
+            "yes (output matches golden)"
+        } else {
+            "NO"
+        }
+    );
+    Ok(())
+}
+
 fn cmd_sample_size(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     let conf: f64 = o.get_num("confidence")?.unwrap_or(0.95);
@@ -325,7 +446,12 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let mut printed = 0;
     while idx < words.len() && printed < limit {
         let addr = fl_machine::TEXT_BASE + 4 * idx as u32;
-        if let Some(sym) = app.image.symbols.iter().find(|s| s.addr == addr && !s.library) {
+        if let Some(sym) = app
+            .image
+            .symbols
+            .iter()
+            .find(|s| s.addr == addr && !s.library)
+        {
             println!("\n<{}>:", sym.name);
         }
         match fl_isa::decode_at(&words, idx) {
@@ -353,7 +479,14 @@ mod tests {
 
     #[test]
     fn opts_words_and_flags() {
-        let o = Opts::parse(&s(&["moldyn", "--injections", "400", "--tsv", "--seed", "7"]));
+        let o = Opts::parse(&s(&[
+            "moldyn",
+            "--injections",
+            "400",
+            "--tsv",
+            "--seed",
+            "7",
+        ]));
         assert_eq!(o.words, vec!["moldyn"]);
         assert!(o.has("tsv"));
         assert_eq!(o.get("injections"), Some("400"));
@@ -381,7 +514,10 @@ mod tests {
         assert_eq!(parse_app("wavetoy").unwrap(), AppKind::Wavetoy);
         assert_eq!(parse_app("climsim").unwrap(), AppKind::Climsim);
         assert!(parse_app("namd").is_err());
-        assert_eq!(parse_region("regular-reg").unwrap(), TargetClass::RegularReg);
+        assert_eq!(
+            parse_region("regular-reg").unwrap(),
+            TargetClass::RegularReg
+        );
         assert_eq!(parse_region("msg").unwrap(), TargetClass::Message);
         assert!(parse_region("rom").is_err());
     }

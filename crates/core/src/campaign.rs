@@ -15,6 +15,7 @@ use crate::target::{
 };
 use fl_apps::{App, AppKind, Golden};
 use fl_mpi::{MessageFault, MpiWorld, PendingInjection};
+use fl_snap::EpochCache;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -34,11 +35,24 @@ pub struct CampaignConfig {
     pub budget_factor: f64,
     /// Worker threads (0 = all available).
     pub threads: usize,
+    /// Checkpoint the golden world every this many scheduler rounds and
+    /// start each trial by forking from the latest checkpoint before its
+    /// injection point instead of re-executing the fault-free prefix
+    /// (0 = run every trial cold). Only deterministic applications fork;
+    /// moldyn re-seeds its schedule per trial (§4.2.2) and always runs
+    /// cold regardless of this setting.
+    pub epoch_rounds: u32,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { injections: 500, seed: 0xFA_17, budget_factor: 3.0, threads: 0 }
+        CampaignConfig {
+            injections: 500,
+            seed: 0xFA_17,
+            budget_factor: 3.0,
+            threads: 0,
+            epoch_rounds: 16,
+        }
     }
 }
 
@@ -83,16 +97,49 @@ impl CampaignResult {
     }
 }
 
+/// The hang bound derived from a golden run (`budget_factor` × the
+/// longest rank, plus slack for fault-lengthened paths).
+fn trial_budget(golden: &Golden, cfg: &CampaignConfig) -> u64 {
+    (*golden.insns.iter().max().unwrap() as f64 * cfg.budget_factor) as u64 + 2_000_000
+}
+
+/// The seed of trial `k` of class position `ci` — recomputable, so any
+/// recorded trial can be replayed bit-exactly from its campaign
+/// coordinates.
+pub fn trial_seed(campaign_seed: u64, ci: usize, k: u32) -> u64 {
+    campaign_seed
+        .wrapping_add((ci as u64) << 32)
+        .wrapping_add(k as u64)
+}
+
+/// Build the epoch snapshot cache for the campaign fast path, or `None`
+/// when the configuration or the application rules forking out.
+fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCache> {
+    if cfg.epoch_rounds == 0 {
+        return None;
+    }
+    let wcfg = app.world_config(budget);
+    // Forking replays the *golden* prefix; an app with nondeterministic
+    // scheduling re-draws its arrival order per trial, so its prefix is
+    // not shared and every trial must run cold.
+    if wcfg.nondet {
+        return None;
+    }
+    Some(EpochCache::build(&app.image, wcfg, cfg.epoch_rounds))
+}
+
 /// Run a campaign over the given classes.
 pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) -> CampaignResult {
     let budget0 = 2_000_000_000;
     let golden = app.golden(budget0);
-    let budget =
-        (*golden.insns.iter().max().unwrap() as f64 * cfg.budget_factor) as u64 + 2_000_000;
+    let budget = trial_budget(&golden, cfg);
 
     let dicts = Dictionaries::build(app);
+    let epochs = build_epochs(app, cfg, budget);
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
@@ -100,8 +147,10 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
     let mut results = Vec::new();
     for (ci, &class) in classes.iter().enumerate() {
         let next = AtomicU32::new(0);
-        let records: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::new());
-        let class_seed = cfg.seed.wrapping_add((ci as u64) << 32);
+        // Slot-addressed so the record order is trial order, independent
+        // of which worker finishes first.
+        let records: Mutex<Vec<Option<TrialRecord>>> =
+            Mutex::new(vec![None; cfg.injections as usize]);
         crossbeam::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| loop {
@@ -109,27 +158,69 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
                     if k >= cfg.injections {
                         break;
                     }
-                    let rec = run_trial(
+                    let rec = run_trial_forked(
                         app,
                         &golden,
                         &dicts,
                         class,
-                        class_seed.wrapping_add(k as u64),
+                        trial_seed(cfg.seed, ci, k),
                         budget,
+                        epochs.as_ref(),
                     );
-                    records.lock().unwrap().push(rec);
+                    records.lock().unwrap()[k as usize] = Some(rec);
                 });
             }
         })
         .expect("campaign worker panicked");
-        let trials = records.into_inner().unwrap();
+        let trials: Vec<TrialRecord> = records
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every trial slot filled"))
+            .collect();
         let mut tally = Tally::default();
         for t in &trials {
             tally.record(t.outcome);
         }
-        results.push(ClassResult { class, tally, trials });
+        results.push(ClassResult {
+            class,
+            tally,
+            trials,
+        });
     }
-    CampaignResult { app: app.kind, classes: results, golden }
+    CampaignResult {
+        app: app.kind,
+        classes: results,
+        golden,
+    }
+}
+
+/// Re-execute one recorded trial from its campaign coordinates: class
+/// position `ci` in `classes` and trial index `k`. Deterministic trial
+/// seeding makes the replayed record — fault point, detail string and
+/// manifestation — bit-identical to the original campaign's.
+pub fn replay_trial(
+    app: &App,
+    classes: &[TargetClass],
+    cfg: &CampaignConfig,
+    ci: usize,
+    k: u32,
+) -> TrialRecord {
+    assert!(ci < classes.len(), "class index {ci} out of range");
+    assert!(k < cfg.injections, "trial index {k} out of range");
+    let golden = app.golden(2_000_000_000);
+    let budget = trial_budget(&golden, cfg);
+    let dicts = Dictionaries::build(app);
+    let epochs = build_epochs(app, cfg, budget);
+    run_trial_forked(
+        app,
+        &golden,
+        &dicts,
+        classes[ci],
+        trial_seed(cfg.seed, ci, k),
+        budget,
+        epochs.as_ref(),
+    )
 }
 
 /// Pre-built fault dictionaries for the static regions.
@@ -159,7 +250,8 @@ impl Dictionaries {
     }
 }
 
-/// Execute one injection experiment.
+/// Execute one injection experiment cold: fresh machines, full prefix
+/// re-execution — the paper's reboot-between-injections isolation.
 pub fn run_trial(
     app: &App,
     golden: &Golden,
@@ -168,88 +260,149 @@ pub fn run_trial(
     trial_seed: u64,
     budget: u64,
 ) -> TrialRecord {
+    run_trial_forked(app, golden, dicts, class, trial_seed, budget, None)
+}
+
+/// The state mutation an armed machine fault applies when it fires.
+type FaultAction = Box<dyn FnMut(&mut fl_machine::Machine) + Send>;
+
+/// A fully drawn fault, ready to arm on any world.
+enum Fault {
+    Message(MessageFault),
+    Machine { at_insns: u64, action: FaultAction },
+}
+
+/// Execute one injection experiment, forking from the latest eligible
+/// epoch checkpoint when a cache is supplied.
+///
+/// Cold and forked trials consume the identical random sequence — the
+/// complete fault specification is drawn before any world exists — so a
+/// campaign produces the same records either way; forking only skips the
+/// redundant fault-free prefix.
+pub fn run_trial_forked(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+) -> TrialRecord {
     let mut rng = StdRng::seed_from_u64(trial_seed);
     let nranks = app.params.nranks;
     let rank = rng.gen_range(0..nranks);
-    let mut cfg = app.world_config(budget);
-    cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
-    let mut world = MpiWorld::new(&app.image, cfg);
 
-    let detail = match class {
+    let (fault, detail) = match class {
         TargetClass::Message => {
             let volume = golden.recv_bytes[rank as usize].max(1);
             let off = rng.gen_range(0..volume);
             let bit = rng.gen_range(0..8u8);
-            world.set_message_fault(MessageFault { rank, at_recv_byte: off, bit });
-            format!("rank {rank} recv byte {off} bit {bit}")
+            (
+                Fault::Message(MessageFault {
+                    rank,
+                    at_recv_byte: off,
+                    bit,
+                }),
+                format!("rank {rank} recv byte {off} bit {bit}"),
+            )
         }
         _ => {
             let at_insns = rng.gen_range(1..golden.insns[rank as usize].max(2));
-            let (action, detail): (Box<dyn FnMut(&mut fl_machine::Machine) + Send>, String) =
-                match class {
-                    TargetClass::RegularReg | TargetClass::FpReg => {
-                        let regs = if class == TargetClass::RegularReg {
-                            regular_registers()
-                        } else {
-                            fp_registers()
-                        };
-                        let reg = regs[rng.gen_range(0..regs.len())];
-                        let bit = rng.gen_range(0..reg.width_bits());
-                        (
-                            Box::new(move |m: &mut fl_machine::Machine| {
-                                m.flip_register_bit(reg, bit);
-                            }),
-                            format!("{reg} bit {bit}"),
-                        )
-                    }
-                    TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
-                        let addr = dicts
-                            .get(class)
-                            .pick(&mut rng)
-                            .expect("static region must have symbols");
-                        let bit = rng.gen_range(0..8u8);
-                        (
-                            Box::new(move |m: &mut fl_machine::Machine| {
+            let (action, detail): (FaultAction, String) = match class {
+                TargetClass::RegularReg | TargetClass::FpReg => {
+                    let regs = if class == TargetClass::RegularReg {
+                        regular_registers()
+                    } else {
+                        fp_registers()
+                    };
+                    let reg = regs[rng.gen_range(0..regs.len())];
+                    let bit = rng.gen_range(0..reg.width_bits());
+                    (
+                        Box::new(move |m: &mut fl_machine::Machine| {
+                            m.flip_register_bit(reg, bit);
+                        }),
+                        format!("{reg} bit {bit}"),
+                    )
+                }
+                TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
+                    let addr = dicts
+                        .get(class)
+                        .pick(&mut rng)
+                        .expect("static region must have symbols");
+                    let bit = rng.gen_range(0..8u8);
+                    (
+                        Box::new(move |m: &mut fl_machine::Machine| {
+                            m.flip_mem_bit(addr, bit);
+                        }),
+                        format!("{} {addr:#010x} bit {bit}", class.label()),
+                    )
+                }
+                TargetClass::Heap => {
+                    let (r1, r2) = (rng.gen::<u64>(), rng.gen::<u64>());
+                    let bit = rng.gen_range(0..8u8);
+                    (
+                        Box::new(move |m: &mut fl_machine::Machine| {
+                            if let Some(addr) = resolve_heap_target(m, r1, r2) {
                                 m.flip_mem_bit(addr, bit);
-                            }),
-                            format!("{} {addr:#010x} bit {bit}", class.label()),
-                        )
-                    }
-                    TargetClass::Heap => {
-                        let (r1, r2) = (rng.gen::<u64>(), rng.gen::<u64>());
-                        let bit = rng.gen_range(0..8u8);
-                        (
-                            Box::new(move |m: &mut fl_machine::Machine| {
-                                if let Some(addr) = resolve_heap_target(m, r1, r2) {
-                                    m.flip_mem_bit(addr, bit);
-                                }
-                            }),
-                            format!("heap draw {r1:#x} bit {bit}"),
-                        )
-                    }
-                    TargetClass::Stack => {
-                        let r = rng.gen::<u64>();
-                        let bit = rng.gen_range(0..8u8);
-                        (
-                            Box::new(move |m: &mut fl_machine::Machine| {
-                                if let Some(addr) = resolve_stack_target(m, r) {
-                                    m.flip_mem_bit(addr, bit);
-                                }
-                            }),
-                            format!("stack draw {r:#x} bit {bit}"),
-                        )
-                    }
-                    TargetClass::Message => unreachable!(),
-                };
-            world.set_injection(PendingInjection { rank, at_insns, action, period: None });
-            format!("rank {rank} t={at_insns}: {detail}")
+                            }
+                        }),
+                        format!("heap draw {r1:#x} bit {bit}"),
+                    )
+                }
+                TargetClass::Stack => {
+                    let r = rng.gen::<u64>();
+                    let bit = rng.gen_range(0..8u8);
+                    (
+                        Box::new(move |m: &mut fl_machine::Machine| {
+                            if let Some(addr) = resolve_stack_target(m, r) {
+                                m.flip_mem_bit(addr, bit);
+                            }
+                        }),
+                        format!("stack draw {r:#x} bit {bit}"),
+                    )
+                }
+                TargetClass::Message => unreachable!(),
+            };
+            (
+                Fault::Machine { at_insns, action },
+                format!("rank {rank} t={at_insns}: {detail}"),
+            )
         }
     };
+
+    // Pick the latest checkpoint the injection point permits: the target
+    // rank must not yet have passed the fire point (strictly, for
+    // instruction-timed faults) or ingested the struck byte.
+    let epoch = epochs.and_then(|e| match &fault {
+        Fault::Message(f) => e.best_for_recv(rank, f.at_recv_byte),
+        Fault::Machine { at_insns, .. } => e.best_for_insns(rank, *at_insns),
+    });
+    let mut world = match epoch {
+        Some(e) => e.snap.restore(),
+        None => {
+            let mut cfg = app.world_config(budget);
+            cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
+            MpiWorld::new(&app.image, cfg)
+        }
+    };
+    match fault {
+        Fault::Message(f) => world.set_message_fault(f),
+        Fault::Machine { at_insns, action } => world.set_injection(PendingInjection {
+            rank,
+            at_insns,
+            action,
+            period: None,
+        }),
+    }
 
     let exit = world.run();
     let output = app.comparable_output(&world);
     let outcome = classify(&exit, &output, &golden.output);
-    TrialRecord { class, detail, outcome }
+    TrialRecord {
+        class,
+        detail,
+        outcome,
+    }
 }
 
 #[cfg(test)]
@@ -262,14 +415,23 @@ mod tests {
         run_campaign(
             &app,
             classes,
-            &CampaignConfig { injections: n, seed: 42, budget_factor: 3.0, threads: 0 },
+            &CampaignConfig {
+                injections: n,
+                seed: 42,
+                ..Default::default()
+            },
         )
     }
 
     #[test]
     fn campaign_is_reproducible() {
         let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
-        let cfg = CampaignConfig { injections: 12, seed: 7, budget_factor: 3.0, threads: 2 };
+        let cfg = CampaignConfig {
+            injections: 12,
+            seed: 7,
+            threads: 2,
+            ..Default::default()
+        };
         let a = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
         let b = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
         assert_eq!(a.classes[0].tally, b.classes[0].tally);
@@ -280,7 +442,10 @@ mod tests {
         // §6.1.1: integer registers are the most vulnerable (38-63 %).
         let r = mini_campaign(AppKind::Wavetoy, &[TargetClass::RegularReg], 60);
         let rate = r.classes[0].tally.error_rate_percent();
-        assert!(rate > 20.0, "regular-register error rate {rate:.1}% too low");
+        assert!(
+            rate > 20.0,
+            "regular-register error rate {rate:.1}% too low"
+        );
     }
 
     #[test]
@@ -305,6 +470,83 @@ mod tests {
         for c in &r.classes {
             assert_eq!(c.tally.executions, 6, "{:?}", c.class);
             assert_eq!(c.trials.len(), 6);
+        }
+    }
+
+    #[test]
+    fn snapshot_and_cold_paths_produce_identical_records() {
+        // The tentpole invariant at campaign level: forking trials from
+        // epoch checkpoints must change nothing observable — same
+        // details, same manifestations, same tallies.
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let classes = [
+            TargetClass::RegularReg,
+            TargetClass::Stack,
+            TargetClass::Message,
+        ];
+        let cold = CampaignConfig {
+            injections: 10,
+            seed: 0xF0,
+            epoch_rounds: 0,
+            ..Default::default()
+        };
+        let snap = CampaignConfig {
+            injections: 10,
+            seed: 0xF0,
+            epoch_rounds: 8,
+            ..Default::default()
+        };
+        let a = run_campaign(&app, &classes, &cold);
+        let b = run_campaign(&app, &classes, &snap);
+        for (ca, cb) in a.classes.iter().zip(&b.classes) {
+            assert_eq!(
+                ca.trials, cb.trials,
+                "{:?}: fork path diverged from cold path",
+                ca.class
+            );
+            assert_eq!(ca.tally, cb.tally);
+        }
+    }
+
+    #[test]
+    fn trial_order_is_deterministic_across_thread_counts() {
+        let app = App::build(AppKind::Climsim, AppParams::tiny(AppKind::Climsim));
+        let one = CampaignConfig {
+            injections: 8,
+            seed: 5,
+            threads: 1,
+            ..Default::default()
+        };
+        let four = CampaignConfig {
+            injections: 8,
+            seed: 5,
+            threads: 4,
+            ..Default::default()
+        };
+        let a = run_campaign(&app, &[TargetClass::RegularReg], &one);
+        let b = run_campaign(&app, &[TargetClass::RegularReg], &four);
+        // Not just the same multiset: record k must sit in slot k.
+        assert_eq!(a.classes[0].trials, b.classes[0].trials);
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_trials() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let classes = [TargetClass::RegularReg, TargetClass::Message];
+        let cfg = CampaignConfig {
+            injections: 6,
+            seed: 0xBEEF,
+            ..Default::default()
+        };
+        let result = run_campaign(&app, &classes, &cfg);
+        for (ci, class_result) in result.classes.iter().enumerate() {
+            for k in [0u32, 3, 5] {
+                let replayed = replay_trial(&app, &classes, &cfg, ci, k);
+                assert_eq!(
+                    replayed, class_result.trials[k as usize],
+                    "replay of class {ci} trial {k} diverged"
+                );
+            }
         }
     }
 

@@ -13,6 +13,7 @@
 //! seed          = 0xFA17
 //! threads       = 0
 //! budget_factor = 3.0
+//! epoch_rounds  = 16
 //! tiny          = false
 //! ```
 
@@ -52,7 +53,10 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, ConfigError> {
-    Err(ConfigError { line, msg: msg.into() })
+    Err(ConfigError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 fn parse_u64(line: u32, v: &str) -> Result<u64, ConfigError> {
@@ -61,7 +65,10 @@ fn parse_u64(line: u32, v: &str) -> Result<u64, ConfigError> {
     } else {
         v.parse()
     };
-    r.map_err(|_| ConfigError { line, msg: format!("expected a number, got `{v}`") })
+    r.map_err(|_| ConfigError {
+        line,
+        msg: format!("expected a number, got `{v}`"),
+    })
 }
 
 fn parse_region(line: u32, v: &str) -> Result<TargetClass, ConfigError> {
@@ -124,10 +131,12 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, ConfigError> {
             "injections" => campaign.injections = parse_u64(line, value)? as u32,
             "seed" => campaign.seed = parse_u64(line, value)?,
             "threads" => campaign.threads = parse_u64(line, value)? as usize,
+            "epoch_rounds" => campaign.epoch_rounds = parse_u64(line, value)? as u32,
             "budget_factor" => {
-                campaign.budget_factor = value
-                    .parse()
-                    .map_err(|_| ConfigError { line, msg: format!("bad float `{value}`") })?
+                campaign.budget_factor = value.parse().map_err(|_| ConfigError {
+                    line,
+                    msg: format!("bad float `{value}`"),
+                })?
             }
             "tiny" => {
                 tiny = match value {
@@ -139,7 +148,10 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, ConfigError> {
             other => return err(line, format!("unknown key `{other}`")),
         }
     }
-    let app = app.ok_or(ConfigError { line: 0, msg: "missing required key `app`".into() })?;
+    let app = app.ok_or(ConfigError {
+        line: 0,
+        msg: "missing required key `app`".into(),
+    })?;
     Ok(ExperimentSpec {
         app,
         classes: classes.unwrap_or_else(|| TargetClass::ALL.to_vec()),
@@ -162,18 +174,24 @@ mod tests {
              seed = 0xFA17\n\
              threads = 4\n\
              budget_factor = 2.5\n\
+             epoch_rounds = 8\n\
              tiny = true\n",
         )
         .unwrap();
         assert_eq!(spec.app, AppKind::Moldyn);
         assert_eq!(
             spec.classes,
-            vec![TargetClass::RegularReg, TargetClass::FpReg, TargetClass::Message]
+            vec![
+                TargetClass::RegularReg,
+                TargetClass::FpReg,
+                TargetClass::Message
+            ]
         );
         assert_eq!(spec.campaign.injections, 400);
         assert_eq!(spec.campaign.seed, 0xFA17);
         assert_eq!(spec.campaign.threads, 4);
         assert!((spec.campaign.budget_factor - 2.5).abs() < 1e-12);
+        assert_eq!(spec.campaign.epoch_rounds, 8);
         assert!(spec.tiny);
     }
 
@@ -181,7 +199,10 @@ mod tests {
     fn defaults_fill_in() {
         let spec = parse_spec("app = wavetoy\n").unwrap();
         assert_eq!(spec.classes.len(), 8);
-        assert_eq!(spec.campaign.injections, CampaignConfig::default().injections);
+        assert_eq!(
+            spec.campaign.injections,
+            CampaignConfig::default().injections
+        );
         assert!(!spec.tiny);
     }
 
@@ -195,11 +216,24 @@ mod tests {
     fn errors_carry_lines() {
         assert_eq!(parse_spec("app = nosuch").unwrap_err().line, 1);
         assert_eq!(parse_spec("app = moldyn\nbogus = 1").unwrap_err().line, 2);
-        assert_eq!(parse_spec("app = moldyn\n\nregions = heap, nope").unwrap_err().line, 3);
+        assert_eq!(
+            parse_spec("app = moldyn\n\nregions = heap, nope")
+                .unwrap_err()
+                .line,
+            3
+        );
         assert_eq!(parse_spec("injections = 10").unwrap_err().line, 0); // no app
         assert_eq!(parse_spec("app moldyn").unwrap_err().line, 1); // no '='
-        assert_eq!(parse_spec("app = moldyn\ntiny = maybe").unwrap_err().line, 2);
-        assert_eq!(parse_spec("app = moldyn\ninjections = ten").unwrap_err().line, 2);
+        assert_eq!(
+            parse_spec("app = moldyn\ntiny = maybe").unwrap_err().line,
+            2
+        );
+        assert_eq!(
+            parse_spec("app = moldyn\ninjections = ten")
+                .unwrap_err()
+                .line,
+            2
+        );
     }
 
     #[test]

@@ -36,8 +36,12 @@ pub enum FaultModel {
 
 impl FaultModel {
     /// All models, transient first.
-    pub const ALL: [FaultModel; 4] =
-        [FaultModel::Transient, FaultModel::Held, FaultModel::StuckAt0, FaultModel::StuckAt1];
+    pub const ALL: [FaultModel; 4] = [
+        FaultModel::Transient,
+        FaultModel::Held,
+        FaultModel::StuckAt0,
+        FaultModel::StuckAt1,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -130,8 +134,7 @@ pub fn run_model_trial(
                         match forced {
                             None => {
                                 m.flip_mem_bit(addr, bit);
-                                forced =
-                                    Some(m.mem.peek_u8(addr) >> (bit & 7) & 1 == 1);
+                                forced = Some(m.mem.peek_u8(addr) >> (bit & 7) & 1 == 1);
                             }
                             Some(v) => {
                                 m.set_mem_bit(addr, bit, v);
@@ -188,7 +191,12 @@ pub fn compare_models(
 
 /// A memory region eligible for `run_model_trial`.
 pub fn model_classes() -> [TargetClass; 4] {
-    [TargetClass::RegularReg, TargetClass::Text, TargetClass::Data, TargetClass::Bss]
+    [
+        TargetClass::RegularReg,
+        TargetClass::Text,
+        TargetClass::Data,
+        TargetClass::Bss,
+    ]
 }
 
 /// Sanity helper used by tests: the region of a class.

@@ -46,17 +46,17 @@ pub mod ser;
 pub mod target;
 
 pub use campaign::{
-    run_campaign, run_trial, CampaignConfig, CampaignResult, ClassResult, Dictionaries,
-    TrialRecord,
+    replay_trial, run_campaign, run_trial, run_trial_forked, trial_seed, CampaignConfig,
+    CampaignResult, ClassResult, Dictionaries, TrialRecord,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
-pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};
-pub use ser::{application_corruptions_per_run, SerModel};
 pub use outcome::{classify, Manifestation, Tally};
 pub use progress::{ProgressMonitor, ProgressSample, ProgressVerdict};
+pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};
 pub use report::{register_breakdown, render_register_breakdown, render_table, render_tsv};
 pub use sampling::{confidence_interval, estimation_error, sample_size, z_value};
+pub use ser::{application_corruptions_per_run, SerModel};
 pub use target::{
     fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
     TargetClass,

@@ -142,10 +142,23 @@ mod tests {
     #[test]
     fn classify_all_exits() {
         let g = b"out".to_vec();
-        assert_eq!(classify(&WorldExit::Clean, b"out", &g), Manifestation::Correct);
-        assert_eq!(classify(&WorldExit::Clean, b"bad", &g), Manifestation::Incorrect);
         assert_eq!(
-            classify(&WorldExit::Crashed { rank: 0, reason: "x".into() }, b"", &g),
+            classify(&WorldExit::Clean, b"out", &g),
+            Manifestation::Correct
+        );
+        assert_eq!(
+            classify(&WorldExit::Clean, b"bad", &g),
+            Manifestation::Incorrect
+        );
+        assert_eq!(
+            classify(
+                &WorldExit::Crashed {
+                    rank: 0,
+                    reason: "x".into()
+                },
+                b"",
+                &g
+            ),
             Manifestation::Crash
         );
         assert_eq!(
@@ -153,11 +166,25 @@ mod tests {
             Manifestation::Hang
         );
         assert_eq!(
-            classify(&WorldExit::AppAborted { rank: 0, msg: "x".into() }, b"", &g),
+            classify(
+                &WorldExit::AppAborted {
+                    rank: 0,
+                    msg: "x".into()
+                },
+                b"",
+                &g
+            ),
             Manifestation::AppDetected
         );
         assert_eq!(
-            classify(&WorldExit::MpiDetected { rank: 0, what: "x".into() }, b"", &g),
+            classify(
+                &WorldExit::MpiDetected {
+                    rank: 0,
+                    what: "x".into()
+                },
+                b"",
+                &g
+            ),
             Manifestation::MpiDetected
         );
     }

@@ -67,7 +67,11 @@ impl ProgressMonitor {
     /// Create a monitor that reports a hang after `stall_threshold`
     /// windows without FLOP or MPI progress.
     pub fn new(stall_threshold: u32) -> ProgressMonitor {
-        ProgressMonitor { last: None, consecutive_stalls: 0, stall_threshold }
+        ProgressMonitor {
+            last: None,
+            consecutive_stalls: 0,
+            stall_threshold,
+        }
     }
 
     /// Feed the next sample.
@@ -100,7 +104,12 @@ mod tests {
     use super::*;
 
     fn s(flops: u64, mpi: u64, insns: u64) -> ProgressSample {
-        ProgressSample { insns, flops, mpi_calls: mpi, blocks: insns / 5 }
+        ProgressSample {
+            insns,
+            flops,
+            mpi_calls: mpi,
+            blocks: insns / 5,
+        }
     }
 
     #[test]

@@ -49,13 +49,17 @@ fn regs_of(insn: &Insn) -> (Vec<Gpr>, bool) {
         St { rb, base, .. } | StB { rb, base, .. } => gprs.extend([rb, base]),
         LdG { rd, .. } => gprs.push(rd),
         StG { rs, .. } => gprs.push(rs),
-        Fld { base, .. } | Fst { base, .. } | Fstp { base, .. } | Fild { base, .. }
+        Fld { base, .. }
+        | Fst { base, .. }
+        | Fstp { base, .. }
+        | Fild { base, .. }
         | Fistp { base, .. } => {
             gprs.push(base);
             fpu = true;
         }
-        FldG { .. } | FstpG { .. } | Fldz | Fld1 | Fcomip | Fpop | Fxch { .. }
-        | FldSt { .. } => fpu = true,
+        FldG { .. } | FstpG { .. } | Fldz | Fld1 | Fcomip | Fpop | Fxch { .. } | FldSt { .. } => {
+            fpu = true
+        }
         FildR { rs } => {
             gprs.push(rs);
             fpu = true;

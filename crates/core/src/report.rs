@@ -75,7 +75,10 @@ pub fn render_tsv(r: &CampaignResult) -> String {
 /// the §6.1.1 analysis ("ESP/EBP are live in every cycle; most x87
 /// special registers are inert").
 pub fn register_breakdown(c: &ClassResult) -> BTreeMap<String, (u32, u32)> {
-    assert!(matches!(c.class, TargetClass::RegularReg | TargetClass::FpReg));
+    assert!(matches!(
+        c.class,
+        TargetClass::RegularReg | TargetClass::FpReg
+    ));
     let mut map: BTreeMap<String, (u32, u32)> = BTreeMap::new();
     for t in &c.trials {
         // detail format: "rank R t=N: <reg> bit B"
@@ -98,9 +101,17 @@ pub fn register_breakdown(c: &ClassResult) -> BTreeMap<String, (u32, u32)> {
 /// Render the register breakdown as text.
 pub fn render_register_breakdown(c: &ClassResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:>6} {:>7} {:>8}", "Register", "Trials", "Errors", "Rate(%)");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>7} {:>8}",
+        "Register", "Trials", "Errors", "Rate(%)"
+    );
     for (reg, (n, e)) in register_breakdown(c) {
-        let rate = if n > 0 { 100.0 * e as f64 / n as f64 } else { 0.0 };
+        let rate = if n > 0 {
+            100.0 * e as f64 / n as f64
+        } else {
+            0.0
+        };
         let _ = writeln!(out, "{reg:<8} {n:>6} {e:>7} {rate:>8.1}");
     }
     out
@@ -117,7 +128,12 @@ mod tests {
         run_campaign(
             &app,
             &[TargetClass::RegularReg, TargetClass::Data],
-            &CampaignConfig { injections: 10, seed: 3, budget_factor: 3.0, threads: 2 },
+            &CampaignConfig {
+                injections: 10,
+                seed: 3,
+                threads: 2,
+                ..Default::default()
+            },
         )
     }
 

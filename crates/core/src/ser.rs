@@ -24,7 +24,10 @@ pub struct SerModel {
 impl SerModel {
     /// The paper's conservative model: 500 FIT/Mb, no ECC.
     pub fn conservative_no_ecc() -> SerModel {
-        SerModel { fit_per_mbit: 500.0, ecc_coverage: 0.0 }
+        SerModel {
+            fit_per_mbit: 500.0,
+            ecc_coverage: 0.0,
+        }
     }
 
     /// Raw soft errors per hour for `mbytes` of memory.
@@ -93,7 +96,10 @@ mod tests {
 
         // And through SerModel: choose FIT so 1 GB has MTBE 10 days.
         let fit = FIT_HOURS / (10.0 * 24.0 * 1024.0 * 8.0);
-        let m = SerModel { fit_per_mbit: fit, ecc_coverage: 0.95 };
+        let m = SerModel {
+            fit_per_mbit: fit,
+            ecc_coverage: 0.95,
+        };
         let errors = m.expected_errors(33_000.0 * 1024.0, 10.0);
         assert!((errors - 1650.0).abs() < 20.0, "got {errors:.0}");
     }
@@ -102,15 +108,24 @@ mod tests {
     fn typical_fit_band() {
         // §2.1 (Tezzaron): 1000-5000 FIT/Mb is typical for modern
         // devices; at 1000 FIT a 1 GB system errors every ~5 days.
-        let m = SerModel { fit_per_mbit: 1000.0, ecc_coverage: 0.0 };
+        let m = SerModel {
+            fit_per_mbit: 1000.0,
+            ecc_coverage: 0.0,
+        };
         let days = m.mtbe_days(1024.0);
         assert!(days > 4.0 && days < 6.0, "{days}");
     }
 
     #[test]
     fn ecc_scales_linearly() {
-        let no_ecc = SerModel { fit_per_mbit: 2000.0, ecc_coverage: 0.0 };
-        let ecc = SerModel { fit_per_mbit: 2000.0, ecc_coverage: 0.9 };
+        let no_ecc = SerModel {
+            fit_per_mbit: 2000.0,
+            ecc_coverage: 0.0,
+        };
+        let ecc = SerModel {
+            fit_per_mbit: 2000.0,
+            ecc_coverage: 0.9,
+        };
         let a = no_ecc.uncovered_errors_per_hour(512.0);
         let b = ecc.uncovered_errors_per_hour(512.0);
         assert!((a * 0.1 - b).abs() < 1e-12);

@@ -163,7 +163,7 @@ pub fn resolve_heap_target(m: &mut Machine, r1: u64, r2: u64) -> Option<u32> {
         if k < c.payload_size as u64 {
             // Include the header bytes occasionally via r2: the paper's
             // extra 8 bytes live in the heap too and are corruptible.
-            let with_header = r2 % 64 == 0;
+            let with_header = r2.is_multiple_of(64);
             return Some(if with_header {
                 c.header + (r2 % 8) as u32
             } else {
@@ -215,7 +215,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(1);
             for _ in 0..200 {
                 let a = d.pick(&mut rng).unwrap();
-                let sym = app.image.symbol_at(a).unwrap_or_else(|| panic!("{a:#x} has no symbol"));
+                let sym = app
+                    .image
+                    .symbol_at(a)
+                    .unwrap_or_else(|| panic!("{a:#x} has no symbol"));
                 assert!(!sym.library, "library symbol {} targeted", sym.name);
                 assert_eq!(sym.region, region);
             }

@@ -80,7 +80,10 @@ fn word(op: Opcode, ra: u8, rb: u8, rc: u8, aux: u16) -> u32 {
 }
 
 fn aux_from_off(off: i32) -> u16 {
-    debug_assert!((-2048..2048).contains(&off), "offset {off} out of 12-bit range");
+    debug_assert!(
+        (-2048..2048).contains(&off),
+        "offset {off} out of 12-bit range"
+    );
     (off as u32 & 0xfff) as u16
 }
 
@@ -113,27 +116,38 @@ pub fn encode(insn: &Insn) -> EncodedInsn {
         JmpR { rs } | CallR { rs } | Push { rs } | FildR { rs } => {
             (word(op, rs.index(), 0, 0, 0), None)
         }
-        Ld { rd, base, off } | LdB { rd, base, off } => {
-            (word(op, rd.index(), base.index(), 0, aux_from_off(off)), None)
-        }
-        St { rb, base, off } | StB { rb, base, off } => {
-            (word(op, rb.index(), base.index(), 0, aux_from_off(off)), None)
-        }
+        Ld { rd, base, off } | LdB { rd, base, off } => (
+            word(op, rd.index(), base.index(), 0, aux_from_off(off)),
+            None,
+        ),
+        St { rb, base, off } | StB { rb, base, off } => (
+            word(op, rb.index(), base.index(), 0, aux_from_off(off)),
+            None,
+        ),
         LdG { rd, addr } => (word(op, rd.index(), 0, 0, 0), Some(addr)),
         StG { rs, addr } => (word(op, rs.index(), 0, 0, 0), Some(addr)),
         Pop { rd } | FistpR { rd } => (word(op, rd.index(), 0, 0, 0), None),
         Call { target } => (word(op, 0, 0, 0, 0), Some(target)),
         Enter { frame } => (word(op, 0, 0, 0, 0), Some(frame)),
         Sys { num } => (word(op, 0, 0, 0, num & 0xfff), None),
-        Fld { base, off } | Fst { base, off } | Fstp { base, off } | Fild { base, off }
+        Fld { base, off }
+        | Fst { base, off }
+        | Fstp { base, off }
+        | Fild { base, off }
         | Fistp { base, off } => (word(op, 0, base.index(), 0, aux_from_off(off)), None),
         FldG { addr } | FstpG { addr } => (word(op, 0, 0, 0, 0), Some(addr)),
         Fbinp { .. } | Funop { .. } => (word(op, 0, 0, 0, 0), None),
         Fxch { i } | FldSt { i } => (word(op, i & 7, 0, 0, 0), None),
     };
     match imm {
-        Some(v) => EncodedInsn { words: [w0, v], len: 2 },
-        None => EncodedInsn { words: [w0, 0], len: 1 },
+        Some(v) => EncodedInsn {
+            words: [w0, v],
+            len: 2,
+        },
+        None => EncodedInsn {
+            words: [w0, 0],
+            len: 1,
+        },
     }
 }
 
@@ -164,50 +178,166 @@ pub fn decode_at(words: &[u32], idx: usize) -> Result<(Insn, usize), DecodeError
     use Insn::*;
     let insn = match op {
         Opcode::Nop => Nop,
-        Opcode::MovI => MovI { rd: g(ra), imm: imm.unwrap() },
-        Opcode::Mov => Mov { rd: g(ra), rs: g(rb) },
-        Opcode::Add => Alu { op: AluOp::Add, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Sub => Alu { op: AluOp::Sub, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Mul => Alu { op: AluOp::Mul, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Div => Alu { op: AluOp::Div, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Mod => Alu { op: AluOp::Mod, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::And => Alu { op: AluOp::And, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Or => Alu { op: AluOp::Or, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Xor => Alu { op: AluOp::Xor, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Shl => Alu { op: AluOp::Shl, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Shr => Alu { op: AluOp::Shr, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::Sar => Alu { op: AluOp::Sar, rd: g(ra), ra: g(rb), rb: g(rc) },
-        Opcode::AddI => AddI { rd: g(ra), ra: g(rb), imm: imm.unwrap() },
-        Opcode::MulI => MulI { rd: g(ra), ra: g(rb), imm: imm.unwrap() },
-        Opcode::Cmp => Cmp { ra: g(ra), rb: g(rb) },
-        Opcode::CmpI => CmpI { ra: g(ra), imm: imm.unwrap() },
+        Opcode::MovI => MovI {
+            rd: g(ra),
+            imm: imm.unwrap(),
+        },
+        Opcode::Mov => Mov {
+            rd: g(ra),
+            rs: g(rb),
+        },
+        Opcode::Add => Alu {
+            op: AluOp::Add,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Sub => Alu {
+            op: AluOp::Sub,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Mul => Alu {
+            op: AluOp::Mul,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Div => Alu {
+            op: AluOp::Div,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Mod => Alu {
+            op: AluOp::Mod,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::And => Alu {
+            op: AluOp::And,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Or => Alu {
+            op: AluOp::Or,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Xor => Alu {
+            op: AluOp::Xor,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Shl => Alu {
+            op: AluOp::Shl,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Shr => Alu {
+            op: AluOp::Shr,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::Sar => Alu {
+            op: AluOp::Sar,
+            rd: g(ra),
+            ra: g(rb),
+            rb: g(rc),
+        },
+        Opcode::AddI => AddI {
+            rd: g(ra),
+            ra: g(rb),
+            imm: imm.unwrap(),
+        },
+        Opcode::MulI => MulI {
+            rd: g(ra),
+            ra: g(rb),
+            imm: imm.unwrap(),
+        },
+        Opcode::Cmp => Cmp {
+            ra: g(ra),
+            rb: g(rb),
+        },
+        Opcode::CmpI => CmpI {
+            ra: g(ra),
+            imm: imm.unwrap(),
+        },
         Opcode::J => J {
             cond: Cond::from_index(ra).ok_or(DecodeError::IllegalField)?,
             target: imm.unwrap(),
         },
         Opcode::JmpR => JmpR { rs: g(ra) },
-        Opcode::Ld => Ld { rd: g(ra), base: g(rb), off: off_from_aux(aux) },
-        Opcode::St => St { rb: g(ra), base: g(rb), off: off_from_aux(aux) },
-        Opcode::LdG => LdG { rd: g(ra), addr: imm.unwrap() },
-        Opcode::StG => StG { rs: g(ra), addr: imm.unwrap() },
-        Opcode::LdB => LdB { rd: g(ra), base: g(rb), off: off_from_aux(aux) },
-        Opcode::StB => StB { rb: g(ra), base: g(rb), off: off_from_aux(aux) },
+        Opcode::Ld => Ld {
+            rd: g(ra),
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
+        Opcode::St => St {
+            rb: g(ra),
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
+        Opcode::LdG => LdG {
+            rd: g(ra),
+            addr: imm.unwrap(),
+        },
+        Opcode::StG => StG {
+            rs: g(ra),
+            addr: imm.unwrap(),
+        },
+        Opcode::LdB => LdB {
+            rd: g(ra),
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
+        Opcode::StB => StB {
+            rb: g(ra),
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
         Opcode::Push => Push { rs: g(ra) },
         Opcode::Pop => Pop { rd: g(ra) },
-        Opcode::Call => Call { target: imm.unwrap() },
+        Opcode::Call => Call {
+            target: imm.unwrap(),
+        },
         Opcode::CallR => CallR { rs: g(ra) },
         Opcode::Ret => Ret,
-        Opcode::Enter => Enter { frame: imm.unwrap() },
+        Opcode::Enter => Enter {
+            frame: imm.unwrap(),
+        },
         Opcode::Leave => Leave,
         Opcode::Sys => Sys { num: aux },
         Opcode::Halt => Halt,
-        Opcode::Fld => Fld { base: g(rb), off: off_from_aux(aux) },
+        Opcode::Fld => Fld {
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
         Opcode::FldG => FldG { addr: imm.unwrap() },
-        Opcode::Fst => Fst { base: g(rb), off: off_from_aux(aux) },
-        Opcode::Fstp => Fstp { base: g(rb), off: off_from_aux(aux) },
+        Opcode::Fst => Fst {
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
+        Opcode::Fstp => Fstp {
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
         Opcode::FstpG => FstpG { addr: imm.unwrap() },
-        Opcode::Fild => Fild { base: g(rb), off: off_from_aux(aux) },
-        Opcode::Fistp => Fistp { base: g(rb), off: off_from_aux(aux) },
+        Opcode::Fild => Fild {
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
+        Opcode::Fistp => Fistp {
+            base: g(rb),
+            off: off_from_aux(aux),
+        },
         Opcode::FildR => FildR { rs: g(ra) },
         Opcode::FistpR => FistpR { rd: g(ra) },
         Opcode::Fldz => Fldz,
@@ -303,23 +433,73 @@ mod tests {
         use Gpr::*;
         for i in [
             Insn::Nop,
-            Insn::MovI { rd: Eax, imm: 0xdeadbeef },
+            Insn::MovI {
+                rd: Eax,
+                imm: 0xdeadbeef,
+            },
             Insn::Mov { rd: Esi, rs: Edi },
-            Insn::Alu { op: Add, rd: Eax, ra: Ebx, rb: Ecx },
-            Insn::Alu { op: Sar, rd: Edx, ra: Edx, rb: Ecx },
-            Insn::AddI { rd: Esp, ra: Esp, imm: (-8i32) as u32 },
-            Insn::MulI { rd: Eax, ra: Eax, imm: 24 },
+            Insn::Alu {
+                op: Add,
+                rd: Eax,
+                ra: Ebx,
+                rb: Ecx,
+            },
+            Insn::Alu {
+                op: Sar,
+                rd: Edx,
+                ra: Edx,
+                rb: Ecx,
+            },
+            Insn::AddI {
+                rd: Esp,
+                ra: Esp,
+                imm: (-8i32) as u32,
+            },
+            Insn::MulI {
+                rd: Eax,
+                ra: Eax,
+                imm: 24,
+            },
             Insn::Cmp { ra: Eax, rb: Ebx },
             Insn::CmpI { ra: Ecx, imm: 100 },
-            Insn::J { cond: Cond::Lt, target: 0x08048100 },
+            Insn::J {
+                cond: Cond::Lt,
+                target: 0x08048100,
+            },
             Insn::JmpR { rs: Eax },
-            Insn::Ld { rd: Eax, base: Ebp, off: -12 },
-            Insn::St { rb: Ecx, base: Ebp, off: 2047 },
-            Insn::Ld { rd: Eax, base: Ebp, off: -2048 },
-            Insn::LdG { rd: Eax, addr: 0x0a000000 },
-            Insn::StG { rs: Edx, addr: 0x0a000004 },
-            Insn::LdB { rd: Eax, base: Esi, off: 3 },
-            Insn::StB { rb: Eax, base: Edi, off: 0 },
+            Insn::Ld {
+                rd: Eax,
+                base: Ebp,
+                off: -12,
+            },
+            Insn::St {
+                rb: Ecx,
+                base: Ebp,
+                off: 2047,
+            },
+            Insn::Ld {
+                rd: Eax,
+                base: Ebp,
+                off: -2048,
+            },
+            Insn::LdG {
+                rd: Eax,
+                addr: 0x0a000000,
+            },
+            Insn::StG {
+                rs: Edx,
+                addr: 0x0a000004,
+            },
+            Insn::LdB {
+                rd: Eax,
+                base: Esi,
+                off: 3,
+            },
+            Insn::StB {
+                rb: Eax,
+                base: Edi,
+                off: 0,
+            },
             Insn::Push { rs: Ebp },
             Insn::Pop { rd: Ebp },
             Insn::Call { target: 0x40000000 },
@@ -329,10 +509,19 @@ mod tests {
             Insn::Leave,
             Insn::Sys { num: 17 },
             Insn::Halt,
-            Insn::Fld { base: Ebp, off: -16 },
+            Insn::Fld {
+                base: Ebp,
+                off: -16,
+            },
             Insn::FldG { addr: 0x0a000010 },
-            Insn::Fst { base: Ebp, off: -16 },
-            Insn::Fstp { base: Ebp, off: -24 },
+            Insn::Fst {
+                base: Ebp,
+                off: -16,
+            },
+            Insn::Fstp {
+                base: Ebp,
+                off: -24,
+            },
             Insn::FstpG { addr: 0x0a000018 },
             Insn::Fild { base: Ebp, off: 8 },
             Insn::Fistp { base: Ebp, off: 8 },
@@ -385,6 +574,10 @@ mod tests {
     fn disasm_smoke() {
         assert_eq!(disasm(&Insn::Nop), "nop");
         assert_eq!(disasm(&Insn::Push { rs: Gpr::Ebp }), "push ebp");
-        assert!(disasm(&Insn::J { cond: Cond::Ne, target: 0x1000 }).starts_with("jne"));
+        assert!(disasm(&Insn::J {
+            cond: Cond::Ne,
+            target: 0x1000
+        })
+        .starts_with("jne"));
     }
 }

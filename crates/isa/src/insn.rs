@@ -90,7 +90,12 @@ pub enum Insn {
     /// `rd <- rs`.
     Mov { rd: Gpr, rs: Gpr },
     /// Three-operand integer ALU operation.
-    Alu { op: AluOp, rd: Gpr, ra: Gpr, rb: Gpr },
+    Alu {
+        op: AluOp,
+        rd: Gpr,
+        ra: Gpr,
+        rb: Gpr,
+    },
     /// `rd <- ra + imm`.
     AddI { rd: Gpr, ra: Gpr, imm: u32 },
     /// `rd <- ra * imm`.
@@ -330,15 +335,33 @@ mod tests {
     fn block_end_classification() {
         assert!(Insn::Ret.is_block_end());
         assert!(Insn::Halt.is_block_end());
-        assert!(Insn::J { cond: Cond::Eq, target: 0 }.is_block_end());
+        assert!(Insn::J {
+            cond: Cond::Eq,
+            target: 0
+        }
+        .is_block_end());
         assert!(!Insn::Nop.is_block_end());
         assert!(!Insn::Fldz.is_block_end());
     }
 
     #[test]
     fn encoded_words_match_opcode_flag() {
-        assert_eq!(Insn::MovI { rd: Gpr::Eax, imm: 7 }.encoded_words(), 2);
-        assert_eq!(Insn::Mov { rd: Gpr::Eax, rs: Gpr::Ebx }.encoded_words(), 1);
+        assert_eq!(
+            Insn::MovI {
+                rd: Gpr::Eax,
+                imm: 7
+            }
+            .encoded_words(),
+            2
+        );
+        assert_eq!(
+            Insn::Mov {
+                rd: Gpr::Eax,
+                rs: Gpr::Ebx
+            }
+            .encoded_words(),
+            1
+        );
         assert_eq!(Insn::Call { target: 0x08048000 }.encoded_words(), 2);
     }
 }

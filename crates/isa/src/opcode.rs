@@ -335,7 +335,9 @@ mod tests {
 
     #[test]
     fn opcode_space_is_sparse() {
-        let defined = (0..=255u8).filter(|&b| Opcode::from_byte(b).is_some()).count();
+        let defined = (0..=255u8)
+            .filter(|&b| Opcode::from_byte(b).is_some())
+            .count();
         // At most a quarter of the space is defined, so random opcode-byte
         // corruption is far more likely to be illegal than legal.
         assert!(defined * 4 <= 256, "opcode space must stay sparse");

@@ -37,8 +37,12 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         Just(Insn::Nop),
         (arb_gpr(), any::<u32>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
         (arb_gpr(), arb_gpr()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
-        (arb_alu(), arb_gpr(), arb_gpr(), arb_gpr())
-            .prop_map(|(op, rd, ra, rb)| Insn::Alu { op, rd, ra, rb }),
+        (arb_alu(), arb_gpr(), arb_gpr(), arb_gpr()).prop_map(|(op, rd, ra, rb)| Insn::Alu {
+            op,
+            rd,
+            ra,
+            rb
+        }),
         (arb_gpr(), arb_gpr(), any::<u32>()).prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
         (arb_gpr(), arb_gpr()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
         (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Insn::J { cond, target }),

@@ -43,7 +43,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators (result is int 0/1).
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for short-circuit logical operators.
@@ -86,20 +89,37 @@ pub enum Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Local declaration: `var int x;` or `var float a[16];`.
-    Var { name: String, ty: Ty, len: Option<u32> },
+    Var {
+        name: String,
+        ty: Ty,
+        len: Option<u32>,
+    },
     /// Scalar assignment.
     Assign { name: String, value: Expr },
     /// Array element assignment.
-    AssignIndex { name: String, index: Expr, value: Expr },
+    AssignIndex {
+        name: String,
+        index: Expr,
+        value: Expr,
+    },
     /// Expression evaluated for effect (a call).
     Expr(Expr),
     /// Conditional.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// While loop.
     While { cond: Expr, body: Vec<Stmt> },
     /// For loop: `for (init; cond; step) { body }` where init/step are
     /// assignments.
-    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
     /// Return (value required unless the function is void).
     Return(Option<Expr>),
 }
@@ -187,7 +207,12 @@ mod tests {
     fn program_accessors() {
         let p = Program {
             items: vec![
-                Item::Global(Global { name: "g".into(), ty: Ty::Int, len: None, init: None }),
+                Item::Global(Global {
+                    name: "g".into(),
+                    ty: Ty::Int,
+                    len: None,
+                    init: None,
+                }),
                 Item::Fn(FnDecl {
                     name: "main".into(),
                     params: vec![],

@@ -142,7 +142,10 @@ impl<'m> Gen<'m> {
                 args.iter().map(Self::fpu_depth).max().unwrap_or(0).max(1)
                     + u32::from(matches!(
                         &e.kind,
-                        TExprKind::CallBuiltin { b: Builtin::IsNan, .. }
+                        TExprKind::CallBuiltin {
+                            b: Builtin::IsNan,
+                            ..
+                        }
                     ))
             }
             _ => u32::from(e.ty == Ty::Float),
@@ -165,7 +168,10 @@ impl<'m> Gen<'m> {
     fn eval_inner(&mut self, e: &TExpr) -> GResult {
         match &e.kind {
             TExprKind::ConstInt(v) => {
-                self.emit(Insn::MovI { rd: Gpr::Eax, imm: *v as u32 });
+                self.emit(Insn::MovI {
+                    rd: Gpr::Eax,
+                    imm: *v as u32,
+                });
             }
             TExprKind::ConstFloat(v) => {
                 if *v == 0.0 && v.is_sign_positive() {
@@ -179,25 +185,33 @@ impl<'m> Gen<'m> {
             }
             TExprKind::Str(_) => return Err(format!("{}: stray string literal", self.fname)),
             TExprKind::Read(slot) => match (&slot.place, slot.ty) {
-                (Place::Frame(off), Ty::Int) => {
-                    self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Ebp, off: *off })
-                }
-                (Place::Frame(off), Ty::Float) => {
-                    self.emit(Insn::Fld { base: Gpr::Ebp, off: *off })
-                }
+                (Place::Frame(off), Ty::Int) => self.emit(Insn::Ld {
+                    rd: Gpr::Eax,
+                    base: Gpr::Ebp,
+                    off: *off,
+                }),
+                (Place::Frame(off), Ty::Float) => self.emit(Insn::Fld {
+                    base: Gpr::Ebp,
+                    off: *off,
+                }),
                 (Place::Global(name), Ty::Int) => {
                     self.items.push(AItem::LdSym(Gpr::Eax, name.clone(), 0))
                 }
-                (Place::Global(name), Ty::Float) => {
-                    self.items.push(AItem::FldSym(name.clone(), 0))
-                }
+                (Place::Global(name), Ty::Float) => self.items.push(AItem::FldSym(name.clone(), 0)),
                 _ => return Err(format!("{}: void variable read", self.fname)),
             },
             TExprKind::ReadIndex(slot, idx) => {
                 self.element_addr(slot, idx)?; // address in EDX
                 match slot.ty {
-                    Ty::Int => self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Edx, off: 0 }),
-                    Ty::Float => self.emit(Insn::Fld { base: Gpr::Edx, off: 0 }),
+                    Ty::Int => self.emit(Insn::Ld {
+                        rd: Gpr::Eax,
+                        base: Gpr::Edx,
+                        off: 0,
+                    }),
+                    Ty::Float => self.emit(Insn::Fld {
+                        base: Gpr::Edx,
+                        off: 0,
+                    }),
                     Ty::Void => return Err(format!("{}: void element", self.fname)),
                 }
             }
@@ -205,14 +219,20 @@ impl<'m> Gen<'m> {
                 None => self.addr_of_base(slot),
                 Some(i) => {
                     self.element_addr(slot, i)?;
-                    self.emit(Insn::Mov { rd: Gpr::Eax, rs: Gpr::Edx });
+                    self.emit(Insn::Mov {
+                        rd: Gpr::Eax,
+                        rs: Gpr::Edx,
+                    });
                 }
             },
             TExprKind::Un(UnOp::Neg, x) => {
                 self.eval_inner(x)?;
                 match x.ty {
                     Ty::Int => {
-                        self.emit(Insn::MovI { rd: Gpr::Ecx, imm: 0 });
+                        self.emit(Insn::MovI {
+                            rd: Gpr::Ecx,
+                            imm: 0,
+                        });
                         self.emit(Insn::Alu {
                             op: AluOp::Sub,
                             rd: Gpr::Eax,
@@ -227,7 +247,10 @@ impl<'m> Gen<'m> {
             TExprKind::Un(UnOp::Not, x) => {
                 self.eval_inner(x)?;
                 // eax = (eax == 0)
-                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.emit(Insn::CmpI {
+                    ra: Gpr::Eax,
+                    imm: 0,
+                });
                 self.bool_from_cond(Cond::Eq);
             }
             TExprKind::Cast(x) => {
@@ -253,8 +276,15 @@ impl<'m> Gen<'m> {
     fn addr_of_base(&mut self, slot: &VarSlot) {
         match &slot.place {
             Place::Frame(off) => {
-                self.emit(Insn::Mov { rd: Gpr::Eax, rs: Gpr::Ebp });
-                self.emit(Insn::AddI { rd: Gpr::Eax, ra: Gpr::Eax, imm: *off as u32 });
+                self.emit(Insn::Mov {
+                    rd: Gpr::Eax,
+                    rs: Gpr::Ebp,
+                });
+                self.emit(Insn::AddI {
+                    rd: Gpr::Eax,
+                    ra: Gpr::Eax,
+                    imm: *off as u32,
+                });
             }
             Place::Global(name) => self.items.push(AItem::MovSym(Gpr::Eax, name.clone(), 0)),
         }
@@ -264,16 +294,37 @@ impl<'m> Gen<'m> {
     fn element_addr(&mut self, slot: &VarSlot, idx: &TExpr) -> GResult {
         self.eval_inner(idx)?;
         let esz = slot.ty.size();
-        self.emit(Insn::MulI { rd: Gpr::Eax, ra: Gpr::Eax, imm: esz });
+        self.emit(Insn::MulI {
+            rd: Gpr::Eax,
+            ra: Gpr::Eax,
+            imm: esz,
+        });
         match &slot.place {
             Place::Frame(off) => {
-                self.emit(Insn::Mov { rd: Gpr::Edx, rs: Gpr::Ebp });
-                self.emit(Insn::AddI { rd: Gpr::Edx, ra: Gpr::Edx, imm: *off as u32 });
-                self.emit(Insn::Alu { op: AluOp::Add, rd: Gpr::Edx, ra: Gpr::Edx, rb: Gpr::Eax });
+                self.emit(Insn::Mov {
+                    rd: Gpr::Edx,
+                    rs: Gpr::Ebp,
+                });
+                self.emit(Insn::AddI {
+                    rd: Gpr::Edx,
+                    ra: Gpr::Edx,
+                    imm: *off as u32,
+                });
+                self.emit(Insn::Alu {
+                    op: AluOp::Add,
+                    rd: Gpr::Edx,
+                    ra: Gpr::Edx,
+                    rb: Gpr::Eax,
+                });
             }
             Place::Global(name) => {
                 self.items.push(AItem::MovSym(Gpr::Edx, name.clone(), 0));
-                self.emit(Insn::Alu { op: AluOp::Add, rd: Gpr::Edx, ra: Gpr::Edx, rb: Gpr::Eax });
+                self.emit(Insn::Alu {
+                    op: AluOp::Add,
+                    rd: Gpr::Edx,
+                    ra: Gpr::Edx,
+                    rb: Gpr::Eax,
+                });
             }
         }
         Ok(())
@@ -284,10 +335,16 @@ impl<'m> Gen<'m> {
         let lt = self.label();
         let le = self.label();
         self.items.push(AItem::Jmp(cond, lt));
-        self.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 });
+        self.emit(Insn::MovI {
+            rd: Gpr::Eax,
+            imm: 0,
+        });
         self.items.push(AItem::Jmp(Cond::Always, le));
         self.place_label(lt);
-        self.emit(Insn::MovI { rd: Gpr::Eax, imm: 1 });
+        self.emit(Insn::MovI {
+            rd: Gpr::Eax,
+            imm: 1,
+        });
         self.place_label(le);
     }
 
@@ -297,20 +354,32 @@ impl<'m> Gen<'m> {
             let ltrue = self.label();
             let lend = self.label();
             self.eval_inner(l)?;
-            self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+            self.emit(Insn::CmpI {
+                ra: Gpr::Eax,
+                imm: 0,
+            });
             match op {
                 BinOp::And => self.items.push(AItem::Jmp(Cond::Eq, lfalse)),
                 BinOp::Or => self.items.push(AItem::Jmp(Cond::Ne, ltrue)),
                 _ => unreachable!(),
             }
             self.eval_inner(r)?;
-            self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+            self.emit(Insn::CmpI {
+                ra: Gpr::Eax,
+                imm: 0,
+            });
             self.items.push(AItem::Jmp(Cond::Eq, lfalse));
             self.place_label(ltrue);
-            self.emit(Insn::MovI { rd: Gpr::Eax, imm: 1 });
+            self.emit(Insn::MovI {
+                rd: Gpr::Eax,
+                imm: 1,
+            });
             self.items.push(AItem::Jmp(Cond::Always, lend));
             self.place_label(lfalse);
-            self.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 });
+            self.emit(Insn::MovI {
+                rd: Gpr::Eax,
+                imm: 0,
+            });
             self.place_label(lend);
             return Ok(());
         }
@@ -322,7 +391,10 @@ impl<'m> Gen<'m> {
                 self.eval_inner(r)?;
                 self.emit(Insn::Pop { rd: Gpr::Ecx });
                 if op.is_cmp() {
-                    self.emit(Insn::Cmp { ra: Gpr::Ecx, rb: Gpr::Eax });
+                    self.emit(Insn::Cmp {
+                        ra: Gpr::Ecx,
+                        rb: Gpr::Eax,
+                    });
                     let cond = match op {
                         BinOp::Eq => Cond::Eq,
                         BinOp::Ne => Cond::Ne,
@@ -342,7 +414,12 @@ impl<'m> Gen<'m> {
                         BinOp::Mod => AluOp::Mod,
                         _ => unreachable!(),
                     };
-                    self.emit(Insn::Alu { op: alu, rd: Gpr::Eax, ra: Gpr::Ecx, rb: Gpr::Eax });
+                    self.emit(Insn::Alu {
+                        op: alu,
+                        rd: Gpr::Eax,
+                        ra: Gpr::Ecx,
+                        rb: Gpr::Eax,
+                    });
                 }
             }
             Ty::Float => {
@@ -395,7 +472,10 @@ impl<'m> Gen<'m> {
                         ra: Gpr::Esp,
                         imm: (-8i32) as u32,
                     });
-                    self.emit(Insn::Fstp { base: Gpr::Esp, off: 0 });
+                    self.emit(Insn::Fstp {
+                        base: Gpr::Esp,
+                        off: 0,
+                    });
                     bytes += 8;
                 }
                 Ty::Void => return Err(format!("{}: void argument", self.fname)),
@@ -406,7 +486,11 @@ impl<'m> Gen<'m> {
 
     fn drop_args(&mut self, bytes: u32) {
         if bytes > 0 {
-            self.emit(Insn::AddI { rd: Gpr::Esp, ra: Gpr::Esp, imm: bytes });
+            self.emit(Insn::AddI {
+                rd: Gpr::Esp,
+                ra: Gpr::Esp,
+                imm: bytes,
+            });
         }
     }
 
@@ -446,7 +530,10 @@ impl<'m> Gen<'m> {
                 };
                 let (sym, len) = self.module.str_sym(s);
                 self.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
-                self.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
+                self.emit(Insn::MovI {
+                    rd: Gpr::Ecx,
+                    imm: len,
+                });
                 self.sys(match b {
                     PrintStr => Syscall::PrintStr,
                     FwriteStr => Syscall::FileWrite,
@@ -463,7 +550,11 @@ impl<'m> Gen<'m> {
                 self.emit(Insn::Push { rs: Gpr::Eax });
                 self.eval_inner(&args[0])?;
                 self.emit(Insn::Pop { rd: Gpr::Ecx });
-                self.sys(if b == PrintFlt { Syscall::PrintFlt } else { Syscall::FileWriteFlt });
+                self.sys(if b == PrintFlt {
+                    Syscall::PrintFlt
+                } else {
+                    Syscall::FileWriteFlt
+                });
             }
             FwriteBin => {
                 self.eval_inner(&args[0])?;
@@ -475,11 +566,17 @@ impl<'m> Gen<'m> {
                 };
                 let (sym, len) = self.module.str_sym(s);
                 self.eval_inner(&args[0])?;
-                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.emit(Insn::CmpI {
+                    ra: Gpr::Eax,
+                    imm: 0,
+                });
                 let lok = self.label();
                 self.items.push(AItem::Jmp(Cond::Ne, lok));
                 self.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
-                self.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
+                self.emit(Insn::MovI {
+                    rd: Gpr::Ecx,
+                    imm: len,
+                });
                 self.sys(Syscall::AbortMsg);
                 self.place_label(lok);
             }
@@ -513,29 +610,46 @@ impl<'m> Gen<'m> {
             }
             LoadI => {
                 self.eval_inner(&args[0])?;
-                self.emit(Insn::Ld { rd: Gpr::Eax, base: Gpr::Eax, off: 0 });
+                self.emit(Insn::Ld {
+                    rd: Gpr::Eax,
+                    base: Gpr::Eax,
+                    off: 0,
+                });
             }
             LoadF => {
                 self.eval_inner(&args[0])?;
-                self.emit(Insn::Fld { base: Gpr::Eax, off: 0 });
+                self.emit(Insn::Fld {
+                    base: Gpr::Eax,
+                    off: 0,
+                });
             }
             StoreI => {
                 self.eval_inner(&args[0])?;
                 self.emit(Insn::Push { rs: Gpr::Eax });
                 self.eval_inner(&args[1])?;
                 self.emit(Insn::Pop { rd: Gpr::Edx });
-                self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Edx, off: 0 });
+                self.emit(Insn::St {
+                    rb: Gpr::Eax,
+                    base: Gpr::Edx,
+                    off: 0,
+                });
             }
             StoreF => {
                 self.eval_inner(&args[0])?;
                 self.emit(Insn::Push { rs: Gpr::Eax });
                 self.eval_inner(&args[1])?;
                 self.emit(Insn::Pop { rd: Gpr::Edx });
-                self.emit(Insn::Fstp { base: Gpr::Edx, off: 0 });
+                self.emit(Insn::Fstp {
+                    base: Gpr::Edx,
+                    off: 0,
+                });
             }
             Malloc => {
                 self.eval_inner(&args[0])?;
-                self.emit(Insn::Mov { rd: Gpr::Ecx, rs: Gpr::Eax });
+                self.emit(Insn::Mov {
+                    rd: Gpr::Ecx,
+                    rs: Gpr::Eax,
+                });
                 self.sys(Syscall::Malloc);
             }
             Free => {
@@ -560,18 +674,19 @@ impl<'m> Gen<'m> {
             TStmt::Assign { slot, value } => {
                 self.eval(value)?;
                 match (&slot.place, slot.ty) {
-                    (Place::Frame(off), Ty::Int) => {
-                        self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Ebp, off: *off })
-                    }
-                    (Place::Frame(off), Ty::Float) => {
-                        self.emit(Insn::Fstp { base: Gpr::Ebp, off: *off })
-                    }
+                    (Place::Frame(off), Ty::Int) => self.emit(Insn::St {
+                        rb: Gpr::Eax,
+                        base: Gpr::Ebp,
+                        off: *off,
+                    }),
+                    (Place::Frame(off), Ty::Float) => self.emit(Insn::Fstp {
+                        base: Gpr::Ebp,
+                        off: *off,
+                    }),
                     (Place::Global(n), Ty::Int) => {
                         self.items.push(AItem::StSym(Gpr::Eax, n.clone(), 0))
                     }
-                    (Place::Global(n), Ty::Float) => {
-                        self.items.push(AItem::FstpSym(n.clone(), 0))
-                    }
+                    (Place::Global(n), Ty::Float) => self.items.push(AItem::FstpSym(n.clone(), 0)),
                     _ => return Err(format!("{}: void assignment", self.fname)),
                 }
             }
@@ -582,8 +697,15 @@ impl<'m> Gen<'m> {
                 self.eval(value)?;
                 self.emit(Insn::Pop { rd: Gpr::Edx });
                 match slot.ty {
-                    Ty::Int => self.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Edx, off: 0 }),
-                    Ty::Float => self.emit(Insn::Fstp { base: Gpr::Edx, off: 0 }),
+                    Ty::Int => self.emit(Insn::St {
+                        rb: Gpr::Eax,
+                        base: Gpr::Edx,
+                        off: 0,
+                    }),
+                    Ty::Float => self.emit(Insn::Fstp {
+                        base: Gpr::Edx,
+                        off: 0,
+                    }),
                     Ty::Void => return Err(format!("{}: void element", self.fname)),
                 }
             }
@@ -595,7 +717,10 @@ impl<'m> Gen<'m> {
                 let lelse = self.label();
                 let lend = self.label();
                 self.eval(cond)?;
-                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.emit(Insn::CmpI {
+                    ra: Gpr::Eax,
+                    imm: 0,
+                });
                 self.items.push(AItem::Jmp(Cond::Eq, lelse));
                 for s in then {
                     self.stmt(s, epilogue)?;
@@ -612,7 +737,10 @@ impl<'m> Gen<'m> {
                 let lend = self.label();
                 self.place_label(ltop);
                 self.eval(cond)?;
-                self.emit(Insn::CmpI { ra: Gpr::Eax, imm: 0 });
+                self.emit(Insn::CmpI {
+                    ra: Gpr::Eax,
+                    imm: 0,
+                });
                 self.items.push(AItem::Jmp(Cond::Eq, lend));
                 for s in body {
                     self.stmt(s, epilogue)?;
@@ -678,24 +806,42 @@ pub fn emit_with(p: &TProgram, opts: &CompileOptions) -> Result<Module, String> 
 }
 
 fn emit_fn(module: &mut Module, f: &TFunction, opts: &CompileOptions) -> Result<AsmFn, String> {
-    let mut g = Gen { module, items: Vec::new(), next_label: 0, fname: f.name.clone() };
+    let mut g = Gen {
+        module,
+        items: Vec::new(),
+        next_label: 0,
+        fname: f.name.clone(),
+    };
     let epilogue = g.label();
     // The CFC slot sits below the locals in an enlarged frame.
-    let frame =
-        if opts.control_flow_checks { f.frame_size + 8 } else { f.frame_size };
+    let frame = if opts.control_flow_checks {
+        f.frame_size + 8
+    } else {
+        f.frame_size
+    };
     let cfc_off = -((f.frame_size + 8) as i32);
     g.emit(Insn::Enter { frame });
     if opts.control_flow_checks {
         let sig = cfc_signature(&f.name);
-        g.emit(Insn::MovI { rd: Gpr::Eax, imm: sig });
-        g.emit(Insn::St { rb: Gpr::Eax, base: Gpr::Ebp, off: cfc_off });
+        g.emit(Insn::MovI {
+            rd: Gpr::Eax,
+            imm: sig,
+        });
+        g.emit(Insn::St {
+            rb: Gpr::Eax,
+            base: Gpr::Ebp,
+            off: cfc_off,
+        });
     }
     for s in &f.body {
         g.stmt(s, epilogue)?;
     }
     // Fall-through default return value.
     match f.ret {
-        Ty::Int => g.emit(Insn::MovI { rd: Gpr::Eax, imm: 0 }),
+        Ty::Int => g.emit(Insn::MovI {
+            rd: Gpr::Eax,
+            imm: 0,
+        }),
         Ty::Float => g.emit(Insn::Fldz),
         Ty::Void => {}
     }
@@ -705,18 +851,33 @@ fn emit_fn(module: &mut Module, f: &TFunction, opts: &CompileOptions) -> Result<
         let lok = g.label();
         // Verify the signature without clobbering the return value in
         // EAX/st0: ECX is dead at the epilogue.
-        g.emit(Insn::Ld { rd: Gpr::Ecx, base: Gpr::Ebp, off: cfc_off });
-        g.emit(Insn::CmpI { ra: Gpr::Ecx, imm: sig });
+        g.emit(Insn::Ld {
+            rd: Gpr::Ecx,
+            base: Gpr::Ebp,
+            off: cfc_off,
+        });
+        g.emit(Insn::CmpI {
+            ra: Gpr::Ecx,
+            imm: sig,
+        });
         g.items.push(AItem::Jmp(Cond::Eq, lok));
         let (sym, len) = g.module.str_sym("control flow signature mismatch");
         g.items.push(AItem::MovSym(Gpr::Eax, sym, 0));
-        g.emit(Insn::MovI { rd: Gpr::Ecx, imm: len });
-        g.emit(Insn::Sys { num: fl_isa::Syscall::AbortMsg as u16 });
+        g.emit(Insn::MovI {
+            rd: Gpr::Ecx,
+            imm: len,
+        });
+        g.emit(Insn::Sys {
+            num: fl_isa::Syscall::AbortMsg as u16,
+        });
         g.place_label(lok);
     }
     g.emit(Insn::Leave);
     g.emit(Insn::Ret);
-    Ok(AsmFn { name: f.name.clone(), items: g.items })
+    Ok(AsmFn {
+        name: f.name.clone(),
+        items: g.items,
+    })
 }
 
 #[cfg(test)]

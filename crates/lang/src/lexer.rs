@@ -139,11 +139,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 let text = std::str::from_utf8(&b[start..i]).unwrap();
                 let kind = if is_float {
                     TokenKind::Float(
-                        text.parse().map_err(|_| err(format!("bad float literal {text}"), line))?,
+                        text.parse()
+                            .map_err(|_| err(format!("bad float literal {text}"), line))?,
                     )
                 } else {
                     TokenKind::Int(
-                        text.parse().map_err(|_| err(format!("bad int literal {text}"), line))?,
+                        text.parse()
+                            .map_err(|_| err(format!("bad int literal {text}"), line))?,
                     )
                 };
                 out.push(Token { kind, line });
@@ -154,8 +156,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text = std::str::from_utf8(&b[start..i]).unwrap();
-                let kind =
-                    keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+                let kind = keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
                 out.push(Token { kind, line });
             }
             b'"' => {
@@ -196,10 +197,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), line });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             _ => {
-                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let two = if i + 1 < b.len() {
+                    &b[i..i + 2]
+                } else {
+                    &b[i..i + 1]
+                };
                 let (kind, adv) = match two {
                     b"==" => (TokenKind::EqEq, 2),
                     b"!=" => (TokenKind::NotEq, 2),
@@ -227,7 +235,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         b'>' => (TokenKind::Gt, 1),
                         b'!' => (TokenKind::Not, 1),
                         other => {
-                            return Err(err(format!("unexpected character {:?}", other as char), line))
+                            return Err(err(
+                                format!("unexpected character {:?}", other as char),
+                                line,
+                            ))
                         }
                     },
                 };
@@ -236,7 +247,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -251,54 +265,50 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("42 3.5 1e3 2.5e-2"), vec![
-            Int(42),
-            Float(3.5),
-            Float(1000.0),
-            Float(0.025),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![Int(42), Float(3.5), Float(1000.0), Float(0.025), Eof]
+        );
     }
 
     #[test]
     fn identifiers_and_keywords() {
-        assert_eq!(kinds("fn foo int x_1"), vec![
-            KwFn,
-            Ident("foo".into()),
-            KwInt,
-            Ident("x_1".into()),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("fn foo int x_1"),
+            vec![KwFn, Ident("foo".into()), KwInt, Ident("x_1".into()), Eof]
+        );
     }
 
     #[test]
     fn operators() {
-        assert_eq!(kinds("a==b != <= >= && || -> = < > ! %"), vec![
-            Ident("a".into()),
-            EqEq,
-            Ident("b".into()),
-            NotEq,
-            Le,
-            Ge,
-            AndAnd,
-            OrOr,
-            Arrow,
-            Assign,
-            Lt,
-            Gt,
-            Not,
-            Percent,
-            Eof
-        ]);
+        assert_eq!(
+            kinds("a==b != <= >= && || -> = < > ! %"),
+            vec![
+                Ident("a".into()),
+                EqEq,
+                Ident("b".into()),
+                NotEq,
+                Le,
+                Ge,
+                AndAnd,
+                OrOr,
+                Arrow,
+                Assign,
+                Lt,
+                Gt,
+                Not,
+                Percent,
+                Eof
+            ]
+        );
     }
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(kinds(r#""hi\n" "a\"b""#), vec![
-            Str("hi\n".into()),
-            Str("a\"b".into()),
-            Eof
-        ]);
+        assert_eq!(
+            kinds(r#""hi\n" "a\"b""#),
+            vec![Str("hi\n".into()), Str("a\"b".into()), Eof]
+        );
     }
 
     #[test]

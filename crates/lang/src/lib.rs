@@ -47,10 +47,7 @@ pub fn compile(source: &str) -> Result<ProgramImage, CompileError> {
 }
 
 /// Compile with explicit options (e.g. control-flow signature checking).
-pub fn compile_with(
-    source: &str,
-    opts: &CompileOptions,
-) -> Result<ProgramImage, CompileError> {
+pub fn compile_with(source: &str, opts: &CompileOptions) -> Result<ProgramImage, CompileError> {
     let tokens = lex(source)?;
     let program = parse(&tokens)?;
     let typed = analyze(&program)?;

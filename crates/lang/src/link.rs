@@ -84,9 +84,19 @@ fn wrapper_insns(sys: Syscall, nargs: u8, counter_addr: u32) -> Vec<Insn> {
     }
     // Bump the per-wrapper call counter in library data (keeps library
     // data genuinely live, as MPICH's internals are).
-    v.push(Insn::LdG { rd: Gpr::Esi, addr: counter_addr });
-    v.push(Insn::AddI { rd: Gpr::Esi, ra: Gpr::Esi, imm: 1 });
-    v.push(Insn::StG { rs: Gpr::Esi, addr: counter_addr });
+    v.push(Insn::LdG {
+        rd: Gpr::Esi,
+        addr: counter_addr,
+    });
+    v.push(Insn::AddI {
+        rd: Gpr::Esi,
+        ra: Gpr::Esi,
+        imm: 1,
+    });
+    v.push(Insn::StG {
+        rs: Gpr::Esi,
+        addr: counter_addr,
+    });
     v.push(Insn::Sys { num: sys as u16 });
     v.push(Insn::Leave);
     v.push(Insn::Ret);
@@ -122,12 +132,12 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
     // Data: initialised globals, then strings, then float constants.
     let mut data: Vec<u8> = Vec::new();
     let place_data = |name: &str,
-                          bytes: &[u8],
-                          align: u32,
-                          data: &mut Vec<u8>,
-                          symtab: &mut Vec<Symbol>,
-                          sym_addr: &mut HashMap<String, u32>| {
-        while (data.len() as u32) % align != 0 {
+                      bytes: &[u8],
+                      align: u32,
+                      data: &mut Vec<u8>,
+                      symtab: &mut Vec<Symbol>,
+                      sym_addr: &mut HashMap<String, u32>| {
+        while !(data.len() as u32).is_multiple_of(align) {
             data.push(0);
         }
         let addr = data_base + data.len() as u32;
@@ -151,7 +161,9 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
                 // small ints, matching the element type.
                 let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
                 let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     state
                 };
                 let mut bytes = Vec::with_capacity((g.size()) as usize);
@@ -168,7 +180,14 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
                     }
                 }
                 let align = if g.ty == Ty::Float { 8 } else { 4 };
-                place_data(&g.name, &bytes, align, &mut data, &mut symtab, &mut sym_addr);
+                place_data(
+                    &g.name,
+                    &bytes,
+                    align,
+                    &mut data,
+                    &mut symtab,
+                    &mut sym_addr,
+                );
             }
             (Some(InitVal::Int(v)), None) => place_data(
                 &g.name,
@@ -193,7 +212,14 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
         }
     }
     for (i, s) in module.strings.iter().enumerate() {
-        place_data(&format!("$str{i}"), s.as_bytes(), 1, &mut data, &mut symtab, &mut sym_addr);
+        place_data(
+            &format!("$str{i}"),
+            s.as_bytes(),
+            1,
+            &mut data,
+            &mut symtab,
+            &mut sym_addr,
+        );
     }
     for (i, bits) in module.fconsts.iter().enumerate() {
         place_data(
@@ -285,7 +311,10 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
             .ok_or_else(|| LinkError::Undefined(name.to_string()))
     };
     let resolve_data = |name: &str| -> Result<u32, LinkError> {
-        sym_addr.get(name).copied().ok_or_else(|| LinkError::Undefined(name.to_string()))
+        sym_addr
+            .get(name)
+            .copied()
+            .ok_or_else(|| LinkError::Undefined(name.to_string()))
     };
 
     let mut text: Vec<u8> = Vec::new();
@@ -293,8 +322,13 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
     let main_addr = resolve("main")?;
     for insn in [
         Insn::Call { target: main_addr },
-        Insn::MovI { rd: Gpr::Eax, imm: 0 },
-        Insn::Sys { num: Syscall::Exit as u16 },
+        Insn::MovI {
+            rd: Gpr::Eax,
+            imm: 0,
+        },
+        Insn::Sys {
+            num: Syscall::Exit as u16,
+        },
     ] {
         text.extend(encode(&insn).to_bytes());
     }
@@ -329,7 +363,9 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
                         .get(l)
                         .unwrap_or_else(|| panic!("{}: unplaced label {l}", f.name)),
                 },
-                AItem::CallSym(s) => Insn::Call { target: resolve(s)? },
+                AItem::CallSym(s) => Insn::Call {
+                    target: resolve(s)?,
+                },
                 AItem::MovSym(rd, s, d) => Insn::MovI {
                     rd: *rd,
                     imm: resolve_data(s)?.wrapping_add(*d as u32),
@@ -342,12 +378,12 @@ pub fn link(module: &Module) -> Result<ProgramImage, LinkError> {
                     rs: *rs,
                     addr: resolve_data(s)?.wrapping_add(*d as u32),
                 },
-                AItem::FldSym(s, d) => {
-                    Insn::FldG { addr: resolve_data(s)?.wrapping_add(*d as u32) }
-                }
-                AItem::FstpSym(s, d) => {
-                    Insn::FstpG { addr: resolve_data(s)?.wrapping_add(*d as u32) }
-                }
+                AItem::FldSym(s, d) => Insn::FldG {
+                    addr: resolve_data(s)?.wrapping_add(*d as u32),
+                },
+                AItem::FstpSym(s, d) => Insn::FstpG {
+                    addr: resolve_data(s)?.wrapping_add(*d as u32),
+                },
             };
             text.extend(encode(&insn).to_bytes());
         }
@@ -395,38 +431,33 @@ mod tests {
 
     #[test]
     fn arithmetic_loops_and_calls() {
-        let (m, e) = run(
-            "fn square(int x) -> int { return x * x; }
+        let (m, e) = run("fn square(int x) -> int { return x * x; }
              fn main() {
                  var int i;
                  var int total;
                  total = 0;
                  for (i = 1; i <= 10; i = i + 1) { total = total + square(i); }
                  print_int(total);
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "385");
     }
 
     #[test]
     fn float_math() {
-        let (m, e) = run(
-            "fn main() {
+        let (m, e) = run("fn main() {
                  var float x;
                  x = sqrt(16.0) + 2.0 * 3.0;     // 10
                  x = x / 4.0;                     // 2.5
                  print_flt(x, 2);
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "2.50");
     }
 
     #[test]
     fn globals_data_and_bss() {
-        let (m, e) = run(
-            "global int counter = 5;
+        let (m, e) = run("global int counter = 5;
              global float accum;
              global float tbl[4];
              fn main() {
@@ -435,37 +466,32 @@ mod tests {
                  for (i = 0; i < 4; i = i + 1) { tbl[i] = float(i) * 1.5; }
                  accum = tbl[0] + tbl[1] + tbl[2] + tbl[3];
                  print_int(counter); print_str(\" \"); print_flt(accum, 1);
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "6 9.0");
     }
 
     #[test]
     fn recursion() {
-        let (m, e) = run(
-            "fn fib(int n) -> int {
+        let (m, e) = run("fn fib(int n) -> int {
                  if (n < 2) { return n; }
                  return fib(n - 1) + fib(n - 2);
              }
-             fn main() { print_int(fib(15)); }",
-        );
+             fn main() { print_int(fib(15)); }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "610");
     }
 
     #[test]
     fn heap_via_malloc() {
-        let (m, e) = run(
-            "fn main() {
+        let (m, e) = run("fn main() {
                  var int p;
                  var int i;
                  p = malloc(80);
                  for (i = 0; i < 10; i = i + 1) { storef(p + i * 8, float(i) * 2.0); }
                  print_flt(loadf(p + 72), 1);
                  free(p);
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "18.0");
     }
@@ -480,28 +506,24 @@ mod tests {
 
     #[test]
     fn isnan_detects_nan() {
-        let (m, e) = run(
-            "fn main() {
+        let (m, e) = run("fn main() {
                  var float x;
                  x = sqrt(0.0 - 1.0);       // NaN
                  print_int(isnan(x));
                  print_int(isnan(2.5));
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "10");
     }
 
     #[test]
     fn logic_and_comparisons() {
-        let (m, e) = run(
-            "fn main() {
+        let (m, e) = run("fn main() {
                  print_int(1 && 1); print_int(1 && 0); print_int(0 || 3);
                  print_int(!5); print_int(!0);
                  print_int(2 < 3); print_int(3 < 2);
                  print_int(2.5 >= 2.5); print_int(1.5 > 2.5);
-             }",
-        );
+             }");
         assert_eq!(e, Exit::Halted(0));
         assert_eq!(m.console_text(), "101011010");
     }
@@ -563,7 +585,9 @@ mod tests {
         let toks = crate::lexer::lex("fn main() { }").unwrap();
         let prog = crate::sema::analyze(&crate::parser::parse(&toks).unwrap()).unwrap();
         let mut module = crate::codegen::emit(&prog).unwrap();
-        module.functions[0].items.push(AItem::CallSym("nope".into()));
+        module.functions[0]
+            .items
+            .push(AItem::CallSym("nope".into()));
         assert!(matches!(link(&module), Err(LinkError::Undefined(n)) if n == "nope"));
     }
 
@@ -598,7 +622,10 @@ mod seeded_tests {
         let mut m = Machine::load(&img1, MachineConfig::default());
         assert_eq!(m.run(100_000), Exit::Halted(0));
         let printed: f64 = m.console_text().parse().unwrap();
-        assert!(printed > 0.0 && printed < 2.0, "values must be in [0,1): {printed}");
+        assert!(
+            printed > 0.0 && printed < 2.0,
+            "values must be in [0,1): {printed}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -118,7 +121,8 @@ impl<'a> Parser<'a> {
             // Arrays accept only `seeded(<int>)` — the FL equivalent of a
             // Fortran DATA statement / C initialised table; the linker
             // fills the data-section bytes deterministically.
-            if len.is_some() && !matches!(&e, Expr::Call(n, args) if n == "seeded" && args.len() == 1)
+            if len.is_some()
+                && !matches!(&e, Expr::Call(n, args) if n == "seeded" && args.len() == 1)
             {
                 return self.err("array globals only accept a `seeded(<int>)` initialiser");
             }
@@ -127,7 +131,12 @@ impl<'a> Parser<'a> {
             None
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(Global { name, ty, len, init })
+        Ok(Global {
+            name,
+            ty,
+            len,
+            init,
+        })
     }
 
     fn function(&mut self) -> PResult<FnDecl> {
@@ -146,9 +155,18 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::Comma)?;
             }
         }
-        let ret = if self.eat(&TokenKind::Arrow) { self.ty()? } else { Ty::Void };
+        let ret = if self.eat(&TokenKind::Arrow) {
+            self.ty()?
+        } else {
+            Ty::Void
+        };
         let body = self.block()?;
-        Ok(FnDecl { name, params, ret, body })
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+        })
     }
 
     // --- statements -------------------------------------------------------
@@ -221,12 +239,20 @@ impl<'a> Parser<'a> {
                 let step = Box::new(self.simple_stmt()?);
                 self.expect(&TokenKind::RParen)?;
                 let body = self.block()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value =
-                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if matches!(self.peek(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return(value))
             }
@@ -360,7 +386,11 @@ impl<'a> Parser<'a> {
         // `int(...)` and `float(...)` are cast calls even though `int` and
         // `float` are keywords.
         if matches!(self.peek(), TokenKind::KwInt | TokenKind::KwFloat) {
-            let name = if matches!(self.peek(), TokenKind::KwInt) { "int" } else { "float" };
+            let name = if matches!(self.peek(), TokenKind::KwInt) {
+                "int"
+            } else {
+                "float"
+            };
             self.bump();
             self.expect(&TokenKind::LParen)?;
             let e = self.expr()?;
@@ -398,14 +428,20 @@ impl<'a> Parser<'a> {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(ParseError { msg: format!("expected expression, found {other:?}"), line }),
+            other => Err(ParseError {
+                msg: format!("expected expression, found {other:?}"),
+                line,
+            }),
         }
     }
 }
 
 /// Parse a token stream into a program.
 pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.program()
 }
 
@@ -432,7 +468,10 @@ mod tests {
     fn function_with_params_and_return() {
         let p = parse_src("fn f(int a, float b) -> float { return b; }");
         let f = p.functions().next().unwrap();
-        assert_eq!(f.params, vec![("a".into(), Ty::Int), ("b".into(), Ty::Float)]);
+        assert_eq!(
+            f.params,
+            vec![("a".into(), Ty::Int), ("b".into(), Ty::Float)]
+        );
         assert_eq!(f.ret, Ty::Float);
         assert_eq!(f.body, vec![Stmt::Return(Some(Expr::Var("b".into())))]);
     }
@@ -449,7 +488,11 @@ mod tests {
             Expr::Bin(
                 BinOp::Add,
                 Box::new(Expr::Int(1)),
-                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))))
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                ))
             )
         );
     }
@@ -468,14 +511,22 @@ mod tests {
     #[test]
     fn else_if_chain() {
         let p = parse_src("fn m() { if (a) { } else if (b) { x = 1; } else { x = 2; } }");
-        let Stmt::If { els, .. } = &p.functions().next().unwrap().body[0] else { panic!() };
+        let Stmt::If { els, .. } = &p.functions().next().unwrap().body[0] else {
+            panic!()
+        };
         assert!(matches!(&els[0], Stmt::If { .. }));
     }
 
     #[test]
     fn for_loop() {
         let p = parse_src("fn m() { for (i = 0; i < 10; i = i + 1) { s = s + i; } }");
-        let Stmt::For { init, cond, step, body } = &p.functions().next().unwrap().body[0] else {
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } = &p.functions().next().unwrap().body[0]
+        else {
             panic!()
         };
         assert!(matches!(**init, Stmt::Assign { .. }));
@@ -496,17 +547,43 @@ mod tests {
     fn unary_folding() {
         let p = parse_src("fn m() { x = -5; y = -2.5; z = -(a); }");
         let body = &p.functions().next().unwrap().body;
-        assert!(matches!(&body[0], Stmt::Assign { value: Expr::Int(-5), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Assign {
+                value: Expr::Int(-5),
+                ..
+            }
+        ));
         assert!(matches!(&body[1], Stmt::Assign { value: Expr::Float(v), .. } if *v == -2.5));
-        assert!(matches!(&body[2], Stmt::Assign { value: Expr::Un(UnOp::Neg, _), .. }));
+        assert!(matches!(
+            &body[2],
+            Stmt::Assign {
+                value: Expr::Un(UnOp::Neg, _),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn local_arrays() {
         let p = parse_src("fn m() { var float buf[8]; var int i; }");
         let body = &p.functions().next().unwrap().body;
-        assert_eq!(body[0], Stmt::Var { name: "buf".into(), ty: Ty::Float, len: Some(8) });
-        assert_eq!(body[1], Stmt::Var { name: "i".into(), ty: Ty::Int, len: None });
+        assert_eq!(
+            body[0],
+            Stmt::Var {
+                name: "buf".into(),
+                ty: Ty::Float,
+                len: Some(8)
+            }
+        );
+        assert_eq!(
+            body[1],
+            Stmt::Var {
+                name: "i".into(),
+                ty: Ty::Int,
+                len: None
+            }
+        );
     }
 
     #[test]

@@ -215,19 +215,39 @@ pub enum TExprKind {
     /// int→float or float→int conversion.
     Cast(Box<TExpr>),
     /// User function call.
-    CallFn { name: String, args: Vec<TExpr> },
+    CallFn {
+        name: String,
+        args: Vec<TExpr>,
+    },
     /// Builtin invocation.
-    CallBuiltin { b: Builtin, args: Vec<TExpr> },
+    CallBuiltin {
+        b: Builtin,
+        args: Vec<TExpr>,
+    },
 }
 
 /// A typed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TStmt {
-    Assign { slot: VarSlot, value: TExpr },
-    AssignIndex { slot: VarSlot, index: TExpr, value: TExpr },
+    Assign {
+        slot: VarSlot,
+        value: TExpr,
+    },
+    AssignIndex {
+        slot: VarSlot,
+        index: TExpr,
+        value: TExpr,
+    },
     Expr(TExpr),
-    If { cond: TExpr, then: Vec<TStmt>, els: Vec<TStmt> },
-    While { cond: TExpr, body: Vec<TStmt> },
+    If {
+        cond: TExpr,
+        then: Vec<TStmt>,
+        els: Vec<TStmt>,
+    },
+    While {
+        cond: TExpr,
+        body: Vec<TStmt>,
+    },
     Return(Option<TExpr>),
 }
 
@@ -305,7 +325,11 @@ impl<'a> Analyzer<'a> {
             return Ok(v.clone());
         }
         if let Some(&(ty, len)) = self.globals.get(name) {
-            return Ok(VarSlot { ty, len, place: Place::Global(name.to_string()) });
+            return Ok(VarSlot {
+                ty,
+                len,
+                place: Place::Global(name.to_string()),
+            });
         }
         err(format!("{}: unknown variable `{name}`", self.fname))
     }
@@ -315,24 +339,36 @@ impl<'a> Analyzer<'a> {
             return Ok(e);
         }
         match (e.ty, want) {
-            (Ty::Int, Ty::Float) | (Ty::Float, Ty::Int) => {
-                Ok(TExpr { ty: want, kind: TExprKind::Cast(Box::new(e)) })
-            }
-            (have, want) => {
-                err(format!("{}: type mismatch: have {have:?}, want {want:?}", self.fname))
-            }
+            (Ty::Int, Ty::Float) | (Ty::Float, Ty::Int) => Ok(TExpr {
+                ty: want,
+                kind: TExprKind::Cast(Box::new(e)),
+            }),
+            (have, want) => err(format!(
+                "{}: type mismatch: have {have:?}, want {want:?}",
+                self.fname
+            )),
         }
     }
 
     fn expr(&self, e: &Expr) -> Result<TExpr, SemaError> {
         match e {
             Expr::Int(v) => {
-                let v32 = i32::try_from(*v)
-                    .map_err(|_| SemaError { msg: format!("int literal {v} out of range") })?;
-                Ok(TExpr { ty: Ty::Int, kind: TExprKind::ConstInt(v32) })
+                let v32 = i32::try_from(*v).map_err(|_| SemaError {
+                    msg: format!("int literal {v} out of range"),
+                })?;
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TExprKind::ConstInt(v32),
+                })
             }
-            Expr::Float(v) => Ok(TExpr { ty: Ty::Float, kind: TExprKind::ConstFloat(*v) }),
-            Expr::Str(s) => Ok(TExpr { ty: Ty::Void, kind: TExprKind::Str(s.clone()) }),
+            Expr::Float(v) => Ok(TExpr {
+                ty: Ty::Float,
+                kind: TExprKind::ConstFloat(*v),
+            }),
+            Expr::Str(s) => Ok(TExpr {
+                ty: Ty::Void,
+                kind: TExprKind::Str(s.clone()),
+            }),
             Expr::Var(name) => {
                 let slot = self.lookup(name)?;
                 if slot.len.is_some() {
@@ -341,7 +377,10 @@ impl<'a> Analyzer<'a> {
                         self.fname
                     ));
                 }
-                Ok(TExpr { ty: slot.ty, kind: TExprKind::Read(slot) })
+                Ok(TExpr {
+                    ty: slot.ty,
+                    kind: TExprKind::Read(slot),
+                })
             }
             Expr::Index(name, idx) => {
                 let slot = self.lookup(name)?;
@@ -349,7 +388,10 @@ impl<'a> Analyzer<'a> {
                     return err(format!("{}: `{name}` is not an array", self.fname));
                 }
                 let ti = self.coerce(self.expr(idx)?, Ty::Int)?;
-                Ok(TExpr { ty: slot.ty, kind: TExprKind::ReadIndex(slot, Box::new(ti)) })
+                Ok(TExpr {
+                    ty: slot.ty,
+                    kind: TExprKind::ReadIndex(slot, Box::new(ti)),
+                })
             }
             Expr::Un(op, inner) => {
                 let ti = self.expr(inner)?;
@@ -358,11 +400,17 @@ impl<'a> Analyzer<'a> {
                         if ti.ty == Ty::Void {
                             return err(format!("{}: negating a void value", self.fname));
                         }
-                        Ok(TExpr { ty: ti.ty, kind: TExprKind::Un(UnOp::Neg, Box::new(ti)) })
+                        Ok(TExpr {
+                            ty: ti.ty,
+                            kind: TExprKind::Un(UnOp::Neg, Box::new(ti)),
+                        })
                     }
                     UnOp::Not => {
                         let ti = self.coerce(ti, Ty::Int)?;
-                        Ok(TExpr { ty: Ty::Int, kind: TExprKind::Un(UnOp::Not, Box::new(ti)) })
+                        Ok(TExpr {
+                            ty: Ty::Int,
+                            kind: TExprKind::Un(UnOp::Not, Box::new(ti)),
+                        })
                     }
                 }
             }
@@ -389,7 +437,10 @@ impl<'a> Analyzer<'a> {
                 let tl = self.coerce(tl, common)?;
                 let tr = self.coerce(tr, common)?;
                 let ty = if op.is_cmp() { Ty::Int } else { common };
-                Ok(TExpr { ty, kind: TExprKind::Bin(*op, Box::new(tl), Box::new(tr)) })
+                Ok(TExpr {
+                    ty,
+                    kind: TExprKind::Bin(*op, Box::new(tl), Box::new(tr)),
+                })
             }
             Expr::Call(name, args) => self.call(name, args),
         }
@@ -405,7 +456,10 @@ impl<'a> Analyzer<'a> {
                 return match &args[0] {
                     Expr::Var(n) => {
                         let slot = self.lookup(n)?;
-                        Ok(TExpr { ty: Ty::Int, kind: TExprKind::AddrOf(slot, None) })
+                        Ok(TExpr {
+                            ty: Ty::Int,
+                            kind: TExprKind::AddrOf(slot, None),
+                        })
                     }
                     Expr::Index(n, idx) => {
                         let slot = self.lookup(n)?;
@@ -418,7 +472,10 @@ impl<'a> Analyzer<'a> {
                             kind: TExprKind::AddrOf(slot, Some(Box::new(ti))),
                         })
                     }
-                    _ => err(format!("{}: addr() needs a variable or element", self.fname)),
+                    _ => err(format!(
+                        "{}: addr() needs a variable or element",
+                        self.fname
+                    )),
                 };
             }
             let (params, ret) = b.signature();
@@ -446,12 +503,14 @@ impl<'a> Analyzer<'a> {
                     Some(want) => targs.push(self.coerce(ta, *want)?),
                 }
             }
-            return Ok(TExpr { ty: ret, kind: TExprKind::CallBuiltin { b, args: targs } });
+            return Ok(TExpr {
+                ty: ret,
+                kind: TExprKind::CallBuiltin { b, args: targs },
+            });
         }
-        let sig = self
-            .fns
-            .get(name)
-            .ok_or_else(|| SemaError { msg: format!("{}: unknown function `{name}`", self.fname) })?;
+        let sig = self.fns.get(name).ok_or_else(|| SemaError {
+            msg: format!("{}: unknown function `{name}`", self.fname),
+        })?;
         if args.len() != sig.params.len() {
             return err(format!(
                 "{}: `{name}` expects {} args, got {}",
@@ -465,7 +524,13 @@ impl<'a> Analyzer<'a> {
             let ta = self.expr(a)?;
             targs.push(self.coerce(ta, p)?);
         }
-        Ok(TExpr { ty: sig.ret, kind: TExprKind::CallFn { name: name.to_string(), args: targs } })
+        Ok(TExpr {
+            ty: sig.ret,
+            kind: TExprKind::CallFn {
+                name: name.to_string(),
+                args: targs,
+            },
+        })
     }
 
     fn stmts(&self, body: &[Stmt]) -> Result<Vec<TStmt>, SemaError> {
@@ -476,7 +541,10 @@ impl<'a> Analyzer<'a> {
                 Stmt::Assign { name, value } => {
                     let slot = self.lookup(name)?;
                     if slot.len.is_some() {
-                        return err(format!("{}: cannot assign whole array `{name}`", self.fname));
+                        return err(format!(
+                            "{}: cannot assign whole array `{name}`",
+                            self.fname
+                        ));
                     }
                     let v = self.coerce(self.expr(value)?, slot.ty)?;
                     out.push(TStmt::Assign { slot, value: v });
@@ -488,20 +556,36 @@ impl<'a> Analyzer<'a> {
                     }
                     let ti = self.coerce(self.expr(index)?, Ty::Int)?;
                     let v = self.coerce(self.expr(value)?, slot.ty)?;
-                    out.push(TStmt::AssignIndex { slot, index: ti, value: v });
+                    out.push(TStmt::AssignIndex {
+                        slot,
+                        index: ti,
+                        value: v,
+                    });
                 }
                 Stmt::Expr(e) => {
                     out.push(TStmt::Expr(self.expr(e)?));
                 }
                 Stmt::If { cond, then, els } => {
                     let c = self.coerce(self.expr(cond)?, Ty::Int)?;
-                    out.push(TStmt::If { cond: c, then: self.stmts(then)?, els: self.stmts(els)? });
+                    out.push(TStmt::If {
+                        cond: c,
+                        then: self.stmts(then)?,
+                        els: self.stmts(els)?,
+                    });
                 }
                 Stmt::While { cond, body } => {
                     let c = self.coerce(self.expr(cond)?, Ty::Int)?;
-                    out.push(TStmt::While { cond: c, body: self.stmts(body)? });
+                    out.push(TStmt::While {
+                        cond: c,
+                        body: self.stmts(body)?,
+                    });
                 }
-                Stmt::For { init, cond, step, body } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
                     // Desugar: init; while (cond) { body; step; }
                     let mut init_t = self.stmts(std::slice::from_ref(init))?;
                     let c = self.coerce(self.expr(cond)?, Ty::Int)?;
@@ -545,7 +629,9 @@ fn collect_vars(body: &[Stmt], out: &mut Vec<(String, Ty, Option<u32>)>) {
                 collect_vars(els, out);
             }
             Stmt::While { body, .. } => collect_vars(body, out),
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 collect_vars(std::slice::from_ref(init), out);
                 collect_vars(std::slice::from_ref(step), out);
                 collect_vars(body, out);
@@ -576,8 +662,9 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
                 }
             }
             Some(Expr::Int(v)) => {
-                let v32 = i32::try_from(*v)
-                    .map_err(|_| SemaError { msg: format!("initialiser {v} out of range") })?;
+                let v32 = i32::try_from(*v).map_err(|_| SemaError {
+                    msg: format!("initialiser {v} out of range"),
+                })?;
                 match g.ty {
                     Ty::Int => Some(InitVal::Int(v32)),
                     Ty::Float => Some(InitVal::Float(v32 as f64)),
@@ -589,10 +676,18 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
                 _ => return err(format!("global `{}`: float initialiser for int", g.name)),
             },
             Some(_) => {
-                return err(format!("global `{}`: initialiser must be a literal", g.name))
+                return err(format!(
+                    "global `{}`: initialiser must be a literal",
+                    g.name
+                ))
             }
         };
-        globals.push(TGlobal { name: g.name.clone(), ty: g.ty, len: g.len, init });
+        globals.push(TGlobal {
+            name: g.name.clone(),
+            ty: g.ty,
+            len: g.len,
+            init,
+        });
     }
 
     // Function signatures.
@@ -601,7 +696,10 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
         if Builtin::from_name(&f.name).is_some() {
             return err(format!("function `{}` shadows a builtin", f.name));
         }
-        let sig = FnSig { params: f.params.iter().map(|(_, t)| *t).collect(), ret: f.ret };
+        let sig = FnSig {
+            params: f.params.iter().map(|(_, t)| *t).collect(),
+            ret: f.ret,
+        };
         if fns.insert(f.name.clone(), sig).is_some() {
             return err(format!("duplicate function `{}`", f.name));
         }
@@ -618,7 +716,11 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
             if vars
                 .insert(
                     name.clone(),
-                    VarSlot { ty: *ty, len: None, place: Place::Frame(off) },
+                    VarSlot {
+                        ty: *ty,
+                        len: None,
+                        place: Place::Frame(off),
+                    },
                 )
                 .is_some()
             {
@@ -634,7 +736,11 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
         for (name, ty, len) in decls {
             let size = ty.size() * len.unwrap_or(1);
             frame = (frame + size + (ty.size() - 1)) & !(ty.size() - 1);
-            let slot = VarSlot { ty, len, place: Place::Frame(-(frame as i32)) };
+            let slot = VarSlot {
+                ty,
+                len,
+                place: Place::Frame(-(frame as i32)),
+            };
             if vars.contains_key(&name) {
                 return err(format!("{}: duplicate variable `{name}`", f.name));
             }
@@ -653,7 +759,13 @@ pub fn analyze(p: &Program) -> Result<TProgram, SemaError> {
                 f.name
             ));
         }
-        let a = Analyzer { globals: gmap.clone(), fns, vars, ret: f.ret, fname: &f.name };
+        let a = Analyzer {
+            globals: gmap.clone(),
+            fns,
+            vars,
+            ret: f.ret,
+            fname: &f.name,
+        };
         let body = a.stmts(&f.body)?;
         fns = a.fns; // move back
         functions.push(TFunction {
@@ -707,23 +819,28 @@ mod tests {
     #[test]
     fn implicit_promotion_in_binops() {
         let p = analyze_src("fn f() -> float { var int i; i = 3; return i * 2.5; }").unwrap();
-        let TStmt::Return(Some(e)) = &p.functions[0].body.last().unwrap() else { panic!() };
+        let TStmt::Return(Some(e)) = &p.functions[0].body.last().unwrap() else {
+            panic!()
+        };
         assert_eq!(e.ty, Ty::Float);
-        let TExprKind::Bin(BinOp::Mul, l, _) = &e.kind else { panic!() };
+        let TExprKind::Bin(BinOp::Mul, l, _) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(l.kind, TExprKind::Cast(_)));
     }
 
     #[test]
     fn comparisons_yield_int() {
         let p = analyze_src("fn f() -> int { return 1.5 < 2.5; }").unwrap();
-        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(e.ty, Ty::Int);
     }
 
     #[test]
     fn for_desugars_to_while() {
-        let p =
-            analyze_src("fn f() { var int i; for (i = 0; i < 3; i = i + 1) { } }").unwrap();
+        let p = analyze_src("fn f() { var int i; for (i = 0; i < 3; i = i + 1) { } }").unwrap();
         assert!(matches!(p.functions[0].body[1], TStmt::While { .. }));
     }
 
@@ -750,11 +867,10 @@ mod tests {
 
     #[test]
     fn addr_of_global_and_element() {
-        let p = analyze_src(
-            "global float u[16]; fn f() -> int { return addr(u[3]); }",
-        )
-        .unwrap();
-        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        let p = analyze_src("global float u[16]; fn f() -> int { return addr(u[3]); }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, TExprKind::AddrOf(_, Some(_))));
         assert!(analyze_src("fn f() -> int { return addr(1 + 2); }").is_err());
     }

@@ -16,7 +16,9 @@ fn main() { print_int(helper(10)); }
 ";
 
 fn cfc() -> CompileOptions {
-    CompileOptions { control_flow_checks: true }
+    CompileOptions {
+        control_flow_checks: true,
+    }
 }
 
 #[test]
@@ -50,7 +52,13 @@ fn wild_jump_into_function_body_is_detected() {
     // store): the frame slot holds garbage, the epilogue check fires.
     let checked = compile_with(PROGRAM, &cfc()).unwrap();
     let helper = checked.symbols.iter().find(|s| s.name == "helper").unwrap();
-    let mut m = Machine::load(&checked, MachineConfig { budget: 1_000_000, ..Default::default() });
+    let mut m = Machine::load(
+        &checked,
+        MachineConfig {
+            budget: 1_000_000,
+            ..Default::default()
+        },
+    );
     // Let main set up its own frame first.
     for _ in 0..4 {
         assert!(m.step().is_none());
@@ -70,7 +78,13 @@ fn wild_jump_into_function_body_is_detected() {
 fn uninstrumented_program_misses_the_same_fault() {
     let plain = compile(PROGRAM).unwrap();
     let helper = plain.symbols.iter().find(|s| s.name == "helper").unwrap();
-    let mut m = Machine::load(&plain, MachineConfig { budget: 1_000_000, ..Default::default() });
+    let mut m = Machine::load(
+        &plain,
+        MachineConfig {
+            budget: 1_000_000,
+            ..Default::default()
+        },
+    );
     for _ in 0..4 {
         assert!(m.step().is_none());
     }
@@ -116,5 +130,8 @@ fn signatures_are_per_function() {
     let before = sigs.len();
     sigs.dedup();
     assert_eq!(sigs.len(), before, "duplicate signatures");
-    assert!(sigs.len() >= 3, "expected at least three instrumented functions");
+    assert!(
+        sigs.len() >= 3,
+        "expected at least three instrumented functions"
+    );
 }

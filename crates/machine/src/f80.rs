@@ -44,7 +44,10 @@ impl F80 {
     /// Positive zero.
     pub const ZERO: F80 = F80 { se: 0, mantissa: 0 };
     /// One.
-    pub const ONE: F80 = F80 { se: BIAS80 as u16, mantissa: 1 << 63 };
+    pub const ONE: F80 = F80 {
+        se: BIAS80 as u16,
+        mantissa: 1 << 63,
+    };
 
     /// Convert from IEEE-754 binary64. Exact: every f64 is representable.
     pub fn from_f64(v: f64) -> F80 {
@@ -54,7 +57,10 @@ impl F80 {
         let frac = bits & ((1u64 << 52) - 1);
         if exp64 == 0 {
             if frac == 0 {
-                return F80 { se: sign, mantissa: 0 };
+                return F80 {
+                    se: sign,
+                    mantissa: 0,
+                };
             }
             // Subnormal f64: value = frac * 2^-1074. Normalise so the
             // integer bit (63) is set; the unbiased exponent is then
@@ -62,14 +68,23 @@ impl F80 {
             let lz = frac.leading_zeros() as i32;
             let mant = frac << lz;
             let exp80 = (63 - lz) - 1074 + BIAS80;
-            return F80 { se: sign | (exp80 as u16 & EXP_MASK), mantissa: mant };
+            return F80 {
+                se: sign | (exp80 as u16 & EXP_MASK),
+                mantissa: mant,
+            };
         }
         if exp64 == 0x7ff {
             // Inf or NaN: integer bit set, fraction shifted up.
-            return F80 { se: sign | EXP_MASK, mantissa: (1 << 63) | (frac << 11) };
+            return F80 {
+                se: sign | EXP_MASK,
+                mantissa: (1 << 63) | (frac << 11),
+            };
         }
         let exp80 = (exp64 - BIAS64 + BIAS80) as u16;
-        F80 { se: sign | exp80, mantissa: (1 << 63) | (frac << 11) }
+        F80 {
+            se: sign | exp80,
+            mantissa: (1 << 63) | (frac << 11),
+        }
     }
 
     /// Convert to IEEE-754 binary64, rounding to nearest-even. This is the
@@ -99,8 +114,11 @@ impl F80 {
             let lz = mant.leading_zeros() as i32;
             let nm = mant << lz;
             let ne = exp80 - lz;
-            return Self { se: (self.se & 0x8000) | (ne.max(0) as u16), mantissa: nm }
-                .to_f64_normal(sign, ne);
+            return Self {
+                se: (self.se & 0x8000) | (ne.max(0) as u16),
+                mantissa: nm,
+            }
+            .to_f64_normal(sign, ne);
         }
         self.to_f64_normal(sign, exp80)
     }
@@ -121,8 +139,7 @@ impl F80 {
             let kept = self.mantissa >> shift;
             let rem = self.mantissa & ((1u64 << shift) - 1);
             let half = 1u64 << (shift - 1);
-            let rounded = kept
-                + u64::from(rem > half || (rem == half && kept & 1 == 1));
+            let rounded = kept + u64::from(rem > half || (rem == half && kept & 1 == 1));
             return f64::from_bits(sign | rounded);
         }
         // Normal: keep 53 bits (integer bit implied), round the low 11.
@@ -170,11 +187,20 @@ impl F80 {
     /// Flip bit `bit` (0–79) of the 80-bit register image — the fault
     /// injector's single-event-upset model for FPU data registers.
     pub fn flip_bit(self, bit: u32) -> F80 {
-        assert!(bit < 80, "bit index {bit} out of range for an 80-bit register");
+        assert!(
+            bit < 80,
+            "bit index {bit} out of range for an 80-bit register"
+        );
         if bit < 64 {
-            F80 { se: self.se, mantissa: self.mantissa ^ (1 << bit) }
+            F80 {
+                se: self.se,
+                mantissa: self.mantissa ^ (1 << bit),
+            }
         } else {
-            F80 { se: self.se ^ (1 << (bit - 64)), mantissa: self.mantissa }
+            F80 {
+                se: self.se ^ (1 << (bit - 64)),
+                mantissa: self.mantissa,
+            }
         }
     }
 }
@@ -270,7 +296,10 @@ mod tests {
     #[test]
     fn overflow_to_infinity_on_store() {
         // An 80-bit value with exponent beyond f64 range stores as inf.
-        let f = F80 { se: (BIAS80 + 2000) as u16, mantissa: 1 << 63 };
+        let f = F80 {
+            se: (BIAS80 + 2000) as u16,
+            mantissa: 1 << 63,
+        };
         assert_eq!(f.to_f64(), f64::INFINITY);
     }
 

@@ -16,7 +16,7 @@
 //! * Stack overflow/underflow produce the x87 "indefinite" QNaN rather
 //!   than trapping (masked exceptions, the Linux default).
 
-use crate::f80::{F80, F80Class};
+use crate::f80::{F80Class, F80};
 
 /// Tag values, as encoded in TWD (two bits per register).
 pub const TAG_VALID: u16 = 0;
@@ -33,7 +33,7 @@ fn indefinite() -> F80 {
 }
 
 /// x87 FPU register file.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fpu {
     /// Physical data registers R0–R7 (stack-addressed via TOP).
     pub regs: [F80; 8],
@@ -137,7 +137,11 @@ impl Fpu {
         let new_top = (self.top().wrapping_sub(1)) & 7;
         self.set_top(new_top);
         let p = new_top as usize;
-        let val = if self.tag(p) != TAG_EMPTY { indefinite() } else { v };
+        let val = if self.tag(p) != TAG_EMPTY {
+            indefinite()
+        } else {
+            v
+        };
         self.regs[p] = val;
         self.set_tag(p, Self::tag_for(val));
     }
@@ -145,7 +149,11 @@ impl Fpu {
     /// Pop st0, returning its value (indefinite if the slot was empty).
     pub fn pop(&mut self) -> F80 {
         let p = self.phys(0);
-        let v = if self.tag(p) == TAG_EMPTY { indefinite() } else { self.regs[p] };
+        let v = if self.tag(p) == TAG_EMPTY {
+            indefinite()
+        } else {
+            self.regs[p]
+        };
         self.set_tag(p, TAG_EMPTY);
         self.set_top((self.top() + 1) & 7);
         v
@@ -261,7 +269,7 @@ mod tests {
     fn swd_top_flip_rotates_stack() {
         let mut f = Fpu::new();
         f.push(F80::from_f64(10.0)); // physical slot 7
-        // Flip the lowest TOP bit: st0 now addresses a different slot.
+                                     // Flip the lowest TOP bit: st0 now addresses a different slot.
         f.swd ^= 1 << 11;
         assert_ne!(f.read_st(0).to_f64(), 10.0);
     }

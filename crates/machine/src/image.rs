@@ -71,7 +71,9 @@ impl ProgramImage {
     /// Application (non-library) symbols in a region — the raw material of
     /// the paper's fault dictionary.
     pub fn app_symbols(&self, region: Region) -> impl Iterator<Item = &Symbol> {
-        self.symbols.iter().filter(move |s| !s.library && s.region == region)
+        self.symbols
+            .iter()
+            .filter(move |s| !s.library && s.region == region)
     }
 
     /// Look up the symbol covering an address (for diagnostics).
@@ -85,7 +87,11 @@ impl ProgramImage {
     /// Section sizes for the Table 1 profile: (text, data, bss) in bytes,
     /// application sections only.
     pub fn section_sizes(&self) -> (u32, u32, u32) {
-        (self.text.len() as u32, self.data.len() as u32, self.bss_size)
+        (
+            self.text.len() as u32,
+            self.data.len() as u32,
+            self.bss_size,
+        )
     }
 }
 
@@ -141,7 +147,10 @@ mod tests {
     #[test]
     fn app_symbols_exclude_library() {
         let img = demo();
-        let names: Vec<_> = img.app_symbols(Region::Text).map(|s| s.name.as_str()).collect();
+        let names: Vec<_> = img
+            .app_symbols(Region::Text)
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, ["main"]);
         assert_eq!(img.app_symbols(Region::LibText).count(), 0);
     }

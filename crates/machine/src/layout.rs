@@ -59,8 +59,13 @@ pub enum Region {
 impl Region {
     /// The five application regions the paper injects into, in the order
     /// its result tables list them.
-    pub const INJECTABLE: [Region; 5] =
-        [Region::Bss, Region::Data, Region::Stack, Region::Text, Region::Heap];
+    pub const INJECTABLE: [Region; 5] = [
+        Region::Bss,
+        Region::Data,
+        Region::Stack,
+        Region::Text,
+        Region::Heap,
+    ];
 }
 
 impl fmt::Display for Region {
@@ -88,13 +93,21 @@ pub struct Perms {
 
 impl Perms {
     /// Read + execute (text).
-    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+    pub const RX: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
     /// Read + write (data).
-    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
 }
 
 /// One mapped extent.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mapping {
     /// First byte of the extent.
     pub start: u32,
@@ -142,7 +155,11 @@ impl AddressSpaceMap {
     /// not runtime conditions.
     pub fn add(&mut self, m: Mapping) {
         assert!(m.start < m.end, "empty mapping for {:?}", m.region);
-        assert!(m.end <= KERNEL_BASE, "{:?} mapping reaches kernel space", m.region);
+        assert!(
+            m.end <= KERNEL_BASE,
+            "{:?} mapping reaches kernel space",
+            m.region
+        );
         for e in &self.maps {
             assert!(
                 m.end <= e.start || m.start >= e.end,
@@ -177,7 +194,11 @@ impl AddressSpaceMap {
         if new_end <= self.maps[idx].end {
             return true;
         }
-        let limit = self.maps.get(idx + 1).map(|m| m.start).unwrap_or(KERNEL_BASE);
+        let limit = self
+            .maps
+            .get(idx + 1)
+            .map(|m| m.start)
+            .unwrap_or(KERNEL_BASE);
         if new_end > limit {
             return false;
         }
@@ -203,8 +224,18 @@ mod tests {
 
     fn demo_map() -> AddressSpaceMap {
         let mut m = AddressSpaceMap::new();
-        m.add(Mapping { start: TEXT_BASE, end: TEXT_BASE + 0x1000, region: Region::Text, perms: Perms::RX });
-        m.add(Mapping { start: TEXT_BASE + 0x1000, end: TEXT_BASE + 0x2000, region: Region::Data, perms: Perms::RW });
+        m.add(Mapping {
+            start: TEXT_BASE,
+            end: TEXT_BASE + 0x1000,
+            region: Region::Text,
+            perms: Perms::RX,
+        });
+        m.add(Mapping {
+            start: TEXT_BASE + 0x1000,
+            end: TEXT_BASE + 0x2000,
+            region: Region::Data,
+            perms: Perms::RW,
+        });
         m.add(Mapping {
             start: STACK_TOP - DEFAULT_STACK_SIZE,
             end: STACK_TOP,

@@ -38,9 +38,9 @@ pub use layout::{
     align_up, AddressSpaceMap, Mapping, Perms, Region, DEFAULT_STACK_SIZE, KERNEL_BASE, LIB_BASE,
     PAGE_SIZE, STACK_TOP, TEXT_BASE,
 };
-pub use machine::{Counters, Cpu, Exit, Machine, MachineConfig, Signal};
+pub use machine::{Counters, Cpu, Exit, Machine, MachineConfig, MachineSnapshot, Signal};
 pub use malloc::{
     AllocTag, ChunkInfo, HeapAllocator, HeapError, HEADER_SIZE, MAGIC_FREE, MAGIC_MPI, MAGIC_USER,
 };
-pub use mem::{AccessKind, AccessTrace, MemFault, Memory, TraceKind};
+pub use mem::{AccessKind, AccessTrace, MemFault, Memory, MemorySnapshot, Page, TraceKind};
 pub use stackwalk::{app_stack_extents, walk, Frame};

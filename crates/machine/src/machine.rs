@@ -11,11 +11,9 @@
 
 use crate::fpu::Fpu;
 use crate::image::ProgramImage;
-use crate::layout::{
-    Mapping, Perms, Region, DEFAULT_STACK_SIZE, LIB_BASE, STACK_TOP, TEXT_BASE,
-};
+use crate::layout::{Mapping, Perms, Region, DEFAULT_STACK_SIZE, LIB_BASE, STACK_TOP, TEXT_BASE};
 use crate::malloc::{AllocTag, HeapAllocator, HeapError};
-use crate::mem::Memory;
+use crate::mem::{Memory, MemorySnapshot};
 use crate::AddressSpaceMap;
 use fl_isa::insn::{AluOp, FpuBinOp, FpuUnOp};
 use fl_isa::{decode_at, Cond, Gpr, Insn, RegisterName, Syscall};
@@ -24,7 +22,7 @@ use fl_isa::{EFLAGS_CF, EFLAGS_OF, EFLAGS_SF, EFLAGS_ZF};
 use crate::f80::F80;
 
 /// CPU register state (the paper's register fault targets).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cpu {
     /// The eight general-purpose registers, indexed by [`Gpr`].
     pub gpr: [u32; 8],
@@ -41,7 +39,12 @@ impl Cpu {
         let mut gpr = [0u32; 8];
         gpr[Gpr::Esp as usize] = esp;
         gpr[Gpr::Ebp as usize] = 0; // frame-chain terminator
-        Cpu { gpr, eip: entry, eflags: 0, fpu: Fpu::new() }
+        Cpu {
+            gpr,
+            eip: entry,
+            eflags: 0,
+            fpu: Fpu::new(),
+        }
     }
 
     /// Read a GPR.
@@ -104,7 +107,7 @@ pub enum Exit {
 
 /// Execution statistics, including the progress metrics §7 proposes for
 /// hang detection (FLOP and message-call rates).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Instructions retired.
     pub insns: u64,
@@ -120,7 +123,7 @@ pub struct Counters {
 }
 
 /// Configuration for machine construction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Stack reservation in bytes.
     pub stack_size: u32,
@@ -150,11 +153,14 @@ struct ICache {
 
 impl ICache {
     fn new(base: u32, len: u32) -> Self {
-        ICache { base, entries: vec![None; (len as usize).div_ceil(4)] }
+        ICache {
+            base,
+            entries: vec![None; (len as usize).div_ceil(4)],
+        }
     }
 
     fn idx(&self, addr: u32) -> Option<usize> {
-        if addr < self.base || addr % 4 != 0 {
+        if addr < self.base || !addr.is_multiple_of(4) {
             return None;
         }
         let i = ((addr - self.base) / 4) as usize;
@@ -394,7 +400,11 @@ impl Machine {
             .icache_app
             .idx(eip)
             .and_then(|i| self.icache_app.entries[i])
-            .or_else(|| self.icache_lib.idx(eip).and_then(|i| self.icache_lib.entries[i]));
+            .or_else(|| {
+                self.icache_lib
+                    .idx(eip)
+                    .and_then(|i| self.icache_lib.entries[i])
+            });
         let (insn, len) = match cached {
             Some((insn, len)) => {
                 // Protection was checked when the cache entry was built and
@@ -461,7 +471,11 @@ impl Machine {
                         if sb == 0 || (sa == i32::MIN && sb == -1) {
                             return Err(Signal::Fpe { eip });
                         }
-                        if op == AluOp::Div { (sa / sb) as u32 } else { (sa % sb) as u32 }
+                        if op == AluOp::Div {
+                            (sa / sb) as u32
+                        } else {
+                            (sa % sb) as u32
+                        }
                     }
                     AluOp::And => a & b,
                     AluOp::Or => a | b,
@@ -500,31 +514,46 @@ impl Machine {
             }
             Ld { rd, base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
-                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_u32(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.set(rd, v);
             }
             St { rb, base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
                 let v = self.cpu.get(rb);
-                self.mem.store_u32(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_u32(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
             }
             LdG { rd, addr } => {
-                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_u32(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.set(rd, v);
             }
             StG { rs, addr } => {
                 let v = self.cpu.get(rs);
-                self.mem.store_u32(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_u32(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
             }
             LdB { rd, base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
-                let v = self.mem.load_u8(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_u8(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.set(rd, v as u32);
             }
             StB { rb, base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
                 let v = self.cpu.get(rb) as u8;
-                self.mem.store_u8(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_u8(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
             }
             Push { rs } => {
                 let v = self.cpu.get(rs);
@@ -577,12 +606,18 @@ impl Machine {
             // --- FPU ------------------------------------------------------
             Fld { base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
-                let v = self.mem.load_f64(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_f64(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.fpu.note_insn(eip, Some(addr));
                 self.cpu.fpu.push(F80::from_f64(v));
             }
             FldG { addr } => {
-                let v = self.mem.load_f64(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_f64(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.fpu.note_insn(eip, Some(addr));
                 self.cpu.fpu.push(F80::from_f64(v));
             }
@@ -590,24 +625,33 @@ impl Machine {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
                 let v = self.cpu.fpu.read_st_f64(0);
                 self.cpu.fpu.note_insn(eip, Some(addr));
-                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_f64(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
             }
             Fstp { base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
                 let v = self.cpu.fpu.read_st_f64(0);
-                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_f64(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.fpu.note_insn(eip, Some(addr));
                 self.cpu.fpu.pop();
             }
             FstpG { addr } => {
                 let v = self.cpu.fpu.read_st_f64(0);
-                self.mem.store_f64(addr, v, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                self.mem
+                    .store_f64(addr, v, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.fpu.note_insn(eip, Some(addr));
                 self.cpu.fpu.pop();
             }
             Fild { base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
-                let v = self.mem.load_u32(addr, now).map_err(|f| Signal::Segv { addr: f.addr })?;
+                let v = self
+                    .mem
+                    .load_u32(addr, now)
+                    .map_err(|f| Signal::Segv { addr: f.addr })?;
                 self.cpu.fpu.note_insn(eip, Some(addr));
                 self.cpu.fpu.push(F80::from_f64(v as i32 as f64));
             }
@@ -901,6 +945,76 @@ impl Machine {
     pub fn console_text(&self) -> String {
         String::from_utf8_lossy(&self.console).into_owned()
     }
+
+    // --- snapshots --------------------------------------------------------
+
+    /// Capture the complete architectural state of the process: CPU
+    /// (GPRs, EFLAGS, EIP, full FPU), memory (COW page table + region
+    /// map), malloc-runtime records, console/output buffers, counters
+    /// and budget. The decoded-instruction cache is *not* part of the
+    /// state — it is a pure performance artifact and is rebuilt lazily
+    /// after [`MachineSnapshot::to_machine`].
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cpu: self.cpu.clone(),
+            mem: self.mem.snapshot(),
+            heap: self.heap.clone(),
+            console: self.console.clone(),
+            outfile: self.outfile.clone(),
+            in_mpi: self.in_mpi,
+            counters: self.counters,
+            budget: self.budget,
+            text_end: self.text_end,
+            lib_text_end: self.lib_text_end,
+            min_esp: self.min_esp,
+        }
+    }
+}
+
+/// A captured [`Machine`] state. Equality is *architectural*: two
+/// snapshots compare equal iff every register, every mapped byte, the
+/// allocator records, the I/O buffers and the counters agree — which is
+/// the invariant the snapshot property tests enforce between forked and
+/// cold runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    pub cpu: Cpu,
+    pub mem: MemorySnapshot,
+    pub heap: HeapAllocator,
+    pub console: Vec<u8>,
+    pub outfile: Vec<u8>,
+    pub in_mpi: bool,
+    pub counters: Counters,
+    pub budget: u64,
+    pub text_end: u32,
+    pub lib_text_end: u32,
+    pub min_esp: u32,
+}
+
+impl MachineSnapshot {
+    /// Materialise a runnable [`Machine`] from this snapshot. Memory
+    /// pages are shared copy-on-write with the snapshot (and with every
+    /// other machine forked from it); the instruction caches start cold
+    /// and refill on execution.
+    pub fn to_machine(&self) -> Machine {
+        let text_len = (self.text_end - TEXT_BASE).max(4);
+        let lib_text_len = (self.lib_text_end - LIB_BASE).max(4);
+        Machine {
+            cpu: self.cpu.clone(),
+            mem: self.mem.to_memory(),
+            heap: self.heap.clone(),
+            console: self.console.clone(),
+            outfile: self.outfile.clone(),
+            in_mpi: self.in_mpi,
+            counters: self.counters,
+            budget: self.budget,
+            text_end: self.text_end,
+            lib_text_end: self.lib_text_end,
+            icache_app: ICache::new(TEXT_BASE, text_len),
+            icache_lib: ICache::new(LIB_BASE, lib_text_len),
+            min_esp: self.min_esp,
+        }
+    }
 }
 
 enum SysOutcome {
@@ -959,7 +1073,12 @@ mod tests {
         let (m, e) = run_insns(&[
             Insn::MovI { rd: Eax, imm: 20 },
             Insn::MovI { rd: Ebx, imm: 22 },
-            Insn::Alu { op: AluOp::Add, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::Alu {
+                op: AluOp::Add,
+                rd: Eax,
+                ra: Eax,
+                rb: Ebx,
+            },
             Insn::Halt,
         ]);
         assert_eq!(e, Exit::Halted(42));
@@ -973,7 +1092,12 @@ mod tests {
         let (_, e) = run_insns(&[
             Insn::MovI { rd: Eax, imm: 7 },
             Insn::MovI { rd: Ebx, imm: 0 },
-            Insn::Alu { op: AluOp::Div, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::Alu {
+                op: AluOp::Div,
+                rd: Eax,
+                ra: Eax,
+                rb: Ebx,
+            },
             Insn::Halt,
         ]);
         assert!(matches!(e, Exit::Signal(Signal::Fpe { .. })));
@@ -983,9 +1107,20 @@ mod tests {
     fn int_min_div_minus_one_sigfpe() {
         use Gpr::*;
         let (_, e) = run_insns(&[
-            Insn::MovI { rd: Eax, imm: 0x8000_0000 },
-            Insn::MovI { rd: Ebx, imm: (-1i32) as u32 },
-            Insn::Alu { op: AluOp::Div, rd: Eax, ra: Eax, rb: Ebx },
+            Insn::MovI {
+                rd: Eax,
+                imm: 0x8000_0000,
+            },
+            Insn::MovI {
+                rd: Ebx,
+                imm: (-1i32) as u32,
+            },
+            Insn::Alu {
+                op: AluOp::Div,
+                rd: Eax,
+                ra: Eax,
+                rb: Ebx,
+            },
             Insn::Halt,
         ]);
         assert!(matches!(e, Exit::Signal(Signal::Fpe { .. })));
@@ -995,8 +1130,15 @@ mod tests {
     fn wild_load_sigsegv() {
         use Gpr::*;
         let (_, e) = run_insns(&[
-            Insn::MovI { rd: Eax, imm: 0x1234 },
-            Insn::Ld { rd: Ebx, base: Eax, off: 0 },
+            Insn::MovI {
+                rd: Eax,
+                imm: 0x1234,
+            },
+            Insn::Ld {
+                rd: Ebx,
+                base: Eax,
+                off: 0,
+            },
             Insn::Halt,
         ]);
         assert_eq!(e, Exit::Signal(Signal::Segv { addr: 0x1234 }));
@@ -1006,8 +1148,15 @@ mod tests {
     fn kernel_space_access_sigsegv() {
         use Gpr::*;
         let (_, e) = run_insns(&[
-            Insn::MovI { rd: Eax, imm: KERNEL_BASE },
-            Insn::Ld { rd: Ebx, base: Eax, off: 16 },
+            Insn::MovI {
+                rd: Eax,
+                imm: KERNEL_BASE,
+            },
+            Insn::Ld {
+                rd: Ebx,
+                base: Eax,
+                off: 16,
+            },
             Insn::Halt,
         ]);
         assert!(matches!(e, Exit::Signal(Signal::Segv { .. })));
@@ -1033,10 +1182,22 @@ mod tests {
             Insn::MovI { rd: Ecx, imm: 1 },
             Insn::MovI { rd: Ebx, imm: 0 },
             // loop:
-            Insn::Alu { op: AluOp::Add, rd: Ebx, ra: Ebx, rb: Ecx },
-            Insn::AddI { rd: Ecx, ra: Ecx, imm: 1 },
+            Insn::Alu {
+                op: AluOp::Add,
+                rd: Ebx,
+                ra: Ebx,
+                rb: Ecx,
+            },
+            Insn::AddI {
+                rd: Ecx,
+                ra: Ecx,
+                imm: 1,
+            },
             Insn::CmpI { ra: Ecx, imm: 10 },
-            Insn::J { cond: Cond::Le, target: loop_start },
+            Insn::J {
+                cond: Cond::Le,
+                target: loop_start,
+            },
             Insn::Mov { rd: Eax, rs: Ebx },
             Insn::Halt,
         ]);
@@ -1070,13 +1231,19 @@ mod tests {
         let img = {
             let mut i = image(&[
                 Insn::FldG { addr: data_base },
-                Insn::FldG { addr: data_base + 8 },
+                Insn::FldG {
+                    addr: data_base + 8,
+                },
                 Insn::Fbinp { op: FpuBinOp::Mul },
                 Insn::Funop { op: FpuUnOp::Sqrt },
                 Insn::MovI { rd: Ecx, imm: 3 },
-                Insn::Sys { num: Syscall::PrintFlt as u16 },
+                Insn::Sys {
+                    num: Syscall::PrintFlt as u16,
+                },
                 Insn::MovI { rd: Eax, imm: 0 },
-                Insn::Sys { num: Syscall::Exit as u16 },
+                Insn::Sys {
+                    num: Syscall::Exit as u16,
+                },
             ]);
             i.data[..8].copy_from_slice(&2.0f64.to_le_bytes());
             i.data[8..16].copy_from_slice(&8.0f64.to_le_bytes());
@@ -1094,14 +1261,26 @@ mod tests {
         use Gpr::*;
         let (m, e) = run_insns(&[
             Insn::MovI { rd: Ecx, imm: 128 },
-            Insn::Sys { num: Syscall::Malloc as u16 },
+            Insn::Sys {
+                num: Syscall::Malloc as u16,
+            },
             Insn::Mov { rd: Esi, rs: Eax },
             // store through the pointer
             Insn::MovI { rd: Ebx, imm: 7 },
-            Insn::St { rb: Ebx, base: Esi, off: 0 },
+            Insn::St {
+                rb: Ebx,
+                base: Esi,
+                off: 0,
+            },
             Insn::Mov { rd: Eax, rs: Esi },
-            Insn::Sys { num: Syscall::Free as u16 },
-            Insn::Ld { rd: Eax, base: Esi, off: 0 }, // use-after-free reads ok (no poison)
+            Insn::Sys {
+                num: Syscall::Free as u16,
+            },
+            Insn::Ld {
+                rd: Eax,
+                base: Esi,
+                off: 0,
+            }, // use-after-free reads ok (no poison)
             Insn::Halt,
         ]);
         assert!(matches!(e, Exit::Halted(_)));
@@ -1113,8 +1292,13 @@ mod tests {
     fn corrupted_free_crashes_like_glibc() {
         use Gpr::*;
         let (_, e) = run_insns(&[
-            Insn::MovI { rd: Eax, imm: 0x0b00_0000 },
-            Insn::Sys { num: Syscall::Free as u16 },
+            Insn::MovI {
+                rd: Eax,
+                imm: 0x0b00_0000,
+            },
+            Insn::Sys {
+                num: Syscall::Free as u16,
+            },
             Insn::Halt,
         ]);
         assert!(matches!(e, Exit::HeapCorruption(_)));
@@ -1126,9 +1310,14 @@ mod tests {
         let data_base = image(&[Insn::Nop]).data_base();
         let img = {
             let mut i = image(&[
-                Insn::MovI { rd: Eax, imm: data_base },
+                Insn::MovI {
+                    rd: Eax,
+                    imm: data_base,
+                },
                 Insn::MovI { rd: Ecx, imm: 9 },
-                Insn::Sys { num: Syscall::AbortMsg as u16 },
+                Insn::Sys {
+                    num: Syscall::AbortMsg as u16,
+                },
                 Insn::Halt,
             ]);
             i.data[..9].copy_from_slice(b"NaN check");
@@ -1143,7 +1332,9 @@ mod tests {
         use Gpr::*;
         let (mut m, e) = {
             let img = image(&[
-                Insn::Sys { num: Syscall::MpiCommRank as u16 },
+                Insn::Sys {
+                    num: Syscall::MpiCommRank as u16,
+                },
                 Insn::Mov { rd: Ebx, rs: Eax },
                 Insn::Halt,
             ]);
@@ -1162,8 +1353,17 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_hang() {
         // Infinite loop.
-        let img = image(&[Insn::J { cond: Cond::Always, target: TEXT_BASE }]);
-        let mut m = Machine::load(&img, MachineConfig { budget: 5000, ..Default::default() });
+        let img = image(&[Insn::J {
+            cond: Cond::Always,
+            target: TEXT_BASE,
+        }]);
+        let mut m = Machine::load(
+            &img,
+            MachineConfig {
+                budget: 5000,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.run(u64::MAX), Exit::Budget);
         assert_eq!(m.counters.insns, 5000);
     }
@@ -1174,9 +1374,16 @@ mod tests {
         let loop_start = TEXT_BASE + 8;
         let img = image(&[
             Insn::MovI { rd: Ecx, imm: 0 },
-            Insn::AddI { rd: Ecx, ra: Ecx, imm: 1 },
+            Insn::AddI {
+                rd: Ecx,
+                ra: Ecx,
+                imm: 1,
+            },
             Insn::CmpI { ra: Ecx, imm: 100 },
-            Insn::J { cond: Cond::Lt, target: loop_start },
+            Insn::J {
+                cond: Cond::Lt,
+                target: loop_start,
+            },
             Insn::Mov { rd: Eax, rs: Ecx },
             Insn::Halt,
         ]);
@@ -1214,7 +1421,10 @@ mod tests {
         use Gpr::*;
         let img = image(&[
             Insn::MovI { rd: Eax, imm: 5 },
-            Insn::J { cond: Cond::Always, target: TEXT_BASE + 12 },
+            Insn::J {
+                cond: Cond::Always,
+                target: TEXT_BASE + 12,
+            },
             Insn::Halt,
         ]);
         let mut m = Machine::load(&img, MachineConfig::default());

@@ -63,7 +63,7 @@ enum ChunkState {
     Live(AllocTag),
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Chunk {
     /// Total bytes including the header.
     size: u32,
@@ -84,6 +84,9 @@ pub struct ChunkInfo {
 }
 
 /// First-fit allocator with coalescing over the simulated heap region.
+/// `Clone` captures the authoritative chunk map for world snapshots (the
+/// in-memory headers ride along with the memory pages).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeapAllocator {
     base: u32,
     /// Current break (end of the used arena).
@@ -101,7 +104,13 @@ impl HeapAllocator {
     /// Create an allocator over `[base, limit)`.
     pub fn new(base: u32, limit: u32) -> Self {
         assert!(base < limit);
-        HeapAllocator { base, brk: base, limit, chunks: BTreeMap::new(), peak_brk: base }
+        HeapAllocator {
+            base,
+            brk: base,
+            limit,
+            chunks: BTreeMap::new(),
+            peak_brk: base,
+        }
     }
 
     /// The heap base address.
@@ -121,12 +130,7 @@ impl HeapAllocator {
 
     /// Allocate `size` bytes tagged `tag`; returns the payload address.
     /// Grows the heap mapping (brk) as needed.
-    pub fn alloc(
-        &mut self,
-        mem: &mut Memory,
-        size: u32,
-        tag: AllocTag,
-    ) -> Result<u32, HeapError> {
+    pub fn alloc(&mut self, mem: &mut Memory, size: u32, tag: AllocTag) -> Result<u32, HeapError> {
         let need = align_up(size.max(1), 8) + HEADER_SIZE;
         // First fit over free chunks.
         let mut found = None;
@@ -139,13 +143,29 @@ impl HeapAllocator {
         let header = if let Some((addr, have)) = found {
             // Split if the remainder can hold another chunk.
             if have - need >= HEADER_SIZE + 8 {
-                self.chunks.insert(addr, Chunk { size: need, state: ChunkState::Live(tag) });
-                self.chunks
-                    .insert(addr + need, Chunk { size: have - need, state: ChunkState::Free });
+                self.chunks.insert(
+                    addr,
+                    Chunk {
+                        size: need,
+                        state: ChunkState::Live(tag),
+                    },
+                );
+                self.chunks.insert(
+                    addr + need,
+                    Chunk {
+                        size: have - need,
+                        state: ChunkState::Free,
+                    },
+                );
                 self.write_header(mem, addr + need, MAGIC_FREE, have - need);
             } else {
-                self.chunks
-                    .insert(addr, Chunk { size: have, state: ChunkState::Live(tag) });
+                self.chunks.insert(
+                    addr,
+                    Chunk {
+                        size: have,
+                        state: ChunkState::Live(tag),
+                    },
+                );
             }
             addr
         } else {
@@ -160,7 +180,13 @@ impl HeapAllocator {
             }
             self.brk = new_brk;
             self.peak_brk = self.peak_brk.max(new_brk);
-            self.chunks.insert(addr, Chunk { size: need, state: ChunkState::Live(tag) });
+            self.chunks.insert(
+                addr,
+                Chunk {
+                    size: need,
+                    state: ChunkState::Live(tag),
+                },
+            );
             addr
         };
         self.write_header(mem, header, tag.magic(), self.chunks[&header].size);
@@ -174,15 +200,27 @@ impl HeapAllocator {
     pub fn free(&mut self, mem: &mut Memory, ptr: u32) -> Result<(), HeapError> {
         let header = ptr.wrapping_sub(HEADER_SIZE);
         let tag = match self.chunks.get(&header) {
-            Some(Chunk { state: ChunkState::Live(tag), .. }) => *tag,
+            Some(Chunk {
+                state: ChunkState::Live(tag),
+                ..
+            }) => *tag,
             _ => return Err(HeapError::InvalidFree(ptr)),
         };
         let found_magic = mem.peek_u32(header);
         if found_magic != tag.magic() {
-            return Err(HeapError::CorruptHeader { chunk: header, found_magic });
+            return Err(HeapError::CorruptHeader {
+                chunk: header,
+                found_magic,
+            });
         }
         let size = self.chunks[&header].size;
-        self.chunks.insert(header, Chunk { size, state: ChunkState::Free });
+        self.chunks.insert(
+            header,
+            Chunk {
+                size,
+                state: ChunkState::Free,
+            },
+        );
         self.write_header(mem, header, MAGIC_FREE, size);
         self.coalesce(mem, header);
         Ok(())
@@ -194,7 +232,13 @@ impl HeapAllocator {
         if let Some(next) = self.chunks.get(&(addr + size)).copied() {
             if next.state == ChunkState::Free {
                 self.chunks.remove(&(addr + size));
-                self.chunks.insert(addr, Chunk { size: size + next.size, state: ChunkState::Free });
+                self.chunks.insert(
+                    addr,
+                    Chunk {
+                        size: size + next.size,
+                        state: ChunkState::Free,
+                    },
+                );
                 self.write_header(mem, addr, MAGIC_FREE, size + next.size);
             }
         }
@@ -203,7 +247,13 @@ impl HeapAllocator {
             if prev.state == ChunkState::Free && prev_addr + prev.size == addr {
                 let merged = prev.size + self.chunks[&addr].size;
                 self.chunks.remove(&addr);
-                self.chunks.insert(prev_addr, Chunk { size: merged, state: ChunkState::Free });
+                self.chunks.insert(
+                    prev_addr,
+                    Chunk {
+                        size: merged,
+                        state: ChunkState::Free,
+                    },
+                );
                 self.write_header(mem, prev_addr, MAGIC_FREE, merged);
             }
         }
@@ -304,7 +354,7 @@ mod tests {
         h.free(&mut mem, a).unwrap();
         h.free(&mut mem, c).unwrap();
         h.free(&mut mem, b).unwrap(); // merges all three
-        // One big allocation should now fit in the merged space.
+                                      // One big allocation should now fit in the merged space.
         let big = h.alloc(&mut mem, 200, AllocTag::User).unwrap();
         assert_eq!(big, a);
     }
@@ -312,11 +362,17 @@ mod tests {
     #[test]
     fn invalid_free_detected() {
         let (mut mem, mut h) = setup();
-        assert_eq!(h.free(&mut mem, 0x0a00_0010), Err(HeapError::InvalidFree(0x0a00_0010)));
+        assert_eq!(
+            h.free(&mut mem, 0x0a00_0010),
+            Err(HeapError::InvalidFree(0x0a00_0010))
+        );
         let p = h.alloc(&mut mem, 16, AllocTag::User).unwrap();
         h.free(&mut mem, p).unwrap();
         // Double free.
-        assert!(matches!(h.free(&mut mem, p), Err(HeapError::InvalidFree(_))));
+        assert!(matches!(
+            h.free(&mut mem, p),
+            Err(HeapError::InvalidFree(_))
+        ));
     }
 
     #[test]

@@ -14,6 +14,13 @@
 
 use crate::layout::{AddressSpaceMap, Mapping, Region, PAGE_SIZE};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One backing page. Pages are reference-counted so that snapshots and
+/// the worlds forked from them share unmodified pages copy-on-write:
+/// cloning the page table is O(pages) pointer copies, and a page is
+/// duplicated only when one of the sharers writes to it.
+pub type Page = [u8; PAGE_SIZE as usize];
 
 /// A memory access fault (turned into SIGSEGV by the machine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +59,10 @@ pub struct AccessTrace {
 
 impl AccessTrace {
     fn new(m: &Mapping) -> Self {
-        AccessTrace { start: m.start, last: vec![0; (m.len() as usize).div_ceil(4)] }
+        AccessTrace {
+            start: m.start,
+            last: vec![0; (m.len() as usize).div_ceil(4)],
+        }
     }
 
     fn record(&mut self, addr: u32, len: u32, now: u64) {
@@ -88,10 +98,11 @@ impl AccessTrace {
     }
 }
 
-/// The process memory: lazily allocated pages plus the region map.
+/// The process memory: lazily allocated copy-on-write pages plus the
+/// region map.
 pub struct Memory {
     map: AddressSpaceMap,
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u32, Arc<Page>>,
     /// Traces keyed by region; present only while tracing is on.
     traces: Option<HashMap<Region, AccessTrace>>,
     /// Bytes currently backed by pages (for diagnostics).
@@ -101,7 +112,12 @@ pub struct Memory {
 impl Memory {
     /// Create memory over an address-space map.
     pub fn new(map: AddressSpaceMap) -> Self {
-        Memory { map, pages: HashMap::new(), traces: None, resident_pages: 0 }
+        Memory {
+            map,
+            pages: HashMap::new(),
+            traces: None,
+            resident_pages: 0,
+        }
     }
 
     /// The region map.
@@ -135,13 +151,16 @@ impl Memory {
         self.resident_pages
     }
 
-    fn page(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+    /// Writable view of the page containing `addr`, materialising it if
+    /// absent and un-sharing it (copy-on-write) if a snapshot holds it.
+    fn page_mut(&mut self, addr: u32) -> &mut Page {
         let key = addr / PAGE_SIZE;
         let resident = &mut self.resident_pages;
-        self.pages.entry(key).or_insert_with(|| {
+        let arc = self.pages.entry(key).or_insert_with(|| {
             *resident += 1;
-            Box::new([0u8; PAGE_SIZE as usize])
-        })
+            Arc::new([0u8; PAGE_SIZE as usize])
+        });
+        Arc::make_mut(arc)
     }
 
     /// Whether access tracing is active (the machine consults this to
@@ -185,18 +204,22 @@ impl Memory {
 
     // --- raw byte plumbing (no checks) ----------------------------------
 
-    fn raw_read(&mut self, addr: u32, out: &mut [u8]) {
+    fn raw_read(&self, addr: u32, out: &mut [u8]) {
+        // Reads never materialise (or un-share) a page: an absent page
+        // reads as zeros, exactly as if it were backed.
         let off = (addr % PAGE_SIZE) as usize;
         if off + out.len() <= PAGE_SIZE as usize {
             // Fast path: the access stays within one page.
-            let page = self.page(addr);
-            out.copy_from_slice(&page[off..off + out.len()]);
+            match self.pages.get(&(addr / PAGE_SIZE)) {
+                Some(page) => out.copy_from_slice(&page[off..off + out.len()]),
+                None => out.fill(0),
+            }
             return;
         }
         let mut a = addr;
         for b in out.iter_mut() {
             let off = (a % PAGE_SIZE) as usize;
-            *b = self.page(a)[off];
+            *b = self.pages.get(&(a / PAGE_SIZE)).map_or(0, |p| p[off]);
             a = a.wrapping_add(1);
         }
     }
@@ -204,14 +227,14 @@ impl Memory {
     fn raw_write(&mut self, addr: u32, data: &[u8]) {
         let off = (addr % PAGE_SIZE) as usize;
         if off + data.len() <= PAGE_SIZE as usize {
-            let page = self.page(addr);
+            let page = self.page_mut(addr);
             page[off..off + data.len()].copy_from_slice(data);
             return;
         }
         let mut a = addr;
         for &b in data {
             let off = (a % PAGE_SIZE) as usize;
-            self.page(a)[off] = b;
+            self.page_mut(a)[off] = b;
             a = a.wrapping_add(1);
         }
     }
@@ -304,19 +327,19 @@ impl Memory {
     // --- privileged access (loader, fault injector, MPI library) --------
 
     /// Read bytes with no protection check and no tracing.
-    pub fn peek(&mut self, addr: u32, out: &mut [u8]) {
+    pub fn peek(&self, addr: u32, out: &mut [u8]) {
         self.raw_read(addr, out);
     }
 
     /// Read one byte, privileged.
-    pub fn peek_u8(&mut self, addr: u32) -> u8 {
+    pub fn peek_u8(&self, addr: u32) -> u8 {
         let mut b = [0u8; 1];
         self.raw_read(addr, &mut b);
         b[0]
     }
 
     /// Read a u32, privileged.
-    pub fn peek_u32(&mut self, addr: u32) -> u32 {
+    pub fn peek_u32(&self, addr: u32) -> u32 {
         let mut b = [0u8; 4];
         self.raw_read(addr, &mut b);
         u32::from_le_bytes(b)
@@ -340,6 +363,93 @@ impl Memory {
         self.poke(addr, &[b]);
         b
     }
+
+    // --- snapshots --------------------------------------------------------
+
+    /// Capture the full memory state. Pages are shared with the live
+    /// memory copy-on-write, so this is O(resident pages) pointer
+    /// clones, not a byte copy.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot {
+            map: self.map.clone(),
+            pages: self.pages.clone(),
+            traces: self.traces.clone(),
+            resident_pages: self.resident_pages,
+        }
+    }
+}
+
+/// A captured [`Memory`] state: the region map plus a COW page table.
+/// Cloning a snapshot, and materialising memories from it, shares pages
+/// until someone writes to them.
+#[derive(Clone)]
+pub struct MemorySnapshot {
+    map: AddressSpaceMap,
+    pages: HashMap<u32, Arc<Page>>,
+    traces: Option<HashMap<Region, AccessTrace>>,
+    resident_pages: usize,
+}
+
+impl MemorySnapshot {
+    /// Materialise a live [`Memory`] from this snapshot (a fork: pages
+    /// stay shared until written).
+    pub fn to_memory(&self) -> Memory {
+        Memory {
+            map: self.map.clone(),
+            pages: self.pages.clone(),
+            traces: self.traces.clone(),
+            resident_pages: self.resident_pages,
+        }
+    }
+
+    /// Number of resident pages captured.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// How many pages of `self` are *physically* shared (same backing
+    /// allocation) with `other` — the COW property tests use this to
+    /// prove forks share storage rather than deep-copying.
+    pub fn pages_shared_with(&self, other: &MemorySnapshot) -> usize {
+        self.pages
+            .iter()
+            .filter(|(k, p)| other.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
+            .count()
+    }
+
+    /// Logical content equality: two snapshots are equal when every
+    /// mapped byte reads the same, regardless of which pages happen to
+    /// be materialised (an absent page reads as zeros).
+    fn content_eq(&self, other: &MemorySnapshot) -> bool {
+        const ZERO: Page = [0u8; PAGE_SIZE as usize];
+        let keys = self.pages.keys().chain(other.pages.keys());
+        for k in keys {
+            let a = self.pages.get(k).map_or(&ZERO, |p| p.as_ref());
+            let b = other.pages.get(k).map_or(&ZERO, |p| p.as_ref());
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl PartialEq for MemorySnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // The address-space maps must describe the same extents; the
+        // resident-page count is an allocation detail and is ignored.
+        let maps_eq = self.map.iter().count() == other.map.iter().count()
+            && self.map.iter().zip(other.map.iter()).all(|(a, b)| a == b);
+        maps_eq && self.content_eq(other)
+    }
+}
+
+impl std::fmt::Debug for MemorySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySnapshot")
+            .field("resident_pages", &self.pages.len())
+            .finish_non_exhaustive()
+    }
 }
 
 #[cfg(test)]
@@ -349,7 +459,12 @@ mod tests {
 
     fn mem() -> Memory {
         let mut map = AddressSpaceMap::new();
-        map.add(Mapping { start: TEXT_BASE, end: TEXT_BASE + 0x2000, region: Region::Text, perms: Perms::RX });
+        map.add(Mapping {
+            start: TEXT_BASE,
+            end: TEXT_BASE + 0x2000,
+            region: Region::Text,
+            perms: Perms::RX,
+        });
         map.add(Mapping {
             start: TEXT_BASE + 0x2000,
             end: TEXT_BASE + 0x4000,

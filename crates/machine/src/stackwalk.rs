@@ -35,7 +35,7 @@ pub fn walk(m: &mut Machine) -> Vec<Frame> {
     let stack_map = m.mem.map().region(crate::layout::Region::Stack).copied();
     let in_stack = |a: u32| stack_map.map(|s| s.contains(a)).unwrap_or(false);
     for _ in 0..256 {
-        if ebp == 0 || !in_stack(ebp) || ebp % 4 != 0 {
+        if ebp == 0 || !in_stack(ebp) || !ebp.is_multiple_of(4) {
             break;
         }
         let saved = m.mem.peek_u32(ebp);
@@ -79,7 +79,10 @@ pub fn app_stack_extents(m: &mut Machine) -> Vec<(u32, u32)> {
         }
         // The frame slots: saved EBP and return address, plus the span up
         // to the next (outer) frame's base if we know it.
-        let upper = frames.get(i + 1).map(|outer| outer.ebp).unwrap_or(f.ebp + 8);
+        let upper = frames
+            .get(i + 1)
+            .map(|outer| outer.ebp)
+            .unwrap_or(f.ebp + 8);
         extents.push((f.ebp, upper.max(f.ebp + 8)));
     }
     extents
@@ -135,7 +138,9 @@ mod tests {
         put(
             &[
                 Insn::Enter { frame: 8 },
-                Insn::Sys { num: Syscall::MpiBarrier as u16 },
+                Insn::Sys {
+                    num: Syscall::MpiBarrier as u16,
+                },
                 Insn::Leave,
                 Insn::Ret,
             ],

@@ -15,23 +15,48 @@ fn loop_program() -> ProgramImage {
     use fl_isa::{Cond, Insn};
     let data_base = image_from_bytes(vec![0; 4]).data_base();
     let insns = [
-        Insn::Enter { frame: 16 },                                       // 2w @ +0
-        Insn::MovI { rd: Gpr::Ecx, imm: 0 },                             // 2w @ +8
+        Insn::Enter { frame: 16 }, // 2w @ +0
+        Insn::MovI {
+            rd: Gpr::Ecx,
+            imm: 0,
+        }, // 2w @ +8
         // loop: @ +16
-        Insn::St { rb: Gpr::Ecx, base: Gpr::Ebp, off: -4 },              // 1w
-        Insn::Push { rs: Gpr::Ecx },                                     // 1w
-        Insn::Pop { rd: Gpr::Edx },                                      // 1w
-        Insn::Alu { op: AluOp::Add, rd: Gpr::Eax, ra: Gpr::Ecx, rb: Gpr::Edx }, // 1w
-        Insn::StG { rs: Gpr::Eax, addr: data_base },                     // 2w
-        Insn::FildR { rs: Gpr::Eax },                                    // 1w
-        Insn::Fld1,                                                      // 1w
-        Insn::Fbinp { op: FpuBinOp::Add },                               // 1w
-        Insn::FistpR { rd: Gpr::Esi },                                   // 1w
-        Insn::AddI { rd: Gpr::Ecx, ra: Gpr::Ecx, imm: 1 },               // 2w
-        Insn::CmpI { ra: Gpr::Ecx, imm: 4000 },                          // 2w
-        Insn::J { cond: Cond::Lt, target: TEXT_BASE + 16 },              // 2w
-        Insn::Leave,                                                     // 1w
-        Insn::Halt,                                                      // 1w
+        Insn::St {
+            rb: Gpr::Ecx,
+            base: Gpr::Ebp,
+            off: -4,
+        }, // 1w
+        Insn::Push { rs: Gpr::Ecx }, // 1w
+        Insn::Pop { rd: Gpr::Edx },  // 1w
+        Insn::Alu {
+            op: AluOp::Add,
+            rd: Gpr::Eax,
+            ra: Gpr::Ecx,
+            rb: Gpr::Edx,
+        }, // 1w
+        Insn::StG {
+            rs: Gpr::Eax,
+            addr: data_base,
+        }, // 2w
+        Insn::FildR { rs: Gpr::Eax }, // 1w
+        Insn::Fld1,                  // 1w
+        Insn::Fbinp { op: FpuBinOp::Add }, // 1w
+        Insn::FistpR { rd: Gpr::Esi }, // 1w
+        Insn::AddI {
+            rd: Gpr::Ecx,
+            ra: Gpr::Ecx,
+            imm: 1,
+        }, // 2w
+        Insn::CmpI {
+            ra: Gpr::Ecx,
+            imm: 4000,
+        }, // 2w
+        Insn::J {
+            cond: Cond::Lt,
+            target: TEXT_BASE + 16,
+        }, // 2w
+        Insn::Leave,                 // 1w
+        Insn::Halt,                  // 1w
     ];
     let mut text = Vec::new();
     for i in &insns {

@@ -26,6 +26,6 @@ pub mod world;
 pub use message::{CtlOp, Header, HeaderError, MsgKind, WireMsg, HEADER_SIZE, MAX_PAYLOAD};
 pub use profile::TrafficProfile;
 pub use world::{
-    MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig, WorldExit, ANY_SOURCE,
-    MAX_USER_TAG,
+    MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig, WorldExit,
+    WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
 };

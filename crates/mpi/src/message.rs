@@ -147,12 +147,26 @@ impl Header {
         let payload_len = word(20);
         let actual = (raw.len() - HEADER_SIZE) as u32;
         if payload_len > MAX_PAYLOAD || payload_len != actual {
-            return Err(HeaderError::BadLength { declared: payload_len, actual });
+            return Err(HeaderError::BadLength {
+                declared: payload_len,
+                actual,
+            });
         }
         if kind == MsgKind::Control && payload_len != 0 {
-            return Err(HeaderError::BadLength { declared: payload_len, actual });
+            return Err(HeaderError::BadLength {
+                declared: payload_len,
+                actual,
+            });
         }
-        Ok(Header { kind, ctl_op, src, dst, tag, seq, payload_len })
+        Ok(Header {
+            kind,
+            ctl_op,
+            src,
+            dst,
+            tag,
+            seq,
+            payload_len,
+        })
     }
 }
 
@@ -192,7 +206,9 @@ impl WireMsg {
             seq,
             payload_len: 0,
         };
-        WireMsg { raw: h.to_bytes().to_vec() }
+        WireMsg {
+            raw: h.to_bytes().to_vec(),
+        }
     }
 
     /// Total bytes on the wire.
@@ -299,6 +315,9 @@ mod tests {
 
     #[test]
     fn truncated_detected() {
-        assert!(matches!(Header::parse(&[0u8; 10]), Err(HeaderError::Truncated)));
+        assert!(matches!(
+            Header::parse(&[0u8; 10]),
+            Err(HeaderError::Truncated)
+        ));
     }
 }

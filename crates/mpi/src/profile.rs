@@ -75,7 +75,11 @@ mod tests {
     #[test]
     fn record_classifies() {
         let mut p = TrafficProfile::default();
-        p.record(&WireMsg::control(CtlOp::Barrier, 0, 1, 0, 0).header().unwrap());
+        p.record(
+            &WireMsg::control(CtlOp::Barrier, 0, 1, 0, 0)
+                .header()
+                .unwrap(),
+        );
         p.record(&WireMsg::data(0, 1, 0, 1, &[0u8; 52]).header().unwrap());
         assert_eq!(p.control_msgs, 1);
         assert_eq!(p.data_msgs, 1);

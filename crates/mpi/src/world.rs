@@ -26,8 +26,8 @@
 
 use crate::message::{CtlOp, Header, MsgKind, WireMsg, MAX_PAYLOAD};
 use crate::profile::TrafficProfile;
-use fl_machine::{Exit, Machine, MachineConfig, ProgramImage};
 use fl_isa::{Gpr, Syscall};
+use fl_machine::{Exit, Machine, MachineConfig, MachineSnapshot, ProgramImage};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -43,7 +43,7 @@ const COLL_TAG_BASE: u32 = 0x4000_0000;
 const BARRIER_TAG_BASE: u32 = 0x4100_0000;
 
 /// World configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorldConfig {
     /// Number of ranks.
     pub nranks: u16,
@@ -76,10 +76,28 @@ impl Default for WorldConfig {
 /// Why a blocked rank is blocked.
 #[derive(Debug, Clone, PartialEq)]
 enum Blocked {
-    Recv { buf: u32, cap: u32, src: i32, tag: u32 },
-    SendRts { dst: u16, tag: u32, payload: Vec<u8>, seq: u32 },
-    Barrier { round: u32, seq: u32 },
-    ReduceRoot { acc: Vec<f64>, remaining: u32, recvbuf: u32, tag: u32 },
+    Recv {
+        buf: u32,
+        cap: u32,
+        src: i32,
+        tag: u32,
+    },
+    SendRts {
+        dst: u16,
+        tag: u32,
+        payload: Vec<u8>,
+        seq: u32,
+    },
+    Barrier {
+        round: u32,
+        seq: u32,
+    },
+    ReduceRoot {
+        acc: Vec<f64>,
+        remaining: u32,
+        recvbuf: u32,
+        tag: u32,
+    },
 }
 
 /// Scheduler-visible rank state.
@@ -131,7 +149,12 @@ impl PendingInjection {
         at_insns: u64,
         action: impl FnMut(&mut Machine) + Send + 'static,
     ) -> PendingInjection {
-        PendingInjection { rank, at_insns, action: Box::new(action), period: None }
+        PendingInjection {
+            rank,
+            at_insns,
+            action: Box::new(action),
+            period: None,
+        }
     }
 
     /// A persistent injection re-asserted every `period` instructions.
@@ -141,7 +164,12 @@ impl PendingInjection {
         period: u64,
         action: impl FnMut(&mut Machine) + Send + 'static,
     ) -> PendingInjection {
-        PendingInjection { rank, at_insns, action: Box::new(action), period: Some(period.max(1)) }
+        PendingInjection {
+            rank,
+            at_insns,
+            action: Box::new(action),
+            period: Some(period.max(1)),
+        }
     }
 }
 
@@ -265,6 +293,54 @@ impl MpiWorld {
         self.ranks[rank as usize].received_bytes
     }
 
+    /// Number of ranks in the world.
+    pub fn nranks(&self) -> u16 {
+        self.ranks.len() as u16
+    }
+
+    /// Whether a register/memory injection is currently armed.
+    pub fn injection_armed(&self) -> bool {
+        self.injection.is_some()
+    }
+
+    /// Capture a complete deterministic checkpoint of the world.
+    ///
+    /// Everything that influences future execution is captured: every
+    /// rank's machine (registers, FPU, copy-on-write memory pages, heap),
+    /// scheduler status, unmatched in-flight messages, channel byte
+    /// counters, sequence counters and traffic profile, plus the world's
+    /// scheduling RNG and any armed *message* fault.
+    ///
+    /// The one exception is an armed [`PendingInjection`]: its action is a
+    /// boxed `FnMut` closure and cannot be cloned. Snapshot the golden
+    /// world *before* arming an injection and re-arm after
+    /// [`WorldSnapshot::restore`] — which is the order the campaign fast
+    /// path uses. A snapshot taken while an injection is armed simply does
+    /// not carry it.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            ranks: self
+                .ranks
+                .iter()
+                .map(|r| RankSnapshot {
+                    machine: r.machine.snapshot(),
+                    status: r.status.clone(),
+                    errhandler: r.errhandler,
+                    arrived: r.arrived.clone(),
+                    received_bytes: r.received_bytes,
+                    send_seq: r.send_seq,
+                    coll_seq: r.coll_seq,
+                    profile: r.profile,
+                })
+                .collect(),
+            cfg: self.cfg,
+            rng: self.rng.clone(),
+            message_fault: self.message_fault,
+            message_fault_hit: self.message_fault_hit,
+            fatal: self.fatal.clone(),
+        }
+    }
+
     fn fatal(&mut self, e: WorldExit) {
         if self.fatal.is_none() {
             self.fatal = Some(e);
@@ -351,7 +427,10 @@ impl MpiWorld {
         if self.ranks[rank as usize].errhandler {
             self.fatal(WorldExit::MpiDetected { rank, what });
         } else {
-            self.fatal(WorldExit::Crashed { rank, reason: format!("MPI error: {what}") });
+            self.fatal(WorldExit::Crashed {
+                rank,
+                reason: format!("MPI error: {what}"),
+            });
         }
     }
 
@@ -365,7 +444,9 @@ impl MpiWorld {
             return true;
         }
         let m = &self.ranks[rank as usize].machine;
-        let Some(mapping) = m.mem.map().lookup(buf) else { return false };
+        let Some(mapping) = m.mem.map().lookup(buf) else {
+            return false;
+        };
         if write && !mapping.perms.write || !write && !mapping.perms.read {
             return false;
         }
@@ -382,7 +463,12 @@ impl MpiWorld {
     fn service(&mut self, rank: u16, call: Syscall) {
         let (eax, ecx, edx, ebx) = {
             let c = &self.ranks[rank as usize].machine.cpu;
-            (c.get(Gpr::Eax), c.get(Gpr::Ecx), c.get(Gpr::Edx), c.get(Gpr::Ebx))
+            (
+                c.get(Gpr::Eax),
+                c.get(Gpr::Ecx),
+                c.get(Gpr::Edx),
+                c.get(Gpr::Ebx),
+            )
         };
         match call {
             Syscall::MpiInit => {
@@ -407,7 +493,10 @@ impl MpiWorld {
                 self.ranks[rank as usize].machine.mpi_complete(None);
             }
             Syscall::MpiAbort => {
-                self.fatal(WorldExit::Crashed { rank, reason: "MPI_Abort called".into() });
+                self.fatal(WorldExit::Crashed {
+                    rank,
+                    reason: "MPI_Abort called".into(),
+                });
             }
             Syscall::MpiSend => {
                 let (buf, len, dst, tag) = (eax, ecx, edx as i32, ebx);
@@ -418,13 +507,14 @@ impl MpiWorld {
                     return self.mpi_error(rank, format!("MPI_Send: invalid tag {tag}"));
                 }
                 if len > MAX_PAYLOAD || !self.valid_buffer(rank, buf, len, false) {
-                    return self.mpi_error(
-                        rank,
-                        format!("MPI_Send: invalid buffer {buf:#x}+{len}"),
-                    );
+                    return self
+                        .mpi_error(rank, format!("MPI_Send: invalid buffer {buf:#x}+{len}"));
                 }
                 let mut payload = vec![0u8; len as usize];
-                self.ranks[rank as usize].machine.mem.peek(buf, &mut payload);
+                self.ranks[rank as usize]
+                    .machine
+                    .mem
+                    .peek(buf, &mut payload);
                 if len <= self.cfg.eager_threshold {
                     self.send_data(rank, dst as u16, tag, &payload);
                     self.complete(rank, None);
@@ -449,10 +539,8 @@ impl MpiWorld {
                     return self.mpi_error(rank, format!("MPI_Recv: invalid tag {tag}"));
                 }
                 if cap > MAX_PAYLOAD || !self.valid_buffer(rank, buf, cap, true) {
-                    return self.mpi_error(
-                        rank,
-                        format!("MPI_Recv: invalid buffer {buf:#x}+{cap}"),
-                    );
+                    return self
+                        .mpi_error(rank, format!("MPI_Recv: invalid buffer {buf:#x}+{cap}"));
                 }
                 self.ranks[rank as usize].status =
                     Status::Blocked(Blocked::Recv { buf, cap, src, tag });
@@ -477,14 +565,15 @@ impl MpiWorld {
                 let ctag = COLL_TAG_BASE + seq;
                 let is_root = rank as i32 == root;
                 if len > MAX_PAYLOAD || !self.valid_buffer(rank, buf, len, !is_root) {
-                    return self.mpi_error(
-                        rank,
-                        format!("MPI_Bcast: invalid buffer {buf:#x}+{len}"),
-                    );
+                    return self
+                        .mpi_error(rank, format!("MPI_Bcast: invalid buffer {buf:#x}+{len}"));
                 }
                 if is_root {
                     let mut payload = vec![0u8; len as usize];
-                    self.ranks[rank as usize].machine.mem.peek(buf, &mut payload);
+                    self.ranks[rank as usize]
+                        .machine
+                        .mem
+                        .peek(buf, &mut payload);
                     for d in 0..self.ranks.len() as u16 {
                         if d != rank {
                             self.send_data(rank, d, ctag, &payload);
@@ -505,8 +594,11 @@ impl MpiWorld {
                 // recvbuf for allreduce), EBX=recvbuf (or unused).
                 let allreduce = call == Syscall::MpiAllreduce;
                 let (sendbuf, count) = (eax, ecx);
-                let (root, recvbuf) =
-                    if allreduce { (0i32, edx) } else { (edx as i32, ebx) };
+                let (root, recvbuf) = if allreduce {
+                    (0i32, edx)
+                } else {
+                    (edx as i32, ebx)
+                };
                 if !self.valid_rank(root) {
                     return self.mpi_error(rank, format!("MPI_Reduce: invalid root {root}"));
                 }
@@ -529,7 +621,10 @@ impl MpiWorld {
                 self.ranks[rank as usize].coll_seq += if allreduce { 2 } else { 1 };
                 let ctag = COLL_TAG_BASE + seq;
                 let mut local = vec![0u8; bytes as usize];
-                self.ranks[rank as usize].machine.mem.peek(sendbuf, &mut local);
+                self.ranks[rank as usize]
+                    .machine
+                    .mem
+                    .peek(sendbuf, &mut local);
                 if is_root {
                     let acc: Vec<f64> = local
                         .chunks_exact(8)
@@ -538,13 +633,12 @@ impl MpiWorld {
                     if self.ranks.len() == 1 {
                         self.finish_reduce(rank, &acc, recvbuf, allreduce, ctag);
                     } else {
-                        self.ranks[rank as usize].status =
-                            Status::Blocked(Blocked::ReduceRoot {
-                                acc,
-                                remaining: self.ranks.len() as u32 - 1,
-                                recvbuf,
-                                tag: ctag,
-                            });
+                        self.ranks[rank as usize].status = Status::Blocked(Blocked::ReduceRoot {
+                            acc,
+                            remaining: self.ranks.len() as u32 - 1,
+                            recvbuf,
+                            tag: ctag,
+                        });
                     }
                 } else {
                     self.send_data(rank, root as u16, ctag, &local);
@@ -634,10 +728,7 @@ impl MpiWorld {
                         if h.payload_len > cap {
                             self.mpi_error(
                                 rank as u16,
-                                format!(
-                                    "MPI_Recv: message truncated ({} > {cap})",
-                                    h.payload_len
-                                ),
+                                format!("MPI_Recv: message truncated ({} > {cap})", h.payload_len),
                             );
                             return true;
                         }
@@ -648,7 +739,12 @@ impl MpiWorld {
                     }
                 }
             }
-            Blocked::SendRts { dst, tag, payload, seq: _ } => {
+            Blocked::SendRts {
+                dst,
+                tag,
+                payload,
+                seq: _,
+            } => {
                 let pos = self.ranks[rank].arrived.iter().position(|(h, _)| {
                     h.kind == MsgKind::Control
                         && h.ctl_op == CtlOp::Cts
@@ -683,7 +779,12 @@ impl MpiWorld {
                 }
                 true
             }
-            Blocked::ReduceRoot { mut acc, mut remaining, recvbuf, tag } => {
+            Blocked::ReduceRoot {
+                mut acc,
+                mut remaining,
+                recvbuf,
+                tag,
+            } => {
                 let mut changed = false;
                 loop {
                     let pos = self.ranks[rank]
@@ -721,9 +822,9 @@ impl MpiWorld {
     /// recovered from whether any peer awaits `tag + 1`.
     fn finish_reduce_root(&mut self, rank: u16, acc: &[f64], recvbuf: u32, tag: u32) {
         // Allreduce peers block on Recv(tag+1); a plain reduce has none.
-        let allreduce = self.ranks.iter().any(|r| {
-            matches!(&r.status, Status::Blocked(Blocked::Recv { tag: t, .. }) if *t == tag + 1)
-        });
+        let allreduce = self.ranks.iter().any(
+            |r| matches!(&r.status, Status::Blocked(Blocked::Recv { tag: t, .. }) if *t == tag + 1),
+        );
         self.finish_reduce(rank, acc, recvbuf, allreduce, tag);
     }
 
@@ -766,7 +867,11 @@ impl MpiWorld {
         if let Some(f) = self.fatal.take() {
             return Some(f);
         }
-        if self.ranks.iter().all(|r| matches!(r.status, Status::Exited)) {
+        if self
+            .ranks
+            .iter()
+            .all(|r| matches!(r.status, Status::Exited))
+        {
             return Some(WorldExit::Clean);
         }
         let mut order: Vec<usize> = (0..self.ranks.len())
@@ -829,9 +934,7 @@ impl MpiWorld {
         match exit {
             Exit::Quantum => {}
             Exit::Mpi(call) => {
-                if matches!(self.ranks[i].status, Status::Finalized)
-                    && call != Syscall::MpiAbort
-                {
+                if matches!(self.ranks[i].status, Status::Finalized) && call != Syscall::MpiAbort {
                     self.fatal(WorldExit::Crashed {
                         rank,
                         reason: format!("{call:?} after MPI_Finalize"),
@@ -857,10 +960,16 @@ impl MpiWorld {
                 }
             }
             Exit::Signal(sig) => {
-                self.fatal(WorldExit::Crashed { rank, reason: sig.to_string() });
+                self.fatal(WorldExit::Crashed {
+                    rank,
+                    reason: sig.to_string(),
+                });
             }
             Exit::HeapCorruption(e) => {
-                self.fatal(WorldExit::Crashed { rank, reason: format!("glibc abort: {e:?}") });
+                self.fatal(WorldExit::Crashed {
+                    rank,
+                    reason: format!("glibc abort: {e:?}"),
+                });
             }
             Exit::Abort(msg) => {
                 self.fatal(WorldExit::AppAborted { rank, msg });
@@ -871,5 +980,89 @@ impl MpiWorld {
                 });
             }
         }
+    }
+}
+
+// --- checkpointing -------------------------------------------------------
+
+/// Deep checkpoint of one rank: the machine plus all scheduler-visible
+/// bookkeeping.
+#[derive(Clone, PartialEq)]
+struct RankSnapshot {
+    machine: MachineSnapshot,
+    status: Status,
+    errhandler: bool,
+    arrived: VecDeque<(Header, WireMsg)>,
+    received_bytes: u64,
+    send_seq: u32,
+    coll_seq: u32,
+    profile: TrafficProfile,
+}
+
+/// A complete deterministic checkpoint of an [`MpiWorld`], produced by
+/// [`MpiWorld::snapshot`]. Cloning one is cheap: machine memory is shared
+/// copy-on-write at page granularity, so N clones (and the worlds restored
+/// from them) share every page that none of them has written.
+///
+/// Restoring yields a world whose subsequent execution is bit-identical
+/// to the captured one (armed `PendingInjection`s excepted — see
+/// [`MpiWorld::snapshot`]).
+#[derive(Clone, PartialEq)]
+pub struct WorldSnapshot {
+    ranks: Vec<RankSnapshot>,
+    cfg: WorldConfig,
+    rng: StdRng,
+    message_fault: Option<MessageFault>,
+    message_fault_hit: Option<MessageFaultHit>,
+    fatal: Option<WorldExit>,
+}
+
+impl WorldSnapshot {
+    /// Rebuild a runnable world from the checkpoint.
+    pub fn restore(&self) -> MpiWorld {
+        MpiWorld {
+            ranks: self
+                .ranks
+                .iter()
+                .map(|r| Rank {
+                    machine: r.machine.to_machine(),
+                    status: r.status.clone(),
+                    errhandler: r.errhandler,
+                    arrived: r.arrived.clone(),
+                    received_bytes: r.received_bytes,
+                    send_seq: r.send_seq,
+                    coll_seq: r.coll_seq,
+                    profile: r.profile,
+                })
+                .collect(),
+            cfg: self.cfg,
+            rng: self.rng.clone(),
+            injection: None,
+            message_fault: self.message_fault,
+            message_fault_hit: self.message_fault_hit,
+            fatal: self.fatal.clone(),
+        }
+    }
+
+    /// Number of ranks captured.
+    pub fn nranks(&self) -> u16 {
+        self.ranks.len() as u16
+    }
+
+    /// A rank's captured machine state.
+    pub fn machine(&self, rank: u16) -> &MachineSnapshot {
+        &self.ranks[rank as usize].machine
+    }
+
+    /// Rank-local instructions retired at capture time — the epoch
+    /// eligibility key for register/memory trials.
+    pub fn rank_insns(&self, rank: u16) -> u64 {
+        self.ranks[rank as usize].machine.counters.insns
+    }
+
+    /// Cumulative channel bytes received at capture time — the epoch
+    /// eligibility key for message trials.
+    pub fn rank_received_bytes(&self, rank: u16) -> u64 {
+        self.ranks[rank as usize].received_bytes
     }
 }

@@ -10,7 +10,10 @@ fn world(src: &str, nranks: u16) -> MpiWorld {
         &img,
         WorldConfig {
             nranks,
-            machine: MachineConfig { budget: 50_000_000, ..Default::default() },
+            machine: MachineConfig {
+                budget: 50_000_000,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -270,7 +273,10 @@ fn exit_before_finalize_crashes_job() {
     );
     // Rank 1 returns from main without finalize -> job abort.
     let e = w.run();
-    assert!(matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("before MPI_Finalize")), "{e:?}");
+    assert!(
+        matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("before MPI_Finalize")),
+        "{e:?}"
+    );
 }
 
 #[test]
@@ -294,9 +300,17 @@ fn message_fault_in_payload_corrupts_silently() {
     // Faulted run: flip a high mantissa bit of the payload's f64
     // (payload starts after the 48-byte header).
     let mut w = world(src, 2);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 48 + 6, bit: 4 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 48 + 6,
+        bit: 4,
+    });
     assert_eq!(w.run(), WorldExit::Clean);
-    assert_ne!(w.machine(1).console_text(), golden, "payload corruption must show");
+    assert_ne!(
+        w.machine(1).console_text(),
+        golden,
+        "payload corruption must show"
+    );
 }
 
 #[test]
@@ -309,7 +323,11 @@ fn message_fault_in_header_magic_crashes() {
              mpi_finalize();
          }";
     let mut w = world(src, 2);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 1, bit: 3 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 1,
+        bit: 3,
+    });
     let e = w.run();
     assert!(
         matches!(&e, WorldExit::Crashed { reason, .. } if reason.contains("MPICH internal error")),
@@ -328,7 +346,11 @@ fn message_fault_in_tag_hangs() {
          }";
     let mut w = world(src, 2);
     // Byte 12 is the tag field.
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 12, bit: 6 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 12,
+        bit: 6,
+    });
     assert!(matches!(w.run(), WorldExit::Hung { .. }));
 }
 
@@ -369,14 +391,20 @@ fn nondet_changes_any_source_order_but_reduction_stays_stable() {
                 nranks: 6,
                 nondet: true,
                 seed,
-                machine: MachineConfig { budget: 50_000_000, ..Default::default() },
+                machine: MachineConfig {
+                    budget: 50_000_000,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
         assert_eq!(w.run(), WorldExit::Clean);
         outputs.push(w.machine(0).console_text());
     }
-    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "totals must agree: {outputs:?}");
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "totals must agree: {outputs:?}"
+    );
 }
 
 #[test]
@@ -521,14 +549,22 @@ fn message_fault_hit_reports_location() {
          }";
     // Header hit.
     let mut w = world(src, 2);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 30, bit: 0 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 30,
+        bit: 0,
+    });
     let _ = w.run();
     let hit = w.message_fault_hit().expect("fault fired");
     assert!(hit.in_header);
     assert_eq!(hit.offset_in_msg, 30);
     // Payload hit.
     let mut w = world(src, 2);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 60, bit: 0 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 60,
+        bit: 0,
+    });
     let _ = w.run();
     let hit = w.message_fault_hit().expect("fault fired");
     assert!(!hit.in_header);
@@ -548,7 +584,11 @@ fn corrupted_src_field_crashes_instead_of_panicking() {
              mpi_finalize();
          }";
     let mut w = world(src, 2);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 6, bit: 5 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 6,
+        bit: 5,
+    });
     let e = w.run();
     assert!(
         matches!(&e, WorldExit::Crashed { .. } | WorldExit::Hung { .. }),

@@ -1,0 +1,122 @@
+//! Epoch snapshot cache: periodic checkpoints of the golden run that
+//! injection trials fork from instead of re-executing the fault-free
+//! prefix.
+
+use fl_machine::ProgramImage;
+use fl_mpi::{MpiWorld, WorldConfig, WorldExit, WorldSnapshot};
+
+/// One checkpoint of the golden world, taken at a scheduler-round
+/// boundary.
+#[derive(Clone)]
+pub struct Epoch {
+    /// The captured world.
+    pub snap: WorldSnapshot,
+    /// Scheduler rounds completed when the capture was taken.
+    pub round: u64,
+}
+
+impl Epoch {
+    /// Rank-local instructions retired at capture time.
+    pub fn rank_insns(&self, rank: u16) -> u64 {
+        self.snap.rank_insns(rank)
+    }
+
+    /// Cumulative channel bytes received by `rank` at capture time.
+    pub fn rank_received_bytes(&self, rank: u16) -> u64 {
+        self.snap.rank_received_bytes(rank)
+    }
+}
+
+/// Checkpoints of one application's golden run, ordered by round.
+///
+/// Epoch 0 is always the pristine just-loaded world (zero instructions
+/// retired anywhere), so every trial has at least one usable epoch and
+/// even "cold" forks skip the program-image load.
+pub struct EpochCache {
+    epochs: Vec<Epoch>,
+    exit: WorldExit,
+    rounds: u64,
+}
+
+impl EpochCache {
+    /// Run the golden world to completion, capturing a checkpoint every
+    /// `every_rounds` scheduler rounds (and one before the first round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_rounds` is zero.
+    pub fn build(image: &ProgramImage, cfg: WorldConfig, every_rounds: u32) -> EpochCache {
+        assert!(every_rounds > 0, "every_rounds must be nonzero");
+        let mut world = MpiWorld::new(image, cfg);
+        let mut epochs = vec![Epoch {
+            snap: world.snapshot(),
+            round: 0,
+        }];
+        let mut rounds: u64 = 0;
+        let exit = loop {
+            if let Some(e) = world.run_round() {
+                break e;
+            }
+            rounds += 1;
+            if rounds.is_multiple_of(every_rounds as u64) {
+                epochs.push(Epoch {
+                    snap: world.snapshot(),
+                    round: rounds,
+                });
+            }
+        };
+        EpochCache {
+            epochs,
+            exit,
+            rounds,
+        }
+    }
+
+    /// How the golden run ended (clean for a healthy application).
+    pub fn golden_exit(&self) -> &WorldExit {
+        &self.exit
+    }
+
+    /// Total scheduler rounds the golden run took.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of checkpoints held.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the cache holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// All checkpoints, oldest first.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Latest epoch usable for a register/memory trial that fires at
+    /// rank-local instruction `at_insns` on `rank`: the target rank must
+    /// not yet have reached the fire point (strictly fewer instructions
+    /// retired), so the injection still fires at exactly `at_insns` after
+    /// the fork.
+    pub fn best_for_insns(&self, rank: u16, at_insns: u64) -> Option<&Epoch> {
+        self.epochs
+            .iter()
+            .rev()
+            .find(|e| e.rank_insns(rank) < at_insns)
+    }
+
+    /// Latest epoch usable for a message trial that strikes cumulative
+    /// received-byte offset `at_recv_byte` on `rank`: the struck byte
+    /// must not have been ingested yet (`<=` — the fault fires on the
+    /// message *containing* the offset, which arrives after the capture).
+    pub fn best_for_recv(&self, rank: u16, at_recv_byte: u64) -> Option<&Epoch> {
+        self.epochs
+            .iter()
+            .rev()
+            .find(|e| e.rank_received_bytes(rank) <= at_recv_byte)
+    }
+}

@@ -1,0 +1,40 @@
+//! # fl-snap — deterministic world checkpointing and snapshot-forked runs
+//!
+//! The paper's experimental procedure tears the cluster down to a clean
+//! state between injections and replays the fault-free prefix of every
+//! trial from scratch (§4.3). Because the FaultLab substrate is fully
+//! deterministic, that prefix is *redundant work*: every trial of a
+//! deterministic application executes bit-identical state up to its
+//! injection point. This crate removes the redundancy.
+//!
+//! Three layers:
+//!
+//! * **Snapshots** — [`MachineSnapshot`] (registers, EFLAGS, EIP, the
+//!   full x87 state, copy-on-write memory pages, malloc-runtime state)
+//!   and [`WorldSnapshot`] (per-rank machines plus scheduler status,
+//!   in-flight channel messages, sequence counters and the scheduling
+//!   RNG). Both live in their home crates — `fl-machine` and `fl-mpi` —
+//!   because they need private-field access; this crate re-exports them
+//!   and builds policy on top.
+//! * **[`EpochCache`]** — run the golden (fault-free) world once,
+//!   checkpointing every K scheduler rounds. A trial that injects at
+//!   rank-local instruction `t` then *forks* from the latest epoch whose
+//!   target rank had retired fewer than `t` instructions, skipping the
+//!   shared prefix entirely. Page-granular copy-on-write means N
+//!   concurrent forks share every page none of them has written.
+//! * **[`recovery`]** — the checkpoint/restart experiment: kill a rank
+//!   mid-run, restore the world from the latest checkpoint, and measure
+//!   what was recovered versus lost.
+//!
+//! Forking is only valid for deterministic applications (wavetoy,
+//! climsim). Moldyn re-seeds its arrival-order shuffle per trial
+//! (§4.2.2), so its trials diverge from the golden prefix at the first
+//! scheduler round and must run cold; the campaign layer enforces this.
+
+pub mod epoch;
+pub mod recovery;
+
+pub use epoch::{Epoch, EpochCache};
+pub use fl_machine::{MachineSnapshot, MemorySnapshot};
+pub use fl_mpi::WorldSnapshot;
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryReport};

@@ -1,0 +1,239 @@
+//! The crate's load-bearing invariant: a world forked from a snapshot is
+//! bit-identical to a world that executed the same prefix cold. Every
+//! fast-path result in the campaign layer rests on this.
+
+use fl_apps::{App, AppKind, AppParams};
+use fl_mpi::{MpiWorld, WorldExit};
+use fl_snap::{EpochCache, RecoveryConfig};
+
+const BUDGET: u64 = 200_000_000;
+
+fn tiny(kind: AppKind) -> App {
+    App::build(kind, AppParams::tiny(kind))
+}
+
+/// Run `n` scheduler rounds (stopping early if the world finishes).
+fn run_rounds(w: &mut MpiWorld, n: u64) -> Option<WorldExit> {
+    for _ in 0..n {
+        if let Some(e) = w.run_round() {
+            return Some(e);
+        }
+    }
+    None
+}
+
+#[test]
+fn restore_is_bit_identical_immediately() {
+    for kind in [AppKind::Wavetoy, AppKind::Climsim] {
+        let app = tiny(kind);
+        let mut w = app.world(BUDGET);
+        assert!(
+            run_rounds(&mut w, 40).is_none(),
+            "{}: finished too early",
+            kind.name()
+        );
+        let snap = w.snapshot();
+        let restored = snap.restore();
+        assert!(
+            restored.snapshot() == snap,
+            "{}: restore() changed world state",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn forked_world_stays_bit_identical_while_stepping() {
+    let app = tiny(AppKind::Wavetoy);
+    let mut cold = app.world(BUDGET);
+    run_rounds(&mut cold, 25);
+    let snap = cold.snapshot();
+    let mut forked = snap.restore();
+    // Step both worlds in lockstep and compare complete state at several
+    // depths past the fork point.
+    for leg in [1u64, 3, 10, 30] {
+        let a = run_rounds(&mut cold, leg);
+        let b = run_rounds(&mut forked, leg);
+        assert_eq!(a, b, "exit divergence {leg} rounds past fork");
+        assert!(
+            cold.snapshot() == forked.snapshot(),
+            "state divergence {leg} rounds past fork"
+        );
+        if a.is_some() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn forked_run_completes_like_cold_run() {
+    for kind in [AppKind::Wavetoy, AppKind::Climsim] {
+        let app = tiny(kind);
+        let golden = app.golden(BUDGET);
+
+        let mut w = app.world(BUDGET);
+        run_rounds(&mut w, 60);
+        let mut forked = w.snapshot().restore();
+        let exit = forked.run();
+        assert_eq!(exit, WorldExit::Clean, "{}", kind.name());
+        assert_eq!(
+            app.comparable_output(&forked),
+            golden.output,
+            "{}: forked run output differs from golden",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn sibling_forks_are_isolated() {
+    // Two forks of one snapshot must not see each other's writes: run one
+    // to completion, then verify the other still matches the capture and
+    // still produces the golden output.
+    let app = tiny(AppKind::Wavetoy);
+    let golden = app.golden(BUDGET);
+    let mut w = app.world(BUDGET);
+    run_rounds(&mut w, 30);
+    let snap = w.snapshot();
+
+    let mut first = snap.restore();
+    let second = snap.restore();
+    assert_eq!(first.run(), WorldExit::Clean);
+    assert!(
+        second.snapshot() == snap,
+        "sibling fork was mutated by the other fork"
+    );
+
+    let mut second = second;
+    assert_eq!(second.run(), WorldExit::Clean);
+    assert_eq!(app.comparable_output(&second), golden.output);
+}
+
+#[test]
+fn cow_pages_are_shared_until_written() {
+    let app = tiny(AppKind::Wavetoy);
+    let mut w = app.world(BUDGET);
+    run_rounds(&mut w, 20);
+    let a = w.snapshot();
+    let b = a.clone();
+    for r in 0..a.nranks() {
+        let ma = &a.machine(r).mem;
+        let mb = &b.machine(r).mem;
+        let resident = ma.resident_pages();
+        assert!(resident > 0);
+        assert_eq!(
+            ma.pages_shared_with(mb),
+            resident,
+            "rank {r}: clone must share every resident page"
+        );
+    }
+    // Running a fork un-shares only the pages it writes.
+    let mut forked = a.restore();
+    run_rounds(&mut forked, 5);
+    let after = forked.snapshot();
+    for r in 0..a.nranks() {
+        let shared = after.machine(r).mem.pages_shared_with(&a.machine(r).mem);
+        let resident = a.machine(r).mem.resident_pages();
+        assert!(
+            shared < resident,
+            "rank {r}: five rounds of execution wrote no page at all?"
+        );
+        assert!(
+            shared > 0,
+            "rank {r}: text/data pages should still be shared"
+        );
+    }
+}
+
+#[test]
+fn epoch_cache_covers_golden_run() {
+    let app = tiny(AppKind::Wavetoy);
+    let cache = EpochCache::build(&app.image, app.world_config(BUDGET), 8);
+    assert_eq!(*cache.golden_exit(), WorldExit::Clean);
+    assert!(
+        cache.rounds() > 8,
+        "tiny wavetoy should take more than one epoch interval"
+    );
+    assert_eq!(cache.len(), 1 + (cache.rounds() / 8) as usize);
+
+    // Epoch 0 is pristine: eligible for any fire time >= 1.
+    let e0 = &cache.epochs()[0];
+    assert_eq!(e0.round, 0);
+    assert_eq!(e0.rank_insns(0), 0);
+    assert!(cache.best_for_insns(0, 1).is_some());
+
+    // Eligibility is strict: an epoch is returned only if the target rank
+    // is strictly before the fire point.
+    let golden = app.golden(BUDGET);
+    let late = golden.insns[1] - 1;
+    let best = cache
+        .best_for_insns(1, late)
+        .expect("late fire time must have an epoch");
+    assert!(best.rank_insns(1) < late);
+    // And it is the *latest* such epoch.
+    for e in cache.epochs() {
+        if e.rank_insns(1) < late {
+            assert!(e.rank_insns(1) <= best.rank_insns(1));
+        }
+    }
+
+    // Message eligibility uses <= (fault strikes a message that arrives
+    // after the capture).
+    let vol = golden.recv_bytes[2];
+    assert!(cache.best_for_recv(2, vol - 1).is_some());
+    let b0 = cache
+        .best_for_recv(2, 0)
+        .expect("offset 0 must match the pristine epoch");
+    assert_eq!(b0.rank_received_bytes(2), 0);
+}
+
+#[test]
+fn injection_on_forked_world_fires() {
+    // Arm a register fault on a forked world and check it still
+    // manifests — the campaign fast path in one line.
+    use fl_mpi::PendingInjection;
+    let app = tiny(AppKind::Wavetoy);
+    let golden = app.golden(BUDGET);
+    let cache = EpochCache::build(&app.image, app.world_config(BUDGET), 8);
+    let rank = 0u16;
+    let at = golden.insns[0] / 2;
+    let epoch = cache.best_for_insns(rank, at).unwrap();
+    let mut w = epoch.snap.restore();
+    w.set_injection(PendingInjection::once(
+        rank,
+        at,
+        |m: &mut fl_machine::Machine| {
+            // Clobber EIP: guaranteed wild transfer.
+            m.cpu.eip ^= 0x4000_0000;
+        },
+    ));
+    let exit = w.run();
+    assert_ne!(exit, WorldExit::Clean, "EIP clobber must manifest");
+}
+
+#[test]
+fn recovery_restores_lost_work() {
+    let app = tiny(AppKind::Wavetoy);
+    let report = fl_snap::run_recovery(
+        &app.image,
+        app.world_config(BUDGET),
+        RecoveryConfig {
+            checkpoint_every: 8,
+            kill_rank: 1,
+            kill_round: 30,
+        },
+    );
+    assert!(
+        matches!(report.crash_exit, WorldExit::Crashed { .. }),
+        "kill must crash the job, got {:?}",
+        report.crash_exit
+    );
+    assert_eq!(report.recovered_exit, WorldExit::Clean);
+    assert!(report.recovered, "transient kill must be fully recovered");
+    assert!(report.checkpoint_round <= 30);
+    assert!(
+        report.lost_rounds < 8,
+        "lost work exceeds the checkpoint interval"
+    );
+    assert!(report.checkpoints_taken >= 2);
+}

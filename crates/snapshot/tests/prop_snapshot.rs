@@ -1,0 +1,121 @@
+//! Property tests for the snapshot invariants, across randomly generated
+//! FL programs and randomly chosen snapshot points:
+//!
+//! * capture → restore → step N is bit-identical to stepping the
+//!   original machine N instructions;
+//! * copy-on-write forks are isolated — running one fork to completion
+//!   never perturbs its siblings — while still sharing unwritten pages.
+
+use fl_lang::compile;
+use fl_machine::{Exit, Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// A small expression AST rendered to FL source (the prop_lang idiom):
+/// enough to produce varied code, heap-free and always terminating.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_fl(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.to_fl(), b.to_fl()),
+            E::Sub(a, b) => format!("({} - {})", a.to_fl(), b.to_fl()),
+            E::Mul(a, b) => format!("({} * {})", a.to_fl(), b.to_fl()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-1000i32..1000).prop_map(E::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn machine_for(e: &E) -> Machine {
+    let src = format!("fn main() {{ print_int({}); }}", e.to_fl());
+    let img = compile(&src).expect("generated program must compile");
+    Machine::load(
+        &img,
+        MachineConfig {
+            budget: 1_000_000,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// snapshot → to_machine → run(N) ≡ run(N) on the original, at any
+    /// split point of any generated program.
+    #[test]
+    fn snapshot_restore_step_is_identity(e in arb_expr(), split in 1u64..300, leg in 1u64..300) {
+        let mut a = machine_for(&e);
+        let first = a.run(split);
+        let snap = a.snapshot();
+        let mut b = snap.to_machine();
+        prop_assert!(b.snapshot() == snap, "restore is not the identity");
+        if first == Exit::Quantum {
+            let ea = a.run(leg);
+            let eb = b.run(leg);
+            prop_assert_eq!(ea, eb, "exit divergence {} insns past the fork", leg);
+            prop_assert!(a.snapshot() == b.snapshot(),
+                "state divergence {} insns past the fork", leg);
+        }
+    }
+
+    /// Writes in one fork never leak into a sibling: run one restored
+    /// machine to completion, then verify the sibling still equals the
+    /// capture and still runs exactly like the original.
+    #[test]
+    fn cow_forks_are_isolated(e in arb_expr(), split in 1u64..200) {
+        let mut a = machine_for(&e);
+        let first = a.run(split);
+        let snap = a.snapshot();
+
+        let mut hot = snap.to_machine();
+        let cold = snap.to_machine();
+        let _ = hot.run(u64::MAX); // run fork 1 to completion (mutates freely)
+
+        prop_assert!(cold.snapshot() == snap,
+            "sibling fork changed without being stepped");
+        if first == Exit::Quantum {
+            let mut cold = cold;
+            let ea = a.run(u64::MAX);
+            let ec = cold.run(u64::MAX);
+            prop_assert_eq!(ea, ec);
+            prop_assert!(a.snapshot() == cold.snapshot(),
+                "fork 1's writes leaked into fork 2");
+        }
+    }
+
+    /// Clones of a snapshot share every resident page until someone
+    /// writes — the memory-cost claim behind epoch caching.
+    #[test]
+    fn snapshot_clones_share_all_pages(e in arb_expr(), split in 1u64..200) {
+        let mut a = machine_for(&e);
+        let _ = a.run(split);
+        let s1 = a.snapshot();
+        let s2 = s1.clone();
+        let resident = s1.mem.resident_pages();
+        prop_assert!(resident > 0);
+        prop_assert_eq!(s1.mem.pages_shared_with(&s2.mem), resident);
+    }
+}

@@ -40,7 +40,11 @@ impl Curve {
     /// run, safely past initialisation).
     pub fn in_compute_phase(&self) -> f64 {
         let idx = (self.percent.len() as f64 * 0.6) as usize;
-        self.percent.get(idx).copied().or_else(|| self.percent.last().copied()).unwrap_or(0.0)
+        self.percent
+            .get(idx)
+            .copied()
+            .or_else(|| self.percent.last().copied())
+            .unwrap_or(0.0)
     }
 
     /// Curves are non-increasing by construction; expose the check for
@@ -100,7 +104,11 @@ pub fn trace_app(app: &App, budget: u64, samples: usize) -> TraceReport {
         let percent = times
             .iter()
             .map(|&t| {
-                let ws = m.mem.trace(region).map(|tr| tr.working_set_bytes(t)).unwrap_or(0);
+                let ws = m
+                    .mem
+                    .trace(region)
+                    .map(|tr| tr.working_set_bytes(t))
+                    .unwrap_or(0);
                 if size == 0 {
                     0.0
                 } else {
@@ -108,7 +116,10 @@ pub fn trace_app(app: &App, budget: u64, samples: usize) -> TraceReport {
                 }
             })
             .collect();
-        Curve { times: times.clone(), percent }
+        Curve {
+            times: times.clone(),
+            percent,
+        }
     };
 
     let text = curve(Region::Text, text_sz as u64);
@@ -130,7 +141,10 @@ pub fn trace_app(app: &App, budget: u64, samples: usize) -> TraceReport {
             }
         })
         .collect();
-    let combined = Curve { times: times.clone(), percent: combined_percent };
+    let combined = Curve {
+        times: times.clone(),
+        percent: combined_percent,
+    };
 
     TraceReport {
         app: app.kind.name().to_string(),
@@ -169,7 +183,11 @@ pub fn render_tsv(r: &TraceReport) -> String {
 /// per section — the numbers §6.1.2 quotes from the plots.
 pub fn render_summary(r: &TraceReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Memory trace of {} (rank {}, {} blocks)", r.app, r.rank, r.total_blocks);
+    let _ = writeln!(
+        out,
+        "Memory trace of {} (rank {}, {} blocks)",
+        r.app, r.rank, r.total_blocks
+    );
     let (t, d, b, h) = r.section_bytes;
     let _ = writeln!(
         out,
@@ -179,7 +197,11 @@ pub fn render_summary(r: &TraceReport) -> String {
         b / 1024,
         h / 1024
     );
-    let _ = writeln!(out, "  {:<18} {:>10} {:>14}", "section", "WS(t=0) %", "compute-phase %");
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>10} {:>14}",
+        "section", "WS(t=0) %", "compute-phase %"
+    );
     for (name, c) in [
         ("Text", &r.text),
         ("Data", &r.data),
@@ -187,8 +209,13 @@ pub fn render_summary(r: &TraceReport) -> String {
         ("Heap", &r.heap),
         ("Data+BSS+Heap", &r.combined),
     ] {
-        let _ =
-            writeln!(out, "  {:<18} {:>10.1} {:>14.1}", name, c.at_start(), c.in_compute_phase());
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>10.1} {:>14.1}",
+            name,
+            c.at_start(),
+            c.in_compute_phase()
+        );
     }
     out
 }
@@ -209,7 +236,10 @@ mod tests {
             let r = report(kind);
             for c in [&r.text, &r.data, &r.bss, &r.heap, &r.combined] {
                 assert!(c.is_nonincreasing(), "{kind:?}");
-                assert!(c.percent.iter().all(|&p| (0.0..=100.0).contains(&p)), "{kind:?}");
+                assert!(
+                    c.percent.iter().all(|&p| (0.0..=100.0).contains(&p)),
+                    "{kind:?}"
+                );
             }
             assert!(r.total_blocks > 0);
         }
@@ -238,7 +268,10 @@ mod tests {
     fn data_bss_heap_working_set_shrinks_after_init() {
         for kind in AppKind::ALL {
             let r = report(kind);
-            assert!(r.combined.in_compute_phase() <= r.combined.at_start(), "{kind:?}");
+            assert!(
+                r.combined.in_compute_phase() <= r.combined.at_start(),
+                "{kind:?}"
+            );
             // Most of Data+BSS+Heap is never loaded after init (paper:
             // 12-22 % in the compute phase).
             assert!(

@@ -64,7 +64,10 @@ fn main() {
 
     let config = WorldConfig {
         nranks: 4,
-        machine: MachineConfig { budget: 200_000_000, ..Default::default() },
+        machine: MachineConfig {
+            budget: 200_000_000,
+            ..Default::default()
+        },
         ..Default::default()
     };
 

@@ -26,7 +26,11 @@ fn main() {
     // Corrupt byte 12 (the tag field) of an early incoming message on
     // rank 1: the message will never match its receive.
     let mut w = app.world(budget);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: 12, bit: 5 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 12,
+        bit: 5,
+    });
 
     let nranks = app.params.nranks;
     let mut monitor = ProgressMonitor::new(5);
@@ -39,7 +43,7 @@ fn main() {
                 let sample = ProgressSample::take(&w, nranks);
                 match monitor.observe(sample) {
                     ProgressVerdict::Progressing => {
-                        if rounds % 50 == 0 {
+                        if rounds.is_multiple_of(50) {
                             println!(
                                 "round {rounds}: progressing ({} flops, {} MPI calls)",
                                 sample.flops, sample.mpi_calls

@@ -33,7 +33,11 @@ fn main() {
     let result = run_campaign(
         &app,
         &[TargetClass::RegularReg, TargetClass::Message],
-        &CampaignConfig { injections: 60, seed: 2024, ..Default::default() },
+        &CampaignConfig {
+            injections: 60,
+            seed: 2024,
+            ..Default::default()
+        },
     );
 
     // 4. Print the Table 2-style summary.

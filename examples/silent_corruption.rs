@@ -35,7 +35,11 @@ fn main() {
         // Low-order mantissa bit of whatever f64 the offset lands in:
         // the paper's "faults in low order decimal digits" case.
         let mut w = app.world(2_000_000_000);
-        w.set_message_fault(MessageFault { rank: 1, at_recv_byte: offset, bit: 1 });
+        w.set_message_fault(MessageFault {
+            rank: 1,
+            at_recv_byte: offset,
+            bit: 1,
+        });
         match w.run() {
             WorldExit::Clean => {
                 if app.comparable_output(&w) == golden.output {
@@ -63,13 +67,21 @@ fn main() {
     // Now the same flip in a *high* mantissa / exponent bit: the error is
     // large enough to survive the 4-digit rounding.
     let mut w = app.world(2_000_000_000);
-    w.set_message_fault(MessageFault { rank: 1, at_recv_byte: volume / 2, bit: 6 });
+    w.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: volume / 2,
+        bit: 6,
+    });
     let exit = w.run();
     let out = app.comparable_output(&w);
     println!(
         "\nhigh-order flip at byte {}: exit = {:?}, output {}",
         volume / 2,
         exit,
-        if out == golden.output { "UNCHANGED" } else { "DIFFERS" }
+        if out == golden.output {
+            "UNCHANGED"
+        } else {
+            "DIFFERS"
+        }
     );
 }

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! Measurement is a plain adaptive wall-clock loop: warm up, then grow
+//! the iteration count until a sample takes long enough to time
+//! reliably, and report the best of a few samples. No statistics, no
+//! HTML reports — just `name  time: ...` lines, which is all the
+//! workspace's benches need. Honours a substring filter argument the
+//! way `cargo bench -- <filter>` does.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    /// ns/iter of the most recent measurement, for callers that want to
+    /// post-process results (not part of upstream criterion's API).
+    pub last_ns_per_iter: Option<f64>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non-flag) argument is a name filter; flags
+        // that `cargo bench` forwards (`--bench`, etc.) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            last_ns_per_iter: None,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.as_ref(), None, 10, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.as_ref().to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.enabled(name) {
+            return;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.clamp(3, 20) {
+            let mut b = Bencher {
+                ns_per_iter: None,
+                budget: Duration::from_millis(60),
+            };
+            f(&mut b);
+            if let Some(ns) = b.ns_per_iter {
+                best = best.min(ns);
+            }
+        }
+        if best.is_finite() {
+            self.last_ns_per_iter = Some(best);
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.3} Melem/s", n as f64 / best * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / best * 1e9 / (1 << 20) as f64
+                    )
+                }
+                None => String::new(),
+            };
+            println!("{name:<40} time: {}{rate}", fmt_ns(best));
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let t = self.throughput;
+        let s = self.sample_size;
+        self.c.run_one(&full, t, s, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up.
+        black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 20 {
+                self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 20 {
+                self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: None,
+            budget: Duration::from_millis(1),
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.ns_per_iter.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for the `crossbeam` crate (API subset): scoped
+//! threads, implemented over `std::thread::scope` (stable since 1.63).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Placeholder passed to spawned closures in place of crossbeam's
+    /// nested-spawn handle. The workspace always ignores it (`|_| ...`);
+    /// nested spawning is not supported by this shim.
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned through it are
+    /// joined before `scope` returns. Unlike crossbeam, a panicking
+    /// child propagates its panic at join time (inside the scope) rather
+    /// than surfacing through the returned `Result`, which is only `Err`
+    /// if `f` itself panics — the workspace treats any panic as fatal,
+    /// so the distinction is immaterial here.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        #[test]
+        fn scoped_threads_share_borrows() {
+            let counter = AtomicU32::new(0);
+            let total = super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+                7
+            })
+            .expect("scope");
+            assert_eq!(total, 7);
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` for primitive types: full-width uniform draws.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of finite values across magnitudes and the occasional
+        // special, mirroring proptest's bias toward edge cases.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => f64::from_bits(rng.next_u64()), // may be NaN/Inf/subnormal
+            _ => {
+                let m = rng.f64_in(-1.0, 1.0);
+                let e = rng.below(64) as i32 - 32;
+                m * (2f64).powi(e)
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(8) == 0 {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('?')
+        } else {
+            (0x20u8 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    elem: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// Length bounds accepted by `vec` (a plain length or a half-open range).
+pub trait SizeRange {
+    fn bounds(self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec length range");
+        (self.start, self.end)
+    }
+}
+
+pub fn vec<S: Strategy>(elem: S, len: impl SizeRange) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    VecStrategy { elem, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! Strategies generate values from a deterministic per-test RNG (the
+//! seed is derived from the test's module path and name plus the case
+//! index), so runs are reproducible across machines. There is no
+//! shrinking: a failing case panics with the case index so it can be
+//! re-run under a debugger by filtering to the same test.
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,197 @@
+//! Strategy combinators: ranges, tuples, `Just`, `prop_map`,
+//! `prop_recursive`, unions (`prop_oneof!`) and boxing.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies. `depth` bounds the recursion; the desired
+    /// size / branch hints are accepted for API compatibility but not
+    /// used by this shim.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            grow: Rc::new(move |inner| f(inner).boxed()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.i128_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ------------------------------------------------------------ combinators
+
+/// Constant strategy: always yields a clone of the value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+type Grow<V> = dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>;
+
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    depth: u32,
+    grow: Rc<Grow<V>>,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut s = self.base.clone();
+        for _ in 0..levels {
+            s = (self.grow)(s);
+        }
+        s.generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

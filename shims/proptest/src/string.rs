@@ -1,0 +1,146 @@
+//! String strategies from a small regex subset, enough for the patterns
+//! the workspace uses: `\PC` (any non-control char), bracketed char
+//! classes with ranges and `\`-escapes, literal chars, and a postfix
+//! `*` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// Any printable (non-control) char: `\PC`.
+    Printable,
+    /// One of an explicit set: `[...]`.
+    OneOf(Vec<char>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    item: Item,
+    starred: bool,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // Unicode class escape; we only support \PC / \pC.
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "unsupported class in pattern {pat:?}");
+                    Item::Printable
+                }
+                Some(esc) => Item::Literal(esc),
+                None => panic!("dangling escape in pattern {pat:?}"),
+            },
+            '[' => {
+                let mut set: Vec<char> = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => set.push(chars.next().expect("escape in class")),
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                // Possible range `lo-hi`; a trailing `-`
+                                // before `]` is a literal dash.
+                                let mut clone = chars.clone();
+                                clone.next();
+                                match clone.peek() {
+                                    Some(&']') | None => set.push(lo),
+                                    Some(&hi) => {
+                                        chars.next();
+                                        chars.next();
+                                        set.extend((lo..=hi).filter(|c| !c.is_control()));
+                                    }
+                                }
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pat:?}"),
+                    }
+                }
+                Item::OneOf(set)
+            }
+            '*' => {
+                let last = pieces.last_mut().expect("dangling * in pattern");
+                last.starred = true;
+                continue;
+            }
+            lit => Item::Literal(lit),
+        };
+        pieces.push(Piece {
+            item,
+            starred: false,
+        });
+    }
+    pieces
+}
+
+fn gen_char(item: &Item, rng: &mut TestRng) -> char {
+    match item {
+        Item::Printable => {
+            if rng.below(10) == 0 {
+                // Occasional non-ASCII printable.
+                const POOL: &[char] = &['é', 'λ', '☂', '嗨', 'ß', '→'];
+                POOL[rng.below(POOL.len() as u64) as usize]
+            } else {
+                (0x20u8 + rng.below(0x5F) as u8) as char
+            }
+        }
+        Item::OneOf(set) => set[rng.below(set.len() as u64) as usize],
+        Item::Literal(c) => *c,
+    }
+}
+
+/// `&'static str` regex patterns act as `String` strategies, as in
+/// upstream proptest.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = if piece.starred { rng.below(33) } else { 1 };
+            for _ in 0..count {
+                out.push(gen_char(&piece.item, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_star_stays_printable() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..64 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_respects_membership() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..64 {
+            let s = "[a-z0-9 (){};=+*<>!,._\\-\"\\[\\]]*".generate(&mut rng);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || " (){};=+*<>!,._-\"[]".contains(c),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Test configuration, the per-case RNG, and the case-driving loop used
+//! by the `proptest!` macro expansion.
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+
+/// Subset of proptest's config: only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case. Carries just a message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per (test name, case).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `0..span` (`span > 0`).
+    #[inline]
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.inner.gen_range(0..span)
+    }
+
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    #[inline]
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + self.below((hi - lo) as u64) as i128
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `cases` runs of `body`, panicking (with the case index and the
+/// failure message) on the first `Err`.
+pub fn run_proptest<F>(cfg: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cfg.cases {
+        let mut rng =
+            TestRng::from_seed(base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest {name}: case {case}/{} failed: {e}", cfg.cases);
+        }
+    }
+}

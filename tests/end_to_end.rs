@@ -19,7 +19,11 @@ fn every_app_full_pipeline() {
         let result = run_campaign(
             &app,
             &TargetClass::ALL,
-            &CampaignConfig { injections: 3, seed: 99, ..Default::default() },
+            &CampaignConfig {
+                injections: 3,
+                seed: 99,
+                ..Default::default()
+            },
         );
         assert_eq!(result.classes.len(), 8);
         for c in &result.classes {
@@ -65,8 +69,8 @@ fn variants_build_and_run_clean() {
 fn checksum_variant_costs_more_instructions() {
     let params = AppParams::tiny(AppKind::Moldyn);
     let with = App::build(AppKind::Moldyn, params).golden(2_000_000_000);
-    let without = App::build_variant(AppKind::Moldyn, params, AppVariant::NoChecksums)
-        .golden(2_000_000_000);
+    let without =
+        App::build_variant(AppKind::Moldyn, params, AppVariant::NoChecksums).golden(2_000_000_000);
     let i_with: u64 = with.insns.iter().sum();
     let i_without: u64 = without.insns.iter().sum();
     assert!(
@@ -75,7 +79,11 @@ fn checksum_variant_costs_more_instructions() {
     );
     // And the overhead must be modest (the paper measured ~3%).
     let overhead = (i_with - i_without) as f64 / i_without as f64;
-    assert!(overhead < 0.25, "overhead {:.1}% is implausibly high", overhead * 100.0);
+    assert!(
+        overhead < 0.25,
+        "overhead {:.1}% is implausibly high",
+        overhead * 100.0
+    );
 }
 
 #[test]
@@ -86,7 +94,11 @@ fn injected_hang_is_caught_by_budget() {
     let golden = app.golden(2_000_000_000);
     let budget = golden.insns.iter().max().unwrap() * 3 + 2_000_000;
     let mut w = app.world(budget);
-    w.set_message_fault(fl_mpi::MessageFault { rank: 1, at_recv_byte: 12, bit: 7 });
+    w.set_message_fault(fl_mpi::MessageFault {
+        rank: 1,
+        at_recv_byte: 12,
+        bit: 7,
+    });
     let exit = w.run();
     assert!(matches!(exit, WorldExit::Hung { .. }), "{exit:?}");
     let outcome = fl_inject::classify(&exit, &app.comparable_output(&w), &golden.output);
@@ -101,12 +113,19 @@ fn trace_and_campaign_share_one_app() {
     let result = run_campaign(
         &app,
         &[TargetClass::Text],
-        &CampaignConfig { injections: 5, seed: 1, ..Default::default() },
+        &CampaignConfig {
+            injections: 5,
+            seed: 1,
+            ..Default::default()
+        },
     );
     assert_eq!(result.classes[0].tally.executions, 5);
     // The small text working set explains the (mostly) correct outcomes:
     // at least some text faults must land in cold code and do nothing.
     // (5 trials is not a statistical claim; just sanity.)
     let correct = result.classes[0].tally.count(Manifestation::Correct);
-    assert!(correct > 0, "all five text faults manifested, which is wildly unlikely");
+    assert!(
+        correct > 0,
+        "all five text faults manifested, which is wildly unlikely"
+    );
 }

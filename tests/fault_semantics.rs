@@ -8,7 +8,13 @@ use fl_machine::{Exit, Machine, MachineConfig, Signal};
 use fl_mpi::{MpiWorld, PendingInjection, WorldConfig, WorldExit};
 
 fn single_machine(src: &str) -> Machine {
-    Machine::load(&compile(src).unwrap(), MachineConfig { budget: 50_000_000, ..Default::default() })
+    Machine::load(
+        &compile(src).unwrap(),
+        MachineConfig {
+            budget: 50_000_000,
+            ..Default::default()
+        },
+    )
 }
 
 #[test]
@@ -23,7 +29,10 @@ fn esp_high_bit_flip_crashes() {
         assert!(m.step().is_none());
     }
     m.flip_register_bit(RegisterName::Gpr(Gpr::Esp), 27);
-    assert!(matches!(m.run(1_000_000), Exit::Signal(Signal::Segv { .. })));
+    assert!(matches!(
+        m.run(1_000_000),
+        Exit::Signal(Signal::Segv { .. })
+    ));
 }
 
 #[test]
@@ -34,7 +43,10 @@ fn eip_flip_crashes_or_wanders() {
     }
     m.flip_register_bit(RegisterName::Eip, 29);
     // Out of any mapping: SIGSEGV at fetch.
-    assert!(matches!(m.run(1_000_000), Exit::Signal(Signal::Segv { .. })));
+    assert!(matches!(
+        m.run(1_000_000),
+        Exit::Signal(Signal::Segv { .. })
+    ));
 }
 
 #[test]
@@ -116,15 +128,27 @@ fn fpu_pointer_registers_are_inert() {
     let mut clean = Machine::load(&img, MachineConfig::default());
     assert!(matches!(clean.run(10_000_000), Exit::Halted(0)));
     let golden = clean.console_text();
-    for special in [FpuSpecial::Fip, FpuSpecial::Fcs, FpuSpecial::Foo, FpuSpecial::Fos] {
+    for special in [
+        FpuSpecial::Fip,
+        FpuSpecial::Fcs,
+        FpuSpecial::Foo,
+        FpuSpecial::Fos,
+    ] {
         for bit in [0u32, 7, 13] {
             let mut m = Machine::load(&img, MachineConfig::default());
             for _ in 0..300 {
                 assert!(m.step().is_none());
             }
             m.flip_register_bit(RegisterName::FpuSpecial(special), bit);
-            assert!(matches!(m.run(10_000_000), Exit::Halted(0)), "{special:?} bit {bit}");
-            assert_eq!(m.console_text(), golden, "{special:?} bit {bit} changed output");
+            assert!(
+                matches!(m.run(10_000_000), Exit::Halted(0)),
+                "{special:?} bit {bit}"
+            );
+            assert_eq!(
+                m.console_text(),
+                golden,
+                "{special:?} bit {bit} changed output"
+            );
         }
     }
 }
@@ -193,7 +217,10 @@ fn stack_return_address_corruption_crashes() {
         &img,
         WorldConfig {
             nranks: 1,
-            machine: MachineConfig { budget: 10_000_000, ..Default::default() },
+            machine: MachineConfig {
+                budget: 10_000_000,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

@@ -11,7 +11,11 @@ fn campaign(kind: AppKind, classes: &[TargetClass], n: u32) -> CampaignResult {
     run_campaign(
         &app,
         classes,
-        &CampaignConfig { injections: n, seed: 0x5AFE, ..Default::default() },
+        &CampaignConfig {
+            injections: n,
+            seed: 0x5AFE,
+            ..Default::default()
+        },
     )
 }
 
@@ -21,10 +25,19 @@ fn registers_dominate_memory_regions() {
     // under ~15%.
     let r = campaign(
         AppKind::Wavetoy,
-        &[TargetClass::RegularReg, TargetClass::Data, TargetClass::Bss, TargetClass::Heap],
+        &[
+            TargetClass::RegularReg,
+            TargetClass::Data,
+            TargetClass::Bss,
+            TargetClass::Heap,
+        ],
         70,
     );
-    let reg = r.class(TargetClass::RegularReg).unwrap().tally.error_rate_percent();
+    let reg = r
+        .class(TargetClass::RegularReg)
+        .unwrap()
+        .tally
+        .error_rate_percent();
     for mem in [TargetClass::Data, TargetClass::Bss, TargetClass::Heap] {
         let m = r.class(mem).unwrap().tally.error_rate_percent();
         assert!(
@@ -32,15 +45,30 @@ fn registers_dominate_memory_regions() {
             "{mem:?} rate {m:.1}% must be below register rate {reg:.1}%"
         );
     }
-    assert!(reg >= 25.0, "register rate {reg:.1}% below the paper's band");
+    assert!(
+        reg >= 25.0,
+        "register rate {reg:.1}% below the paper's band"
+    );
 }
 
 #[test]
 fn fp_registers_are_least_sensitive_register_class() {
     // §6.1.1: FP register error rate 4-8% vs 38-63% for integer regs.
-    let r = campaign(AppKind::Moldyn, &[TargetClass::RegularReg, TargetClass::FpReg], 70);
-    let reg = r.class(TargetClass::RegularReg).unwrap().tally.error_rate_percent();
-    let fp = r.class(TargetClass::FpReg).unwrap().tally.error_rate_percent();
+    let r = campaign(
+        AppKind::Moldyn,
+        &[TargetClass::RegularReg, TargetClass::FpReg],
+        70,
+    );
+    let reg = r
+        .class(TargetClass::RegularReg)
+        .unwrap()
+        .tally
+        .error_rate_percent();
+    let fp = r
+        .class(TargetClass::FpReg)
+        .unwrap()
+        .tally
+        .error_rate_percent();
     assert!(fp < reg / 2.0, "FP {fp:.1}% vs regular {reg:.1}%");
 }
 
@@ -61,7 +89,11 @@ fn moldyn_detects_message_faults_wavetoy_does_not() {
         0,
         "wavetoy has no checks to fire"
     );
-    assert_eq!(w_tally.count(Manifestation::MpiDetected), 0, "wavetoy registers no handler");
+    assert_eq!(
+        w_tally.count(Manifestation::MpiDetected),
+        0,
+        "wavetoy registers no handler"
+    );
 }
 
 #[test]
@@ -79,7 +111,10 @@ fn wavetoy_message_rate_is_lowest() {
         .unwrap()
         .tally
         .error_rate_percent();
-    assert!(w < m, "wavetoy message rate {w:.1}% must be below moldyn's {m:.1}%");
+    assert!(
+        w < m,
+        "wavetoy message rate {w:.1}% must be below moldyn's {m:.1}%"
+    );
 }
 
 #[test]
@@ -91,8 +126,18 @@ fn only_checked_apps_report_detections() {
         50,
     );
     for c in &w.classes {
-        assert_eq!(c.tally.count(Manifestation::MpiDetected), 0, "{:?}", c.class);
-        assert_eq!(c.tally.count(Manifestation::AppDetected), 0, "{:?}", c.class);
+        assert_eq!(
+            c.tally.count(Manifestation::MpiDetected),
+            0,
+            "{:?}",
+            c.class
+        );
+        assert_eq!(
+            c.tally.count(Manifestation::AppDetected),
+            0,
+            "{:?}",
+            c.class
+        );
     }
 }
 
@@ -124,5 +169,8 @@ fn error_rates_roughly_independent_of_section_size() {
         .unwrap()
         .tally
         .error_rate_percent();
-    assert!(w <= 40.0 && c <= 40.0, "data-region rates must stay low: {w:.1}% / {c:.1}%");
+    assert!(
+        w <= 40.0 && c <= 40.0,
+        "data-region rates must stay low: {w:.1}% / {c:.1}%"
+    );
 }
