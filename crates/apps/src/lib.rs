@@ -59,6 +59,27 @@ impl AppKind {
     }
 }
 
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AppKind {
+    type Err = String;
+
+    /// Parses the canonical [`AppKind::name`] strings — the single
+    /// source of truth for CLI arguments and config files.
+    fn from_str(s: &str) -> Result<AppKind, String> {
+        Ok(match s {
+            "wavetoy" => AppKind::Wavetoy,
+            "moldyn" => AppKind::Moldyn,
+            "climsim" => AppKind::Climsim,
+            other => return Err(format!("unknown app `{other}`")),
+        })
+    }
+}
+
 /// Generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppParams {

@@ -1,0 +1,76 @@
+//! Campaign throughput with event recording off vs on.
+//!
+//! The observability layer's cost contract: a disabled `EventLog` is a
+//! single branch per would-be event (~zero overhead), and a bounded
+//! ring must cost well under 10 % of campaign throughput. Measures the
+//! same trial population three ways — recording off, a small ring and a
+//! large ring — and writes the trials/sec plus the relative overhead to
+//! `BENCH_obs.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::{App, AppKind, AppParams};
+use fl_inject::{run_trial, run_trial_traced, trial_seed, Dictionaries, TargetClass};
+use std::cell::Cell;
+
+/// Seeds cycled by every path so they execute the same trial population.
+const SEEDS: u32 = 64;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+    let golden = app.golden(2_000_000_000);
+    let budget = golden.insns.iter().max().unwrap() * 3 + 2_000_000;
+    let dicts = Dictionaries::build(&app);
+    let class = TargetClass::RegularReg;
+    let campaign_seed = 0x0B5E_u64;
+
+    let run_at = |name: &str, c: &mut Criterion, capacity: u32| -> f64 {
+        let k = Cell::new(0u32);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let s = trial_seed(campaign_seed, 0, k.get() % SEEDS);
+                k.set(k.get().wrapping_add(1));
+                if capacity == 0 {
+                    run_trial(&app, &golden, &dicts, class, s, budget).outcome
+                } else {
+                    run_trial_traced(&app, &golden, &dicts, class, s, budget, None, capacity)
+                        .record
+                        .outcome
+                }
+            })
+        });
+        c.last_ns_per_iter.expect("bench must have run")
+    };
+
+    let off_ns = run_at("obs_overhead/off", c, 0);
+    let ring_ns = run_at("obs_overhead/ring_512", c, 512);
+    let big_ns = run_at("obs_overhead/ring_8192", c, 8192);
+
+    let off_tps = 1e9 / off_ns;
+    let ring_tps = 1e9 / ring_ns;
+    let big_tps = 1e9 / big_ns;
+    let ring_overhead = (ring_ns - off_ns) / off_ns;
+    let big_overhead = (big_ns - off_ns) / off_ns;
+    println!(
+        "obs_overhead: off {off_tps:.2} trials/s, ring(512) {ring_tps:.2} trials/s \
+         ({:+.1}%), ring(8192) {big_tps:.2} trials/s ({:+.1}%)",
+        ring_overhead * 100.0,
+        big_overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"class\": \"regular-reg\",\n  \
+         \"off_trials_per_sec\": {off_tps:.3},\n  \
+         \"ring512_trials_per_sec\": {ring_tps:.3},\n  \
+         \"ring8192_trials_per_sec\": {big_tps:.3},\n  \
+         \"ring512_overhead_frac\": {ring_overhead:.4},\n  \
+         \"ring8192_overhead_frac\": {big_overhead:.4},\n  \
+         \"threshold_frac\": 0.10\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, json).expect("write BENCH_obs.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -7,8 +7,7 @@
 //! ```
 
 use fl_apps::{App, AppKind, AppParams};
-use fl_bench::{emit, experiment_app, full_campaign, injections_from_args, BUDGET};
-use fl_inject::{estimation_error, render_table, render_tsv};
+use fl_bench::{emit, experiment_app, injections_from_args, table_campaign, TableSpec, BUDGET};
 
 fn main() {
     let n = injections_from_args(200);
@@ -37,15 +36,12 @@ fn main() {
             t0.elapsed(),
             kind.name()
         );
-        let result = full_campaign(kind, n, 0x1A00 + num as u64);
-        let title = format!(
-            "Table {num}: Fault Injection Results ({} / {} analogue), n = {n}, d = {:.1}% @95%",
-            kind.name(),
-            kind.paper_name(),
-            estimation_error(0.95, n) * 100.0
-        );
-        emit(&format!("table{num}.txt"), &render_table(&result, &title));
-        emit(&format!("table{num}.tsv"), &render_tsv(&result));
+        table_campaign(&TableSpec {
+            number: num,
+            kind,
+            injections: n,
+            seed: 0x1A00 + num as u64,
+        });
     }
 
     // Tables 5-7.

@@ -3,18 +3,13 @@
 //! and manifestation breakdowns.
 
 use fl_apps::AppKind;
-use fl_bench::{emit, full_campaign, injections_from_args};
-use fl_inject::{estimation_error, render_table, render_tsv};
+use fl_bench::{injections_from_args, table_campaign, TableSpec};
 
 fn main() {
-    let n = injections_from_args(200);
-    eprintln!("table2: {n} injections per region (wall time scales with n) ...");
-    let result = full_campaign(AppKind::Wavetoy, n, 0x1A2);
-    let title = format!(
-        "Table 2: Fault Injection Results (wavetoy / {} analogue), n = {n}, d = {:.1}% @95%",
-        AppKind::Wavetoy.paper_name(),
-        estimation_error(0.95, n) * 100.0
-    );
-    emit("table2.txt", &render_table(&result, &title));
-    emit("table2.tsv", &render_tsv(&result));
+    table_campaign(&TableSpec {
+        number: 2,
+        kind: AppKind::Wavetoy,
+        injections: injections_from_args(200),
+        seed: 0x1A2,
+    });
 }

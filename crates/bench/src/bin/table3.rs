@@ -3,18 +3,13 @@
 //! and manifestation breakdowns.
 
 use fl_apps::AppKind;
-use fl_bench::{emit, full_campaign, injections_from_args};
-use fl_inject::{estimation_error, render_table, render_tsv};
+use fl_bench::{injections_from_args, table_campaign, TableSpec};
 
 fn main() {
-    let n = injections_from_args(200);
-    eprintln!("table3: {n} injections per region (wall time scales with n) ...");
-    let result = full_campaign(AppKind::Moldyn, n, 0x1A3);
-    let title = format!(
-        "Table 3: Fault Injection Results (moldyn / {} analogue), n = {n}, d = {:.1}% @95%",
-        AppKind::Moldyn.paper_name(),
-        estimation_error(0.95, n) * 100.0
-    );
-    emit("table3.txt", &render_table(&result, &title));
-    emit("table3.tsv", &render_tsv(&result));
+    table_campaign(&TableSpec {
+        number: 3,
+        kind: AppKind::Moldyn,
+        injections: injections_from_args(200),
+        seed: 0x1A3,
+    });
 }

@@ -3,18 +3,13 @@
 //! and manifestation breakdowns.
 
 use fl_apps::AppKind;
-use fl_bench::{emit, full_campaign, injections_from_args};
-use fl_inject::{estimation_error, render_table, render_tsv};
+use fl_bench::{injections_from_args, table_campaign, TableSpec};
 
 fn main() {
-    let n = injections_from_args(200);
-    eprintln!("table4: {n} injections per region (wall time scales with n) ...");
-    let result = full_campaign(AppKind::Climsim, n, 0x1A4);
-    let title = format!(
-        "Table 4: Fault Injection Results (climsim / {} analogue), n = {n}, d = {:.1}% @95%",
-        AppKind::Climsim.paper_name(),
-        estimation_error(0.95, n) * 100.0
-    );
-    emit("table4.txt", &render_table(&result, &title));
-    emit("table4.tsv", &render_tsv(&result));
+    table_campaign(&TableSpec {
+        number: 4,
+        kind: AppKind::Climsim,
+        injections: injections_from_args(200),
+        seed: 0x1A4,
+    });
 }

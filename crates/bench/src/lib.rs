@@ -20,7 +20,7 @@
 //! ```
 
 use fl_apps::{App, AppKind, AppParams};
-use fl_inject::{run_campaign, CampaignConfig, CampaignResult, TargetClass};
+use fl_inject::{estimation_error, render_table, render_tsv, CampaignBuilder, CampaignResult};
 use std::path::PathBuf;
 
 /// Default instruction budget for golden/traced runs.
@@ -35,15 +35,53 @@ pub fn experiment_app(kind: AppKind) -> App {
 /// behind Tables 2, 3 and 4.
 pub fn full_campaign(kind: AppKind, injections: u32, seed: u64) -> CampaignResult {
     let app = experiment_app(kind);
-    run_campaign(
-        &app,
-        &TargetClass::ALL,
-        &CampaignConfig {
-            injections,
-            seed,
-            ..Default::default()
-        },
-    )
+    CampaignBuilder::new(&app)
+        .injections(injections)
+        .seed(seed)
+        .run()
+}
+
+/// What distinguishes one injection-results table from another: its
+/// number in the paper, the app under test, the per-region trial count
+/// and the campaign seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Paper table number (2, 3 or 4).
+    pub number: u32,
+    /// Application under test.
+    pub kind: AppKind,
+    /// Injections per region.
+    pub injections: u32,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+/// Run one Tables 2–4 style campaign and emit `table<N>.txt` /
+/// `table<N>.tsv` — the shared engine the `table2`/`table3`/`table4`
+/// and `all_tables` binaries all call.
+pub fn table_campaign(spec: &TableSpec) {
+    let TableSpec {
+        number,
+        kind,
+        injections,
+        seed,
+    } = *spec;
+    eprintln!(
+        "table{number}: {} x {injections} injections per region (wall time scales with n) ...",
+        kind.name()
+    );
+    let result = full_campaign(kind, injections, seed);
+    let title = format!(
+        "Table {number}: Fault Injection Results ({} / {} analogue), n = {injections}, d = {:.1}% @95%",
+        kind.name(),
+        kind.paper_name(),
+        estimation_error(0.95, injections) * 100.0
+    );
+    emit(
+        &format!("table{number}.txt"),
+        &render_table(&result, &title),
+    );
+    emit(&format!("table{number}.tsv"), &render_tsv(&result));
 }
 
 /// Injections per region taken from the first CLI argument, defaulting

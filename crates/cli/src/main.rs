@@ -5,6 +5,8 @@
 //! faultlab campaign <app> [options]             Tables 2-4 injection campaigns
 //! faultlab trace    <app> [--samples N]         Tables 5-7 working-set curves
 //! faultlab trial    <app> <region> --seed K     run one injection, verbosely
+//! faultlab events   <app> <region> --trial K    replay one trial's event timeline
+//! faultlab metrics  <app> [options]             campaign-level event metrics
 //! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
 //! faultlab source   <app>                       print the generated FL source
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
@@ -15,8 +17,8 @@
 
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
-    estimation_error, render_register_breakdown, render_table, render_tsv, run_campaign,
-    sample_size, CampaignConfig, TargetClass,
+    estimation_error, render_register_breakdown, render_table, render_tsv, sample_size,
+    CampaignBuilder, CampaignConfig, TargetClass,
 };
 use fl_snap::RecoveryConfig;
 
@@ -47,6 +49,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(rest),
         "trial" => cmd_trial(rest),
         "replay" => cmd_replay(rest),
+        "events" => cmd_events(rest),
+        "metrics" => cmd_metrics(rest),
         "recovery" => cmd_recovery(rest),
         "sample-size" => cmd_sample_size(rest),
         "source" => cmd_source(rest),
@@ -73,6 +77,10 @@ fn print_usage() {
          \x20 faultlab trial    <app> <region> [--seed K] [--tiny]\n\
          \x20 faultlab replay   <app> <region> --trial K [--regions R1,R2|all]\n\
          \x20                   [--seed S] [--injections N] [--epoch-rounds E] [--tiny]\n\
+         \x20 faultlab events   <app> <region> --trial K [--regions R1,R2|all]\n\
+         \x20                   [--seed S] [--ring N] [--jsonl] [--tiny]\n\
+         \x20 faultlab metrics  <app> [--injections N] [--regions R1,R2|all]\n\
+         \x20                   [--seed S] [--ring N] [--tsv] [--tiny]\n\
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
@@ -87,26 +95,11 @@ fn print_usage() {
 }
 
 fn parse_app(name: &str) -> Result<AppKind, String> {
-    match name {
-        "wavetoy" => Ok(AppKind::Wavetoy),
-        "moldyn" => Ok(AppKind::Moldyn),
-        "climsim" => Ok(AppKind::Climsim),
-        other => Err(format!("unknown app `{other}` (wavetoy|moldyn|climsim)")),
-    }
+    name.parse()
 }
 
 fn parse_region(name: &str) -> Result<TargetClass, String> {
-    Ok(match name {
-        "regular-reg" | "reg" => TargetClass::RegularReg,
-        "fp-reg" | "fp" => TargetClass::FpReg,
-        "bss" => TargetClass::Bss,
-        "data" => TargetClass::Data,
-        "stack" => TargetClass::Stack,
-        "text" => TargetClass::Text,
-        "heap" => TargetClass::Heap,
-        "message" | "msg" => TargetClass::Message,
-        other => return Err(format!("unknown region `{other}`")),
-    })
+    name.parse()
 }
 
 /// Pull `--flag value` options and bare words out of an argument list.
@@ -206,6 +199,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         budget_factor: 3.0,
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        ..Default::default()
     };
     let app = build_app(kind, o.has("tiny"));
     eprintln!(
@@ -214,7 +208,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         cfg.injections,
         regions.len()
     );
-    let result = run_campaign(&app, &regions, &cfg);
+    let result = CampaignBuilder::new(&app)
+        .classes(&regions)
+        .with_config(cfg)
+        .run();
     if o.has("tsv") {
         print!("{}", render_tsv(&result));
     } else {
@@ -249,7 +246,10 @@ fn cmd_run_config(args: &[String]) -> Result<(), String> {
         spec.campaign.injections,
         spec.classes.len()
     );
-    let result = run_campaign(&app, &spec.classes, &spec.campaign);
+    let result = CampaignBuilder::new(&app)
+        .classes(&spec.classes)
+        .with_config(spec.campaign)
+        .run();
     let title = format!(
         "Fault Injection Results ({}), n = {}, d = {:.1}% @95%",
         spec.app.name(),
@@ -326,6 +326,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         budget_factor: 3.0,
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        ..Default::default()
     };
     if k >= cfg.injections {
         return Err(format!(
@@ -335,15 +336,127 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     }
     let app = build_app(kind, o.has("tiny"));
     eprintln!("replaying {} {} trial {k} ...", kind.name(), class.label());
-    let rec = fl_inject::replay_trial(&app, &regions, &cfg, ci, k);
+    let seed = cfg.seed;
+    let rec = CampaignBuilder::new(&app)
+        .classes(&regions)
+        .with_config(cfg)
+        .replay(ci, k);
     println!("app:     {}", kind.name());
     println!("class:   {}", class.label());
     println!(
         "trial:   {k} (seed {:#x})",
-        fl_inject::trial_seed(cfg.seed, ci, k)
+        fl_inject::trial_seed(seed, ci, k)
     );
     println!("fault:   {}", rec.detail);
     println!("outcome: {}", rec.outcome);
+    Ok(())
+}
+
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("events needs an app name")?;
+    let region = o.words.get(1).ok_or("events needs a region")?;
+    let kind = parse_app(app_name)?;
+    let class = parse_region(region)?;
+    let regions: Vec<TargetClass> = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
+    };
+    let ci = regions
+        .iter()
+        .position(|&c| c == class)
+        .ok_or_else(|| format!("region `{region}` is not in the campaign's region list"))?;
+    let k: u32 = o.get_num("trial")?.ok_or("events needs --trial K")?;
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(500),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        obs_capacity: o.get_num("ring")?.unwrap_or(4096),
+    };
+    if k >= cfg.injections {
+        return Err(format!(
+            "--trial {k} out of range (campaign has {} trials)",
+            cfg.injections
+        ));
+    }
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!(
+        "tracing events: {} {} trial {k} ...",
+        kind.name(),
+        class.label()
+    );
+    let trace = CampaignBuilder::new(&app)
+        .classes(&regions)
+        .with_config(cfg)
+        .replay_traced(ci, k);
+    if o.has("jsonl") {
+        print!("{}", trace.events_jsonl());
+        return Ok(());
+    }
+    println!("app:     {}", kind.name());
+    println!("class:   {}", class.label());
+    println!("fault:   {}", trace.record.detail);
+    println!("outcome: {}", trace.record.outcome);
+    let m = trace.metrics();
+    match (m.injection_clock, m.first_symptom_clock) {
+        (Some(i), Some(s)) => println!(
+            "landed:  block {i}, first symptom block {s} (+{} blocks, {} events between)",
+            m.blocks_to_manifestation.unwrap_or(0),
+            m.events_to_symptom.unwrap_or(0),
+        ),
+        (Some(i), None) => println!("landed:  block {i}, no symptom recorded"),
+        _ => println!("landed:  no (fault never fired in the retained window)"),
+    }
+    println!("events:  {} retained", m.events_total);
+    for (rank, e) in trace.timeline() {
+        println!("  [{:>8}] rank {rank}  {}", e.clock, e.kind.describe());
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("metrics needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let regions: Vec<TargetClass> = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
+    };
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(500),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        obs_capacity: o.get_num("ring")?.unwrap_or(4096),
+    };
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!(
+        "metrics: {} x {} injections over {} regions ...",
+        kind.name(),
+        cfg.injections,
+        regions.len()
+    );
+    let result = CampaignBuilder::new(&app)
+        .classes(&regions)
+        .with_config(cfg)
+        .run();
+    let metrics = result
+        .metrics
+        .expect("metrics campaigns always record events");
+    if o.has("tsv") {
+        print!("{}", metrics.to_tsv(kind));
+    } else {
+        print!("{}", metrics.to_jsonl(kind));
+    }
     Ok(())
 }
 

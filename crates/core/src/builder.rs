@@ -1,0 +1,298 @@
+//! The fluent campaign API.
+//!
+//! [`CampaignBuilder`] is the single front door for configuring and
+//! running injection campaigns: application, region set, fault duration
+//! model, trial count, seeding, epoch forking and event recording all
+//! hang off one builder instead of a positional struct literal. The
+//! legacy free functions (`run_campaign`, `replay_trial`) remain as
+//! deprecated shims over the same backend for one release.
+//!
+//! ```
+//! use fl_apps::{App, AppKind, AppParams};
+//! use fl_inject::{CampaignBuilder, TargetClass};
+//!
+//! let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+//! let result = CampaignBuilder::new(&app)
+//!     .classes(&[TargetClass::RegularReg])
+//!     .injections(10)
+//!     .seed(7)
+//!     .run();
+//! assert_eq!(result.classes[0].tally.executions, 10);
+//! ```
+
+use crate::campaign::{
+    replay_trial_impl, run_campaign_impl, trial_seed, CampaignConfig, CampaignResult, ClassResult,
+    TrialRecord,
+};
+use crate::faultmodel::{model_classes, run_model_trial, FaultModel};
+use crate::obs::TrialTrace;
+use crate::outcome::Tally;
+use crate::target::TargetClass;
+use fl_apps::App;
+
+/// Fluent configuration for one injection campaign.
+///
+/// Defaults mirror [`CampaignConfig::default`]: 500 injections per
+/// class, all eight target classes, the transient fault model, epoch
+/// forking every 16 rounds, event recording off.
+#[derive(Clone)]
+pub struct CampaignBuilder<'a> {
+    app: &'a App,
+    classes: Vec<TargetClass>,
+    cfg: CampaignConfig,
+    model: FaultModel,
+}
+
+impl<'a> CampaignBuilder<'a> {
+    /// Start configuring a campaign against `app`.
+    pub fn new(app: &'a App) -> CampaignBuilder<'a> {
+        CampaignBuilder {
+            app,
+            classes: TargetClass::ALL.to_vec(),
+            cfg: CampaignConfig::default(),
+            model: FaultModel::Transient,
+        }
+    }
+
+    /// Replace the target-class set (request order = result order).
+    pub fn classes(mut self, classes: &[TargetClass]) -> Self {
+        self.classes = classes.to_vec();
+        self
+    }
+
+    /// Injections per target class.
+    pub fn injections(mut self, n: u32) -> Self {
+        self.cfg.injections = n;
+        self
+    }
+
+    /// Master campaign seed (trials derive from it reproducibly).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Hang bound as a multiple of the longest golden rank.
+    pub fn budget_factor(mut self, f: f64) -> Self {
+        self.cfg.budget_factor = f;
+        self
+    }
+
+    /// Worker threads (0 = all available).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Checkpoint cadence for snapshot-forked trials (0 = always cold).
+    pub fn epoch_rounds(mut self, rounds: u32) -> Self {
+        self.cfg.epoch_rounds = rounds;
+        self
+    }
+
+    /// Enable structured event recording with the given per-rank ring
+    /// capacity; the campaign result then carries
+    /// [`crate::CampaignMetrics`]. 0 turns recording back off.
+    pub fn observe(mut self, ring_capacity: u32) -> Self {
+        self.cfg.obs_capacity = ring_capacity;
+        self
+    }
+
+    /// Fault duration model (default transient). Non-transient models
+    /// support the register and static-memory classes only; see
+    /// [`model_classes`].
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Adopt a whole [`CampaignConfig`] (e.g. from a parsed experiment
+    /// spec), replacing every parameter set so far except the class
+    /// list and fault model.
+    pub fn with_config(mut self, cfg: CampaignConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The campaign parameters as currently configured.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// The configured class list.
+    pub fn class_list(&self) -> &[TargetClass] {
+        &self.classes
+    }
+
+    /// Run the campaign.
+    ///
+    /// # Panics
+    /// With a non-transient fault model, panics if the class list
+    /// contains a class outside [`model_classes`] (dynamic targets
+    /// cannot be re-asserted periodically).
+    pub fn run(self) -> CampaignResult {
+        if self.model == FaultModel::Transient {
+            return run_campaign_impl(self.app, &self.classes, &self.cfg);
+        }
+        self.run_model_campaign()
+    }
+
+    /// Replay one recorded trial from its campaign coordinates (class
+    /// position `ci`, trial index `k`). Transient model only.
+    pub fn replay(self, ci: usize, k: u32) -> TrialRecord {
+        self.replay_traced(ci, k).record
+    }
+
+    /// Replay one trial and return its full event trace. Streams are
+    /// empty unless [`CampaignBuilder::observe`] was set. Transient
+    /// model only.
+    pub fn replay_traced(self, ci: usize, k: u32) -> TrialTrace {
+        assert!(
+            self.model == FaultModel::Transient,
+            "trial replay supports the transient model only"
+        );
+        replay_trial_impl(self.app, &self.classes, &self.cfg, ci, k)
+    }
+
+    /// Campaign under a persistent fault model: every trial routes
+    /// through [`run_model_trial`], always cold (persistent faults
+    /// re-arm across the whole run, so epoch forking buys nothing).
+    fn run_model_campaign(self) -> CampaignResult {
+        let supported = model_classes();
+        for c in &self.classes {
+            assert!(
+                supported.contains(c),
+                "fault model {} does not support class {c} (supported: register and static memory)",
+                self.model
+            );
+        }
+        let golden = self.app.golden(2_000_000_000);
+        let budget = (*golden.insns.iter().max().unwrap() as f64 * self.cfg.budget_factor) as u64
+            + 2_000_000;
+        let mut results = Vec::new();
+        for (ci, &class) in self.classes.iter().enumerate() {
+            let mut tally = Tally::default();
+            let mut trials = Vec::with_capacity(self.cfg.injections as usize);
+            for k in 0..self.cfg.injections {
+                let outcome = run_model_trial(
+                    self.app,
+                    &golden,
+                    class,
+                    self.model,
+                    trial_seed(self.cfg.seed, ci, k),
+                    budget,
+                );
+                tally.record(outcome);
+                trials.push(TrialRecord {
+                    class,
+                    detail: format!("model {} trial {k}", self.model),
+                    outcome,
+                });
+            }
+            results.push(ClassResult {
+                class,
+                tally,
+                trials,
+            });
+        }
+        CampaignResult {
+            app: self.app.kind,
+            classes: results,
+            golden,
+            metrics: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_apps::{AppKind, AppParams};
+
+    fn tiny(kind: AppKind) -> App {
+        App::build(kind, AppParams::tiny(kind))
+    }
+
+    #[test]
+    fn builder_matches_deprecated_shim() {
+        let app = tiny(AppKind::Wavetoy);
+        let via_builder = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(8)
+            .seed(11)
+            .run();
+        #[allow(deprecated)]
+        let via_shim = crate::campaign::run_campaign(
+            &app,
+            &[TargetClass::RegularReg],
+            &CampaignConfig {
+                injections: 8,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            via_builder.classes[0].trials, via_shim.classes[0].trials,
+            "builder and shim must drive the identical campaign"
+        );
+    }
+
+    #[test]
+    fn default_classes_are_all_eight() {
+        let app = tiny(AppKind::Wavetoy);
+        let b = CampaignBuilder::new(&app);
+        assert_eq!(b.class_list(), &TargetClass::ALL);
+        assert_eq!(b.config().injections, 500);
+    }
+
+    #[test]
+    fn observe_enables_metrics() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(5)
+            .seed(3)
+            .observe(256)
+            .run();
+        let metrics = r.metrics.expect("observe(..) must produce metrics");
+        assert_eq!(metrics.classes.len(), 1);
+        let cm = &metrics.classes[0];
+        assert_eq!(cm.trials, 5);
+        assert!(cm.events_total > 0, "trials must record events");
+        // Register faults always land (the flip fires unconditionally).
+        assert_eq!(cm.landed, 5);
+    }
+
+    #[test]
+    fn unobserved_run_has_no_metrics() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(2)
+            .run();
+        assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn model_campaign_runs_supported_classes() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(4)
+            .seed(9)
+            .fault_model(FaultModel::StuckAt1)
+            .run();
+        assert_eq!(r.classes[0].tally.executions, 4);
+        assert!(r.classes[0].trials[0].detail.contains("stuck-at-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support class")]
+    fn model_campaign_rejects_dynamic_classes() {
+        let app = tiny(AppKind::Wavetoy);
+        let _ = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::Heap])
+            .fault_model(FaultModel::Held)
+            .run();
+    }
+}

@@ -8,13 +8,14 @@
 //! between injections; we get the same isolation by constructing fresh
 //! machines.
 
+use crate::obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
 use crate::outcome::{classify, Manifestation, Tally};
 use crate::target::{
     fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
     TargetClass,
 };
 use fl_apps::{App, AppKind, Golden};
-use fl_mpi::{MessageFault, MpiWorld, PendingInjection};
+use fl_mpi::{MessageFault, MpiWorld, PendingInjection, WorldConfig};
 use fl_snap::EpochCache;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +43,12 @@ pub struct CampaignConfig {
     /// moldyn re-seeds its schedule per trial (§4.2.2) and always runs
     /// cold regardless of this setting.
     pub epoch_rounds: u32,
+    /// Per-rank `fl-obs` event-ring capacity. 0 (the default) disables
+    /// recording entirely; nonzero makes every trial record structured
+    /// events and the campaign aggregate [`CampaignMetrics`]. The same
+    /// capacity is applied to the golden prefix the epoch cache
+    /// replays, so forked and cold trials emit bit-identical streams.
+    pub obs_capacity: u32,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +59,7 @@ impl Default for CampaignConfig {
             budget_factor: 3.0,
             threads: 0,
             epoch_rounds: 16,
+            obs_capacity: 0,
         }
     }
 }
@@ -88,6 +96,9 @@ pub struct CampaignResult {
     pub classes: Vec<ClassResult>,
     /// The fault-free reference run.
     pub golden: Golden,
+    /// Event-stream aggregates, present iff the campaign ran with
+    /// `obs_capacity > 0`.
+    pub metrics: Option<CampaignMetrics>,
 }
 
 impl CampaignResult {
@@ -112,13 +123,23 @@ pub fn trial_seed(campaign_seed: u64, ci: usize, k: u32) -> u64 {
         .wrapping_add(k as u64)
 }
 
+/// The world configuration a trial (or the epoch cache's golden prefix)
+/// runs under: the app's own configuration with the campaign's event
+/// recording threaded through. Forked and cold trials must use the same
+/// recording capacity or their streams could not be bit-identical.
+fn trial_world_config(app: &App, budget: u64, obs_capacity: u32) -> WorldConfig {
+    let mut wcfg = app.world_config(budget);
+    wcfg.machine.obs_capacity = obs_capacity;
+    wcfg
+}
+
 /// Build the epoch snapshot cache for the campaign fast path, or `None`
 /// when the configuration or the application rules forking out.
 fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCache> {
     if cfg.epoch_rounds == 0 {
         return None;
     }
-    let wcfg = app.world_config(budget);
+    let wcfg = trial_world_config(app, budget, cfg.obs_capacity);
     // Forking replays the *golden* prefix; an app with nondeterministic
     // scheduling re-draws its arrival order per trial, so its prefix is
     // not shared and every trial must run cold.
@@ -129,7 +150,24 @@ fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCac
 }
 
 /// Run a campaign over the given classes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use fl_inject::CampaignBuilder::new(app).classes(..).run() instead"
+)]
 pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_impl(app, classes, cfg)
+}
+
+/// One finished trial's slot in the campaign: its record, plus its
+/// aggregated metrics when event recording is on.
+type TrialSlot = Option<(TrialRecord, Option<TrialMetrics>)>;
+
+/// Campaign execution (the [`crate::CampaignBuilder`] backend).
+pub(crate) fn run_campaign_impl(
+    app: &App,
+    classes: &[TargetClass],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
     let budget0 = 2_000_000_000;
     let golden = app.golden(budget0);
     let budget = trial_budget(&golden, cfg);
@@ -144,13 +182,14 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
         cfg.threads
     };
 
+    let observe = cfg.obs_capacity > 0;
     let mut results = Vec::new();
+    let mut metrics: Vec<ClassMetrics> = Vec::new();
     for (ci, &class) in classes.iter().enumerate() {
         let next = AtomicU32::new(0);
         // Slot-addressed so the record order is trial order, independent
         // of which worker finishes first.
-        let records: Mutex<Vec<Option<TrialRecord>>> =
-            Mutex::new(vec![None; cfg.injections as usize]);
+        let records: Mutex<Vec<TrialSlot>> = Mutex::new(vec![None; cfg.injections as usize]);
         crossbeam::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| loop {
@@ -158,7 +197,7 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
                     if k >= cfg.injections {
                         break;
                     }
-                    let rec = run_trial_forked(
+                    let run = run_trial_inner(
                         app,
                         &golden,
                         &dicts,
@@ -166,21 +205,36 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
                         trial_seed(cfg.seed, ci, k),
                         budget,
                         epochs.as_ref(),
+                        cfg.obs_capacity,
                     );
-                    records.lock().unwrap()[k as usize] = Some(rec);
+                    // Fold event streams down to per-trial metrics before
+                    // the world is torn down; only the numbers survive.
+                    let tm = observe
+                        .then(|| trial_metrics(&run.record, run.rank, &run.world.event_streams()));
+                    records.lock().unwrap()[k as usize] = Some((run.record, tm));
                 });
             }
         })
         .expect("campaign worker panicked");
+        let mut class_metrics = ClassMetrics::new(class);
         let trials: Vec<TrialRecord> = records
             .into_inner()
             .unwrap()
             .into_iter()
-            .map(|r| r.expect("every trial slot filled"))
+            .map(|r| {
+                let (rec, tm) = r.expect("every trial slot filled");
+                if let Some(tm) = tm {
+                    class_metrics.fold(&tm);
+                }
+                rec
+            })
             .collect();
         let mut tally = Tally::default();
         for t in &trials {
             tally.record(t.outcome);
+        }
+        if observe {
+            metrics.push(class_metrics);
         }
         results.push(ClassResult {
             class,
@@ -192,6 +246,7 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
         app: app.kind,
         classes: results,
         golden,
+        metrics: observe.then_some(CampaignMetrics { classes: metrics }),
     }
 }
 
@@ -199,6 +254,10 @@ pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) ->
 /// position `ci` in `classes` and trial index `k`. Deterministic trial
 /// seeding makes the replayed record — fault point, detail string and
 /// manifestation — bit-identical to the original campaign's.
+#[deprecated(
+    since = "0.2.0",
+    note = "use fl_inject::CampaignBuilder::new(app).classes(..).replay(ci, k) instead"
+)]
 pub fn replay_trial(
     app: &App,
     classes: &[TargetClass],
@@ -206,13 +265,26 @@ pub fn replay_trial(
     ci: usize,
     k: u32,
 ) -> TrialRecord {
+    replay_trial_impl(app, classes, cfg, ci, k).record
+}
+
+/// Trial replay from campaign coordinates (the [`crate::CampaignBuilder`]
+/// backend). Returns the full trace; event streams are empty unless
+/// `cfg.obs_capacity > 0`.
+pub(crate) fn replay_trial_impl(
+    app: &App,
+    classes: &[TargetClass],
+    cfg: &CampaignConfig,
+    ci: usize,
+    k: u32,
+) -> TrialTrace {
     assert!(ci < classes.len(), "class index {ci} out of range");
     assert!(k < cfg.injections, "trial index {k} out of range");
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
     let epochs = build_epochs(app, cfg, budget);
-    run_trial_forked(
+    let run = run_trial_inner(
         app,
         &golden,
         &dicts,
@@ -220,7 +292,13 @@ pub fn replay_trial(
         trial_seed(cfg.seed, ci, k),
         budget,
         epochs.as_ref(),
-    )
+        cfg.obs_capacity,
+    );
+    TrialTrace {
+        record: run.record,
+        rank: run.rank,
+        streams: run.world.event_streams(),
+    }
 }
 
 /// Pre-built fault dictionaries for the static regions.
@@ -288,6 +366,60 @@ pub fn run_trial_forked(
     budget: u64,
     epochs: Option<&EpochCache>,
 ) -> TrialRecord {
+    run_trial_inner(app, golden, dicts, class, trial_seed, budget, epochs, 0).record
+}
+
+/// Execute one injection experiment with event recording on, returning
+/// the full [`TrialTrace`]. When forking from an epoch cache, that
+/// cache must have been built with the same `obs_capacity` (the golden
+/// prefix's events are part of the snapshot).
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_traced(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+    obs_capacity: u32,
+) -> TrialTrace {
+    let run = run_trial_inner(
+        app,
+        golden,
+        dicts,
+        class,
+        trial_seed,
+        budget,
+        epochs,
+        obs_capacity,
+    );
+    TrialTrace {
+        record: run.record,
+        rank: run.rank,
+        streams: run.world.event_streams(),
+    }
+}
+
+/// A finished trial before teardown: the record, the victim rank, and
+/// the ended world (still holding every rank's event log).
+struct TrialRun {
+    record: TrialRecord,
+    rank: u16,
+    world: MpiWorld,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trial_inner(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+    obs_capacity: u32,
+) -> TrialRun {
     let mut rng = StdRng::seed_from_u64(trial_seed);
     let nranks = app.params.nranks;
     let rank = rng.gen_range(0..nranks);
@@ -380,7 +512,7 @@ pub fn run_trial_forked(
     let mut world = match epoch {
         Some(e) => e.snap.restore(),
         None => {
-            let mut cfg = app.world_config(budget);
+            let mut cfg = trial_world_config(app, budget, obs_capacity);
             cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
             MpiWorld::new(&app.image, cfg)
         }
@@ -398,10 +530,14 @@ pub fn run_trial_forked(
     let exit = world.run();
     let output = app.comparable_output(&world);
     let outcome = classify(&exit, &output, &golden.output);
-    TrialRecord {
-        class,
-        detail,
-        outcome,
+    TrialRun {
+        record: TrialRecord {
+            class,
+            detail,
+            outcome,
+        },
+        rank,
+        world,
     }
 }
 
@@ -412,7 +548,7 @@ mod tests {
 
     fn mini_campaign(kind: AppKind, classes: &[TargetClass], n: u32) -> CampaignResult {
         let app = App::build(kind, AppParams::tiny(kind));
-        run_campaign(
+        run_campaign_impl(
             &app,
             classes,
             &CampaignConfig {
@@ -432,8 +568,8 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let a = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
-        let b = run_campaign(&app, &[TargetClass::RegularReg], &cfg);
+        let a = run_campaign_impl(&app, &[TargetClass::RegularReg], &cfg);
+        let b = run_campaign_impl(&app, &[TargetClass::RegularReg], &cfg);
         assert_eq!(a.classes[0].tally, b.classes[0].tally);
     }
 
@@ -496,8 +632,8 @@ mod tests {
             epoch_rounds: 8,
             ..Default::default()
         };
-        let a = run_campaign(&app, &classes, &cold);
-        let b = run_campaign(&app, &classes, &snap);
+        let a = run_campaign_impl(&app, &classes, &cold);
+        let b = run_campaign_impl(&app, &classes, &snap);
         for (ca, cb) in a.classes.iter().zip(&b.classes) {
             assert_eq!(
                 ca.trials, cb.trials,
@@ -523,8 +659,8 @@ mod tests {
             threads: 4,
             ..Default::default()
         };
-        let a = run_campaign(&app, &[TargetClass::RegularReg], &one);
-        let b = run_campaign(&app, &[TargetClass::RegularReg], &four);
+        let a = run_campaign_impl(&app, &[TargetClass::RegularReg], &one);
+        let b = run_campaign_impl(&app, &[TargetClass::RegularReg], &four);
         // Not just the same multiset: record k must sit in slot k.
         assert_eq!(a.classes[0].trials, b.classes[0].trials);
     }
@@ -538,12 +674,12 @@ mod tests {
             seed: 0xBEEF,
             ..Default::default()
         };
-        let result = run_campaign(&app, &classes, &cfg);
+        let result = run_campaign_impl(&app, &classes, &cfg);
         for (ci, class_result) in result.classes.iter().enumerate() {
             for k in [0u32, 3, 5] {
-                let replayed = replay_trial(&app, &classes, &cfg, ci, k);
+                let replayed = replay_trial_impl(&app, &classes, &cfg, ci, k);
                 assert_eq!(
-                    replayed, class_result.trials[k as usize],
+                    replayed.record, class_result.trials[k as usize],
                     "replay of class {ci} trial {k} diverged"
                 );
             }

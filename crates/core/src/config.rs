@@ -72,18 +72,10 @@ fn parse_u64(line: u32, v: &str) -> Result<u64, ConfigError> {
 }
 
 fn parse_region(line: u32, v: &str) -> Result<TargetClass, ConfigError> {
-    Ok(match v {
-        "regular-reg" | "reg" => TargetClass::RegularReg,
-        "fp-reg" | "fp" => TargetClass::FpReg,
-        "bss" => TargetClass::Bss,
-        "data" => TargetClass::Data,
-        "stack" => TargetClass::Stack,
-        "text" => TargetClass::Text,
-        "heap" => TargetClass::Heap,
-        "message" | "msg" => TargetClass::Message,
-        "all" => return err(line, "`all` must be the only region"),
-        other => return err(line, format!("unknown region `{other}`")),
-    })
+    if v == "all" {
+        return err(line, "`all` must be the only region");
+    }
+    v.parse().map_err(|msg: String| ConfigError { line, msg })
 }
 
 /// Parse an experiment specification. Blank lines and `#` comments are
@@ -107,12 +99,11 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, ConfigError> {
         let value = value.trim();
         match key {
             "app" => {
-                app = Some(match value {
-                    "wavetoy" => AppKind::Wavetoy,
-                    "moldyn" => AppKind::Moldyn,
-                    "climsim" => AppKind::Climsim,
-                    other => return err(line, format!("unknown app `{other}`")),
-                })
+                app = Some(
+                    value
+                        .parse::<AppKind>()
+                        .map_err(|msg| ConfigError { line, msg })?,
+                )
             }
             "regions" => {
                 if value == "all" {
@@ -132,6 +123,7 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, ConfigError> {
             "seed" => campaign.seed = parse_u64(line, value)?,
             "threads" => campaign.threads = parse_u64(line, value)? as usize,
             "epoch_rounds" => campaign.epoch_rounds = parse_u64(line, value)? as u32,
+            "obs_capacity" => campaign.obs_capacity = parse_u64(line, value)? as u32,
             "budget_factor" => {
                 campaign.budget_factor = value.parse().map_err(|_| ConfigError {
                     line,
@@ -175,6 +167,7 @@ mod tests {
              threads = 4\n\
              budget_factor = 2.5\n\
              epoch_rounds = 8\n\
+             obs_capacity = 512\n\
              tiny = true\n",
         )
         .unwrap();
@@ -192,6 +185,7 @@ mod tests {
         assert_eq!(spec.campaign.threads, 4);
         assert!((spec.campaign.budget_factor - 2.5).abs() < 1e-12);
         assert_eq!(spec.campaign.epoch_rounds, 8);
+        assert_eq!(spec.campaign.obs_capacity, 512);
         assert!(spec.tiny);
     }
 

@@ -43,7 +43,8 @@ impl FaultModel {
         FaultModel::StuckAt1,
     ];
 
-    /// Display label.
+    /// Display label — also the canonical parse name, see
+    /// [`std::str::FromStr`].
     pub fn label(self) -> &'static str {
         match self {
             FaultModel::Transient => "transient",
@@ -51,6 +52,27 @@ impl FaultModel {
             FaultModel::StuckAt0 => "stuck-at-0",
             FaultModel::StuckAt1 => "stuck-at-1",
         }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+
+    /// Accepts the labels plus the alias `held` for `held-flip`.
+    fn from_str(s: &str) -> Result<FaultModel, String> {
+        Ok(match s {
+            "transient" => FaultModel::Transient,
+            "held-flip" | "held" => FaultModel::Held,
+            "stuck-at-0" => FaultModel::StuckAt0,
+            "stuck-at-1" => FaultModel::StuckAt1,
+            other => return Err(format!("unknown fault model `{other}`")),
+        })
     }
 }
 

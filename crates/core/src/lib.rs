@@ -21,22 +21,23 @@
 //!
 //! ```
 //! use fl_apps::{App, AppKind, AppParams};
-//! use fl_inject::{run_campaign, CampaignConfig, TargetClass};
+//! use fl_inject::{CampaignBuilder, TargetClass};
 //!
 //! let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
-//! let result = run_campaign(
-//!     &app,
-//!     &[TargetClass::RegularReg],
-//!     &CampaignConfig { injections: 10, ..Default::default() },
-//! );
+//! let result = CampaignBuilder::new(&app)
+//!     .classes(&[TargetClass::RegularReg])
+//!     .injections(10)
+//!     .run();
 //! let tally = &result.classes[0].tally;
 //! assert_eq!(tally.executions, 10);
 //! println!("{}", fl_inject::render_table(&result, "demo"));
 //! ```
 
+pub mod builder;
 pub mod campaign;
 pub mod config;
 pub mod faultmodel;
+pub mod obs;
 pub mod outcome;
 pub mod progress;
 pub mod regpressure;
@@ -45,12 +46,16 @@ pub mod sampling;
 pub mod ser;
 pub mod target;
 
+pub use builder::CampaignBuilder;
+#[allow(deprecated)]
+pub use campaign::{replay_trial, run_campaign};
 pub use campaign::{
-    replay_trial, run_campaign, run_trial, run_trial_forked, trial_seed, CampaignConfig,
-    CampaignResult, ClassResult, Dictionaries, TrialRecord,
+    run_trial, run_trial_forked, run_trial_traced, trial_seed, CampaignConfig, CampaignResult,
+    ClassResult, Dictionaries, TrialRecord,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
+pub use obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
 pub use outcome::{classify, Manifestation, Tally};
 pub use progress::{ProgressMonitor, ProgressSample, ProgressVerdict};
 pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};

@@ -120,12 +120,12 @@ pub fn render_register_breakdown(c: &ClassResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::campaign::{run_campaign_impl, CampaignConfig};
     use fl_apps::{App, AppKind, AppParams};
 
     fn small_result() -> CampaignResult {
         let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
-        run_campaign(
+        run_campaign_impl(
             &app,
             &[TargetClass::RegularReg, TargetClass::Data],
             &CampaignConfig {

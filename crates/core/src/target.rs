@@ -81,6 +81,48 @@ impl TargetClass {
             _ => None,
         }
     }
+
+    /// Canonical machine-readable name — the single source of truth for
+    /// CLI arguments, config files and JSONL/TSV output. Round-trips
+    /// through [`std::str::FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetClass::RegularReg => "regular-reg",
+            TargetClass::FpReg => "fp-reg",
+            TargetClass::Bss => "bss",
+            TargetClass::Data => "data",
+            TargetClass::Stack => "stack",
+            TargetClass::Text => "text",
+            TargetClass::Heap => "heap",
+            TargetClass::Message => "message",
+        }
+    }
+}
+
+impl std::fmt::Display for TargetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TargetClass {
+    type Err = String;
+
+    /// Accepts the canonical names plus the short aliases `reg`, `fp`
+    /// and `msg`.
+    fn from_str(s: &str) -> Result<TargetClass, String> {
+        Ok(match s {
+            "regular-reg" | "reg" => TargetClass::RegularReg,
+            "fp-reg" | "fp" => TargetClass::FpReg,
+            "bss" => TargetClass::Bss,
+            "data" => TargetClass::Data,
+            "stack" => TargetClass::Stack,
+            "text" => TargetClass::Text,
+            "heap" => TargetClass::Heap,
+            "message" | "msg" => TargetClass::Message,
+            other => return Err(format!("unknown region `{other}`")),
+        })
+    }
 }
 
 /// The "regular" register targets: the sixteen 32-bit registers of §4.3

@@ -18,6 +18,7 @@ use crate::AddressSpaceMap;
 use fl_isa::insn::{AluOp, FpuBinOp, FpuUnOp};
 use fl_isa::{decode_at, Cond, Gpr, Insn, RegisterName, Syscall};
 use fl_isa::{EFLAGS_CF, EFLAGS_OF, EFLAGS_SF, EFLAGS_ZF};
+use fl_obs::{EventKind, EventLog, SigKind};
 
 use crate::f80::F80;
 
@@ -133,6 +134,9 @@ pub struct MachineConfig {
     pub budget: u64,
     /// Trace text/data accesses for working-set analysis (slower).
     pub trace: bool,
+    /// Per-rank structured-event ring capacity; 0 disables recording
+    /// (the default — recording then costs one branch per hook).
+    pub obs_capacity: u32,
 }
 
 impl Default for MachineConfig {
@@ -142,6 +146,7 @@ impl Default for MachineConfig {
             heap_limit: 64 << 20,
             budget: u64::MAX,
             trace: false,
+            obs_capacity: 0,
         }
     }
 }
@@ -196,6 +201,10 @@ pub struct Machine {
     pub in_mpi: bool,
     /// Execution statistics.
     pub counters: Counters,
+    /// Structured-event ring buffer ([`fl_obs`]). Part of the
+    /// architectural state: snapshots carry it, so a forked trial
+    /// replays the identical event stream a cold run produces.
+    pub obs: EventLog,
     budget: u64,
     text_end: u32,
     lib_text_end: u32,
@@ -281,6 +290,11 @@ impl Machine {
             outfile: Vec::new(),
             in_mpi: false,
             counters: Counters::default(),
+            obs: if cfg.obs_capacity > 0 {
+                EventLog::bounded(cfg.obs_capacity as usize)
+            } else {
+                EventLog::disabled()
+            },
             budget: cfg.budget,
             text_end: TEXT_BASE + text_len,
             lib_text_end: LIB_BASE + lib_text_len,
@@ -412,7 +426,7 @@ impl Machine {
                 // only needs repeating when access tracing wants to see it.
                 if self.mem.tracing_enabled() {
                     if let Err(f) = self.mem.fetch_words(eip, now) {
-                        return Some(Exit::Signal(Signal::Segv { addr: f.addr }));
+                        return Some(self.raise(Signal::Segv { addr: f.addr }));
                     }
                 }
                 (insn, len as usize)
@@ -420,7 +434,7 @@ impl Machine {
             None => {
                 let words = match self.mem.fetch_words(eip, now) {
                     Ok(w) => w,
-                    Err(f) => return Some(Exit::Signal(Signal::Segv { addr: f.addr })),
+                    Err(f) => return Some(self.raise(Signal::Segv { addr: f.addr })),
                 };
                 match decode_at(&words, 0) {
                     Ok((insn, len)) => {
@@ -431,7 +445,7 @@ impl Machine {
                         }
                         (insn, len)
                     }
-                    Err(_) => return Some(Exit::Signal(Signal::Ill { eip })),
+                    Err(_) => return Some(self.raise(Signal::Ill { eip })),
                 }
             }
         };
@@ -444,8 +458,22 @@ impl Machine {
         match self.exec(insn, eip, next) {
             Ok(None) => None,
             Ok(Some(exit)) => Some(exit),
-            Err(sig) => Some(Exit::Signal(sig)),
+            Err(sig) => Some(self.raise(sig)),
         }
+    }
+
+    /// Record and return a fatal signal.
+    fn raise(&mut self, sig: Signal) -> Exit {
+        let (signal, addr) = match sig {
+            Signal::Segv { addr } => (SigKind::Segv, addr),
+            Signal::Ill { eip } => (SigKind::Ill, eip),
+            Signal::Fpe { eip } => (SigKind::Fpe, eip),
+        };
+        self.obs.record(
+            self.counters.blocks,
+            EventKind::SignalRaised { signal, addr },
+        );
+        Exit::Signal(sig)
     }
 
     fn exec(&mut self, insn: Insn, eip: u32, next: u32) -> Result<Option<Exit>, Signal> {
@@ -804,13 +832,18 @@ impl Machine {
                     AllocTag::User
                 };
                 let ptr = self.heap.alloc(&mut self.mem, ecx, tag).unwrap_or(0);
+                self.obs
+                    .record(now, EventKind::MallocCall { size: ecx, ptr });
                 self.cpu.set(Gpr::Eax, ptr);
                 Err(SysOutcome::Continue)
             }
-            Syscall::Free => match self.heap.free(&mut self.mem, eax) {
-                Ok(()) => Err(SysOutcome::Continue),
-                Err(e) => Ok(Exit::HeapCorruption(e)),
-            },
+            Syscall::Free => {
+                self.obs.record(now, EventKind::FreeCall { ptr: eax });
+                match self.heap.free(&mut self.mem, eax) {
+                    Ok(()) => Err(SysOutcome::Continue),
+                    Err(e) => Ok(Exit::HeapCorruption(e)),
+                }
+            }
             Syscall::AbortMsg => {
                 let bytes = self
                     .mem
@@ -821,6 +854,7 @@ impl Machine {
             mpi if mpi.is_mpi() => {
                 self.counters.mpi_calls += 1;
                 self.in_mpi = true;
+                self.obs.record(now, EventKind::SyscallTrap { num });
                 Ok(Exit::Mpi(mpi))
             }
             _ => unreachable!("non-MPI syscalls all handled above"),
@@ -963,6 +997,7 @@ impl Machine {
             outfile: self.outfile.clone(),
             in_mpi: self.in_mpi,
             counters: self.counters,
+            obs: self.obs.clone(),
             budget: self.budget,
             text_end: self.text_end,
             lib_text_end: self.lib_text_end,
@@ -985,6 +1020,7 @@ pub struct MachineSnapshot {
     pub outfile: Vec<u8>,
     pub in_mpi: bool,
     pub counters: Counters,
+    pub obs: EventLog,
     pub budget: u64,
     pub text_end: u32,
     pub lib_text_end: u32,
@@ -1007,6 +1043,7 @@ impl MachineSnapshot {
             outfile: self.outfile.clone(),
             in_mpi: self.in_mpi,
             counters: self.counters,
+            obs: self.obs.clone(),
             budget: self.budget,
             text_end: self.text_end,
             lib_text_end: self.lib_text_end,

@@ -28,6 +28,7 @@ use crate::message::{CtlOp, Header, MsgKind, WireMsg, MAX_PAYLOAD};
 use crate::profile::TrafficProfile;
 use fl_isa::{Gpr, Syscall};
 use fl_machine::{Exit, Machine, MachineConfig, MachineSnapshot, ProgramImage};
+use fl_obs::EventKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -298,6 +299,11 @@ impl MpiWorld {
         self.ranks.len() as u16
     }
 
+    /// Copy out every rank's retained event stream (index = rank).
+    pub fn event_streams(&self) -> Vec<Vec<fl_obs::Event>> {
+        self.ranks.iter().map(|r| r.machine.obs.to_vec()).collect()
+    }
+
     /// Whether a register/memory injection is currently armed.
     pub fn injection_armed(&self) -> bool {
         self.injection.is_some()
@@ -347,6 +353,34 @@ impl MpiWorld {
         }
     }
 
+    // --- observability -----------------------------------------------------
+
+    /// Record an event on `rank`'s log, clocked by that rank's retired
+    /// block count. One branch when recording is disabled.
+    fn obs_record(&mut self, rank: usize, kind: EventKind) {
+        let m = &mut self.ranks[rank].machine;
+        m.obs.record(m.counters.blocks, kind);
+    }
+
+    /// Out-of-band marker: a world checkpoint was captured. Recorded on
+    /// every rank. Intended for the recovery paths; the campaign fork
+    /// fast path must NOT call this (forked and cold trials could no
+    /// longer emit bit-identical streams).
+    pub fn note_snapshot_captured(&mut self, round: u64) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::SnapshotCaptured { round });
+        }
+    }
+
+    /// Out-of-band marker: this world was restored from a checkpoint
+    /// taken at scheduler round `round`. See
+    /// [`MpiWorld::note_snapshot_captured`] for the determinism caveat.
+    pub fn note_snapshot_restored(&mut self, round: u64) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::SnapshotRestored { round });
+        }
+    }
+
     // --- channel ---------------------------------------------------------
 
     /// Ingest a message at `dst`'s channel level: apply any armed fault
@@ -360,17 +394,33 @@ impl MpiWorld {
             if f.rank == dst && f.at_recv_byte >= start && f.at_recv_byte < start + len {
                 let off = (f.at_recv_byte - start) as usize;
                 msg.flip_bit(off, f.bit);
+                let in_header = off < crate::message::HEADER_SIZE;
                 self.message_fault_hit = Some(MessageFaultHit {
                     offset_in_msg: off,
-                    in_header: off < crate::message::HEADER_SIZE,
+                    in_header,
                     msg_len: msg.len(),
                 });
                 self.message_fault = None;
+                self.obs_record(
+                    dst as usize,
+                    EventKind::MessageFaultHit {
+                        offset: off as u32,
+                        in_header,
+                    },
+                );
             }
         }
-        let r = &mut self.ranks[dst as usize];
         match msg.header() {
             Ok(h) => {
+                self.obs_record(
+                    dst as usize,
+                    EventKind::MsgDeliver {
+                        from: h.src,
+                        tag: h.tag,
+                        bytes: h.payload_len,
+                    },
+                );
+                let r = &mut self.ranks[dst as usize];
                 r.profile.record(&h);
                 r.arrived.push_back((h, msg));
             }
@@ -405,6 +455,14 @@ impl MpiWorld {
         }
         let seq = self.ranks[src as usize].send_seq;
         self.ranks[src as usize].send_seq += 1;
+        self.obs_record(
+            src as usize,
+            EventKind::MsgSend {
+                to: dst,
+                tag,
+                bytes: payload.len() as u32,
+            },
+        );
         let m = WireMsg::data(src, dst, tag, seq, payload);
         self.ingest(dst, m);
     }
@@ -415,6 +473,14 @@ impl MpiWorld {
         }
         let seq = self.ranks[src as usize].send_seq;
         self.ranks[src as usize].send_seq += 1;
+        self.obs_record(
+            src as usize,
+            EventKind::MsgSend {
+                to: dst,
+                tag,
+                bytes: 0,
+            },
+        );
         let m = WireMsg::control(op, src, dst, tag, seq);
         self.ingest(dst, m);
     }
@@ -424,7 +490,9 @@ impl MpiWorld {
     /// An MPI-level error on `rank` (bad argument, truncation). Raises the
     /// registered handler (→ MpiDetected) or aborts (→ Crash), per §6.2.
     fn mpi_error(&mut self, rank: u16, what: String) {
-        if self.ranks[rank as usize].errhandler {
+        let handled = self.ranks[rank as usize].errhandler;
+        self.obs_record(rank as usize, EventKind::MpiError { handled });
+        if handled {
             self.fatal(WorldExit::MpiDetected { rank, what });
         } else {
             self.fatal(WorldExit::Crashed {
@@ -732,6 +800,14 @@ impl MpiWorld {
                             );
                             return true;
                         }
+                        self.obs_record(
+                            rank,
+                            EventKind::MsgRecvMatch {
+                                from: h.src,
+                                tag: h.tag,
+                                bytes: h.payload_len,
+                            },
+                        );
                         let payload = msg.payload().to_vec();
                         self.ranks[rank].machine.mem.poke(buf, &payload);
                         self.complete(rank as u16, Some(h.payload_len));
@@ -921,6 +997,12 @@ impl MpiWorld {
         if fire {
             let mut inj = self.injection.take().unwrap();
             (inj.action)(&mut self.ranks[i].machine);
+            self.obs_record(
+                i,
+                EventKind::FaultFired {
+                    at_insns: self.ranks[i].machine.counters.insns,
+                },
+            );
             if let Some(p) = inj.period {
                 // Persistent fault: re-arm for the next assertion and
                 // keep the quantum clipped to it.

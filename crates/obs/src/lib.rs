@@ -1,0 +1,467 @@
+//! # fl-obs — structured event tracing for FaultLab
+//!
+//! The paper diagnoses *why* an injection manifested (crash vs hang vs
+//! detected) by post-hoc inspection of the run's end state. FINJ-style
+//! harnesses show that a fault-injection campaign becomes far more
+//! useful when every trial also emits a machine-readable event stream:
+//! what the victim was doing when the fault landed, how long the
+//! corruption stayed latent, and which subsystem finally noticed.
+//!
+//! This crate is the dependency-free substrate of that telemetry:
+//!
+//! * [`Event`] / [`EventKind`] — typed, allocation-free event records
+//!   (signal raised, syscall trapped, malloc/free, message
+//!   send/deliver/receive, MPI error path, injection landed, snapshot
+//!   captured/restored);
+//! * [`EventLog`] — a bounded per-rank ring buffer with a monotonic
+//!   sequence number and an event clock keyed to retired basic-block
+//!   counts (the same time axis as the paper's working-set plots);
+//! * JSONL serialization ([`EventLog::jsonl_line`]) and deterministic
+//!   cross-rank merging ([`merge_ranks`]).
+//!
+//! `fl-machine` and `fl-mpi` own the emission points; `fl-inject`
+//! aggregates streams into per-trial timelines and campaign metrics.
+//!
+//! **Determinism contract.** Recording must never influence execution,
+//! and a trial forked from a snapshot must replay the *identical*
+//! stream a cold run produces. Event payloads are therefore plain
+//! numbers (no wall-clock time, no host addresses), the clock is the
+//! emitting rank's retired-block count, and the ring buffer is part of
+//! machine snapshots. Snapshot capture/restore events are emitted only
+//! through explicit out-of-band hooks (the recovery experiment), never
+//! on the campaign fork fast path — otherwise forked and cold streams
+//! could not be bit-identical.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Signal classes a machine can raise (mirrors `fl-machine`'s signals
+/// without depending on it — fl-obs sits below the machine crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigKind {
+    /// Invalid memory reference.
+    Segv,
+    /// Illegal instruction.
+    Ill,
+    /// Arithmetic fault.
+    Fpe,
+}
+
+impl SigKind {
+    /// Stable lowercase name (JSONL `signal` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SigKind::Segv => "segv",
+            SigKind::Ill => "ill",
+            SigKind::Fpe => "fpe",
+        }
+    }
+}
+
+/// What happened. Every variant carries only `Copy` payloads so that
+/// recording never allocates on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A fatal signal was raised on the rank.
+    SignalRaised { signal: SigKind, addr: u32 },
+    /// The rank trapped into the kernel/MPI layer (`num` is the raw
+    /// syscall number, including MPI calls).
+    SyscallTrap { num: u16 },
+    /// `malloc` served (`ptr == 0` means the allocation failed).
+    MallocCall { size: u32, ptr: u32 },
+    /// `free` called.
+    FreeCall { ptr: u32 },
+    /// A wire message left this rank.
+    MsgSend { to: u16, tag: u32, bytes: u32 },
+    /// A wire message arrived at this rank's channel (pre-matching).
+    MsgDeliver { from: u16, tag: u32, bytes: u32 },
+    /// A blocked receive matched and consumed a data message.
+    MsgRecvMatch { from: u16, tag: u32, bytes: u32 },
+    /// The MPI error path ran on this rank; `handled` is true when the
+    /// user-registered error handler fired (→ MPI-Detected), false when
+    /// the job aborted instead.
+    MpiError { handled: bool },
+    /// An armed register/memory injection fired on this rank.
+    FaultFired { at_insns: u64 },
+    /// An armed channel-level message fault struck an incoming message.
+    MessageFaultHit { offset: u32, in_header: bool },
+    /// A world checkpoint was captured (out-of-band; recovery paths).
+    SnapshotCaptured { round: u64 },
+    /// The world was restored from a checkpoint (out-of-band).
+    SnapshotRestored { round: u64 },
+}
+
+impl EventKind {
+    /// All kind names, in a stable order (TSV histogram columns).
+    pub const NAMES: [&'static str; 12] = [
+        "signal",
+        "syscall",
+        "malloc",
+        "free",
+        "msg_send",
+        "msg_deliver",
+        "msg_recv",
+        "mpi_error",
+        "fault_fired",
+        "msg_fault_hit",
+        "snapshot_captured",
+        "snapshot_restored",
+    ];
+
+    /// Stable snake_case name (JSONL `kind` field, histogram key).
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self.index()]
+    }
+
+    /// Position in [`EventKind::NAMES`] (dense histogram index).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::SignalRaised { .. } => 0,
+            EventKind::SyscallTrap { .. } => 1,
+            EventKind::MallocCall { .. } => 2,
+            EventKind::FreeCall { .. } => 3,
+            EventKind::MsgSend { .. } => 4,
+            EventKind::MsgDeliver { .. } => 5,
+            EventKind::MsgRecvMatch { .. } => 6,
+            EventKind::MpiError { .. } => 7,
+            EventKind::FaultFired { .. } => 8,
+            EventKind::MessageFaultHit { .. } => 9,
+            EventKind::SnapshotCaptured { .. } => 10,
+            EventKind::SnapshotRestored { .. } => 11,
+        }
+    }
+
+    /// Human-readable one-line description (CLI timeline rendering).
+    pub fn describe(self) -> String {
+        match self {
+            EventKind::SignalRaised { signal, addr } => {
+                format!("signal {} at {addr:#010x}", signal.name())
+            }
+            EventKind::SyscallTrap { num } => format!("syscall {num}"),
+            EventKind::MallocCall { size, ptr } => format!("malloc({size}) -> {ptr:#x}"),
+            EventKind::FreeCall { ptr } => format!("free({ptr:#x})"),
+            EventKind::MsgSend { to, tag, bytes } => {
+                format!("send to rank {to}, tag {tag}, {bytes} B")
+            }
+            EventKind::MsgDeliver { from, tag, bytes } => {
+                format!("deliver from rank {from}, tag {tag}, {bytes} B")
+            }
+            EventKind::MsgRecvMatch { from, tag, bytes } => {
+                format!("recv matched from rank {from}, tag {tag}, {bytes} B")
+            }
+            EventKind::MpiError { handled } => {
+                if handled {
+                    "MPI error (handler fired)".into()
+                } else {
+                    "MPI error (job aborted)".into()
+                }
+            }
+            EventKind::FaultFired { at_insns } => format!("fault fired at insn {at_insns}"),
+            EventKind::MessageFaultHit { offset, in_header } => format!(
+                "message fault hit offset {offset} ({})",
+                if in_header { "header" } else { "payload" }
+            ),
+            EventKind::SnapshotCaptured { round } => format!("snapshot captured (round {round})"),
+            EventKind::SnapshotRestored { round } => format!("snapshot restored (round {round})"),
+        }
+    }
+
+    /// Append the kind-specific JSON fields (no leading comma handling;
+    /// every field is written as `,"k":v`).
+    fn write_json_fields(self, out: &mut String) {
+        match self {
+            EventKind::SignalRaised { signal, addr } => {
+                let _ = write!(out, ",\"signal\":\"{}\",\"addr\":{addr}", signal.name());
+            }
+            EventKind::SyscallTrap { num } => {
+                let _ = write!(out, ",\"num\":{num}");
+            }
+            EventKind::MallocCall { size, ptr } => {
+                let _ = write!(out, ",\"size\":{size},\"ptr\":{ptr}");
+            }
+            EventKind::FreeCall { ptr } => {
+                let _ = write!(out, ",\"ptr\":{ptr}");
+            }
+            EventKind::MsgSend { to, tag, bytes } => {
+                let _ = write!(out, ",\"to\":{to},\"tag\":{tag},\"bytes\":{bytes}");
+            }
+            EventKind::MsgDeliver { from, tag, bytes }
+            | EventKind::MsgRecvMatch { from, tag, bytes } => {
+                let _ = write!(out, ",\"from\":{from},\"tag\":{tag},\"bytes\":{bytes}");
+            }
+            EventKind::MpiError { handled } => {
+                let _ = write!(out, ",\"handled\":{handled}");
+            }
+            EventKind::FaultFired { at_insns } => {
+                let _ = write!(out, ",\"at_insns\":{at_insns}");
+            }
+            EventKind::MessageFaultHit { offset, in_header } => {
+                let _ = write!(out, ",\"offset\":{offset},\"in_header\":{in_header}");
+            }
+            EventKind::SnapshotCaptured { round } | EventKind::SnapshotRestored { round } => {
+                let _ = write!(out, ",\"round\":{round}");
+            }
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Per-rank monotonic sequence number (0-based count of events
+    /// recorded on the rank, including any that were later evicted).
+    pub seq: u64,
+    /// Event clock: the emitting rank's retired basic-block count at
+    /// emission — deterministic, snapshot-stable, and the same time
+    /// axis as the working-set analysis.
+    pub clock: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A bounded per-rank event ring buffer.
+///
+/// When disabled (capacity 0) recording is a single branch — campaigns
+/// that do not observe pay essentially nothing. When full, the oldest
+/// event is evicted and counted in [`EventLog::dropped`], so memory
+/// stays bounded no matter how long the run.
+///
+/// Equality is structural (retained events, sequence and drop
+/// counters), which is exactly the invariant the fork-vs-cold property
+/// tests need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    events: VecDeque<Event>,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A disabled log: records nothing, costs one branch per call.
+    pub fn disabled() -> EventLog {
+        EventLog {
+            events: VecDeque::new(),
+            capacity: 0,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A log retaining at most `capacity` events.
+    pub fn bounded(capacity: usize) -> EventLog {
+        EventLog {
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record one event at `clock` (a retired-block count).
+    #[inline]
+    pub fn record(&mut self, clock: u64, kind: EventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq: self.seq,
+            clock,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events recorded on this log (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copy the retained events out (timeline assembly).
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Serialize one retained event as a JSONL line (no trailing
+    /// newline). `rank` labels the stream the event came from.
+    pub fn jsonl_line(rank: u16, e: &Event) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"rank\":{rank},\"seq\":{},\"clock\":{},\"kind\":\"{}\"",
+            e.seq,
+            e.clock,
+            e.kind.name()
+        );
+        e.kind.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Merge per-rank event streams into one deterministic global timeline,
+/// ordered by (clock, rank, seq). The clock is rank-local block time,
+/// so the merge is a consistent interleaving rather than a true global
+/// order — but it is *the same* interleaving on every run, which is
+/// what replay and diffing need.
+pub fn merge_ranks(per_rank: &[Vec<Event>]) -> Vec<(u16, Event)> {
+    let mut all: Vec<(u16, Event)> = per_rank
+        .iter()
+        .enumerate()
+        .flat_map(|(r, evs)| evs.iter().map(move |&e| (r as u16, e)))
+        .collect();
+    all.sort_by_key(|&(r, e)| (e.clock, r, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.record(1, EventKind::SyscallTrap { num: 3 });
+        assert!(!log.is_enabled());
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::bounded(2);
+        for i in 0..5u16 {
+            log.record(i as u64, EventKind::SyscallTrap { num: i });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_shape() {
+        let mut log = EventLog::bounded(8);
+        log.record(
+            10,
+            EventKind::MsgSend {
+                to: 2,
+                tag: 7,
+                bytes: 48,
+            },
+        );
+        log.record(
+            11,
+            EventKind::SignalRaised {
+                signal: SigKind::Segv,
+                addr: 0x1234,
+            },
+        );
+        let lines: Vec<String> = log.events().map(|e| EventLog::jsonl_line(0, e)).collect();
+        assert_eq!(
+            lines[0],
+            "{\"rank\":0,\"seq\":0,\"clock\":10,\"kind\":\"msg_send\",\"to\":2,\"tag\":7,\"bytes\":48}"
+        );
+        assert!(lines[1].contains("\"signal\":\"segv\""));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('{').count(), 1);
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_clock_then_rank_then_seq() {
+        let mut a = EventLog::bounded(8);
+        let mut b = EventLog::bounded(8);
+        a.record(5, EventKind::SyscallTrap { num: 1 });
+        a.record(9, EventKind::SyscallTrap { num: 2 });
+        b.record(5, EventKind::SyscallTrap { num: 3 });
+        b.record(7, EventKind::SyscallTrap { num: 4 });
+        let merged = merge_ranks(&[a.to_vec(), b.to_vec()]);
+        let shape: Vec<(u16, u64)> = merged.iter().map(|&(r, e)| (r, e.clock)).collect();
+        assert_eq!(shape, vec![(0, 5), (1, 5), (1, 7), (0, 9)]);
+    }
+
+    #[test]
+    fn kind_names_are_dense_and_stable() {
+        let kinds = [
+            EventKind::SignalRaised {
+                signal: SigKind::Ill,
+                addr: 0,
+            },
+            EventKind::SyscallTrap { num: 0 },
+            EventKind::MallocCall { size: 0, ptr: 0 },
+            EventKind::FreeCall { ptr: 0 },
+            EventKind::MsgSend {
+                to: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::MsgDeliver {
+                from: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::MsgRecvMatch {
+                from: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::MpiError { handled: true },
+            EventKind::FaultFired { at_insns: 0 },
+            EventKind::MessageFaultHit {
+                offset: 0,
+                in_header: false,
+            },
+            EventKind::SnapshotCaptured { round: 0 },
+            EventKind::SnapshotRestored { round: 0 },
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(k.name(), EventKind::NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn logs_compare_structurally() {
+        let mut a = EventLog::bounded(4);
+        let mut b = EventLog::bounded(4);
+        for log in [&mut a, &mut b] {
+            log.record(1, EventKind::FreeCall { ptr: 8 });
+        }
+        assert_eq!(a, b);
+        b.record(2, EventKind::FreeCall { ptr: 8 });
+        assert_ne!(a, b);
+    }
+}

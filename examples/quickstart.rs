@@ -6,7 +6,7 @@
 //! ```
 
 use fl_apps::{App, AppKind, AppParams};
-use fl_inject::{render_table, run_campaign, CampaignConfig, TargetClass};
+use fl_inject::{render_table, CampaignBuilder, TargetClass};
 
 fn main() {
     // 1. Generate and compile the Cactus-Wavetoy analogue: a 2-D wave
@@ -30,15 +30,11 @@ fn main() {
 
     // 3. Inject single-bit faults: 60 into the integer registers, 60 into
     //    message payloads — the two most sensitive targets in the paper.
-    let result = run_campaign(
-        &app,
-        &[TargetClass::RegularReg, TargetClass::Message],
-        &CampaignConfig {
-            injections: 60,
-            seed: 2024,
-            ..Default::default()
-        },
-    );
+    let result = CampaignBuilder::new(&app)
+        .classes(&[TargetClass::RegularReg, TargetClass::Message])
+        .injections(60)
+        .seed(2024)
+        .run();
 
     // 4. Print the Table 2-style summary.
     println!();
