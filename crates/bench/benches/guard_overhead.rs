@@ -1,0 +1,73 @@
+//! Fault-free cost of guarded execution.
+//!
+//! The guard's price contract: on a run where nothing goes wrong, CRC
+//! stamping + verification, the sender retransmit queue, the watchdog
+//! samples and the periodic COW checkpoints must together cost at most
+//! 15 % of wall time versus the bare world. Measures a fault-free
+//! wavetoy run three ways — unguarded, guard with default checkpoint
+//! cadence, guard with a tight cadence — and writes the runs/sec plus
+//! relative overhead to `BENCH_guard.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::{App, AppKind, AppParams};
+use fl_guard::{run_guarded, GuardPolicy};
+use fl_mpi::{MpiWorld, WorldExit};
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+    let cfg = app.world_config(2_000_000_000);
+
+    c.bench_function("guard_overhead/off", |b| {
+        b.iter(|| {
+            let mut w = MpiWorld::new(&app.image, cfg);
+            assert_eq!(w.run(), WorldExit::Clean);
+        })
+    });
+    let off_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    let guarded_at = |name: &str, c: &mut Criterion, checkpoint_rounds: u32| -> f64 {
+        let policy = GuardPolicy {
+            checkpoint_rounds,
+            ..GuardPolicy::default()
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, report) = run_guarded(&app.image, cfg, &policy, |_| {});
+                assert_eq!(report.exit, WorldExit::Clean);
+                assert!(!report.intervened());
+            })
+        });
+        c.last_ns_per_iter.expect("bench must have run")
+    };
+
+    let on_ns = guarded_at("guard_overhead/on_ckpt64", c, 64);
+    let tight_ns = guarded_at("guard_overhead/on_ckpt16", c, 16);
+
+    let off_rps = 1e9 / off_ns;
+    let on_rps = 1e9 / on_ns;
+    let tight_rps = 1e9 / tight_ns;
+    let on_overhead = (on_ns - off_ns) / off_ns;
+    let tight_overhead = (tight_ns - off_ns) / off_ns;
+    println!(
+        "guard_overhead: off {off_rps:.2} runs/s, guard(ckpt=64) {on_rps:.2} runs/s \
+         ({:+.1}%), guard(ckpt=16) {tight_rps:.2} runs/s ({:+.1}%)",
+        on_overhead * 100.0,
+        tight_overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"guard_overhead\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"off_runs_per_sec\": {off_rps:.3},\n  \
+         \"guard_ckpt64_runs_per_sec\": {on_rps:.3},\n  \
+         \"guard_ckpt16_runs_per_sec\": {tight_rps:.3},\n  \
+         \"guard_ckpt64_overhead_frac\": {on_overhead:.4},\n  \
+         \"guard_ckpt16_overhead_frac\": {tight_overhead:.4},\n  \
+         \"threshold_frac\": 0.15\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_guard.json");
+    std::fs::write(path, json).expect("write BENCH_guard.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_guard_overhead);
+criterion_main!(benches);

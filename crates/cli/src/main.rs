@@ -7,6 +7,7 @@
 //! faultlab trial    <app> <region> --seed K     run one injection, verbosely
 //! faultlab events   <app> <region> --trial K    replay one trial's event timeline
 //! faultlab metrics  <app> [options]             campaign-level event metrics
+//! faultlab guard    <app> [options]             guard-on/off detection coverage
 //! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
 //! faultlab source   <app>                       print the generated FL source
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
@@ -17,8 +18,9 @@
 
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
-    estimation_error, render_register_breakdown, render_table, render_tsv, sample_size,
-    CampaignBuilder, CampaignConfig, TargetClass,
+    coverage_jsonl, estimation_error, render_coverage, render_coverage_tsv,
+    render_register_breakdown, render_table, render_tsv, sample_size, CampaignBuilder,
+    CampaignConfig, GuardPolicy, TargetClass,
 };
 use fl_snap::RecoveryConfig;
 
@@ -51,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "replay" => cmd_replay(rest),
         "events" => cmd_events(rest),
         "metrics" => cmd_metrics(rest),
+        "guard" => cmd_guard(rest),
         "recovery" => cmd_recovery(rest),
         "sample-size" => cmd_sample_size(rest),
         "source" => cmd_source(rest),
@@ -81,6 +84,9 @@ fn print_usage() {
          \x20                   [--seed S] [--ring N] [--jsonl] [--tiny]\n\
          \x20 faultlab metrics  <app> [--injections N] [--regions R1,R2|all]\n\
          \x20                   [--seed S] [--ring N] [--tsv] [--tiny]\n\
+         \x20 faultlab guard    <app> [--injections N] [--regions R1,R2|all]\n\
+         \x20                   [--seed S] [--threads T] [--checkpoint-rounds C]\n\
+         \x20                   [--restarts R] [--retransmits X] [--tiny] [--tsv] [--jsonl]\n\
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
@@ -456,6 +462,58 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         print!("{}", metrics.to_tsv(kind));
     } else {
         print!("{}", metrics.to_jsonl(kind));
+    }
+    Ok(())
+}
+
+fn cmd_guard(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let app_name = o.words.first().ok_or("guard needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let regions: Vec<TargetClass> = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
+    };
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(100),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        ..Default::default()
+    };
+    let policy = GuardPolicy {
+        checkpoint_rounds: o.get_num("checkpoint-rounds")?.unwrap_or(32),
+        max_restarts: o.get_num("restarts")?.unwrap_or(3),
+        max_retransmits: o.get_num("retransmits")?.unwrap_or(3),
+        ..GuardPolicy::default()
+    };
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!(
+        "guard: {} x {} paired trials over {} regions ...",
+        kind.name(),
+        cfg.injections,
+        regions.len()
+    );
+    let result = CampaignBuilder::new(&app)
+        .classes(&regions)
+        .with_config(cfg)
+        .guarded(policy)
+        .run_coverage();
+    if o.has("jsonl") {
+        print!("{}", coverage_jsonl(&result));
+    } else if o.has("tsv") {
+        print!("{}", render_coverage_tsv(&result));
+    } else {
+        let title = format!(
+            "Detection Coverage ({} / {} analogue), guard-off vs guard-on",
+            kind.name(),
+            kind.paper_name()
+        );
+        print!("{}", render_coverage(&result, &title));
     }
     Ok(())
 }

@@ -2,10 +2,9 @@
 //!
 //! [`CampaignBuilder`] is the single front door for configuring and
 //! running injection campaigns: application, region set, fault duration
-//! model, trial count, seeding, epoch forking and event recording all
-//! hang off one builder instead of a positional struct literal. The
-//! legacy free functions (`run_campaign`, `replay_trial`) remain as
-//! deprecated shims over the same backend for one release.
+//! model, trial count, seeding, epoch forking, event recording and
+//! guarded execution all hang off one builder instead of a positional
+//! struct literal.
 //!
 //! ```
 //! use fl_apps::{App, AppKind, AppParams};
@@ -25,10 +24,12 @@ use crate::campaign::{
     TrialRecord,
 };
 use crate::faultmodel::{model_classes, run_model_trial, FaultModel};
+use crate::guarded::{run_coverage_impl, CoverageResult};
 use crate::obs::TrialTrace;
 use crate::outcome::Tally;
 use crate::target::TargetClass;
 use fl_apps::App;
+use fl_guard::GuardPolicy;
 
 /// Fluent configuration for one injection campaign.
 ///
@@ -41,6 +42,7 @@ pub struct CampaignBuilder<'a> {
     classes: Vec<TargetClass>,
     cfg: CampaignConfig,
     model: FaultModel,
+    guard: Option<GuardPolicy>,
 }
 
 impl<'a> CampaignBuilder<'a> {
@@ -51,6 +53,7 @@ impl<'a> CampaignBuilder<'a> {
             classes: TargetClass::ALL.to_vec(),
             cfg: CampaignConfig::default(),
             model: FaultModel::Transient,
+            guard: None,
         }
     }
 
@@ -106,6 +109,13 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Set the guard policy for [`CampaignBuilder::run_coverage`]
+    /// (defaults to [`GuardPolicy::default`] if never called).
+    pub fn guarded(mut self, policy: GuardPolicy) -> Self {
+        self.guard = Some(policy);
+        self
+    }
+
     /// Adopt a whole [`CampaignConfig`] (e.g. from a parsed experiment
     /// spec), replacing every parameter set so far except the class
     /// list and fault model.
@@ -135,6 +145,19 @@ impl<'a> CampaignBuilder<'a> {
             return run_campaign_impl(self.app, &self.classes, &self.cfg);
         }
         self.run_model_campaign()
+    }
+
+    /// Run a detection-coverage campaign: every trial's fault executed
+    /// both unguarded and under the configured [`GuardPolicy`] (see
+    /// [`CampaignBuilder::guarded`]), with paired outcomes and the
+    /// baseline→guarded transition matrix. Transient model only.
+    pub fn run_coverage(self) -> CoverageResult {
+        assert!(
+            self.model == FaultModel::Transient,
+            "coverage campaigns support the transient model only"
+        );
+        let policy = self.guard.unwrap_or_default();
+        run_coverage_impl(self.app, &self.classes, &self.cfg, &policy)
     }
 
     /// Replay one recorded trial from its campaign coordinates (class
@@ -214,15 +237,14 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_shim() {
+    fn builder_matches_backend() {
         let app = tiny(AppKind::Wavetoy);
         let via_builder = CampaignBuilder::new(&app)
             .classes(&[TargetClass::RegularReg])
             .injections(8)
             .seed(11)
             .run();
-        #[allow(deprecated)]
-        let via_shim = crate::campaign::run_campaign(
+        let via_backend = crate::campaign::run_campaign_impl(
             &app,
             &[TargetClass::RegularReg],
             &CampaignConfig {
@@ -232,8 +254,8 @@ mod tests {
             },
         );
         assert_eq!(
-            via_builder.classes[0].trials, via_shim.classes[0].trials,
-            "builder and shim must drive the identical campaign"
+            via_builder.classes[0].trials, via_backend.classes[0].trials,
+            "builder must drive the identical campaign as the backend"
         );
     }
 

@@ -110,7 +110,7 @@ impl CampaignResult {
 
 /// The hang bound derived from a golden run (`budget_factor` × the
 /// longest rank, plus slack for fault-lengthened paths).
-fn trial_budget(golden: &Golden, cfg: &CampaignConfig) -> u64 {
+pub(crate) fn trial_budget(golden: &Golden, cfg: &CampaignConfig) -> u64 {
     (*golden.insns.iter().max().unwrap() as f64 * cfg.budget_factor) as u64 + 2_000_000
 }
 
@@ -127,7 +127,7 @@ pub fn trial_seed(campaign_seed: u64, ci: usize, k: u32) -> u64 {
 /// runs under: the app's own configuration with the campaign's event
 /// recording threaded through. Forked and cold trials must use the same
 /// recording capacity or their streams could not be bit-identical.
-fn trial_world_config(app: &App, budget: u64, obs_capacity: u32) -> WorldConfig {
+pub(crate) fn trial_world_config(app: &App, budget: u64, obs_capacity: u32) -> WorldConfig {
     let mut wcfg = app.world_config(budget);
     wcfg.machine.obs_capacity = obs_capacity;
     wcfg
@@ -135,7 +135,7 @@ fn trial_world_config(app: &App, budget: u64, obs_capacity: u32) -> WorldConfig 
 
 /// Build the epoch snapshot cache for the campaign fast path, or `None`
 /// when the configuration or the application rules forking out.
-fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCache> {
+pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCache> {
     if cfg.epoch_rounds == 0 {
         return None;
     }
@@ -147,15 +147,6 @@ fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCac
         return None;
     }
     Some(EpochCache::build(&app.image, wcfg, cfg.epoch_rounds))
-}
-
-/// Run a campaign over the given classes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use fl_inject::CampaignBuilder::new(app).classes(..).run() instead"
-)]
-pub fn run_campaign(app: &App, classes: &[TargetClass], cfg: &CampaignConfig) -> CampaignResult {
-    run_campaign_impl(app, classes, cfg)
 }
 
 /// One finished trial's slot in the campaign: its record, plus its
@@ -250,24 +241,6 @@ pub(crate) fn run_campaign_impl(
     }
 }
 
-/// Re-execute one recorded trial from its campaign coordinates: class
-/// position `ci` in `classes` and trial index `k`. Deterministic trial
-/// seeding makes the replayed record — fault point, detail string and
-/// manifestation — bit-identical to the original campaign's.
-#[deprecated(
-    since = "0.2.0",
-    note = "use fl_inject::CampaignBuilder::new(app).classes(..).replay(ci, k) instead"
-)]
-pub fn replay_trial(
-    app: &App,
-    classes: &[TargetClass],
-    cfg: &CampaignConfig,
-    ci: usize,
-    k: u32,
-) -> TrialRecord {
-    replay_trial_impl(app, classes, cfg, ci, k).record
-}
-
 /// Trial replay from campaign coordinates (the [`crate::CampaignBuilder`]
 /// backend). Returns the full trace; event streams are empty unless
 /// `cfg.obs_capacity > 0`.
@@ -345,83 +318,48 @@ pub fn run_trial(
 type FaultAction = Box<dyn FnMut(&mut fl_machine::Machine) + Send>;
 
 /// A fully drawn fault, ready to arm on any world.
-enum Fault {
+pub(crate) enum Fault {
     Message(MessageFault),
     Machine { at_insns: u64, action: FaultAction },
 }
 
-/// Execute one injection experiment, forking from the latest eligible
-/// epoch checkpoint when a cache is supplied.
-///
-/// Cold and forked trials consume the identical random sequence — the
-/// complete fault specification is drawn before any world exists — so a
-/// campaign produces the same records either way; forking only skips the
-/// redundant fault-free prefix.
-pub fn run_trial_forked(
-    app: &App,
-    golden: &Golden,
-    dicts: &Dictionaries,
-    class: TargetClass,
-    trial_seed: u64,
-    budget: u64,
-    epochs: Option<&EpochCache>,
-) -> TrialRecord {
-    run_trial_inner(app, golden, dicts, class, trial_seed, budget, epochs, 0).record
+/// A complete fault specification drawn from a trial seed: the victim
+/// rank, the armable fault, and its human-readable record detail.
+pub(crate) struct DrawnFault {
+    pub rank: u16,
+    pub fault: Fault,
+    pub detail: String,
 }
 
-/// Execute one injection experiment with event recording on, returning
-/// the full [`TrialTrace`]. When forking from an epoch cache, that
-/// cache must have been built with the same `obs_capacity` (the golden
-/// prefix's events are part of the snapshot).
-#[allow(clippy::too_many_arguments)]
-pub fn run_trial_traced(
-    app: &App,
-    golden: &Golden,
-    dicts: &Dictionaries,
-    class: TargetClass,
-    trial_seed: u64,
-    budget: u64,
-    epochs: Option<&EpochCache>,
-    obs_capacity: u32,
-) -> TrialTrace {
-    let run = run_trial_inner(
-        app,
-        golden,
-        dicts,
-        class,
-        trial_seed,
-        budget,
-        epochs,
-        obs_capacity,
-    );
-    TrialTrace {
-        record: run.record,
-        rank: run.rank,
-        streams: run.world.event_streams(),
+impl DrawnFault {
+    /// Arm the fault on `world`, consuming it (a machine fault's action
+    /// is a boxed closure and cannot be cloned).
+    pub fn arm(self, world: &mut MpiWorld) {
+        match self.fault {
+            Fault::Message(f) => world.set_message_fault(f),
+            Fault::Machine { at_insns, action } => world.set_injection(PendingInjection {
+                rank: self.rank,
+                at_insns,
+                action,
+                period: None,
+            }),
+        }
     }
 }
 
-/// A finished trial before teardown: the record, the victim rank, and
-/// the ended world (still holding every rank's event log).
-struct TrialRun {
-    record: TrialRecord,
-    rank: u16,
-    world: MpiWorld,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_trial_inner(
-    app: &App,
+/// Draw a trial's complete fault specification from its seed — §4.3's
+/// three-axis sampling. Baseline and guarded runs of the same trial seed
+/// draw the *identical* fault (the RNG is consumed before any world
+/// exists), which is what makes per-trial guard-off/guard-on coverage
+/// comparison meaningful.
+pub(crate) fn draw_fault(
     golden: &Golden,
     dicts: &Dictionaries,
     class: TargetClass,
     trial_seed: u64,
-    budget: u64,
-    epochs: Option<&EpochCache>,
-    obs_capacity: u32,
-) -> TrialRun {
+    nranks: u16,
+) -> DrawnFault {
     let mut rng = StdRng::seed_from_u64(trial_seed);
-    let nranks = app.params.nranks;
     let rank = rng.gen_range(0..nranks);
 
     let (fault, detail) = match class {
@@ -501,11 +439,90 @@ fn run_trial_inner(
             )
         }
     };
+    DrawnFault {
+        rank,
+        fault,
+        detail,
+    }
+}
+
+/// Execute one injection experiment, forking from the latest eligible
+/// epoch checkpoint when a cache is supplied.
+///
+/// Cold and forked trials consume the identical random sequence — the
+/// complete fault specification is drawn before any world exists — so a
+/// campaign produces the same records either way; forking only skips the
+/// redundant fault-free prefix.
+pub fn run_trial_forked(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+) -> TrialRecord {
+    run_trial_inner(app, golden, dicts, class, trial_seed, budget, epochs, 0).record
+}
+
+/// Execute one injection experiment with event recording on, returning
+/// the full [`TrialTrace`]. When forking from an epoch cache, that
+/// cache must have been built with the same `obs_capacity` (the golden
+/// prefix's events are part of the snapshot).
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_traced(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+    obs_capacity: u32,
+) -> TrialTrace {
+    let run = run_trial_inner(
+        app,
+        golden,
+        dicts,
+        class,
+        trial_seed,
+        budget,
+        epochs,
+        obs_capacity,
+    );
+    TrialTrace {
+        record: run.record,
+        rank: run.rank,
+        streams: run.world.event_streams(),
+    }
+}
+
+/// A finished trial before teardown: the record, the victim rank, and
+/// the ended world (still holding every rank's event log).
+struct TrialRun {
+    record: TrialRecord,
+    rank: u16,
+    world: MpiWorld,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trial_inner(
+    app: &App,
+    golden: &Golden,
+    dicts: &Dictionaries,
+    class: TargetClass,
+    trial_seed: u64,
+    budget: u64,
+    epochs: Option<&EpochCache>,
+    obs_capacity: u32,
+) -> TrialRun {
+    let drawn = draw_fault(golden, dicts, class, trial_seed, app.params.nranks);
+    let (rank, detail) = (drawn.rank, drawn.detail.clone());
 
     // Pick the latest checkpoint the injection point permits: the target
     // rank must not yet have passed the fire point (strictly, for
     // instruction-timed faults) or ingested the struck byte.
-    let epoch = epochs.and_then(|e| match &fault {
+    let epoch = epochs.and_then(|e| match &drawn.fault {
         Fault::Message(f) => e.best_for_recv(rank, f.at_recv_byte),
         Fault::Machine { at_insns, .. } => e.best_for_insns(rank, *at_insns),
     });
@@ -517,15 +534,7 @@ fn run_trial_inner(
             MpiWorld::new(&app.image, cfg)
         }
     };
-    match fault {
-        Fault::Message(f) => world.set_message_fault(f),
-        Fault::Machine { at_insns, action } => world.set_injection(PendingInjection {
-            rank,
-            at_insns,
-            action,
-            period: None,
-        }),
-    }
+    drawn.arm(&mut world);
 
     let exit = world.run();
     let output = app.comparable_output(&world);

@@ -16,6 +16,10 @@
 //!
 //! then observe the run and classify it per §5.1 as Correct, Crash,
 //! Hang, Incorrect output, Application-Detected, or MPI-Detected.
+//! Guarded (fl-guard) campaigns extend the taxonomy with Guard-Detected
+//! and Recovered, and [`CampaignBuilder::run_coverage`] runs every
+//! trial's fault both bare and guarded to measure detection coverage
+//! (see [`guarded`]).
 //!
 //! Quick start:
 //!
@@ -37,6 +41,7 @@ pub mod builder;
 pub mod campaign;
 pub mod config;
 pub mod faultmodel;
+pub mod guarded;
 pub mod obs;
 pub mod outcome;
 pub mod progress;
@@ -47,14 +52,17 @@ pub mod ser;
 pub mod target;
 
 pub use builder::CampaignBuilder;
-#[allow(deprecated)]
-pub use campaign::{replay_trial, run_campaign};
 pub use campaign::{
     run_trial, run_trial_forked, run_trial_traced, trial_seed, CampaignConfig, CampaignResult,
     ClassResult, Dictionaries, TrialRecord,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
+pub use fl_guard::{run_guarded, GuardPolicy, GuardReport};
+pub use guarded::{
+    coverage_jsonl, render_coverage, render_coverage_tsv, run_guarded_trial, CoverageClassResult,
+    CoverageResult, GuardedTrialRecord, TransitionMatrix,
+};
 pub use obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
 pub use outcome::{classify, Manifestation, Tally};
 pub use progress::{ProgressMonitor, ProgressSample, ProgressVerdict};

@@ -95,11 +95,15 @@ pub struct TrialMetrics {
     pub kind_counts: [u64; KIND_COUNT],
 }
 
-/// Whether an event is a symptom: the moment some layer *noticed*.
+/// Whether an event is a symptom: the moment some layer *noticed* —
+/// including the guard's channel CRC and progress watchdog.
 fn is_symptom(kind: EventKind) -> bool {
     matches!(
         kind,
-        EventKind::SignalRaised { .. } | EventKind::MpiError { .. }
+        EventKind::SignalRaised { .. }
+            | EventKind::MpiError { .. }
+            | EventKind::CrcReject { .. }
+            | EventKind::WatchdogTrip { .. }
     )
 }
 

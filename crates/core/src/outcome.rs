@@ -5,6 +5,13 @@
 //! `AppDetected`, `MpiDetected`, or `Incorrect` (clean completion with
 //! wrong output — "most dangerous of all possible errors because there is
 //! little sign during the execution that can alert the user").
+//!
+//! fl-guard extends the taxonomy with two guarded-execution classes:
+//! `DetectedByGuard` (the guard noticed the fault but could not finish
+//! the run within its restart budget) and `Recovered` (the guard
+//! intervened — CRC retransmit, watchdog rollback — and the run still
+//! completed with correct output). Unguarded campaigns never produce
+//! either, so pre-guard reports are unchanged.
 
 use fl_mpi::WorldExit;
 use std::fmt;
@@ -28,17 +35,27 @@ pub enum Manifestation {
     AppDetected,
     /// The user-registered MPI error handler fired.
     MpiDetected,
+    /// fl-guard detected the fault (CRC exhaustion, watchdog trip, or
+    /// repeated failure) but the restart budget ran out before a clean
+    /// finish.
+    DetectedByGuard,
+    /// fl-guard detected the fault, intervened, and the run completed
+    /// with output matching the fault-free reference.
+    Recovered,
 }
 
 impl Manifestation {
-    /// All classes in the order the paper's tables list them.
-    pub const ALL: [Manifestation; 6] = [
+    /// All classes: the paper's six in table order, then the two
+    /// guarded-execution classes fl-guard added.
+    pub const ALL: [Manifestation; 8] = [
         Manifestation::Correct,
         Manifestation::Crash,
         Manifestation::Hang,
         Manifestation::Incorrect,
         Manifestation::AppDetected,
         Manifestation::MpiDetected,
+        Manifestation::DetectedByGuard,
+        Manifestation::Recovered,
     ];
 
     /// True if the fault manifested at all (everything except `Correct`).
@@ -58,6 +75,8 @@ impl fmt::Display for Manifestation {
             Manifestation::Incorrect => "Incorrect",
             Manifestation::AppDetected => "App Detected",
             Manifestation::MpiDetected => "MPI Detected",
+            Manifestation::DetectedByGuard => "Guard Detected",
+            Manifestation::Recovered => "Recovered",
         };
         f.write_str(s)
     }
@@ -78,6 +97,7 @@ pub fn classify(exit: &WorldExit, output: &[u8], golden_output: &[u8]) -> Manife
         WorldExit::Hung { .. } => Manifestation::Hang,
         WorldExit::AppAborted { .. } => Manifestation::AppDetected,
         WorldExit::MpiDetected { .. } => Manifestation::MpiDetected,
+        WorldExit::GuardDetected { .. } => Manifestation::DetectedByGuard,
     }
 }
 
@@ -87,7 +107,7 @@ pub struct Tally {
     /// Injections performed.
     pub executions: u32,
     /// Count per manifestation class, indexed as [`Manifestation::ALL`].
-    counts: [u32; 6],
+    counts: [u32; 8],
 }
 
 impl Tally {
@@ -129,7 +149,7 @@ impl Tally {
     /// Merge another tally into this one.
     pub fn merge(&mut self, other: &Tally) {
         self.executions += other.executions;
-        for i in 0..6 {
+        for i in 0..self.counts.len() {
             self.counts[i] += other.counts[i];
         }
     }
@@ -186,6 +206,17 @@ mod tests {
                 &g
             ),
             Manifestation::MpiDetected
+        );
+        assert_eq!(
+            classify(
+                &WorldExit::GuardDetected {
+                    rank: 0,
+                    what: "x".into()
+                },
+                b"",
+                &g
+            ),
+            Manifestation::DetectedByGuard
         );
     }
 

@@ -1,0 +1,172 @@
+//! The progress watchdog: no-progress detection on the retired-block
+//! clock (§7's progress metrics, promoted from offline analysis to a
+//! live tripwire).
+//!
+//! Instructions and blocks keep retiring in a spin-loop hang, so raw
+//! activity is not progress. The watchdog counts *useful* work — FLOPs
+//! and MPI calls, the two §7 metrics every lab application exercises —
+//! summed across ranks, and trips after a configured number of
+//! consecutive sampling windows in which neither advanced anywhere in
+//! the world. Global quiescence (deadlock) is caught by the scheduler
+//! itself; the watchdog's value is the spinning rank that would
+//! otherwise burn its whole instruction budget.
+
+use fl_mpi::MpiWorld;
+
+/// A watchdog detection: which rank to blame and how long the stall ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogTrip {
+    /// The still-running rank with the *least* block-clock advance over
+    /// the stalled interval — in a spin hang every other rank is blocked
+    /// on the spinner, so the quietest live rank is the best suspect.
+    pub victim: u16,
+    /// Consecutive no-progress windows observed.
+    pub windows: u32,
+    /// Cluster-wide retired blocks at trip time (event-clock locating).
+    pub blocks: u64,
+}
+
+/// Per-rank counters the watchdog tracks between windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RankSample {
+    flops: u64,
+    mpi_calls: u64,
+    blocks: u64,
+}
+
+/// Sliding no-progress detector over whole-world samples.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// Trip after this many consecutive windows without useful progress.
+    pub stall_windows: u32,
+    last: Option<Vec<RankSample>>,
+    baseline: Option<Vec<RankSample>>,
+    stalled: u32,
+}
+
+impl Watchdog {
+    /// A watchdog that trips after `stall_windows` consecutive windows
+    /// with no FLOP or MPI progress anywhere in the world.
+    pub fn new(stall_windows: u32) -> Watchdog {
+        Watchdog {
+            stall_windows: stall_windows.max(1),
+            last: None,
+            baseline: None,
+            stalled: 0,
+        }
+    }
+
+    /// Forget all history (called after a rollback: the restored world's
+    /// counters jumped backwards and must re-baseline).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.baseline = None;
+        self.stalled = 0;
+    }
+
+    fn sample(world: &MpiWorld) -> Vec<RankSample> {
+        (0..world.nranks())
+            .map(|r| {
+                let c = &world.machine(r).counters;
+                RankSample {
+                    flops: c.flops,
+                    mpi_calls: c.mpi_calls,
+                    blocks: c.blocks,
+                }
+            })
+            .collect()
+    }
+
+    /// Feed one sampling window. Returns a trip when the stall threshold
+    /// is reached (the caller decides what to do about it; the counter
+    /// keeps running, so a caller that ignores trips sees one per window
+    /// from then on).
+    pub fn observe(&mut self, world: &MpiWorld) -> Option<WatchdogTrip> {
+        let now = Self::sample(world);
+        let verdict = match &self.last {
+            None => {
+                self.baseline = Some(now.clone());
+                None
+            }
+            Some(prev) => {
+                let useful = now
+                    .iter()
+                    .zip(prev)
+                    .any(|(n, p)| n.flops > p.flops || n.mpi_calls > p.mpi_calls);
+                if useful {
+                    self.stalled = 0;
+                    self.baseline = Some(now.clone());
+                    None
+                } else {
+                    self.stalled += 1;
+                    (self.stalled >= self.stall_windows).then(|| {
+                        let base = self.baseline.as_deref().unwrap_or(prev);
+                        let victim = (0..world.nranks())
+                            .filter(|&r| !world.rank_exited(r))
+                            .min_by_key(|&r| {
+                                let i = r as usize;
+                                now[i].blocks - base[i].blocks.min(now[i].blocks)
+                            })
+                            .unwrap_or(0);
+                        WatchdogTrip {
+                            victim,
+                            windows: self.stalled,
+                            blocks: now.iter().map(|s| s.blocks).sum(),
+                        }
+                    })
+                }
+            }
+        };
+        self.last = Some(now);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_apps::{App, AppKind, AppParams};
+    use fl_mpi::MpiWorld;
+
+    #[test]
+    fn fault_free_run_never_trips() {
+        // The false-positive contract: a healthy run of each application
+        // must finish without a single trip at the default threshold.
+        for kind in [AppKind::Wavetoy, AppKind::Moldyn, AppKind::Climsim] {
+            let app = App::build(kind, AppParams::tiny(kind));
+            let mut world = MpiWorld::new(&app.image, app.world_config(2_000_000_000));
+            let mut dog = Watchdog::new(GuardPolicy::default().stall_windows);
+            let window = GuardPolicy::default().window_rounds as u64;
+            let mut round = 0u64;
+            loop {
+                if world.run_round().is_some() {
+                    break;
+                }
+                round += 1;
+                if round.is_multiple_of(window) {
+                    assert!(
+                        dog.observe(&world).is_none(),
+                        "{kind:?}: watchdog tripped on a fault-free run at round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    use crate::GuardPolicy;
+
+    #[test]
+    fn frozen_world_trips_after_threshold() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let world = MpiWorld::new(&app.image, app.world_config(1_000_000));
+        let mut dog = Watchdog::new(3);
+        // Never stepping the world: counters frozen, no useful progress.
+        assert!(dog.observe(&world).is_none()); // baseline
+        assert!(dog.observe(&world).is_none()); // stall 1
+        assert!(dog.observe(&world).is_none()); // stall 2
+        let trip = dog.observe(&world).expect("stall 3 must trip");
+        assert_eq!(trip.windows, 3);
+        dog.reset();
+        assert!(dog.observe(&world).is_none(), "reset must re-baseline");
+    }
+}

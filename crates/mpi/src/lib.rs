@@ -23,9 +23,12 @@ pub mod message;
 pub mod profile;
 pub mod world;
 
-pub use message::{CtlOp, Header, HeaderError, MsgKind, WireMsg, HEADER_SIZE, MAX_PAYLOAD};
+pub use message::{
+    crc32, CtlOp, Header, HeaderError, MsgKind, WireMsg, CRC_COVERED_HEADER, CRC_OFFSET,
+    HEADER_SIZE, MAX_PAYLOAD,
+};
 pub use profile::TrafficProfile;
 pub use world::{
-    MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig, WorldExit,
-    WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
+    ChannelGuard, MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig,
+    WorldExit, WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
 };

@@ -18,6 +18,43 @@ pub const HEADER_SIZE: usize = 48;
 /// Largest payload the ADI accepts; a corrupted length field beyond this
 /// is detected as a malformed message.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Byte offset of the CRC32 word inside the header (formerly padding).
+pub const CRC_OFFSET: usize = 24;
+/// Bytes of the header covered by the CRC (the live fields before the
+/// CRC word itself; the payload is also covered).
+pub const CRC_COVERED_HEADER: usize = 24;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB8_8320) over `parts`
+/// concatenated. Hand-rolled — the lab has no external crates — with a
+/// compile-time table so per-message cost is one lookup per byte.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
 
 /// Message kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +154,9 @@ impl Header {
         b[20..24].copy_from_slice(&self.payload_len.to_le_bytes());
         // Bytes 24..48: reserved/envelope padding (as real headers carry
         // context ids, request pointers, etc.). A deterministic pattern so
-        // flips there are representative but inert.
+        // flips there are representative but inert. `WireMsg` constructors
+        // overwrite 24..28 with the message CRC; parse never reads any of
+        // this region, so guard-off behaviour is unchanged.
         for (i, slot) in b[24..].iter_mut().enumerate() {
             *slot = (0xA0 + i as u8) ^ (self.seq as u8);
         }
@@ -192,7 +231,9 @@ impl WireMsg {
         };
         let mut raw = h.to_bytes().to_vec();
         raw.extend_from_slice(payload);
-        WireMsg { raw }
+        let mut m = WireMsg { raw };
+        m.seal();
+        m
     }
 
     /// Build a control message.
@@ -206,9 +247,41 @@ impl WireMsg {
             seq,
             payload_len: 0,
         };
-        WireMsg {
+        let mut m = WireMsg {
             raw: h.to_bytes().to_vec(),
+        };
+        m.seal();
+        m
+    }
+
+    /// Stamp the CRC word (bytes 24..28) with the CRC over the live
+    /// header fields and the payload. The remaining padding (28..48) is
+    /// deliberately *not* covered: flips there were inert pre-guard and
+    /// must stay inert under the guard too.
+    fn seal(&mut self) {
+        let crc = self.computed_crc();
+        self.raw[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// The CRC carried on the wire (bytes 24..28).
+    pub fn stored_crc(&self) -> u32 {
+        if self.raw.len() < CRC_OFFSET + 4 {
+            return 0;
         }
+        u32::from_le_bytes(self.raw[CRC_OFFSET..CRC_OFFSET + 4].try_into().unwrap())
+    }
+
+    /// The CRC this wire image *should* carry: header fields 0..24 plus
+    /// the payload.
+    pub fn computed_crc(&self) -> u32 {
+        let hdr = &self.raw[..CRC_COVERED_HEADER.min(self.raw.len())];
+        let payload = &self.raw[HEADER_SIZE.min(self.raw.len())..];
+        crc32(&[hdr, payload])
+    }
+
+    /// Receiver-side integrity check (the fl-guard channel detector).
+    pub fn crc_ok(&self) -> bool {
+        self.raw.len() >= HEADER_SIZE && self.stored_crc() == self.computed_crc()
     }
 
     /// Total bytes on the wire.
@@ -319,5 +392,46 @@ mod tests {
             Header::parse(&[0u8; 10]),
             Err(HeaderError::Truncated)
         ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn fresh_messages_carry_valid_crc() {
+        assert!(WireMsg::data(3, 7, 99, 12, &[1, 2, 3, 4]).crc_ok());
+        assert!(WireMsg::control(CtlOp::Cts, 0, 1, 2, 5).crc_ok());
+    }
+
+    #[test]
+    fn crc_catches_covered_flips() {
+        // Every bit of the live header fields and the payload is covered.
+        let base = WireMsg::data(2, 3, 4, 5, &[8, 8]);
+        for offset in (0..CRC_COVERED_HEADER).chain(HEADER_SIZE..base.len()) {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m.flip_bit(offset, bit);
+                assert!(!m.crc_ok(), "flip at {offset}.{bit} escaped the CRC");
+            }
+        }
+        // A flip in the CRC word itself is also caught.
+        let mut m = base.clone();
+        m.flip_bit(CRC_OFFSET + 1, 0);
+        assert!(!m.crc_ok());
+    }
+
+    #[test]
+    fn crc_ignores_residual_padding() {
+        // Padding flips were inert pre-guard; the CRC must not convert
+        // them into detections, or guard-on coverage would be inflated.
+        let mut m = WireMsg::data(2, 3, 4, 5, &[8, 8]);
+        m.flip_bit(30, 1);
+        assert!(m.crc_ok());
+        assert!(m.header().is_ok());
     }
 }

@@ -32,7 +32,7 @@ use fl_obs::EventKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Maximum user tag value (larger tags are reserved for collectives).
 pub const MAX_USER_TAG: u32 = 0xFFFF;
@@ -42,6 +42,40 @@ pub const ANY_SOURCE: i32 = -1;
 const COLL_TAG_BASE: u32 = 0x4000_0000;
 /// Tag base for barrier tokens.
 const BARRIER_TAG_BASE: u32 = 0x4100_0000;
+
+/// Channel-level integrity guard (fl-guard's wire detector). Default-off:
+/// with `enabled == false` the world's behaviour — and every event it
+/// emits — is bit-identical to the pre-guard scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelGuard {
+    /// Verify the per-message CRC at the receiving ADI and NACK failures
+    /// back to the sender's retransmit queue.
+    pub enabled: bool,
+    /// Redeliveries allowed per sequence number before the guard declares
+    /// the channel unrecoverable ([`WorldExit::GuardDetected`]).
+    pub max_retransmits: u8,
+}
+
+impl Default for ChannelGuard {
+    fn default() -> Self {
+        ChannelGuard {
+            enabled: false,
+            max_retransmits: 3,
+        }
+    }
+}
+
+/// Pristine wire images a sender keeps for retransmission (per rank).
+const SENT_HISTORY_CAP: usize = 16;
+
+/// A NACKed message waiting out its backoff before redelivery.
+#[derive(Debug, Clone, PartialEq)]
+struct Redelivery {
+    due_round: u64,
+    src: u16,
+    dst: u16,
+    msg: WireMsg,
+}
 
 /// World configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +93,8 @@ pub struct WorldConfig {
     pub machine: MachineConfig,
     /// Payloads larger than this use the RTS/CTS rendezvous protocol.
     pub eager_threshold: u32,
+    /// Channel-level CRC verification + retransmit (default off).
+    pub guard: ChannelGuard,
 }
 
 impl Default for WorldConfig {
@@ -70,6 +106,7 @@ impl Default for WorldConfig {
             nondet: false,
             machine: MachineConfig::default(),
             eager_threshold: 1024,
+            guard: ChannelGuard::default(),
         }
     }
 }
@@ -124,6 +161,9 @@ struct Rank {
     /// order on every rank).
     coll_seq: u32,
     profile: TrafficProfile,
+    /// Sender-side retransmit queue: pristine wire images of recent sends,
+    /// keyed by sequence number. Populated only when the guard is on.
+    sent_history: VecDeque<(u32, WireMsg)>,
 }
 
 /// A fault to apply to a rank's machine state at a given local
@@ -215,6 +255,9 @@ pub enum WorldExit {
     MpiDetected { rank: u16, what: String },
     /// Deadlock or instruction budget exhaustion.
     Hung { reason: String },
+    /// The channel guard detected an unrecoverable fault (CRC retransmit
+    /// budget exhausted, or the pristine image was no longer available).
+    GuardDetected { rank: u16, what: String },
 }
 
 /// The simulated cluster.
@@ -227,6 +270,12 @@ pub struct MpiWorld {
     message_fault_hit: Option<MessageFaultHit>,
     /// Set once a fatal event is recorded.
     fatal: Option<WorldExit>,
+    /// Scheduler rounds completed (drives retransmit backoff timing).
+    round: u64,
+    /// NACKed messages waiting out their backoff (guard-on only).
+    pending_redelivery: VecDeque<Redelivery>,
+    /// Redelivery attempts per (sender, sequence number).
+    retx_attempts: HashMap<(u16, u32), u8>,
 }
 
 impl MpiWorld {
@@ -243,6 +292,7 @@ impl MpiWorld {
                 send_seq: 0,
                 coll_seq: 0,
                 profile: TrafficProfile::default(),
+                sent_history: VecDeque::new(),
             })
             .collect();
         MpiWorld {
@@ -253,6 +303,9 @@ impl MpiWorld {
             message_fault: None,
             message_fault_hit: None,
             fatal: None,
+            round: 0,
+            pending_redelivery: VecDeque::new(),
+            retx_attempts: HashMap::new(),
         }
     }
 
@@ -309,6 +362,30 @@ impl MpiWorld {
         self.injection.is_some()
     }
 
+    /// Disarm and return the armed injection, if any. The guarded runner
+    /// uses this to carry a not-yet-fired injection across a rollback
+    /// (snapshots cannot capture the boxed action — see
+    /// [`MpiWorld::snapshot`]).
+    pub fn take_injection(&mut self) -> Option<PendingInjection> {
+        self.injection.take()
+    }
+
+    /// Scheduler rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total redelivery attempts the channel guard has charged (0 when
+    /// the guard is off or no CRC failure was ever detected).
+    pub fn retransmits(&self) -> u32 {
+        self.retx_attempts.values().map(|&a| a as u32).sum()
+    }
+
+    /// Whether `rank` has exited (reached MPI_Finalize and returned 0).
+    pub fn rank_exited(&self, rank: u16) -> bool {
+        matches!(self.ranks[rank as usize].status, Status::Exited)
+    }
+
     /// Capture a complete deterministic checkpoint of the world.
     ///
     /// Everything that influences future execution is captured: every
@@ -337,6 +414,7 @@ impl MpiWorld {
                     send_seq: r.send_seq,
                     coll_seq: r.coll_seq,
                     profile: r.profile,
+                    sent_history: r.sent_history.clone(),
                 })
                 .collect(),
             cfg: self.cfg,
@@ -344,6 +422,9 @@ impl MpiWorld {
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
             fatal: self.fatal.clone(),
+            round: self.round,
+            pending_redelivery: self.pending_redelivery.clone(),
+            retx_attempts: self.retx_attempts.clone(),
         }
     }
 
@@ -381,11 +462,39 @@ impl MpiWorld {
         }
     }
 
+    /// Out-of-band marker: the progress watchdog declared `rank` stalled
+    /// after `window` consecutive no-progress windows. Guard paths only.
+    pub fn note_watchdog_trip(&mut self, rank: u16, window: u32) {
+        self.obs_record(rank as usize, EventKind::WatchdogTrip { window });
+    }
+
+    /// Out-of-band marker: the guard rolled this world back to the
+    /// checkpoint taken at `round` and is re-executing (`restart` is
+    /// 1-based). Recorded on every rank. Guard paths only.
+    pub fn note_guard_restart(&mut self, restart: u32, round: u64) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::GuardRestart { restart, round });
+        }
+    }
+
     // --- channel ---------------------------------------------------------
 
     /// Ingest a message at `dst`'s channel level: apply any armed fault
-    /// whose offset falls inside this message, account traffic, parse.
-    fn ingest(&mut self, dst: u16, mut msg: WireMsg) {
+    /// whose offset falls inside this message, account traffic, verify
+    /// integrity when the guard is on, parse. `src` is the true sending
+    /// rank (scheduler knowledge, not trusted wire bytes — a flip can
+    /// corrupt the header's src field).
+    fn ingest(&mut self, src: u16, dst: u16, mut msg: WireMsg) {
+        // The true sequence number, read from the pristine image before
+        // any fault lands (the wire copy of it may get corrupted).
+        let wire_seq = u32::from_le_bytes(msg.raw[16..20].try_into().unwrap());
+        if self.cfg.guard.enabled {
+            let hist = &mut self.ranks[src as usize].sent_history;
+            if hist.len() == SENT_HISTORY_CAP {
+                hist.pop_front();
+            }
+            hist.push_back((wire_seq, msg.clone()));
+        }
         let r = &mut self.ranks[dst as usize];
         let start = r.received_bytes;
         let len = msg.len() as u64;
@@ -410,6 +519,9 @@ impl MpiWorld {
                 );
             }
         }
+        if self.cfg.guard.enabled && !msg.crc_ok() {
+            return self.nack(src, dst, wire_seq);
+        }
         match msg.header() {
             Ok(h) => {
                 self.obs_record(
@@ -431,6 +543,74 @@ impl MpiWorld {
                     reason: format!("MPICH internal error: {e}"),
                 });
             }
+        }
+    }
+
+    /// Receiver-side NACK for a CRC-rejected message: out-of-band to the
+    /// simulator (a real channel would send a control frame), it charges
+    /// one retransmit attempt against `(src, seq)` and schedules the
+    /// pristine image from `src`'s retransmit queue for redelivery after
+    /// an exponential backoff. Budget exhaustion — or a pristine image
+    /// already evicted from the queue — is an unrecoverable channel
+    /// fault, surfaced as [`WorldExit::GuardDetected`].
+    fn nack(&mut self, src: u16, dst: u16, seq: u32) {
+        self.obs_record(dst as usize, EventKind::CrcReject { from: src, seq });
+        let used = self.retx_attempts.get(&(src, seq)).copied().unwrap_or(0);
+        if used >= self.cfg.guard.max_retransmits {
+            return self.fatal(WorldExit::GuardDetected {
+                rank: dst,
+                what: format!(
+                    "CRC retransmit budget exhausted for seq {seq} from rank {src} \
+                     after {used} redeliveries"
+                ),
+            });
+        }
+        let attempt = used + 1;
+        self.retx_attempts.insert((src, seq), attempt);
+        let pristine = self.ranks[src as usize]
+            .sent_history
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, m)| m.clone());
+        let Some(msg) = pristine else {
+            return self.fatal(WorldExit::GuardDetected {
+                rank: dst,
+                what: format!("retransmit queue miss for seq {seq} from rank {src}"),
+            });
+        };
+        self.obs_record(
+            src as usize,
+            EventKind::Retransmit {
+                to: dst,
+                seq,
+                attempt,
+            },
+        );
+        self.pending_redelivery.push_back(Redelivery {
+            due_round: self.round + (1 << attempt.min(16)),
+            src,
+            dst,
+            msg,
+        });
+    }
+
+    /// Deliver NACKed messages whose backoff has elapsed.
+    fn drain_redeliveries(&mut self) {
+        let mut due = Vec::new();
+        self.pending_redelivery.retain(|r| {
+            if r.due_round <= self.round {
+                due.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for r in due {
+            if self.fatal.is_some() {
+                return;
+            }
+            self.ingest(r.src, r.dst, r.msg);
         }
     }
 
@@ -464,7 +644,7 @@ impl MpiWorld {
             },
         );
         let m = WireMsg::data(src, dst, tag, seq, payload);
-        self.ingest(dst, m);
+        self.ingest(src, dst, m);
     }
 
     fn send_control(&mut self, op: CtlOp, src: u16, dst: u16, tag: u32) {
@@ -482,7 +662,7 @@ impl MpiWorld {
             },
         );
         let m = WireMsg::control(op, src, dst, tag, seq);
-        self.ingest(dst, m);
+        self.ingest(src, dst, m);
     }
 
     // --- MPI error path ---------------------------------------------------
@@ -936,8 +1116,15 @@ impl MpiWorld {
     /// Exposed so external monitors — e.g. the §7 progress-metric
     /// watchdog — can sample counters between rounds.
     pub fn run_round(&mut self) -> Option<WorldExit> {
+        self.round += 1;
         if let Some(f) = self.fatal.take() {
             return Some(f);
+        }
+        if !self.pending_redelivery.is_empty() {
+            self.drain_redeliveries();
+            if let Some(f) = self.fatal.take() {
+                return Some(f);
+            }
         }
         self.progress();
         if let Some(f) = self.fatal.take() {
@@ -955,13 +1142,26 @@ impl MpiWorld {
             .collect();
         // Finalized ranks still need to run to their exit.
         if order.is_empty() {
+            // A redelivery still waiting out its backoff is traffic: let
+            // rounds elapse until it becomes due, this is not a deadlock.
+            if !self.pending_redelivery.is_empty() {
+                return None;
+            }
             // Everyone blocked or exited, and progress() found nothing:
             // deadlock.
             let blocked: Vec<u16> = (0..self.ranks.len() as u16)
                 .filter(|&i| matches!(self.ranks[i as usize].status, Status::Blocked(_)))
                 .collect();
+            let clocks: Vec<u64> = self
+                .ranks
+                .iter()
+                .map(|r| r.machine.counters.blocks)
+                .collect();
             return Some(WorldExit::Hung {
-                reason: format!("deadlock: ranks {blocked:?} blocked with no traffic"),
+                reason: format!(
+                    "deadlock: ranks {blocked:?} blocked with no traffic \
+                     (block clocks {clocks:?})"
+                ),
             });
         }
         if self.cfg.nondet {
@@ -1057,8 +1257,12 @@ impl MpiWorld {
                 self.fatal(WorldExit::AppAborted { rank, msg });
             }
             Exit::Budget => {
+                let blocks = self.ranks[i].machine.counters.blocks;
                 self.fatal(WorldExit::Hung {
-                    reason: format!("rank {rank} exhausted its instruction budget"),
+                    reason: format!(
+                        "rank {rank} exhausted its instruction budget \
+                         (block clock {blocks})"
+                    ),
                 });
             }
         }
@@ -1079,6 +1283,7 @@ struct RankSnapshot {
     send_seq: u32,
     coll_seq: u32,
     profile: TrafficProfile,
+    sent_history: VecDeque<(u32, WireMsg)>,
 }
 
 /// A complete deterministic checkpoint of an [`MpiWorld`], produced by
@@ -1097,6 +1302,9 @@ pub struct WorldSnapshot {
     message_fault: Option<MessageFault>,
     message_fault_hit: Option<MessageFaultHit>,
     fatal: Option<WorldExit>,
+    round: u64,
+    pending_redelivery: VecDeque<Redelivery>,
+    retx_attempts: HashMap<(u16, u32), u8>,
 }
 
 impl WorldSnapshot {
@@ -1115,6 +1323,7 @@ impl WorldSnapshot {
                     send_seq: r.send_seq,
                     coll_seq: r.coll_seq,
                     profile: r.profile,
+                    sent_history: r.sent_history.clone(),
                 })
                 .collect(),
             cfg: self.cfg,
@@ -1123,12 +1332,20 @@ impl WorldSnapshot {
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
             fatal: self.fatal.clone(),
+            round: self.round,
+            pending_redelivery: self.pending_redelivery.clone(),
+            retx_attempts: self.retx_attempts.clone(),
         }
     }
 
     /// Number of ranks captured.
     pub fn nranks(&self) -> u16 {
         self.ranks.len() as u16
+    }
+
+    /// Scheduler round at capture time.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// A rank's captured machine state.

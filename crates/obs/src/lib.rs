@@ -89,11 +89,22 @@ pub enum EventKind {
     SnapshotCaptured { round: u64 },
     /// The world was restored from a checkpoint (out-of-band).
     SnapshotRestored { round: u64 },
+    /// An incoming message failed CRC verification at the ADI.
+    CrcReject { from: u16, seq: u32 },
+    /// The sender redelivered a message after a CRC reject (`attempt`
+    /// counts retries of this sequence number, starting at 1).
+    Retransmit { to: u16, seq: u32, attempt: u8 },
+    /// The progress watchdog declared the rank stalled (`window` is the
+    /// number of consecutive no-progress windows observed).
+    WatchdogTrip { window: u32 },
+    /// The guard rolled the world back and re-executed (out-of-band;
+    /// `restart` is 1-based, `round` is the scheduler round restored to).
+    GuardRestart { restart: u32, round: u64 },
 }
 
 impl EventKind {
     /// All kind names, in a stable order (TSV histogram columns).
-    pub const NAMES: [&'static str; 12] = [
+    pub const NAMES: [&'static str; 16] = [
         "signal",
         "syscall",
         "malloc",
@@ -106,6 +117,10 @@ impl EventKind {
         "msg_fault_hit",
         "snapshot_captured",
         "snapshot_restored",
+        "crc_reject",
+        "retransmit",
+        "watchdog_trip",
+        "guard_restart",
     ];
 
     /// Stable snake_case name (JSONL `kind` field, histogram key).
@@ -128,6 +143,10 @@ impl EventKind {
             EventKind::MessageFaultHit { .. } => 9,
             EventKind::SnapshotCaptured { .. } => 10,
             EventKind::SnapshotRestored { .. } => 11,
+            EventKind::CrcReject { .. } => 12,
+            EventKind::Retransmit { .. } => 13,
+            EventKind::WatchdogTrip { .. } => 14,
+            EventKind::GuardRestart { .. } => 15,
         }
     }
 
@@ -163,6 +182,18 @@ impl EventKind {
             ),
             EventKind::SnapshotCaptured { round } => format!("snapshot captured (round {round})"),
             EventKind::SnapshotRestored { round } => format!("snapshot restored (round {round})"),
+            EventKind::CrcReject { from, seq } => {
+                format!("CRC reject: message from rank {from}, seq {seq}")
+            }
+            EventKind::Retransmit { to, seq, attempt } => {
+                format!("retransmit to rank {to}, seq {seq} (attempt {attempt})")
+            }
+            EventKind::WatchdogTrip { window } => {
+                format!("watchdog trip after {window} stalled windows")
+            }
+            EventKind::GuardRestart { restart, round } => {
+                format!("guard restart {restart} (rolled back to round {round})")
+            }
         }
     }
 
@@ -200,6 +231,18 @@ impl EventKind {
             }
             EventKind::SnapshotCaptured { round } | EventKind::SnapshotRestored { round } => {
                 let _ = write!(out, ",\"round\":{round}");
+            }
+            EventKind::CrcReject { from, seq } => {
+                let _ = write!(out, ",\"from\":{from},\"seq\":{seq}");
+            }
+            EventKind::Retransmit { to, seq, attempt } => {
+                let _ = write!(out, ",\"to\":{to},\"seq\":{seq},\"attempt\":{attempt}");
+            }
+            EventKind::WatchdogTrip { window } => {
+                let _ = write!(out, ",\"window\":{window}");
+            }
+            EventKind::GuardRestart { restart, round } => {
+                let _ = write!(out, ",\"restart\":{restart},\"round\":{round}");
             }
         }
     }
@@ -446,6 +489,17 @@ mod tests {
             },
             EventKind::SnapshotCaptured { round: 0 },
             EventKind::SnapshotRestored { round: 0 },
+            EventKind::CrcReject { from: 0, seq: 0 },
+            EventKind::Retransmit {
+                to: 0,
+                seq: 0,
+                attempt: 0,
+            },
+            EventKind::WatchdogTrip { window: 0 },
+            EventKind::GuardRestart {
+                restart: 0,
+                round: 0,
+            },
         ];
         for (i, k) in kinds.iter().enumerate() {
             assert_eq!(k.index(), i);
