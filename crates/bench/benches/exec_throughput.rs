@@ -1,0 +1,79 @@
+//! Interpreter fast-path throughput: software TLB + basic-block
+//! dispatch versus the plain per-instruction slow path.
+//!
+//! Runs the identical fault-free wavetoy-tiny world cold both ways,
+//! checks the two paths retire the same instruction count and produce
+//! the same output (the zero-divergence contract), and writes guest
+//! MIPS, cold trials/sec, and the fast/slow speedup to
+//! `BENCH_exec.json` at the workspace root. The CI perf-smoke step
+//! fails if the fast path is not faster than the baseline it just
+//! measured; the committed file documents the ≥2x target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::{App, AppKind, AppParams};
+use fl_mpi::{MpiWorld, WorldConfig, WorldExit};
+
+/// One cold trial: fresh world, full run, instruction total.
+fn cold_run(app: &App, cfg: WorldConfig) -> (MpiWorld, u64) {
+    let mut w = MpiWorld::new(&app.image, cfg);
+    assert_eq!(w.run(), WorldExit::Clean);
+    let insns = (0..app.params.nranks)
+        .map(|r| w.machine(r).counters.insns)
+        .sum();
+    (w, insns)
+}
+
+fn bench_exec_throughput(c: &mut Criterion) {
+    let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+    let fast_cfg = app.world_config(2_000_000_000);
+    let mut slow_cfg = fast_cfg;
+    slow_cfg.machine.fastpath = false;
+
+    // Zero-divergence check before timing anything: both paths must
+    // retire the same instructions and emit the same output.
+    let (fast_w, insns) = cold_run(&app, fast_cfg);
+    let (slow_w, slow_insns) = cold_run(&app, slow_cfg);
+    assert_eq!(insns, slow_insns, "fast path diverged in retired insns");
+    assert_eq!(
+        app.comparable_output(&fast_w),
+        app.comparable_output(&slow_w),
+        "fast path diverged in output"
+    );
+
+    c.bench_function("exec_throughput/fastpath", |b| {
+        b.iter(|| cold_run(&app, fast_cfg).1)
+    });
+    let fast_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    c.bench_function("exec_throughput/no_fastpath", |b| {
+        b.iter(|| cold_run(&app, slow_cfg).1)
+    });
+    let slow_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    let fast_tps = 1e9 / fast_ns;
+    let slow_tps = 1e9 / slow_ns;
+    let fast_mips = insns as f64 * 1e3 / fast_ns;
+    let slow_mips = insns as f64 * 1e3 / slow_ns;
+    let speedup = slow_ns / fast_ns;
+    println!(
+        "exec_throughput: fast {fast_tps:.2} trials/s ({fast_mips:.1} MIPS), \
+         slow {slow_tps:.2} trials/s ({slow_mips:.1} MIPS), speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec_throughput\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"insns_per_trial\": {insns},\n  \
+         \"fastpath_trials_per_sec\": {fast_tps:.3},\n  \
+         \"no_fastpath_trials_per_sec\": {slow_tps:.3},\n  \
+         \"fastpath_mips\": {fast_mips:.3},\n  \
+         \"no_fastpath_mips\": {slow_mips:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"threshold_speedup\": 2.0\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(path, json).expect("write BENCH_exec.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_exec_throughput);
+criterion_main!(benches);

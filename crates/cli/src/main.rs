@@ -75,7 +75,7 @@ fn print_usage() {
          \x20 faultlab profile  [<app> ...]\n\
          \x20 faultlab campaign <app> [--injections N] [--regions R1,R2|all]\n\
          \x20                   [--seed S] [--threads T] [--epoch-rounds E]\n\
-         \x20                   [--tiny] [--tsv] [--registers]\n\
+         \x20                   [--tiny] [--tsv] [--registers] [--no-fastpath]\n\
          \x20 faultlab trace    <app> [--samples N] [--tsv] [--tiny]\n\
          \x20 faultlab trial    <app> <region> [--seed K] [--tiny]\n\
          \x20 faultlab replay   <app> <region> --trial K [--regions R1,R2|all]\n\
@@ -205,6 +205,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         budget_factor: 3.0,
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        fastpath: !o.has("no-fastpath"),
         ..Default::default()
     };
     let app = build_app(kind, o.has("tiny"));
@@ -228,6 +229,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             estimation_error(0.95, cfg.injections) * 100.0
         );
         print!("{}", render_table(&result, &title));
+        println!("\n{}", throughput_line(&result));
         if o.has("registers") {
             for class in [TargetClass::RegularReg, TargetClass::FpReg] {
                 if let Some(c) = result.class(class) {
@@ -238,6 +240,18 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Human-readable campaign throughput summary (one line).
+fn throughput_line(result: &fl_inject::CampaignResult) -> String {
+    format!(
+        "throughput: {} trials, {:.1}M guest insns in {:.2}s — {:.1} MIPS, {:.1} trials/sec",
+        result.trials_total(),
+        result.insns_total as f64 / 1e6,
+        result.wall_nanos as f64 / 1e9,
+        result.mips(),
+        result.trials_per_sec(),
+    )
 }
 
 fn cmd_run_config(args: &[String]) -> Result<(), String> {
@@ -383,6 +397,7 @@ fn cmd_events(args: &[String]) -> Result<(), String> {
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
         obs_capacity: o.get_num("ring")?.unwrap_or(4096),
+        fastpath: !o.has("no-fastpath"),
     };
     if k >= cfg.injections {
         return Err(format!(
@@ -443,6 +458,7 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
         obs_capacity: o.get_num("ring")?.unwrap_or(4096),
+        fastpath: !o.has("no-fastpath"),
     };
     let app = build_app(kind, o.has("tiny"));
     eprintln!(
@@ -455,6 +471,9 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         .classes(&regions)
         .with_config(cfg)
         .run();
+    // Keep stdout machine-readable; the throughput summary goes to
+    // stderr alongside the progress line.
+    eprintln!("{}", throughput_line(&result));
     let metrics = result
         .metrics
         .expect("metrics campaigns always record events");
@@ -483,6 +502,7 @@ fn cmd_guard(args: &[String]) -> Result<(), String> {
         budget_factor: 3.0,
         threads: o.get_num("threads")?.unwrap_or(0),
         epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
+        fastpath: !o.has("no-fastpath"),
         ..Default::default()
     };
     let policy = GuardPolicy {

@@ -101,6 +101,15 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Enable or disable the execution fast path (software TLB +
+    /// basic-block dispatch) for every trial machine. On by default;
+    /// turning it off is observably identical but much slower — useful
+    /// for benchmarking the fast path and for divergence hunting.
+    pub fn fastpath(mut self, on: bool) -> Self {
+        self.cfg.fastpath = on;
+        self
+    }
+
     /// Fault duration model (default transient). Non-transient models
     /// support the register and static-memory classes only; see
     /// [`model_classes`].
@@ -192,6 +201,7 @@ impl<'a> CampaignBuilder<'a> {
         let golden = self.app.golden(2_000_000_000);
         let budget = (*golden.insns.iter().max().unwrap() as f64 * self.cfg.budget_factor) as u64
             + 2_000_000;
+        let started = std::time::Instant::now();
         let mut results = Vec::new();
         for (ci, &class) in self.classes.iter().enumerate() {
             let mut tally = Tally::default();
@@ -223,6 +233,10 @@ impl<'a> CampaignBuilder<'a> {
             classes: results,
             golden,
             metrics: None,
+            // Model trials tear their worlds down inside
+            // `run_model_trial`; no counters survive to aggregate.
+            insns_total: 0,
+            wall_nanos: started.elapsed().as_nanos() as u64,
         }
     }
 }
@@ -283,6 +297,53 @@ mod tests {
         assert!(cm.events_total > 0, "trials must record events");
         // Register faults always land (the flip fires unconditionally).
         assert_eq!(cm.landed, 5);
+    }
+
+    #[test]
+    fn fastpath_off_campaign_is_bit_identical() {
+        // The perf tentpole's correctness bar at campaign level: with
+        // the TLB and block dispatch disabled, every trial — cold and
+        // epoch-forked alike — must produce the same records, event
+        // aggregates, and instruction counts.
+        let app = tiny(AppKind::Wavetoy);
+        let classes = [
+            TargetClass::RegularReg,
+            TargetClass::Stack,
+            TargetClass::Message,
+        ];
+        let run = |on: bool| {
+            CampaignBuilder::new(&app)
+                .classes(&classes)
+                .injections(8)
+                .seed(0xFA57)
+                .observe(512)
+                .fastpath(on)
+                .run()
+        };
+        let fast = run(true);
+        let slow = run(false);
+        for (f, s) in fast.classes.iter().zip(&slow.classes) {
+            assert_eq!(f.trials, s.trials, "{:?}: fast path diverged", f.class);
+            assert_eq!(f.tally, s.tally);
+        }
+        assert_eq!(fast.metrics, slow.metrics);
+        assert_eq!(fast.insns_total, slow.insns_total);
+        assert!(fast.insns_total > 0);
+    }
+
+    #[test]
+    fn campaign_reports_throughput() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(4)
+            .seed(2)
+            .run();
+        assert!(r.insns_total > 0);
+        assert!(r.wall_nanos > 0);
+        assert_eq!(r.trials_total(), 4);
+        assert!(r.mips() > 0.0);
+        assert!(r.trials_per_sec() > 0.0);
     }
 
     #[test]

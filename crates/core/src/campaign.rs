@@ -49,6 +49,12 @@ pub struct CampaignConfig {
     /// capacity is applied to the golden prefix the epoch cache
     /// replays, so forked and cold trials emit bit-identical streams.
     pub obs_capacity: u32,
+    /// Run trial machines with the execution fast path (software TLB +
+    /// basic-block dispatch) enabled. On by default; turning it off
+    /// forces every machine onto the slow per-instruction path, which
+    /// is observably identical but much slower — useful only for
+    /// benchmarking the fast path and for divergence hunting.
+    pub fastpath: bool,
 }
 
 impl Default for CampaignConfig {
@@ -60,6 +66,7 @@ impl Default for CampaignConfig {
             threads: 0,
             epoch_rounds: 16,
             obs_capacity: 0,
+            fastpath: true,
         }
     }
 }
@@ -99,12 +106,45 @@ pub struct CampaignResult {
     /// Event-stream aggregates, present iff the campaign ran with
     /// `obs_capacity > 0`.
     pub metrics: Option<CampaignMetrics>,
+    /// Guest instructions retired across every trial (the sum of each
+    /// rank's final instruction counter). Forked trials report the same
+    /// count as their cold equivalents — restored counters include the
+    /// replayed prefix — so the figure is a property of the campaign,
+    /// not of the execution strategy. 0 for model campaigns, which do
+    /// not collect counters.
+    pub insns_total: u64,
+    /// Wall-clock duration of the trial-execution phase, in
+    /// nanoseconds (excludes the golden run and dictionary builds).
+    pub wall_nanos: u64,
 }
 
 impl CampaignResult {
     /// The result row for a class, if it was part of the campaign.
     pub fn class(&self, c: TargetClass) -> Option<&ClassResult> {
         self.classes.iter().find(|r| r.class == c)
+    }
+
+    /// Trials executed across all classes.
+    pub fn trials_total(&self) -> u64 {
+        self.classes.iter().map(|c| c.trials.len() as u64).sum()
+    }
+
+    /// Campaign instruction throughput in millions of guest
+    /// instructions per wall-clock second (0 if nothing was timed).
+    pub fn mips(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.insns_total as f64 * 1e3 / self.wall_nanos as f64
+    }
+
+    /// Campaign trial throughput in trials per wall-clock second
+    /// (0 if nothing was timed).
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.trials_total() as f64 * 1e9 / self.wall_nanos as f64
     }
 }
 
@@ -127,9 +167,15 @@ pub fn trial_seed(campaign_seed: u64, ci: usize, k: u32) -> u64 {
 /// runs under: the app's own configuration with the campaign's event
 /// recording threaded through. Forked and cold trials must use the same
 /// recording capacity or their streams could not be bit-identical.
-pub(crate) fn trial_world_config(app: &App, budget: u64, obs_capacity: u32) -> WorldConfig {
+pub(crate) fn trial_world_config(
+    app: &App,
+    budget: u64,
+    obs_capacity: u32,
+    fastpath: bool,
+) -> WorldConfig {
     let mut wcfg = app.world_config(budget);
     wcfg.machine.obs_capacity = obs_capacity;
+    wcfg.machine.fastpath = fastpath;
     wcfg
 }
 
@@ -139,7 +185,7 @@ pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Opti
     if cfg.epoch_rounds == 0 {
         return None;
     }
-    let wcfg = trial_world_config(app, budget, cfg.obs_capacity);
+    let wcfg = trial_world_config(app, budget, cfg.obs_capacity, cfg.fastpath);
     // Forking replays the *golden* prefix; an app with nondeterministic
     // scheduling re-draws its arrival order per trial, so its prefix is
     // not shared and every trial must run cold.
@@ -149,9 +195,10 @@ pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Opti
     Some(EpochCache::build(&app.image, wcfg, cfg.epoch_rounds))
 }
 
-/// One finished trial's slot in the campaign: its record, plus its
-/// aggregated metrics when event recording is on.
-type TrialSlot = Option<(TrialRecord, Option<TrialMetrics>)>;
+/// One finished trial's slot in the campaign: its record, the guest
+/// instructions its ranks retired, plus its aggregated metrics when
+/// event recording is on.
+type TrialSlot = Option<(TrialRecord, u64, Option<TrialMetrics>)>;
 
 /// Campaign execution (the [`crate::CampaignBuilder`] backend).
 pub(crate) fn run_campaign_impl(
@@ -174,6 +221,8 @@ pub(crate) fn run_campaign_impl(
     };
 
     let observe = cfg.obs_capacity > 0;
+    let started = std::time::Instant::now();
+    let mut insns_total = 0u64;
     let mut results = Vec::new();
     let mut metrics: Vec<ClassMetrics> = Vec::new();
     for (ci, &class) in classes.iter().enumerate() {
@@ -197,12 +246,14 @@ pub(crate) fn run_campaign_impl(
                         budget,
                         epochs.as_ref(),
                         cfg.obs_capacity,
+                        cfg.fastpath,
                     );
                     // Fold event streams down to per-trial metrics before
                     // the world is torn down; only the numbers survive.
-                    let tm = observe
-                        .then(|| trial_metrics(&run.record, run.rank, &run.world.event_streams()));
-                    records.lock().unwrap()[k as usize] = Some((run.record, tm));
+                    let tm = observe.then(|| {
+                        trial_metrics(&run.record, run.rank, &run.world.event_streams(), run.insns)
+                    });
+                    records.lock().unwrap()[k as usize] = Some((run.record, run.insns, tm));
                 });
             }
         })
@@ -213,7 +264,8 @@ pub(crate) fn run_campaign_impl(
             .unwrap()
             .into_iter()
             .map(|r| {
-                let (rec, tm) = r.expect("every trial slot filled");
+                let (rec, insns, tm) = r.expect("every trial slot filled");
+                insns_total += insns;
                 if let Some(tm) = tm {
                     class_metrics.fold(&tm);
                 }
@@ -238,6 +290,8 @@ pub(crate) fn run_campaign_impl(
         classes: results,
         golden,
         metrics: observe.then_some(CampaignMetrics { classes: metrics }),
+        insns_total,
+        wall_nanos: started.elapsed().as_nanos() as u64,
     }
 }
 
@@ -266,10 +320,12 @@ pub(crate) fn replay_trial_impl(
         budget,
         epochs.as_ref(),
         cfg.obs_capacity,
+        cfg.fastpath,
     );
     TrialTrace {
         record: run.record,
         rank: run.rank,
+        insns: run.insns,
         streams: run.world.event_streams(),
     }
 }
@@ -462,7 +518,10 @@ pub fn run_trial_forked(
     budget: u64,
     epochs: Option<&EpochCache>,
 ) -> TrialRecord {
-    run_trial_inner(app, golden, dicts, class, trial_seed, budget, epochs, 0).record
+    run_trial_inner(
+        app, golden, dicts, class, trial_seed, budget, epochs, 0, true,
+    )
+    .record
 }
 
 /// Execute one injection experiment with event recording on, returning
@@ -489,24 +548,28 @@ pub fn run_trial_traced(
         budget,
         epochs,
         obs_capacity,
+        true,
     );
     TrialTrace {
         record: run.record,
         rank: run.rank,
+        insns: run.insns,
         streams: run.world.event_streams(),
     }
 }
 
-/// A finished trial before teardown: the record, the victim rank, and
-/// the ended world (still holding every rank's event log).
-struct TrialRun {
-    record: TrialRecord,
-    rank: u16,
-    world: MpiWorld,
+/// A finished trial before teardown: the record, the victim rank, the
+/// guest instructions retired across all ranks, and the ended world
+/// (still holding every rank's event log).
+pub(crate) struct TrialRun {
+    pub(crate) record: TrialRecord,
+    pub(crate) rank: u16,
+    pub(crate) insns: u64,
+    pub(crate) world: MpiWorld,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_trial_inner(
+pub(crate) fn run_trial_inner(
     app: &App,
     golden: &Golden,
     dicts: &Dictionaries,
@@ -515,6 +578,7 @@ fn run_trial_inner(
     budget: u64,
     epochs: Option<&EpochCache>,
     obs_capacity: u32,
+    fastpath: bool,
 ) -> TrialRun {
     let drawn = draw_fault(golden, dicts, class, trial_seed, app.params.nranks);
     let (rank, detail) = (drawn.rank, drawn.detail.clone());
@@ -529,7 +593,7 @@ fn run_trial_inner(
     let mut world = match epoch {
         Some(e) => e.snap.restore(),
         None => {
-            let mut cfg = trial_world_config(app, budget, obs_capacity);
+            let mut cfg = trial_world_config(app, budget, obs_capacity, fastpath);
             cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
             MpiWorld::new(&app.image, cfg)
         }
@@ -539,6 +603,9 @@ fn run_trial_inner(
     let exit = world.run();
     let output = app.comparable_output(&world);
     let outcome = classify(&exit, &output, &golden.output);
+    let insns = (0..app.params.nranks)
+        .map(|r| world.machine(r).counters.insns)
+        .sum();
     TrialRun {
         record: TrialRecord {
             class,
@@ -546,6 +613,7 @@ fn run_trial_inner(
             outcome,
         },
         rank,
+        insns,
         world,
     }
 }

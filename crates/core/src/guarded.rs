@@ -16,7 +16,7 @@
 //! trial level, not just distributional.
 
 use crate::campaign::{
-    build_epochs, draw_fault, run_trial_forked, trial_budget, trial_seed, trial_world_config,
+    build_epochs, draw_fault, run_trial_inner, trial_budget, trial_seed, trial_world_config,
     CampaignConfig, Dictionaries,
 };
 use crate::outcome::Manifestation;
@@ -182,6 +182,7 @@ fn slug(m: Manifestation) -> &'static str {
 /// output is still `Incorrect` (the guard cannot see silent data
 /// corruption); any non-clean final exit — the restart budget ran out —
 /// is `DetectedByGuard`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_guarded_trial(
     app: &App,
     golden: &Golden,
@@ -190,9 +191,10 @@ pub fn run_guarded_trial(
     trial_seed: u64,
     budget: u64,
     policy: &GuardPolicy,
+    fastpath: bool,
 ) -> (Manifestation, GuardReport) {
     let drawn = draw_fault(golden, dicts, class, trial_seed, app.params.nranks);
-    let mut cfg = trial_world_config(app, budget, 0);
+    let mut cfg = trial_world_config(app, budget, 0, fastpath);
     cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
     let (world, report) = run_guarded(&app.image, cfg, policy, |w| drawn.arm(w));
     let outcome = match &report.exit {
@@ -248,7 +250,7 @@ pub(crate) fn run_coverage_impl(
                         break;
                     }
                     let seed = trial_seed(cfg.seed, ci, k);
-                    let base = run_trial_forked(
+                    let base = run_trial_inner(
                         app,
                         &golden,
                         &dicts,
@@ -256,9 +258,20 @@ pub(crate) fn run_coverage_impl(
                         seed,
                         budget,
                         epochs.as_ref(),
+                        0,
+                        cfg.fastpath,
+                    )
+                    .record;
+                    let (guarded, report) = run_guarded_trial(
+                        app,
+                        &golden,
+                        &dicts,
+                        class,
+                        seed,
+                        budget,
+                        policy,
+                        cfg.fastpath,
                     );
-                    let (guarded, report) =
-                        run_guarded_trial(app, &golden, &dicts, class, seed, budget, policy);
                     records.lock().unwrap()[k as usize] = Some(GuardedTrialRecord {
                         class,
                         detail: base.detail,
@@ -495,6 +508,37 @@ mod tests {
             "no baseline crash was caught: {:?}",
             c.transitions.entries()
         );
+    }
+
+    #[test]
+    fn guarded_trials_are_fastpath_invariant() {
+        // Guard restarts roll the world back to a checkpoint and
+        // re-execute — exactly the snapshot-restore boundary where a
+        // stale TLB entry would diverge. Every paired outcome and every
+        // intervention counter must match with the fast path off.
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let golden = app.golden(2_000_000_000);
+        let budget = trial_budget(&golden, &CampaignConfig::default());
+        let dicts = Dictionaries::build(&app);
+        let policy = GuardPolicy {
+            checkpoint_rounds: 16,
+            ..GuardPolicy::default()
+        };
+        for class in [TargetClass::Message, TargetClass::RegularReg] {
+            for k in 0..4 {
+                let seed = trial_seed(0x60AD, 0, k);
+                let (fast, fr) =
+                    run_guarded_trial(&app, &golden, &dicts, class, seed, budget, &policy, true);
+                let (slow, sr) =
+                    run_guarded_trial(&app, &golden, &dicts, class, seed, budget, &policy, false);
+                assert_eq!(fast, slow, "{class:?} trial {k}: outcome diverged");
+                assert_eq!(
+                    (fr.detections, fr.restarts, fr.retransmits, fr.exit),
+                    (sr.detections, sr.restarts, sr.retransmits, sr.exit),
+                    "{class:?} trial {k}: guard report diverged"
+                );
+            }
+        }
     }
 
     #[test]

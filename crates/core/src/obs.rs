@@ -41,6 +41,8 @@ pub struct TrialTrace {
     pub record: TrialRecord,
     /// The rank the fault targeted.
     pub rank: u16,
+    /// Guest instructions retired across all ranks by trial end.
+    pub insns: u64,
     /// Retained events per rank (index = rank), oldest first.
     pub streams: Vec<Vec<Event>>,
 }
@@ -63,7 +65,7 @@ impl TrialTrace {
 
     /// Derive the per-trial metrics from the streams.
     pub fn metrics(&self) -> TrialMetrics {
-        trial_metrics(&self.record, self.rank, &self.streams)
+        trial_metrics(&self.record, self.rank, &self.streams, self.insns)
     }
 }
 
@@ -91,6 +93,8 @@ pub struct TrialMetrics {
     pub events_to_symptom: Option<u64>,
     /// Total events retained across all ranks.
     pub events_total: u64,
+    /// Guest instructions retired across all ranks by trial end.
+    pub insns: u64,
     /// Retained events per kind, indexed like [`EventKind::NAMES`].
     pub kind_counts: [u64; KIND_COUNT],
 }
@@ -115,8 +119,14 @@ fn is_injection(kind: EventKind) -> bool {
     )
 }
 
-/// Compute [`TrialMetrics`] from a trial's record and event streams.
-pub fn trial_metrics(record: &TrialRecord, rank: u16, streams: &[Vec<Event>]) -> TrialMetrics {
+/// Compute [`TrialMetrics`] from a trial's record, event streams, and
+/// retired-instruction total.
+pub fn trial_metrics(
+    record: &TrialRecord,
+    rank: u16,
+    streams: &[Vec<Event>],
+    insns: u64,
+) -> TrialMetrics {
     let mut kind_counts = [0u64; KIND_COUNT];
     let mut events_total = 0u64;
     for s in streams {
@@ -158,6 +168,7 @@ pub fn trial_metrics(record: &TrialRecord, rank: u16, streams: &[Vec<Event>]) ->
         blocks_to_manifestation,
         events_to_symptom,
         events_total,
+        insns,
         kind_counts,
     }
 }
@@ -175,6 +186,8 @@ pub struct ClassMetrics {
     pub symptomatic: u32,
     /// Sum of retained events over all trials.
     pub events_total: u64,
+    /// Sum of guest instructions retired over all trials.
+    pub insns_total: u64,
     /// Per-kind event totals, indexed like [`EventKind::NAMES`].
     pub kind_counts: [u64; KIND_COUNT],
     /// Log₂ histogram of blocks-to-manifestation (see [`TTM_BUCKETS`]).
@@ -194,6 +207,7 @@ impl ClassMetrics {
             landed: 0,
             symptomatic: 0,
             events_total: 0,
+            insns_total: 0,
             kind_counts: [0; KIND_COUNT],
             ttm_log2: [0; TTM_BUCKETS],
             ttm_sum: 0,
@@ -208,6 +222,7 @@ impl ClassMetrics {
             self.landed += 1;
         }
         self.events_total += m.events_total;
+        self.insns_total += m.insns;
         for (acc, n) in self.kind_counts.iter_mut().zip(m.kind_counts) {
             *acc += n;
         }
@@ -260,13 +275,14 @@ impl CampaignMetrics {
         for m in &self.classes {
             let _ = write!(
                 out,
-                "{{\"app\":\"{}\",\"class\":\"{}\",\"trials\":{},\"landed\":{},\"symptomatic\":{},\"events_total\":{},\"mean_ttm_blocks\":{:.1},\"events_to_symptom\":{}",
+                "{{\"app\":\"{}\",\"class\":\"{}\",\"trials\":{},\"landed\":{},\"symptomatic\":{},\"events_total\":{},\"insns_total\":{},\"mean_ttm_blocks\":{:.1},\"events_to_symptom\":{}",
                 app.name(),
                 m.class.name(),
                 m.trials,
                 m.landed,
                 m.symptomatic,
                 m.events_total,
+                m.insns_total,
                 m.mean_ttm(),
                 m.events_to_symptom_sum,
             );
@@ -291,7 +307,7 @@ impl CampaignMetrics {
 
     /// Serialize as TSV: a header row, then one row per class.
     pub fn to_tsv(&self, app: AppKind) -> String {
-        let mut out = String::from("app\tclass\ttrials\tlanded\tsymptomatic\tevents_total\tmean_ttm_blocks\tevents_to_symptom");
+        let mut out = String::from("app\tclass\ttrials\tlanded\tsymptomatic\tevents_total\tinsns_total\tmean_ttm_blocks\tevents_to_symptom");
         for name in EventKind::NAMES {
             let _ = write!(out, "\t{name}");
         }
@@ -299,13 +315,14 @@ impl CampaignMetrics {
         for m in &self.classes {
             let _ = write!(
                 out,
-                "{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{}",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{}",
                 app.name(),
                 m.class.name(),
                 m.trials,
                 m.landed,
                 m.symptomatic,
                 m.events_total,
+                m.insns_total,
                 m.mean_ttm(),
                 m.events_to_symptom_sum,
             );
@@ -368,7 +385,7 @@ mod tests {
             ],
             vec![ev(0, 11, EventKind::SyscallTrap { num: 40 })],
         ];
-        let m = trial_metrics(&record(), 0, &streams);
+        let m = trial_metrics(&record(), 0, &streams, 12_345);
         assert_eq!(m.injection_clock, Some(10));
         assert_eq!(m.first_symptom_clock, Some(20));
         assert_eq!(m.blocks_to_manifestation, Some(10));
@@ -376,6 +393,7 @@ mod tests {
         // other rank's syscall (11).
         assert_eq!(m.events_to_symptom, Some(2));
         assert_eq!(m.events_total, 5);
+        assert_eq!(m.insns, 12_345);
         assert_eq!(
             m.kind_counts[EventKind::FaultFired { at_insns: 0 }.index()],
             1
@@ -385,7 +403,7 @@ mod tests {
     #[test]
     fn fault_that_never_lands_yields_no_latency() {
         let streams = vec![vec![ev(0, 3, EventKind::SyscallTrap { num: 40 })]];
-        let m = trial_metrics(&record(), 0, &streams);
+        let m = trial_metrics(&record(), 0, &streams, 100);
         assert_eq!(m.injection_clock, None);
         assert_eq!(m.blocks_to_manifestation, None);
         assert_eq!(m.events_total, 1);
@@ -414,22 +432,25 @@ mod tests {
                 },
             ),
         ]];
-        let tm = trial_metrics(&record(), 0, &streams);
+        let tm = trial_metrics(&record(), 0, &streams, 500);
         let mut cm = ClassMetrics::new(TargetClass::RegularReg);
         cm.fold(&tm);
         cm.fold(&tm);
         assert_eq!(cm.trials, 2);
         assert_eq!(cm.landed, 2);
         assert_eq!(cm.symptomatic, 2);
+        assert_eq!(cm.insns_total, 1000);
         assert!((cm.mean_ttm() - 4.0).abs() < 1e-9);
 
         let all = CampaignMetrics { classes: vec![cm] };
         let jsonl = all.to_jsonl(AppKind::Wavetoy);
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\"class\":\"regular-reg\""));
+        assert!(jsonl.contains("\"insns_total\":1000"));
         assert!(jsonl.contains("\"signal\":2"));
         let tsv = all.to_tsv(AppKind::Wavetoy);
         assert_eq!(tsv.lines().count(), 2);
         assert!(tsv.starts_with("app\tclass\t"));
+        assert!(tsv.contains("\tinsns_total\t"));
     }
 }

@@ -137,6 +137,10 @@ pub struct MachineConfig {
     /// Per-rank structured-event ring capacity; 0 disables recording
     /// (the default — recording then costs one branch per hook).
     pub obs_capacity: u32,
+    /// Execution fast path: software TLB + basic-block dispatch. On by
+    /// default; turn off for the fully-checked per-instruction baseline
+    /// (bit-identical behaviour, several times slower).
+    pub fastpath: bool,
 }
 
 impl Default for MachineConfig {
@@ -147,6 +151,7 @@ impl Default for MachineConfig {
             budget: u64::MAX,
             trace: false,
             obs_capacity: 0,
+            fastpath: true,
         }
     }
 }
@@ -184,6 +189,50 @@ impl ICache {
     }
 }
 
+/// A decoded basic block: the straight-line instruction run starting at
+/// some text address, ending at the first block-ending instruction (or
+/// a size cap). Instructions are stored as `(insn, words)` exactly as
+/// the per-instruction icache stores them.
+struct Block {
+    insns: Vec<(Insn, u8)>,
+}
+
+/// Basic-block cache, indexed like [`ICache`] by entry word. Blocks are
+/// built lazily by [`Machine::run`]'s fast path and flushed wholesale on
+/// any text poke (pokes happen at injection rate, so coarse-grained
+/// invalidation costs nothing measurable); `generation` detects a flush
+/// that lands while a block is checked out for execution.
+struct BlockCache {
+    base: u32,
+    slots: Vec<Option<Block>>,
+    generation: u64,
+}
+
+impl BlockCache {
+    fn new(base: u32, len: u32) -> Self {
+        BlockCache {
+            base,
+            slots: (0..(len as usize).div_ceil(4)).map(|_| None).collect(),
+            generation: 0,
+        }
+    }
+
+    fn idx(&self, addr: u32) -> Option<usize> {
+        if addr < self.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((addr - self.base) / 4) as usize;
+        (i < self.slots.len()).then_some(i)
+    }
+
+    fn flush(&mut self) {
+        self.generation += 1;
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
 /// One simulated MPI process.
 pub struct Machine {
     /// CPU registers.
@@ -210,6 +259,8 @@ pub struct Machine {
     lib_text_end: u32,
     icache_app: ICache,
     icache_lib: ICache,
+    bcache_app: BlockCache,
+    bcache_lib: BlockCache,
     /// Lowest ESP observed on a push — measures peak stack depth for the
     /// Table 1 profile ("the stack size varied between 5-10 KB").
     min_esp: u32,
@@ -273,6 +324,7 @@ impl Machine {
         });
 
         let mut mem = Memory::new(map);
+        mem.set_fastpath(cfg.fastpath);
         if cfg.trace {
             mem.enable_tracing(&[Region::Text, Region::Data, Region::Bss, Region::Heap]);
         }
@@ -300,6 +352,8 @@ impl Machine {
             lib_text_end: LIB_BASE + lib_text_len,
             icache_app: ICache::new(TEXT_BASE, text_len.max(4)),
             icache_lib: ICache::new(LIB_BASE, lib_text_len.max(4)),
+            bcache_app: BlockCache::new(TEXT_BASE, text_len.max(4)),
+            bcache_lib: BlockCache::new(LIB_BASE, lib_text_len.max(4)),
             min_esp: STACK_TOP - 16,
         }
     }
@@ -389,8 +443,21 @@ impl Machine {
 
     /// Run until an exit condition, retiring at most `quantum` further
     /// instructions (then returning [`Exit::Quantum`]).
+    ///
+    /// Dispatches to the basic-block fast path when the memory fast path
+    /// is on and tracing is off; otherwise runs the per-instruction slow
+    /// loop. Both paths retire the same instructions in the same order
+    /// with identical counters, events and signal points.
     pub fn run(&mut self, quantum: u64) -> Exit {
         let stop_at = self.counters.insns.saturating_add(quantum);
+        if self.mem.fastpath() && !self.mem.tracing_enabled() {
+            self.run_fast(stop_at)
+        } else {
+            self.run_slow(stop_at)
+        }
+    }
+
+    fn run_slow(&mut self, stop_at: u64) -> Exit {
         loop {
             if self.counters.insns >= self.budget {
                 return Exit::Budget;
@@ -402,6 +469,128 @@ impl Machine {
                 return exit;
             }
         }
+    }
+
+    /// Basic-block dispatch: look up (or build) the decoded block at EIP
+    /// and execute it in a tight inner loop, paying the cache-probe and
+    /// dispatch overhead once per block instead of once per instruction.
+    fn run_fast(&mut self, stop_at: u64) -> Exit {
+        loop {
+            if self.counters.insns >= self.budget {
+                return Exit::Budget;
+            }
+            if self.counters.insns >= stop_at {
+                return Exit::Quantum;
+            }
+            let eip = self.cpu.eip;
+            let (in_app, idx) = match (self.bcache_app.idx(eip), self.bcache_lib.idx(eip)) {
+                (Some(i), _) => (true, i),
+                (None, Some(i)) => (false, i),
+                // Not a block-cacheable address (unaligned or outside
+                // text): single-step, which raises the right signal.
+                (None, None) => {
+                    if let Some(exit) = self.step() {
+                        return exit;
+                    }
+                    continue;
+                }
+            };
+            let (generation, slot) = if in_app {
+                (
+                    self.bcache_app.generation,
+                    self.bcache_app.slots[idx].take(),
+                )
+            } else {
+                (
+                    self.bcache_lib.generation,
+                    self.bcache_lib.slots[idx].take(),
+                )
+            };
+            let block = match slot.or_else(|| self.build_block(eip)) {
+                Some(b) => b,
+                // Head instruction unfetchable/undecodable: the step
+                // path raises the proper SIGSEGV/SIGILL with events.
+                None => {
+                    if let Some(exit) = self.step() {
+                        return exit;
+                    }
+                    continue;
+                }
+            };
+            let exit = self.exec_block(&block, eip, stop_at);
+            // Put the block back unless a flush raced the execution
+            // (nothing inside exec can poke text today, but the
+            // generation check keeps the contract local).
+            let cache = if in_app {
+                &mut self.bcache_app
+            } else {
+                &mut self.bcache_lib
+            };
+            if cache.generation == generation {
+                cache.slots[idx] = Some(block);
+            }
+            if let Some(exit) = exit {
+                return exit;
+            }
+        }
+    }
+
+    /// Decode the straight-line run starting at `eip`, up to the first
+    /// block-ending instruction or a size cap. `None` if even the first
+    /// instruction cannot be fetched or decoded.
+    fn build_block(&mut self, eip: u32) -> Option<Block> {
+        const MAX_BLOCK_INSNS: usize = 64;
+        let now = self.counters.blocks;
+        let mut insns = Vec::new();
+        let mut a = eip;
+        while let Ok(words) = self.mem.fetch_words(a, now) {
+            let Ok((insn, len)) = decode_at(&words, 0) else {
+                break;
+            };
+            insns.push((insn, len as u8));
+            if insn.is_block_end() || insns.len() >= MAX_BLOCK_INSNS {
+                break;
+            }
+            a = a.wrapping_add(4 * len as u32);
+        }
+        if insns.is_empty() {
+            None
+        } else {
+            Some(Block { insns })
+        }
+    }
+
+    /// Execute a decoded block starting at `eip`, replicating
+    /// [`Machine::step`]'s retire order exactly: budget/quantum check,
+    /// counters, then exec. Leaves the block early on any taken branch,
+    /// trap or raised signal. `None` means continue at `self.cpu.eip`.
+    fn exec_block(&mut self, block: &Block, eip: u32, stop_at: u64) -> Option<Exit> {
+        let mut at = eip;
+        for &(insn, len) in &block.insns {
+            if self.counters.insns >= self.budget {
+                return Some(Exit::Budget);
+            }
+            if self.counters.insns >= stop_at {
+                return Some(Exit::Quantum);
+            }
+            self.counters.insns += 1;
+            if insn.is_block_end() {
+                self.counters.blocks += 1;
+            }
+            let next = at.wrapping_add(4 * len as u32);
+            match self.exec(insn, at, next) {
+                Ok(None) => {}
+                Ok(Some(exit)) => return Some(exit),
+                Err(sig) => return Some(self.raise(sig)),
+            }
+            if self.cpu.eip != next {
+                // Taken branch (or a jump landing mid-block): resume
+                // dispatch at the new EIP.
+                return None;
+            }
+            at = next;
+        }
+        None
     }
 
     /// Execute one instruction. `None` means keep going.
@@ -792,15 +981,15 @@ impl Machine {
         match call {
             Syscall::Exit => Ok(Exit::Halted(eax as i32)),
             Syscall::PrintStr | Syscall::FileWrite => {
-                let bytes = self
-                    .mem
-                    .load(eax, ecx, now)
-                    .map_err(|f| SysOutcome::Signal(Signal::Segv { addr: f.addr }))?;
-                if call == Syscall::PrintStr {
-                    self.console.extend_from_slice(&bytes);
+                // Append straight into the sink: no per-call scratch Vec.
+                let sink = if call == Syscall::PrintStr {
+                    &mut self.console
                 } else {
-                    self.outfile.extend_from_slice(&bytes);
-                }
+                    &mut self.outfile
+                };
+                self.mem
+                    .load_append(eax, ecx, now, sink)
+                    .map_err(|f| SysOutcome::Signal(Signal::Segv { addr: f.addr }))?;
                 Err(SysOutcome::Continue)
             }
             Syscall::PrintInt => {
@@ -845,9 +1034,10 @@ impl Machine {
                 }
             }
             Syscall::AbortMsg => {
-                let bytes = self
-                    .mem
-                    .load(eax, ecx.min(4096), now)
+                // Terminal path: one bounded read into a local buffer.
+                let mut bytes = Vec::new();
+                self.mem
+                    .load_append(eax, ecx.min(4096), now, &mut bytes)
                     .map_err(|f| SysOutcome::Signal(Signal::Segv { addr: f.addr }))?;
                 Ok(Exit::Abort(String::from_utf8_lossy(&bytes).into_owned()))
             }
@@ -877,12 +1067,22 @@ impl Machine {
 
     // --- fault-injection interface (the `ptrace` analogue, §3.1) ---------
 
-    /// Privileged memory write; keeps the decode cache coherent.
+    /// Privileged memory write; keeps the decode caches coherent.
     pub fn poke_mem(&mut self, addr: u32, data: &[u8]) {
         self.mem.poke(addr, data);
+        let end = addr.saturating_add(data.len() as u32);
         for i in 0..data.len() as u32 {
             self.icache_app.invalidate(addr + i);
             self.icache_lib.invalidate(addr + i);
+        }
+        // The block caches invalidate coarsely: any text poke flushes the
+        // whole cache (pokes happen at injection rate — blocks rebuild on
+        // demand, and a poked word may sit mid-block in many blocks).
+        if addr < self.text_end && end > TEXT_BASE {
+            self.bcache_app.flush();
+        }
+        if addr < self.lib_text_end && end > LIB_BASE {
+            self.bcache_lib.flush();
         }
     }
 
@@ -1049,6 +1249,8 @@ impl MachineSnapshot {
             lib_text_end: self.lib_text_end,
             icache_app: ICache::new(TEXT_BASE, text_len),
             icache_lib: ICache::new(LIB_BASE, lib_text_len),
+            bcache_app: BlockCache::new(TEXT_BASE, text_len),
+            bcache_lib: BlockCache::new(LIB_BASE, lib_text_len),
             min_esp: self.min_esp,
         }
     }
@@ -1471,6 +1673,70 @@ mod tests {
         m.poke_mem(TEXT_BASE, &[0x00]);
         m.cpu.eip = TEXT_BASE;
         assert!(matches!(m.run(10), Exit::Signal(Signal::Ill { .. })));
+    }
+
+    #[test]
+    fn block_cache_invalidation_after_poke() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Eax, imm: 5 },
+            Insn::J {
+                cond: Cond::Always,
+                target: TEXT_BASE,
+            },
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        // Warm the block cache through the fast path (one quantum spins
+        // the MovI+J loop several times).
+        assert_eq!(m.run(10), Exit::Quantum);
+        // Corrupt the MovI opcode; the next dispatch of the cached block
+        // must see the poke and raise SIGILL at the corrupted address.
+        m.poke_mem(TEXT_BASE, &[0x00]);
+        m.cpu.eip = TEXT_BASE;
+        assert!(matches!(
+            m.run(10),
+            Exit::Signal(Signal::Ill { eip }) if eip == TEXT_BASE
+        ));
+    }
+
+    #[test]
+    fn fastpath_and_slowpath_agree_on_final_state() {
+        use Gpr::*;
+        let loop_start = TEXT_BASE + 8;
+        let img = image(&[
+            Insn::MovI { rd: Ecx, imm: 0 },
+            Insn::AddI {
+                rd: Ecx,
+                ra: Ecx,
+                imm: 1,
+            },
+            Insn::CmpI { ra: Ecx, imm: 250 },
+            Insn::J {
+                cond: Cond::Lt,
+                target: loop_start,
+            },
+            Insn::Mov { rd: Eax, rs: Ecx },
+            Insn::Halt,
+        ]);
+        let mut fast = Machine::load(&img, MachineConfig::default());
+        let mut slow = Machine::load(
+            &img,
+            MachineConfig {
+                fastpath: false,
+                ..Default::default()
+            },
+        );
+        // Drive both in identical awkward quanta so block boundaries and
+        // quantum stops interleave.
+        loop {
+            let (a, b) = (fast.run(7), slow.run(7));
+            assert_eq!(a, b);
+            assert_eq!(fast.counters, slow.counters);
+            if a != Exit::Quantum {
+                break;
+            }
+        }
+        assert_eq!(fast.snapshot(), slow.snapshot());
     }
 
     #[test]

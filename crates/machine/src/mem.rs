@@ -14,7 +14,107 @@
 
 use crate::layout::{AddressSpaceMap, Mapping, Region, PAGE_SIZE};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Low bits of an address within its page.
+const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// Software-TLB size. Direct-mapped on the page number; 64 slots cover
+/// a 256 KiB working set, comfortably more than the hot stack/data/text
+/// pages of the guest apps.
+const TLB_ENTRIES: usize = 64;
+
+/// One software-TLB slot: a cached translation from a page base to the
+/// raw backing page, with the mapping's permissions and the in-page
+/// validity bound baked in so a hit is a mask + compare, not a
+/// `HashMap` lookup + `AddressSpaceMap` walk + `Arc::make_mut`.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    /// Page base this entry translates. Page bases are always
+    /// `PAGE_SIZE`-aligned, so `u32::MAX` can never be a real base and
+    /// doubles as the invalid marker.
+    base: u32,
+    /// Raw pointer to the backing [`Page`] allocation.
+    ptr: *mut Page,
+    /// Exclusive in-page bound: only offsets `[0, hi)` lie inside the
+    /// mapping (region ends are not page-aligned, so the last page of a
+    /// mapping is partial). Accesses reaching `hi` take the slow path,
+    /// which reports the exact fault address at the mapping end.
+    hi: u32,
+    read: bool,
+    /// Cached *write* permission: true only if the entry was filled
+    /// from an exclusively-owned (COW-unshared) page.
+    write: bool,
+    exec: bool,
+    /// [`Tlb::gen`] value at write-fill time; a write hit additionally
+    /// requires this to match, so bumping the generation revokes every
+    /// cached write permission at once (see [`Memory::snapshot`]).
+    write_gen: u64,
+    /// Region of the backing mapping (diagnostics / tests).
+    region: Region,
+}
+
+impl TlbEntry {
+    const INVALID: TlbEntry = TlbEntry {
+        base: u32::MAX,
+        ptr: std::ptr::null_mut(),
+        hi: 0,
+        read: false,
+        write: false,
+        exec: false,
+        write_gen: 0,
+        region: Region::Text,
+    };
+}
+
+/// The software TLB: a small direct-mapped cache over [`Memory`]'s page
+/// table. Entries are filled on slow-path accesses and invalidated on
+/// anything that can move, re-protect or re-share the backing page:
+/// `page_mut` (COW duplication and first-touch materialisation),
+/// [`Memory::map_mut`] (brk growth), [`Memory::enable_tracing`], and
+/// [`Memory::snapshot`] (pages become COW-shared: the write generation
+/// is bumped, revoking all cached write permissions).
+struct Tlb {
+    entries: [TlbEntry; TLB_ENTRIES],
+    /// Write-permission generation, bumped by [`Memory::snapshot`]
+    /// (which takes `&self`, hence the atomic; relaxed ordering is
+    /// enough because cross-thread handoff of a `Memory` already
+    /// synchronises).
+    generation: AtomicU64,
+    enabled: bool,
+}
+
+// SAFETY: the raw pointers in `entries` target the heap allocations of
+// `Arc<Page>`s owned by the same `Memory` that owns this `Tlb`; they are
+// only dereferenced from `Memory`'s own `&self`/`&mut self` methods, so
+// aliasing follows `Memory`'s borrow discipline, and the allocations
+// they point to live (at a stable address) for as long as the owning
+// page table holds them.
+unsafe impl Send for Tlb {}
+// SAFETY: `&Tlb` exposes no operation that dereferences the pointers or
+// mutates entries; the only shared-access mutation is the atomic
+// generation counter.
+unsafe impl Sync for Tlb {}
+
+impl Tlb {
+    fn new(enabled: bool) -> Self {
+        Tlb {
+            entries: [TlbEntry::INVALID; TLB_ENTRIES],
+            generation: AtomicU64::new(1),
+            enabled,
+        }
+    }
+
+    #[inline]
+    fn slot(addr: u32) -> usize {
+        ((addr / PAGE_SIZE) as usize) & (TLB_ENTRIES - 1)
+    }
+
+    fn flush(&mut self) {
+        self.entries = [TlbEntry::INVALID; TLB_ENTRIES];
+    }
+}
 
 /// One backing page. Pages are reference-counted so that snapshots and
 /// the worlds forked from them share unmodified pages copy-on-write:
@@ -107,6 +207,8 @@ pub struct Memory {
     traces: Option<HashMap<Region, AccessTrace>>,
     /// Bytes currently backed by pages (for diagnostics).
     resident_pages: usize,
+    /// Translation fast path (see [`Tlb`]).
+    tlb: Tlb,
 }
 
 impl Memory {
@@ -117,6 +219,7 @@ impl Memory {
             pages: HashMap::new(),
             traces: None,
             resident_pages: 0,
+            tlb: Tlb::new(true),
         }
     }
 
@@ -125,12 +228,16 @@ impl Memory {
         &self.map
     }
 
-    /// Mutable region map access (heap growth).
+    /// Mutable region map access (heap growth). Flushes the TLB: cached
+    /// entries bake in mapping bounds that a layout change invalidates.
     pub fn map_mut(&mut self) -> &mut AddressSpaceMap {
+        self.tlb.flush();
         &mut self.map
     }
 
     /// Enable access tracing for the given regions (working-set analysis).
+    /// Flushes the TLB and suppresses future fills: a TLB hit skips the
+    /// trace bookkeeping, so traced runs must stay on the slow path.
     pub fn enable_tracing(&mut self, regions: &[Region]) {
         let mut t = HashMap::new();
         for &r in regions {
@@ -139,6 +246,20 @@ impl Memory {
             }
         }
         self.traces = Some(t);
+        self.tlb.flush();
+    }
+
+    /// Enable or disable the translation fast path. Disabling flushes,
+    /// so every subsequent access takes the slow (fully-checked) path —
+    /// the `--no-fastpath` baseline for equivalence tests and benches.
+    pub fn set_fastpath(&mut self, enabled: bool) {
+        self.tlb.enabled = enabled;
+        self.tlb.flush();
+    }
+
+    /// Whether the translation fast path is enabled.
+    pub fn fastpath(&self) -> bool {
+        self.tlb.enabled
     }
 
     /// The trace for a region, if tracing was enabled.
@@ -153,7 +274,13 @@ impl Memory {
 
     /// Writable view of the page containing `addr`, materialising it if
     /// absent and un-sharing it (copy-on-write) if a snapshot holds it.
+    ///
+    /// Always invalidates the page's TLB slot first: `Arc::make_mut` may
+    /// replace the backing allocation (COW duplication), and a page maps
+    /// to exactly one direct-mapped slot, so clearing that slot removes
+    /// any cached translation to the old allocation.
     fn page_mut(&mut self, addr: u32) -> &mut Page {
+        self.tlb.entries[Tlb::slot(addr)] = TlbEntry::INVALID;
         let key = addr / PAGE_SIZE;
         let resident = &mut self.resident_pages;
         let arc = self.pages.entry(key).or_insert_with(|| {
@@ -169,7 +296,7 @@ impl Memory {
         self.traces.is_some()
     }
 
-    fn check(&self, addr: u32, len: u32, kind: AccessKind) -> Result<Region, MemFault> {
+    fn check(&self, addr: u32, len: u32, kind: AccessKind) -> Result<Mapping, MemFault> {
         let m = self.map.lookup(addr).ok_or(MemFault { addr, kind })?;
         let ok = match kind {
             AccessKind::Read => m.perms.read,
@@ -185,7 +312,125 @@ impl Memory {
         if end > m.end {
             return Err(MemFault { addr: m.end, kind });
         }
-        Ok(m.region)
+        Ok(*m)
+    }
+
+    // --- TLB fast path ---------------------------------------------------
+
+    /// Fast-path read: a hit yields a borrow of `len` bytes entirely
+    /// inside one cached, readable, in-bounds page. Misses (including
+    /// any access reaching the in-page bound `hi`) return `None` and
+    /// fall to the checked slow path.
+    #[inline]
+    fn tlb_read(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        let off = (addr & PAGE_MASK) as usize;
+        let e = &self.tlb.entries[Tlb::slot(addr)];
+        if e.base == addr & !PAGE_MASK && e.read && off + len <= e.hi as usize {
+            // SAFETY: `ptr` targets the heap allocation of an
+            // `Arc<Page>` still held by `self.pages` — every operation
+            // that could replace or re-share that allocation
+            // (`page_mut`, `map_mut`, `enable_tracing`) invalidates the
+            // entry first — and we only read through it.
+            let page: &Page = unsafe { &*e.ptr };
+            Some(&page[off..off + len])
+        } else {
+            None
+        }
+    }
+
+    /// Fast-path write: like [`Self::tlb_read`] but the entry must also
+    /// carry write permission from a COW-exclusive fill whose write
+    /// generation is still current (snapshots revoke it by bumping the
+    /// generation).
+    #[inline]
+    fn tlb_write(&mut self, addr: u32, len: usize) -> Option<&mut [u8]> {
+        let off = (addr & PAGE_MASK) as usize;
+        let e = &self.tlb.entries[Tlb::slot(addr)];
+        if e.base == addr & !PAGE_MASK
+            && e.write
+            && off + len <= e.hi as usize
+            && e.write_gen == self.tlb.generation.load(Ordering::Relaxed)
+        {
+            // SAFETY: as in `tlb_read`, the pointer is live; writing is
+            // sound because the entry was filled from an exclusively
+            // owned page (`Arc::get_mut` succeeded) and the generation
+            // check proves no snapshot has re-shared it since.
+            let page: &mut Page = unsafe { &mut *e.ptr };
+            Some(&mut page[off..off + len])
+        } else {
+            None
+        }
+    }
+
+    /// Install a read-only entry for `addr`'s page after a slow-path
+    /// load or fetch through mapping `m`. No-ops when the fast path is
+    /// off, tracing is on (hits would skip trace bookkeeping), the
+    /// mapping starts mid-page, or the page is not materialised.
+    fn tlb_fill_read(&mut self, addr: u32, m: &Mapping) {
+        if !self.tlb.enabled || self.traces.is_some() {
+            return;
+        }
+        let base = addr & !PAGE_MASK;
+        if base < m.start {
+            return;
+        }
+        let Some(arc) = self.pages.get(&(addr / PAGE_SIZE)) else {
+            return;
+        };
+        self.tlb.entries[Tlb::slot(addr)] = TlbEntry {
+            base,
+            ptr: Arc::as_ptr(arc) as *mut Page,
+            hi: (m.end - base).min(PAGE_SIZE),
+            read: m.perms.read,
+            write: false,
+            exec: m.perms.exec,
+            write_gen: 0,
+            region: m.region,
+        };
+    }
+
+    /// Install a read+write entry for `addr`'s page after a slow-path
+    /// store through mapping `m`. Fills only from an exclusively owned
+    /// page (`Arc::get_mut`), recording the current write generation —
+    /// the preceding `raw_write` un-shared the page via `page_mut`, so
+    /// exclusivity normally holds.
+    fn tlb_fill_write(&mut self, addr: u32, m: &Mapping) {
+        if !self.tlb.enabled || self.traces.is_some() {
+            return;
+        }
+        let base = addr & !PAGE_MASK;
+        if base < m.start {
+            return;
+        }
+        let Some(arc) = self.pages.get_mut(&(addr / PAGE_SIZE)) else {
+            return;
+        };
+        let Some(page) = Arc::get_mut(arc) else {
+            return;
+        };
+        self.tlb.entries[Tlb::slot(addr)] = TlbEntry {
+            base,
+            ptr: page,
+            hi: (m.end - base).min(PAGE_SIZE),
+            read: m.perms.read,
+            write: m.perms.write,
+            exec: m.perms.exec,
+            write_gen: self.tlb.generation.load(Ordering::Relaxed),
+            region: m.region,
+        };
+    }
+
+    /// TLB diagnostics for tests: `(page base, region, writable-now)`
+    /// cached for `addr`, if its slot holds a matching valid entry.
+    #[doc(hidden)]
+    pub fn tlb_probe(&self, addr: u32) -> Option<(u32, Region, bool)> {
+        let e = &self.tlb.entries[Tlb::slot(addr)];
+        if e.base != u32::MAX && e.base == addr & !PAGE_MASK {
+            let writable = e.write && e.write_gen == self.tlb.generation.load(Ordering::Relaxed);
+            Some((e.base, e.region, writable))
+        } else {
+            None
+        }
     }
 
     fn note(&mut self, region: Region, addr: u32, len: u32, now: u64, kind: TraceKind) {
@@ -241,60 +486,114 @@ impl Memory {
 
     // --- checked user-mode accesses --------------------------------------
 
-    /// Load `N` bytes with protection checks and load tracing.
-    pub fn load(&mut self, addr: u32, len: u32, now: u64) -> Result<Vec<u8>, MemFault> {
-        let region = self.check(addr, len, AccessKind::Read)?;
-        self.note(region, addr, len, now, TraceKind::Load);
-        let mut out = vec![0u8; len as usize];
-        self.raw_read(addr, &mut out);
-        Ok(out)
+    /// Copy `buf.len()` bytes from `addr` into the caller's buffer with
+    /// protection checks and load tracing — the allocation-free
+    /// replacement for the old `Vec`-returning `load`.
+    pub fn load_into(&mut self, addr: u32, buf: &mut [u8], now: u64) -> Result<(), MemFault> {
+        let len = buf.len() as u32;
+        let m = self.check(addr, len, AccessKind::Read)?;
+        self.note(m.region, addr, len, now, TraceKind::Load);
+        self.raw_read(addr, buf);
+        Ok(())
+    }
+
+    /// Load exactly `N` bytes as a fixed-size array (no heap traffic).
+    pub fn load_exact<const N: usize>(&mut self, addr: u32, now: u64) -> Result<[u8; N], MemFault> {
+        let mut b = [0u8; N];
+        self.load_into(addr, &mut b, now)?;
+        Ok(b)
+    }
+
+    /// Check + trace a `len`-byte load and append the bytes to `out`.
+    /// Grows `out` but reuses its capacity, so sinks that call this in a
+    /// loop (console, output file) stop allocating once warm.
+    pub fn load_append(
+        &mut self,
+        addr: u32,
+        len: u32,
+        now: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<(), MemFault> {
+        let m = self.check(addr, len, AccessKind::Read)?;
+        self.note(m.region, addr, len, now, TraceKind::Load);
+        let start = out.len();
+        out.resize(start + len as usize, 0);
+        self.raw_read(addr, &mut out[start..]);
+        Ok(())
     }
 
     /// Load a 32-bit little-endian word.
     pub fn load_u32(&mut self, addr: u32, now: u64) -> Result<u32, MemFault> {
-        let region = self.check(addr, 4, AccessKind::Read)?;
-        self.note(region, addr, 4, now, TraceKind::Load);
+        if let Some(src) = self.tlb_read(addr, 4) {
+            return Ok(u32::from_le_bytes(src.try_into().unwrap()));
+        }
+        let m = self.check(addr, 4, AccessKind::Read)?;
+        self.note(m.region, addr, 4, now, TraceKind::Load);
         let mut b = [0u8; 4];
         self.raw_read(addr, &mut b);
+        self.tlb_fill_read(addr, &m);
         Ok(u32::from_le_bytes(b))
     }
 
     /// Load a byte.
     pub fn load_u8(&mut self, addr: u32, now: u64) -> Result<u8, MemFault> {
-        let region = self.check(addr, 1, AccessKind::Read)?;
-        self.note(region, addr, 1, now, TraceKind::Load);
+        if let Some(src) = self.tlb_read(addr, 1) {
+            return Ok(src[0]);
+        }
+        let m = self.check(addr, 1, AccessKind::Read)?;
+        self.note(m.region, addr, 1, now, TraceKind::Load);
         let mut b = [0u8; 1];
         self.raw_read(addr, &mut b);
+        self.tlb_fill_read(addr, &m);
         Ok(b[0])
     }
 
     /// Load a 64-bit float.
     pub fn load_f64(&mut self, addr: u32, now: u64) -> Result<f64, MemFault> {
-        let region = self.check(addr, 8, AccessKind::Read)?;
-        self.note(region, addr, 8, now, TraceKind::Load);
+        if let Some(src) = self.tlb_read(addr, 8) {
+            return Ok(f64::from_le_bytes(src.try_into().unwrap()));
+        }
+        let m = self.check(addr, 8, AccessKind::Read)?;
+        self.note(m.region, addr, 8, now, TraceKind::Load);
         let mut b = [0u8; 8];
         self.raw_read(addr, &mut b);
+        self.tlb_fill_read(addr, &m);
         Ok(f64::from_le_bytes(b))
     }
 
     /// Store a 32-bit word.
     pub fn store_u32(&mut self, addr: u32, v: u32, _now: u64) -> Result<(), MemFault> {
-        self.check(addr, 4, AccessKind::Write)?;
+        if let Some(dst) = self.tlb_write(addr, 4) {
+            dst.copy_from_slice(&v.to_le_bytes());
+            return Ok(());
+        }
+        let m = self.check(addr, 4, AccessKind::Write)?;
         self.raw_write(addr, &v.to_le_bytes());
+        self.tlb_fill_write(addr, &m);
         Ok(())
     }
 
     /// Store a byte.
     pub fn store_u8(&mut self, addr: u32, v: u8, _now: u64) -> Result<(), MemFault> {
-        self.check(addr, 1, AccessKind::Write)?;
+        if let Some(dst) = self.tlb_write(addr, 1) {
+            dst[0] = v;
+            return Ok(());
+        }
+        let m = self.check(addr, 1, AccessKind::Write)?;
         self.raw_write(addr, &[v]);
+        self.tlb_fill_write(addr, &m);
         Ok(())
     }
 
     /// Store a 64-bit float.
     pub fn store_f64(&mut self, addr: u32, v: f64, _now: u64) -> Result<(), MemFault> {
-        self.check(addr, 8, AccessKind::Write)?;
+        if let Some(dst) = self.tlb_write(addr, 8) {
+            dst.copy_from_slice(&v.to_le_bytes());
+            return Ok(());
+        }
+        let m = self.check(addr, 8, AccessKind::Write)?;
         self.raw_write(addr, &v.to_le_bytes());
+        self.tlb_fill_write(addr, &m);
         Ok(())
     }
 
@@ -304,19 +603,35 @@ impl Memory {
     /// as 0 in that case and the decoder's `Truncated` error surfaces only
     /// if the opcode wanted an immediate.
     pub fn fetch_words(&mut self, addr: u32, now: u64) -> Result<[u32; 2], MemFault> {
-        let region = self.check(addr, 4, AccessKind::Exec)?;
-        self.note(region, addr, 4, now, TraceKind::Fetch);
+        // Fast path: both words inside one cached executable page. The
+        // last instructions of a mapping (where word 1 may be outside
+        // it) always miss `hi` and keep the read-as-0 slow semantics.
+        {
+            let off = (addr & PAGE_MASK) as usize;
+            let e = &self.tlb.entries[Tlb::slot(addr)];
+            if e.base == addr & !PAGE_MASK && e.exec && off + 8 <= e.hi as usize {
+                // SAFETY: see `tlb_read` — the entry is live and only read.
+                let p = unsafe { &*e.ptr };
+                return Ok([
+                    u32::from_le_bytes(p[off..off + 4].try_into().unwrap()),
+                    u32::from_le_bytes(p[off + 4..off + 8].try_into().unwrap()),
+                ]);
+            }
+        }
+        let m = self.check(addr, 4, AccessKind::Exec)?;
+        self.note(m.region, addr, 4, now, TraceKind::Fetch);
         let mut b = [0u8; 4];
         self.raw_read(addr, &mut b);
         let w0 = u32::from_le_bytes(b);
         let w1 = if self.check(addr + 4, 4, AccessKind::Exec).is_ok() {
-            self.note(region, addr + 4, 4, now, TraceKind::Fetch);
+            self.note(m.region, addr + 4, 4, now, TraceKind::Fetch);
             let mut b1 = [0u8; 4];
             self.raw_read(addr + 4, &mut b1);
             u32::from_le_bytes(b1)
         } else {
             0
         };
+        self.tlb_fill_read(addr, &m);
         Ok([w0, w1])
     }
 
@@ -369,12 +684,19 @@ impl Memory {
     /// Capture the full memory state. Pages are shared with the live
     /// memory copy-on-write, so this is O(resident pages) pointer
     /// clones, not a byte copy.
+    ///
+    /// Every page is COW-shared with the snapshot afterwards, so all
+    /// cached TLB write permissions are revoked by bumping the write
+    /// generation (read entries stay valid: the shared allocations do
+    /// not move, and reading shared pages is fine).
     pub fn snapshot(&self) -> MemorySnapshot {
+        self.tlb.generation.fetch_add(1, Ordering::Relaxed);
         MemorySnapshot {
             map: self.map.clone(),
             pages: self.pages.clone(),
             traces: self.traces.clone(),
             resident_pages: self.resident_pages,
+            fastpath: self.tlb.enabled,
         }
     }
 }
@@ -388,17 +710,24 @@ pub struct MemorySnapshot {
     pages: HashMap<u32, Arc<Page>>,
     traces: Option<HashMap<Region, AccessTrace>>,
     resident_pages: usize,
+    /// Whether the source memory had the translation fast path on;
+    /// forks inherit it. Excluded from equality (like
+    /// `resident_pages`): it is an execution-strategy knob, not state —
+    /// the fast-vs-slow bit-identity tests compare snapshots across it.
+    fastpath: bool,
 }
 
 impl MemorySnapshot {
     /// Materialise a live [`Memory`] from this snapshot (a fork: pages
-    /// stay shared until written).
+    /// stay shared until written). The fork starts with a cold TLB —
+    /// restore/fork is one of the invalidation boundaries.
     pub fn to_memory(&self) -> Memory {
         Memory {
             map: self.map.clone(),
             pages: self.pages.clone(),
             traces: self.traces.clone(),
             resident_pages: self.resident_pages,
+            tlb: Tlb::new(self.fastpath),
         }
     }
 
@@ -579,6 +908,124 @@ mod tests {
         assert_eq!(t.working_set_granules(0), 16);
         assert_eq!(t.working_set_granules(15), 1);
         assert_eq!(t.working_set_granules(16), 0);
+    }
+
+    #[test]
+    fn load_into_and_exact_match_typed_loads() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.store_u32(a, 0x04030201, 0).unwrap();
+        m.store_u32(a + 4, 0x08070605, 0).unwrap();
+        let mut buf = [0u8; 6];
+        m.load_into(a, &mut buf, 0).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+        let b: [u8; 4] = m.load_exact(a + 2, 0).unwrap();
+        assert_eq!(b, [3, 4, 5, 6]);
+        let mut out = vec![0xff];
+        m.load_append(a, 3, 0, &mut out).unwrap();
+        assert_eq!(out, vec![0xff, 1, 2, 3]);
+        // Faulting variants report the same addresses as the old load.
+        let last = TEXT_BASE + 0x4000 - 2;
+        let err = m.load_into(last, &mut buf, 0).unwrap_err();
+        assert_eq!(err.addr, TEXT_BASE + 0x4000);
+        let err = m.load_append(0x1000, 4, 0, &mut out).unwrap_err();
+        assert_eq!(err.addr, 0x1000);
+        assert_eq!(out.len(), 4, "failed append must not grow the buffer");
+    }
+
+    #[test]
+    fn tlb_fills_on_store_and_load() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        assert_eq!(m.tlb_probe(a), None);
+        m.store_u32(a, 7, 0).unwrap();
+        assert_eq!(m.tlb_probe(a), Some((a, Region::Data, true)));
+        // A warm TLB still reports spanning faults at the mapping end.
+        let last = TEXT_BASE + 0x4000 - 2;
+        m.store_u8(last, 1, 0).unwrap();
+        let err = m.load_u32(last, 0).unwrap_err();
+        assert_eq!(err.addr, TEXT_BASE + 0x4000);
+        // Text fetches fill a read/exec entry without write permission.
+        m.poke_u32(TEXT_BASE, 0);
+        m.fetch_words(TEXT_BASE, 0).unwrap();
+        assert_eq!(
+            m.tlb_probe(TEXT_BASE),
+            Some((TEXT_BASE, Region::Text, false))
+        );
+    }
+
+    #[test]
+    fn snapshot_revokes_cached_write_permission() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.store_u32(a, 1, 0).unwrap();
+        assert_eq!(m.tlb_probe(a), Some((a, Region::Data, true)));
+        let snap = m.snapshot();
+        // The page is now COW-shared: the cached write entry must be dead.
+        assert_eq!(m.tlb_probe(a), Some((a, Region::Data, false)));
+        // Writing again takes the slow path, un-shares, and must not
+        // leak into the snapshot.
+        m.store_u32(a, 2, 0).unwrap();
+        assert_eq!(m.load_u32(a, 0).unwrap(), 2);
+        assert_eq!(snap.to_memory().load_u32(a, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn forked_memory_starts_cold_and_stays_isolated() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.store_u32(a, 5, 0).unwrap();
+        let snap = m.snapshot();
+        let mut fork = snap.to_memory();
+        assert_eq!(fork.tlb_probe(a), None, "forks start with a cold TLB");
+        fork.store_u32(a, 9, 0).unwrap();
+        assert_eq!(m.load_u32(a, 0).unwrap(), 5);
+        assert_eq!(fork.load_u32(a, 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn poke_and_map_change_invalidate_entries() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.store_u32(a, 1, 0).unwrap();
+        assert!(m.tlb_probe(a).is_some());
+        // A privileged poke rewrites through page_mut, killing the slot.
+        m.poke_u32(a, 0xffff_ffff);
+        assert_eq!(m.tlb_probe(a), None);
+        assert_eq!(m.load_u32(a, 0).unwrap(), 0xffff_ffff);
+        // Any layout change flushes everything.
+        m.store_u32(a, 3, 0).unwrap();
+        assert!(m.tlb_probe(a).is_some());
+        let _ = m.map_mut();
+        assert_eq!(m.tlb_probe(a), None);
+    }
+
+    #[test]
+    fn fastpath_off_and_tracing_suppress_fills() {
+        let mut m = mem();
+        let a = TEXT_BASE + 0x2000;
+        m.set_fastpath(false);
+        assert!(!m.fastpath());
+        m.store_u32(a, 1, 0).unwrap();
+        assert_eq!(m.tlb_probe(a), None);
+        assert_eq!(m.load_u32(a, 0).unwrap(), 1);
+        let mut m = mem();
+        m.enable_tracing(&[Region::Data]);
+        m.store_u32(a, 2, 0).unwrap();
+        m.load_u32(a, 4).unwrap();
+        assert_eq!(m.tlb_probe(a), None, "traced runs must stay slow-path");
+        assert_eq!(m.trace(Region::Data).unwrap().working_set_granules(4), 1);
+    }
+
+    #[test]
+    fn snapshot_equality_ignores_fastpath_flag() {
+        let mut fast = mem();
+        let mut slow = mem();
+        slow.set_fastpath(false);
+        let a = TEXT_BASE + 0x2000;
+        fast.store_u32(a, 42, 0).unwrap();
+        slow.store_u32(a, 42, 0).unwrap();
+        assert_eq!(fast.snapshot(), slow.snapshot());
     }
 
     #[test]

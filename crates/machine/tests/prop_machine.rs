@@ -159,6 +159,83 @@ proptest! {
         let _ = m.run(u64::MAX);
     }
 
+    /// The execution-fast-path correctness bar: for a random injection
+    /// plan — warm-up length, register flip, memory flip, text poke,
+    /// quantum schedule, budget — running with the software TLB + block
+    /// dispatch and with them disabled must be bit-identical: same exit
+    /// sequence, same counters, same architectural snapshot. A mid-plan
+    /// snapshot fork/restore boundary is included, because that is where
+    /// stale TLB entries or checked-out blocks would show up (the
+    /// restored machine shares pages COW with its origin).
+    #[test]
+    fn fastpath_is_bit_identical_to_slowpath(
+        warm in 0u64..600,
+        reg_idx in 0usize..10,
+        rbit in 0u32..32,
+        region_pick in 0u8..4,
+        offset in 0u32..4096,
+        mbit in 0u8..8,
+        poke_off in 0u32..64,
+        poke_byte in any::<u8>(),
+        quantum in 3u64..900,
+        budget in 20_000u64..150_000,
+    ) {
+        let img = loop_program();
+        let text_len = img.text.len() as u32;
+        let drive = |fastpath: bool| {
+            let cfg = MachineConfig { budget, fastpath, ..Default::default() };
+            let mut m = Machine::load(&img, cfg);
+            let mut exits = Vec::new();
+            // Warm up in fixed quanta so block boundaries land mid-plan.
+            while m.counters.insns < warm {
+                let e = m.run(quantum);
+                if e != Exit::Quantum {
+                    exits.push(e);
+                    break;
+                }
+            }
+            // The injection plan: one register flip, one memory flip,
+            // one multi-byte text poke (exercises icache + block-cache
+            // invalidation and the TLB's poke contract).
+            let regs: Vec<RegisterName> = Gpr::ALL
+                .iter()
+                .map(|&g| RegisterName::Gpr(g))
+                .chain([RegisterName::Eip, RegisterName::Eflags])
+                .collect();
+            m.flip_register_bit(regs[reg_idx], rbit);
+            let addr = match region_pick {
+                0 => TEXT_BASE + offset % text_len,
+                1 => img.data_base() + offset % (img.data.len().max(4) as u32),
+                2 => img.bss_base() + offset % img.bss_size.max(4),
+                _ => 0xBFFF_0000 + offset % 0xF000,
+            };
+            m.flip_mem_bit(addr, mbit);
+            m.poke_mem(TEXT_BASE + (poke_off * 4) % text_len, &[poke_byte; 4]);
+            // Fork/restore boundary: continue the origin AND a machine
+            // restored from its snapshot; both must finish identically.
+            let snap = m.snapshot();
+            let mut restored = snap.to_machine();
+            for mach in [&mut m, &mut restored] {
+                loop {
+                    let e = mach.run(quantum);
+                    if e != Exit::Quantum {
+                        exits.push(e);
+                        break;
+                    }
+                }
+            }
+            (exits, m.snapshot(), restored.snapshot())
+        };
+        let (fast_exits, fast_end, fast_restored) = drive(true);
+        let (slow_exits, slow_end, slow_restored) = drive(false);
+        prop_assert_eq!(fast_exits, slow_exits);
+        prop_assert_eq!(&fast_end, &slow_end);
+        prop_assert_eq!(&fast_restored, &slow_restored);
+        // And the fork itself must be invisible: the restored run ends
+        // exactly where its origin does.
+        prop_assert_eq!(&fast_end, &fast_restored);
+    }
+
     /// F80 conversion total and idempotent through f64.
     #[test]
     fn f80_total(bits in any::<u64>(), se in any::<u16>(), flip in 0u32..80) {

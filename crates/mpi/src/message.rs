@@ -220,6 +220,23 @@ pub struct WireMsg {
 impl WireMsg {
     /// Build a data message.
     pub fn data(src: u16, dst: u16, tag: u32, seq: u32, payload: &[u8]) -> WireMsg {
+        WireMsg::data_with(src, dst, tag, seq, payload.len() as u32, |b| {
+            b.copy_from_slice(payload)
+        })
+    }
+
+    /// Build a data message of `len` payload bytes, letting `fill` write
+    /// the payload region in place: the wire image is allocated once at
+    /// its final size, filled, then sealed — so senders can peek guest
+    /// memory straight into the packet with no intermediate buffer.
+    pub fn data_with(
+        src: u16,
+        dst: u16,
+        tag: u32,
+        seq: u32,
+        len: u32,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> WireMsg {
         let h = Header {
             kind: MsgKind::Data,
             ctl_op: CtlOp::None,
@@ -227,10 +244,11 @@ impl WireMsg {
             dst,
             tag,
             seq,
-            payload_len: payload.len() as u32,
+            payload_len: len,
         };
-        let mut raw = h.to_bytes().to_vec();
-        raw.extend_from_slice(payload);
+        let mut raw = vec![0u8; HEADER_SIZE + len as usize];
+        raw[..HEADER_SIZE].copy_from_slice(&h.to_bytes());
+        fill(&mut raw[HEADER_SIZE..]);
         let mut m = WireMsg { raw };
         m.seal();
         m

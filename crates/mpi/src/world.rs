@@ -647,6 +647,29 @@ impl MpiWorld {
         self.ingest(src, dst, m);
     }
 
+    /// Send `len` bytes straight out of `src`'s guest memory at `buf`:
+    /// the wire image is allocated once and the payload peeked directly
+    /// into it, with no intermediate copy (the allocation-free eager
+    /// path; [`MpiWorld::send_data`] remains for host-side payloads).
+    fn send_data_from_mem(&mut self, src: u16, dst: u16, tag: u32, buf: u32, len: u32) {
+        if !self.check_wire_dst(src, dst) {
+            return;
+        }
+        let seq = self.ranks[src as usize].send_seq;
+        self.ranks[src as usize].send_seq += 1;
+        self.obs_record(
+            src as usize,
+            EventKind::MsgSend {
+                to: dst,
+                tag,
+                bytes: len,
+            },
+        );
+        let mem = &self.ranks[src as usize].machine.mem;
+        let m = WireMsg::data_with(src, dst, tag, seq, len, |b| mem.peek(buf, b));
+        self.ingest(src, dst, m);
+    }
+
     fn send_control(&mut self, op: CtlOp, src: u16, dst: u16, tag: u32) {
         if !self.check_wire_dst(src, dst) {
             return;
@@ -758,16 +781,20 @@ impl MpiWorld {
                     return self
                         .mpi_error(rank, format!("MPI_Send: invalid buffer {buf:#x}+{len}"));
                 }
-                let mut payload = vec![0u8; len as usize];
-                self.ranks[rank as usize]
-                    .machine
-                    .mem
-                    .peek(buf, &mut payload);
                 if len <= self.cfg.eager_threshold {
-                    self.send_data(rank, dst as u16, tag, &payload);
+                    // Eager: peek the payload straight into the wire image.
+                    self.send_data_from_mem(rank, dst as u16, tag, buf, len);
                     self.complete(rank, None);
                 } else {
-                    // Rendezvous: RTS now, data after CTS.
+                    // Rendezvous: RTS now, data after CTS. MPI_Send's
+                    // buffer-reuse semantics require capturing the
+                    // payload at send time, so this path keeps an owned
+                    // copy in the blocked state.
+                    let mut payload = vec![0u8; len as usize];
+                    self.ranks[rank as usize]
+                        .machine
+                        .mem
+                        .peek(buf, &mut payload);
                     let seq = self.ranks[rank as usize].send_seq;
                     self.send_control(CtlOp::Rts, rank, dst as u16, tag);
                     self.ranks[rank as usize].status = Status::Blocked(Blocked::SendRts {
@@ -817,14 +844,9 @@ impl MpiWorld {
                         .mpi_error(rank, format!("MPI_Bcast: invalid buffer {buf:#x}+{len}"));
                 }
                 if is_root {
-                    let mut payload = vec![0u8; len as usize];
-                    self.ranks[rank as usize]
-                        .machine
-                        .mem
-                        .peek(buf, &mut payload);
                     for d in 0..self.ranks.len() as u16 {
                         if d != rank {
-                            self.send_data(rank, d, ctag, &payload);
+                            self.send_data_from_mem(rank, d, ctag, buf, len);
                         }
                     }
                     self.complete(rank, None);
@@ -868,15 +890,14 @@ impl MpiWorld {
                 // Allreduce consumes two collective slots (reduce+bcast).
                 self.ranks[rank as usize].coll_seq += if allreduce { 2 } else { 1 };
                 let ctag = COLL_TAG_BASE + seq;
-                let mut local = vec![0u8; bytes as usize];
-                self.ranks[rank as usize]
-                    .machine
-                    .mem
-                    .peek(sendbuf, &mut local);
                 if is_root {
-                    let acc: Vec<f64> = local
-                        .chunks_exact(8)
-                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    let mem = &self.ranks[rank as usize].machine.mem;
+                    let acc: Vec<f64> = (0..count)
+                        .map(|i| {
+                            let mut b = [0u8; 8];
+                            mem.peek(sendbuf + i * 8, &mut b);
+                            f64::from_le_bytes(b)
+                        })
                         .collect();
                     if self.ranks.len() == 1 {
                         self.finish_reduce(rank, &acc, recvbuf, allreduce, ctag);
@@ -889,7 +910,7 @@ impl MpiWorld {
                         });
                     }
                 } else {
-                    self.send_data(rank, root as u16, ctag, &local);
+                    self.send_data_from_mem(rank, root as u16, ctag, sendbuf, bytes);
                     if allreduce {
                         // Wait for the broadcast of the result.
                         self.ranks[rank as usize].status = Status::Blocked(Blocked::Recv {
@@ -916,12 +937,18 @@ impl MpiWorld {
     /// Root finished accumulating a reduce: deposit and, for allreduce,
     /// broadcast the result.
     fn finish_reduce(&mut self, rank: u16, acc: &[f64], recvbuf: u32, allreduce: bool, ctag: u32) {
-        let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.ranks[rank as usize].machine.mem.poke(recvbuf, &bytes);
+        // Deposit element-wise (no flattened scratch buffer); for
+        // allreduce, broadcast straight out of the freshly-written
+        // recvbuf.
+        let mem = &mut self.ranks[rank as usize].machine.mem;
+        for (i, v) in acc.iter().enumerate() {
+            mem.poke(recvbuf + 8 * i as u32, &v.to_le_bytes());
+        }
         if allreduce {
+            let len = (acc.len() * 8) as u32;
             for d in 0..self.ranks.len() as u16 {
                 if d != rank {
-                    self.send_data(rank, d, ctag + 1, &bytes);
+                    self.send_data_from_mem(rank, d, ctag + 1, recvbuf, len);
                 }
             }
         }
@@ -988,8 +1015,9 @@ impl MpiWorld {
                                 bytes: h.payload_len,
                             },
                         );
-                        let payload = msg.payload().to_vec();
-                        self.ranks[rank].machine.mem.poke(buf, &payload);
+                        // `msg` is owned here: deposit its payload
+                        // directly, no intermediate copy.
+                        self.ranks[rank].machine.mem.poke(buf, msg.payload());
                         self.complete(rank as u16, Some(h.payload_len));
                         true
                     }

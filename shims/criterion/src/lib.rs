@@ -1,11 +1,16 @@
 //! Offline stand-in for the `criterion` crate (API subset).
 //!
-//! Measurement is a plain adaptive wall-clock loop: warm up, then grow
-//! the iteration count until a sample takes long enough to time
-//! reliably, and report the best of a few samples. No statistics, no
-//! HTML reports — just `name  time: ...` lines, which is all the
-//! workspace's benches need. Honours a substring filter argument the
-//! way `cargo bench -- <filter>` does.
+//! Measurement is a plain adaptive wall-clock loop: run one discarded
+//! warm-up sample, then grow the iteration count until a sample takes
+//! long enough to time reliably, and report the **median** of a few
+//! samples. The warm-up pass absorbs first-touch costs (cold caches,
+//! lazily materialized pages, frequency ramp-up) and the median resists
+//! scheduler outliers in both directions, which min-of-N does not —
+//! min-of-N made the committed BENCH_*.json overhead fractions noisy
+//! enough to go negative. No statistics beyond that, no HTML reports —
+//! just `name  time: ...` lines, which is all the workspace's benches
+//! need. Honours a substring filter argument the way
+//! `cargo bench -- <filter>` does.
 
 use std::time::{Duration, Instant};
 
@@ -75,34 +80,50 @@ impl Criterion {
         if !self.enabled(name) {
             return;
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..samples.clamp(3, 20) {
+        let sample = |f: &mut F| {
             let mut b = Bencher {
                 ns_per_iter: None,
                 budget: Duration::from_millis(60),
             };
             f(&mut b);
-            if let Some(ns) = b.ns_per_iter {
-                best = best.min(ns);
-            }
-        }
-        if best.is_finite() {
-            self.last_ns_per_iter = Some(best);
+            b.ns_per_iter
+        };
+        // One full discarded warm-up sample, then the timed samples.
+        sample(&mut f);
+        let mut times: Vec<f64> = (0..samples.clamp(3, 20))
+            .filter_map(|_| sample(&mut f))
+            .collect();
+        if let Some(mid) = median(&mut times) {
+            self.last_ns_per_iter = Some(mid);
             let rate = match throughput {
                 Some(Throughput::Elements(n)) => {
-                    format!("  thrpt: {:.3} Melem/s", n as f64 / best * 1e3)
+                    format!("  thrpt: {:.3} Melem/s", n as f64 / mid * 1e3)
                 }
                 Some(Throughput::Bytes(n)) => {
                     format!(
                         "  thrpt: {:.3} MiB/s",
-                        n as f64 / best * 1e9 / (1 << 20) as f64
+                        n as f64 / mid * 1e9 / (1 << 20) as f64
                     )
                 }
                 None => String::new(),
             };
-            println!("{name:<40} time: {}{rate}", fmt_ns(best));
+            println!("{name:<40} time: {}{rate}", fmt_ns(mid));
         }
     }
+}
+
+/// Median of a sample set (sorts in place); `None` when empty.
+fn median(times: &mut [f64]) -> Option<f64> {
+    if times.is_empty() {
+        return None;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = times.len();
+    Some(if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        (times[n / 2 - 1] + times[n / 2]) / 2.0
+    })
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -221,6 +242,16 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_is_order_insensitive_and_outlier_resistant() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [5.0]), Some(5.0));
+        assert_eq!(median(&mut [9.0, 1.0, 5.0]), Some(5.0));
+        assert_eq!(median(&mut [4.0, 2.0, 8.0, 6.0]), Some(5.0));
+        // A single wild outlier must not move the reported time.
+        assert_eq!(median(&mut [5.0, 5.0, 5.0, 5.0, 1e12]), Some(5.0));
+    }
 
     #[test]
     fn measures_something() {
