@@ -1,0 +1,73 @@
+//! Fault-free cost of process-level fault tolerance.
+//!
+//! The ft price contract: on a run where no rank fails, the heartbeat
+//! failure detector plus the periodic buddy-checkpoint line must
+//! together cost at most 15 % of wall time versus the bare world.
+//! Measures a fault-free wavetoy run three ways — ft off, detector
+//! only, detector + buddy line at the default cadence — and writes the
+//! runs/sec plus relative overhead to `BENCH_ft.json` at the workspace
+//! root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::{App, AppKind, AppParams};
+use fl_inject::{ft_config, run_respawn, FtPolicy};
+use fl_mpi::{MpiWorld, WorldExit};
+
+fn bench_ft_overhead(c: &mut Criterion) {
+    let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+    let cfg = app.world_config(2_000_000_000);
+    let policy = FtPolicy::default();
+
+    c.bench_function("ft_overhead/off", |b| {
+        b.iter(|| {
+            let mut w = MpiWorld::new(&app.image, cfg);
+            assert_eq!(w.run(), WorldExit::Clean);
+        })
+    });
+    let off_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    c.bench_function("ft_overhead/detector", |b| {
+        b.iter(|| {
+            let mut w = MpiWorld::new(&app.image, ft_config(cfg, &policy));
+            assert_eq!(w.run(), WorldExit::Clean);
+        })
+    });
+    let det_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    c.bench_function("ft_overhead/respawn_line", |b| {
+        b.iter(|| {
+            let (_, report) = run_respawn(&app.image, cfg, &policy, |_| {});
+            assert_eq!(report.exit, WorldExit::Clean);
+            assert!(!report.intervened());
+        })
+    });
+    let line_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    let off_rps = 1e9 / off_ns;
+    let det_rps = 1e9 / det_ns;
+    let line_rps = 1e9 / line_ns;
+    let det_overhead = (det_ns - off_ns) / off_ns;
+    let line_overhead = (line_ns - off_ns) / off_ns;
+    println!(
+        "ft_overhead: off {off_rps:.2} runs/s, detector {det_rps:.2} runs/s \
+         ({:+.1}%), detector+buddy(64) {line_rps:.2} runs/s ({:+.1}%)",
+        det_overhead * 100.0,
+        line_overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"ft_overhead\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"off_runs_per_sec\": {off_rps:.3},\n  \
+         \"detector_runs_per_sec\": {det_rps:.3},\n  \
+         \"respawn_line_runs_per_sec\": {line_rps:.3},\n  \
+         \"detector_overhead_frac\": {det_overhead:.4},\n  \
+         \"respawn_line_overhead_frac\": {line_overhead:.4},\n  \
+         \"threshold_frac\": 0.15\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ft.json");
+    std::fs::write(path, json).expect("write BENCH_ft.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_ft_overhead);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! faultlab events   <app> <region> --trial K    replay one trial's event timeline
 //! faultlab metrics  <app> [options]             campaign-level event metrics
 //! faultlab guard    <app> [options]             guard-on/off detection coverage
+//! faultlab ft       <app> [options]             rank-kill recovery + replication campaign
 //! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
 //! faultlab source   <app>                       print the generated FL source
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
@@ -18,9 +19,9 @@
 
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
-    coverage_jsonl, estimation_error, render_coverage, render_coverage_tsv,
-    render_register_breakdown, render_table, render_tsv, sample_size, CampaignBuilder,
-    CampaignConfig, GuardPolicy, TargetClass,
+    coverage_jsonl, estimation_error, ft_jsonl, render_coverage, render_coverage_tsv, render_ft,
+    render_ft_tsv, render_register_breakdown, render_table, render_tsv, sample_size,
+    CampaignBuilder, CampaignConfig, FtPolicy, GuardPolicy, TargetClass,
 };
 use fl_snap::RecoveryConfig;
 
@@ -54,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "events" => cmd_events(rest),
         "metrics" => cmd_metrics(rest),
         "guard" => cmd_guard(rest),
+        "ft" => cmd_ft(rest),
         "recovery" => cmd_recovery(rest),
         "sample-size" => cmd_sample_size(rest),
         "source" => cmd_source(rest),
@@ -81,12 +83,17 @@ fn print_usage() {
          \x20 faultlab replay   <app> <region> --trial K [--regions R1,R2|all]\n\
          \x20                   [--seed S] [--injections N] [--epoch-rounds E] [--tiny]\n\
          \x20 faultlab events   <app> <region> --trial K [--regions R1,R2|all]\n\
-         \x20                   [--seed S] [--ring N] [--jsonl] [--tiny]\n\
+         \x20                   [--seed S] [--ring N] [--jsonl] [--tiny] [--no-fastpath]\n\
          \x20 faultlab metrics  <app> [--injections N] [--regions R1,R2|all]\n\
-         \x20                   [--seed S] [--ring N] [--tsv] [--tiny]\n\
+         \x20                   [--seed S] [--ring N] [--tsv] [--tiny] [--no-fastpath]\n\
          \x20 faultlab guard    <app> [--injections N] [--regions R1,R2|all]\n\
          \x20                   [--seed S] [--threads T] [--checkpoint-rounds C]\n\
          \x20                   [--restarts R] [--retransmits X] [--tiny] [--tsv] [--jsonl]\n\
+         \x20                   [--no-fastpath]\n\
+         \x20 faultlab ft       <app> [--injections N] [--seed S] [--threads T]\n\
+         \x20                   [--buddy-rounds B] [--respawns R] [--replicas N]\n\
+         \x20                   [--probe-rounds P] [--suspect-rounds Q]\n\
+         \x20                   [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
@@ -94,6 +101,19 @@ fn print_usage() {
          \x20 faultlab source   <app> [--tiny]\n\
          \x20 faultlab disasm   <app> [--limit N] [--tiny]\n\
          \x20 faultlab regpressure <app> [--tiny]\n\
+         \n\
+         FLAGS (same meaning on every verb that takes them):\n\
+         \x20 --injections N      trials per region (campaign/metrics/guard) or per\n\
+         \x20                     fault kind (ft)\n\
+         \x20 --regions R1,R2     comma-separated region list, or `all`\n\
+         \x20 --seed S            campaign PRNG seed\n\
+         \x20 --threads T         worker threads (0 = one per core)\n\
+         \x20 --epoch-rounds E    scheduler rounds per snapshot epoch\n\
+         \x20 --ring N            per-rank event ring capacity\n\
+         \x20 --tiny              CI-sized app parameters (fast)\n\
+         \x20 --tsv / --jsonl     machine-readable output instead of the table\n\
+         \x20 --no-fastpath       disable the software-TLB/basic-block fast path\n\
+         \x20                     (observably identical, much slower)\n\
          \n\
          APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM)\n\
          REGIONS: regular-reg fp-reg bss data stack text heap message all"
@@ -155,6 +175,47 @@ impl Opts {
                 .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
+
+    /// Reject flags outside `valid`, suggesting the nearest valid flag.
+    fn expect(&self, valid: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.flags {
+            if valid.iter().any(|v| v == name) {
+                continue;
+            }
+            let nearest = valid
+                .iter()
+                .map(|v| (edit_distance(name, v), *v))
+                .min()
+                .filter(|&(d, v)| d <= 3 || v.starts_with(name.as_str()) || name.starts_with(v));
+            return Err(match nearest {
+                Some((_, v)) => format!("unknown flag `--{name}` (did you mean `--{v}`?)"),
+                None => format!(
+                    "unknown flag `--{name}` (valid flags: {})",
+                    valid
+                        .iter()
+                        .map(|v| format!("--{v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Levenshtein distance, for did-you-mean flag suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 fn build_app(kind: AppKind, tiny: bool) -> App {
@@ -168,6 +229,7 @@ fn build_app(kind: AppKind, tiny: bool) -> App {
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["tiny"])?;
     let kinds: Vec<AppKind> = if o.words.is_empty() {
         AppKind::ALL.to_vec()
     } else {
@@ -190,6 +252,17 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[
+        "injections",
+        "regions",
+        "seed",
+        "threads",
+        "epoch-rounds",
+        "tiny",
+        "tsv",
+        "registers",
+        "no-fastpath",
+    ])?;
     let app_name = o.words.first().ok_or("campaign needs an app name")?;
     let kind = parse_app(app_name)?;
     let regions: Vec<TargetClass> = match o.get("regions") {
@@ -256,6 +329,7 @@ fn throughput_line(result: &fl_inject::CampaignResult) -> String {
 
 fn cmd_run_config(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[])?;
     let path = o.words.first().ok_or("run-config needs a file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let spec = fl_inject::parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -282,6 +356,7 @@ fn cmd_run_config(args: &[String]) -> Result<(), String> {
 
 fn cmd_regpressure(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["tiny"])?;
     let app_name = o.words.first().ok_or("regpressure needs an app name")?;
     let app = build_app(parse_app(app_name)?, o.has("tiny"));
     print!("{}", fl_inject::render_register_pressure(&app.image));
@@ -290,6 +365,7 @@ fn cmd_regpressure(args: &[String]) -> Result<(), String> {
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["samples", "tsv", "tiny"])?;
     let app_name = o.words.first().ok_or("trace needs an app name")?;
     let kind = parse_app(app_name)?;
     let samples: usize = o.get_num("samples")?.unwrap_or(60);
@@ -306,6 +382,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 
 fn cmd_trial(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["seed", "tiny"])?;
     let app_name = o.words.first().ok_or("trial needs an app name")?;
     let region = o.words.get(1).ok_or("trial needs a region")?;
     let kind = parse_app(app_name)?;
@@ -324,6 +401,15 @@ fn cmd_trial(args: &[String]) -> Result<(), String> {
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[
+        "trial",
+        "regions",
+        "seed",
+        "injections",
+        "threads",
+        "epoch-rounds",
+        "tiny",
+    ])?;
     let app_name = o.words.first().ok_or("replay needs an app name")?;
     let region = o.words.get(1).ok_or("replay needs a region")?;
     let kind = parse_app(app_name)?;
@@ -374,6 +460,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
 fn cmd_events(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[
+        "trial",
+        "regions",
+        "seed",
+        "injections",
+        "threads",
+        "epoch-rounds",
+        "ring",
+        "jsonl",
+        "tiny",
+        "no-fastpath",
+    ])?;
     let app_name = o.words.first().ok_or("events needs an app name")?;
     let region = o.words.get(1).ok_or("events needs a region")?;
     let kind = parse_app(app_name)?;
@@ -442,6 +540,17 @@ fn cmd_events(args: &[String]) -> Result<(), String> {
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[
+        "injections",
+        "regions",
+        "seed",
+        "threads",
+        "epoch-rounds",
+        "ring",
+        "tsv",
+        "tiny",
+        "no-fastpath",
+    ])?;
     let app_name = o.words.first().ok_or("metrics needs an app name")?;
     let kind = parse_app(app_name)?;
     let regions: Vec<TargetClass> = match o.get("regions") {
@@ -487,6 +596,20 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 
 fn cmd_guard(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&[
+        "injections",
+        "regions",
+        "seed",
+        "threads",
+        "epoch-rounds",
+        "checkpoint-rounds",
+        "restarts",
+        "retransmits",
+        "tiny",
+        "tsv",
+        "jsonl",
+        "no-fastpath",
+    ])?;
     let app_name = o.words.first().ok_or("guard needs an app name")?;
     let kind = parse_app(app_name)?;
     let regions: Vec<TargetClass> = match o.get("regions") {
@@ -538,8 +661,77 @@ fn cmd_guard(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_ft(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&[
+        "injections",
+        "seed",
+        "threads",
+        "buddy-rounds",
+        "respawns",
+        "replicas",
+        "probe-rounds",
+        "suspect-rounds",
+        "tiny",
+        "tsv",
+        "jsonl",
+        "no-fastpath",
+    ])?;
+    let app_name = o.words.first().ok_or("ft needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let cfg = CampaignConfig {
+        injections: o.get_num("injections")?.unwrap_or(40),
+        seed: o.get_num("seed")?.unwrap_or(0xFA17),
+        budget_factor: 3.0,
+        threads: o.get_num("threads")?.unwrap_or(0),
+        fastpath: !o.has("no-fastpath"),
+        ..Default::default()
+    };
+    let mut policy = FtPolicy::default();
+    if let Some(b) = o.get_num("buddy-rounds")? {
+        policy.buddy_rounds = b;
+    }
+    if let Some(r) = o.get_num("respawns")? {
+        policy.max_respawns = r;
+    }
+    if let Some(n) = o.get_num("replicas")? {
+        policy.replicas = n;
+    }
+    if let Some(p) = o.get_num("probe-rounds")? {
+        policy.detector.probe_rounds = p;
+    }
+    if let Some(q) = o.get_num("suspect-rounds")? {
+        policy.detector.suspect_rounds = q;
+    }
+    let app = build_app(kind, o.has("tiny"));
+    eprintln!(
+        "ft: {} x {} rank kills (baseline/shrink/respawn) + {} message faults (replicated) ...",
+        kind.name(),
+        cfg.injections,
+        cfg.injections
+    );
+    let result = CampaignBuilder::new(&app)
+        .with_config(cfg)
+        .ft(policy)
+        .run_ft();
+    if o.has("jsonl") {
+        print!("{}", ft_jsonl(&result));
+    } else if o.has("tsv") {
+        print!("{}", render_ft_tsv(&result));
+    } else {
+        let title = format!(
+            "Process-Level Fault Tolerance ({} / {} analogue), shrink vs respawn vs replication",
+            kind.name(),
+            kind.paper_name()
+        );
+        print!("{}", render_ft(&result, &title));
+    }
+    Ok(())
+}
+
 fn cmd_recovery(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["checkpoint-every", "kill-rank", "kill-round", "tiny"])?;
     let app_name = o.words.first().ok_or("recovery needs an app name")?;
     let kind = parse_app(app_name)?;
     let app = build_app(kind, o.has("tiny"));
@@ -593,6 +785,7 @@ fn cmd_recovery(args: &[String]) -> Result<(), String> {
 
 fn cmd_sample_size(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["error", "confidence", "injections"])?;
     let conf: f64 = o.get_num("confidence")?.unwrap_or(0.95);
     if let Some(n) = o.get_num::<u32>("injections")? {
         println!(
@@ -616,6 +809,7 @@ fn cmd_sample_size(args: &[String]) -> Result<(), String> {
 
 fn cmd_source(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["tiny"])?;
     let app_name = o.words.first().ok_or("source needs an app name")?;
     let app = build_app(parse_app(app_name)?, o.has("tiny"));
     print!("{}", app.source);
@@ -624,6 +818,7 @@ fn cmd_source(args: &[String]) -> Result<(), String> {
 
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
+    o.expect(&["limit", "tiny"])?;
     let app_name = o.words.first().ok_or("disasm needs an app name")?;
     let limit: usize = o.get_num("limit")?.unwrap_or(200);
     let app = build_app(parse_app(app_name)?, o.has("tiny"));
@@ -716,6 +911,45 @@ mod tests {
     #[test]
     fn unknown_command_is_reported() {
         assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_suggests_nearest() {
+        let o = Opts::parse(&s(&["--injetions", "400"]));
+        let err = o.expect(&["injections", "seed", "tiny"]).unwrap_err();
+        assert!(
+            err.contains("did you mean `--injections`?"),
+            "bad suggestion: {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_flag_far_from_everything_lists_valid_flags() {
+        let o = Opts::parse(&s(&["--frobnicate"]));
+        let err = o.expect(&["seed", "tiny"]).unwrap_err();
+        assert!(err.contains("valid flags: --seed, --tiny"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_pass_validation() {
+        let o = Opts::parse(&s(&["wavetoy", "--seed", "7", "--tiny"]));
+        assert!(o.expect(&["seed", "tiny"]).is_ok());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("seed", "seed"), 0);
+        assert_eq!(edit_distance("sed", "seed"), 1);
+        assert_eq!(edit_distance("no-fastpath", "fastpath"), 3);
+        assert_eq!(edit_distance("", "ring"), 4);
+    }
+
+    #[test]
+    fn verbs_reject_mistyped_flags() {
+        let err = run(&s(&["campaign", "wavetoy", "--inject", "5"])).unwrap_err();
+        assert!(err.contains("did you mean `--injections`?"), "{err}");
+        let err = run(&s(&["ft", "wavetoy", "--replica", "3"])).unwrap_err();
+        assert!(err.contains("did you mean `--replicas`?"), "{err}");
     }
 
     #[test]

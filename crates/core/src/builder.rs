@@ -24,11 +24,13 @@ use crate::campaign::{
     TrialRecord,
 };
 use crate::faultmodel::{model_classes, run_model_trial, FaultModel};
+use crate::ft::{run_ft_impl, FtResult};
 use crate::guarded::{run_coverage_impl, CoverageResult};
 use crate::obs::TrialTrace;
 use crate::outcome::Tally;
 use crate::target::TargetClass;
 use fl_apps::App;
+use fl_ft::FtPolicy;
 use fl_guard::GuardPolicy;
 
 /// Fluent configuration for one injection campaign.
@@ -43,6 +45,7 @@ pub struct CampaignBuilder<'a> {
     cfg: CampaignConfig,
     model: FaultModel,
     guard: Option<GuardPolicy>,
+    ft: Option<FtPolicy>,
 }
 
 impl<'a> CampaignBuilder<'a> {
@@ -54,6 +57,7 @@ impl<'a> CampaignBuilder<'a> {
             cfg: CampaignConfig::default(),
             model: FaultModel::Transient,
             guard: None,
+            ft: None,
         }
     }
 
@@ -125,6 +129,13 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Set the recovery policy for [`CampaignBuilder::run_ft`]
+    /// (defaults to [`FtPolicy::default`] if never called).
+    pub fn ft(mut self, policy: FtPolicy) -> Self {
+        self.ft = Some(policy);
+        self
+    }
+
     /// Adopt a whole [`CampaignConfig`] (e.g. from a parsed experiment
     /// spec), replacing every parameter set so far except the class
     /// list and fault model.
@@ -167,6 +178,27 @@ impl<'a> CampaignBuilder<'a> {
         );
         let policy = self.guard.unwrap_or_default();
         run_coverage_impl(self.app, &self.classes, &self.cfg, &policy)
+    }
+
+    /// Run a process-failure recovery campaign: `injections` rank kills
+    /// each executed bare, under shrink recovery, and under
+    /// buddy-checkpoint respawn, plus `injections` §3.3 message faults
+    /// each executed bare and in a voted replica set (see
+    /// [`CampaignBuilder::ft`]). Transient model only — process-level
+    /// faults are the campaign's subject, not its knob.
+    pub fn run_ft(self) -> FtResult {
+        assert!(
+            self.model == FaultModel::Transient,
+            "ft campaigns support the transient model only"
+        );
+        let policy = self.ft.unwrap_or_default();
+        run_ft_impl(
+            self.app,
+            &self.cfg,
+            &policy,
+            self.cfg.injections,
+            self.cfg.injections,
+        )
     }
 
     /// Replay one recorded trial from its campaign coordinates (class

@@ -32,10 +32,22 @@ pub enum FaultModel {
     StuckAt0,
     /// The bit is forced to 1 and held there.
     StuckAt1,
+    /// Process-level fault: the whole rank dies at a drawn block clock
+    /// (fl-ft's `RankKill`). Not a bit-duration model — it is injected
+    /// and recovered through the `ft` campaign paths, so it is excluded
+    /// from [`FaultModel::ALL`].
+    KillRank,
+    /// Process-level fault: the rank stays resident but goes silent
+    /// (`RankKill` with `wedge`). Excluded from [`FaultModel::ALL`] like
+    /// [`FaultModel::KillRank`].
+    WedgeRank,
 }
 
 impl FaultModel {
-    /// All models, transient first.
+    /// All *bit-duration* models, transient first. The process-level
+    /// models ([`FaultModel::KillRank`], [`FaultModel::WedgeRank`]) are
+    /// deliberately not listed: model-comparison campaigns sweep this
+    /// array and rank kills are run through the ft coverage paths.
     pub const ALL: [FaultModel; 4] = [
         FaultModel::Transient,
         FaultModel::Held,
@@ -51,6 +63,8 @@ impl FaultModel {
             FaultModel::Held => "held-flip",
             FaultModel::StuckAt0 => "stuck-at-0",
             FaultModel::StuckAt1 => "stuck-at-1",
+            FaultModel::KillRank => "kill-rank",
+            FaultModel::WedgeRank => "wedge-rank",
         }
     }
 }
@@ -71,6 +85,8 @@ impl std::str::FromStr for FaultModel {
             "held-flip" | "held" => FaultModel::Held,
             "stuck-at-0" => FaultModel::StuckAt0,
             "stuck-at-1" => FaultModel::StuckAt1,
+            "kill-rank" => FaultModel::KillRank,
+            "wedge-rank" => FaultModel::WedgeRank,
             other => return Err(format!("unknown fault model `{other}`")),
         })
     }
@@ -101,6 +117,10 @@ pub fn run_model_trial(
     trial_seed: u64,
     budget: u64,
 ) -> Manifestation {
+    assert!(
+        !matches!(model, FaultModel::KillRank | FaultModel::WedgeRank),
+        "process-level models are injected through the ft campaign paths"
+    );
     let mut rng = StdRng::seed_from_u64(trial_seed);
     let rank = rng.gen_range(0..app.params.nranks);
     let at_insns = rng.gen_range(1..golden.insns[rank as usize].max(2));
@@ -139,6 +159,7 @@ pub fn run_model_trial(
                         m.set_register_bit(reg, bit, v);
                     })
                 }
+                FaultModel::KillRank | FaultModel::WedgeRank => unreachable!(),
             }
         }
         TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
@@ -170,6 +191,7 @@ pub fn run_model_trial(
                         m.set_mem_bit(addr, bit, v);
                     })
                 }
+                FaultModel::KillRank | FaultModel::WedgeRank => unreachable!(),
             }
         }
         other => panic!("run_model_trial does not support {other:?}"),
@@ -272,6 +294,11 @@ mod tests {
         assert_eq!(FaultModel::Transient.label(), "transient");
         assert_eq!(FaultModel::Held.label(), "held-flip");
         assert_eq!(FaultModel::StuckAt0.label(), "stuck-at-0");
+        assert_eq!(FaultModel::KillRank.label(), "kill-rank");
+        assert_eq!(FaultModel::WedgeRank.label(), "wedge-rank");
+        assert_eq!("kill-rank".parse::<FaultModel>(), Ok(FaultModel::KillRank));
+        // Process-level models are not part of the bit-duration sweep.
         assert_eq!(FaultModel::ALL.len(), 4);
+        assert!(!FaultModel::ALL.contains(&FaultModel::KillRank));
     }
 }

@@ -1,0 +1,598 @@
+//! Process-failure recovery campaigns: rank kills under every fl-ft
+//! discipline, and replica voting against message corruption.
+//!
+//! The guarded campaigns ([`crate::guarded`]) answer "does channel-level
+//! detection catch the paper's faults?"; this module asks the follow-up
+//! the paper's §7 conclusion points at — what happens when the fault is
+//! not a flipped bit but a *lost process*. Every kill trial draws one
+//! [`RankKill`] from the trial seed and runs it four ways from the same
+//! draw: bare (the victim strands its peers), detector-only shrink
+//! recovery, and buddy-checkpoint respawn recovery. Replication trials
+//! pair each §3.3 message fault with an N-replica voted run to measure
+//! how often a single corrupt replica is outvoted and masked.
+
+use crate::campaign::{
+    draw_fault, trial_budget, trial_seed, trial_world_config, CampaignConfig, Dictionaries,
+};
+use crate::guarded::slug;
+use crate::outcome::{classify, Manifestation, Tally};
+use crate::target::TargetClass;
+use fl_apps::{App, AppKind, Golden};
+use fl_ft::{run_replicated, run_respawn, run_shrink, FtPolicy, RankKill};
+use fl_mpi::{MpiWorld, WorldExit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Draw the kill for trial seed `s`: victim rank, a firing clock inside
+/// its golden block count (so the kill always lands mid-run), and the
+/// kill flavour. Recomputable from the campaign coordinates, like every
+/// other fault draw.
+pub fn draw_kill(golden: &Golden, s: u64, nranks: u16) -> (RankKill, String) {
+    let mut rng = StdRng::seed_from_u64(s);
+    let rank = rng.gen_range(0..nranks);
+    let at_blocks = rng.gen_range(1..golden.blocks[rank as usize].max(2));
+    let wedge = rng.gen_range(0..2u32) == 1;
+    let kill = RankKill {
+        rank,
+        at_blocks,
+        wedge,
+    };
+    let detail = format!(
+        "{} rank {rank} @ block {at_blocks}",
+        if wedge { "wedge" } else { "kill" }
+    );
+    (kill, detail)
+}
+
+/// One rank-kill trial: the identical kill under no recovery, shrink
+/// recovery, and respawn recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtKillTrial {
+    /// Human-readable kill point (same draw in all three runs).
+    pub detail: String,
+    /// Outcome with no detector: the §5.1 classification of the strand.
+    pub baseline: Manifestation,
+    /// Outcome under detector + shrink (checked against the
+    /// survivor-count golden — the apps are weak-scaled).
+    pub shrink: Manifestation,
+    /// Outcome under detector + buddy-checkpoint respawn (checked
+    /// against the original golden).
+    pub respawn: Manifestation,
+    /// Respawns the respawn run performed.
+    pub respawns: u32,
+}
+
+impl FtKillTrial {
+    /// Did shrink convert a baseline error into a recovery?
+    pub fn shrink_recovered(&self) -> bool {
+        self.baseline.is_error() && self.shrink == Manifestation::Recovered
+    }
+
+    /// Did respawn convert a baseline error into a recovery?
+    pub fn respawn_recovered(&self) -> bool {
+        self.baseline.is_error() && self.respawn == Manifestation::Recovered
+    }
+}
+
+/// One replication trial: the identical message fault in a lone world
+/// and in one replica of a voted set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtReplicaTrial {
+    /// Human-readable fault point.
+    pub detail: String,
+    /// Outcome of the unreplicated run.
+    pub baseline: Manifestation,
+    /// Outcome of the voted run.
+    pub replicated: Manifestation,
+    /// Replicas voted out.
+    pub votes: u32,
+}
+
+impl FtReplicaTrial {
+    /// Did the vote mask a baseline error?
+    pub fn masked(&self) -> bool {
+        self.baseline.is_error() && self.replicated == Manifestation::MaskedByReplica
+    }
+}
+
+/// A full fault-tolerance campaign for one application.
+#[derive(Debug, Clone)]
+pub struct FtResult {
+    /// Which application.
+    pub app: AppKind,
+    /// The recovery configuration every run used.
+    pub policy: FtPolicy,
+    /// Paired rank-kill trials, in trial order.
+    pub kills: Vec<FtKillTrial>,
+    /// Paired replication trials, in trial order.
+    pub replicas: Vec<FtReplicaTrial>,
+    /// The fault-free reference run.
+    pub golden: Golden,
+}
+
+impl FtResult {
+    /// Kill trials whose baseline manifested an error (the recovery
+    /// denominator; a kill always fires, so normally all of them).
+    pub fn kill_errors(&self) -> u32 {
+        self.kills.iter().filter(|t| t.baseline.is_error()).count() as u32
+    }
+
+    /// Baseline kill errors shrink converted to `Recovered`, in percent.
+    pub fn shrink_recovery_percent(&self) -> f64 {
+        percent(
+            self.kills.iter().filter(|t| t.shrink_recovered()).count(),
+            self.kill_errors(),
+        )
+    }
+
+    /// Baseline kill errors respawn converted to `Recovered`, in percent.
+    pub fn respawn_recovery_percent(&self) -> f64 {
+        percent(
+            self.kills.iter().filter(|t| t.respawn_recovered()).count(),
+            self.kill_errors(),
+        )
+    }
+
+    /// Replication trials whose baseline manifested an error.
+    pub fn replica_errors(&self) -> u32 {
+        self.replicas
+            .iter()
+            .filter(|t| t.baseline.is_error())
+            .count() as u32
+    }
+
+    /// Baseline message-fault errors the vote masked, in percent.
+    pub fn masked_percent(&self) -> f64 {
+        percent(
+            self.replicas.iter().filter(|t| t.masked()).count(),
+            self.replica_errors(),
+        )
+    }
+
+    /// Outcome tallies of one column of the campaign.
+    pub fn tally(&self, pick: impl Fn(&FtKillTrial) -> Manifestation) -> Tally {
+        let mut t = Tally::default();
+        for k in &self.kills {
+            t.record(pick(k));
+        }
+        t
+    }
+}
+
+fn percent(num: usize, den: u32) -> f64 {
+    if den == 0 {
+        return 0.0;
+    }
+    100.0 * num as f64 / den as f64
+}
+
+/// Classify a shrink-mode run. An intervened run solved the smaller
+/// survivor problem, so correctness is judged against the shrunken
+/// golden; an untouched run is judged against the original.
+fn classify_shrink(
+    exit: &WorldExit,
+    output: &[u8],
+    intervened: bool,
+    golden: &Golden,
+    shrunken_output: &[u8],
+) -> Manifestation {
+    match exit {
+        WorldExit::Clean if intervened => {
+            if output == shrunken_output {
+                Manifestation::Recovered
+            } else {
+                Manifestation::Incorrect
+            }
+        }
+        _ => classify(exit, output, &golden.output),
+    }
+}
+
+/// Classify a respawn-mode run: a recovered run must reproduce the
+/// original-size answer.
+fn classify_respawn(
+    exit: &WorldExit,
+    output: &[u8],
+    intervened: bool,
+    golden: &Golden,
+) -> Manifestation {
+    match exit {
+        WorldExit::Clean if intervened => {
+            if output == golden.output {
+                Manifestation::Recovered
+            } else {
+                Manifestation::Incorrect
+            }
+        }
+        _ => classify(exit, output, &golden.output),
+    }
+}
+
+/// Classify a replicated run: a clean matching winner with at least one
+/// replica voted out means the fault was masked by replication.
+fn classify_replicated(
+    exit: &WorldExit,
+    output: &[u8],
+    votes: u32,
+    golden: &Golden,
+) -> Manifestation {
+    match exit {
+        WorldExit::Clean if votes > 0 => {
+            if output == golden.output {
+                Manifestation::MaskedByReplica
+            } else {
+                Manifestation::Incorrect
+            }
+        }
+        _ => classify(exit, output, &golden.output),
+    }
+}
+
+/// Ft-campaign execution (the [`crate::CampaignBuilder::run_ft`]
+/// backend). `kill_trials` rank kills are each run bare + shrink +
+/// respawn; `replica_trials` message faults are each run bare +
+/// replicated. All runs are cold — recovery owns its own checkpoints.
+pub(crate) fn run_ft_impl(
+    app: &App,
+    cfg: &CampaignConfig,
+    policy: &FtPolicy,
+    kill_trials: u32,
+    replica_trials: u32,
+) -> FtResult {
+    let golden = app.golden(2_000_000_000);
+    let budget = trial_budget(&golden, cfg);
+    let dicts = Dictionaries::build(app);
+
+    // The survivor-count reference: the same image run cold at one fewer
+    // rank (the apps are weak-scaled, so this is a different answer).
+    let shrunken_output = {
+        let mut scfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        scfg.nranks -= 1;
+        let mut w = MpiWorld::new(&app.image, scfg);
+        let exit = w.run();
+        assert_eq!(exit, WorldExit::Clean, "shrunken golden run must be clean");
+        app.comparable_output(&w)
+    };
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    // Kill trials (class position 0 of the seed space).
+    let kills: Vec<FtKillTrial> = {
+        let next = AtomicU32::new(0);
+        let records: Mutex<Vec<Option<FtKillTrial>>> = Mutex::new(vec![None; kill_trials as usize]);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= kill_trials {
+                        break;
+                    }
+                    let seed = trial_seed(cfg.seed, 0, k);
+                    let (kill, detail) = draw_kill(&golden, seed, app.params.nranks);
+                    let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+                    wcfg.seed = seed;
+
+                    let mut bare = MpiWorld::new(&app.image, wcfg);
+                    bare.set_rank_kill(kill);
+                    let bare_exit = bare.run();
+                    let baseline =
+                        classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
+
+                    let (sw, sr) = run_shrink(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
+                    let shrink = classify_shrink(
+                        &sr.exit,
+                        &app.comparable_output(&sw),
+                        sr.intervened(),
+                        &golden,
+                        &shrunken_output,
+                    );
+
+                    let (rw, rr) = run_respawn(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
+                    let respawn = classify_respawn(
+                        &rr.exit,
+                        &app.comparable_output(&rw),
+                        rr.intervened(),
+                        &golden,
+                    );
+
+                    records.lock().unwrap()[k as usize] = Some(FtKillTrial {
+                        detail,
+                        baseline,
+                        shrink,
+                        respawn,
+                        respawns: rr.respawns,
+                    });
+                });
+            }
+        })
+        .expect("ft kill worker panicked");
+        records
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every kill trial slot filled"))
+            .collect()
+    };
+
+    // Replication trials (class position 1 of the seed space): §3.3
+    // message faults, the same draw the Message class uses.
+    let replicas: Vec<FtReplicaTrial> = {
+        let next = AtomicU32::new(0);
+        let records: Mutex<Vec<Option<FtReplicaTrial>>> =
+            Mutex::new(vec![None; replica_trials as usize]);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= replica_trials {
+                        break;
+                    }
+                    let seed = trial_seed(cfg.seed, 1, k);
+                    let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+                    wcfg.seed = seed;
+
+                    let drawn = draw_fault(
+                        &golden,
+                        &dicts,
+                        TargetClass::Message,
+                        seed,
+                        app.params.nranks,
+                    );
+                    let detail = drawn.detail.clone();
+                    let mut bare = MpiWorld::new(&app.image, wcfg);
+                    drawn.arm(&mut bare);
+                    let bare_exit = bare.run();
+                    let baseline =
+                        classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
+
+                    let (vw, vr) = run_replicated(
+                        &app.image,
+                        wcfg,
+                        policy,
+                        |replica, w| {
+                            if replica == 0 {
+                                // Re-draw the identical fault for the one
+                                // corrupt replica (arm() consumes it).
+                                draw_fault(
+                                    &golden,
+                                    &dicts,
+                                    TargetClass::Message,
+                                    seed,
+                                    app.params.nranks,
+                                )
+                                .arm(w);
+                            }
+                        },
+                        |w| app.comparable_output(w),
+                    );
+                    let replicated = classify_replicated(
+                        &vr.exit,
+                        &app.comparable_output(&vw),
+                        vr.votes,
+                        &golden,
+                    );
+
+                    records.lock().unwrap()[k as usize] = Some(FtReplicaTrial {
+                        detail,
+                        baseline,
+                        replicated,
+                        votes: vr.votes,
+                    });
+                });
+            }
+        })
+        .expect("ft replica worker panicked");
+        records
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every replica trial slot filled"))
+            .collect()
+    };
+
+    FtResult {
+        app: app.kind,
+        policy: *policy,
+        kills,
+        replicas,
+        golden,
+    }
+}
+
+/// Render an ft campaign as a text table: baseline vs recovery outcome
+/// counts for the kill trials, plus the replication masking summary.
+pub fn render_ft(r: &FtResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "detector: probe every {} rounds, suspect after {}; buddy line every {} rounds; {} replicas",
+        r.policy.detector.probe_rounds,
+        r.policy.detector.suspect_rounds,
+        r.policy.buddy_rounds,
+        r.policy.replicas
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>8} {:>9} | {:>9} {:>9}",
+        "Trials", "Kills", "BaseErr", "RankLost", "Shrink(%)", "Respawn(%)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    let base = r.tally(|t| t.baseline);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>8} {:>9} | {:>9.1} {:>9.1}",
+        "kill-rank",
+        r.kills.len(),
+        base.errors(),
+        r.tally(|t| t.shrink).count(Manifestation::RankLost)
+            + r.tally(|t| t.respawn).count(Manifestation::RankLost),
+        r.shrink_recovery_percent(),
+        r.respawn_recovery_percent(),
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    let _ = writeln!(
+        out,
+        "replication: {} message faults, {} baseline errors, {:.1}% masked by vote",
+        r.replicas.len(),
+        r.replica_errors(),
+        r.masked_percent(),
+    );
+    out
+}
+
+/// Render an ft campaign as TSV: one row per recovery mode with full
+/// outcome counts.
+pub fn render_ft_tsv(r: &FtResult) -> String {
+    let mut out = String::from("mode\ttrials");
+    for m in Manifestation::ALL {
+        let _ = write!(out, "\t{}", slug(m));
+    }
+    out.push_str("\trecovery_pct\n");
+    let rows: [(&str, Tally, f64); 3] = [
+        ("baseline", r.tally(|t| t.baseline), 0.0),
+        ("shrink", r.tally(|t| t.shrink), r.shrink_recovery_percent()),
+        (
+            "respawn",
+            r.tally(|t| t.respawn),
+            r.respawn_recovery_percent(),
+        ),
+    ];
+    for (mode, tally, pct) in rows {
+        let _ = write!(out, "{mode}\t{}", tally.executions);
+        for m in Manifestation::ALL {
+            let _ = write!(out, "\t{}", tally.count(m));
+        }
+        let _ = writeln!(out, "\t{pct:.2}");
+    }
+    let mut rep_base = Tally::default();
+    let mut rep_voted = Tally::default();
+    for t in &r.replicas {
+        rep_base.record(t.baseline);
+        rep_voted.record(t.replicated);
+    }
+    for (mode, tally, pct) in [
+        ("replica-baseline", rep_base, 0.0),
+        ("replicated", rep_voted, r.masked_percent()),
+    ] {
+        let _ = write!(out, "{mode}\t{}", tally.executions);
+        for m in Manifestation::ALL {
+            let _ = write!(out, "\t{}", tally.count(m));
+        }
+        let _ = writeln!(out, "\t{pct:.2}");
+    }
+    out
+}
+
+/// Serialize an ft campaign as JSONL: one object per trial (kill trials
+/// first, then replication trials), carrying every paired outcome.
+pub fn ft_jsonl(r: &FtResult) -> String {
+    let mut out = String::new();
+    for (k, t) in r.kills.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"app\":\"{}\",\"kind\":\"kill\",\"trial\":{k},\"detail\":\"{}\",\"baseline\":\"{}\",\"shrink\":\"{}\",\"respawn\":\"{}\",\"respawns\":{},\"shrink_recovered\":{},\"respawn_recovered\":{}}}",
+            r.app.name(),
+            t.detail,
+            slug(t.baseline),
+            slug(t.shrink),
+            slug(t.respawn),
+            t.respawns,
+            t.shrink_recovered(),
+            t.respawn_recovered(),
+        );
+    }
+    for (k, t) in r.replicas.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"app\":\"{}\",\"kind\":\"replica\",\"trial\":{k},\"detail\":\"{}\",\"baseline\":\"{}\",\"replicated\":\"{}\",\"votes\":{},\"masked\":{}}}",
+            r.app.name(),
+            t.detail,
+            slug(t.baseline),
+            slug(t.replicated),
+            t.votes,
+            t.masked(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_apps::AppParams;
+
+    fn ft(kind: AppKind, kills: u32, reps: u32, seed: u64) -> FtResult {
+        let app = App::build(kind, AppParams::tiny(kind));
+        run_ft_impl(
+            &app,
+            &CampaignConfig {
+                seed,
+                ..Default::default()
+            },
+            &FtPolicy::default(),
+            kills,
+            reps,
+        )
+    }
+
+    #[test]
+    fn kills_always_manifest_and_recover() {
+        let r = ft(AppKind::Wavetoy, 8, 0, 0xF7);
+        // A kill drawn inside the victim's lifetime always fires and,
+        // without a detector, always strands the world.
+        assert_eq!(r.kill_errors(), 8, "{:?}", r.kills);
+        assert!(r.shrink_recovery_percent() >= 90.0, "shrink: {:?}", r.kills);
+        assert!(
+            r.respawn_recovery_percent() >= 90.0,
+            "respawn: {:?}",
+            r.kills
+        );
+    }
+
+    #[test]
+    fn replication_masks_manifesting_message_faults() {
+        let r = ft(AppKind::Wavetoy, 0, 10, 0xF8);
+        assert!(r.replica_errors() > 0, "{:?}", r.replicas);
+        assert!(r.masked_percent() >= 90.0, "{:?}", r.replicas);
+        // Masked trials actually voted someone out.
+        assert!(r
+            .replicas
+            .iter()
+            .filter(|t| t.masked())
+            .all(|t| t.votes > 0));
+    }
+
+    #[test]
+    fn ft_campaigns_are_reproducible() {
+        let a = ft(AppKind::Wavetoy, 4, 4, 9);
+        let b = ft(AppKind::Wavetoy, 4, 4, 9);
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.replicas, b.replicas);
+    }
+
+    #[test]
+    fn renderers_cover_every_mode() {
+        let r = ft(AppKind::Wavetoy, 4, 4, 11);
+        let table = render_ft(&r, "ft demo");
+        assert!(table.contains("kill-rank"));
+        assert!(table.contains("replication:"));
+        let tsv = render_ft_tsv(&r);
+        assert_eq!(tsv.lines().count(), 6, "{tsv}");
+        assert!(tsv.starts_with("mode\ttrials\tcorrect"));
+        let jsonl = ft_jsonl(&r);
+        assert_eq!(jsonl.lines().count(), 8);
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -64,7 +64,7 @@ impl GuardedTrialRecord {
 /// [`Manifestation::ALL`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransitionMatrix {
-    counts: [[u32; 8]; 8],
+    counts: [[u32; 10]; 10],
 }
 
 impl TransitionMatrix {
@@ -159,7 +159,7 @@ impl CoverageResult {
 }
 
 /// Machine-readable manifestation slug (JSONL field values).
-fn slug(m: Manifestation) -> &'static str {
+pub(crate) fn slug(m: Manifestation) -> &'static str {
     match m {
         Manifestation::Correct => "correct",
         Manifestation::Crash => "crash",
@@ -169,6 +169,8 @@ fn slug(m: Manifestation) -> &'static str {
         Manifestation::MpiDetected => "mpi-detected",
         Manifestation::DetectedByGuard => "guard-detected",
         Manifestation::Recovered => "recovered",
+        Manifestation::RankLost => "rank-lost",
+        Manifestation::MaskedByReplica => "masked-by-replica",
     }
 }
 

@@ -41,6 +41,7 @@ pub mod builder;
 pub mod campaign;
 pub mod config;
 pub mod faultmodel;
+pub mod ft;
 pub mod guarded;
 pub mod obs;
 pub mod outcome;
@@ -58,7 +59,14 @@ pub use campaign::{
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
+pub use fl_ft::{
+    ft_config, run_replicated, run_respawn, run_shrink, shrink, FtMode, FtPolicy, FtReport,
+    RankKill,
+};
 pub use fl_guard::{run_guarded, GuardPolicy, GuardReport};
+pub use ft::{
+    draw_kill, ft_jsonl, render_ft, render_ft_tsv, FtKillTrial, FtReplicaTrial, FtResult,
+};
 pub use guarded::{
     coverage_jsonl, render_coverage, render_coverage_tsv, run_guarded_trial, CoverageClassResult,
     CoverageResult, GuardedTrialRecord, TransitionMatrix,

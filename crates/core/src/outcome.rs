@@ -42,12 +42,20 @@ pub enum Manifestation {
     /// fl-guard detected the fault, intervened, and the run completed
     /// with output matching the fault-free reference.
     Recovered,
+    /// The heartbeat failure detector declared a rank dead (or wedged)
+    /// and no recovery path completed the run — the fl-ft analogue of a
+    /// job-killing process failure.
+    RankLost,
+    /// A replicated run outvoted a divergent replica and completed with
+    /// correct output — the fault was both detected *and* masked.
+    MaskedByReplica,
 }
 
 impl Manifestation {
-    /// All classes: the paper's six in table order, then the two
-    /// guarded-execution classes fl-guard added.
-    pub const ALL: [Manifestation; 8] = [
+    /// All classes: the paper's six in table order, the two
+    /// guarded-execution classes fl-guard added, then the two
+    /// process-level classes fl-ft added.
+    pub const ALL: [Manifestation; 10] = [
         Manifestation::Correct,
         Manifestation::Crash,
         Manifestation::Hang,
@@ -56,6 +64,8 @@ impl Manifestation {
         Manifestation::MpiDetected,
         Manifestation::DetectedByGuard,
         Manifestation::Recovered,
+        Manifestation::RankLost,
+        Manifestation::MaskedByReplica,
     ];
 
     /// True if the fault manifested at all (everything except `Correct`).
@@ -77,6 +87,8 @@ impl fmt::Display for Manifestation {
             Manifestation::MpiDetected => "MPI Detected",
             Manifestation::DetectedByGuard => "Guard Detected",
             Manifestation::Recovered => "Recovered",
+            Manifestation::RankLost => "Rank Lost",
+            Manifestation::MaskedByReplica => "Masked (Replica)",
         };
         f.write_str(s)
     }
@@ -98,6 +110,7 @@ pub fn classify(exit: &WorldExit, output: &[u8], golden_output: &[u8]) -> Manife
         WorldExit::AppAborted { .. } => Manifestation::AppDetected,
         WorldExit::MpiDetected { .. } => Manifestation::MpiDetected,
         WorldExit::GuardDetected { .. } => Manifestation::DetectedByGuard,
+        WorldExit::RankFailed { .. } => Manifestation::RankLost,
     }
 }
 
@@ -107,7 +120,7 @@ pub struct Tally {
     /// Injections performed.
     pub executions: u32,
     /// Count per manifestation class, indexed as [`Manifestation::ALL`].
-    counts: [u32; 8],
+    counts: [u32; 10],
 }
 
 impl Tally {
@@ -217,6 +230,10 @@ mod tests {
                 &g
             ),
             Manifestation::DetectedByGuard
+        );
+        assert_eq!(
+            classify(&WorldExit::RankFailed { rank: 0, round: 7 }, b"", &g),
+            Manifestation::RankLost
         );
     }
 

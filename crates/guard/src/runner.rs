@@ -105,6 +105,7 @@ pub fn run_guarded(
         round: 0,
     };
     let mut watchdog = Watchdog::new(policy.stall_windows);
+    watchdog.prime(&world);
     let mut report = GuardReport {
         exit: WorldExit::Clean,
         detections: 0,
@@ -174,6 +175,7 @@ pub fn run_guarded(
         }
         world = restored;
         watchdog.reset();
+        watchdog.prime(&world);
     };
 
     report.exit = exit;

@@ -64,6 +64,17 @@ impl Watchdog {
         self.stalled = 0;
     }
 
+    /// Take the arm-time sample so the *first* sampling boundary already
+    /// compares against it. Without priming, a hang already in effect at
+    /// the first block-clock boundary is burned as the baseline sample
+    /// and the trip fires one whole window late.
+    pub fn prime(&mut self, world: &MpiWorld) {
+        let now = Self::sample(world);
+        self.baseline = Some(now.clone());
+        self.last = Some(now);
+        self.stalled = 0;
+    }
+
     fn sample(world: &MpiWorld) -> Vec<RankSample> {
         (0..world.nranks())
             .map(|r| {
@@ -160,13 +171,41 @@ mod tests {
         let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
         let world = MpiWorld::new(&app.image, app.world_config(1_000_000));
         let mut dog = Watchdog::new(3);
+        dog.prime(&world);
         // Never stepping the world: counters frozen, no useful progress.
-        assert!(dog.observe(&world).is_none()); // baseline
         assert!(dog.observe(&world).is_none()); // stall 1
         assert!(dog.observe(&world).is_none()); // stall 2
         let trip = dog.observe(&world).expect("stall 3 must trip");
         assert_eq!(trip.windows, 3);
         dog.reset();
         assert!(dog.observe(&world).is_none(), "reset must re-baseline");
+    }
+
+    #[test]
+    fn boundary_hang_trips_at_exact_clock() {
+        // Regression: a hang already in effect at the first sampling
+        // boundary must trip after exactly `stall_windows` windows. The
+        // un-primed watchdog burned the first stalled window as its
+        // baseline sample and fired one whole window late.
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let world = MpiWorld::new(&app.image, app.world_config(1_000_000));
+        let window_rounds = 8u64;
+        let mut dog = Watchdog::new(3);
+        dog.prime(&world); // arm time = round 0
+        let mut tripped = None;
+        for round in 1..=64u64 {
+            // The world is never stepped: wedged from round 0 on.
+            if round.is_multiple_of(window_rounds) {
+                if let Some(trip) = dog.observe(&world) {
+                    tripped = Some((round, trip.windows));
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            tripped,
+            Some((24, 3)),
+            "three 8-round windows of stall must trip at round 24 exactly"
+        );
     }
 }

@@ -29,6 +29,6 @@ pub use message::{
 };
 pub use profile::TrafficProfile;
 pub use world::{
-    ChannelGuard, MessageFault, MessageFaultHit, MpiWorld, PendingInjection, WorldConfig,
-    WorldExit, WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
+    ChannelGuard, FailureDetector, Health, MessageFault, MessageFaultHit, MpiWorld,
+    PendingInjection, RankKill, WorldConfig, WorldExit, WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
 };

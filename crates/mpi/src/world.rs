@@ -65,6 +65,71 @@ impl Default for ChannelGuard {
     }
 }
 
+/// Heartbeat failure detector (fl-ft's process-failure layer).
+/// Default-off: with `enabled == false` the scheduler takes no new code
+/// paths and the world's behaviour — and every event it emits — is
+/// bit-identical to the pre-ft scheduler.
+///
+/// Liveness is piggybacked on normal traffic: a rank is "heard" whenever
+/// it retires a quantum or one of its messages is ingested anywhere.
+/// Quiet ranks are probed explicitly every `probe_rounds`; an alive rank
+/// answers even while blocked, so only a dead or wedged process can stay
+/// silent long enough to cross `suspect_rounds` and raise
+/// [`WorldExit::RankFailed`] — instead of stranding its peers in a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureDetector {
+    /// Run the detector (and suppress the instant-deadlock verdict while
+    /// a failed rank quiesces its peers, so suspicion can mature).
+    pub enabled: bool,
+    /// Rounds of silence before an explicit liveness probe (re-sent
+    /// every `probe_rounds` while the silence lasts).
+    pub probe_rounds: u64,
+    /// Rounds of silence before the rank is declared failed.
+    pub suspect_rounds: u64,
+}
+
+impl Default for FailureDetector {
+    fn default() -> Self {
+        FailureDetector {
+            enabled: false,
+            probe_rounds: 8,
+            suspect_rounds: 32,
+        }
+    }
+}
+
+/// Process-level liveness of a rank (fl-ft's rank-kill fault model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Executing and responsive.
+    Alive,
+    /// Resident but silent: never scheduled, answers no probes, sends
+    /// nothing (the "wedged" kill variant).
+    Wedged,
+    /// Gone: never scheduled; messages addressed to it are dropped at
+    /// the channel.
+    Dead,
+}
+
+/// A process-level fault: kill (or wedge) `rank` once its retired
+/// basic-block count reaches `at_blocks`.
+///
+/// `Copy`, so unlike a [`PendingInjection`] it rides inside
+/// [`WorldSnapshot`]s. A recovery path that restores a pre-fire
+/// checkpoint must clear it with [`MpiWorld::take_rank_kill`] or the
+/// kill re-fires identically on re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// Victim rank.
+    pub rank: u16,
+    /// Retired-block clock at which the process dies (checked at
+    /// scheduling-round granularity, like an external `kill -9`).
+    pub at_blocks: u64,
+    /// True: the process stays resident but stops executing and
+    /// responding. False: it is gone outright.
+    pub wedge: bool,
+}
+
 /// Pristine wire images a sender keeps for retransmission (per rank).
 const SENT_HISTORY_CAP: usize = 16;
 
@@ -95,6 +160,11 @@ pub struct WorldConfig {
     pub eager_threshold: u32,
     /// Channel-level CRC verification + retransmit (default off).
     pub guard: ChannelGuard,
+    /// Heartbeat process-failure detection (default off).
+    pub ft: FailureDetector,
+    /// Fold every outbound wire message into a per-rank rolling CRC32
+    /// digest (replica voting's comparison key; default off).
+    pub track_digests: bool,
 }
 
 impl Default for WorldConfig {
@@ -107,6 +177,8 @@ impl Default for WorldConfig {
             machine: MachineConfig::default(),
             eager_threshold: 1024,
             guard: ChannelGuard::default(),
+            ft: FailureDetector::default(),
+            track_digests: false,
         }
     }
 }
@@ -164,6 +236,15 @@ struct Rank {
     /// Sender-side retransmit queue: pristine wire images of recent sends,
     /// keyed by sequence number. Populated only when the guard is on.
     sent_history: VecDeque<(u32, WireMsg)>,
+    /// Process-level liveness (always `Alive` unless a rank kill fired).
+    health: Health,
+    /// Last scheduler round this rank showed life (executed, or had a
+    /// message ingested, or answered a probe). Detector bookkeeping;
+    /// frozen at 0 when the detector is off.
+    last_heard: u64,
+    /// Rolling CRC32 over every outbound wire message (replica voting's
+    /// comparison key). Frozen at 0 unless `cfg.track_digests`.
+    out_digest: u32,
 }
 
 /// A fault to apply to a rank's machine state at a given local
@@ -258,6 +339,10 @@ pub enum WorldExit {
     /// The channel guard detected an unrecoverable fault (CRC retransmit
     /// budget exhausted, or the pristine image was no longer available).
     GuardDetected { rank: u16, what: String },
+    /// The heartbeat failure detector declared `rank` dead or wedged
+    /// after its suspicion threshold of silent rounds — the typed
+    /// notification fl-ft recovery paths act on instead of a hang.
+    RankFailed { rank: u16, round: u64 },
 }
 
 /// The simulated cluster.
@@ -268,6 +353,7 @@ pub struct MpiWorld {
     injection: Option<PendingInjection>,
     message_fault: Option<MessageFault>,
     message_fault_hit: Option<MessageFaultHit>,
+    rank_kill: Option<RankKill>,
     /// Set once a fatal event is recorded.
     fatal: Option<WorldExit>,
     /// Scheduler rounds completed (drives retransmit backoff timing).
@@ -293,6 +379,9 @@ impl MpiWorld {
                 coll_seq: 0,
                 profile: TrafficProfile::default(),
                 sent_history: VecDeque::new(),
+                health: Health::Alive,
+                last_heard: 0,
+                out_digest: 0,
             })
             .collect();
         MpiWorld {
@@ -302,6 +391,7 @@ impl MpiWorld {
             injection: None,
             message_fault: None,
             message_fault_hit: None,
+            rank_kill: None,
             fatal: None,
             round: 0,
             pending_redelivery: VecDeque::new(),
@@ -319,6 +409,36 @@ impl MpiWorld {
     pub fn set_message_fault(&mut self, f: MessageFault) {
         assert!((f.rank as usize) < self.ranks.len());
         self.message_fault = Some(f);
+    }
+
+    /// Arm a process-level rank kill.
+    pub fn set_rank_kill(&mut self, k: RankKill) {
+        assert!((k.rank as usize) < self.ranks.len());
+        self.rank_kill = Some(k);
+    }
+
+    /// The armed (not yet fired) rank kill, if any.
+    pub fn rank_kill(&self) -> Option<RankKill> {
+        self.rank_kill
+    }
+
+    /// Disarm and return the armed rank kill, if any. Recovery paths
+    /// restoring a pre-fire checkpoint call this so the kill does not
+    /// re-fire on re-execution (a snapshot carries the `Copy` fault —
+    /// see [`MpiWorld::snapshot`]).
+    pub fn take_rank_kill(&mut self) -> Option<RankKill> {
+        self.rank_kill.take()
+    }
+
+    /// A rank's process-level liveness.
+    pub fn health(&self, rank: u16) -> Health {
+        self.ranks[rank as usize].health
+    }
+
+    /// A rank's rolling outbound-message digest (0 unless
+    /// `cfg.track_digests` — replica voting's comparison key).
+    pub fn out_digest(&self, rank: u16) -> u32 {
+        self.ranks[rank as usize].out_digest
     }
 
     /// Where the armed message fault landed, if it has fired.
@@ -400,6 +520,11 @@ impl MpiWorld {
     /// [`WorldSnapshot::restore`] — which is the order the campaign fast
     /// path uses. A snapshot taken while an injection is armed simply does
     /// not carry it.
+    ///
+    /// An armed [`RankKill`] *is* carried (it is `Copy`): restoring a
+    /// pre-fire checkpoint re-arms the kill, and a recovery path that
+    /// means to survive it must clear it with
+    /// [`MpiWorld::take_rank_kill`] after the restore.
     pub fn snapshot(&self) -> WorldSnapshot {
         WorldSnapshot {
             ranks: self
@@ -415,12 +540,16 @@ impl MpiWorld {
                     coll_seq: r.coll_seq,
                     profile: r.profile,
                     sent_history: r.sent_history.clone(),
+                    health: r.health,
+                    last_heard: r.last_heard,
+                    out_digest: r.out_digest,
                 })
                 .collect(),
             cfg: self.cfg,
             rng: self.rng.clone(),
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
+            rank_kill: self.rank_kill,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),
@@ -477,6 +606,33 @@ impl MpiWorld {
         }
     }
 
+    /// Out-of-band marker: this world was rebuilt over the survivors of
+    /// `failed` (ULFM-style shrink). Recorded on every rank of the
+    /// survivor world. fl-ft recovery paths only.
+    pub fn note_world_shrunk(&mut self, failed: u16, survivors: u16) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::WorldShrunk { failed, survivors });
+        }
+    }
+
+    /// Out-of-band marker: `rank` was respawned from its buddy
+    /// checkpoint taken at scheduler round `round`. Recorded on every
+    /// rank. fl-ft recovery paths only.
+    pub fn note_rank_respawned(&mut self, rank: u16, round: u64) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::RankRespawned { rank, round });
+        }
+    }
+
+    /// Out-of-band marker: replica voting excluded replica `excluded`,
+    /// leaving `live` replicas. Recorded on every rank of this (surviving)
+    /// replica. fl-ft recovery paths only.
+    pub fn note_replica_vote(&mut self, excluded: u16, live: u16) {
+        for i in 0..self.ranks.len() {
+            self.obs_record(i, EventKind::ReplicaVote { excluded, live });
+        }
+    }
+
     // --- channel ---------------------------------------------------------
 
     /// Ingest a message at `dst`'s channel level: apply any armed fault
@@ -485,6 +641,16 @@ impl MpiWorld {
     /// rank (scheduler knowledge, not trusted wire bytes — a flip can
     /// corrupt the header's src field).
     fn ingest(&mut self, src: u16, dst: u16, mut msg: WireMsg) {
+        if self.cfg.ft.enabled {
+            // Piggybacked heartbeat: traffic from a rank proves it alive.
+            self.ranks[src as usize].last_heard = self.round;
+        }
+        if !matches!(self.ranks[dst as usize].health, Health::Alive) {
+            // A dead process's channel is gone; a wedged one services
+            // nothing. Either way the bytes vanish, exactly like a send
+            // to a crashed peer on a real cluster.
+            return;
+        }
         // The true sequence number, read from the pristine image before
         // any fault lands (the wire copy of it may get corrupted).
         let wire_seq = u32::from_le_bytes(msg.raw[16..20].try_into().unwrap());
@@ -614,6 +780,16 @@ impl MpiWorld {
         }
     }
 
+    /// Fold an outbound wire image into `rank`'s rolling digest: the
+    /// CRC32 of the previous digest chained with the full message bytes.
+    /// Replicas of a deterministic rank fold identical sequences, so a
+    /// digest mismatch pinpoints the first divergent send.
+    fn fold_digest(&mut self, rank: u16, msg: &WireMsg) {
+        let r = &mut self.ranks[rank as usize];
+        let chain = r.out_digest.to_le_bytes();
+        r.out_digest = crate::message::crc32(&[&chain, &msg.raw[..]]);
+    }
+
     /// Guard for destinations computed from *parsed wire headers*: a
     /// corrupted src field can name a rank that does not exist. Real
     /// MPICH fails trying to reach the nonexistent peer and aborts the
@@ -644,6 +820,9 @@ impl MpiWorld {
             },
         );
         let m = WireMsg::data(src, dst, tag, seq, payload);
+        if self.cfg.track_digests {
+            self.fold_digest(src, &m);
+        }
         self.ingest(src, dst, m);
     }
 
@@ -667,6 +846,9 @@ impl MpiWorld {
         );
         let mem = &self.ranks[src as usize].machine.mem;
         let m = WireMsg::data_with(src, dst, tag, seq, len, |b| mem.peek(buf, b));
+        if self.cfg.track_digests {
+            self.fold_digest(src, &m);
+        }
         self.ingest(src, dst, m);
     }
 
@@ -685,6 +867,9 @@ impl MpiWorld {
             },
         );
         let m = WireMsg::control(op, src, dst, tag, seq);
+        if self.cfg.track_digests {
+            self.fold_digest(src, &m);
+        }
         self.ingest(src, dst, m);
     }
 
@@ -979,6 +1164,9 @@ impl MpiWorld {
 
     /// Try to unblock `rank`; returns true if its status changed.
     fn try_unblock(&mut self, rank: usize) -> bool {
+        if !matches!(self.ranks[rank].health, Health::Alive) {
+            return false;
+        }
         let blocked = match &self.ranks[rank].status {
             Status::Blocked(b) => b.clone(),
             _ => return false,
@@ -1128,6 +1316,75 @@ impl MpiWorld {
         }
     }
 
+    // --- process failure: kill + heartbeat detector -----------------------
+
+    /// Fire the armed rank kill once the victim's retired-block clock
+    /// reaches the fault's trigger (checked at round granularity, like
+    /// an external `kill -9` landing between quanta).
+    fn apply_rank_kill(&mut self) {
+        let Some(k) = self.rank_kill else { return };
+        let i = k.rank as usize;
+        if matches!(self.ranks[i].status, Status::Exited) {
+            // The rank finished before the kill point: the fault missed.
+            self.rank_kill = None;
+            return;
+        }
+        if self.ranks[i].machine.counters.blocks >= k.at_blocks {
+            self.rank_kill = None;
+            self.obs_record(i, EventKind::RankKilled { wedge: k.wedge });
+            self.ranks[i].health = if k.wedge {
+                Health::Wedged
+            } else {
+                Health::Dead
+            };
+        }
+    }
+
+    /// One detector pass: probe quiet ranks, declare a rank failed after
+    /// the suspicion threshold. Probes and suspicions are charged to the
+    /// rank's ring buddy `(r + 1) % n` — the same partner that stores its
+    /// buddy checkpoint in the fl-ft recovery model.
+    fn detect_failures(&mut self) -> Option<WorldExit> {
+        let probe = self.cfg.ft.probe_rounds.max(1);
+        let suspect = self.cfg.ft.suspect_rounds.max(1);
+        for i in 0..self.ranks.len() {
+            if matches!(self.ranks[i].status, Status::Exited) {
+                continue; // departed cleanly, not a failure
+            }
+            let quiet = self.round - self.ranks[i].last_heard;
+            let buddy = (i + 1) % self.ranks.len();
+            if quiet >= suspect {
+                let rank = i as u16;
+                self.obs_record(
+                    buddy,
+                    EventKind::RankSuspected {
+                        rank,
+                        unheard: quiet,
+                    },
+                );
+                return Some(WorldExit::RankFailed {
+                    rank,
+                    round: self.round,
+                });
+            }
+            if quiet >= probe && quiet.is_multiple_of(probe) {
+                self.obs_record(
+                    buddy,
+                    EventKind::HeartbeatProbe {
+                        to: i as u16,
+                        quiet,
+                    },
+                );
+                if matches!(self.ranks[i].health, Health::Alive) {
+                    // An alive rank answers the probe even while blocked
+                    // — only a dead or wedged process stays silent.
+                    self.ranks[i].last_heard = self.round;
+                }
+            }
+        }
+        None
+    }
+
     // --- the scheduler ----------------------------------------------------
 
     /// Run the world to completion and classify the outcome.
@@ -1148,6 +1405,14 @@ impl MpiWorld {
         if let Some(f) = self.fatal.take() {
             return Some(f);
         }
+        if self.rank_kill.is_some() {
+            self.apply_rank_kill();
+        }
+        if self.cfg.ft.enabled {
+            if let Some(e) = self.detect_failures() {
+                return Some(e);
+            }
+        }
         if !self.pending_redelivery.is_empty() {
             self.drain_redeliveries();
             if let Some(f) = self.fatal.take() {
@@ -1166,13 +1431,27 @@ impl MpiWorld {
             return Some(WorldExit::Clean);
         }
         let mut order: Vec<usize> = (0..self.ranks.len())
-            .filter(|&i| matches!(self.ranks[i].status, Status::Ready | Status::Finalized))
+            .filter(|&i| {
+                matches!(self.ranks[i].status, Status::Ready | Status::Finalized)
+                    && matches!(self.ranks[i].health, Health::Alive)
+            })
             .collect();
         // Finalized ranks still need to run to their exit.
         if order.is_empty() {
             // A redelivery still waiting out its backoff is traffic: let
             // rounds elapse until it becomes due, this is not a deadlock.
             if !self.pending_redelivery.is_empty() {
+                return None;
+            }
+            // A dead or wedged rank quiesces its peers; with the failure
+            // detector on, rounds keep elapsing until suspicion matures
+            // into `RankFailed` instead of an instant deadlock verdict.
+            if self.cfg.ft.enabled
+                && self
+                    .ranks
+                    .iter()
+                    .any(|r| !matches!(r.health, Health::Alive))
+            {
                 return None;
             }
             // Everyone blocked or exited, and progress() found nothing:
@@ -1240,6 +1519,10 @@ impl MpiWorld {
             }
         }
         let exit = self.ranks[i].machine.run(quantum);
+        if self.cfg.ft.enabled {
+            // Executing a quantum is life (piggybacked heartbeat).
+            self.ranks[i].last_heard = self.round;
+        }
         let rank = i as u16;
         match exit {
             Exit::Quantum => {}
@@ -1312,6 +1595,9 @@ struct RankSnapshot {
     coll_seq: u32,
     profile: TrafficProfile,
     sent_history: VecDeque<(u32, WireMsg)>,
+    health: Health,
+    last_heard: u64,
+    out_digest: u32,
 }
 
 /// A complete deterministic checkpoint of an [`MpiWorld`], produced by
@@ -1329,6 +1615,7 @@ pub struct WorldSnapshot {
     rng: StdRng,
     message_fault: Option<MessageFault>,
     message_fault_hit: Option<MessageFaultHit>,
+    rank_kill: Option<RankKill>,
     fatal: Option<WorldExit>,
     round: u64,
     pending_redelivery: VecDeque<Redelivery>,
@@ -1352,6 +1639,9 @@ impl WorldSnapshot {
                     coll_seq: r.coll_seq,
                     profile: r.profile,
                     sent_history: r.sent_history.clone(),
+                    health: r.health,
+                    last_heard: r.last_heard,
+                    out_digest: r.out_digest,
                 })
                 .collect(),
             cfg: self.cfg,
@@ -1359,6 +1649,7 @@ impl WorldSnapshot {
             injection: None,
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
+            rank_kill: self.rank_kill,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),

@@ -2,7 +2,7 @@
 
 use fl_lang::compile;
 use fl_machine::MachineConfig;
-use fl_mpi::{MessageFault, MpiWorld, WorldConfig, WorldExit};
+use fl_mpi::{FailureDetector, MessageFault, MpiWorld, RankKill, WorldConfig, WorldExit};
 
 fn world(src: &str, nranks: u16) -> MpiWorld {
     let img = compile(src).expect("compiles");
@@ -594,4 +594,250 @@ fn corrupted_src_field_crashes_instead_of_panicking() {
         matches!(&e, WorldExit::Crashed { .. } | WorldExit::Hung { .. }),
         "{e:?}"
     );
+}
+
+// --- process-level faults (fl-ft substrate) -------------------------------
+
+/// Two ranks ping-ponging many times: plenty of mid-run block clocks for
+/// a rank kill to land on, and the survivor deadlocks without help.
+const PING_LOOP: &str = "global float b[1];
+     fn main() {
+         var int i;
+         mpi_init();
+         for (i = 0; i < 40; i = i + 1) {
+             if (mpi_rank() == 0) {
+                 b[0] = float(i);
+                 mpi_send(addr(b), 8, 1, 4);
+                 mpi_recv(addr(b), 8, 1, 5);
+             } else {
+                 mpi_recv(addr(b), 8, 0, 4);
+                 b[0] = b[0] + 0.5;
+                 mpi_send(addr(b), 8, 0, 5);
+             }
+         }
+         mpi_finalize();
+     }";
+
+fn mid_run_blocks(src: &str, nranks: u16, rank: u16) -> u64 {
+    let mut w = world(src, nranks);
+    assert_eq!(w.run(), WorldExit::Clean);
+    w.machine(rank).counters.blocks / 2
+}
+
+#[test]
+fn rank_kill_without_detector_strands_peers() {
+    let at = mid_run_blocks(PING_LOOP, 2, 1);
+    for wedge in [false, true] {
+        let mut w = world(PING_LOOP, 2);
+        w.set_rank_kill(RankKill {
+            rank: 1,
+            at_blocks: at,
+            wedge,
+        });
+        assert!(
+            matches!(w.run(), WorldExit::Hung { .. }),
+            "killed rank must strand rank 0 (wedge={wedge})"
+        );
+        assert!(w.rank_kill().is_none(), "the kill disarms after firing");
+    }
+}
+
+#[test]
+fn detector_turns_rank_kill_into_typed_failure() {
+    let at = mid_run_blocks(PING_LOOP, 2, 1);
+    for wedge in [false, true] {
+        let img = compile(PING_LOOP).unwrap();
+        let mut w = MpiWorld::new(
+            &img,
+            WorldConfig {
+                nranks: 2,
+                ft: FailureDetector {
+                    enabled: true,
+                    ..Default::default()
+                },
+                machine: MachineConfig {
+                    budget: 50_000_000,
+                    obs_capacity: 256,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        w.set_rank_kill(RankKill {
+            rank: 1,
+            at_blocks: at,
+            wedge,
+        });
+        let e = w.run();
+        assert!(
+            matches!(e, WorldExit::RankFailed { rank: 1, .. }),
+            "wedge={wedge}: {e:?}"
+        );
+        // The kill is recorded on the victim; the suspicion lands on its
+        // ring buddy (rank 0 in a 2-rank world).
+        let streams = w.event_streams();
+        assert!(streams[1]
+            .iter()
+            .any(|e| matches!(e.kind, fl_obs::EventKind::RankKilled { wedge: we } if we == wedge)));
+        assert!(streams[0]
+            .iter()
+            .any(|e| matches!(e.kind, fl_obs::EventKind::RankSuspected { rank: 1, .. })));
+        assert!(streams[0]
+            .iter()
+            .any(|e| matches!(e.kind, fl_obs::EventKind::HeartbeatProbe { to: 1, .. })));
+    }
+}
+
+#[test]
+fn detector_does_not_false_positive_on_long_blocked_rank() {
+    // Rank 0 computes for far longer than the suspicion threshold before
+    // sending; rank 1 sits blocked in recv the whole time. An alive rank
+    // answers probes even while blocked, so the job must finish clean.
+    let src = "global float b[1];
+         global float acc[1];
+         fn main() {
+             var int i;
+             mpi_init();
+             if (mpi_rank() == 0) {
+                 acc[0] = 0.0;
+                 for (i = 0; i < 300000; i = i + 1) { acc[0] = acc[0] + 1.0; }
+                 b[0] = acc[0];
+                 mpi_send(addr(b), 8, 1, 9);
+             } else {
+                 mpi_recv(addr(b), 8, 0, 9);
+                 print_flt(b[0], 1);
+             }
+             mpi_finalize();
+         }";
+    let img = compile(src).unwrap();
+    let mut w = MpiWorld::new(
+        &img,
+        WorldConfig {
+            nranks: 2,
+            ft: FailureDetector {
+                enabled: true,
+                probe_rounds: 4,
+                suspect_rounds: 16,
+            },
+            machine: MachineConfig {
+                budget: 50_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.machine(1).console_text(), "300000.0");
+}
+
+#[test]
+fn kill_after_exit_is_a_missed_fault() {
+    // at_blocks beyond the victim's lifetime: the rank exits cleanly
+    // first, the armed kill never fires, the job completes.
+    let mut w = world(PING_LOOP, 2);
+    w.set_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: u64::MAX,
+        wedge: false,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert!(w.rank_kill().is_none(), "missed kills disarm");
+}
+
+#[test]
+fn out_digests_deterministic_and_sensitive_to_corruption() {
+    let img = compile(PING_LOOP).unwrap();
+    let cfg = WorldConfig {
+        nranks: 2,
+        track_digests: true,
+        machine: MachineConfig {
+            budget: 50_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let digests = |w: &MpiWorld| (w.out_digest(0), w.out_digest(1));
+    let mut a = MpiWorld::new(&img, cfg);
+    assert_eq!(a.run(), WorldExit::Clean);
+    let mut b = MpiWorld::new(&img, cfg);
+    assert_eq!(b.run(), WorldExit::Clean);
+    assert_eq!(
+        digests(&a),
+        digests(&b),
+        "identical runs, identical digests"
+    );
+    assert_ne!(digests(&a).0, 0, "traffic must fold into the digest");
+    // Corrupt a payload byte of rank 1's inbound traffic: its *outbound*
+    // echo diverges, so its digest — the replica voting key — moves.
+    let mut c = MpiWorld::new(&img, cfg);
+    // Byte 7 of the f64 payload holds sign/exponent bits: the corrupted
+    // value survives rank 1's arithmetic and changes what it echoes back.
+    c.set_message_fault(MessageFault {
+        rank: 1,
+        at_recv_byte: 48 + 7,
+        bit: 6,
+    });
+    assert_eq!(c.run(), WorldExit::Clean);
+    assert_ne!(
+        digests(&a).1,
+        digests(&c).1,
+        "corrupt echo must move rank 1's digest"
+    );
+}
+
+#[test]
+fn ft_off_world_is_bit_identical_to_pre_ft_config() {
+    // The detector and digest knobs default off; a default-config world
+    // must behave — and trace — exactly like one that never heard of
+    // them, and no ft event kinds may appear in its stream.
+    let img = compile(PING_LOOP).unwrap();
+    let mk = |cfg: WorldConfig| {
+        let mut w = MpiWorld::new(&img, cfg);
+        let exit = w.run();
+        (
+            exit,
+            w.event_streams(),
+            w.machine(0).console_text().to_string(),
+        )
+    };
+    let base = WorldConfig {
+        nranks: 2,
+        machine: MachineConfig {
+            budget: 50_000_000,
+            obs_capacity: 512,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let explicit = WorldConfig {
+        ft: FailureDetector {
+            enabled: false,
+            probe_rounds: 8,
+            suspect_rounds: 32,
+        },
+        track_digests: false,
+        ..base
+    };
+    let (ea, sa, ca) = mk(base);
+    let (eb, sb, cb) = mk(explicit);
+    assert_eq!(ea, eb);
+    assert_eq!(ca, cb);
+    assert_eq!(sa, sb, "ft-off event streams must be bit-identical");
+    let ft_kinds = [
+        "rank_killed",
+        "heartbeat_probe",
+        "rank_suspected",
+        "world_shrunk",
+        "rank_respawned",
+        "replica_vote",
+    ];
+    for stream in &sa {
+        for ev in stream {
+            assert!(
+                !ft_kinds.contains(&ev.kind.name()),
+                "ft event {:?} leaked into an ft-off run",
+                ev.kind
+            );
+        }
+    }
 }

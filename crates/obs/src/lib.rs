@@ -100,11 +100,29 @@ pub enum EventKind {
     /// The guard rolled the world back and re-executed (out-of-band;
     /// `restart` is 1-based, `round` is the scheduler round restored to).
     GuardRestart { restart: u32, round: u64 },
+    /// A rank-kill fault fired on this rank (`wedge` is true when the
+    /// rank stays resident but silent instead of dying outright).
+    RankKilled { wedge: bool },
+    /// The failure detector sent an explicit liveness probe to a rank it
+    /// had not heard from for `quiet` rounds.
+    HeartbeatProbe { to: u16, quiet: u64 },
+    /// The failure detector declared a rank suspect after `unheard`
+    /// rounds of silence (raised just before `RankFailed`).
+    RankSuspected { rank: u16, unheard: u64 },
+    /// The world was rebuilt over the survivors of a failed rank
+    /// (out-of-band; ULFM-style shrink).
+    WorldShrunk { failed: u16, survivors: u16 },
+    /// A spare rank was booted from the failed rank's buddy checkpoint
+    /// (out-of-band; `round` is the checkpoint's scheduler round).
+    RankRespawned { rank: u16, round: u64 },
+    /// Replica voting excluded a divergent replica of this logical rank
+    /// (out-of-band; recorded on the surviving majority's stream).
+    ReplicaVote { excluded: u16, live: u16 },
 }
 
 impl EventKind {
     /// All kind names, in a stable order (TSV histogram columns).
-    pub const NAMES: [&'static str; 16] = [
+    pub const NAMES: [&'static str; 22] = [
         "signal",
         "syscall",
         "malloc",
@@ -121,6 +139,12 @@ impl EventKind {
         "retransmit",
         "watchdog_trip",
         "guard_restart",
+        "rank_killed",
+        "heartbeat_probe",
+        "rank_suspected",
+        "world_shrunk",
+        "rank_respawned",
+        "replica_vote",
     ];
 
     /// Stable snake_case name (JSONL `kind` field, histogram key).
@@ -147,6 +171,12 @@ impl EventKind {
             EventKind::Retransmit { .. } => 13,
             EventKind::WatchdogTrip { .. } => 14,
             EventKind::GuardRestart { .. } => 15,
+            EventKind::RankKilled { .. } => 16,
+            EventKind::HeartbeatProbe { .. } => 17,
+            EventKind::RankSuspected { .. } => 18,
+            EventKind::WorldShrunk { .. } => 19,
+            EventKind::RankRespawned { .. } => 20,
+            EventKind::ReplicaVote { .. } => 21,
         }
     }
 
@@ -193,6 +223,28 @@ impl EventKind {
             }
             EventKind::GuardRestart { restart, round } => {
                 format!("guard restart {restart} (rolled back to round {round})")
+            }
+            EventKind::RankKilled { wedge } => {
+                if wedge {
+                    "rank wedged (alive but silent)".into()
+                } else {
+                    "rank killed".into()
+                }
+            }
+            EventKind::HeartbeatProbe { to, quiet } => {
+                format!("heartbeat probe to rank {to} after {quiet} quiet rounds")
+            }
+            EventKind::RankSuspected { rank, unheard } => {
+                format!("rank {rank} suspected dead after {unheard} unheard rounds")
+            }
+            EventKind::WorldShrunk { failed, survivors } => {
+                format!("world shrunk around failed rank {failed} ({survivors} survivors)")
+            }
+            EventKind::RankRespawned { rank, round } => {
+                format!("rank {rank} respawned from buddy checkpoint (round {round})")
+            }
+            EventKind::ReplicaVote { excluded, live } => {
+                format!("replica {excluded} outvoted ({live} replicas remain)")
             }
         }
     }
@@ -243,6 +295,24 @@ impl EventKind {
             }
             EventKind::GuardRestart { restart, round } => {
                 let _ = write!(out, ",\"restart\":{restart},\"round\":{round}");
+            }
+            EventKind::RankKilled { wedge } => {
+                let _ = write!(out, ",\"wedge\":{wedge}");
+            }
+            EventKind::HeartbeatProbe { to, quiet } => {
+                let _ = write!(out, ",\"to\":{to},\"quiet\":{quiet}");
+            }
+            EventKind::RankSuspected { rank, unheard } => {
+                let _ = write!(out, ",\"rank\":{rank},\"unheard\":{unheard}");
+            }
+            EventKind::WorldShrunk { failed, survivors } => {
+                let _ = write!(out, ",\"failed\":{failed},\"survivors\":{survivors}");
+            }
+            EventKind::RankRespawned { rank, round } => {
+                let _ = write!(out, ",\"rank\":{rank},\"round\":{round}");
+            }
+            EventKind::ReplicaVote { excluded, live } => {
+                let _ = write!(out, ",\"excluded\":{excluded},\"live\":{live}");
             }
         }
     }
@@ -499,6 +569,21 @@ mod tests {
             EventKind::GuardRestart {
                 restart: 0,
                 round: 0,
+            },
+            EventKind::RankKilled { wedge: false },
+            EventKind::HeartbeatProbe { to: 0, quiet: 0 },
+            EventKind::RankSuspected {
+                rank: 0,
+                unheard: 0,
+            },
+            EventKind::WorldShrunk {
+                failed: 0,
+                survivors: 0,
+            },
+            EventKind::RankRespawned { rank: 0, round: 0 },
+            EventKind::ReplicaVote {
+                excluded: 0,
+                live: 0,
             },
         ];
         for (i, k) in kinds.iter().enumerate() {
