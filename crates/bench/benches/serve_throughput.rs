@@ -1,0 +1,86 @@
+//! Campaign-service sharding throughput: the work-stealing worker pool
+//! behind `faultlab serve` and `faultlab campaign --jobs N`, measured at
+//! one worker versus four on the same spec.
+//!
+//! Checks the parallel run's canonical record stream is bit-identical
+//! to the serial one (the determinism contract sharding must not
+//! break), then writes trials/sec for both and the speedup to
+//! `BENCH_serve.json` at the workspace root. The host's core count is
+//! recorded alongside a core-count-aware threshold: on a ≥4-core host
+//! (CI) the pool must clear 2x; on smaller hosts the gate only asks
+//! that sharding is not a slowdown, since there is no parallelism to
+//! harvest. The CI serve-bench step reads the file's own threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_apps::AppKind;
+use fl_inject::{run_spec, sort_records_jsonl, CampaignSpec, EngineControl, TargetClass, VecSink};
+
+const INJECTIONS: u32 = 8;
+
+fn spec(threads: usize) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+    spec.tiny = true;
+    spec.classes = vec![
+        TargetClass::RegularReg,
+        TargetClass::Stack,
+        TargetClass::Message,
+    ];
+    spec.campaign.injections = INJECTIONS;
+    spec.campaign.threads = threads;
+    spec
+}
+
+/// One full campaign through the engine; returns the canonical stream.
+fn run(threads: usize) -> String {
+    let spec = spec(threads);
+    let sink = VecSink::new(spec.app);
+    run_spec(&spec, &sink, &EngineControl::new(), None).expect("uncontrolled run");
+    sort_records_jsonl(&(sink.into_lines().join("\n") + "\n"))
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let trials = (spec(1).classes.len() as u32 * INJECTIONS) as f64;
+
+    // Determinism check before timing anything: sharded and serial runs
+    // must produce byte-identical canonical record streams.
+    let serial = run(1);
+    let sharded = run(4);
+    assert_eq!(serial, sharded, "sharding changed the record stream");
+
+    c.bench_function("serve_throughput/jobs_1", |b| b.iter(|| run(1).len()));
+    let serial_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    c.bench_function("serve_throughput/jobs_4", |b| b.iter(|| run(4).len()));
+    let sharded_ns = c.last_ns_per_iter.expect("bench must have run");
+
+    let serial_tps = trials * 1e9 / serial_ns;
+    let sharded_tps = trials * 1e9 / sharded_ns;
+    let speedup = serial_ns / sharded_ns;
+    // A ≥4-core host must clear 2x; a smaller host has no parallelism
+    // to harvest, so the gate only rejects a real slowdown there.
+    let threshold = if host_cores >= 4 { 2.0 } else { 0.6 };
+    println!(
+        "serve_throughput: jobs=1 {serial_tps:.2} trials/s, \
+         jobs=4 {sharded_tps:.2} trials/s, speedup {speedup:.2}x \
+         ({host_cores} cores, threshold {threshold})"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"app\": \"wavetoy-tiny\",\n  \
+         \"trials\": {trials},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"jobs1_trials_per_sec\": {serial_tps:.3},\n  \
+         \"jobs4_trials_per_sec\": {sharded_tps:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"threshold_speedup\": {threshold}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

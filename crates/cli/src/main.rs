@@ -20,12 +20,18 @@
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
     coverage_jsonl, estimation_error, ft_jsonl, render_coverage, render_coverage_tsv, render_ft,
-    render_ft_tsv, render_register_breakdown, render_table, render_tsv, sample_size,
-    CampaignBuilder, CampaignConfig, FtPolicy, GuardPolicy, TargetClass,
+    render_ft_tsv, render_register_breakdown, render_table, render_tsv, run_spec, sample_size,
+    sort_records_jsonl, CampaignBuilder, CampaignConfig, CampaignSpec, EngineControl,
+    EngineProgress, EngineSink, FtPolicy, GuardPolicy, SpecMode, SpecOutcome, StderrProgress,
+    TargetClass, TrialOutput, VecSink,
 };
+use fl_serve::{ServeConfig, Server};
 use fl_snap::RecoveryConfig;
 
 const DEFAULT_BUDGET: u64 = 2_000_000_000;
+
+/// Default campaign-service address for `serve` and its client verbs.
+const DEFAULT_ADDR: &str = "127.0.0.1:7717";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +63,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "guard" => cmd_guard(rest),
         "ft" => cmd_ft(rest),
         "recovery" => cmd_recovery(rest),
+        "spec" => cmd_spec(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "watch" => cmd_watch(rest),
+        "pause" | "resume" | "stop" => cmd_control(cmd, rest),
         "sample-size" => cmd_sample_size(rest),
         "source" => cmd_source(rest),
         "disasm" => cmd_disasm(rest),
@@ -76,8 +88,8 @@ fn print_usage() {
          USAGE:\n\
          \x20 faultlab profile  [<app> ...]\n\
          \x20 faultlab campaign <app> [--injections N] [--regions R1,R2|all]\n\
-         \x20                   [--seed S] [--threads T] [--epoch-rounds E]\n\
-         \x20                   [--tiny] [--tsv] [--registers] [--no-fastpath]\n\
+         \x20                   [--seed S] [--jobs N] [--epoch-rounds E] [--ring N]\n\
+         \x20                   [--tiny] [--tsv] [--jsonl] [--registers] [--no-fastpath]\n\
          \x20 faultlab trace    <app> [--samples N] [--tsv] [--tiny]\n\
          \x20 faultlab trial    <app> <region> [--seed K] [--tiny]\n\
          \x20 faultlab replay   <app> <region> --trial K [--regions R1,R2|all]\n\
@@ -97,6 +109,12 @@ fn print_usage() {
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
+         \x20 faultlab spec     <app> [--mode campaign|guard|ft] [spec flags ...]\n\
+         \x20 faultlab serve    [--addr HOST:PORT] [--state-dir DIR]\n\
+         \x20 faultlab submit   [<spec.json>|-] [--addr HOST:PORT]\n\
+         \x20 faultlab status   [<id>] [--addr HOST:PORT]\n\
+         \x20 faultlab watch    <id> [--addr HOST:PORT]\n\
+         \x20 faultlab pause|resume|stop <id> [--addr HOST:PORT]\n\
          \x20 faultlab sample-size --error D [--confidence C] [--injections N]\n\
          \x20 faultlab source   <app> [--tiny]\n\
          \x20 faultlab disasm   <app> [--limit N] [--tiny]\n\
@@ -107,7 +125,8 @@ fn print_usage() {
          \x20                     fault kind (ft)\n\
          \x20 --regions R1,R2     comma-separated region list, or `all`\n\
          \x20 --seed S            campaign PRNG seed\n\
-         \x20 --threads T         worker threads (0 = one per core)\n\
+         \x20 --jobs N / --threads N  worker threads (0 = one per core)\n\
+         \x20 --addr HOST:PORT    campaign service address (default 127.0.0.1:7717)\n\
          \x20 --epoch-rounds E    scheduler rounds per snapshot epoch\n\
          \x20 --ring N            per-rank event ring capacity\n\
          \x20 --tiny              CI-sized app parameters (fast)\n\
@@ -227,6 +246,146 @@ fn build_app(kind: AppKind, tiny: bool) -> App {
     App::build(kind, params)
 }
 
+/// Flags shared by every spec-building verb (`campaign`, `metrics`,
+/// `guard`, `ft`, `spec`), excluding each verb's output/policy flags.
+const SPEC_FLAGS: &[&str] = &[
+    "injections",
+    "regions",
+    "seed",
+    "threads",
+    "jobs",
+    "epoch-rounds",
+    "ring",
+    "tiny",
+    "no-fastpath",
+];
+
+const GUARD_FLAGS: &[&str] = &["checkpoint-rounds", "restarts", "retransmits"];
+const FT_FLAGS: &[&str] = &[
+    "buddy-rounds",
+    "respawns",
+    "replicas",
+    "probe-rounds",
+    "suspect-rounds",
+];
+
+fn guard_policy_from(o: &Opts) -> Result<GuardPolicy, String> {
+    Ok(GuardPolicy {
+        checkpoint_rounds: o.get_num("checkpoint-rounds")?.unwrap_or(32),
+        max_restarts: o.get_num("restarts")?.unwrap_or(3),
+        max_retransmits: o.get_num("retransmits")?.unwrap_or(3),
+        ..GuardPolicy::default()
+    })
+}
+
+fn ft_policy_from(o: &Opts) -> Result<FtPolicy, String> {
+    let mut policy = FtPolicy::default();
+    if let Some(b) = o.get_num("buddy-rounds")? {
+        policy.buddy_rounds = b;
+    }
+    if let Some(r) = o.get_num("respawns")? {
+        policy.max_respawns = r;
+    }
+    if let Some(n) = o.get_num("replicas")? {
+        policy.replicas = n;
+    }
+    if let Some(p) = o.get_num("probe-rounds")? {
+        policy.detector.probe_rounds = p;
+    }
+    if let Some(q) = o.get_num("suspect-rounds")? {
+        policy.detector.suspect_rounds = q;
+    }
+    Ok(policy)
+}
+
+/// Build a [`CampaignSpec`] from a verb's flags — the single source the
+/// one-shot verbs, `faultlab spec` and the service submissions share.
+/// `--jobs` and `--threads` are aliases (0 = one worker per core).
+fn spec_from_opts(o: &Opts, mode: &str, default_injections: u32) -> Result<CampaignSpec, String> {
+    let app_name = o.words.first().ok_or("needs an app name")?;
+    let kind = parse_app(app_name)?;
+    let mut spec = CampaignSpec::new(kind);
+    spec.tiny = o.has("tiny");
+    spec.classes = match o.get("regions") {
+        None | Some("all") => TargetClass::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_region)
+            .collect::<Result<_, _>>()?,
+    };
+    let c = &mut spec.campaign;
+    c.injections = o.get_num("injections")?.unwrap_or(default_injections);
+    c.seed = o.get_num("seed")?.unwrap_or(0xFA17);
+    c.threads = match o.get_num("jobs")? {
+        Some(j) => j,
+        None => o.get_num("threads")?.unwrap_or(0),
+    };
+    c.epoch_rounds = o.get_num("epoch-rounds")?.unwrap_or(16);
+    c.obs_capacity = o.get_num("ring")?.unwrap_or(0);
+    c.fastpath = !o.has("no-fastpath");
+    spec.mode = match mode {
+        "campaign" => SpecMode::Campaign,
+        "guard" => SpecMode::Guard(guard_policy_from(o)?),
+        "ft" => SpecMode::Ft(ft_policy_from(o)?),
+        other => {
+            return Err(format!(
+                "unknown mode `{other}` (expected campaign, guard or ft)"
+            ))
+        }
+    };
+    Ok(spec)
+}
+
+/// The one-shot verbs' engine sink: a stderr progress line, plus the
+/// canonical record stream when `--jsonl` asked for it.
+struct CliSink {
+    records: Option<VecSink>,
+    progress: StderrProgress,
+}
+
+impl CliSink {
+    fn new(app: AppKind, collect_records: bool, total: u64) -> CliSink {
+        CliSink {
+            records: collect_records.then(|| VecSink::new(app)),
+            progress: StderrProgress::new((total / 20).max(1)),
+        }
+    }
+
+    fn canonical_records(self) -> String {
+        match self.records {
+            Some(v) => sort_records_jsonl(&v.into_lines().join("\n")),
+            None => String::new(),
+        }
+    }
+}
+
+impl EngineSink for CliSink {
+    fn trial(&self, t: &TrialOutput) {
+        if let Some(v) = &self.records {
+            v.trial(t);
+        }
+    }
+
+    fn progress(&self, p: EngineProgress) {
+        self.progress.progress(p);
+    }
+}
+
+/// Run a spec on the engine with the CLI sink; uncontrolled one-shot
+/// runs always complete.
+fn run_spec_cli(spec: &CampaignSpec, sink: &CliSink) -> SpecOutcome {
+    run_spec(spec, sink, &EngineControl::new(), None)
+        .expect("uncontrolled one-shot runs always complete")
+}
+
+fn jobs_label(threads: usize) -> String {
+    if threads == 0 {
+        "auto".into()
+    } else {
+        threads.to_string()
+    }
+}
+
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     o.expect(&["tiny"])?;
@@ -252,54 +411,33 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
-    o.expect(&[
-        "injections",
-        "regions",
-        "seed",
-        "threads",
-        "epoch-rounds",
-        "tiny",
-        "tsv",
-        "registers",
-        "no-fastpath",
-    ])?;
-    let app_name = o.words.first().ok_or("campaign needs an app name")?;
-    let kind = parse_app(app_name)?;
-    let regions: Vec<TargetClass> = match o.get("regions") {
-        None | Some("all") => TargetClass::ALL.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(parse_region)
-            .collect::<Result<_, _>>()?,
-    };
-    let cfg = CampaignConfig {
-        injections: o.get_num("injections")?.unwrap_or(500),
-        seed: o.get_num("seed")?.unwrap_or(0xFA17),
-        budget_factor: 3.0,
-        threads: o.get_num("threads")?.unwrap_or(0),
-        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
-        fastpath: !o.has("no-fastpath"),
-        ..Default::default()
-    };
-    let app = build_app(kind, o.has("tiny"));
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.extend(["tsv", "jsonl", "registers"]);
+    o.expect(&valid)?;
+    let spec = spec_from_opts(&o, "campaign", 500)?;
+    let kind = spec.app;
     eprintln!(
-        "campaign: {} x {} injections over {} regions ...",
+        "campaign: {} x {} injections over {} regions, {} workers ...",
         kind.name(),
-        cfg.injections,
-        regions.len()
+        spec.campaign.injections,
+        spec.classes.len(),
+        jobs_label(spec.campaign.threads),
     );
-    let result = CampaignBuilder::new(&app)
-        .classes(&regions)
-        .with_config(cfg)
-        .run();
-    if o.has("tsv") {
+    let total = spec.classes.len() as u64 * spec.campaign.injections as u64;
+    let sink = CliSink::new(kind, o.has("jsonl"), total);
+    let SpecOutcome::Campaign(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("campaign mode yields a campaign outcome");
+    };
+    if o.has("jsonl") {
+        print!("{}", sink.canonical_records());
+    } else if o.has("tsv") {
         print!("{}", render_tsv(&result));
     } else {
         let title = format!(
             "Fault Injection Results ({} / {} analogue), d = {:.1}% at 95% confidence",
             kind.name(),
             kind.paper_name(),
-            estimation_error(0.95, cfg.injections) * 100.0
+            estimation_error(0.95, spec.campaign.injections) * 100.0
         );
         print!("{}", render_table(&result, &title));
         println!("\n{}", throughput_line(&result));
@@ -540,46 +678,25 @@ fn cmd_events(args: &[String]) -> Result<(), String> {
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
-    o.expect(&[
-        "injections",
-        "regions",
-        "seed",
-        "threads",
-        "epoch-rounds",
-        "ring",
-        "tsv",
-        "tiny",
-        "no-fastpath",
-    ])?;
-    let app_name = o.words.first().ok_or("metrics needs an app name")?;
-    let kind = parse_app(app_name)?;
-    let regions: Vec<TargetClass> = match o.get("regions") {
-        None | Some("all") => TargetClass::ALL.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(parse_region)
-            .collect::<Result<_, _>>()?,
-    };
-    let cfg = CampaignConfig {
-        injections: o.get_num("injections")?.unwrap_or(500),
-        seed: o.get_num("seed")?.unwrap_or(0xFA17),
-        budget_factor: 3.0,
-        threads: o.get_num("threads")?.unwrap_or(0),
-        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
-        obs_capacity: o.get_num("ring")?.unwrap_or(4096),
-        fastpath: !o.has("no-fastpath"),
-    };
-    let app = build_app(kind, o.has("tiny"));
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.push("tsv");
+    o.expect(&valid)?;
+    let mut spec = spec_from_opts(&o, "campaign", 500)?;
+    if o.get("ring").is_none() {
+        spec.campaign.obs_capacity = 4096;
+    }
+    let kind = spec.app;
     eprintln!(
         "metrics: {} x {} injections over {} regions ...",
         kind.name(),
-        cfg.injections,
-        regions.len()
+        spec.campaign.injections,
+        spec.classes.len()
     );
-    let result = CampaignBuilder::new(&app)
-        .classes(&regions)
-        .with_config(cfg)
-        .run();
+    let total = spec.classes.len() as u64 * spec.campaign.injections as u64;
+    let sink = CliSink::new(kind, false, total);
+    let SpecOutcome::Campaign(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("campaign mode yields a campaign outcome");
+    };
     // Keep stdout machine-readable; the throughput summary goes to
     // stderr alongside the progress line.
     eprintln!("{}", throughput_line(&result));
@@ -596,56 +713,23 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 
 fn cmd_guard(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
-    o.expect(&[
-        "injections",
-        "regions",
-        "seed",
-        "threads",
-        "epoch-rounds",
-        "checkpoint-rounds",
-        "restarts",
-        "retransmits",
-        "tiny",
-        "tsv",
-        "jsonl",
-        "no-fastpath",
-    ])?;
-    let app_name = o.words.first().ok_or("guard needs an app name")?;
-    let kind = parse_app(app_name)?;
-    let regions: Vec<TargetClass> = match o.get("regions") {
-        None | Some("all") => TargetClass::ALL.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(parse_region)
-            .collect::<Result<_, _>>()?,
-    };
-    let cfg = CampaignConfig {
-        injections: o.get_num("injections")?.unwrap_or(100),
-        seed: o.get_num("seed")?.unwrap_or(0xFA17),
-        budget_factor: 3.0,
-        threads: o.get_num("threads")?.unwrap_or(0),
-        epoch_rounds: o.get_num("epoch-rounds")?.unwrap_or(16),
-        fastpath: !o.has("no-fastpath"),
-        ..Default::default()
-    };
-    let policy = GuardPolicy {
-        checkpoint_rounds: o.get_num("checkpoint-rounds")?.unwrap_or(32),
-        max_restarts: o.get_num("restarts")?.unwrap_or(3),
-        max_retransmits: o.get_num("retransmits")?.unwrap_or(3),
-        ..GuardPolicy::default()
-    };
-    let app = build_app(kind, o.has("tiny"));
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.extend(GUARD_FLAGS);
+    valid.extend(["tsv", "jsonl"]);
+    o.expect(&valid)?;
+    let spec = spec_from_opts(&o, "guard", 100)?;
+    let kind = spec.app;
     eprintln!(
         "guard: {} x {} paired trials over {} regions ...",
         kind.name(),
-        cfg.injections,
-        regions.len()
+        spec.campaign.injections,
+        spec.classes.len()
     );
-    let result = CampaignBuilder::new(&app)
-        .classes(&regions)
-        .with_config(cfg)
-        .guarded(policy)
-        .run_coverage();
+    let total = spec.classes.len() as u64 * spec.campaign.injections as u64;
+    let sink = CliSink::new(kind, false, total);
+    let SpecOutcome::Coverage(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("guard mode yields a coverage outcome");
+    };
     if o.has("jsonl") {
         print!("{}", coverage_jsonl(&result));
     } else if o.has("tsv") {
@@ -663,57 +747,23 @@ fn cmd_guard(args: &[String]) -> Result<(), String> {
 
 fn cmd_ft(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
-    o.expect(&[
-        "injections",
-        "seed",
-        "threads",
-        "buddy-rounds",
-        "respawns",
-        "replicas",
-        "probe-rounds",
-        "suspect-rounds",
-        "tiny",
-        "tsv",
-        "jsonl",
-        "no-fastpath",
-    ])?;
-    let app_name = o.words.first().ok_or("ft needs an app name")?;
-    let kind = parse_app(app_name)?;
-    let cfg = CampaignConfig {
-        injections: o.get_num("injections")?.unwrap_or(40),
-        seed: o.get_num("seed")?.unwrap_or(0xFA17),
-        budget_factor: 3.0,
-        threads: o.get_num("threads")?.unwrap_or(0),
-        fastpath: !o.has("no-fastpath"),
-        ..Default::default()
-    };
-    let mut policy = FtPolicy::default();
-    if let Some(b) = o.get_num("buddy-rounds")? {
-        policy.buddy_rounds = b;
-    }
-    if let Some(r) = o.get_num("respawns")? {
-        policy.max_respawns = r;
-    }
-    if let Some(n) = o.get_num("replicas")? {
-        policy.replicas = n;
-    }
-    if let Some(p) = o.get_num("probe-rounds")? {
-        policy.detector.probe_rounds = p;
-    }
-    if let Some(q) = o.get_num("suspect-rounds")? {
-        policy.detector.suspect_rounds = q;
-    }
-    let app = build_app(kind, o.has("tiny"));
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.extend(FT_FLAGS);
+    valid.extend(["tsv", "jsonl"]);
+    o.expect(&valid)?;
+    let spec = spec_from_opts(&o, "ft", 40)?;
+    let kind = spec.app;
     eprintln!(
         "ft: {} x {} rank kills (baseline/shrink/respawn) + {} message faults (replicated) ...",
         kind.name(),
-        cfg.injections,
-        cfg.injections
+        spec.campaign.injections,
+        spec.campaign.injections
     );
-    let result = CampaignBuilder::new(&app)
-        .with_config(cfg)
-        .ft(policy)
-        .run_ft();
+    let total = 2 * spec.campaign.injections as u64;
+    let sink = CliSink::new(kind, false, total);
+    let SpecOutcome::Ft(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("ft mode yields an ft outcome");
+    };
     if o.has("jsonl") {
         print!("{}", ft_jsonl(&result));
     } else if o.has("tsv") {
@@ -726,6 +776,99 @@ fn cmd_ft(args: &[String]) -> Result<(), String> {
         );
         print!("{}", render_ft(&result, &title));
     }
+    Ok(())
+}
+
+fn cmd_spec(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.push("mode");
+    valid.extend(GUARD_FLAGS);
+    valid.extend(FT_FLAGS);
+    o.expect(&valid)?;
+    let mode = o.get("mode").unwrap_or("campaign");
+    let default_injections = match mode {
+        "guard" => 100,
+        "ft" => 40,
+        _ => 500,
+    };
+    let spec = spec_from_opts(&o, mode, default_injections)?;
+    println!("{}", spec.to_json());
+    Ok(())
+}
+
+fn serve_addr(o: &Opts) -> String {
+    o.get("addr").unwrap_or(DEFAULT_ADDR).to_string()
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&["addr", "state-dir"])?;
+    let cfg = ServeConfig {
+        addr: serve_addr(&o),
+        state_dir: o.get("state-dir").unwrap_or(".faultlab-serve").into(),
+    };
+    let state_dir = cfg.state_dir.clone();
+    let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "faultlab serve: listening on {}, state in {} (POST /shutdown to exit)",
+        server.local_addr(),
+        state_dir.display(),
+    );
+    server.join();
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&["addr"])?;
+    let text = match o.words.first().map(String::as_str) {
+        Some("-") | None => {
+            let mut s = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)
+                .map_err(|e| format!("reading spec from stdin: {e}"))?;
+            s
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+    };
+    let addr = serve_addr(&o);
+    let id = fl_serve::submit(&addr, text.trim())?;
+    println!("{}", fl_serve::status(&addr, &id)?);
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&["addr"])?;
+    let addr = serve_addr(&o);
+    match o.words.first() {
+        Some(id) => println!("{}", fl_serve::status(&addr, id)?),
+        None => {
+            let (code, body) = fl_serve::request(&addr, "GET", "/campaigns", None)?;
+            if code != 200 {
+                return Err(format!("status failed ({code}): {body}"));
+            }
+            println!("{body}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&["addr"])?;
+    let id = o.words.first().ok_or("watch needs a campaign id")?;
+    fl_serve::watch(&serve_addr(&o), id, |line| println!("{line}"))
+}
+
+fn cmd_control(action: &str, args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    o.expect(&["addr"])?;
+    let id = o
+        .words
+        .first()
+        .ok_or_else(|| format!("{action} needs a campaign id"))?;
+    println!("{}", fl_serve::control(&serve_addr(&o), id, action)?);
     Ok(())
 }
 
@@ -950,6 +1093,62 @@ mod tests {
         assert!(err.contains("did you mean `--injections`?"), "{err}");
         let err = run(&s(&["ft", "wavetoy", "--replica", "3"])).unwrap_err();
         assert!(err.contains("did you mean `--replicas`?"), "{err}");
+    }
+
+    #[test]
+    fn spec_from_opts_matches_legacy_defaults() {
+        let o = Opts::parse(&s(&["wavetoy"]));
+        let spec = spec_from_opts(&o, "campaign", 500).unwrap();
+        assert_eq!(spec.app, AppKind::Wavetoy);
+        assert!(!spec.tiny);
+        assert_eq!(spec.campaign.injections, 500);
+        assert_eq!(spec.campaign.seed, 0xFA17);
+        assert_eq!(spec.campaign.epoch_rounds, 16);
+        assert_eq!(spec.campaign.obs_capacity, 0);
+        assert!(spec.campaign.fastpath);
+        assert!(matches!(spec.mode, SpecMode::Campaign));
+
+        let o = Opts::parse(&s(&["moldyn", "--tiny", "--checkpoint-rounds", "8"]));
+        let spec = spec_from_opts(&o, "guard", 100).unwrap();
+        assert_eq!(spec.campaign.injections, 100);
+        let SpecMode::Guard(g) = &spec.mode else {
+            panic!("expected guard mode");
+        };
+        assert_eq!(g.checkpoint_rounds, 8);
+        assert_eq!(g.max_restarts, 3);
+        assert_eq!(g.max_retransmits, 3);
+    }
+
+    #[test]
+    fn jobs_is_an_alias_for_threads() {
+        let o = Opts::parse(&s(&["wavetoy", "--jobs", "4"]));
+        let spec = spec_from_opts(&o, "campaign", 500).unwrap();
+        assert_eq!(spec.campaign.threads, 4);
+        let o = Opts::parse(&s(&["wavetoy", "--threads", "3"]));
+        let spec = spec_from_opts(&o, "campaign", 500).unwrap();
+        assert_eq!(spec.campaign.threads, 3);
+    }
+
+    #[test]
+    fn spec_verb_output_round_trips() {
+        for mode in ["campaign", "guard", "ft"] {
+            let o = Opts::parse(&s(&["climsim", "--tiny", "--mode", mode]));
+            let spec = spec_from_opts(&o, mode, 500).unwrap();
+            let json = spec.to_json();
+            let back = CampaignSpec::from_json(&json).unwrap();
+            assert_eq!(back.to_json(), json, "mode {mode} did not round-trip");
+        }
+        assert!(run(&s(&["spec", "wavetoy", "--tiny"])).is_ok());
+    }
+
+    #[test]
+    fn service_verbs_validate_their_arguments() {
+        let err = run(&s(&["watch"])).unwrap_err();
+        assert!(err.contains("campaign id"), "{err}");
+        let err = run(&s(&["pause"])).unwrap_err();
+        assert!(err.contains("campaign id"), "{err}");
+        let err = run(&s(&["submit", "/no/such/spec.json"])).unwrap_err();
+        assert!(err.contains("/no/such/spec.json"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! between injections; we get the same isolation by constructing fresh
 //! machines.
 
-use crate::obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
+use crate::obs::{CampaignMetrics, TrialTrace};
 use crate::outcome::{classify, Manifestation, Tally};
 use crate::target::{
     fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
@@ -19,8 +19,6 @@ use fl_mpi::{MessageFault, MpiWorld, PendingInjection, WorldConfig};
 use fl_snap::EpochCache;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,104 +193,25 @@ pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Opti
     Some(EpochCache::build(&app.image, wcfg, cfg.epoch_rounds))
 }
 
-/// One finished trial's slot in the campaign: its record, the guest
-/// instructions its ranks retired, plus its aggregated metrics when
-/// event recording is on.
-type TrialSlot = Option<(TrialRecord, u64, Option<TrialMetrics>)>;
-
-/// Campaign execution (the [`crate::CampaignBuilder`] backend).
+/// Campaign execution (the [`crate::CampaignBuilder`] backend): a thin
+/// client of the engine — no control, no sink, no resume. The driver
+/// loop itself (scheduler, worker pool, slot-addressed records) lives
+/// in [`crate::engine`].
 pub(crate) fn run_campaign_impl(
     app: &App,
     classes: &[TargetClass],
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let budget0 = 2_000_000_000;
-    let golden = app.golden(budget0);
-    let budget = trial_budget(&golden, cfg);
-
-    let dicts = Dictionaries::build(app);
-    let epochs = build_epochs(app, cfg, budget);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-
-    let observe = cfg.obs_capacity > 0;
-    let started = std::time::Instant::now();
-    let mut insns_total = 0u64;
-    let mut results = Vec::new();
-    let mut metrics: Vec<ClassMetrics> = Vec::new();
-    for (ci, &class) in classes.iter().enumerate() {
-        let next = AtomicU32::new(0);
-        // Slot-addressed so the record order is trial order, independent
-        // of which worker finishes first.
-        let records: Mutex<Vec<TrialSlot>> = Mutex::new(vec![None; cfg.injections as usize]);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= cfg.injections {
-                        break;
-                    }
-                    let run = run_trial_inner(
-                        app,
-                        &golden,
-                        &dicts,
-                        class,
-                        trial_seed(cfg.seed, ci, k),
-                        budget,
-                        epochs.as_ref(),
-                        cfg.obs_capacity,
-                        cfg.fastpath,
-                    );
-                    // Fold event streams down to per-trial metrics before
-                    // the world is torn down; only the numbers survive.
-                    let tm = observe.then(|| {
-                        trial_metrics(&run.record, run.rank, &run.world.event_streams(), run.insns)
-                    });
-                    records.lock().unwrap()[k as usize] = Some((run.record, run.insns, tm));
-                });
-            }
-        })
-        .expect("campaign worker panicked");
-        let mut class_metrics = ClassMetrics::new(class);
-        let trials: Vec<TrialRecord> = records
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|r| {
-                let (rec, insns, tm) = r.expect("every trial slot filled");
-                insns_total += insns;
-                if let Some(tm) = tm {
-                    class_metrics.fold(&tm);
-                }
-                rec
-            })
-            .collect();
-        let mut tally = Tally::default();
-        for t in &trials {
-            tally.record(t.outcome);
-        }
-        if observe {
-            metrics.push(class_metrics);
-        }
-        results.push(ClassResult {
-            class,
-            tally,
-            trials,
-        });
-    }
-    CampaignResult {
-        app: app.kind,
-        classes: results,
-        golden,
-        metrics: observe.then_some(CampaignMetrics { classes: metrics }),
-        insns_total,
-        wall_nanos: started.elapsed().as_nanos() as u64,
-    }
+    crate::engine::run_campaign_engine(
+        app,
+        classes,
+        cfg,
+        &crate::engine::NullSink,
+        &crate::engine::EngineControl::new(),
+        None,
+    )
+    .result
+    .expect("uncontrolled engine runs always complete")
 }
 
 /// Trial replay from campaign coordinates (the [`crate::CampaignBuilder`]

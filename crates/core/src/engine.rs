@@ -1,0 +1,999 @@
+//! The campaign engine: spec → scheduler → worker pool → record sink.
+//!
+//! Before this module existed every campaign flavour (plain, coverage,
+//! ft) owned a private driver loop: an atomic cursor, a crossbeam
+//! scope, a slot-addressed record vector. The engine extracts that loop
+//! into one place and adds the three capabilities the campaign service
+//! needs:
+//!
+//! * **Work stealing** — the flattened `(class, trial)` slot space is
+//!   split into one contiguous shard per worker; a worker that drains
+//!   its shard steals the upper half of the richest remaining shard.
+//!   Records stay slot-addressed, so the output is bit-identical no
+//!   matter which worker ran which trial.
+//! * **Pause / stop** — workers consult an [`EngineControl`] between
+//!   trials. Pause parks them on a condvar mid-campaign; stop makes
+//!   them drain and exit, leaving a partial slot vector.
+//! * **Resume** — a [`CompletedSlots`] map (typically parsed back from
+//!   a streamed JSONL record file) pre-fills slots so a restarted
+//!   engine re-runs only the missing trials. Because every trial is
+//!   deterministic in its campaign coordinates, the resumed campaign's
+//!   canonical record stream and metrics are bit-identical to an
+//!   uninterrupted run's.
+//!
+//! [`run_campaign_impl`](crate::campaign) and the coverage/ft backends
+//! are thin clients of the internal `run_pool` scheduler; `faultlab
+//! serve` and the one-shot
+//! CLI verbs are thin clients of [`run_campaign_engine`]. There is
+//! exactly one way trials get scheduled, executed and recorded.
+
+use crate::campaign::{
+    build_epochs, run_trial_inner, trial_budget, trial_seed, CampaignConfig, CampaignResult,
+    ClassResult, Dictionaries, TrialRecord,
+};
+use crate::json::{escape, parse, Json};
+use crate::obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, KIND_COUNT};
+use crate::outcome::{Manifestation, Tally};
+use crate::progress::EngineProgress;
+use crate::spec::{CampaignSpec, SpecMode};
+use crate::target::TargetClass;
+use fl_apps::{App, AppKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Engine run state, transitioned by controllers and observed by
+/// workers between trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Workers claim and execute trials.
+    Running,
+    /// Workers park on the control's condvar; the campaign thread stays
+    /// inside the pool, resumable instantly.
+    Paused,
+    /// Workers finish their current trial and exit; the pool returns a
+    /// partial slot vector.
+    Stopping,
+}
+
+/// Shared pause/stop switch for one engine run.
+///
+/// Cheap to share (`&EngineControl` is all the workers hold); a server
+/// keeps one per campaign so `POST /campaigns/<id>/pause` can park the
+/// pool mid-run.
+#[derive(Debug, Default)]
+pub struct EngineControl {
+    state: Mutex<Option<RunState>>,
+    cv: Condvar,
+}
+
+impl EngineControl {
+    /// A control in the `Running` state.
+    pub fn new() -> EngineControl {
+        EngineControl {
+            state: Mutex::new(Some(RunState::Running)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self, s: RunState) {
+        *self.state.lock().unwrap() = Some(s);
+        self.cv.notify_all();
+    }
+
+    /// Park workers after their current trial.
+    pub fn pause(&self) {
+        self.set(RunState::Paused);
+    }
+
+    /// Unpark paused workers.
+    pub fn resume(&self) {
+        self.set(RunState::Running);
+    }
+
+    /// Drain workers; the engine returns a partial run.
+    pub fn stop(&self) {
+        self.set(RunState::Stopping);
+    }
+
+    /// The current state.
+    pub fn state(&self) -> RunState {
+        self.state.lock().unwrap().unwrap_or(RunState::Running)
+    }
+
+    /// Worker-side gate: blocks while paused, returns `false` once the
+    /// run is stopping.
+    pub fn proceed(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while *st == Some(RunState::Paused) {
+            st = self.cv.wait(st).unwrap();
+        }
+        *st != Some(RunState::Stopping)
+    }
+}
+
+/// Work-stealing scheduler over a flattened slot space `[0, total)`.
+///
+/// Each worker owns one contiguous shard packed into an `AtomicU64`
+/// (`next` in the high half, `end` in the low half). Claiming pops the
+/// front of the own shard; an empty worker steals the upper half of the
+/// richest shard with a single CAS. Slot *indices* are deterministic
+/// regardless of the steal schedule — only completion order varies.
+pub(crate) struct Scheduler {
+    shards: Vec<AtomicU64>,
+}
+
+fn pack(next: u32, end: u32) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl Scheduler {
+    /// Split `[0, total)` into `shards` contiguous ranges.
+    pub(crate) fn new(total: u32, shards: usize) -> Scheduler {
+        let shards = shards.max(1);
+        let per = total / shards as u32;
+        let extra = total % shards as u32;
+        let mut v = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards as u32 {
+            let len = per + u32::from(i < extra);
+            v.push(AtomicU64::new(pack(start, start + len)));
+            start += len;
+        }
+        Scheduler { shards: v }
+    }
+
+    fn pop(shard: &AtomicU64) -> Option<u32> {
+        let mut cur = shard.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            match shard.compare_exchange_weak(
+                cur,
+                pack(next + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(next),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Claim the next slot for worker `me`: own shard first, then steal.
+    pub(crate) fn claim(&self, me: usize) -> Option<u32> {
+        loop {
+            if let Some(k) = Self::pop(&self.shards[me]) {
+                return Some(k);
+            }
+            // Steal from the richest shard. `me` is empty right now, so
+            // a plain store below cannot race with other thieves (they
+            // only CAS non-empty shards).
+            let mut best: Option<(usize, u32, u32)> = None;
+            for (i, s) in self.shards.iter().enumerate() {
+                if i == me {
+                    continue;
+                }
+                let (n, e) = unpack(s.load(Ordering::Acquire));
+                if e > n && best.is_none_or(|(_, bn, be)| e - n > be - bn) {
+                    best = Some((i, n, e));
+                }
+            }
+            let (victim, n, e) = best?;
+            let mid = n + (e - n) / 2; // upper half [mid, e); all of it when 1 remains
+            if self.shards[victim]
+                .compare_exchange(
+                    pack(n, e),
+                    pack(n, mid),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.shards[me].store(pack(mid + 1, e), Ordering::Release);
+                return Some(mid);
+            }
+            // Lost the race; re-scan.
+        }
+    }
+
+    /// Slots not yet claimed (approximate under concurrency; exact when
+    /// quiescent).
+    #[cfg(test)]
+    pub(crate) fn remaining(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (n, e) = unpack(s.load(Ordering::Acquire));
+                e.saturating_sub(n)
+            })
+            .sum()
+    }
+}
+
+/// Resolve a thread-count knob (0 = one per available core).
+pub(crate) fn resolve_threads(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        n
+    }
+}
+
+/// The one scheduling loop every campaign flavour runs on: `counts[g]`
+/// trials per group, flattened, sharded across `threads` workers with
+/// stealing, slot-addressed results. Returns the slot vectors and
+/// whether every slot was filled (`false` after a stop).
+pub(crate) fn run_pool<T: Send>(
+    counts: &[u32],
+    threads: usize,
+    control: &EngineControl,
+    exec: impl Fn(usize, u32) -> T + Sync,
+) -> (Vec<Vec<Option<T>>>, bool) {
+    let total: u32 = counts.iter().sum();
+    let threads = resolve_threads(threads).max(1);
+    let slots: Mutex<Vec<Vec<Option<T>>>> = Mutex::new(
+        counts
+            .iter()
+            .map(|&n| (0..n).map(|_| None).collect())
+            .collect(),
+    );
+    // Group offsets for flat-index → (group, k) translation.
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut acc = 0u32;
+    for &n in counts {
+        offsets.push(acc);
+        acc += n;
+    }
+    let sched = Scheduler::new(total, threads);
+    crossbeam::thread::scope(|s| {
+        for me in 0..threads {
+            let sched = &sched;
+            let slots = &slots;
+            let exec = &exec;
+            let offsets = &offsets;
+            s.spawn(move |_| {
+                while control.proceed() {
+                    let Some(flat) = sched.claim(me) else {
+                        break;
+                    };
+                    let g = match offsets.binary_search(&flat) {
+                        Ok(i) => {
+                            // Equal offsets mark empty groups; the slot
+                            // belongs to the last group starting here.
+                            let mut i = i;
+                            while i + 1 < offsets.len() && offsets[i + 1] == flat {
+                                i += 1;
+                            }
+                            i
+                        }
+                        Err(i) => i - 1,
+                    };
+                    let k = flat - offsets[g];
+                    let t = exec(g, k);
+                    slots.lock().unwrap()[g][k as usize] = Some(t);
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    let slots = slots.into_inner().unwrap();
+    let complete = slots.iter().flatten().all(|s| s.is_some());
+    (slots, complete)
+}
+
+/// One finished trial, addressed by its campaign coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutput {
+    /// Class position in the campaign's class list.
+    pub ci: usize,
+    /// Trial index within the class.
+    pub k: u32,
+    /// What was injected and what happened.
+    pub record: TrialRecord,
+    /// Guest instructions retired across all ranks.
+    pub insns: u64,
+    /// Per-trial event metrics, present iff the campaign records events.
+    pub metrics: Option<TrialMetrics>,
+}
+
+/// Subscriber to engine output: per-trial records in completion order,
+/// plus progress counter updates. One-shot CLI progress lines, the
+/// server's status responses and the watch stream all render from this
+/// one event source.
+pub trait EngineSink: Sync {
+    /// One trial finished (called from worker threads, completion
+    /// order). Not called for slots adopted from [`CompletedSlots`] —
+    /// those were already streamed by the run that produced them.
+    fn trial(&self, _t: &TrialOutput) {}
+
+    /// Progress counters advanced.
+    fn progress(&self, _p: EngineProgress) {}
+}
+
+/// A sink that ignores everything (the plain `CampaignBuilder` path).
+pub struct NullSink;
+
+impl EngineSink for NullSink {}
+
+/// A sink that collects canonical record lines in memory.
+pub struct VecSink {
+    lines: Mutex<Vec<String>>,
+    app: AppKind,
+}
+
+impl VecSink {
+    /// An empty sink for `app`'s records.
+    pub fn new(app: AppKind) -> VecSink {
+        VecSink {
+            lines: Mutex::new(Vec::new()),
+            app,
+        }
+    }
+
+    /// The collected lines, in completion order.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines.into_inner().unwrap()
+    }
+}
+
+impl EngineSink for VecSink {
+    fn trial(&self, t: &TrialOutput) {
+        self.lines.lock().unwrap().push(record_line(self.app, t));
+    }
+}
+
+/// Slots completed by a previous run of the same campaign, keyed by
+/// `(ci, k)`. The engine adopts them instead of re-executing.
+#[derive(Debug, Default)]
+pub struct CompletedSlots {
+    map: Mutex<HashMap<(usize, u32), TrialOutput>>,
+}
+
+impl CompletedSlots {
+    /// An empty map.
+    pub fn new() -> CompletedSlots {
+        CompletedSlots::default()
+    }
+
+    /// Adopt one finished trial.
+    pub fn insert(&self, t: TrialOutput) {
+        self.map.lock().unwrap().insert((t.ci, t.k), t);
+    }
+
+    /// Completed slots held.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no slots are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&self, ci: usize, k: u32) -> Option<TrialOutput> {
+        self.map.lock().unwrap().remove(&(ci, k))
+    }
+
+    /// Parse a streamed JSONL record file back into completed slots.
+    /// Lines that fail to parse (e.g. a torn final line after a kill)
+    /// or fall outside the campaign's slot space are skipped and
+    /// counted — the engine simply re-runs those trials.
+    pub fn from_jsonl(
+        text: &str,
+        classes: &[TargetClass],
+        injections: u32,
+    ) -> (CompletedSlots, usize) {
+        let slots = CompletedSlots::new();
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record_line(line) {
+                Ok(t)
+                    if t.ci < classes.len()
+                        && t.k < injections
+                        && classes[t.ci] == t.record.class =>
+                {
+                    slots.insert(t)
+                }
+                _ => skipped += 1,
+            }
+        }
+        (slots, skipped)
+    }
+}
+
+/// What an engine run produced.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The assembled campaign result — `Some` iff every slot completed
+    /// (the run was not stopped early).
+    pub result: Option<CampaignResult>,
+    /// Final progress counters.
+    pub progress: EngineProgress,
+}
+
+/// Run a campaign on the engine: scheduler, worker pool with stealing,
+/// record sink, pause/stop control, optional resume.
+///
+/// This is the single backend behind `CampaignBuilder::run`, `faultlab
+/// campaign --jobs N` and `faultlab serve`. Records, metrics and
+/// instruction totals are bit-identical for any worker count, steal
+/// schedule, or resume point, because every trial is deterministic in
+/// `(spec, ci, k)` and all aggregation happens in slot order.
+pub fn run_campaign_engine(
+    app: &App,
+    classes: &[TargetClass],
+    cfg: &CampaignConfig,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+    resume: Option<CompletedSlots>,
+) -> EngineRun {
+    let golden = app.golden(2_000_000_000);
+    let budget = trial_budget(&golden, cfg);
+    let dicts = Dictionaries::build(app);
+    let epochs = build_epochs(app, cfg, budget);
+    let observe = cfg.obs_capacity > 0;
+    let resume = resume.unwrap_or_default();
+    let resumed_total = resume.len() as u64;
+    let total = classes.len() as u64 * cfg.injections as u64;
+    let done = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+
+    let counts = vec![cfg.injections; classes.len()];
+    let (slots, complete) = run_pool(&counts, cfg.threads, control, |ci, k| {
+        let out = match resume.take(ci, k) {
+            Some(t) => t,
+            None => {
+                let run = run_trial_inner(
+                    app,
+                    &golden,
+                    &dicts,
+                    classes[ci],
+                    trial_seed(cfg.seed, ci, k),
+                    budget,
+                    epochs.as_ref(),
+                    cfg.obs_capacity,
+                    cfg.fastpath,
+                );
+                let metrics = observe.then(|| {
+                    trial_metrics(&run.record, run.rank, &run.world.event_streams(), run.insns)
+                });
+                let t = TrialOutput {
+                    ci,
+                    k,
+                    record: run.record,
+                    insns: run.insns,
+                    metrics,
+                };
+                sink.trial(&t);
+                t
+            }
+        };
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        sink.progress(EngineProgress {
+            total,
+            done: d,
+            resumed: resumed_total,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        out
+    });
+
+    let progress = EngineProgress {
+        total,
+        done: done.load(Ordering::Relaxed),
+        resumed: resumed_total,
+        wall_nanos: started.elapsed().as_nanos() as u64,
+    };
+    if !complete {
+        return EngineRun {
+            result: None,
+            progress,
+        };
+    }
+
+    // Assemble the result in slot order — the same folds in the same
+    // order regardless of worker count or resume point.
+    let mut insns_total = 0u64;
+    let mut results = Vec::new();
+    let mut metrics: Vec<ClassMetrics> = Vec::new();
+    for (ci, class_slots) in slots.into_iter().enumerate() {
+        let class = classes[ci];
+        let mut class_metrics = ClassMetrics::new(class);
+        let mut tally = Tally::default();
+        let trials: Vec<TrialRecord> = class_slots
+            .into_iter()
+            .map(|s| {
+                let t = s.expect("complete run fills every slot");
+                insns_total += t.insns;
+                if let Some(tm) = &t.metrics {
+                    class_metrics.fold(tm);
+                }
+                tally.record(t.record.outcome);
+                t.record
+            })
+            .collect();
+        if observe {
+            metrics.push(class_metrics);
+        }
+        results.push(ClassResult {
+            class,
+            tally,
+            trials,
+        });
+    }
+    EngineRun {
+        result: Some(CampaignResult {
+            app: app.kind,
+            classes: results,
+            golden,
+            metrics: observe.then_some(CampaignMetrics { classes: metrics }),
+            insns_total,
+            wall_nanos: progress.wall_nanos,
+        }),
+        progress,
+    }
+}
+
+/// What running a [`CampaignSpec`] produced, by mode.
+#[derive(Debug)]
+pub enum SpecOutcome {
+    /// A plain campaign's result.
+    Campaign(CampaignResult),
+    /// A guard-coverage campaign's result.
+    Coverage(crate::guarded::CoverageResult),
+    /// A fault-tolerance campaign's result.
+    Ft(crate::ft::FtResult),
+}
+
+/// Run a [`CampaignSpec`] end to end on the engine — the single entry
+/// point behind the one-shot CLI verbs and the campaign service.
+/// Returns `None` when `control` stopped the run before completion.
+///
+/// `resume` pre-fills completed slots and only applies to plain
+/// campaign mode (its per-trial records are what the service streams
+/// and re-parses); guard and ft campaigns always run their remaining
+/// trials from scratch.
+pub fn run_spec(
+    spec: &CampaignSpec,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+    resume: Option<CompletedSlots>,
+) -> Option<SpecOutcome> {
+    let params = if spec.tiny {
+        fl_apps::AppParams::tiny(spec.app)
+    } else {
+        fl_apps::AppParams::default_for(spec.app)
+    };
+    let app = App::build(spec.app, params);
+    match &spec.mode {
+        SpecMode::Campaign => {
+            run_campaign_engine(&app, &spec.classes, &spec.campaign, sink, control, resume)
+                .result
+                .map(SpecOutcome::Campaign)
+        }
+        SpecMode::Guard(policy) => crate::guarded::run_coverage_engine(
+            &app,
+            &spec.classes,
+            &spec.campaign,
+            policy,
+            sink,
+            control,
+        )
+        .map(SpecOutcome::Coverage),
+        SpecMode::Ft(policy) => crate::ft::run_ft_engine(
+            &app,
+            &spec.campaign,
+            policy,
+            spec.campaign.injections,
+            spec.campaign.injections,
+            sink,
+            control,
+        )
+        .map(SpecOutcome::Ft),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".into(),
+    }
+}
+
+/// Serialize one trial as its canonical JSONL record line (no trailing
+/// newline). This is the wire format of the record stream: stable field
+/// order, integers only, so identical trials always produce identical
+/// bytes.
+pub fn record_line(app: AppKind, t: &TrialOutput) -> String {
+    let mut out = format!(
+        "{{\"app\":\"{}\",\"class\":\"{}\",\"ci\":{},\"k\":{},\"detail\":\"{}\",\"outcome\":\"{}\",\"insns\":{}",
+        app.name(),
+        t.record.class.name(),
+        t.ci,
+        t.k,
+        escape(&t.record.detail),
+        t.record.outcome.slug(),
+        t.insns,
+    );
+    match &t.metrics {
+        None => out.push_str(",\"metrics\":null}"),
+        Some(m) => {
+            let _ = write!(
+                out,
+                ",\"metrics\":{{\"injection_clock\":{},\"first_symptom_clock\":{},\"blocks_to_manifestation\":{},\"events_to_symptom\":{},\"events_total\":{},\"kind_counts\":[",
+                opt_u64(m.injection_clock),
+                opt_u64(m.first_symptom_clock),
+                opt_u64(m.blocks_to_manifestation),
+                opt_u64(m.events_to_symptom),
+                m.events_total,
+            );
+            for (i, n) in m.kind_counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{n}");
+            }
+            out.push_str("]}}");
+        }
+    }
+    out
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing/invalid `{key}`"))
+}
+
+fn field_opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("invalid `{key}`")),
+    }
+}
+
+/// Parse a canonical record line back into a [`TrialOutput`] — the
+/// resume path's inverse of [`record_line`].
+pub fn parse_record_line(line: &str) -> Result<TrialOutput, String> {
+    let v = parse(line)?;
+    let class: TargetClass = v
+        .get("class")
+        .and_then(Json::as_str)
+        .ok_or("missing `class`")?
+        .parse()?;
+    let outcome = v
+        .get("outcome")
+        .and_then(Json::as_str)
+        .and_then(Manifestation::from_slug)
+        .ok_or("missing/unknown `outcome`")?;
+    let detail = v
+        .get("detail")
+        .and_then(Json::as_str)
+        .ok_or("missing `detail`")?
+        .to_string();
+    let insns = field_u64(&v, "insns")?;
+    let metrics = match v.get("metrics") {
+        None | Some(Json::Null) => None,
+        Some(m) => {
+            let counts = m
+                .get("kind_counts")
+                .and_then(Json::as_arr)
+                .ok_or("missing `kind_counts`")?;
+            if counts.len() != KIND_COUNT {
+                return Err(format!(
+                    "kind_counts has {} entries, expected {KIND_COUNT}",
+                    counts.len()
+                ));
+            }
+            let mut kind_counts = [0u64; KIND_COUNT];
+            for (dst, src) in kind_counts.iter_mut().zip(counts) {
+                *dst = src.as_u64().ok_or("invalid kind count")?;
+            }
+            Some(TrialMetrics {
+                outcome,
+                injection_clock: field_opt_u64(m, "injection_clock")?,
+                first_symptom_clock: field_opt_u64(m, "first_symptom_clock")?,
+                blocks_to_manifestation: field_opt_u64(m, "blocks_to_manifestation")?,
+                events_to_symptom: field_opt_u64(m, "events_to_symptom")?,
+                events_total: field_u64(m, "events_total")?,
+                insns,
+                kind_counts,
+            })
+        }
+    };
+    Ok(TrialOutput {
+        ci: field_u64(&v, "ci")? as usize,
+        k: field_u64(&v, "k")? as u32,
+        record: TrialRecord {
+            class,
+            detail,
+            outcome,
+        },
+        insns,
+        metrics,
+    })
+}
+
+/// Sort a streamed JSONL record file into the canonical slot order
+/// `(ci, k)`, preserving each line byte-for-byte. Unparsable lines are
+/// dropped (a torn tail after a kill). This is "the slot-addressed
+/// record sort": any two runs of the same spec produce the same
+/// canonical stream, regardless of worker count or interruptions.
+pub fn sort_records_jsonl(text: &str) -> String {
+    let mut keyed: Vec<((usize, u32), &str)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| {
+            let t = parse_record_line(l).ok()?;
+            Some(((t.ci, t.k), l))
+        })
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (_, l) in keyed {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_apps::AppParams;
+
+    fn tiny() -> App {
+        App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy))
+    }
+
+    fn cfg(injections: u32, seed: u64, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            injections,
+            seed,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scheduler_hands_out_every_slot_exactly_once() {
+        let sched = Scheduler::new(100, 4);
+        let seen = Mutex::new(vec![0u32; 100]);
+        crossbeam::thread::scope(|s| {
+            for me in 0..4 {
+                let sched = &sched;
+                let seen = &seen;
+                s.spawn(move |_| {
+                    while let Some(k) = sched.claim(me) {
+                        seen.lock().unwrap()[k as usize] += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sched.remaining(), 0);
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn scheduler_steals_across_shards() {
+        // Worker 1 never claims; worker 0 must steal everything.
+        let sched = Scheduler::new(10, 2);
+        let mut got = Vec::new();
+        while let Some(k) = sched.claim(0) {
+            got.push(k);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_slots_are_complete_and_ordered() {
+        let control = EngineControl::new();
+        let (slots, complete) = run_pool(&[5, 3], 3, &control, |g, k| (g, k));
+        assert!(complete);
+        assert_eq!(slots.len(), 2);
+        for (g, group) in slots.iter().enumerate() {
+            for (k, s) in group.iter().enumerate() {
+                assert_eq!(*s, Some((g, k as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_groups() {
+        let control = EngineControl::new();
+        let (slots, complete) = run_pool(&[0, 4, 0, 2], 2, &control, |g, k| (g, k));
+        assert!(complete);
+        assert!(slots[0].is_empty() && slots[2].is_empty());
+        assert_eq!(slots[1][3], Some((1, 3)));
+        assert_eq!(slots[3][1], Some((3, 1)));
+    }
+
+    #[test]
+    fn stopped_pool_returns_partial() {
+        let control = EngineControl::new();
+        let ran = AtomicU64::new(0);
+        let (slots, complete) = run_pool(&[64], 1, &control, |_, k| {
+            if ran.fetch_add(1, Ordering::Relaxed) + 1 == 10 {
+                control.stop();
+            }
+            k
+        });
+        assert!(!complete);
+        let filled = slots[0].iter().filter(|s| s.is_some()).count();
+        assert!((10..64).contains(&filled), "filled {filled}");
+    }
+
+    #[test]
+    fn engine_matches_legacy_backend() {
+        let app = tiny();
+        let classes = [TargetClass::RegularReg, TargetClass::Message];
+        let c = cfg(6, 0xE9, 2);
+        let run = run_campaign_engine(&app, &classes, &c, &NullSink, &EngineControl::new(), None);
+        let legacy = crate::campaign::run_campaign_impl(&app, &classes, &c);
+        let r = run.result.expect("uninterrupted run completes");
+        for (a, b) in r.classes.iter().zip(&legacy.classes) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.tally, b.tally);
+        }
+        assert_eq!(r.insns_total, legacy.insns_total);
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_records() {
+        let app = tiny();
+        let classes = [TargetClass::RegularReg, TargetClass::Stack];
+        let lines = |threads: usize| {
+            let sink = VecSink::new(app.kind);
+            let c = cfg(8, 0x10B5, threads);
+            let run = run_campaign_engine(&app, &classes, &c, &sink, &EngineControl::new(), None);
+            assert!(run.result.is_some());
+            sort_records_jsonl(&sink.into_lines().join("\n"))
+        };
+        assert_eq!(lines(1), lines(4), "records must be byte-identical");
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        let app = tiny();
+        let classes = [TargetClass::RegularReg];
+        let sink = VecSink::new(app.kind);
+        let mut c = cfg(4, 7, 1);
+        c.obs_capacity = 256;
+        let run = run_campaign_engine(&app, &classes, &c, &sink, &EngineControl::new(), None);
+        let result = run.result.unwrap();
+        for line in sink.into_lines() {
+            let t = parse_record_line(&line).expect("line parses");
+            assert_eq!(t.record, result.classes[t.ci].trials[t.k as usize]);
+            assert_eq!(record_line(app.kind, &t), line, "re-emit is byte-identical");
+            assert!(t.metrics.is_some(), "observed runs carry metrics");
+        }
+    }
+
+    #[test]
+    fn resume_from_records_is_bit_identical() {
+        let app = tiny();
+        let classes = [TargetClass::RegularReg, TargetClass::Message];
+        let mut c = cfg(6, 0x5EED, 2);
+        c.obs_capacity = 128;
+
+        // Uninterrupted reference.
+        let ref_sink = VecSink::new(app.kind);
+        let reference =
+            run_campaign_engine(&app, &classes, &c, &ref_sink, &EngineControl::new(), None)
+                .result
+                .unwrap();
+        let ref_lines = sort_records_jsonl(&ref_sink.into_lines().join("\n"));
+
+        // Interrupted run: stop after 5 trials.
+        let control = EngineControl::new();
+        let sink = VecSink::new(app.kind);
+        let seen = AtomicU64::new(0);
+        struct StopAfter<'a> {
+            inner: &'a VecSink,
+            control: &'a EngineControl,
+            seen: &'a AtomicU64,
+            at: u64,
+        }
+        impl EngineSink for StopAfter<'_> {
+            fn trial(&self, t: &TrialOutput) {
+                self.inner.trial(t);
+                if self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.at {
+                    self.control.stop();
+                }
+            }
+        }
+        let stopper = StopAfter {
+            inner: &sink,
+            control: &control,
+            seen: &seen,
+            at: 5,
+        };
+        let first = run_campaign_engine(&app, &classes, &c, &stopper, &control, None);
+        assert!(first.result.is_none(), "stopped run must not complete");
+        let first_lines = sink.into_lines();
+        assert!(!first_lines.is_empty());
+
+        // Resume from the streamed records.
+        let (slots, skipped) =
+            CompletedSlots::from_jsonl(&first_lines.join("\n"), &classes, c.injections);
+        assert_eq!(skipped, 0);
+        let resumed_before = slots.len();
+        let sink2 = VecSink::new(app.kind);
+        let second = run_campaign_engine(
+            &app,
+            &classes,
+            &c,
+            &sink2,
+            &EngineControl::new(),
+            Some(slots),
+        );
+        let resumed = second.result.expect("resumed run completes");
+        let second_lines = sink2.into_lines();
+        assert_eq!(
+            first_lines.len() + second_lines.len(),
+            classes.len() * c.injections as usize,
+            "no trial runs twice"
+        );
+        assert_eq!(second.progress.resumed, resumed_before as u64);
+
+        // Canonical stream and all aggregates are bit-identical.
+        let mut all = first_lines;
+        all.extend(second_lines);
+        assert_eq!(sort_records_jsonl(&all.join("\n")), ref_lines);
+        for (a, b) in resumed.classes.iter().zip(&reference.classes) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.tally, b.tally);
+        }
+        assert_eq!(resumed.metrics, reference.metrics);
+        assert_eq!(resumed.insns_total, reference.insns_total);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_on_resume() {
+        let text = "{\"app\":\"wavetoy\",\"class\":\"regular-reg\",\"ci\":0,\"k\":0,\"detail\":\"d\",\"outcome\":\"crash\",\"insns\":5,\"metrics\":null}\n{\"app\":\"wavetoy\",\"cla";
+        let (slots, skipped) = CompletedSlots::from_jsonl(text, &[TargetClass::RegularReg], 4);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn pause_parks_and_resume_releases_workers() {
+        let control = EngineControl::new();
+        control.pause();
+        assert_eq!(control.state(), RunState::Paused);
+        let done = AtomicU64::new(0);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                let (_, complete) = run_pool(&[8], 2, &control, |_, k| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    k
+                });
+                assert!(complete);
+            });
+            // Workers are parked: nothing completes while paused.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert_eq!(done.load(Ordering::Relaxed), 0);
+            control.resume();
+        })
+        .unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+}

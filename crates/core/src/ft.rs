@@ -14,8 +14,10 @@
 use crate::campaign::{
     draw_fault, trial_budget, trial_seed, trial_world_config, CampaignConfig, Dictionaries,
 };
+use crate::engine::{run_pool, EngineControl, EngineSink, NullSink};
 use crate::guarded::slug;
 use crate::outcome::{classify, Manifestation, Tally};
+use crate::progress::EngineProgress;
 use crate::target::TargetClass;
 use fl_apps::{App, AppKind, Golden};
 use fl_ft::{run_replicated, run_respawn, run_shrink, FtPolicy, RankKill};
@@ -23,8 +25,7 @@ use fl_mpi::{MpiWorld, WorldExit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Draw the kill for trial seed `s`: victim rank, a firing clock inside
 /// its golden block count (so the kill always lands mid-run), and the
@@ -231,6 +232,13 @@ fn classify_replicated(
     }
 }
 
+/// One ft trial's slot: the two trial families share the engine pool's
+/// flattened slot space (kills are group 0, replicas group 1).
+enum FtTrial {
+    Kill(FtKillTrial),
+    Replica(FtReplicaTrial),
+}
+
 /// Ft-campaign execution (the [`crate::CampaignBuilder::run_ft`]
 /// backend). `kill_trials` rank kills are each run bare + shrink +
 /// respawn; `replica_trials` message faults are each run bare +
@@ -242,6 +250,31 @@ pub(crate) fn run_ft_impl(
     kill_trials: u32,
     replica_trials: u32,
 ) -> FtResult {
+    run_ft_engine(
+        app,
+        cfg,
+        policy,
+        kill_trials,
+        replica_trials,
+        &NullSink,
+        &EngineControl::new(),
+    )
+    .expect("uncontrolled ft runs always complete")
+}
+
+/// Ft campaign on the shared engine pool: kills and replication trials
+/// are one flattened slot space, stolen across workers; pause/stop via
+/// `control`, progress through `sink`. Returns `None` when stopped
+/// before every trial completed.
+pub fn run_ft_engine(
+    app: &App,
+    cfg: &CampaignConfig,
+    policy: &FtPolicy,
+    kill_trials: u32,
+    replica_trials: u32,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+) -> Option<FtResult> {
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
@@ -257,155 +290,147 @@ pub(crate) fn run_ft_impl(
         app.comparable_output(&w)
     };
 
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
+    let total = kill_trials as u64 + replica_trials as u64;
+    let done = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+
+    // Kill trials are class position 0 of the seed space, replication
+    // trials position 1 — the same coordinates the old per-family loops
+    // used, so records are unchanged.
+    let run_kill = |k: u32| {
+        let seed = trial_seed(cfg.seed, 0, k);
+        let (kill, detail) = draw_kill(&golden, seed, app.params.nranks);
+        let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        wcfg.seed = seed;
+
+        let mut bare = MpiWorld::new(&app.image, wcfg);
+        bare.set_rank_kill(kill);
+        let bare_exit = bare.run();
+        let baseline = classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
+
+        let (sw, sr) = run_shrink(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
+        let shrink = classify_shrink(
+            &sr.exit,
+            &app.comparable_output(&sw),
+            sr.intervened(),
+            &golden,
+            &shrunken_output,
+        );
+
+        let (rw, rr) = run_respawn(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
+        let respawn = classify_respawn(
+            &rr.exit,
+            &app.comparable_output(&rw),
+            rr.intervened(),
+            &golden,
+        );
+
+        FtKillTrial {
+            detail,
+            baseline,
+            shrink,
+            respawn,
+            respawns: rr.respawns,
+        }
     };
+    let run_replica = |k: u32| {
+        let seed = trial_seed(cfg.seed, 1, k);
+        let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        wcfg.seed = seed;
 
-    // Kill trials (class position 0 of the seed space).
-    let kills: Vec<FtKillTrial> = {
-        let next = AtomicU32::new(0);
-        let records: Mutex<Vec<Option<FtKillTrial>>> = Mutex::new(vec![None; kill_trials as usize]);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= kill_trials {
-                        break;
-                    }
-                    let seed = trial_seed(cfg.seed, 0, k);
-                    let (kill, detail) = draw_kill(&golden, seed, app.params.nranks);
-                    let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
-                    wcfg.seed = seed;
+        let drawn = draw_fault(
+            &golden,
+            &dicts,
+            TargetClass::Message,
+            seed,
+            app.params.nranks,
+        );
+        let detail = drawn.detail.clone();
+        let mut bare = MpiWorld::new(&app.image, wcfg);
+        drawn.arm(&mut bare);
+        let bare_exit = bare.run();
+        let baseline = classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
 
-                    let mut bare = MpiWorld::new(&app.image, wcfg);
-                    bare.set_rank_kill(kill);
-                    let bare_exit = bare.run();
-                    let baseline =
-                        classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
-
-                    let (sw, sr) = run_shrink(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
-                    let shrink = classify_shrink(
-                        &sr.exit,
-                        &app.comparable_output(&sw),
-                        sr.intervened(),
-                        &golden,
-                        &shrunken_output,
-                    );
-
-                    let (rw, rr) = run_respawn(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
-                    let respawn = classify_respawn(
-                        &rr.exit,
-                        &app.comparable_output(&rw),
-                        rr.intervened(),
-                        &golden,
-                    );
-
-                    records.lock().unwrap()[k as usize] = Some(FtKillTrial {
-                        detail,
-                        baseline,
-                        shrink,
-                        respawn,
-                        respawns: rr.respawns,
-                    });
-                });
-            }
-        })
-        .expect("ft kill worker panicked");
-        records
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|r| r.expect("every kill trial slot filled"))
-            .collect()
-    };
-
-    // Replication trials (class position 1 of the seed space): §3.3
-    // message faults, the same draw the Message class uses.
-    let replicas: Vec<FtReplicaTrial> = {
-        let next = AtomicU32::new(0);
-        let records: Mutex<Vec<Option<FtReplicaTrial>>> =
-            Mutex::new(vec![None; replica_trials as usize]);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= replica_trials {
-                        break;
-                    }
-                    let seed = trial_seed(cfg.seed, 1, k);
-                    let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
-                    wcfg.seed = seed;
-
-                    let drawn = draw_fault(
+        let (vw, vr) = run_replicated(
+            &app.image,
+            wcfg,
+            policy,
+            |replica, w| {
+                if replica == 0 {
+                    // Re-draw the identical fault for the one corrupt
+                    // replica (arm() consumes it).
+                    draw_fault(
                         &golden,
                         &dicts,
                         TargetClass::Message,
                         seed,
                         app.params.nranks,
-                    );
-                    let detail = drawn.detail.clone();
-                    let mut bare = MpiWorld::new(&app.image, wcfg);
-                    drawn.arm(&mut bare);
-                    let bare_exit = bare.run();
-                    let baseline =
-                        classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
+                    )
+                    .arm(w);
+                }
+            },
+            |w| app.comparable_output(w),
+        );
+        let replicated =
+            classify_replicated(&vr.exit, &app.comparable_output(&vw), vr.votes, &golden);
 
-                    let (vw, vr) = run_replicated(
-                        &app.image,
-                        wcfg,
-                        policy,
-                        |replica, w| {
-                            if replica == 0 {
-                                // Re-draw the identical fault for the one
-                                // corrupt replica (arm() consumes it).
-                                draw_fault(
-                                    &golden,
-                                    &dicts,
-                                    TargetClass::Message,
-                                    seed,
-                                    app.params.nranks,
-                                )
-                                .arm(w);
-                            }
-                        },
-                        |w| app.comparable_output(w),
-                    );
-                    let replicated = classify_replicated(
-                        &vr.exit,
-                        &app.comparable_output(&vw),
-                        vr.votes,
-                        &golden,
-                    );
-
-                    records.lock().unwrap()[k as usize] = Some(FtReplicaTrial {
-                        detail,
-                        baseline,
-                        replicated,
-                        votes: vr.votes,
-                    });
-                });
-            }
-        })
-        .expect("ft replica worker panicked");
-        records
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|r| r.expect("every replica trial slot filled"))
-            .collect()
+        FtReplicaTrial {
+            detail,
+            baseline,
+            replicated,
+            votes: vr.votes,
+        }
     };
 
-    FtResult {
+    let (mut slots, complete) = run_pool(
+        &[kill_trials, replica_trials],
+        cfg.threads,
+        control,
+        |g, k| {
+            let t = if g == 0 {
+                FtTrial::Kill(run_kill(k))
+            } else {
+                FtTrial::Replica(run_replica(k))
+            };
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            sink.progress(EngineProgress {
+                total,
+                done: d,
+                resumed: 0,
+                wall_nanos: started.elapsed().as_nanos() as u64,
+            });
+            t
+        },
+    );
+    if !complete {
+        return None;
+    }
+    let replicas = slots
+        .pop()
+        .unwrap()
+        .into_iter()
+        .map(|r| match r.expect("every replica trial slot filled") {
+            FtTrial::Replica(t) => t,
+            FtTrial::Kill(_) => unreachable!("group 1 holds replication trials"),
+        })
+        .collect();
+    let kills = slots
+        .pop()
+        .unwrap()
+        .into_iter()
+        .map(|r| match r.expect("every kill trial slot filled") {
+            FtTrial::Kill(t) => t,
+            FtTrial::Replica(_) => unreachable!("group 0 holds kill trials"),
+        })
+        .collect();
+
+    Some(FtResult {
         app: app.kind,
         policy: *policy,
         kills,
         replicas,
         golden,
-    }
+    })
 }
 
 /// Render an ft campaign as a text table: baseline vs recovery outcome

@@ -19,15 +19,16 @@ use crate::campaign::{
     build_epochs, draw_fault, run_trial_inner, trial_budget, trial_seed, trial_world_config,
     CampaignConfig, Dictionaries,
 };
+use crate::engine::{run_pool, EngineControl, EngineSink, NullSink};
 use crate::outcome::Manifestation;
 use crate::outcome::Tally;
+use crate::progress::EngineProgress;
 use crate::target::TargetClass;
 use fl_apps::{App, AppKind, Golden};
 use fl_guard::{run_guarded, GuardPolicy, GuardReport};
 use fl_mpi::WorldExit;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One paired trial: the identical fault, bare and guarded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,20 +159,11 @@ impl CoverageResult {
     }
 }
 
-/// Machine-readable manifestation slug (JSONL field values).
+/// Machine-readable manifestation slug (JSONL field values) — now a
+/// thin alias for [`Manifestation::slug`], kept for the module-local
+/// call sites.
 pub(crate) fn slug(m: Manifestation) -> &'static str {
-    match m {
-        Manifestation::Correct => "correct",
-        Manifestation::Crash => "crash",
-        Manifestation::Hang => "hang",
-        Manifestation::Incorrect => "incorrect",
-        Manifestation::AppDetected => "app-detected",
-        Manifestation::MpiDetected => "mpi-detected",
-        Manifestation::DetectedByGuard => "guard-detected",
-        Manifestation::Recovered => "recovered",
-        Manifestation::RankLost => "rank-lost",
-        Manifestation::MaskedByReplica => "masked-by-replica",
-    }
+    m.slug()
 }
 
 /// Run one fault under the guard and classify the pair-able outcome.
@@ -227,69 +219,79 @@ pub(crate) fn run_coverage_impl(
     cfg: &CampaignConfig,
     policy: &GuardPolicy,
 ) -> CoverageResult {
+    run_coverage_engine(app, classes, cfg, policy, &NullSink, &EngineControl::new())
+        .expect("uncontrolled coverage runs always complete")
+}
+
+/// Coverage campaign on the shared engine pool: work stealing across
+/// classes, pause/stop via `control`, progress through `sink`. Returns
+/// `None` when stopped before every paired trial completed.
+pub fn run_coverage_engine(
+    app: &App,
+    classes: &[TargetClass],
+    cfg: &CampaignConfig,
+    policy: &GuardPolicy,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+) -> Option<CoverageResult> {
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
     let epochs = build_epochs(app, cfg, budget);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
+
+    let total = classes.len() as u64 * cfg.injections as u64;
+    let done = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+    let counts = vec![cfg.injections; classes.len()];
+    let (slots, complete) = run_pool(&counts, cfg.threads, control, |ci, k| {
+        let class = classes[ci];
+        let seed = trial_seed(cfg.seed, ci, k);
+        let base = run_trial_inner(
+            app,
+            &golden,
+            &dicts,
+            class,
+            seed,
+            budget,
+            epochs.as_ref(),
+            0,
+            cfg.fastpath,
+        )
+        .record;
+        let (guarded, report) = run_guarded_trial(
+            app,
+            &golden,
+            &dicts,
+            class,
+            seed,
+            budget,
+            policy,
+            cfg.fastpath,
+        );
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        sink.progress(EngineProgress {
+            total,
+            done: d,
+            resumed: 0,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        GuardedTrialRecord {
+            class,
+            detail: base.detail,
+            baseline: base.outcome,
+            guarded,
+            detections: report.detections,
+            restarts: report.restarts,
+            retransmits: report.retransmits,
+        }
+    });
+    if !complete {
+        return None;
+    }
 
     let mut results = Vec::new();
-    for (ci, &class) in classes.iter().enumerate() {
-        let next = AtomicU32::new(0);
-        let records: Mutex<Vec<Option<GuardedTrialRecord>>> =
-            Mutex::new(vec![None; cfg.injections as usize]);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= cfg.injections {
-                        break;
-                    }
-                    let seed = trial_seed(cfg.seed, ci, k);
-                    let base = run_trial_inner(
-                        app,
-                        &golden,
-                        &dicts,
-                        class,
-                        seed,
-                        budget,
-                        epochs.as_ref(),
-                        0,
-                        cfg.fastpath,
-                    )
-                    .record;
-                    let (guarded, report) = run_guarded_trial(
-                        app,
-                        &golden,
-                        &dicts,
-                        class,
-                        seed,
-                        budget,
-                        policy,
-                        cfg.fastpath,
-                    );
-                    records.lock().unwrap()[k as usize] = Some(GuardedTrialRecord {
-                        class,
-                        detail: base.detail,
-                        baseline: base.outcome,
-                        guarded,
-                        detections: report.detections,
-                        restarts: report.restarts,
-                        retransmits: report.retransmits,
-                    });
-                });
-            }
-        })
-        .expect("coverage worker panicked");
-        let trials: Vec<GuardedTrialRecord> = records
-            .into_inner()
-            .unwrap()
+    for (ci, class_slots) in slots.into_iter().enumerate() {
+        let trials: Vec<GuardedTrialRecord> = class_slots
             .into_iter()
             .map(|r| r.expect("every trial slot filled"))
             .collect();
@@ -302,19 +304,19 @@ pub(crate) fn run_coverage_impl(
             transitions.record(t.baseline, t.guarded);
         }
         results.push(CoverageClassResult {
-            class,
+            class: classes[ci],
             baseline,
             guarded,
             transitions,
             trials,
         });
     }
-    CoverageResult {
+    Some(CoverageResult {
         app: app.kind,
         policy: *policy,
         classes: results,
         golden,
-    }
+    })
 }
 
 /// Render a coverage campaign as a text table: baseline error breakdown

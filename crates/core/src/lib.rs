@@ -40,9 +40,11 @@
 pub mod builder;
 pub mod campaign;
 pub mod config;
+pub mod engine;
 pub mod faultmodel;
 pub mod ft;
 pub mod guarded;
+pub mod json;
 pub mod obs;
 pub mod outcome;
 pub mod progress;
@@ -50,6 +52,7 @@ pub mod regpressure;
 pub mod report;
 pub mod sampling;
 pub mod ser;
+pub mod spec;
 pub mod target;
 
 pub use builder::CampaignBuilder;
@@ -58,6 +61,11 @@ pub use campaign::{
     ClassResult, Dictionaries, TrialRecord,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
+pub use engine::{
+    parse_record_line, record_line, run_campaign_engine, run_spec, sort_records_jsonl,
+    CompletedSlots, EngineControl, EngineRun, EngineSink, NullSink, RunState, SpecOutcome,
+    TrialOutput, VecSink,
+};
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
 pub use fl_ft::{
     ft_config, run_replicated, run_respawn, run_shrink, shrink, FtMode, FtPolicy, FtReport,
@@ -65,19 +73,23 @@ pub use fl_ft::{
 };
 pub use fl_guard::{run_guarded, GuardPolicy, GuardReport};
 pub use ft::{
-    draw_kill, ft_jsonl, render_ft, render_ft_tsv, FtKillTrial, FtReplicaTrial, FtResult,
+    draw_kill, ft_jsonl, render_ft, render_ft_tsv, run_ft_engine, FtKillTrial, FtReplicaTrial,
+    FtResult,
 };
 pub use guarded::{
-    coverage_jsonl, render_coverage, render_coverage_tsv, run_guarded_trial, CoverageClassResult,
-    CoverageResult, GuardedTrialRecord, TransitionMatrix,
+    coverage_jsonl, render_coverage, render_coverage_tsv, run_coverage_engine, run_guarded_trial,
+    CoverageClassResult, CoverageResult, GuardedTrialRecord, TransitionMatrix,
 };
 pub use obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
 pub use outcome::{classify, Manifestation, Tally};
-pub use progress::{ProgressMonitor, ProgressSample, ProgressVerdict};
+pub use progress::{
+    EngineProgress, ProgressMonitor, ProgressSample, ProgressVerdict, StderrProgress,
+};
 pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};
 pub use report::{register_breakdown, render_register_breakdown, render_table, render_tsv};
 pub use sampling::{confidence_interval, estimation_error, sample_size, z_value};
 pub use ser::{application_corruptions_per_run, SerModel};
+pub use spec::{CampaignSpec, SpecMode};
 pub use target::{
     fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
     TargetClass,

@@ -74,6 +74,29 @@ impl Manifestation {
     pub fn is_error(self) -> bool {
         self != Manifestation::Correct
     }
+
+    /// Machine-readable slug — the single source of truth for JSONL
+    /// field values and the wire protocol. Round-trips through
+    /// [`Manifestation::from_slug`].
+    pub fn slug(self) -> &'static str {
+        match self {
+            Manifestation::Correct => "correct",
+            Manifestation::Crash => "crash",
+            Manifestation::Hang => "hang",
+            Manifestation::Incorrect => "incorrect",
+            Manifestation::AppDetected => "app-detected",
+            Manifestation::MpiDetected => "mpi-detected",
+            Manifestation::DetectedByGuard => "guard-detected",
+            Manifestation::Recovered => "recovered",
+            Manifestation::RankLost => "rank-lost",
+            Manifestation::MaskedByReplica => "masked-by-replica",
+        }
+    }
+
+    /// Parse a [`Manifestation::slug`] back into the class.
+    pub fn from_slug(s: &str) -> Option<Manifestation> {
+        Manifestation::ALL.into_iter().find(|m| m.slug() == s)
+    }
 }
 
 impl fmt::Display for Manifestation {

@@ -1,0 +1,334 @@
+//! The single-source campaign specification.
+//!
+//! A [`CampaignSpec`] is everything needed to run a campaign: the
+//! application, its size, the target regions, the [`CampaignConfig`]
+//! knobs, and the mode (plain, guard-coverage, or fault-tolerance, each
+//! with its policy). It is the one description both front ends consume:
+//! the `faultlab` one-shot verbs build one from their flags, and the
+//! campaign service accepts the same object as JSON over its socket —
+//! `faultlab spec` prints the canonical JSON for a given flag set, so a
+//! command line can be turned into a submittable document verbatim.
+//!
+//! Serialization is deliberately canonical: [`CampaignSpec::to_json`]
+//! emits one line with a fixed field order, so equal specs are equal
+//! bytes (the server keys resumable campaign state on this property).
+
+use crate::campaign::CampaignConfig;
+use crate::json::{parse, Json};
+use crate::target::TargetClass;
+use fl_apps::AppKind;
+use fl_ft::FtPolicy;
+use fl_guard::GuardPolicy;
+use std::fmt::Write as _;
+
+/// Which experiment family a spec runs, with its policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecMode {
+    /// Plain injection campaign (Tables 2–4).
+    Campaign,
+    /// Guard-off/guard-on detection-coverage campaign.
+    Guard(GuardPolicy),
+    /// Rank-kill recovery + replication campaign.
+    Ft(FtPolicy),
+}
+
+impl SpecMode {
+    /// The mode's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpecMode::Campaign => "campaign",
+            SpecMode::Guard(_) => "guard",
+            SpecMode::Ft(_) => "ft",
+        }
+    }
+}
+
+/// A complete, self-contained campaign description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Which application to inject into.
+    pub app: AppKind,
+    /// Use the CI-sized app parameters instead of the paper-sized ones.
+    pub tiny: bool,
+    /// Target regions, in campaign order. Ignored by `ft` mode, which
+    /// draws rank kills and message faults instead of region faults.
+    pub classes: Vec<TargetClass>,
+    /// Execution knobs shared by every mode.
+    pub campaign: CampaignConfig,
+    /// Experiment family and its policy.
+    pub mode: SpecMode,
+}
+
+impl CampaignSpec {
+    /// A plain campaign of `app` with default knobs over all regions.
+    pub fn new(app: AppKind) -> CampaignSpec {
+        CampaignSpec {
+            app,
+            tiny: false,
+            classes: TargetClass::ALL.to_vec(),
+            campaign: CampaignConfig::default(),
+            mode: SpecMode::Campaign,
+        }
+    }
+
+    /// Serialize as canonical JSON: one line, fixed field order. Equal
+    /// specs serialize to equal bytes.
+    pub fn to_json(&self) -> String {
+        let c = &self.campaign;
+        let mut out = format!(
+            "{{\"app\":\"{}\",\"tiny\":{},\"regions\":[",
+            self.app.name(),
+            self.tiny
+        );
+        for (i, r) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", r.name());
+        }
+        let _ = write!(
+            out,
+            "],\"injections\":{},\"seed\":{},\"budget_factor\":{},\"threads\":{},\"epoch_rounds\":{},\"ring\":{},\"fastpath\":{},\"mode\":\"{}\"",
+            c.injections,
+            c.seed,
+            c.budget_factor,
+            c.threads,
+            c.epoch_rounds,
+            c.obs_capacity,
+            c.fastpath,
+            self.mode.name(),
+        );
+        match &self.mode {
+            SpecMode::Campaign => {}
+            SpecMode::Guard(g) => {
+                let _ = write!(
+                    out,
+                    ",\"guard\":{{\"checkpoint_rounds\":{},\"max_restarts\":{},\"window_rounds\":{},\"stall_windows\":{},\"max_retransmits\":{}}}",
+                    g.checkpoint_rounds,
+                    g.max_restarts,
+                    g.window_rounds,
+                    g.stall_windows,
+                    g.max_retransmits,
+                );
+            }
+            SpecMode::Ft(f) => {
+                let _ = write!(
+                    out,
+                    ",\"ft\":{{\"buddy_rounds\":{},\"max_respawns\":{},\"replicas\":{},\"probe_rounds\":{},\"suspect_rounds\":{}}}",
+                    f.buddy_rounds,
+                    f.max_respawns,
+                    f.replicas,
+                    f.detector.probe_rounds,
+                    f.detector.suspect_rounds,
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a spec from JSON. Every field except `app` is optional and
+    /// falls back to its default; unknown keys are rejected (the same
+    /// typo protection the CLI's flag validation gives).
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let v = parse(text)?;
+        let Json::Obj(map) = &v else {
+            return Err("spec must be a JSON object".into());
+        };
+        const KEYS: [&str; 12] = [
+            "app",
+            "tiny",
+            "regions",
+            "injections",
+            "seed",
+            "budget_factor",
+            "threads",
+            "epoch_rounds",
+            "ring",
+            "fastpath",
+            "mode",
+            "guard",
+        ];
+        for key in map.keys() {
+            if !KEYS.contains(&key.as_str()) && key != "ft" {
+                return Err(format!("unknown spec key `{key}`"));
+            }
+        }
+        let app: AppKind = v
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or("spec needs an `app`")?
+            .parse()?;
+        let mut spec = CampaignSpec::new(app);
+        if let Some(t) = v.get("tiny") {
+            spec.tiny = t.as_bool().ok_or("`tiny` must be a bool")?;
+        }
+        if let Some(r) = v.get("regions") {
+            spec.classes = r
+                .as_arr()
+                .ok_or("`regions` must be an array")?
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .ok_or_else(|| "region names must be strings".to_string())
+                        .and_then(|s| s.parse::<TargetClass>())
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        let c = &mut spec.campaign;
+        if let Some(n) = v.get("injections") {
+            c.injections = n.as_u64().ok_or("`injections` must be an integer")? as u32;
+        }
+        if let Some(n) = v.get("seed") {
+            c.seed = n.as_u64().ok_or("`seed` must be an integer")?;
+        }
+        if let Some(n) = v.get("budget_factor") {
+            c.budget_factor = n.as_f64().ok_or("`budget_factor` must be a number")?;
+        }
+        if let Some(n) = v.get("threads") {
+            c.threads = n.as_u64().ok_or("`threads` must be an integer")? as usize;
+        }
+        if let Some(n) = v.get("epoch_rounds") {
+            c.epoch_rounds = n.as_u64().ok_or("`epoch_rounds` must be an integer")? as u32;
+        }
+        if let Some(n) = v.get("ring") {
+            c.obs_capacity = n.as_u64().ok_or("`ring` must be an integer")? as u32;
+        }
+        if let Some(b) = v.get("fastpath") {
+            c.fastpath = b.as_bool().ok_or("`fastpath` must be a bool")?;
+        }
+        let mode = v.get("mode").map(|m| m.as_str().unwrap_or("?"));
+        spec.mode = match mode {
+            None | Some("campaign") => SpecMode::Campaign,
+            Some("guard") => {
+                let mut g = GuardPolicy::default();
+                if let Some(p) = v.get("guard") {
+                    g.checkpoint_rounds = opt_u64(p, "checkpoint_rounds")?
+                        .unwrap_or(g.checkpoint_rounds as u64)
+                        as u32;
+                    g.max_restarts =
+                        opt_u64(p, "max_restarts")?.unwrap_or(g.max_restarts as u64) as u32;
+                    g.window_rounds =
+                        opt_u64(p, "window_rounds")?.unwrap_or(g.window_rounds as u64) as u32;
+                    g.stall_windows =
+                        opt_u64(p, "stall_windows")?.unwrap_or(g.stall_windows as u64) as u32;
+                    g.max_retransmits =
+                        opt_u64(p, "max_retransmits")?.unwrap_or(g.max_retransmits as u64) as u8;
+                }
+                SpecMode::Guard(g)
+            }
+            Some("ft") => {
+                let mut f = FtPolicy::default();
+                if let Some(p) = v.get("ft") {
+                    f.buddy_rounds = opt_u64(p, "buddy_rounds")?.unwrap_or(f.buddy_rounds);
+                    f.max_respawns =
+                        opt_u64(p, "max_respawns")?.unwrap_or(f.max_respawns as u64) as u32;
+                    f.replicas = opt_u64(p, "replicas")?.unwrap_or(f.replicas as u64) as u16;
+                    f.detector.probe_rounds =
+                        opt_u64(p, "probe_rounds")?.unwrap_or(f.detector.probe_rounds);
+                    f.detector.suspect_rounds =
+                        opt_u64(p, "suspect_rounds")?.unwrap_or(f.detector.suspect_rounds);
+                }
+                SpecMode::Ft(f)
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unknown mode `{other}` (expected campaign, guard or ft)"
+                ))
+            }
+        };
+        Ok(spec)
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be an integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_round_trips() {
+        let spec = CampaignSpec::new(AppKind::Wavetoy);
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn guard_and_ft_modes_round_trip() {
+        let mut spec = CampaignSpec::new(AppKind::Moldyn);
+        spec.tiny = true;
+        spec.classes = vec![TargetClass::Message, TargetClass::Heap];
+        spec.campaign.injections = 40;
+        spec.campaign.seed = u64::MAX; // full-width seeds must survive
+        spec.mode = SpecMode::Guard(GuardPolicy {
+            checkpoint_rounds: 8,
+            max_restarts: 1,
+            ..GuardPolicy::default()
+        });
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        spec.mode = SpecMode::Ft(FtPolicy {
+            replicas: 5,
+            ..FtPolicy::default()
+        });
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn minimal_spec_uses_defaults() {
+        let spec = CampaignSpec::from_json(r#"{"app":"climsim"}"#).unwrap();
+        assert_eq!(spec.app, AppKind::Climsim);
+        assert_eq!(spec.classes, TargetClass::ALL.to_vec());
+        assert_eq!(spec.campaign, CampaignConfig::default());
+        assert_eq!(spec.mode, SpecMode::Campaign);
+        assert!(!spec.tiny);
+    }
+
+    #[test]
+    fn partial_policies_keep_defaults() {
+        let spec = CampaignSpec::from_json(
+            r#"{"app":"wavetoy","mode":"guard","guard":{"max_restarts":9}}"#,
+        )
+        .unwrap();
+        let SpecMode::Guard(g) = spec.mode else {
+            panic!("expected guard mode");
+        };
+        assert_eq!(g.max_restarts, 9);
+        assert_eq!(
+            g.checkpoint_rounds,
+            GuardPolicy::default().checkpoint_rounds
+        );
+
+        let spec = CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"ft","ft":{"replicas":2}}"#)
+            .unwrap();
+        let SpecMode::Ft(f) = spec.mode else {
+            panic!("expected ft mode");
+        };
+        assert_eq!(f.replicas, 2);
+        assert_eq!(f.buddy_rounds, FtPolicy::default().buddy_rounds);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(CampaignSpec::from_json("[]").is_err());
+        assert!(CampaignSpec::from_json("{}").is_err(), "app is required");
+        assert!(CampaignSpec::from_json(r#"{"app":"namd"}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"turbo"}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"app":"wavetoy","regions":["rom"]}"#).is_err());
+        let err = CampaignSpec::from_json(r#"{"app":"wavetoy","injetions":5}"#).unwrap_err();
+        assert!(err.contains("unknown spec key"), "{err}");
+    }
+}

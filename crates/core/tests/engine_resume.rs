@@ -1,0 +1,150 @@
+//! Resume invariant, test-enforced: a campaign killed at an arbitrary
+//! trial boundary and resumed from its streamed record file produces a
+//! record stream and metrics **bit-identical** to an uninterrupted run.
+//!
+//! This is the durability contract `faultlab serve` relies on. The
+//! property test models the kill exactly as the service experiences it:
+//! the on-disk `records.jsonl` holds some prefix of the completion-order
+//! stream — possibly ending in a torn, half-written line — and the
+//! restarted engine must adopt what parses, re-run the rest, and land on
+//! the same canonical bytes.
+
+use fl_inject::{
+    run_spec, sort_records_jsonl, CampaignSpec, CompletedSlots, EngineControl, SpecOutcome,
+    TargetClass, VecSink,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const INJECTIONS: u32 = 6;
+
+fn spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(fl_apps::AppKind::Wavetoy);
+    spec.tiny = true;
+    spec.classes = vec![
+        TargetClass::RegularReg,
+        TargetClass::Stack,
+        TargetClass::Message,
+    ];
+    spec.campaign.injections = INJECTIONS;
+    spec.campaign.seed = 0x5E5;
+    spec.campaign.threads = 2;
+    spec.campaign.obs_capacity = 128;
+    spec
+}
+
+struct Reference {
+    /// Completion-order record lines of the uninterrupted run.
+    lines: Vec<String>,
+    /// Canonical (slot-sorted) record stream.
+    canonical: String,
+    /// Metrics JSONL of the uninterrupted run.
+    metrics: String,
+    insns_total: u64,
+}
+
+fn reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let spec = spec();
+        let sink = VecSink::new(spec.app);
+        let out = run_spec(&spec, &sink, &EngineControl::new(), None)
+            .expect("uncontrolled run cannot stop early");
+        let SpecOutcome::Campaign(result) = out else {
+            panic!("campaign spec must produce a campaign outcome");
+        };
+        let lines = sink.into_lines();
+        let canonical = sort_records_jsonl(&(lines.join("\n") + "\n"));
+        Reference {
+            lines,
+            canonical,
+            metrics: result
+                .metrics
+                .expect("ring was configured")
+                .to_jsonl(spec.app),
+            insns_total: result.insns_total,
+        }
+    })
+}
+
+/// Resume from `file` (the surviving records.jsonl contents) and return
+/// the canonical stream of adopted + freshly-run records, plus the
+/// resumed slot count and the finished result's metrics/insns.
+fn resume_from(file: &str) -> (String, usize, String, u64) {
+    let spec = spec();
+    let (slots, _skipped) =
+        CompletedSlots::from_jsonl(file, &spec.classes, spec.campaign.injections);
+    let adopted = slots.len();
+    let sink = VecSink::new(spec.app);
+    let out = run_spec(&spec, &sink, &EngineControl::new(), Some(slots))
+        .expect("uncontrolled resume cannot stop early");
+    let SpecOutcome::Campaign(result) = out else {
+        panic!("campaign spec must produce a campaign outcome");
+    };
+    // The service appends fresh lines after the adopted ones; the final
+    // file is the adoptable prefix plus the new completions.
+    let mut all = String::new();
+    for line in file.lines() {
+        if fl_inject::parse_record_line(line).is_ok() {
+            all.push_str(line);
+            all.push('\n');
+        }
+    }
+    for line in sink.into_lines() {
+        all.push_str(&line);
+        all.push('\n');
+    }
+    (
+        sort_records_jsonl(&all),
+        adopted,
+        result
+            .metrics
+            .expect("ring was configured")
+            .to_jsonl(spec.app),
+        result.insns_total,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill after any number of completed trials: the resumed run adopts
+    /// exactly the surviving slots and reproduces the canonical stream
+    /// and metrics byte for byte.
+    #[test]
+    fn resume_from_any_kill_point_is_bit_identical(cut in 0usize..19, torn in any::<bool>()) {
+        let r = reference();
+        let cut = cut.min(r.lines.len());
+        let mut file = r.lines[..cut].join("\n");
+        if cut > 0 {
+            file.push('\n');
+        }
+        if torn {
+            // A kill mid-write leaves a torn, newline-less tail.
+            file.push_str("{\"app\":\"wavetoy\",\"class\":\"regu");
+        }
+        let (canonical, adopted, metrics, insns) = resume_from(&file);
+        prop_assert_eq!(adopted, cut, "every surviving line must be adopted");
+        prop_assert_eq!(&canonical, &r.canonical,
+            "record stream diverged after resume from {} lines (torn={})", cut, torn);
+        prop_assert_eq!(&metrics, &r.metrics,
+            "metrics diverged after resume from {} lines (torn={})", cut, torn);
+        prop_assert_eq!(insns, r.insns_total);
+    }
+}
+
+/// The degenerate endpoints, pinned deterministically: resuming from a
+/// complete file re-runs nothing; resuming from nothing runs everything.
+#[test]
+fn resume_endpoints_hold() {
+    let r = reference();
+    let full = r.lines.join("\n") + "\n";
+    let (canonical, adopted, metrics, _) = resume_from(&full);
+    assert_eq!(adopted, r.lines.len());
+    assert_eq!(canonical, r.canonical);
+    assert_eq!(metrics, r.metrics);
+
+    let (canonical, adopted, _, _) = resume_from("");
+    assert_eq!(adopted, 0);
+    assert_eq!(canonical, r.canonical);
+}

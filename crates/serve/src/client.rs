@@ -1,0 +1,139 @@
+//! Blocking client helpers for the campaign service.
+//!
+//! The CLI verbs (`faultlab submit`, `status`, `watch`, …) and the CI
+//! smoke test are thin wrappers over these: one TCP connection per
+//! request, `Connection: close`, read to EOF.
+
+use crate::http::parse_response;
+use fl_inject::json::{parse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Issue one request and return `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let b = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{b}",
+        b.len(),
+    )
+    .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+fn expect_ok(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+    let (status, body) = request(addr, method, path, body)?;
+    if status != 200 {
+        return Err(format!("{method} {path} failed ({status}): {body}"));
+    }
+    Ok(body)
+}
+
+/// Submit a campaign spec; returns the campaign id.
+pub fn submit(addr: &str, spec_json: &str) -> Result<String, String> {
+    let body = expect_ok(addr, "POST", "/campaigns", Some(spec_json))?;
+    parse(&body)?
+        .get("id")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("submit response has no id: {body}"))
+}
+
+/// Fetch a campaign's status JSON.
+pub fn status(addr: &str, id: &str) -> Result<String, String> {
+    expect_ok(addr, "GET", &format!("/campaigns/{id}"), None)
+}
+
+/// Fetch the canonical slot-sorted record stream.
+pub fn records(addr: &str, id: &str) -> Result<String, String> {
+    expect_ok(addr, "GET", &format!("/campaigns/{id}/records"), None)
+}
+
+/// Pause, resume or stop a campaign; returns the fresh status JSON.
+pub fn control(addr: &str, id: &str, action: &str) -> Result<String, String> {
+    expect_ok(addr, "POST", &format!("/campaigns/{id}/{action}"), None)
+}
+
+/// The `status` field of a status JSON body ("?" if unparsable).
+pub fn status_field(body: &str) -> String {
+    parse(body)
+        .ok()
+        .and_then(|v| v.get("status").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| "?".into())
+}
+
+/// Poll until the campaign reaches *any* terminal state (done, stopped
+/// or failed); returns its final status JSON.
+pub fn wait_terminal(addr: &str, id: &str, timeout: Duration) -> Result<String, String> {
+    let start = Instant::now();
+    loop {
+        let body = status(addr, id)?;
+        let st = status_field(&body);
+        if matches!(st.as_str(), "done" | "stopped" | "failed") {
+            return Ok(body);
+        }
+        if start.elapsed() > timeout {
+            return Err(format!("timed out waiting for campaign {id} (still {st})"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Poll until the campaign completes; errors if it stopped or failed.
+pub fn wait_done(addr: &str, id: &str, timeout: Duration) -> Result<String, String> {
+    let body = wait_terminal(addr, id, timeout)?;
+    match status_field(&body).as_str() {
+        "done" => Ok(body),
+        other => Err(format!("campaign {id} ended {other}: {body}")),
+    }
+}
+
+/// Follow the watch stream, handing each status line to `on_line`,
+/// until the server closes it (terminal state).
+pub fn watch(addr: &str, id: &str, mut on_line: impl FnMut(&str)) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    {
+        let mut w = &stream;
+        write!(
+            w,
+            "GET /campaigns/{id}/watch HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n",
+        )
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    }
+    let mut r = BufReader::new(stream);
+    let mut line = String::new();
+    r.read_line(&mut line).map_err(|e| e.to_string())?;
+    if !line.starts_with("HTTP/1.1 200") {
+        return Err(format!("watch failed: {}", line.trim()));
+    }
+    loop {
+        line.clear();
+        if r.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("watch stream ended inside headers".into());
+        }
+        if line.trim().is_empty() {
+            break;
+        }
+    }
+    loop {
+        line.clear();
+        if r.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Ok(());
+        }
+        let l = line.trim();
+        if !l.is_empty() {
+            on_line(l);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Just enough HTTP/1.1 for a local control socket.
+//!
+//! The campaign service speaks to clients on the same machine; it needs
+//! request lines, headers, `Content-Length` bodies, fixed-length
+//! responses and one close-delimited streaming response (`watch`).
+//! Nothing else — no chunked encoding, no keep-alive, no TLS — so the
+//! whole dialect fits in this file and the workspace stays free of
+//! network dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server will buffer (a campaign spec is a
+/// few hundred bytes; a megabyte is already absurd).
+const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request: method, path, decoded body.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased HTTP method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, e.g. `/campaigns/c0123/records`.
+    pub path: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// Read and parse one request from `stream`.
+pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    let mut r = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(MAX_BODY)];
+    r.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete fixed-length response and flush it.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Start a close-delimited streaming response: headers only; the caller
+/// writes body lines and signals the end by closing the connection.
+pub fn start_stream(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Split a raw response into `(status, body)`. Tolerates both
+/// fixed-length and close-delimited bodies, since the caller has always
+/// read to EOF.
+pub fn parse_response(raw: &str) -> Result<(u16, String), String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("truncated HTTP response")?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/campaigns");
+            assert_eq!(req.body, r#"{"app":"wavetoy"}"#);
+            let mut stream = stream;
+            respond(&mut stream, 200, "application/json", r#"{"ok":true}"#).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = r#"{"app":"wavetoy"}"#;
+        write!(
+            stream,
+            "POST /campaigns HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, body) = parse_response(&raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok":true}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 banana OK\r\n\r\nx").is_err());
+    }
+
+    #[test]
+    fn bodies_follow_content_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // No body, no Content-Length.
+            write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let req = read_request(&stream).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+        let mut stream = stream;
+        respond(&mut stream, 404, "text/plain", "nope").unwrap();
+        drop(stream); // EOF ends the client's close-delimited read
+        client.join().unwrap();
+    }
+}
