@@ -1,13 +1,17 @@
 //! # fl-apps — the FaultLab application suite
 //!
-//! Three MPI applications written in FL, standing in for the paper's test
-//! suite (§4.2) with each code's behavioural archetype preserved:
+//! Four MPI applications written in FL. Three stand in for the paper's
+//! test suite (§4.2) with each code's behavioural archetype preserved;
+//! the fourth, [`AppKind::Jacobi3d`], is the fl-ulfm demonstrator — the
+//! only app that *survives* rank death by itself, using the MPIX-style
+//! fault-tolerance builtins:
 //!
 //! | App | Paper counterpart | Archetype |
 //! |---|---|---|
 //! | [`AppKind::Wavetoy`] | Cactus Wavetoy | data-dominated traffic, near-zero payloads, low-precision text output, **no** internal checks |
 //! | [`AppKind::Moldyn`] | NAMD 2.5b2 | nondeterministic arrival order, message checksums, NaN/bound checks, MPI error handler, heap-dominant |
 //! | [`AppKind::Climsim`] | CAM 2.0.2 | control-dominated traffic, big initialised tables, moisture minimum check, MPI error handler, binary output |
+//! | [`AppKind::Jacobi3d`] | jac_3d (ULFM literature) | app-level fault tolerance: control-point checkpoints, `mpix_comm_agree`/`mpix_comm_shrink` recovery |
 //!
 //! Each app is generated from parameters (problem size, step count, and
 //! cold/warm code volume for realistic text working sets), compiled with
@@ -16,6 +20,7 @@
 
 pub mod climsim;
 pub mod coldgen;
+pub mod jacobi3d;
 pub mod moldyn;
 pub mod profile;
 pub mod wavetoy;
@@ -34,11 +39,26 @@ pub enum AppKind {
     Moldyn,
     /// CAM analogue.
     Climsim,
+    /// Jacobi 3-D relaxation with ULFM-style app-level fault tolerance.
+    Jacobi3d,
 }
 
 impl AppKind {
-    /// All three applications, in the paper's order.
-    pub const ALL: [AppKind; 3] = [AppKind::Wavetoy, AppKind::Moldyn, AppKind::Climsim];
+    /// All four applications: the paper's three, then the fl-ulfm
+    /// demonstrator.
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Wavetoy,
+        AppKind::Moldyn,
+        AppKind::Climsim,
+        AppKind::Jacobi3d,
+    ];
+
+    /// The paper's test suite (§4.2), in table order. The
+    /// paper-reproduction artifacts (Tables 1–7, message analysis) are
+    /// generated over exactly this set so their committed outputs stay
+    /// pinned to the source tables; jacobi3d joins the fault-tolerance
+    /// campaigns through [`AppKind::ALL`].
+    pub const PAPER: [AppKind; 3] = [AppKind::Wavetoy, AppKind::Moldyn, AppKind::Climsim];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -46,6 +66,7 @@ impl AppKind {
             AppKind::Wavetoy => "wavetoy",
             AppKind::Moldyn => "moldyn",
             AppKind::Climsim => "climsim",
+            AppKind::Jacobi3d => "jacobi3d",
         }
     }
 
@@ -55,6 +76,7 @@ impl AppKind {
             AppKind::Wavetoy => "Cactus Wavetoy",
             AppKind::Moldyn => "NAMD",
             AppKind::Climsim => "CAM",
+            AppKind::Jacobi3d => "jac_3d",
         }
     }
 }
@@ -75,6 +97,7 @@ impl std::str::FromStr for AppKind {
             "wavetoy" => AppKind::Wavetoy,
             "moldyn" => AppKind::Moldyn,
             "climsim" => AppKind::Climsim,
+            "jacobi3d" => AppKind::Jacobi3d,
             other => return Err(format!("unknown app `{other}`")),
         })
     }
@@ -129,6 +152,14 @@ impl AppParams {
                 warm_fns: 40,
                 seed: 0xC114,
             },
+            AppKind::Jacobi3d => AppParams {
+                nranks: 4,
+                steps: 12,
+                scale: 10, // global grid edge (10^3 cells, strong-scaled)
+                cold_fns: 160,
+                warm_fns: 24,
+                seed: 0x3D3D,
+            },
         }
     }
 
@@ -158,6 +189,14 @@ impl AppParams {
                 cold_fns: 20,
                 warm_fns: 6,
                 seed: 0xC114,
+            },
+            AppKind::Jacobi3d => AppParams {
+                nranks: 3,
+                steps: 7,
+                scale: 8,
+                cold_fns: 20,
+                warm_fns: 6,
+                seed: 0x3D3D,
             },
         }
     }
@@ -237,6 +276,7 @@ impl App {
                 AppKind::Wavetoy => wavetoy::source(&params),
                 AppKind::Moldyn => moldyn::source(&params),
                 AppKind::Climsim => climsim::source(&params),
+                AppKind::Jacobi3d => jacobi3d::source(&params),
             },
             (AppKind::Wavetoy, AppVariant::BinaryOutput) => wavetoy::source_with(&params, true),
             (AppKind::Moldyn, AppVariant::NoChecksums) => moldyn::source_with(&params, false),
@@ -258,8 +298,17 @@ impl App {
     /// World configuration for this app. Moldyn runs with nondeterministic
     /// scheduling (§4.2.2) and a lower eager threshold (its Charm++-style
     /// runtime favours rendezvous for position blocks); the others run
-    /// deterministically with the default threshold.
+    /// deterministically with the default threshold. Jacobi3d runs in
+    /// ulfm mode with the failure detector on — its fault tolerance lives
+    /// in the application, so the world must report failures to it rather
+    /// than terminate (harmless on a fault-free run: the detector only
+    /// matures suspicion for ranks that actually stop heartbeating).
     pub fn world_config(&self, budget: u64) -> WorldConfig {
+        let ulfm = self.kind == AppKind::Jacobi3d;
+        let mut ft = fl_mpi::FailureDetector::default();
+        if ulfm {
+            ft.enabled = true;
+        }
         WorldConfig {
             nranks: self.params.nranks,
             nondet: self.kind == AppKind::Moldyn,
@@ -273,6 +322,8 @@ impl App {
             } else {
                 1024
             },
+            ulfm,
+            ft,
             ..Default::default()
         }
     }
@@ -303,7 +354,9 @@ impl App {
     /// binary history file — always from rank 0.
     pub fn comparable_output(&self, world: &MpiWorld) -> Vec<u8> {
         match self.kind {
-            AppKind::Wavetoy | AppKind::Climsim => world.machine(0).outfile.clone(),
+            AppKind::Wavetoy | AppKind::Climsim | AppKind::Jacobi3d => {
+                world.machine(0).outfile.clone()
+            }
             AppKind::Moldyn => world.machine(0).console.clone(),
         }
     }

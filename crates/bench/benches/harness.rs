@@ -3,6 +3,10 @@
 //! per second, which bounds campaign sizes — the paper spent two months
 //! of cluster time on its campaigns).
 
+// Benchmarks measure the raw driver path below the builder/spec
+// veneer, so they call the deprecated trial entry points on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{CampaignConfig, Dictionaries, TargetClass};

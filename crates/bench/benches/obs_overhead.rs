@@ -7,6 +7,10 @@
 //! large ring — and writes the trials/sec plus the relative overhead to
 //! `BENCH_obs.json` at the workspace root.
 
+// Benchmarks measure the raw driver path below the builder/spec
+// veneer, so they call the deprecated trial entry points on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{run_trial, run_trial_traced, trial_seed, Dictionaries, TargetClass};

@@ -6,6 +6,10 @@
 //! trials/sec for both paths and the speedup to `BENCH_snapshot.json`
 //! at the workspace root.
 
+// Benchmarks measure the raw driver path below the builder/spec
+// veneer, so they call the deprecated trial entry points on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{run_trial, run_trial_forked, trial_seed, Dictionaries, TargetClass};

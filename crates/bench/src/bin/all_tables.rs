@@ -15,7 +15,7 @@ fn main() {
 
     // Table 1.
     let mut rows = Vec::new();
-    for kind in AppKind::ALL {
+    for kind in AppKind::PAPER {
         eprintln!("[{:>6.1?}] profiling {} ...", t0.elapsed(), kind.name());
         let app = experiment_app(kind);
         let golden = app.golden(BUDGET);

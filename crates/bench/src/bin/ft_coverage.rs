@@ -24,7 +24,7 @@ fn main() {
     let mut tsvs = Vec::new();
     let mut jsonls = Vec::new();
     let mut broken = Vec::new();
-    for kind in AppKind::ALL {
+    for kind in AppKind::PAPER {
         eprintln!(
             "ft_coverage: {} x {injections} rank kills + {injections} message faults ...",
             kind.name()
@@ -67,7 +67,7 @@ fn main() {
     emit("ft_coverage.txt", &texts.join("\n"));
     // One TSV: repeat the header only once, tag rows with the app name.
     let mut tsv = String::new();
-    for (i, (t, kind)) in tsvs.iter().zip(AppKind::ALL).enumerate() {
+    for (i, (t, kind)) in tsvs.iter().zip(AppKind::PAPER).enumerate() {
         for (li, line) in t.lines().enumerate() {
             if li == 0 {
                 if i == 0 {

@@ -26,7 +26,7 @@ fn main() {
     let mut texts = Vec::new();
     let mut tsvs = Vec::new();
     let mut jsonls = Vec::new();
-    for kind in AppKind::ALL {
+    for kind in AppKind::PAPER {
         eprintln!(
             "guard_coverage: {} x {injections} paired trials per region ...",
             kind.name()
@@ -50,7 +50,7 @@ fn main() {
     emit("guard_coverage.txt", &texts.join("\n"));
     // One TSV: repeat the header only once, tag rows with the app name.
     let mut tsv = String::new();
-    for (i, (t, kind)) in tsvs.iter().zip(AppKind::ALL).enumerate() {
+    for (i, (t, kind)) in tsvs.iter().zip(AppKind::PAPER).enumerate() {
         for (li, line) in t.lines().enumerate() {
             if li == 0 {
                 if i == 0 {

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 fn main() {
     let trials = injections_from_args(300);
     let mut out = String::from("Message fault analysis (per §6.2)\n");
-    for kind in AppKind::ALL {
+    for kind in AppKind::PAPER {
         eprintln!("message analysis: {} x {trials} ...", kind.name());
         let app = experiment_app(kind);
         let golden = app.golden(BUDGET);

@@ -6,7 +6,7 @@ use fl_bench::{emit, experiment_app, BUDGET};
 
 fn main() {
     let mut rows = Vec::new();
-    for kind in AppKind::ALL {
+    for kind in AppKind::PAPER {
         eprintln!("profiling {} ...", kind.name());
         let app = experiment_app(kind);
         let golden = app.golden(BUDGET);

@@ -14,16 +14,16 @@
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
 //! ```
 //!
-//! Apps: `wavetoy`, `moldyn`, `climsim`. Regions: `regular-reg`, `fp-reg`,
-//! `bss`, `data`, `stack`, `text`, `heap`, `message` (or `all`).
+//! Apps: `wavetoy`, `moldyn`, `climsim`, `jacobi3d`. Regions:
+//! `regular-reg`, `fp-reg`, `bss`, `data`, `stack`, `text`, `heap`,
+//! `message` (or `all`).
 
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
-    coverage_jsonl, estimation_error, ft_jsonl, render_coverage, render_coverage_tsv, render_ft,
-    render_ft_tsv, render_register_breakdown, render_table, render_tsv, run_spec, sample_size,
+    estimation_error, render_ft_focus, render_register_breakdown, run_spec, sample_size,
     sort_records_jsonl, CampaignBuilder, CampaignConfig, CampaignSpec, EngineControl,
-    EngineProgress, EngineSink, FtPolicy, GuardPolicy, SpecMode, SpecOutcome, StderrProgress,
-    TargetClass, TrialOutput, VecSink,
+    EngineProgress, EngineSink, FtMode, FtPolicy, GuardPolicy, MetricsReport, Report, ReportFormat,
+    SpecMode, SpecOutcome, StderrProgress, TargetClass, TrialOutput, VecSink,
 };
 use fl_serve::{ServeConfig, Server};
 use fl_snap::RecoveryConfig;
@@ -102,7 +102,8 @@ fn print_usage() {
          \x20                   [--seed S] [--threads T] [--checkpoint-rounds C]\n\
          \x20                   [--restarts R] [--retransmits X] [--tiny] [--tsv] [--jsonl]\n\
          \x20                   [--no-fastpath]\n\
-         \x20 faultlab ft       <app> [--injections N] [--seed S] [--threads T]\n\
+         \x20 faultlab ft       <app> [--injections N] [--seed S] [--jobs N]\n\
+         \x20                   [--mode baseline|shrink|respawn|replicated|app]\n\
          \x20                   [--buddy-rounds B] [--respawns R] [--replicas N]\n\
          \x20                   [--probe-rounds P] [--suspect-rounds Q]\n\
          \x20                   [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
@@ -133,8 +134,12 @@ fn print_usage() {
          \x20 --tsv / --jsonl     machine-readable output instead of the table\n\
          \x20 --no-fastpath       disable the software-TLB/basic-block fast path\n\
          \x20                     (observably identical, much slower)\n\
+         \x20 --mode M            ft: focus the table on one recovery discipline\n\
+         \x20                     (baseline|shrink|respawn|replicated|app);\n\
+         \x20                     spec: experiment family (campaign|guard|ft)\n\
          \n\
-         APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM)\n\
+         APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM),\n\
+         \x20     jacobi3d (Jacobi-3D, fl-ulfm app-side recovery)\n\
          REGIONS: regular-reg fp-reg bss data stack text heap message all"
     );
 }
@@ -220,6 +225,26 @@ impl Opts {
         }
         Ok(())
     }
+}
+
+/// Validate a mode name against its closed set, suggesting the nearest
+/// valid mode on a miss — the same did-you-mean unknown flags get.
+fn check_mode(input: &str, valid: &[&str], what: &str) -> Result<(), String> {
+    if valid.contains(&input) {
+        return Ok(());
+    }
+    let nearest = valid
+        .iter()
+        .map(|v| (edit_distance(input, v), *v))
+        .min()
+        .filter(|&(d, v)| d <= 3 || v.starts_with(input) || input.starts_with(v));
+    Err(match nearest {
+        Some((_, v)) => format!("unknown {what} `{input}` (did you mean `{v}`?)"),
+        None => format!(
+            "unknown {what} `{input}` (valid modes: {})",
+            valid.join(", ")
+        ),
+    })
 }
 
 /// Levenshtein distance, for did-you-mean flag suggestions.
@@ -323,15 +348,11 @@ fn spec_from_opts(o: &Opts, mode: &str, default_injections: u32) -> Result<Campa
     c.epoch_rounds = o.get_num("epoch-rounds")?.unwrap_or(16);
     c.obs_capacity = o.get_num("ring")?.unwrap_or(0);
     c.fastpath = !o.has("no-fastpath");
+    check_mode(mode, &["campaign", "guard", "ft"], "mode")?;
     spec.mode = match mode {
         "campaign" => SpecMode::Campaign,
         "guard" => SpecMode::Guard(guard_policy_from(o)?),
-        "ft" => SpecMode::Ft(ft_policy_from(o)?),
-        other => {
-            return Err(format!(
-                "unknown mode `{other}` (expected campaign, guard or ft)"
-            ))
-        }
+        _ => SpecMode::Ft(ft_policy_from(o)?),
     };
     Ok(spec)
 }
@@ -428,24 +449,27 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let SpecOutcome::Campaign(result) = run_spec_cli(&spec, &sink) else {
         unreachable!("campaign mode yields a campaign outcome");
     };
-    if o.has("jsonl") {
-        print!("{}", sink.canonical_records());
-    } else if o.has("tsv") {
-        print!("{}", render_tsv(&result));
-    } else {
-        let title = format!(
-            "Fault Injection Results ({} / {} analogue), d = {:.1}% at 95% confidence",
-            kind.name(),
-            kind.paper_name(),
-            estimation_error(0.95, spec.campaign.injections) * 100.0
-        );
-        print!("{}", render_table(&result, &title));
-        println!("\n{}", throughput_line(&result));
-        if o.has("registers") {
-            for class in [TargetClass::RegularReg, TargetClass::FpReg] {
-                if let Some(c) = result.class(class) {
-                    println!("\nPer-register breakdown ({}):", class.label());
-                    print!("{}", render_register_breakdown(c));
+    match ReportFormat::from_flags(o.has("tsv"), o.has("jsonl")) {
+        // The engine's live record stream is a superset of the
+        // result-level `Report::jsonl` (per-trial insns, obs fields);
+        // this verb keeps streaming the canonical records.
+        ReportFormat::Jsonl => print!("{}", sink.canonical_records()),
+        ReportFormat::Tsv => print!("{}", result.tsv()),
+        ReportFormat::Table => {
+            let title = format!(
+                "Fault Injection Results ({} / {} analogue), d = {:.1}% at 95% confidence",
+                kind.name(),
+                kind.paper_name(),
+                estimation_error(0.95, spec.campaign.injections) * 100.0
+            );
+            print!("{}", result.table(&title));
+            println!("\n{}", throughput_line(&result));
+            if o.has("registers") {
+                for class in [TargetClass::RegularReg, TargetClass::FpReg] {
+                    if let Some(c) = result.class(class) {
+                        println!("\nPer-register breakdown ({}):", class.label());
+                        print!("{}", render_register_breakdown(c));
+                    }
                 }
             }
         }
@@ -488,7 +512,7 @@ fn cmd_run_config(args: &[String]) -> Result<(), String> {
         spec.campaign.injections,
         estimation_error(0.95, spec.campaign.injections) * 100.0
     );
-    print!("{}", render_table(&result, &title));
+    print!("{}", result.table(&title));
     Ok(())
 }
 
@@ -518,6 +542,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// `trial` takes a raw trial seed, not campaign coordinates, so it is the
+// one caller of the deprecated driver-level entry point.
+#[allow(deprecated)]
 fn cmd_trial(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     o.expect(&["seed", "tiny"])?;
@@ -703,11 +730,13 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let metrics = result
         .metrics
         .expect("metrics campaigns always record events");
-    if o.has("tsv") {
-        print!("{}", metrics.to_tsv(kind));
-    } else {
-        print!("{}", metrics.to_jsonl(kind));
-    }
+    let view = MetricsReport {
+        app: kind,
+        metrics: &metrics,
+    };
+    // Default stays JSONL: this verb's stdout is machine-readable.
+    let fmt = ReportFormat::from_flags(o.has("tsv"), !o.has("tsv"));
+    print!("{}", view.render(fmt, ""));
     Ok(())
 }
 
@@ -730,18 +759,13 @@ fn cmd_guard(args: &[String]) -> Result<(), String> {
     let SpecOutcome::Coverage(result) = run_spec_cli(&spec, &sink) else {
         unreachable!("guard mode yields a coverage outcome");
     };
-    if o.has("jsonl") {
-        print!("{}", coverage_jsonl(&result));
-    } else if o.has("tsv") {
-        print!("{}", render_coverage_tsv(&result));
-    } else {
-        let title = format!(
-            "Detection Coverage ({} / {} analogue), guard-off vs guard-on",
-            kind.name(),
-            kind.paper_name()
-        );
-        print!("{}", render_coverage(&result, &title));
-    }
+    let title = format!(
+        "Detection Coverage ({} / {} analogue), guard-off vs guard-on",
+        kind.name(),
+        kind.paper_name()
+    );
+    let fmt = ReportFormat::from_flags(o.has("tsv"), o.has("jsonl"));
+    print!("{}", result.render(fmt, &title));
     Ok(())
 }
 
@@ -749,12 +773,22 @@ fn cmd_ft(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     let mut valid = SPEC_FLAGS.to_vec();
     valid.extend(FT_FLAGS);
-    valid.extend(["tsv", "jsonl"]);
+    valid.extend(["mode", "tsv", "jsonl"]);
     o.expect(&valid)?;
+    // `--mode M` focuses the table on one recovery discipline; every
+    // trial still runs all of them (the columns are paired draws).
+    let focus: Option<FtMode> = match o.get("mode") {
+        None => None,
+        Some(m) => {
+            let labels: Vec<&str> = FtMode::ALL.iter().map(|m| m.label()).collect();
+            check_mode(m, &labels, "ft mode")?;
+            Some(m.parse()?)
+        }
+    };
     let spec = spec_from_opts(&o, "ft", 40)?;
     let kind = spec.app;
     eprintln!(
-        "ft: {} x {} rank kills (baseline/shrink/respawn) + {} message faults (replicated) ...",
+        "ft: {} x {} rank kills (baseline/shrink/respawn/app) + {} message faults (replicated) ...",
         kind.name(),
         spec.campaign.injections,
         spec.campaign.injections
@@ -764,17 +798,19 @@ fn cmd_ft(args: &[String]) -> Result<(), String> {
     let SpecOutcome::Ft(result) = run_spec_cli(&spec, &sink) else {
         unreachable!("ft mode yields an ft outcome");
     };
-    if o.has("jsonl") {
-        print!("{}", ft_jsonl(&result));
-    } else if o.has("tsv") {
-        print!("{}", render_ft_tsv(&result));
-    } else {
-        let title = format!(
-            "Process-Level Fault Tolerance ({} / {} analogue), shrink vs respawn vs replication",
-            kind.name(),
-            kind.paper_name()
-        );
-        print!("{}", render_ft(&result, &title));
+    let fmt = ReportFormat::from_flags(o.has("tsv"), o.has("jsonl"));
+    match focus {
+        // The machine formats always carry every discipline's columns;
+        // focus only changes the human-readable view.
+        Some(mode) if fmt == ReportFormat::Table => print!("{}", render_ft_focus(&result, mode)),
+        _ => {
+            let title = format!(
+                "Process-Level Fault Tolerance ({} / {} analogue), shrink vs respawn vs app vs replication",
+                kind.name(),
+                kind.paper_name()
+            );
+            print!("{}", result.render(fmt, &title));
+        }
     }
     Ok(())
 }
@@ -1117,6 +1153,29 @@ mod tests {
         assert_eq!(g.checkpoint_rounds, 8);
         assert_eq!(g.max_restarts, 3);
         assert_eq!(g.max_retransmits, 3);
+    }
+
+    #[test]
+    fn unknown_modes_suggest_the_nearest_valid_mode() {
+        // ft recovery disciplines
+        let err = run(&s(&["ft", "wavetoy", "--mode", "ap"])).unwrap_err();
+        assert!(err.contains("did you mean `app`?"), "{err}");
+        let err = run(&s(&["ft", "wavetoy", "--mode", "shrnk"])).unwrap_err();
+        assert!(err.contains("did you mean `shrink`?"), "{err}");
+        // spec experiment families
+        let err = run(&s(&["spec", "wavetoy", "--mode", "campain"])).unwrap_err();
+        assert!(err.contains("did you mean `campaign`?"), "{err}");
+        // far from everything: list the valid modes instead
+        let err = run(&s(&["spec", "wavetoy", "--mode", "frobnicate"])).unwrap_err();
+        assert!(err.contains("valid modes: campaign, guard, ft"), "{err}");
+    }
+
+    #[test]
+    fn jacobi3d_parses_as_an_app() {
+        assert_eq!(parse_app("jacobi3d").unwrap(), AppKind::Jacobi3d);
+        let o = Opts::parse(&s(&["jacobi3d", "--tiny"]));
+        let spec = spec_from_opts(&o, "ft", 40).unwrap();
+        assert_eq!(spec.app, AppKind::Jacobi3d);
     }
 
     #[test]

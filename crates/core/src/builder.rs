@@ -1,10 +1,17 @@
-//! The fluent campaign API.
+//! The fluent campaign API — a thin veneer over [`CampaignSpec`] +
+//! [`crate::run_spec`].
 //!
 //! [`CampaignBuilder`] is the single front door for configuring and
 //! running injection campaigns: application, region set, fault duration
 //! model, trial count, seeding, epoch forking, event recording and
 //! guarded execution all hang off one builder instead of a positional
-//! struct literal.
+//! struct literal. It holds no execution logic of its own: every
+//! `run*` call lowers the configuration to a [`CampaignSpec`] and hands
+//! it to [`crate::run_spec`], the same entry point the CLI verbs and
+//! the campaign service use — builder-run and spec-run campaigns are
+//! byte-identical by construction. Only configurations the spec cannot
+//! express (custom [`fl_apps::AppParams`], non-transient fault models)
+//! fall back to direct engine calls.
 //!
 //! ```
 //! use fl_apps::{App, AppKind, AppParams};
@@ -23,13 +30,15 @@ use crate::campaign::{
     replay_trial_impl, run_campaign_impl, trial_seed, CampaignConfig, CampaignResult, ClassResult,
     TrialRecord,
 };
+use crate::engine::{run_spec, EngineControl, NullSink, SpecOutcome};
 use crate::faultmodel::{model_classes, run_model_trial, FaultModel};
 use crate::ft::{run_ft_impl, FtResult};
 use crate::guarded::{run_coverage_impl, CoverageResult};
 use crate::obs::TrialTrace;
 use crate::outcome::Tally;
+use crate::spec::{CampaignSpec, SpecMode};
 use crate::target::TargetClass;
-use fl_apps::App;
+use fl_apps::{App, AppParams};
 use fl_ft::FtPolicy;
 use fl_guard::GuardPolicy;
 
@@ -154,14 +163,66 @@ impl<'a> CampaignBuilder<'a> {
         &self.classes
     }
 
-    /// Run the campaign.
+    /// Is the wrapped app one of the two canonical parameterizations a
+    /// [`CampaignSpec`] can name? `Some(tiny)` if so.
+    fn canonical_tiny(&self) -> Option<bool> {
+        let kind = self.app.kind;
+        if self.app.params == AppParams::tiny(kind) {
+            Some(true)
+        } else if self.app.params == AppParams::default_for(kind) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Lower the builder to a [`CampaignSpec`] running in `mode`.
+    /// `None` when the configuration is outside the spec language:
+    /// custom app parameters (a spec names apps by kind + `tiny` only)
+    /// or a non-transient fault model.
+    fn lower(&self, mode: SpecMode) -> Option<CampaignSpec> {
+        if self.model != FaultModel::Transient {
+            return None;
+        }
+        Some(CampaignSpec {
+            app: self.app.kind,
+            tiny: self.canonical_tiny()?,
+            classes: self.classes.clone(),
+            campaign: self.cfg,
+            mode,
+        })
+    }
+
+    /// The builder's configuration as a plain-campaign [`CampaignSpec`]
+    /// — the document `faultlab submit` would accept to run the same
+    /// campaign on a service. `None` for configurations the spec cannot
+    /// express (custom app parameters, non-transient fault models).
+    pub fn to_spec(&self) -> Option<CampaignSpec> {
+        self.lower(SpecMode::Campaign)
+    }
+
+    /// Run the lowered spec on the engine; uncontrolled one-shot runs
+    /// always complete.
+    fn run_lowered(spec: &CampaignSpec) -> SpecOutcome {
+        run_spec(spec, &NullSink, &EngineControl::new(), None)
+            .expect("uncontrolled one-shot runs always complete")
+    }
+
+    /// Run the campaign by lowering to [`CampaignSpec`] + `run_spec`.
     ///
     /// # Panics
     /// With a non-transient fault model, panics if the class list
     /// contains a class outside [`model_classes`] (dynamic targets
     /// cannot be re-asserted periodically).
     pub fn run(self) -> CampaignResult {
+        if let Some(spec) = self.lower(SpecMode::Campaign) {
+            let SpecOutcome::Campaign(r) = Self::run_lowered(&spec) else {
+                unreachable!("campaign mode yields a campaign outcome");
+            };
+            return r;
+        }
         if self.model == FaultModel::Transient {
+            // Custom app parameters: same engine, direct app reference.
             return run_campaign_impl(self.app, &self.classes, &self.cfg);
         }
         self.run_model_campaign()
@@ -177,13 +238,19 @@ impl<'a> CampaignBuilder<'a> {
             "coverage campaigns support the transient model only"
         );
         let policy = self.guard.unwrap_or_default();
+        if let Some(spec) = self.lower(SpecMode::Guard(policy)) {
+            let SpecOutcome::Coverage(r) = Self::run_lowered(&spec) else {
+                unreachable!("guard mode yields a coverage outcome");
+            };
+            return r;
+        }
         run_coverage_impl(self.app, &self.classes, &self.cfg, &policy)
     }
 
     /// Run a process-failure recovery campaign: `injections` rank kills
-    /// each executed bare, under shrink recovery, and under
-    /// buddy-checkpoint respawn, plus `injections` §3.3 message faults
-    /// each executed bare and in a voted replica set (see
+    /// each executed bare, under shrink recovery, under buddy-checkpoint
+    /// respawn, and in app-owned fl-ulfm mode, plus `injections` §3.3
+    /// message faults each executed bare and in a voted replica set (see
     /// [`CampaignBuilder::ft`]). Transient model only — process-level
     /// faults are the campaign's subject, not its knob.
     pub fn run_ft(self) -> FtResult {
@@ -192,6 +259,12 @@ impl<'a> CampaignBuilder<'a> {
             "ft campaigns support the transient model only"
         );
         let policy = self.ft.unwrap_or_default();
+        if let Some(spec) = self.lower(SpecMode::Ft(policy)) {
+            let SpecOutcome::Ft(r) = Self::run_lowered(&spec) else {
+                unreachable!("ft mode yields an ft outcome");
+            };
+            return r;
+        }
         run_ft_impl(
             self.app,
             &self.cfg,
@@ -399,6 +472,49 @@ mod tests {
             .run();
         assert_eq!(r.classes[0].tally.executions, 4);
         assert!(r.classes[0].trials[0].detail.contains("stuck-at-1"));
+    }
+
+    #[test]
+    fn builder_lowers_to_the_canonical_spec() {
+        let app = tiny(AppKind::Climsim);
+        let spec = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::Message])
+            .injections(9)
+            .seed(0x5EC)
+            .to_spec()
+            .expect("tiny apps are spec-expressible");
+        assert_eq!(spec.app, AppKind::Climsim);
+        assert!(spec.tiny);
+        assert_eq!(spec.classes, vec![TargetClass::Message]);
+        assert_eq!(spec.campaign.injections, 9);
+        assert_eq!(spec.campaign.seed, 0x5EC);
+        // The lowering is the submit path: it must survive the wire.
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn custom_app_params_fall_back_to_the_direct_engine_path() {
+        let kind = AppKind::Wavetoy;
+        let mut params = AppParams::tiny(kind);
+        params.steps += 1; // not tiny, not default: unexpressible
+        let app = App::build(kind, params);
+        let b = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(4)
+            .seed(6);
+        assert!(b.to_spec().is_none());
+        let r = b.run();
+        assert_eq!(r.classes[0].tally.executions, 4);
+    }
+
+    #[test]
+    fn non_transient_models_are_not_spec_expressible() {
+        let app = tiny(AppKind::Wavetoy);
+        let b = CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .fault_model(FaultModel::StuckAt1);
+        assert!(b.to_spec().is_none());
     }
 
     #[test]

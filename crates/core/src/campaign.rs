@@ -278,6 +278,9 @@ impl Dictionaries {
 
 /// Execute one injection experiment cold: fresh machines, full prefix
 /// re-execution — the paper's reboot-between-injections isolation.
+#[deprecated(note = "direct driver entry point; drive campaigns through \
+            `CampaignBuilder` (or `run_spec`) and single trials through \
+            `CampaignBuilder::replay`")]
 pub fn run_trial(
     app: &App,
     golden: &Golden,
@@ -286,7 +289,7 @@ pub fn run_trial(
     trial_seed: u64,
     budget: u64,
 ) -> TrialRecord {
-    run_trial_forked(app, golden, dicts, class, trial_seed, budget, None)
+    run_trial_inner(app, golden, dicts, class, trial_seed, budget, None, 0, true).record
 }
 
 /// The state mutation an armed machine fault applies when it fires.
@@ -428,6 +431,9 @@ pub(crate) fn draw_fault(
 /// complete fault specification is drawn before any world exists — so a
 /// campaign produces the same records either way; forking only skips the
 /// redundant fault-free prefix.
+#[deprecated(note = "direct driver entry point; drive campaigns through \
+            `CampaignBuilder` (or `run_spec`) and single trials through \
+            `CampaignBuilder::replay`")]
 pub fn run_trial_forked(
     app: &App,
     golden: &Golden,
@@ -447,6 +453,9 @@ pub fn run_trial_forked(
 /// the full [`TrialTrace`]. When forking from an epoch cache, that
 /// cache must have been built with the same `obs_capacity` (the golden
 /// prefix's events are part of the snapshot).
+#[deprecated(note = "direct driver entry point; drive campaigns through \
+            `CampaignBuilder` (or `run_spec`) and traced replays through \
+            `CampaignBuilder::replay_traced`")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_trial_traced(
     app: &App,

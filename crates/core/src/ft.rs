@@ -20,7 +20,7 @@ use crate::outcome::{classify, Manifestation, Tally};
 use crate::progress::EngineProgress;
 use crate::target::TargetClass;
 use fl_apps::{App, AppKind, Golden};
-use fl_ft::{run_replicated, run_respawn, run_shrink, FtPolicy, RankKill};
+use fl_ft::{run_app, run_replicated, run_respawn, run_shrink, FtMode, FtPolicy, RankKill};
 use fl_mpi::{MpiWorld, WorldExit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,13 @@ pub struct FtKillTrial {
     pub respawn: Manifestation,
     /// Respawns the respawn run performed.
     pub respawns: u32,
+    /// Outcome in ulfm mode, where the *application* owns recovery
+    /// (checked against the original golden — an app that shrinks must
+    /// still solve the same global problem). Apps without fl-ulfm code
+    /// do not recover here; that asymmetry is the experiment.
+    pub app: Manifestation,
+    /// Shrinks the application itself performed in the ulfm run.
+    pub app_shrinks: u32,
 }
 
 impl FtKillTrial {
@@ -75,6 +82,12 @@ impl FtKillTrial {
     /// Did respawn convert a baseline error into a recovery?
     pub fn respawn_recovered(&self) -> bool {
         self.baseline.is_error() && self.respawn == Manifestation::Recovered
+    }
+
+    /// Did the application itself convert a baseline error into a
+    /// recovery through the fl-ulfm API?
+    pub fn app_recovered(&self) -> bool {
+        self.baseline.is_error() && self.app == Manifestation::RecoveredByApp
     }
 }
 
@@ -133,6 +146,15 @@ impl FtResult {
     pub fn respawn_recovery_percent(&self) -> f64 {
         percent(
             self.kills.iter().filter(|t| t.respawn_recovered()).count(),
+            self.kill_errors(),
+        )
+    }
+
+    /// Baseline kill errors the application converted to
+    /// `RecoveredByApp`, in percent.
+    pub fn app_recovery_percent(&self) -> f64 {
+        percent(
+            self.kills.iter().filter(|t| t.app_recovered()).count(),
             self.kill_errors(),
         )
     }
@@ -204,6 +226,29 @@ fn classify_respawn(
         WorldExit::Clean if intervened => {
             if output == golden.output {
                 Manifestation::Recovered
+            } else {
+                Manifestation::Incorrect
+            }
+        }
+        _ => classify(exit, output, &golden.output),
+    }
+}
+
+/// Classify a ulfm-mode run, where recovery belongs to the application.
+/// A clean exit whose world the app shrank and whose output matches the
+/// original golden is `RecoveredByApp`; a clean exit with no shrink
+/// means the kill never disturbed the app (same as `Correct`/
+/// `Incorrect` classification); anything else classifies as usual.
+fn classify_app(
+    exit: &WorldExit,
+    output: &[u8],
+    app_shrinks: u32,
+    golden: &Golden,
+) -> Manifestation {
+    match exit {
+        WorldExit::Clean if app_shrinks > 0 => {
+            if output == golden.output {
+                Manifestation::RecoveredByApp
             } else {
                 Manifestation::Incorrect
             }
@@ -303,7 +348,14 @@ pub fn run_ft_engine(
         let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
         wcfg.seed = seed;
 
-        let mut bare = MpiWorld::new(&app.image, wcfg);
+        // The baseline strand: no detector, no app-visible failures.
+        // (A no-op for the paper's three apps; jacobi3d's own config
+        // asks for ulfm, which would let it recover out of the
+        // baseline column.)
+        let mut bare_cfg = wcfg;
+        bare_cfg.ulfm = false;
+        bare_cfg.ft.enabled = false;
+        let mut bare = MpiWorld::new(&app.image, bare_cfg);
         bare.set_rank_kill(kill);
         let bare_exit = bare.run();
         let baseline = classify(&bare_exit, &app.comparable_output(&bare), &golden.output);
@@ -325,12 +377,17 @@ pub fn run_ft_engine(
             &golden,
         );
 
+        let (aw, ar) = run_app(&app.image, wcfg, policy, |w| w.set_rank_kill(kill));
+        let app_m = classify_app(&ar.exit, &app.comparable_output(&aw), ar.shrinks, &golden);
+
         FtKillTrial {
             detail,
             baseline,
             shrink,
             respawn,
             respawns: rr.respawns,
+            app: app_m,
+            app_shrinks: ar.shrinks,
         }
     };
     let run_replica = |k: u32| {
@@ -448,14 +505,14 @@ pub fn render_ft(r: &FtResult, title: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>6} | {:>8} {:>9} | {:>9} {:>9}",
-        "Trials", "Kills", "BaseErr", "RankLost", "Shrink(%)", "Respawn(%)"
+        "{:<10} {:>6} | {:>8} {:>9} | {:>9} {:>10} {:>7}",
+        "Trials", "Kills", "BaseErr", "RankLost", "Shrink(%)", "Respawn(%)", "App(%)"
     );
-    let _ = writeln!(out, "{}", "-".repeat(62));
+    let _ = writeln!(out, "{}", "-".repeat(70));
     let base = r.tally(|t| t.baseline);
     let _ = writeln!(
         out,
-        "{:<10} {:>6} | {:>8} {:>9} | {:>9.1} {:>9.1}",
+        "{:<10} {:>6} | {:>8} {:>9} | {:>9.1} {:>10.1} {:>7.1}",
         "kill-rank",
         r.kills.len(),
         base.errors(),
@@ -463,8 +520,9 @@ pub fn render_ft(r: &FtResult, title: &str) -> String {
             + r.tally(|t| t.respawn).count(Manifestation::RankLost),
         r.shrink_recovery_percent(),
         r.respawn_recovery_percent(),
+        r.app_recovery_percent(),
     );
-    let _ = writeln!(out, "{}", "-".repeat(62));
+    let _ = writeln!(out, "{}", "-".repeat(70));
     let _ = writeln!(
         out,
         "replication: {} message faults, {} baseline errors, {:.1}% masked by vote",
@@ -472,6 +530,65 @@ pub fn render_ft(r: &FtResult, title: &str) -> String {
         r.replica_errors(),
         r.masked_percent(),
     );
+    out
+}
+
+/// Render the single-discipline focus view of an ft campaign (the CLI's
+/// `ft --mode M`): one [`FtMode`] column's outcome tally and recovery
+/// rate, instead of the full side-by-side table.
+pub fn render_ft_focus(r: &FtResult, mode: FtMode) -> String {
+    let (tally, trials, recovered) = match mode {
+        FtMode::Baseline => (r.tally(|t| t.baseline), r.kills.len(), None),
+        FtMode::Shrink => (
+            r.tally(|t| t.shrink),
+            r.kills.len(),
+            Some(("recovered by harness shrink", r.shrink_recovery_percent())),
+        ),
+        FtMode::Respawn => (
+            r.tally(|t| t.respawn),
+            r.kills.len(),
+            Some(("recovered by harness respawn", r.respawn_recovery_percent())),
+        ),
+        FtMode::App => (
+            r.tally(|t| t.app),
+            r.kills.len(),
+            Some((
+                "recovered by the application (fl-ulfm)",
+                r.app_recovery_percent(),
+            )),
+        ),
+        FtMode::Replicated => {
+            let mut t = Tally::default();
+            for x in &r.replicas {
+                t.record(x.replicated);
+            }
+            (
+                t,
+                r.replicas.len(),
+                Some(("masked by replica vote", r.masked_percent())),
+            )
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} / mode {mode}: {trials} {} trials",
+        r.app.name(),
+        if mode == FtMode::Replicated {
+            "message-fault"
+        } else {
+            "rank-kill"
+        }
+    );
+    for m in Manifestation::ALL {
+        let n = tally.count(m);
+        if n > 0 {
+            let _ = writeln!(out, "  {m:<22} {n:>5}");
+        }
+    }
+    if let Some((what, pct)) = recovered {
+        let _ = writeln!(out, "  {what}: {pct:.1}%");
+    }
     out
 }
 
@@ -483,7 +600,7 @@ pub fn render_ft_tsv(r: &FtResult) -> String {
         let _ = write!(out, "\t{}", slug(m));
     }
     out.push_str("\trecovery_pct\n");
-    let rows: [(&str, Tally, f64); 3] = [
+    let rows: [(&str, Tally, f64); 4] = [
         ("baseline", r.tally(|t| t.baseline), 0.0),
         ("shrink", r.tally(|t| t.shrink), r.shrink_recovery_percent()),
         (
@@ -491,6 +608,7 @@ pub fn render_ft_tsv(r: &FtResult) -> String {
             r.tally(|t| t.respawn),
             r.respawn_recovery_percent(),
         ),
+        ("app", r.tally(|t| t.app), r.app_recovery_percent()),
     ];
     for (mode, tally, pct) in rows {
         let _ = write!(out, "{mode}\t{}", tally.executions);
@@ -525,15 +643,18 @@ pub fn ft_jsonl(r: &FtResult) -> String {
     for (k, t) in r.kills.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{{\"app\":\"{}\",\"kind\":\"kill\",\"trial\":{k},\"detail\":\"{}\",\"baseline\":\"{}\",\"shrink\":\"{}\",\"respawn\":\"{}\",\"respawns\":{},\"shrink_recovered\":{},\"respawn_recovered\":{}}}",
+            "{{\"app\":\"{}\",\"kind\":\"kill\",\"trial\":{k},\"detail\":\"{}\",\"baseline\":\"{}\",\"shrink\":\"{}\",\"respawn\":\"{}\",\"respawns\":{},\"app_mode\":\"{}\",\"app_shrinks\":{},\"shrink_recovered\":{},\"respawn_recovered\":{},\"app_recovered\":{}}}",
             r.app.name(),
             t.detail,
             slug(t.baseline),
             slug(t.shrink),
             slug(t.respawn),
             t.respawns,
+            slug(t.app),
+            t.app_shrinks,
             t.shrink_recovered(),
             t.respawn_recovered(),
+            t.app_recovered(),
         );
     }
     for (k, t) in r.replicas.iter().enumerate() {
@@ -598,11 +719,35 @@ mod tests {
     }
 
     #[test]
+    fn jacobi3d_recovers_by_itself_in_app_mode() {
+        // The fl-ulfm contract: the app that carries recovery code
+        // survives the kill on its own; the paper's apps do not.
+        let r = ft(AppKind::Jacobi3d, 6, 0, 0xA1);
+        assert_eq!(r.kill_errors(), 6, "{:?}", r.kills);
+        assert!(r.app_recovery_percent() >= 90.0, "{:?}", r.kills);
+        let w = ft(AppKind::Wavetoy, 3, 0, 0xA2);
+        assert_eq!(w.app_recovery_percent(), 0.0, "{:?}", w.kills);
+    }
+
+    #[test]
     fn ft_campaigns_are_reproducible() {
         let a = ft(AppKind::Wavetoy, 4, 4, 9);
         let b = ft(AppKind::Wavetoy, 4, 4, 9);
         assert_eq!(a.kills, b.kills);
         assert_eq!(a.replicas, b.replicas);
+    }
+
+    #[test]
+    fn focus_renderer_covers_every_discipline() {
+        let r = ft(AppKind::Wavetoy, 3, 3, 13);
+        for mode in FtMode::ALL {
+            let text = render_ft_focus(&r, mode);
+            assert!(text.starts_with("wavetoy / mode "), "{text}");
+            assert!(text.contains(mode.label()), "{text}");
+        }
+        assert!(render_ft_focus(&r, FtMode::Shrink).contains("harness shrink"));
+        assert!(render_ft_focus(&r, FtMode::App).contains("fl-ulfm"));
+        assert!(render_ft_focus(&r, FtMode::Replicated).contains("message-fault"));
     }
 
     #[test]
@@ -612,7 +757,7 @@ mod tests {
         assert!(table.contains("kill-rank"));
         assert!(table.contains("replication:"));
         let tsv = render_ft_tsv(&r);
-        assert_eq!(tsv.lines().count(), 6, "{tsv}");
+        assert_eq!(tsv.lines().count(), 7, "{tsv}");
         assert!(tsv.starts_with("mode\ttrials\tcorrect"));
         let jsonl = ft_jsonl(&r);
         assert_eq!(jsonl.lines().count(), 8);

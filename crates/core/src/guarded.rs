@@ -65,7 +65,7 @@ impl GuardedTrialRecord {
 /// [`Manifestation::ALL`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransitionMatrix {
-    counts: [[u32; 10]; 10],
+    counts: [[u32; 11]; 11],
 }
 
 impl TransitionMatrix {

@@ -56,9 +56,10 @@ pub mod spec;
 pub mod target;
 
 pub use builder::CampaignBuilder;
+#[allow(deprecated)] // re-exported for compatibility; see their notes
+pub use campaign::{run_trial, run_trial_forked, run_trial_traced};
 pub use campaign::{
-    run_trial, run_trial_forked, run_trial_traced, trial_seed, CampaignConfig, CampaignResult,
-    ClassResult, Dictionaries, TrialRecord,
+    trial_seed, CampaignConfig, CampaignResult, ClassResult, Dictionaries, TrialRecord,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use engine::{
@@ -68,13 +69,13 @@ pub use engine::{
 };
 pub use faultmodel::{compare_models, run_model_trial, FaultModel};
 pub use fl_ft::{
-    ft_config, run_replicated, run_respawn, run_shrink, shrink, FtMode, FtPolicy, FtReport,
-    RankKill,
+    ft_config, run_app, run_replicated, run_respawn, run_shrink, shrink, ulfm_config, FtMode,
+    FtPolicy, FtReport, RankKill,
 };
 pub use fl_guard::{run_guarded, GuardPolicy, GuardReport};
 pub use ft::{
-    draw_kill, ft_jsonl, render_ft, render_ft_tsv, run_ft_engine, FtKillTrial, FtReplicaTrial,
-    FtResult,
+    draw_kill, ft_jsonl, render_ft, render_ft_focus, render_ft_tsv, run_ft_engine, FtKillTrial,
+    FtReplicaTrial, FtResult,
 };
 pub use guarded::{
     coverage_jsonl, render_coverage, render_coverage_tsv, run_coverage_engine, run_guarded_trial,
@@ -86,7 +87,10 @@ pub use progress::{
     EngineProgress, ProgressMonitor, ProgressSample, ProgressVerdict, StderrProgress,
 };
 pub use regpressure::{analyze_image, render_register_pressure, RegisterPressure};
-pub use report::{register_breakdown, render_register_breakdown, render_table, render_tsv};
+pub use report::{
+    register_breakdown, render_register_breakdown, render_table, render_tsv, MetricsReport, Report,
+    ReportFormat,
+};
 pub use sampling::{confidence_interval, estimation_error, sample_size, z_value};
 pub use ser::{application_corruptions_per_run, SerModel};
 pub use spec::{CampaignSpec, SpecMode};

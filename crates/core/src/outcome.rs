@@ -49,13 +49,19 @@ pub enum Manifestation {
     /// A replicated run outvoted a divergent replica and completed with
     /// correct output — the fault was both detected *and* masked.
     MaskedByReplica,
+    /// The *application itself* recovered from a process failure through
+    /// the fl-ulfm API — it observed `MPIX_ERR_PROC_FAILED`, agreed,
+    /// shrank the world, restored its own checkpoint, and completed with
+    /// output matching the fault-free reference. The harness never
+    /// intervened.
+    RecoveredByApp,
 }
 
 impl Manifestation {
     /// All classes: the paper's six in table order, the two
-    /// guarded-execution classes fl-guard added, then the two
-    /// process-level classes fl-ft added.
-    pub const ALL: [Manifestation; 10] = [
+    /// guarded-execution classes fl-guard added, the two process-level
+    /// classes fl-ft added, then fl-ulfm's application-recovery class.
+    pub const ALL: [Manifestation; 11] = [
         Manifestation::Correct,
         Manifestation::Crash,
         Manifestation::Hang,
@@ -66,6 +72,7 @@ impl Manifestation {
         Manifestation::Recovered,
         Manifestation::RankLost,
         Manifestation::MaskedByReplica,
+        Manifestation::RecoveredByApp,
     ];
 
     /// True if the fault manifested at all (everything except `Correct`).
@@ -90,6 +97,7 @@ impl Manifestation {
             Manifestation::Recovered => "recovered",
             Manifestation::RankLost => "rank-lost",
             Manifestation::MaskedByReplica => "masked-by-replica",
+            Manifestation::RecoveredByApp => "recovered-by-app",
         }
     }
 
@@ -112,6 +120,7 @@ impl fmt::Display for Manifestation {
             Manifestation::Recovered => "Recovered",
             Manifestation::RankLost => "Rank Lost",
             Manifestation::MaskedByReplica => "Masked (Replica)",
+            Manifestation::RecoveredByApp => "Recovered (App)",
         };
         f.write_str(s)
     }
@@ -143,7 +152,7 @@ pub struct Tally {
     /// Injections performed.
     pub executions: u32,
     /// Count per manifestation class, indexed as [`Manifestation::ALL`].
-    counts: [u32; 10],
+    counts: [u32; 11],
 }
 
 impl Tally {

@@ -1,4 +1,12 @@
-//! Result-table rendering and the §6.1.1 register analysis.
+//! Result rendering: the [`Report`] trait unifying every result
+//! family's output formats, plus the §6.1.1 register analysis.
+//!
+//! Each campaign family — plain injection ([`CampaignResult`]),
+//! guard coverage ([`crate::guarded::CoverageResult`]), fault tolerance
+//! ([`crate::ft::FtResult`]) and event metrics ([`MetricsReport`]) —
+//! implements [`Report`], so every CLI verb renders through the same
+//! three formats (`table`/`tsv`/`jsonl`) and a new mode gets all three
+//! for free.
 //!
 //! [`render_table`] reproduces the layout of the paper's Tables 2–4: one
 //! row per injected region with the error rate and the breakdown of
@@ -7,10 +15,168 @@
 //! columns, as Table 2 does.
 
 use crate::campaign::{CampaignResult, ClassResult};
+use crate::ft::{ft_jsonl, render_ft, render_ft_tsv, FtResult};
+use crate::guarded::{coverage_jsonl, render_coverage, render_coverage_tsv, CoverageResult};
+use crate::json::escape;
+use crate::obs::CampaignMetrics;
 use crate::outcome::Manifestation;
 use crate::target::TargetClass;
+use fl_apps::AppKind;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Which of the three output formats a consumer asked for — the CLI's
+/// `--tsv`/`--jsonl` flag pair, as a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable table (the default).
+    Table,
+    /// Tab-separated values for downstream plotting.
+    Tsv,
+    /// One JSON object per line.
+    Jsonl,
+}
+
+impl ReportFormat {
+    /// Resolve a verb's `--tsv`/`--jsonl` flags (JSONL wins when both
+    /// are given, matching the verbs' historical precedence).
+    pub fn from_flags(tsv: bool, jsonl: bool) -> ReportFormat {
+        if jsonl {
+            ReportFormat::Jsonl
+        } else if tsv {
+            ReportFormat::Tsv
+        } else {
+            ReportFormat::Table
+        }
+    }
+}
+
+/// One result family's full set of output formats.
+///
+/// `title` is only consulted by [`Report::table`]; the machine formats
+/// identify the campaign in their own fields.
+pub trait Report {
+    /// Human-readable table.
+    fn table(&self, title: &str) -> String;
+    /// Tab-separated values, header row first.
+    fn tsv(&self) -> String;
+    /// One JSON object per line.
+    fn jsonl(&self) -> String;
+
+    /// Dispatch on a [`ReportFormat`].
+    fn render(&self, format: ReportFormat, title: &str) -> String {
+        match format {
+            ReportFormat::Table => self.table(title),
+            ReportFormat::Tsv => self.tsv(),
+            ReportFormat::Jsonl => self.jsonl(),
+        }
+    }
+}
+
+impl Report for CampaignResult {
+    fn table(&self, title: &str) -> String {
+        render_table(self, title)
+    }
+
+    fn tsv(&self) -> String {
+        render_tsv(self)
+    }
+
+    /// One line per trial with its campaign coordinates. The engine's
+    /// live record stream ([`crate::record_line`]) is a superset of
+    /// this view — it adds per-trial instruction counts and
+    /// observability fields only the running engine knows.
+    fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for (ci, c) in self.classes.iter().enumerate() {
+            for (k, t) in c.trials.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{{\"app\":\"{}\",\"class\":\"{}\",\"ci\":{ci},\"k\":{k},\"detail\":\"{}\",\"outcome\":\"{}\"}}",
+                    self.app.name(),
+                    t.class.name(),
+                    escape(&t.detail),
+                    t.outcome.slug(),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Report for CoverageResult {
+    fn table(&self, title: &str) -> String {
+        render_coverage(self, title)
+    }
+
+    fn tsv(&self) -> String {
+        render_coverage_tsv(self)
+    }
+
+    fn jsonl(&self) -> String {
+        coverage_jsonl(self)
+    }
+}
+
+impl Report for FtResult {
+    fn table(&self, title: &str) -> String {
+        render_ft(self, title)
+    }
+
+    fn tsv(&self) -> String {
+        render_ft_tsv(self)
+    }
+
+    fn jsonl(&self) -> String {
+        ft_jsonl(self)
+    }
+}
+
+/// [`CampaignMetrics`] paired with the app it measured — the metrics
+/// serializers need the app name on every row, and the metrics struct
+/// itself does not carry it.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsReport<'a> {
+    /// Which application the campaign injected into.
+    pub app: AppKind,
+    /// The event-stream aggregates.
+    pub metrics: &'a CampaignMetrics,
+}
+
+impl Report for MetricsReport<'_> {
+    fn table(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>7} {:>12} {:>11} {:>13} {:>9}",
+            "Region", "Trials", "Landed", "Symptomatic", "Events", "Insns", "MeanTTM"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(79));
+        for m in &self.metrics.classes {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>7} {:>12} {:>11} {:>13} {:>9.1}",
+                m.class.label(),
+                m.trials,
+                m.landed,
+                m.symptomatic,
+                m.events_total,
+                m.insns_total,
+                m.mean_ttm(),
+            );
+        }
+        out
+    }
+
+    fn tsv(&self) -> String {
+        self.metrics.to_tsv(self.app)
+    }
+
+    fn jsonl(&self) -> String {
+        self.metrics.to_jsonl(self.app)
+    }
+}
 
 fn pct(v: f64) -> String {
     if v == 0.0 {
@@ -157,6 +323,50 @@ mod tests {
         for line in lines {
             assert_eq!(line.split('\t').count(), 8, "{line}");
         }
+    }
+
+    #[test]
+    fn report_trait_unifies_the_formats() {
+        let r = small_result();
+        assert_eq!(r.table("t"), render_table(&r, "t"));
+        assert_eq!(r.tsv(), render_tsv(&r));
+        let jsonl = r.jsonl();
+        assert_eq!(jsonl.lines().count() as u64, r.trials_total());
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with("{\"app\":\"wavetoy\"") && l.ends_with('}')));
+        assert_eq!(r.render(ReportFormat::Table, "t"), r.table("t"));
+        assert_eq!(r.render(ReportFormat::Tsv, ""), r.tsv());
+        assert_eq!(r.render(ReportFormat::Jsonl, ""), r.jsonl());
+    }
+
+    #[test]
+    fn report_format_resolves_flag_pairs() {
+        assert_eq!(ReportFormat::from_flags(false, false), ReportFormat::Table);
+        assert_eq!(ReportFormat::from_flags(true, false), ReportFormat::Tsv);
+        assert_eq!(ReportFormat::from_flags(false, true), ReportFormat::Jsonl);
+        assert_eq!(ReportFormat::from_flags(true, true), ReportFormat::Jsonl);
+    }
+
+    #[test]
+    fn metrics_report_renders_all_formats() {
+        let app = App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy));
+        let r = crate::CampaignBuilder::new(&app)
+            .classes(&[TargetClass::RegularReg])
+            .injections(4)
+            .seed(3)
+            .observe(256)
+            .run();
+        let metrics = r.metrics.as_ref().unwrap();
+        let view = MetricsReport {
+            app: r.app,
+            metrics,
+        };
+        let table = view.table("metrics demo");
+        assert!(table.contains("Regular Reg."));
+        assert!(table.contains("MeanTTM"));
+        assert_eq!(view.tsv(), metrics.to_tsv(r.app));
+        assert_eq!(view.jsonl(), metrics.to_jsonl(r.app));
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   locked to a checked-in golden file, so any drift in the event
 //!   schema, emission points or ordering is a visible diff.
 
+// These properties deliberately exercise the deprecated driver-level
+// entry point: cold/forked bit-identity is a property of the driver,
+// below the builder/spec veneer.
+#![allow(deprecated)]
+
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{run_trial_traced, trial_seed, Dictionaries, TargetClass};
 use fl_snap::EpochCache;

@@ -74,15 +74,21 @@ pub enum FtMode {
     Respawn,
     /// N lockstep replicas with digest/output voting.
     Replicated,
+    /// ULFM mode: failures surface *inside* the application as
+    /// `MPIX_ERR_PROC_FAILED` returns and fault-aware collectives; the
+    /// app recovers itself (ack / agree / shrink / checkpoint rollback)
+    /// with no harness intervention at all.
+    App,
 }
 
 impl FtMode {
     /// Every mode, baseline first (campaign sweep order).
-    pub const ALL: [FtMode; 4] = [
+    pub const ALL: [FtMode; 5] = [
         FtMode::Baseline,
         FtMode::Shrink,
         FtMode::Respawn,
         FtMode::Replicated,
+        FtMode::App,
     ];
 
     /// Display label — also the canonical parse name.
@@ -92,6 +98,7 @@ impl FtMode {
             FtMode::Shrink => "shrink",
             FtMode::Respawn => "respawn",
             FtMode::Replicated => "replicated",
+            FtMode::App => "app",
         }
     }
 }
@@ -111,6 +118,7 @@ impl std::str::FromStr for FtMode {
             "shrink" => FtMode::Shrink,
             "respawn" => FtMode::Respawn,
             "replicated" => FtMode::Replicated,
+            "app" => FtMode::App,
             other => return Err(format!("unknown ft mode `{other}`")),
         })
     }
@@ -158,12 +166,17 @@ pub fn buddy_of(rank: u16, nranks: u16) -> u16 {
 }
 
 /// `cfg` with the policy's failure detector switched on.
+///
+/// Harness-owned recovery: the app-visible ulfm surface is forced *off*
+/// so a matured failure terminates the world (`RankFailed`) for the
+/// runner to handle — even for an app whose own config asks for ulfm.
 pub fn ft_config(cfg: WorldConfig, policy: &FtPolicy) -> WorldConfig {
     let mut out = cfg;
     out.ft = FailureDetector {
         enabled: true,
         ..policy.detector
     };
+    out.ulfm = false;
     out
 }
 
@@ -208,6 +221,37 @@ pub fn run_shrink(
         report.final_nranks = survivor.nranks();
         return (survivor, report);
     }
+    (world, report)
+}
+
+/// `cfg` with the detector on *and* app-visible ULFM mode on.
+pub fn ulfm_config(cfg: WorldConfig, policy: &FtPolicy) -> WorldConfig {
+    let mut out = ft_config(cfg, policy);
+    out.ulfm = true;
+    out
+}
+
+/// Run in app-visible ULFM mode: failures become `MPIX_ERR_PROC_FAILED`
+/// completions and fault-aware collectives *inside* the program, and the
+/// application is expected to recover itself (ack / agree / shrink /
+/// checkpoint rollback). The harness never intervenes — the report only
+/// records what the app-visible machinery did: failures surfaced and
+/// worlds the *application* rebuilt via `mpix_comm_shrink`.
+pub fn run_app(
+    image: &ProgramImage,
+    cfg: WorldConfig,
+    policy: &FtPolicy,
+    arm: impl FnOnce(&mut MpiWorld),
+) -> (MpiWorld, FtReport) {
+    let mut world = MpiWorld::new(image, ulfm_config(cfg, policy));
+    arm(&mut world);
+    let exit = world.run();
+    let mut report = FtReport::fresh(exit, world.nranks());
+    // Ranks the app shrank away, plus failures known but not (yet)
+    // recovered from.
+    report.failures_detected =
+        (cfg.nranks - world.nranks()) as u32 + world.ulfm_failed_mask().count_ones();
+    report.shrinks = world.app_shrinks();
     (world, report)
 }
 

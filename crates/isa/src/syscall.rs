@@ -69,6 +69,24 @@ pub enum Syscall {
     /// argument-check failures manifest as **MPI Detected** (§5.1/§6.2)
     /// instead of aborting.
     MpiErrhandlerSet = 27,
+
+    // --- ULFM fault-tolerance extensions (fl-ulfm) -----------------------
+    /// MPIX_Comm_failure_ack: acknowledge all currently known failures.
+    MpixFailureAck = 28,
+    /// MPIX_Comm_failure_get_acked: bitmask of acked dead ranks in EAX.
+    MpixFailureGetAcked = 29,
+    /// MPIX_Comm_agree: fault-aware collective AND over EAX across the
+    /// live ranks; result (with the failure bit folded in) in EAX.
+    MpixAgree = 30,
+    /// MPIX_Comm_shrink: rebuild the world over the survivors; the
+    /// caller's new rank is returned in EAX.
+    MpixShrink = 31,
+    /// fl_ckpt_save: EAX=buf, ECX=bytes — copy the range into the rank's
+    /// in-memory application checkpoint; bytes saved in EAX.
+    CkptSave = 32,
+    /// fl_ckpt_restore: EAX=buf, ECX=cap — copy the saved checkpoint back
+    /// over the range; bytes restored (0 if none saved) in EAX.
+    CkptRestore = 33,
 }
 
 impl Syscall {
@@ -99,6 +117,12 @@ impl Syscall {
             25 => MpiFinalize,
             26 => MpiAbort,
             27 => MpiErrhandlerSet,
+            28 => MpixFailureAck,
+            29 => MpixFailureGetAcked,
+            30 => MpixAgree,
+            31 => MpixShrink,
+            32 => CkptSave,
+            33 => CkptRestore,
             _ => return None,
         })
     }
@@ -129,6 +153,22 @@ mod tests {
         assert!(Syscall::MpiFinalize.is_mpi());
         assert!(!Syscall::Malloc.is_mpi());
         assert!(!Syscall::PrintFlt.is_mpi());
+    }
+
+    #[test]
+    fn ulfm_syscalls_trap_to_the_scheduler() {
+        // The MPIX extensions and the checkpoint builtins all go through
+        // the rank scheduler (they need world-level failure knowledge).
+        for s in [
+            Syscall::MpixFailureAck,
+            Syscall::MpixFailureGetAcked,
+            Syscall::MpixAgree,
+            Syscall::MpixShrink,
+            Syscall::CkptSave,
+            Syscall::CkptRestore,
+        ] {
+            assert!(s.is_mpi(), "{s:?}");
+        }
     }
 
     #[test]

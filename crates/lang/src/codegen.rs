@@ -516,6 +516,12 @@ impl<'m> Gen<'m> {
                 MpiFinalize => "MPI_Finalize",
                 MpiAbort => "MPI_Abort",
                 MpiErrhandlerSet => "MPI_Errhandler_set",
+                MpixFailureAck => "MPIX_Comm_failure_ack",
+                MpixFailureGetAcked => "MPIX_Comm_failure_get_acked",
+                MpixAgree => "MPIX_Comm_agree",
+                MpixShrink => "MPIX_Comm_shrink",
+                CkptSave => "FL_ckpt_save",
+                CkptRestore => "FL_ckpt_restore",
                 _ => unreachable!(),
             };
             let bytes = self.push_args(args)?;

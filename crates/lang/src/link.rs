@@ -8,7 +8,8 @@
 //! * application data: initialised globals, pooled string literals and
 //!   float constants;
 //! * BSS: uninitialised globals;
-//! * library text at `0x40000000`: the twelve `MPI_*` wrapper functions.
+//! * library text at `0x40000000`: the `MPI_*`/`MPIX_*`/checkpoint
+//!   wrapper functions.
 //!   Each wrapper builds a real stack frame, loads its arguments from the
 //!   stack into registers, bumps a call counter in library data, and
 //!   issues the corresponding `SYS` trap — the structural analogue of
@@ -48,8 +49,10 @@ impl fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
-/// The twelve MPI wrapper functions, with their syscall, the number of
+/// The MPI wrapper functions, with their syscall, the number of
 /// integer arguments they forward, and whether they return a value.
+/// The `MPIX_*` entries are the ULFM fault-tolerance extensions and the
+/// `FL_ckpt_*` pair the app-level checkpoint builtins (fl-ulfm).
 const WRAPPERS: &[(&str, Syscall, u8, bool)] = &[
     ("MPI_Init", Syscall::MpiInit, 0, false),
     ("MPI_Comm_rank", Syscall::MpiCommRank, 0, true),
@@ -63,6 +66,17 @@ const WRAPPERS: &[(&str, Syscall, u8, bool)] = &[
     ("MPI_Finalize", Syscall::MpiFinalize, 0, false),
     ("MPI_Abort", Syscall::MpiAbort, 0, false),
     ("MPI_Errhandler_set", Syscall::MpiErrhandlerSet, 1, true),
+    ("MPIX_Comm_failure_ack", Syscall::MpixFailureAck, 0, true),
+    (
+        "MPIX_Comm_failure_get_acked",
+        Syscall::MpixFailureGetAcked,
+        0,
+        true,
+    ),
+    ("MPIX_Comm_agree", Syscall::MpixAgree, 1, true),
+    ("MPIX_Comm_shrink", Syscall::MpixShrink, 0, true),
+    ("FL_ckpt_save", Syscall::CkptSave, 2, true),
+    ("FL_ckpt_restore", Syscall::CkptRestore, 2, true),
 ];
 
 /// Argument registers for wrapper marshalling, in stack order.

@@ -87,6 +87,12 @@ pub enum Builtin {
     MpiFinalize,
     MpiAbort,
     MpiErrhandlerSet,
+    MpixFailureAck,
+    MpixFailureGetAcked,
+    MpixAgree,
+    MpixShrink,
+    CkptSave,
+    CkptRestore,
 }
 
 impl Builtin {
@@ -130,6 +136,12 @@ impl Builtin {
             "mpi_finalize" => MpiFinalize,
             "mpi_abort" => MpiAbort,
             "mpi_errhandler_set" => MpiErrhandlerSet,
+            "mpix_comm_failure_ack" => MpixFailureAck,
+            "mpix_comm_failure_get_acked" => MpixFailureGetAcked,
+            "mpix_comm_agree" => MpixAgree,
+            "mpix_comm_shrink" => MpixShrink,
+            "fl_ckpt_save" => CkptSave,
+            "fl_ckpt_restore" => CkptRestore,
             _ => return None,
         })
     }
@@ -163,6 +175,9 @@ impl Builtin {
             MpiReduce => (vec![Some(Int), Some(Int), Some(Int), Some(Int)], Void),
             MpiAllreduce => (vec![Some(Int), Some(Int), Some(Int)], Void),
             MpiErrhandlerSet => (vec![Some(Int)], Void),
+            MpixFailureAck | MpixFailureGetAcked | MpixShrink => (vec![], Int),
+            MpixAgree => (vec![Some(Int)], Int),
+            CkptSave | CkptRestore => (vec![Some(Int), Some(Int)], Int),
         }
     }
 
@@ -184,6 +199,12 @@ impl Builtin {
                 | MpiFinalize
                 | MpiAbort
                 | MpiErrhandlerSet
+                | MpixFailureAck
+                | MpixFailureGetAcked
+                | MpixAgree
+                | MpixShrink
+                | CkptSave
+                | CkptRestore
         )
     }
 }

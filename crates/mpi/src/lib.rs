@@ -31,4 +31,5 @@ pub use profile::TrafficProfile;
 pub use world::{
     ChannelGuard, FailureDetector, Health, MessageFault, MessageFaultHit, MpiWorld,
     PendingInjection, RankKill, WorldConfig, WorldExit, WorldSnapshot, ANY_SOURCE, MAX_USER_TAG,
+    MPIX_ERR_PROC_FAILED,
 };

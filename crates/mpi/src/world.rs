@@ -42,6 +42,13 @@ pub const ANY_SOURCE: i32 = -1;
 const COLL_TAG_BASE: u32 = 0x4000_0000;
 /// Tag base for barrier tokens.
 const BARRIER_TAG_BASE: u32 = 0x4100_0000;
+/// Largest application checkpoint fl_ckpt_save accepts (16 MiB).
+const MAX_CKPT_BYTES: u32 = 16 << 20;
+
+/// The error class an MPI call returns (in EAX) after a peer's process
+/// failure, when the world runs in app-visible ULFM mode. FL programs
+/// test it as `ret + 1 == 0`, the wrapping equivalent of `ret == -1`.
+pub const MPIX_ERR_PROC_FAILED: u32 = 0xFFFF_FFFF;
 
 /// Channel-level integrity guard (fl-guard's wire detector). Default-off:
 /// with `enabled == false` the world's behaviour — and every event it
@@ -165,6 +172,15 @@ pub struct WorldConfig {
     /// Fold every outbound wire message into a per-rank rolling CRC32
     /// digest (replica voting's comparison key; default off).
     pub track_digests: bool,
+    /// App-visible ULFM-style fault tolerance (fl-ulfm). When on, a
+    /// matured failure suspicion does **not** end the world with
+    /// [`WorldExit::RankFailed`]; instead it becomes failure knowledge
+    /// the application can observe: blocked operations involving the
+    /// failed process complete with [`MPIX_ERR_PROC_FAILED`], and the
+    /// `MPIX_Comm_*` fault-tolerance calls (ack / get_acked / agree /
+    /// shrink) operate over the survivor set. Default off — the
+    /// scheduler takes no new code paths and stays bit-identical.
+    pub ulfm: bool,
 }
 
 impl Default for WorldConfig {
@@ -179,6 +195,7 @@ impl Default for WorldConfig {
             guard: ChannelGuard::default(),
             ft: FailureDetector::default(),
             track_digests: false,
+            ulfm: false,
         }
     }
 }
@@ -208,6 +225,14 @@ enum Blocked {
         recvbuf: u32,
         tag: u32,
     },
+    /// Blocked in MPIX_Comm_agree carrying the caller's contribution;
+    /// completes once every surviving participant has arrived.
+    Agree {
+        flag: u32,
+    },
+    /// Blocked in MPIX_Comm_shrink; completes when the survivor set is
+    /// stable and fully assembled, yielding the caller's new rank.
+    Shrink,
 }
 
 /// Scheduler-visible rank state.
@@ -245,6 +270,12 @@ struct Rank {
     /// Rolling CRC32 over every outbound wire message (replica voting's
     /// comparison key). Frozen at 0 unless `cfg.track_digests`.
     out_digest: u32,
+    /// Application-level in-memory checkpoint (fl_ckpt_save's buffer
+    /// copy). Survives a shrink, which is the whole point.
+    ckpt: Option<Vec<u8>>,
+    /// Failure knowledge this rank has acknowledged
+    /// (MPIX_Comm_failure_ack), as a bitmask of dead ranks.
+    acked: u32,
 }
 
 /// A fault to apply to a rank's machine state at a given local
@@ -362,12 +393,27 @@ pub struct MpiWorld {
     pending_redelivery: VecDeque<Redelivery>,
     /// Redelivery attempts per (sender, sequence number).
     retx_attempts: HashMap<(u16, u32), u8>,
+    /// ULFM mode: bitmask of ranks whose failure suspicion has matured
+    /// since the last shrink — the world's app-visible failure
+    /// knowledge. Frozen at 0 unless `cfg.ulfm`.
+    known_failed: u32,
+    /// ULFM mode: MPIX_Comm_shrink rebuilds performed.
+    shrinks: u32,
+    /// ULFM mode: consecutive rounds with no runnable rank (bounds the
+    /// replacement for the instant-deadlock verdict).
+    idle_rounds: u64,
 }
 
 impl MpiWorld {
     /// Create a world of `cfg.nranks` processes all running `image`.
     pub fn new(image: &ProgramImage, cfg: WorldConfig) -> MpiWorld {
         assert!(cfg.nranks >= 1);
+        if cfg.ulfm {
+            assert!(
+                cfg.nranks <= 32,
+                "ulfm mode carries failure knowledge as a 32-bit rank mask"
+            );
+        }
         let ranks = (0..cfg.nranks)
             .map(|_| Rank {
                 machine: Machine::load(image, cfg.machine),
@@ -382,6 +428,8 @@ impl MpiWorld {
                 health: Health::Alive,
                 last_heard: 0,
                 out_digest: 0,
+                ckpt: None,
+                acked: 0,
             })
             .collect();
         MpiWorld {
@@ -396,6 +444,9 @@ impl MpiWorld {
             round: 0,
             pending_redelivery: VecDeque::new(),
             retx_attempts: HashMap::new(),
+            known_failed: 0,
+            shrinks: 0,
+            idle_rounds: 0,
         }
     }
 
@@ -472,6 +523,19 @@ impl MpiWorld {
         self.ranks.len() as u16
     }
 
+    /// ULFM mode: bitmask of ranks whose failure the world currently
+    /// knows about (matured suspicions since the last shrink). Always 0
+    /// when `cfg.ulfm` is off.
+    pub fn ulfm_failed_mask(&self) -> u32 {
+        self.known_failed
+    }
+
+    /// ULFM mode: number of app-driven MPIX_Comm_shrink rebuilds this
+    /// world has performed (0 unless the application recovered itself).
+    pub fn app_shrinks(&self) -> u32 {
+        self.shrinks
+    }
+
     /// Copy out every rank's retained event stream (index = rank).
     pub fn event_streams(&self) -> Vec<Vec<fl_obs::Event>> {
         self.ranks.iter().map(|r| r.machine.obs.to_vec()).collect()
@@ -543,6 +607,8 @@ impl MpiWorld {
                     health: r.health,
                     last_heard: r.last_heard,
                     out_digest: r.out_digest,
+                    ckpt: r.ckpt.clone(),
+                    acked: r.acked,
                 })
                 .collect(),
             cfg: self.cfg,
@@ -554,6 +620,9 @@ impl MpiWorld {
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),
             retx_attempts: self.retx_attempts.clone(),
+            known_failed: self.known_failed,
+            shrinks: self.shrinks,
+            idle_rounds: self.idle_rounds,
         }
     }
 
@@ -966,6 +1035,15 @@ impl MpiWorld {
                     return self
                         .mpi_error(rank, format!("MPI_Send: invalid buffer {buf:#x}+{len}"));
                 }
+                if self.cfg.ulfm && self.known_failed != 0 {
+                    // ULFM: a known failure revokes the communicator
+                    // until the application shrinks it — every
+                    // point-to-point call errors, so ranks with no dead
+                    // neighbour still converge on the recovery path
+                    // instead of stranding in pairwise traffic with a
+                    // peer that already left for MPIX_Comm_agree.
+                    return self.complete(rank, Some(MPIX_ERR_PROC_FAILED));
+                }
                 if len <= self.cfg.eager_threshold {
                     // Eager: peek the payload straight into the wire image.
                     self.send_data_from_mem(rank, dst as u16, tag, buf, len);
@@ -1002,10 +1080,23 @@ impl MpiWorld {
                     return self
                         .mpi_error(rank, format!("MPI_Recv: invalid buffer {buf:#x}+{cap}"));
                 }
+                if self.cfg.ulfm && self.known_failed != 0 {
+                    // ULFM: revoked until shrink (see MPI_Send above);
+                    // the buffer is left untouched.
+                    return self.complete(rank, Some(MPIX_ERR_PROC_FAILED));
+                }
                 self.ranks[rank as usize].status =
                     Status::Blocked(Blocked::Recv { buf, cap, src, tag });
             }
             Syscall::MpiBarrier => {
+                if self.cfg.ulfm && self.known_failed != 0 {
+                    // ULFM: collectives over a communicator with a known
+                    // failure raise the process-failure class at every
+                    // caller, without consuming a collective slot — the
+                    // application must agree + shrink before any
+                    // collective can succeed again.
+                    return self.complete(rank, Some(MPIX_ERR_PROC_FAILED));
+                }
                 let seq = self.ranks[rank as usize].coll_seq;
                 self.ranks[rank as usize].coll_seq += 1;
                 if self.ranks.len() == 1 {
@@ -1016,6 +1107,9 @@ impl MpiWorld {
                     Status::Blocked(Blocked::Barrier { round: 0, seq });
             }
             Syscall::MpiBcast => {
+                if self.cfg.ulfm && self.known_failed != 0 {
+                    return self.complete(rank, Some(MPIX_ERR_PROC_FAILED));
+                }
                 let (buf, len, root) = (eax, ecx, edx as i32);
                 if !self.valid_rank(root) {
                     return self.mpi_error(rank, format!("MPI_Bcast: invalid root {root}"));
@@ -1048,6 +1142,9 @@ impl MpiWorld {
                 // Reduce(sum of f64): EAX=sendbuf, ECX=count, EDX=root (or
                 // recvbuf for allreduce), EBX=recvbuf (or unused).
                 let allreduce = call == Syscall::MpiAllreduce;
+                if self.cfg.ulfm && self.known_failed != 0 {
+                    return self.complete(rank, Some(MPIX_ERR_PROC_FAILED));
+                }
                 let (sendbuf, count) = (eax, ecx);
                 let (root, recvbuf) = if allreduce {
                     (0i32, edx)
@@ -1108,6 +1205,64 @@ impl MpiWorld {
                         self.complete(rank, None);
                     }
                 }
+            }
+            // --- ULFM extensions (fl-ulfm) ------------------------------
+            Syscall::MpixFailureAck => {
+                // Acknowledge everything the world currently knows;
+                // returns how many failures were newly acknowledged.
+                let newly = self.known_failed & !self.ranks[rank as usize].acked;
+                self.ranks[rank as usize].acked = self.known_failed;
+                self.complete(rank, Some(newly.count_ones()));
+            }
+            Syscall::MpixFailureGetAcked => {
+                let acked = self.ranks[rank as usize].acked;
+                self.complete(rank, Some(acked));
+            }
+            Syscall::MpixAgree => {
+                self.ranks[rank as usize].status = Status::Blocked(Blocked::Agree { flag: eax });
+                self.try_complete_agree();
+            }
+            Syscall::MpixShrink => {
+                self.ranks[rank as usize].status = Status::Blocked(Blocked::Shrink);
+                self.try_shrink();
+            }
+            Syscall::CkptSave => {
+                let (buf, len) = (eax, ecx);
+                if len > MAX_CKPT_BYTES || !self.valid_buffer(rank, buf, len, false) {
+                    return self
+                        .mpi_error(rank, format!("fl_ckpt_save: invalid buffer {buf:#x}+{len}"));
+                }
+                let mut data = vec![0u8; len as usize];
+                self.ranks[rank as usize].machine.mem.peek(buf, &mut data);
+                self.ranks[rank as usize].ckpt = Some(data);
+                self.obs_record(
+                    rank as usize,
+                    EventKind::SnapshotCaptured { round: self.round },
+                );
+                self.complete(rank, Some(len));
+            }
+            Syscall::CkptRestore => {
+                let (buf, cap) = (eax, ecx);
+                if cap > MAX_CKPT_BYTES || !self.valid_buffer(rank, buf, cap, true) {
+                    return self.mpi_error(
+                        rank,
+                        format!("fl_ckpt_restore: invalid buffer {buf:#x}+{cap}"),
+                    );
+                }
+                // The checkpoint is copied back, not consumed: a second
+                // failure can roll back to the same control point.
+                let data = match &self.ranks[rank as usize].ckpt {
+                    None => Vec::new(),
+                    Some(d) => d[..d.len().min(cap as usize)].to_vec(),
+                };
+                if !data.is_empty() {
+                    self.ranks[rank as usize].machine.mem.poke(buf, &data);
+                    self.obs_record(
+                        rank as usize,
+                        EventKind::SnapshotRestored { round: self.round },
+                    );
+                }
+                self.complete(rank, Some(data.len() as u32));
             }
             other => {
                 // A non-MPI syscall should never trap here.
@@ -1287,6 +1442,10 @@ impl MpiWorld {
                 }
                 changed
             }
+            // The fault-aware collectives never unblock on message
+            // traffic — their completion is a world-level decision made
+            // by `ulfm_progress` once the survivor set has assembled.
+            Blocked::Agree { .. } | Blocked::Shrink => false,
         }
     }
 
@@ -1353,6 +1512,9 @@ impl MpiWorld {
             }
             let quiet = self.round - self.ranks[i].last_heard;
             let buddy = (i + 1) % self.ranks.len();
+            if self.cfg.ulfm && self.known_failed >> (i as u32) & 1 == 1 {
+                continue; // already app-visible knowledge; stop probing
+            }
             if quiet >= suspect {
                 let rank = i as u16;
                 self.obs_record(
@@ -1362,6 +1524,13 @@ impl MpiWorld {
                         unheard: quiet,
                     },
                 );
+                if self.cfg.ulfm {
+                    // App-visible mode: a matured suspicion becomes
+                    // failure knowledge the application acts on, not a
+                    // world-terminating verdict.
+                    self.known_failed |= 1 << (i as u32);
+                    continue;
+                }
                 return Some(WorldExit::RankFailed {
                     rank,
                     round: self.round,
@@ -1383,6 +1552,139 @@ impl MpiWorld {
             }
         }
         None
+    }
+
+    // --- ULFM (fl-ulfm): app-visible fault tolerance -----------------------
+
+    /// One ULFM pass per scheduler round: surface failure knowledge to
+    /// blocked MPI operations as [`MPIX_ERR_PROC_FAILED`] completions,
+    /// then try to conclude the fault-aware collectives whose surviving
+    /// participant set has fully assembled.
+    fn ulfm_progress(&mut self) {
+        if self.known_failed != 0 {
+            self.ulfm_fail_blocked_ops();
+        }
+        self.try_complete_agree();
+        self.try_shrink();
+    }
+
+    /// Error-complete every blocked MPI operation once a failure is
+    /// known: one missing participant strands every in-progress
+    /// collective (ULFM's "collectives raise MPI_ERR_PROC_FAILED at
+    /// every member"), and the world treats a known failure as revoking
+    /// point-to-point traffic too, so every rank — dead neighbour or
+    /// not — gets an error it can turn into the recovery path instead
+    /// of a hang. Only the fault-aware collectives themselves (agree,
+    /// shrink) keep blocking.
+    fn ulfm_fail_blocked_ops(&mut self) {
+        for i in 0..self.ranks.len() {
+            if !matches!(self.ranks[i].health, Health::Alive) {
+                continue;
+            }
+            let Status::Blocked(b) = &self.ranks[i].status else {
+                continue;
+            };
+            let doomed = !matches!(b, Blocked::Agree { .. } | Blocked::Shrink);
+            if doomed {
+                self.complete(i as u16, Some(MPIX_ERR_PROC_FAILED));
+            }
+        }
+    }
+
+    /// Conclude MPIX_Comm_agree once every surviving participant has
+    /// arrived. Participants are the ranks not yet known failed and not
+    /// cleanly exited; a dead-but-undetected process therefore holds the
+    /// agreement until its suspicion matures — agreement is only reached
+    /// over *stable* failure knowledge. The result is the OR of every
+    /// contributed flag, with bit 0 forced when any failure is known.
+    fn try_complete_agree(&mut self) {
+        let mut result = if self.known_failed != 0 { 1u32 } else { 0 };
+        let mut arrived = Vec::new();
+        for i in 0..self.ranks.len() {
+            if self.known_failed >> (i as u32) & 1 == 1 {
+                continue;
+            }
+            if matches!(self.ranks[i].status, Status::Exited) {
+                continue;
+            }
+            match &self.ranks[i].status {
+                Status::Blocked(Blocked::Agree { flag }) => {
+                    result |= *flag;
+                    arrived.push(i as u16);
+                }
+                _ => return,
+            }
+        }
+        if arrived.is_empty() {
+            return;
+        }
+        for r in arrived {
+            self.complete(r, Some(result));
+        }
+    }
+
+    /// Conclude MPIX_Comm_shrink once (a) every not-known-failed,
+    /// not-exited rank is blocked in it and (b) failure knowledge is
+    /// complete — every dead or wedged process has been detected — so
+    /// the survivor set is stable before the world is rebuilt over it.
+    fn try_shrink(&mut self) {
+        let mut any_blocked = false;
+        for i in 0..self.ranks.len() {
+            let known = self.known_failed >> (i as u32) & 1 == 1;
+            if !matches!(self.ranks[i].health, Health::Alive) && !known {
+                return; // a failure the detector has not matured yet
+            }
+            if known || matches!(self.ranks[i].status, Status::Exited) {
+                continue;
+            }
+            if !matches!(self.ranks[i].status, Status::Blocked(Blocked::Shrink)) {
+                return;
+            }
+            any_blocked = true;
+        }
+        if any_blocked {
+            self.compact_world();
+        }
+    }
+
+    /// Rebuild the world over the survivors: failed processes are
+    /// dropped, survivors keep their relative order and are renumbered
+    /// contiguously, and — exactly like MPIX_Comm_shrink handing back a
+    /// brand-new communicator — all stale traffic and sequence state of
+    /// the old world is discarded. Application checkpoints
+    /// (`fl_ckpt_save`) survive; that is the point of them.
+    fn compact_world(&mut self) {
+        let dead: Vec<u16> = (0..self.ranks.len() as u16)
+            .filter(|&i| !matches!(self.ranks[i as usize].health, Health::Alive))
+            .collect();
+        let survivors = std::mem::take(&mut self.ranks)
+            .into_iter()
+            .filter(|r| matches!(r.health, Health::Alive))
+            .collect::<Vec<_>>();
+        self.ranks = survivors;
+        let new_n = self.ranks.len() as u16;
+        self.shrinks += 1;
+        self.known_failed = 0;
+        self.idle_rounds = 0;
+        self.pending_redelivery.clear();
+        self.retx_attempts.clear();
+        let round = self.round;
+        for r in &mut self.ranks {
+            r.arrived.clear();
+            r.sent_history.clear();
+            r.send_seq = 0;
+            r.coll_seq = 0;
+            r.acked = 0;
+            r.last_heard = round;
+        }
+        for f in dead {
+            self.note_world_shrunk(f, new_n);
+        }
+        for i in 0..self.ranks.len() {
+            if matches!(self.ranks[i].status, Status::Blocked(Blocked::Shrink)) {
+                self.complete(i as u16, Some(i as u32));
+            }
+        }
     }
 
     // --- the scheduler ----------------------------------------------------
@@ -1411,6 +1713,12 @@ impl MpiWorld {
         if self.cfg.ft.enabled {
             if let Some(e) = self.detect_failures() {
                 return Some(e);
+            }
+        }
+        if self.cfg.ulfm {
+            self.ulfm_progress();
+            if let Some(f) = self.fatal.take() {
+                return Some(f);
             }
         }
         if !self.pending_redelivery.is_empty() {
@@ -1443,6 +1751,25 @@ impl MpiWorld {
             if !self.pending_redelivery.is_empty() {
                 return None;
             }
+            // App-visible mode replaces the instant deadlock verdict with
+            // a bounded idle window: the application may be legitimately
+            // waiting for suspicion to mature, or for the survivor set of
+            // an agree/shrink to assemble. A world that stays wedged past
+            // the bound really is hung.
+            if self.cfg.ulfm {
+                self.idle_rounds += 1;
+                let bound = self.cfg.ft.suspect_rounds.max(1) * 4 + 64;
+                if self.idle_rounds > bound {
+                    return Some(WorldExit::Hung {
+                        reason: format!(
+                            "ulfm: no runnable rank for {} rounds \
+                             (failure knowledge {:#x})",
+                            self.idle_rounds, self.known_failed
+                        ),
+                    });
+                }
+                return None;
+            }
             // A dead or wedged rank quiesces its peers; with the failure
             // detector on, rounds keep elapsing until suspicion matures
             // into `RankFailed` instead of an instant deadlock verdict.
@@ -1471,6 +1798,7 @@ impl MpiWorld {
                 ),
             });
         }
+        self.idle_rounds = 0;
         if self.cfg.nondet {
             order.shuffle(&mut self.rng);
         }
@@ -1598,6 +1926,8 @@ struct RankSnapshot {
     health: Health,
     last_heard: u64,
     out_digest: u32,
+    ckpt: Option<Vec<u8>>,
+    acked: u32,
 }
 
 /// A complete deterministic checkpoint of an [`MpiWorld`], produced by
@@ -1620,6 +1950,9 @@ pub struct WorldSnapshot {
     round: u64,
     pending_redelivery: VecDeque<Redelivery>,
     retx_attempts: HashMap<(u16, u32), u8>,
+    known_failed: u32,
+    shrinks: u32,
+    idle_rounds: u64,
 }
 
 impl WorldSnapshot {
@@ -1642,6 +1975,8 @@ impl WorldSnapshot {
                     health: r.health,
                     last_heard: r.last_heard,
                     out_digest: r.out_digest,
+                    ckpt: r.ckpt.clone(),
+                    acked: r.acked,
                 })
                 .collect(),
             cfg: self.cfg,
@@ -1654,6 +1989,9 @@ impl WorldSnapshot {
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),
             retx_attempts: self.retx_attempts.clone(),
+            known_failed: self.known_failed,
+            shrinks: self.shrinks,
+            idle_rounds: self.idle_rounds,
         }
     }
 

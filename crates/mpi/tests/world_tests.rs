@@ -841,3 +841,249 @@ fn ft_off_world_is_bit_identical_to_pre_ft_config() {
         }
     }
 }
+
+// --- fl-ulfm: app-visible fault tolerance ------------------------------
+
+/// A world in ulfm mode: failures become app-visible error returns
+/// instead of terminating the run, and the detector is on so suspicion
+/// can mature into failure knowledge.
+fn ulfm_world(src: &str, nranks: u16) -> MpiWorld {
+    let img = fl_lang::compile(src).expect("compiles");
+    MpiWorld::new(
+        &img,
+        WorldConfig {
+            nranks,
+            ulfm: true,
+            ft: FailureDetector {
+                enabled: true,
+                ..Default::default()
+            },
+            machine: MachineConfig {
+                budget: 50_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn ulfm_agree_is_the_or_of_all_flags() {
+    // One dissenting rank poisons everyone's agreement result.
+    let mut w = ulfm_world(
+        "fn main() {
+             var int r;
+             mpi_init();
+             r = mpix_comm_agree(mpi_rank() == 1);
+             print_int(r);
+             r = mpix_comm_agree(0);
+             print_int(r);
+             mpi_finalize();
+         }",
+        3,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+    for r in 0..3 {
+        assert_eq!(w.machine(r).console_text(), "10", "rank {r}");
+    }
+}
+
+#[test]
+fn ulfm_ckpt_save_restore_roundtrip() {
+    // fl_ckpt is a plain per-rank byte stash: restore is non-consuming
+    // and an empty stash restores zero bytes.
+    let mut w = ulfm_world(
+        r#"global float a[4];
+         fn main() {
+             var int r;
+             mpi_init();
+             r = fl_ckpt_restore(addr(a), 32);
+             assert(r == 0, "no checkpoint yet");
+             a[0] = 42.0;
+             r = fl_ckpt_save(addr(a), 32);
+             assert(r == 32, "save length");
+             a[0] = 7.0;
+             r = fl_ckpt_restore(addr(a), 32);
+             assert(r == 32, "restore length");
+             assert(a[0] == 42.0, "restored value");
+             r = fl_ckpt_restore(addr(a), 32);
+             assert(r == 32, "restore is non-consuming");
+             mpi_finalize();
+         }"#,
+        1,
+    );
+    assert_eq!(w.run(), WorldExit::Clean);
+}
+
+#[test]
+fn ulfm_peer_death_errors_the_recv_and_shrink_renumbers() {
+    // The full recovery sequence from FL: a blocked recv completes with
+    // MPIX_ERR_PROC_FAILED, ack/get_acked surface the failure mask, and
+    // shrink renumbers the survivors contiguously.
+    let mut w = ulfm_world(
+        r#"global float buf[16];
+         fn main() {
+             var int r;
+             mpi_init();
+             if (mpi_rank() == 2) {
+                 r = mpi_recv(addr(buf), 8, 0, 7);
+             } else {
+                 r = mpi_recv(addr(buf), 8, 2, 7);
+                 assert(r + 1 == 0, "peer death must error the recv");
+                 r = mpix_comm_failure_ack();
+                 r = mpix_comm_failure_get_acked();
+                 assert(r != 0, "acked mask must name the dead rank");
+                 r = mpix_comm_shrink();
+                 print_int(r); print_str("/"); print_int(mpi_size());
+             }
+             mpi_finalize();
+         }"#,
+        3,
+    );
+    w.set_rank_kill(RankKill {
+        rank: 2,
+        at_blocks: 1,
+        wedge: false,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.nranks(), 2);
+    assert_eq!(w.app_shrinks(), 1);
+    assert_eq!(w.ulfm_failed_mask(), 0, "shrink clears failure knowledge");
+    assert_eq!(w.machine(0).console_text(), "0/2");
+    assert_eq!(w.machine(1).console_text(), "1/2");
+}
+
+#[test]
+fn ulfm_failure_poisons_an_agreement_in_flight() {
+    // A participant that dies mid-agreement forces result bit 0 on the
+    // survivors once its suspicion matures — agreement never succeeds
+    // over unstable failure knowledge.
+    let mut w = ulfm_world(
+        r#"fn main() {
+             var int r;
+             var int i;
+             var int s;
+             mpi_init();
+             if (mpi_rank() == 1) {
+                 s = 0;
+                 for (i = 0; i < 1000000; i = i + 1) { s = s + i; }
+                 r = mpix_comm_agree(s == 0 - 1);
+             } else {
+                 r = mpix_comm_agree(0);
+                 assert(r != 0, "a dead participant must poison the agreement");
+                 r = mpix_comm_failure_ack();
+                 r = mpix_comm_shrink();
+             }
+             mpi_finalize();
+         }"#,
+        3,
+    );
+    w.set_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: 50,
+        wedge: false,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.nranks(), 2);
+    assert_eq!(w.app_shrinks(), 1);
+}
+
+#[test]
+fn ulfm_failure_revokes_p2p_with_live_peers() {
+    // The classic ULFM revoke problem: rank 0 waits on *live* rank 1,
+    // which has already left for the agreement after seeing the failure
+    // of rank 2. A known failure must error every p2p call — not only
+    // those naming the dead peer — or rank 0 never reaches recovery.
+    let mut w = ulfm_world(
+        r#"global float buf[16];
+         fn main() {
+             var int r;
+             var int i;
+             var int s;
+             mpi_init();
+             if (mpi_rank() == 2) {
+                 s = 0;
+                 for (i = 0; i < 1000000; i = i + 1) { s = s + i; }
+                 print_int(s);
+             } else {
+                 if (mpi_rank() == 0) {
+                     r = mpi_recv(addr(buf), 8, 1, 5);
+                     assert(r + 1 == 0, "revoked recv from a live peer must error");
+                 }
+                 r = mpix_comm_agree(0);
+                 assert(r != 0, "agreement must report the failure");
+                 r = mpix_comm_failure_ack();
+                 r = mpix_comm_shrink();
+             }
+             mpi_finalize();
+         }"#,
+        3,
+    );
+    w.set_rank_kill(RankKill {
+        rank: 2,
+        at_blocks: 50,
+        wedge: false,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.nranks(), 2);
+}
+
+#[test]
+fn ulfm_wedged_rank_is_shrunk_like_a_dead_one() {
+    let mut w = ulfm_world(
+        r#"global float buf[16];
+         fn main() {
+             var int r;
+             mpi_init();
+             if (mpi_rank() == 1) {
+                 r = mpi_recv(addr(buf), 8, 0, 7);
+             } else {
+                 r = mpi_recv(addr(buf), 8, 1, 7);
+                 assert(r + 1 == 0, "wedged peer must error the recv");
+                 r = mpix_comm_failure_ack();
+                 r = mpix_comm_shrink();
+                 print_int(r); print_str("/"); print_int(mpi_size());
+             }
+             mpi_finalize();
+         }"#,
+        2,
+    );
+    w.set_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: 1,
+        wedge: true,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.nranks(), 1);
+    assert_eq!(w.machine(0).console_text(), "0/1");
+}
+
+#[test]
+fn ulfm_unhandled_failure_hangs_instead_of_terminating() {
+    // An app that ignores the error return and simply exits leaves the
+    // dead rank unresolved: the world cannot end Clean and must report a
+    // hang once the idle bound trips — ulfm never invents a recovery.
+    let mut w = ulfm_world(
+        r#"global float buf[16];
+         fn main() {
+             var int r;
+             mpi_init();
+             if (mpi_rank() == 1) {
+                 r = mpi_recv(addr(buf), 8, 0, 7);
+             } else {
+                 r = mpi_recv(addr(buf), 8, 1, 7);
+             }
+             mpi_finalize();
+         }"#,
+        2,
+    );
+    w.set_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: 1,
+        wedge: false,
+    });
+    match w.run() {
+        WorldExit::Hung { reason } => assert!(reason.contains("ulfm"), "{reason}"),
+        other => panic!("expected Hung, got {other:?}"),
+    }
+}
