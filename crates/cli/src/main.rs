@@ -9,6 +9,7 @@
 //! faultlab metrics  <app> [options]             campaign-level event metrics
 //! faultlab guard    <app> [options]             guard-on/off detection coverage
 //! faultlab ft       <app> [options]             rank-kill recovery + replication campaign
+//! faultlab chaos    <app> [options]             chaos-model x defense coverage matrix
 //! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
 //! faultlab source   <app>                       print the generated FL source
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
@@ -20,10 +21,11 @@
 
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
-    estimation_error, render_ft_focus, render_register_breakdown, run_spec, sample_size,
-    sort_records_jsonl, CampaignBuilder, CampaignConfig, CampaignSpec, EngineControl,
-    EngineProgress, EngineSink, FtMode, FtPolicy, GuardPolicy, MetricsReport, Report, ReportFormat,
-    SpecMode, SpecOutcome, StderrProgress, TargetClass, TrialOutput, VecSink,
+    estimation_error, render_chaos, render_chaos_focus, render_chaos_tsv, render_ft_focus,
+    render_register_breakdown, run_spec, sample_size, sort_records_jsonl, CampaignBuilder,
+    CampaignConfig, CampaignSpec, ChaosPolicy, EngineControl, EngineProgress, EngineSink,
+    FaultModel, FtMode, FtPolicy, GuardPolicy, MetricsReport, Report, ReportFormat, SpecMode,
+    SpecOutcome, StderrProgress, TargetClass, TrialOutput, VecSink,
 };
 use fl_serve::{ServeConfig, Server};
 use fl_snap::RecoveryConfig;
@@ -62,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "metrics" => cmd_metrics(rest),
         "guard" => cmd_guard(rest),
         "ft" => cmd_ft(rest),
+        "chaos" => cmd_chaos(rest),
         "recovery" => cmd_recovery(rest),
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
@@ -107,10 +110,16 @@ fn print_usage() {
          \x20                   [--buddy-rounds B] [--respawns R] [--replicas N]\n\
          \x20                   [--probe-rounds P] [--suspect-rounds Q]\n\
          \x20                   [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
+         \x20 faultlab chaos    <app> [--injections N] [--seed S] [--jobs N]\n\
+         \x20                   [--model net-drop|net-dup|net-reorder|net-corrupt|\n\
+         \x20                    partition|syscall-malloc|syscall-write|burst-kill|node-kill]\n\
+         \x20                   [--partition-lo L] [--partition-hi H] [--reorder-delay D]\n\
+         \x20                   [--burst-max K] [--node-ranks R] [guard/ft flags ...]\n\
+         \x20                   [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
-         \x20 faultlab spec     <app> [--mode campaign|guard|ft] [spec flags ...]\n\
+         \x20 faultlab spec     <app> [--mode campaign|guard|ft|chaos] [spec flags ...]\n\
          \x20 faultlab serve    [--addr HOST:PORT] [--state-dir DIR]\n\
          \x20 faultlab submit   [<spec.json>|-] [--addr HOST:PORT]\n\
          \x20 faultlab status   [<id>] [--addr HOST:PORT]\n\
@@ -136,7 +145,8 @@ fn print_usage() {
          \x20                     (observably identical, much slower)\n\
          \x20 --mode M            ft: focus the table on one recovery discipline\n\
          \x20                     (baseline|shrink|respawn|replicated|app);\n\
-         \x20                     spec: experiment family (campaign|guard|ft)\n\
+         \x20                     spec: experiment family (campaign|guard|ft|chaos)\n\
+         \x20 --model M           chaos: focus the table on one fault model's row\n\
          \n\
          APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM),\n\
          \x20     jacobi3d (Jacobi-3D, fl-ulfm app-side recovery)\n\
@@ -293,6 +303,13 @@ const FT_FLAGS: &[&str] = &[
     "probe-rounds",
     "suspect-rounds",
 ];
+const CHAOS_FLAGS: &[&str] = &[
+    "partition-lo",
+    "partition-hi",
+    "reorder-delay",
+    "burst-max",
+    "node-ranks",
+];
 
 fn guard_policy_from(o: &Opts) -> Result<GuardPolicy, String> {
     Ok(GuardPolicy {
@@ -323,6 +340,40 @@ fn ft_policy_from(o: &Opts) -> Result<FtPolicy, String> {
     Ok(policy)
 }
 
+fn chaos_policy_from(o: &Opts) -> Result<ChaosPolicy, String> {
+    // Guard and ft knobs configure the crc/watchdog and
+    // replica/shrink/app defense columns respectively.
+    let mut p = ChaosPolicy {
+        ft: ft_policy_from(o)?,
+        ..ChaosPolicy::default()
+    };
+    if let Some(c) = o.get_num("checkpoint-rounds")? {
+        p.guard.checkpoint_rounds = c;
+    }
+    if let Some(r) = o.get_num("restarts")? {
+        p.guard.max_restarts = r;
+    }
+    if let Some(x) = o.get_num("retransmits")? {
+        p.guard.max_retransmits = x;
+    }
+    if let Some(v) = o.get_num("partition-lo")? {
+        p.partition_rounds.0 = v;
+    }
+    if let Some(v) = o.get_num("partition-hi")? {
+        p.partition_rounds.1 = v;
+    }
+    if let Some(v) = o.get_num("reorder-delay")? {
+        p.reorder_max_delay = v;
+    }
+    if let Some(v) = o.get_num("burst-max")? {
+        p.burst_max = v;
+    }
+    if let Some(v) = o.get_num("node-ranks")? {
+        p.node_ranks = v;
+    }
+    Ok(p)
+}
+
 /// Build a [`CampaignSpec`] from a verb's flags — the single source the
 /// one-shot verbs, `faultlab spec` and the service submissions share.
 /// `--jobs` and `--threads` are aliases (0 = one worker per core).
@@ -348,10 +399,11 @@ fn spec_from_opts(o: &Opts, mode: &str, default_injections: u32) -> Result<Campa
     c.epoch_rounds = o.get_num("epoch-rounds")?.unwrap_or(16);
     c.obs_capacity = o.get_num("ring")?.unwrap_or(0);
     c.fastpath = !o.has("no-fastpath");
-    check_mode(mode, &["campaign", "guard", "ft"], "mode")?;
+    check_mode(mode, &["campaign", "guard", "ft", "chaos"], "mode")?;
     spec.mode = match mode {
         "campaign" => SpecMode::Campaign,
         "guard" => SpecMode::Guard(guard_policy_from(o)?),
+        "chaos" => SpecMode::Chaos(chaos_policy_from(o)?),
         _ => SpecMode::Ft(ft_policy_from(o)?),
     };
     Ok(spec)
@@ -815,17 +867,82 @@ fn cmd_ft(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.extend(GUARD_FLAGS);
+    valid.extend(FT_FLAGS);
+    valid.extend(CHAOS_FLAGS);
+    valid.extend(["model", "tsv", "jsonl"]);
+    o.expect(&valid)?;
+    // `--model M` focuses the table on one fault model's row; every
+    // model still runs (the defense columns are paired draws). The
+    // parse error carries the registry-wide did-you-mean hint.
+    let focus: Option<FaultModel> = match o.get("model") {
+        None => None,
+        Some(m) => {
+            let model: FaultModel = m.parse()?;
+            if model.chaos_class().is_none() {
+                let rows: Vec<&str> = FaultModel::chaos_models()
+                    .iter()
+                    .map(|m| m.label())
+                    .collect();
+                return Err(format!(
+                    "`{model}` is not a chaos model (matrix rows: {})",
+                    rows.join(", ")
+                ));
+            }
+            Some(model)
+        }
+    };
+    let spec = spec_from_opts(&o, "chaos", 20)?;
+    let kind = spec.app;
+    let total = spec.record_classes().len() as u64 * spec.campaign.injections as u64;
+    eprintln!(
+        "chaos: {} x {} injections per cell over {} fault models x {} defenses, {} workers ...",
+        kind.name(),
+        spec.campaign.injections,
+        FaultModel::chaos_models().len(),
+        fl_inject::Defense::ALL.len(),
+        jobs_label(spec.campaign.threads),
+    );
+    let sink = CliSink::new(kind, o.has("jsonl"), total);
+    let SpecOutcome::Chaos(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("chaos mode yields a chaos outcome");
+    };
+    match ReportFormat::from_flags(o.has("tsv"), o.has("jsonl")) {
+        // Like `campaign --jsonl`: stream the canonical per-trial
+        // records (the resumable wire format), not the cell summaries.
+        ReportFormat::Jsonl => print!("{}", sink.canonical_records()),
+        ReportFormat::Tsv => print!("{}", render_chaos_tsv(&result)),
+        ReportFormat::Table => match focus {
+            Some(model) => print!("{}", render_chaos_focus(&result, model)),
+            None => {
+                let title = format!(
+                    "Chaos Defense-Coverage Matrix ({} / {} analogue)",
+                    kind.name(),
+                    kind.paper_name()
+                );
+                print!("{}", render_chaos(&result, &title));
+            }
+        },
+    }
+    Ok(())
+}
+
 fn cmd_spec(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     let mut valid = SPEC_FLAGS.to_vec();
     valid.push("mode");
     valid.extend(GUARD_FLAGS);
     valid.extend(FT_FLAGS);
+    valid.extend(CHAOS_FLAGS);
     o.expect(&valid)?;
     let mode = o.get("mode").unwrap_or("campaign");
     let default_injections = match mode {
         "guard" => 100,
         "ft" => 40,
+        "chaos" => 20,
         _ => 500,
     };
     let spec = spec_from_opts(&o, mode, default_injections)?;
@@ -1171,6 +1288,39 @@ mod tests {
     }
 
     #[test]
+    fn chaos_flags_shape_the_policy() {
+        let o = Opts::parse(&s(&[
+            "wavetoy",
+            "--tiny",
+            "--burst-max",
+            "4",
+            "--partition-hi",
+            "1024",
+            "--replicas",
+            "5",
+        ]));
+        let spec = spec_from_opts(&o, "chaos", 20).unwrap();
+        let SpecMode::Chaos(p) = &spec.mode else {
+            panic!("expected chaos mode");
+        };
+        assert_eq!(p.burst_max, 4);
+        assert_eq!(p.partition_rounds, (64, 1024));
+        assert_eq!(p.ft.replicas, 5);
+        assert_eq!(p.node_ranks, ChaosPolicy::default().node_ranks);
+    }
+
+    #[test]
+    fn chaos_model_flag_surfaces_parse_suggestions() {
+        let err = run(&s(&["chaos", "wavetoy", "--tiny", "--model", "net-crrupt"])).unwrap_err();
+        assert!(err.contains("did you mean `net-corrupt`?"), "{err}");
+        // A real model that is not a matrix row is rejected with the
+        // row list, not run.
+        let err = run(&s(&["chaos", "wavetoy", "--tiny", "--model", "transient"])).unwrap_err();
+        assert!(err.contains("not a chaos model"), "{err}");
+        assert!(err.contains("net-drop"), "{err}");
+    }
+
+    #[test]
     fn jacobi3d_parses_as_an_app() {
         assert_eq!(parse_app("jacobi3d").unwrap(), AppKind::Jacobi3d);
         let o = Opts::parse(&s(&["jacobi3d", "--tiny"]));
@@ -1190,7 +1340,7 @@ mod tests {
 
     #[test]
     fn spec_verb_output_round_trips() {
-        for mode in ["campaign", "guard", "ft"] {
+        for mode in ["campaign", "guard", "ft", "chaos"] {
             let o = Opts::parse(&s(&["climsim", "--tiny", "--mode", mode]));
             let spec = spec_from_opts(&o, mode, 500).unwrap();
             let json = spec.to_json();

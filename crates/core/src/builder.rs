@@ -30,6 +30,7 @@ use crate::campaign::{
     replay_trial_impl, run_campaign_impl, trial_seed, CampaignConfig, CampaignResult, ClassResult,
     TrialRecord,
 };
+use crate::chaos::{run_chaos_impl, ChaosPolicy, ChaosResult};
 use crate::engine::{run_spec, EngineControl, NullSink, SpecOutcome};
 use crate::faultmodel::{model_classes, run_model_trial, FaultModel};
 use crate::ft::{run_ft_impl, FtResult};
@@ -55,6 +56,7 @@ pub struct CampaignBuilder<'a> {
     model: FaultModel,
     guard: Option<GuardPolicy>,
     ft: Option<FtPolicy>,
+    chaos: Option<ChaosPolicy>,
 }
 
 impl<'a> CampaignBuilder<'a> {
@@ -67,6 +69,7 @@ impl<'a> CampaignBuilder<'a> {
             model: FaultModel::Transient,
             guard: None,
             ft: None,
+            chaos: None,
         }
     }
 
@@ -142,6 +145,14 @@ impl<'a> CampaignBuilder<'a> {
     /// (defaults to [`FtPolicy::default`] if never called).
     pub fn ft(mut self, policy: FtPolicy) -> Self {
         self.ft = Some(policy);
+        self
+    }
+
+    /// Set the scenario-diversity policy for
+    /// [`CampaignBuilder::run_chaos`] (defaults to
+    /// [`ChaosPolicy::default`] if never called).
+    pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Some(policy);
         self
     }
 
@@ -272,6 +283,26 @@ impl<'a> CampaignBuilder<'a> {
             self.cfg.injections,
             self.cfg.injections,
         )
+    }
+
+    /// Run the chaos defense-coverage matrix: `injections` trials for
+    /// each of the 9 × 6 chaos-model × defense cells, all defense
+    /// columns replaying the byte-identical fault draw (see
+    /// [`CampaignBuilder::chaos`]). Transient model only — the chaos
+    /// models themselves are the matrix rows, not the builder's knob.
+    pub fn run_chaos(self) -> ChaosResult {
+        assert!(
+            self.model == FaultModel::Transient,
+            "chaos campaigns support the transient model only"
+        );
+        let policy = self.chaos.unwrap_or_default();
+        if let Some(spec) = self.lower(SpecMode::Chaos(policy)) {
+            let SpecOutcome::Chaos(r) = Self::run_lowered(&spec) else {
+                unreachable!("chaos mode yields a chaos outcome");
+            };
+            return r;
+        }
+        run_chaos_impl(self.app, &self.cfg, &policy)
     }
 
     /// Replay one recorded trial from its campaign coordinates (class
@@ -472,6 +503,19 @@ mod tests {
             .run();
         assert_eq!(r.classes[0].tally.executions, 4);
         assert!(r.classes[0].trials[0].detail.contains("stuck-at-1"));
+    }
+
+    #[test]
+    fn chaos_builder_runs_the_matrix() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .injections(1)
+            .seed(4)
+            .chaos(ChaosPolicy::default())
+            .run_chaos();
+        assert_eq!(r.cells.len(), 9 * 6);
+        assert!(r.cells.iter().all(|c| c.trials.len() == 1));
+        assert!(r.insns_total > 0);
     }
 
     #[test]

@@ -410,6 +410,10 @@ pub(crate) fn draw_fault(
                     )
                 }
                 TargetClass::Message => unreachable!(),
+                // Chaos classes are drawn by the chaos engine, never here.
+                TargetClass::Network | TargetClass::Syscall | TargetClass::Process => {
+                    unreachable!("chaos classes are drawn by draw_chaos")
+                }
             };
             (
                 Fault::Machine { at_insns, action },

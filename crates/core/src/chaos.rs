@@ -1,0 +1,1074 @@
+//! Scenario-diversity campaigns: system-level, network-level and
+//! correlated fault models against a defense matrix.
+//!
+//! The paper's campaigns flip single bits; [`crate::guarded`] and
+//! [`crate::ft`] measure one defense against one fault family each. This
+//! module asks the cross product: every *chaos* fault class — in-flight
+//! network faults (drop / duplicate / reorder / corrupt), rank-set
+//! partitions, syscall failures (malloc / write denial), correlated
+//! burst kills and whole-node kills — run under every defense the
+//! harness has (none, channel CRC, watchdog restart, replication,
+//! shrink recovery, fl-ulfm application recovery), producing the
+//! defense-coverage matrix.
+//!
+//! The slot space is `models × defenses × injections`, flattened onto
+//! the shared engine pool. Trial `(mi, di, k)` draws its fault from
+//! `trial_seed(seed, mi, k)` — the *model* index only — so all six
+//! defense columns of a row face the byte-identical draw, and the matrix
+//! compares defenses, not luck. Records stream through the ordinary
+//! sink/record machinery, so chaos campaigns resume and sort exactly
+//! like plain ones.
+
+use crate::campaign::{trial_budget, trial_seed, trial_world_config, CampaignConfig, TrialRecord};
+use crate::engine::{run_pool, CompletedSlots, EngineControl, EngineSink, TrialOutput};
+use crate::faultmodel::FaultModel;
+use crate::ft::{classify_app, classify_replicated, classify_shrink};
+use crate::guarded::slug;
+use crate::outcome::{classify, Manifestation, Tally};
+use crate::progress::EngineProgress;
+use crate::target::TargetClass;
+use fl_apps::{App, AppKind, Golden};
+use fl_ft::{run_app, run_replicated, run_shrink, FtPolicy, RankKill};
+use fl_guard::{run_guarded, GuardPolicy};
+use fl_machine::{SyscallFault, SyscallFaultKind};
+use fl_mpi::{MpiWorld, NetFault, NetFaultKind, NodeKill, Partition, WorldExit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One column of the coverage matrix: which mechanism stands between the
+/// drawn fault and the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defense {
+    /// Nothing — the fault's bare manifestation (the row's denominator).
+    Baseline,
+    /// Channel CRC + NACK retransmission only (no watchdog, no
+    /// checkpointing).
+    Crc,
+    /// The full fl-guard harness: watchdog, checkpoints,
+    /// rollback-and-re-execute (which includes the CRC channel).
+    Watchdog,
+    /// N-replica lockstep voting (fl-ft).
+    Replica,
+    /// Heartbeat detector + shrink-to-survivors recovery (fl-ft).
+    Shrink,
+    /// App-visible ULFM mode: the application owns recovery (fl-ulfm).
+    App,
+}
+
+impl Defense {
+    /// Every column, matrix order. Baseline is always first — coverage
+    /// is measured against its errors.
+    pub const ALL: [Defense; 6] = [
+        Defense::Baseline,
+        Defense::Crc,
+        Defense::Watchdog,
+        Defense::Replica,
+        Defense::Shrink,
+        Defense::App,
+    ];
+
+    /// Canonical machine-readable name; round-trips through
+    /// [`std::str::FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Defense::Baseline => "baseline",
+            Defense::Crc => "crc",
+            Defense::Watchdog => "watchdog",
+            Defense::Replica => "replica",
+            Defense::Shrink => "shrink",
+            Defense::App => "app",
+        }
+    }
+
+    /// Every parseable defense name, for did-you-mean suggestions.
+    pub const NAMES: [&'static str; 6] =
+        ["baseline", "crc", "watchdog", "replica", "shrink", "app"];
+}
+
+impl std::fmt::Display for Defense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Defense {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Defense, String> {
+        Ok(match s {
+            "baseline" => Defense::Baseline,
+            "crc" => Defense::Crc,
+            "watchdog" => Defense::Watchdog,
+            "replica" => Defense::Replica,
+            "shrink" => Defense::Shrink,
+            "app" => Defense::App,
+            other => return Err(crate::suggest::unknown("defense", other, &Defense::NAMES)),
+        })
+    }
+}
+
+/// Knobs of a chaos campaign: the defense configurations plus the draw
+/// ranges of the new fault classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPolicy {
+    /// Guard configuration for the `crc` (channel part only) and
+    /// `watchdog` (full harness) columns.
+    pub guard: GuardPolicy,
+    /// Ft configuration for the `replica`, `shrink` and `app` columns.
+    pub ft: FtPolicy,
+    /// Partition window draw range, in scheduler rounds (inclusive).
+    pub partition_rounds: (u64, u64),
+    /// Largest reorder delay, in scheduler rounds.
+    pub reorder_max_delay: u64,
+    /// Most ranks one burst may kill (clamped to leave a survivor).
+    pub burst_max: u16,
+    /// Ranks per "node" for the node-kill model.
+    pub node_ranks: u16,
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> ChaosPolicy {
+        ChaosPolicy {
+            guard: GuardPolicy::default(),
+            ft: FtPolicy::default(),
+            partition_rounds: (64, 512),
+            reorder_max_delay: 64,
+            burst_max: 3,
+            node_ranks: 2,
+        }
+    }
+}
+
+/// Fault-free per-rank syscall activity — the draw denominators for the
+/// syscall failure models, read off one extra golden-configuration run
+/// (the [`Golden`] profile predates these counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallCounts {
+    /// `malloc` calls served per rank.
+    pub mallocs: Vec<u64>,
+    /// Output syscalls issued per rank.
+    pub io_writes: Vec<u64>,
+}
+
+/// Run one fault-free world and collect [`SyscallCounts`]. Deterministic
+/// in the app and configuration, so every worker recomputes the same
+/// denominators.
+pub fn syscall_counts(app: &App, budget: u64, fastpath: bool) -> SyscallCounts {
+    let mut w = MpiWorld::new(&app.image, trial_world_config(app, budget, 0, fastpath));
+    let exit = w.run();
+    assert_eq!(exit, WorldExit::Clean, "golden counter run must be clean");
+    let n = app.params.nranks;
+    SyscallCounts {
+        mallocs: (0..n).map(|r| w.machine(r).counters.mallocs).collect(),
+        io_writes: (0..n).map(|r| w.machine(r).counters.io_writes).collect(),
+    }
+}
+
+/// One drawn chaos fault, armable on any world (each defense column arms
+/// the identical draw).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosFault {
+    /// An in-flight message fault.
+    Net(NetFault),
+    /// A rank-set partition window.
+    Partition(Partition),
+    /// A syscall failure on one rank.
+    Syscall {
+        /// Which rank's kernel says no.
+        rank: u16,
+        /// The armed failure.
+        fault: SyscallFault,
+    },
+    /// A correlated burst of rank kills, each on its own block clock.
+    Burst(Vec<RankKill>),
+    /// A whole-node kill.
+    Node(NodeKill),
+}
+
+impl ChaosFault {
+    /// Plant the fault in a freshly built world.
+    pub fn arm(&self, w: &mut MpiWorld) {
+        match self {
+            ChaosFault::Net(f) => w.set_net_fault(*f),
+            ChaosFault::Partition(p) => w.set_partition(*p),
+            ChaosFault::Syscall { rank, fault } => w.machine_mut(*rank).set_syscall_fault(*fault),
+            ChaosFault::Burst(kills) => {
+                for k in kills {
+                    w.add_rank_kill(*k);
+                }
+            }
+            ChaosFault::Node(nk) => w.set_node_kill(*nk),
+        }
+    }
+}
+
+/// Draw the chaos fault for one trial seed. Fully determined by
+/// `(golden, sys, model, seed, nranks, policy)` — recomputable from the
+/// campaign coordinates like every other fault draw, and shared by all
+/// defense columns of the trial's row.
+pub fn draw_chaos(
+    golden: &Golden,
+    sys: &SyscallCounts,
+    model: FaultModel,
+    seed: u64,
+    nranks: u16,
+    policy: &ChaosPolicy,
+) -> (ChaosFault, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match model {
+        FaultModel::NetDrop
+        | FaultModel::NetDuplicate
+        | FaultModel::NetReorder
+        | FaultModel::NetCorrupt => {
+            // Target a rank that actually receives traffic.
+            let eligible: Vec<u16> = (0..nranks)
+                .filter(|&r| golden.recv_bytes[r as usize] > 0)
+                .collect();
+            let rank = eligible[rng.gen_range(0..eligible.len())];
+            let at_recv_byte = rng.gen_range(0..golden.recv_bytes[rank as usize]);
+            let (kind, what) = match model {
+                FaultModel::NetDrop => (NetFaultKind::Drop, "drop".to_string()),
+                FaultModel::NetDuplicate => (NetFaultKind::Duplicate, "duplicate".to_string()),
+                FaultModel::NetReorder => {
+                    let delay = rng.gen_range(1..policy.reorder_max_delay.max(1) + 1);
+                    (
+                        NetFaultKind::Reorder {
+                            delay_rounds: delay,
+                        },
+                        format!("reorder +{delay} rounds"),
+                    )
+                }
+                _ => (NetFaultKind::Corrupt, "corrupt".to_string()),
+            };
+            (
+                ChaosFault::Net(NetFault {
+                    rank,
+                    at_recv_byte,
+                    kind,
+                }),
+                format!("{what} into rank {rank} @ recv byte {at_recv_byte}"),
+            )
+        }
+        FaultModel::Partition => {
+            // Any mask in (0, 2^n - 1) splits the ranks into two
+            // non-empty groups.
+            let mask = rng.gen_range(1..(1u32 << nranks) - 1);
+            let trigger_rank = rng.gen_range(0..nranks);
+            let at_blocks = rng.gen_range(1..golden.blocks[trigger_rank as usize].max(2));
+            let (lo, hi) = policy.partition_rounds;
+            let lo = lo.max(1);
+            let rounds = rng.gen_range(lo..hi.max(lo) + 1);
+            (
+                ChaosFault::Partition(Partition {
+                    mask,
+                    trigger_rank,
+                    at_blocks,
+                    rounds,
+                }),
+                format!(
+                    "partition mask {mask:#06b} for {rounds} rounds @ rank {trigger_rank} \
+                     block {at_blocks}"
+                ),
+            )
+        }
+        FaultModel::SyscallMalloc | FaultModel::SyscallWrite => {
+            let rank = rng.gen_range(0..nranks);
+            let (kind, counts, what) = if model == FaultModel::SyscallMalloc {
+                (SyscallFaultKind::Malloc, &sys.mallocs, "malloc")
+            } else {
+                (SyscallFaultKind::Write, &sys.io_writes, "write")
+            };
+            let at_call = rng.gen_range(1..counts[rank as usize].max(1) + 1);
+            let persist = rng.gen_range(0..2u32) == 1;
+            (
+                ChaosFault::Syscall {
+                    rank,
+                    fault: SyscallFault {
+                        kind,
+                        at_call,
+                        persist,
+                    },
+                },
+                format!(
+                    "{what} denied on rank {rank} @ call {at_call}{}",
+                    if persist { " (persistent)" } else { "" }
+                ),
+            )
+        }
+        FaultModel::Burst => {
+            // One arrival process emits K kills across distinct ranks.
+            // Integer pseudo-MTBF: successive gaps of mtbf/2 + U[0,mtbf)
+            // block clocks, no survivor-free bursts.
+            let hi = policy.burst_max.min(nranks.saturating_sub(1)).max(1);
+            let lo = 2u16.min(hi);
+            let k = rng.gen_range(lo as u32..hi as u32 + 1) as u16;
+            let mut pool: Vec<u16> = (0..nranks).collect();
+            let mut kills = Vec::with_capacity(k as usize);
+            let mut detail = String::from("burst:");
+            let first = pool.remove(rng.gen_range(0..pool.len()));
+            let mtbf = (golden.blocks[first as usize] / 8).max(4);
+            let mut t = rng.gen_range(1..golden.blocks[first as usize].max(2));
+            for i in 0..k {
+                let victim = if i == 0 {
+                    first
+                } else {
+                    pool.remove(rng.gen_range(0..pool.len()))
+                };
+                let wedge = rng.gen_range(0..2u32) == 1;
+                let at_blocks = t.clamp(1, golden.blocks[victim as usize].max(2) - 1);
+                kills.push(RankKill {
+                    rank: victim,
+                    at_blocks,
+                    wedge,
+                });
+                let _ = write!(
+                    detail,
+                    " {} r{victim}@{at_blocks}",
+                    if wedge { "wedge" } else { "kill" }
+                );
+                t += mtbf / 2 + rng.gen_range(0..mtbf);
+            }
+            (ChaosFault::Burst(kills), detail)
+        }
+        FaultModel::NodeKill => {
+            // Contiguous groups of `node_ranks` form the nodes; one dies
+            // whole. Never take the last survivor.
+            let per = policy.node_ranks.clamp(1, nranks);
+            let nodes = nranks.div_ceil(per);
+            let node = rng.gen_range(0..nodes);
+            let lo = node * per;
+            let hi = ((node + 1) * per).min(nranks);
+            let mut mask = 0u32;
+            for r in lo..hi {
+                mask |= 1 << r;
+            }
+            if hi - lo == nranks {
+                mask &= !(1 << (nranks - 1)); // leave one rank alive
+            }
+            let trigger_rank = mask.trailing_zeros() as u16;
+            let at_blocks = rng.gen_range(1..golden.blocks[trigger_rank as usize].max(2));
+            let wedge = rng.gen_range(0..2u32) == 1;
+            (
+                ChaosFault::Node(NodeKill {
+                    mask,
+                    trigger_rank,
+                    at_blocks,
+                    wedge,
+                }),
+                format!(
+                    "node {} down (mask {mask:#06b}) @ block {at_blocks}{}",
+                    node,
+                    if wedge { ", wedged" } else { "" }
+                ),
+            )
+        }
+        FaultModel::Transient
+        | FaultModel::Held
+        | FaultModel::StuckAt0
+        | FaultModel::StuckAt1
+        | FaultModel::KillRank
+        | FaultModel::WedgeRank => {
+            unreachable!("draw_chaos only draws chaos models, got {model}")
+        }
+    }
+}
+
+/// One cell of the matrix: every trial of one model under one defense.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Row.
+    pub model: FaultModel,
+    /// Column.
+    pub defense: Defense,
+    /// Outcome tally of the cell.
+    pub tally: Tally,
+    /// Per-trial records, slot order.
+    pub trials: Vec<TrialRecord>,
+}
+
+/// A finished chaos campaign: the full `models × defenses` matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// Which application.
+    pub app: AppKind,
+    /// The knobs every run used.
+    pub policy: ChaosPolicy,
+    /// Cells in row-major order: `cells[mi * 6 + di]`.
+    pub cells: Vec<ChaosCell>,
+    /// The fault-free reference.
+    pub golden: Golden,
+    /// Guest instructions retired across every trial.
+    pub insns_total: u64,
+}
+
+/// Did this defense-column outcome neutralize the fault — masked,
+/// recovered, or at least *detected*? (Measured against baseline-error
+/// draws, so a plain `Correct` means the defense's environment kept the
+/// identical draw from manifesting.)
+pub fn is_covered(m: Manifestation) -> bool {
+    matches!(
+        m,
+        Manifestation::Correct
+            | Manifestation::Recovered
+            | Manifestation::RecoveredByApp
+            | Manifestation::MaskedByReplica
+            | Manifestation::MaskedByChannel
+            | Manifestation::DetectedByGuard
+    )
+}
+
+impl ChaosResult {
+    /// The matrix rows, in slot order — [`FaultModel::chaos_models`].
+    pub fn models() -> [FaultModel; 9] {
+        FaultModel::chaos_models()
+    }
+
+    /// The cell at row `mi`, column `di`.
+    pub fn cell(&self, mi: usize, di: usize) -> &ChaosCell {
+        &self.cells[mi * Defense::ALL.len() + di]
+    }
+
+    /// Trials of row `mi` whose baseline manifested an error (the
+    /// coverage denominator of the row).
+    pub fn baseline_errors(&self, mi: usize) -> u32 {
+        self.cell(mi, 0).tally.errors()
+    }
+
+    /// Baseline-error trials of row `mi` the defense in column `di`
+    /// covered.
+    pub fn covered(&self, mi: usize, di: usize) -> u32 {
+        let base = &self.cell(mi, 0).trials;
+        let under = &self.cell(mi, di).trials;
+        base.iter()
+            .zip(under)
+            .filter(|(b, u)| b.outcome.is_error() && is_covered(u.outcome))
+            .count() as u32
+    }
+
+    /// Coverage of column `di` over row `mi`, in percent of the row's
+    /// baseline errors.
+    pub fn coverage_percent(&self, mi: usize, di: usize) -> f64 {
+        let den = self.baseline_errors(mi);
+        if den == 0 {
+            return 0.0;
+        }
+        100.0 * self.covered(mi, di) as f64 / den as f64
+    }
+
+    /// The provable-coverage floors this campaign is contracted to hold.
+    pub fn contracts(&self) -> Vec<ContractCheck> {
+        let models = Self::models();
+        let mi_of = |m: FaultModel| models.iter().position(|&x| x == m).unwrap();
+        let di_of = |d: Defense| Defense::ALL.iter().position(|&x| x == d).unwrap();
+
+        // 1. The channel CRC catches every in-flight corruption: masked
+        //    by retransmit, or detected when the budget runs out. Over
+        //    ALL net-corrupt trials — the fault always fires.
+        let mi = mi_of(FaultModel::NetCorrupt);
+        let crc = &self.cell(mi, di_of(Defense::Crc)).trials;
+        let crc_check = ContractCheck {
+            name: "crc-catches-net-corrupt",
+            what: "net-corrupt trials the CRC channel masked or detected",
+            covered: crc
+                .iter()
+                .filter(|t| {
+                    matches!(
+                        t.outcome,
+                        Manifestation::MaskedByChannel | Manifestation::DetectedByGuard
+                    )
+                })
+                .count() as u32,
+            denom: crc.len() as u32,
+            floor_percent: 90.0,
+        };
+
+        // 2. The watchdog catches partition-induced hangs: a restart
+        //    replays the identical partition, so the budget exhausts
+        //    into a detection — or the re-run recovers. Over partition
+        //    trials whose baseline hung.
+        let mi = mi_of(FaultModel::Partition);
+        let base = &self.cell(mi, 0).trials;
+        let dog = &self.cell(mi, di_of(Defense::Watchdog)).trials;
+        let hung: Vec<usize> = base
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.outcome == Manifestation::Hang)
+            .map(|(k, _)| k)
+            .collect();
+        let dog_check = ContractCheck {
+            name: "watchdog-catches-partition-hangs",
+            what: "baseline-hang partition trials the watchdog detected or recovered",
+            covered: hung
+                .iter()
+                .filter(|&&k| {
+                    matches!(
+                        dog[k].outcome,
+                        Manifestation::DetectedByGuard | Manifestation::Recovered
+                    )
+                })
+                .count() as u32,
+            denom: hung.len() as u32,
+            floor_percent: 90.0,
+        };
+
+        // 3. Shrink recovery covers node kills: the heartbeat detector
+        //    raises the first dead member and the world is rebuilt over
+        //    survivors. Over node-kill trials whose baseline errored.
+        let mi = mi_of(FaultModel::NodeKill);
+        let base = &self.cell(mi, 0).trials;
+        let shr = &self.cell(mi, di_of(Defense::Shrink)).trials;
+        let errs: Vec<usize> = base
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.outcome.is_error())
+            .map(|(k, _)| k)
+            .collect();
+        let shrink_check = ContractCheck {
+            name: "shrink-recovers-node-kill",
+            what: "baseline-error node-kill trials shrink recovery converted",
+            covered: errs
+                .iter()
+                .filter(|&&k| shr[k].outcome == Manifestation::Recovered)
+                .count() as u32,
+            denom: errs.len() as u32,
+            floor_percent: 90.0,
+        };
+
+        vec![crc_check, dog_check, shrink_check]
+    }
+}
+
+/// One provable-coverage floor and the evidence for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractCheck {
+    /// Stable contract identifier.
+    pub name: &'static str,
+    /// What the numerator counts.
+    pub what: &'static str,
+    /// Trials covered.
+    pub covered: u32,
+    /// Trials in the denominator.
+    pub denom: u32,
+    /// The floor, in percent.
+    pub floor_percent: f64,
+}
+
+impl ContractCheck {
+    /// Coverage in percent (0 with an empty denominator).
+    pub fn percent(&self) -> f64 {
+        if self.denom == 0 {
+            return 0.0;
+        }
+        100.0 * self.covered as f64 / self.denom as f64
+    }
+
+    /// A floor holds only on evidence: an empty denominator fails.
+    pub fn passed(&self) -> bool {
+        self.denom > 0 && self.percent() + 1e-9 >= self.floor_percent
+    }
+}
+
+/// The per-slot record class vector of a chaos campaign, len
+/// `9 × 6` — what [`CompletedSlots::from_jsonl`] validates resumes
+/// against.
+pub fn chaos_classes() -> Vec<TargetClass> {
+    FaultModel::chaos_models()
+        .iter()
+        .flat_map(|m| {
+            let c = m.chaos_class().expect("chaos models carry a chaos class");
+            std::iter::repeat_n(c, Defense::ALL.len())
+        })
+        .collect()
+}
+
+/// Sum of retired guest instructions across a world's ranks.
+fn world_insns(w: &MpiWorld) -> u64 {
+    (0..w.nranks()).map(|r| w.machine(r).counters.insns).sum()
+}
+
+/// Chaos-campaign execution, no control/sink/resume (the
+/// [`crate::CampaignBuilder::run_chaos`] backend).
+pub(crate) fn run_chaos_impl(app: &App, cfg: &CampaignConfig, policy: &ChaosPolicy) -> ChaosResult {
+    run_chaos_engine(
+        app,
+        cfg,
+        policy,
+        &crate::engine::NullSink,
+        &EngineControl::new(),
+        None,
+    )
+    .expect("uncontrolled chaos runs always complete")
+}
+
+/// Run a chaos campaign on the shared engine pool. `cfg.injections`
+/// trials per `model × defense` cell; pause/stop via `control`, records
+/// and progress through `sink`, optional record-level resume. Returns
+/// `None` when stopped before every slot completed.
+pub fn run_chaos_engine(
+    app: &App,
+    cfg: &CampaignConfig,
+    policy: &ChaosPolicy,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+    resume: Option<CompletedSlots>,
+) -> Option<ChaosResult> {
+    let golden = app.golden(2_000_000_000);
+    let budget = trial_budget(&golden, cfg);
+    let sys = syscall_counts(app, budget, cfg.fastpath);
+    let models = FaultModel::chaos_models();
+    let ndef = Defense::ALL.len();
+    let nranks = app.params.nranks;
+
+    // The survivor-count reference for the shrink column (fl-ft's
+    // pattern: a rebuilt world is pristine, so it solves the
+    // one-fewer-rank weak-scaled problem).
+    let shrunken_output = {
+        let mut scfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        scfg.nranks -= 1;
+        let mut w = MpiWorld::new(&app.image, scfg);
+        let exit = w.run();
+        assert_eq!(exit, WorldExit::Clean, "shrunken golden run must be clean");
+        app.comparable_output(&w)
+    };
+
+    let resume = resume.unwrap_or_default();
+    let resumed_total = resume.len() as u64;
+    let total = (models.len() * ndef) as u64 * cfg.injections as u64;
+    let done = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+
+    let run_cell = |mi: usize, di: usize, k: u32| -> (Manifestation, String, u64) {
+        let seed = trial_seed(cfg.seed, mi, k);
+        let model = models[mi];
+        let (fault, detail) = draw_chaos(&golden, &sys, model, seed, nranks, policy);
+        let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        wcfg.seed = seed;
+        // Each column isolates exactly one defense: app-visible ULFM and
+        // the heartbeat detector are off unless they ARE the defense.
+        let mut bare = wcfg;
+        bare.ulfm = false;
+        bare.ft.enabled = false;
+
+        let (outcome, insns) = match Defense::ALL[di] {
+            Defense::Baseline => {
+                let mut w = MpiWorld::new(&app.image, bare);
+                fault.arm(&mut w);
+                let exit = w.run();
+                let out = app.comparable_output(&w);
+                (classify(&exit, &out, &golden.output), world_insns(&w))
+            }
+            Defense::Crc => {
+                let mut c = bare;
+                c.guard = policy.guard.channel_guard();
+                let mut w = MpiWorld::new(&app.image, c);
+                fault.arm(&mut w);
+                let exit = w.run();
+                let out = app.comparable_output(&w);
+                let m = match &exit {
+                    WorldExit::Clean if out == golden.output && w.retransmits() > 0 => {
+                        Manifestation::MaskedByChannel
+                    }
+                    e => classify(e, &out, &golden.output),
+                };
+                (m, world_insns(&w))
+            }
+            Defense::Watchdog => {
+                let (w, rep) = run_guarded(&app.image, bare, &policy.guard, |w| fault.arm(w));
+                let out = app.comparable_output(&w);
+                let m = match &rep.exit {
+                    WorldExit::Clean => {
+                        if out == golden.output {
+                            if rep.intervened() {
+                                Manifestation::Recovered
+                            } else {
+                                Manifestation::Correct
+                            }
+                        } else {
+                            Manifestation::Incorrect
+                        }
+                    }
+                    _ => Manifestation::DetectedByGuard,
+                };
+                (m, world_insns(&w))
+            }
+            Defense::Replica => {
+                let (w, rep) = run_replicated(
+                    &app.image,
+                    bare,
+                    &policy.ft,
+                    |replica, w| {
+                        if replica == 0 {
+                            fault.arm(w);
+                        }
+                    },
+                    |w| app.comparable_output(w),
+                );
+                let out = app.comparable_output(&w);
+                (
+                    classify_replicated(&rep.exit, &out, rep.votes, &golden),
+                    world_insns(&w),
+                )
+            }
+            Defense::Shrink => {
+                let mut c = wcfg;
+                c.ulfm = false;
+                let (w, rep) = run_shrink(&app.image, c, &policy.ft, |w| fault.arm(w));
+                let out = app.comparable_output(&w);
+                (
+                    classify_shrink(&rep.exit, &out, rep.intervened(), &golden, &shrunken_output),
+                    world_insns(&w),
+                )
+            }
+            Defense::App => {
+                let (w, rep) = run_app(&app.image, wcfg, &policy.ft, |w| fault.arm(w));
+                let out = app.comparable_output(&w);
+                (
+                    classify_app(&rep.exit, &out, rep.shrinks, &golden),
+                    world_insns(&w),
+                )
+            }
+        };
+        (
+            outcome,
+            format!("{}/{}: {detail}", Defense::ALL[di].name(), model),
+            insns,
+        )
+    };
+
+    let counts = vec![cfg.injections; models.len() * ndef];
+    let (slots, complete) = run_pool(&counts, cfg.threads, control, |ci, k| {
+        let out = match resume.take(ci, k) {
+            Some(t) => t,
+            None => {
+                let (mi, di) = (ci / ndef, ci % ndef);
+                let (outcome, detail, insns) = run_cell(mi, di, k);
+                let t = TrialOutput {
+                    ci,
+                    k,
+                    record: TrialRecord {
+                        class: models[mi].chaos_class().expect("chaos model"),
+                        detail,
+                        outcome,
+                    },
+                    insns,
+                    metrics: None,
+                };
+                sink.trial(&t);
+                t
+            }
+        };
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        sink.progress(EngineProgress {
+            total,
+            done: d,
+            resumed: resumed_total,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        out
+    });
+    if !complete {
+        return None;
+    }
+
+    let mut insns_total = 0u64;
+    let mut cells = Vec::with_capacity(models.len() * ndef);
+    for (ci, cell_slots) in slots.into_iter().enumerate() {
+        let (mi, di) = (ci / ndef, ci % ndef);
+        let mut tally = Tally::default();
+        let trials: Vec<TrialRecord> = cell_slots
+            .into_iter()
+            .map(|s| {
+                let t = s.expect("complete run fills every slot");
+                insns_total += t.insns;
+                tally.record(t.record.outcome);
+                t.record
+            })
+            .collect();
+        cells.push(ChaosCell {
+            model: models[mi],
+            defense: Defense::ALL[di],
+            tally,
+            trials,
+        });
+    }
+    Some(ChaosResult {
+        app: app.kind,
+        policy: *policy,
+        cells,
+        golden,
+        insns_total,
+    })
+}
+
+/// Render the defense-coverage matrix as a text table: per model, the
+/// baseline error count and each defense's coverage percent.
+pub fn render_chaos(r: &ChaosResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "coverage = % of baseline-error trials the defense masked, recovered or detected"
+    );
+    let _ = write!(out, "{:<16} {:>9} |", "model", "base-err");
+    for d in &Defense::ALL[1..] {
+        let _ = write!(out, " {:>9}", d.name());
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(27 + 10 * (Defense::ALL.len() - 1)));
+    for (mi, model) in ChaosResult::models().iter().enumerate() {
+        let trials = r.cell(mi, 0).tally.executions;
+        let _ = write!(
+            out,
+            "{:<16} {:>5}/{:<3} |",
+            model.label(),
+            r.baseline_errors(mi),
+            trials
+        );
+        for di in 1..Defense::ALL.len() {
+            let _ = write!(out, " {:>8.1}%", r.coverage_percent(mi, di));
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{}", "-".repeat(27 + 10 * (Defense::ALL.len() - 1)));
+    for c in r.contracts() {
+        let _ = writeln!(
+            out,
+            "contract {:<34} {:>3}/{:<3} = {:>5.1}% (floor {:.0}%) {}",
+            c.name,
+            c.covered,
+            c.denom,
+            c.percent(),
+            c.floor_percent,
+            if c.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+    out
+}
+
+/// Render the single-row focus view (the CLI's `chaos --model M`): one
+/// model's outcome tallies under every defense.
+pub fn render_chaos_focus(r: &ChaosResult, model: FaultModel) -> String {
+    let mi = ChaosResult::models()
+        .iter()
+        .position(|&m| m == model)
+        .expect("focus model is a chaos model");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} / model {model}: {} trials per defense",
+        r.app.name(),
+        r.cell(mi, 0).tally.executions
+    );
+    for (di, d) in Defense::ALL.iter().enumerate() {
+        let tally = &r.cell(mi, di).tally;
+        let _ = write!(out, "  {:<9}", d.name());
+        let mut first = true;
+        for m in Manifestation::ALL {
+            let n = tally.count(m);
+            if n > 0 {
+                let _ = write!(out, "{}{m} {n}", if first { " " } else { ", " });
+                first = false;
+            }
+        }
+        if di > 0 {
+            let _ = write!(out, "  [{:.1}% coverage]", r.coverage_percent(mi, di));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the matrix as TSV: one row per `model × defense` cell with
+/// full outcome counts.
+pub fn render_chaos_tsv(r: &ChaosResult) -> String {
+    let mut out = String::from("model\tdefense\ttrials\tbase_errors\tcovered\tcoverage_pct");
+    for m in Manifestation::ALL {
+        let _ = write!(out, "\t{}", slug(m));
+    }
+    out.push('\n');
+    for (mi, model) in ChaosResult::models().iter().enumerate() {
+        for (di, d) in Defense::ALL.iter().enumerate() {
+            let tally = &r.cell(mi, di).tally;
+            let _ = write!(
+                out,
+                "{model}\t{d}\t{}\t{}\t{}\t{:.2}",
+                tally.executions,
+                r.baseline_errors(mi),
+                r.covered(mi, di),
+                r.coverage_percent(mi, di),
+            );
+            for m in Manifestation::ALL {
+                let _ = write!(out, "\t{}", tally.count(m));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialize the matrix as JSONL: one object per `model × defense` cell.
+pub fn chaos_jsonl(r: &ChaosResult) -> String {
+    let mut out = String::new();
+    for (mi, model) in ChaosResult::models().iter().enumerate() {
+        for (di, d) in Defense::ALL.iter().enumerate() {
+            let tally = &r.cell(mi, di).tally;
+            let _ = write!(
+                out,
+                "{{\"app\":\"{}\",\"model\":\"{model}\",\"defense\":\"{d}\",\"trials\":{},\"base_errors\":{},\"covered\":{},\"coverage_pct\":{:.2},\"outcomes\":{{",
+                r.app.name(),
+                tally.executions,
+                r.baseline_errors(mi),
+                r.covered(mi, di),
+                r.coverage_percent(mi, di),
+            );
+            let mut first = true;
+            for m in Manifestation::ALL {
+                let n = tally.count(m);
+                if n > 0 {
+                    let _ = write!(out, "{}\"{}\":{n}", if first { "" } else { "," }, slug(m));
+                    first = false;
+                }
+            }
+            out.push_str("}}\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{parse_record_line, VecSink};
+    use fl_apps::AppParams;
+
+    fn tiny() -> App {
+        App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy))
+    }
+
+    #[test]
+    fn chaos_draws_are_reproducible_and_model_shaped() {
+        let app = tiny();
+        let golden = app.golden(2_000_000_000);
+        let cfg = CampaignConfig::default();
+        let budget = trial_budget(&golden, &cfg);
+        let sys = syscall_counts(&app, budget, cfg.fastpath);
+        let policy = ChaosPolicy::default();
+        for (mi, model) in FaultModel::chaos_models().iter().enumerate() {
+            for k in 0..4u32 {
+                let seed = trial_seed(7, mi, k);
+                let a = draw_chaos(&golden, &sys, *model, seed, app.params.nranks, &policy);
+                let b = draw_chaos(&golden, &sys, *model, seed, app.params.nranks, &policy);
+                assert_eq!(a, b, "{model} draw must be pure in the seed");
+                match (model, &a.0) {
+                    (FaultModel::NetDrop, ChaosFault::Net(f)) => {
+                        assert_eq!(f.kind, NetFaultKind::Drop)
+                    }
+                    (FaultModel::NetDuplicate, ChaosFault::Net(f)) => {
+                        assert_eq!(f.kind, NetFaultKind::Duplicate)
+                    }
+                    (FaultModel::NetReorder, ChaosFault::Net(f)) => {
+                        assert!(matches!(f.kind, NetFaultKind::Reorder { .. }))
+                    }
+                    (FaultModel::NetCorrupt, ChaosFault::Net(f)) => {
+                        assert_eq!(f.kind, NetFaultKind::Corrupt)
+                    }
+                    (FaultModel::Partition, ChaosFault::Partition(p)) => {
+                        assert!(p.mask > 0 && p.mask < (1 << app.params.nranks));
+                        assert!(p.rounds >= 64);
+                    }
+                    (FaultModel::SyscallMalloc, ChaosFault::Syscall { fault, .. }) => {
+                        assert_eq!(fault.kind, SyscallFaultKind::Malloc);
+                        assert!(fault.at_call >= 1);
+                    }
+                    (FaultModel::SyscallWrite, ChaosFault::Syscall { fault, .. }) => {
+                        assert_eq!(fault.kind, SyscallFaultKind::Write)
+                    }
+                    (FaultModel::Burst, ChaosFault::Burst(kills)) => {
+                        assert!(kills.len() >= 2, "{kills:?}");
+                        assert!(kills.len() < app.params.nranks as usize);
+                        let mut ranks: Vec<u16> = kills.iter().map(|k| k.rank).collect();
+                        ranks.sort_unstable();
+                        ranks.dedup();
+                        assert_eq!(ranks.len(), kills.len(), "distinct victims");
+                    }
+                    (FaultModel::NodeKill, ChaosFault::Node(nk)) => {
+                        assert!(nk.mask > 0 && nk.mask < (1 << app.params.nranks));
+                        assert_eq!(nk.mask >> nk.trigger_rank & 1, 1);
+                    }
+                    (m, f) => panic!("{m} drew {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_engine_fills_the_matrix_and_streams_records() {
+        let app = tiny();
+        let cfg = CampaignConfig {
+            injections: 2,
+            seed: 0xC0FFEE,
+            ..Default::default()
+        };
+        let sink = VecSink::new(app.kind);
+        let r = run_chaos_engine(
+            &app,
+            &cfg,
+            &ChaosPolicy::default(),
+            &sink,
+            &EngineControl::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.cells.len(), 9 * 6);
+        for c in &r.cells {
+            assert_eq!(c.tally.executions, 2);
+            assert_eq!(c.trials.len(), 2);
+        }
+        let lines = sink.into_lines();
+        assert_eq!(lines.len(), 9 * 6 * 2);
+        let classes = chaos_classes();
+        for l in &lines {
+            let t = parse_record_line(l).expect("chaos records parse back");
+            assert_eq!(t.record.class, classes[t.ci]);
+        }
+        // Render paths cover the full matrix.
+        let table = render_chaos(&r, "chaos demo");
+        assert!(table.contains("net-corrupt"), "{table}");
+        assert!(
+            table.contains("contract crc-catches-net-corrupt"),
+            "{table}"
+        );
+        let tsv = render_chaos_tsv(&r);
+        assert_eq!(tsv.lines().count(), 1 + 9 * 6, "{tsv}");
+        let jsonl = chaos_jsonl(&r);
+        assert_eq!(jsonl.lines().count(), 9 * 6);
+        let focus = render_chaos_focus(&r, FaultModel::NetDrop);
+        assert!(focus.contains("model net-drop"), "{focus}");
+    }
+
+    #[test]
+    fn contract_floors_need_evidence() {
+        let c = ContractCheck {
+            name: "x",
+            what: "y",
+            covered: 0,
+            denom: 0,
+            floor_percent: 90.0,
+        };
+        assert!(!c.passed(), "an empty denominator proves nothing");
+        let c = ContractCheck {
+            covered: 9,
+            denom: 10,
+            ..c
+        };
+        assert!(c.passed());
+        let c = ContractCheck {
+            covered: 8,
+            denom: 10,
+            ..c
+        };
+        assert!(!c.passed());
+    }
+}

@@ -380,7 +380,7 @@ impl CompletedSlots {
         self.len() == 0
     }
 
-    fn take(&self, ci: usize, k: u32) -> Option<TrialOutput> {
+    pub(crate) fn take(&self, ci: usize, k: u32) -> Option<TrialOutput> {
         self.map.lock().unwrap().remove(&(ci, k))
     }
 
@@ -556,14 +556,16 @@ pub enum SpecOutcome {
     Coverage(crate::guarded::CoverageResult),
     /// A fault-tolerance campaign's result.
     Ft(crate::ft::FtResult),
+    /// A chaos defense-coverage campaign's result.
+    Chaos(crate::chaos::ChaosResult),
 }
 
 /// Run a [`CampaignSpec`] end to end on the engine — the single entry
 /// point behind the one-shot CLI verbs and the campaign service.
 /// Returns `None` when `control` stopped the run before completion.
 ///
-/// `resume` pre-fills completed slots and only applies to plain
-/// campaign mode (its per-trial records are what the service streams
+/// `resume` pre-fills completed slots and applies to plain campaign and
+/// chaos modes (their per-trial records are what the service streams
 /// and re-parses); guard and ft campaigns always run their remaining
 /// trials from scratch.
 pub fn run_spec(
@@ -603,6 +605,10 @@ pub fn run_spec(
             control,
         )
         .map(SpecOutcome::Ft),
+        SpecMode::Chaos(policy) => {
+            crate::chaos::run_chaos_engine(&app, &spec.campaign, policy, sink, control, resume)
+                .map(SpecOutcome::Chaos)
+        }
     }
 }
 

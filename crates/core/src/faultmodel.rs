@@ -41,19 +41,127 @@ pub enum FaultModel {
     /// (`RankKill` with `wedge`). Excluded from [`FaultModel::ALL`] like
     /// [`FaultModel::KillRank`].
     WedgeRank,
+    /// Network fault: one drawn in-flight message is silently dropped at
+    /// the channel layer (fl-chaos).
+    NetDrop,
+    /// Network fault: one drawn message is delivered twice.
+    NetDuplicate,
+    /// Network fault: one drawn message is delayed a bounded number of
+    /// rounds before delivery (reordering past later traffic).
+    NetReorder,
+    /// Network fault: one payload byte of a drawn message is corrupted
+    /// in flight — the class the channel CRC provably covers.
+    NetCorrupt,
+    /// Network fault: a rank-set partition severs all channels between
+    /// two groups for a window of rounds.
+    Partition,
+    /// System fault: a drawn `malloc` call returns NULL, exercising the
+    /// application's allocation error path.
+    SyscallMalloc,
+    /// System fault: a drawn write/print I/O call returns an error.
+    SyscallWrite,
+    /// Correlated fault: one MTBF-style arrival process kills several
+    /// ranks within a burst window (each on its own block clock).
+    Burst,
+    /// Correlated fault: a whole rank group (a "node") dies at once —
+    /// FINJ's node-level model.
+    NodeKill,
 }
 
 impl FaultModel {
     /// All *bit-duration* models, transient first. The process-level
     /// models ([`FaultModel::KillRank`], [`FaultModel::WedgeRank`]) are
     /// deliberately not listed: model-comparison campaigns sweep this
-    /// array and rank kills are run through the ft coverage paths.
+    /// array and rank kills are run through the ft coverage paths. The
+    /// chaos models live in their own registries below — sweep code must
+    /// use those instead of hand-listing variants.
     pub const ALL: [FaultModel; 4] = [
         FaultModel::Transient,
         FaultModel::Held,
         FaultModel::StuckAt0,
         FaultModel::StuckAt1,
     ];
+
+    /// The process-level models the ft campaign paths inject.
+    pub const fn process_models() -> [FaultModel; 2] {
+        [FaultModel::KillRank, FaultModel::WedgeRank]
+    }
+
+    /// The channel-layer network fault models (fl-chaos).
+    pub const fn network_models() -> [FaultModel; 5] {
+        [
+            FaultModel::NetDrop,
+            FaultModel::NetDuplicate,
+            FaultModel::NetReorder,
+            FaultModel::NetCorrupt,
+            FaultModel::Partition,
+        ]
+    }
+
+    /// The syscall failure-injection models (fl-chaos).
+    pub const fn system_models() -> [FaultModel; 2] {
+        [FaultModel::SyscallMalloc, FaultModel::SyscallWrite]
+    }
+
+    /// The correlated / multi-rank models (fl-chaos).
+    pub const fn correlated_models() -> [FaultModel; 2] {
+        [FaultModel::Burst, FaultModel::NodeKill]
+    }
+
+    /// Every model the `chaos` campaign sweeps: network, then system,
+    /// then correlated.
+    pub fn chaos_models() -> [FaultModel; 9] {
+        let mut out = [FaultModel::Transient; 9];
+        let mut i = 0;
+        for m in Self::network_models()
+            .into_iter()
+            .chain(Self::system_models())
+            .chain(Self::correlated_models())
+        {
+            out[i] = m;
+            i += 1;
+        }
+        assert_eq!(i, 9);
+        out
+    }
+
+    /// Every variant there is: bit-duration, process-level, then chaos.
+    /// The single source of truth for parsers, round-trip tests and
+    /// did-you-mean suggestions.
+    pub fn all_models() -> [FaultModel; 15] {
+        let mut out = [FaultModel::Transient; 15];
+        let mut i = 0;
+        for m in Self::ALL
+            .into_iter()
+            .chain(Self::process_models())
+            .chain(Self::chaos_models())
+        {
+            out[i] = m;
+            i += 1;
+        }
+        assert_eq!(i, 15);
+        out
+    }
+
+    /// The chaos target class a chaos model injects through, or `None`
+    /// for the bit-duration and single-rank process models.
+    pub fn chaos_class(self) -> Option<TargetClass> {
+        match self {
+            FaultModel::NetDrop
+            | FaultModel::NetDuplicate
+            | FaultModel::NetReorder
+            | FaultModel::NetCorrupt
+            | FaultModel::Partition => Some(TargetClass::Network),
+            FaultModel::SyscallMalloc | FaultModel::SyscallWrite => Some(TargetClass::Syscall),
+            FaultModel::Burst | FaultModel::NodeKill => Some(TargetClass::Process),
+            FaultModel::Transient
+            | FaultModel::Held
+            | FaultModel::StuckAt0
+            | FaultModel::StuckAt1
+            | FaultModel::KillRank
+            | FaultModel::WedgeRank => None,
+        }
+    }
 
     /// Display label — also the canonical parse name, see
     /// [`std::str::FromStr`].
@@ -65,8 +173,36 @@ impl FaultModel {
             FaultModel::StuckAt1 => "stuck-at-1",
             FaultModel::KillRank => "kill-rank",
             FaultModel::WedgeRank => "wedge-rank",
+            FaultModel::NetDrop => "net-drop",
+            FaultModel::NetDuplicate => "net-dup",
+            FaultModel::NetReorder => "net-reorder",
+            FaultModel::NetCorrupt => "net-corrupt",
+            FaultModel::Partition => "partition",
+            FaultModel::SyscallMalloc => "syscall-malloc",
+            FaultModel::SyscallWrite => "syscall-write",
+            FaultModel::Burst => "burst-kill",
+            FaultModel::NodeKill => "node-kill",
         }
     }
+
+    /// Every parseable label, used for did-you-mean suggestions.
+    pub const LABELS: [&'static str; 15] = [
+        "transient",
+        "held-flip",
+        "stuck-at-0",
+        "stuck-at-1",
+        "kill-rank",
+        "wedge-rank",
+        "net-drop",
+        "net-dup",
+        "net-reorder",
+        "net-corrupt",
+        "partition",
+        "syscall-malloc",
+        "syscall-write",
+        "burst-kill",
+        "node-kill",
+    ];
 }
 
 impl std::fmt::Display for FaultModel {
@@ -78,7 +214,9 @@ impl std::fmt::Display for FaultModel {
 impl std::str::FromStr for FaultModel {
     type Err = String;
 
-    /// Accepts the labels plus the alias `held` for `held-flip`.
+    /// Accepts the labels plus the aliases `held` (`held-flip`),
+    /// `net-duplicate` (`net-dup`) and `burst` (`burst-kill`). Unknown
+    /// names get a nearest-match suggestion.
     fn from_str(s: &str) -> Result<FaultModel, String> {
         Ok(match s {
             "transient" => FaultModel::Transient,
@@ -87,7 +225,22 @@ impl std::str::FromStr for FaultModel {
             "stuck-at-1" => FaultModel::StuckAt1,
             "kill-rank" => FaultModel::KillRank,
             "wedge-rank" => FaultModel::WedgeRank,
-            other => return Err(format!("unknown fault model `{other}`")),
+            "net-drop" => FaultModel::NetDrop,
+            "net-dup" | "net-duplicate" => FaultModel::NetDuplicate,
+            "net-reorder" => FaultModel::NetReorder,
+            "net-corrupt" => FaultModel::NetCorrupt,
+            "partition" => FaultModel::Partition,
+            "syscall-malloc" => FaultModel::SyscallMalloc,
+            "syscall-write" => FaultModel::SyscallWrite,
+            "burst-kill" | "burst" => FaultModel::Burst,
+            "node-kill" => FaultModel::NodeKill,
+            other => {
+                return Err(crate::suggest::unknown(
+                    "fault model",
+                    other,
+                    &FaultModel::LABELS,
+                ))
+            }
         })
     }
 }
@@ -118,8 +271,9 @@ pub fn run_model_trial(
     budget: u64,
 ) -> Manifestation {
     assert!(
-        !matches!(model, FaultModel::KillRank | FaultModel::WedgeRank),
-        "process-level models are injected through the ft campaign paths"
+        FaultModel::ALL.contains(&model),
+        "only bit-duration models run here: process models go through the \
+         ft campaign paths, chaos models through the chaos engine"
     );
     let mut rng = StdRng::seed_from_u64(trial_seed);
     let rank = rng.gen_range(0..app.params.nranks);
@@ -159,7 +313,17 @@ pub fn run_model_trial(
                         m.set_register_bit(reg, bit, v);
                     })
                 }
-                FaultModel::KillRank | FaultModel::WedgeRank => unreachable!(),
+                FaultModel::KillRank
+                | FaultModel::WedgeRank
+                | FaultModel::NetDrop
+                | FaultModel::NetDuplicate
+                | FaultModel::NetReorder
+                | FaultModel::NetCorrupt
+                | FaultModel::Partition
+                | FaultModel::SyscallMalloc
+                | FaultModel::SyscallWrite
+                | FaultModel::Burst
+                | FaultModel::NodeKill => unreachable!(),
             }
         }
         TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
@@ -191,7 +355,17 @@ pub fn run_model_trial(
                         m.set_mem_bit(addr, bit, v);
                     })
                 }
-                FaultModel::KillRank | FaultModel::WedgeRank => unreachable!(),
+                FaultModel::KillRank
+                | FaultModel::WedgeRank
+                | FaultModel::NetDrop
+                | FaultModel::NetDuplicate
+                | FaultModel::NetReorder
+                | FaultModel::NetCorrupt
+                | FaultModel::Partition
+                | FaultModel::SyscallMalloc
+                | FaultModel::SyscallWrite
+                | FaultModel::Burst
+                | FaultModel::NodeKill => unreachable!(),
             }
         }
         other => panic!("run_model_trial does not support {other:?}"),
@@ -300,5 +474,47 @@ mod tests {
         // Process-level models are not part of the bit-duration sweep.
         assert_eq!(FaultModel::ALL.len(), 4);
         assert!(!FaultModel::ALL.contains(&FaultModel::KillRank));
+    }
+
+    #[test]
+    fn every_model_round_trips_through_parse_and_display() {
+        for m in FaultModel::all_models() {
+            let shown = m.to_string();
+            assert_eq!(shown.parse::<FaultModel>(), Ok(m), "round-trip {shown}");
+        }
+        // LABELS is exactly the set of canonical labels, in registry order.
+        let labels: Vec<&str> = FaultModel::all_models().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, FaultModel::LABELS);
+    }
+
+    #[test]
+    fn registries_partition_the_model_space() {
+        let all = FaultModel::all_models();
+        assert_eq!(all.len(), 15);
+        // No duplicates across registries.
+        for (i, a) in all.iter().enumerate() {
+            assert!(!all[i + 1..].contains(a), "{a} listed twice");
+        }
+        // Chaos models map to chaos classes; the rest map to none.
+        for m in FaultModel::chaos_models() {
+            assert!(m.chaos_class().is_some(), "{m} needs a chaos class");
+        }
+        for m in FaultModel::ALL
+            .into_iter()
+            .chain(FaultModel::process_models())
+        {
+            assert_eq!(m.chaos_class(), None);
+        }
+    }
+
+    #[test]
+    fn unknown_model_names_get_a_suggestion() {
+        let err = "net-crrupt".parse::<FaultModel>().unwrap_err();
+        assert_eq!(
+            err,
+            "unknown fault model `net-crrupt` (did you mean `net-corrupt`?)"
+        );
+        let err = "burst-".parse::<FaultModel>().unwrap_err();
+        assert!(err.contains("did you mean `burst-kill`?"), "{err}");
     }
 }

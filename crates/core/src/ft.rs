@@ -195,7 +195,7 @@ fn percent(num: usize, den: u32) -> f64 {
 /// Classify a shrink-mode run. An intervened run solved the smaller
 /// survivor problem, so correctness is judged against the shrunken
 /// golden; an untouched run is judged against the original.
-fn classify_shrink(
+pub(crate) fn classify_shrink(
     exit: &WorldExit,
     output: &[u8],
     intervened: bool,
@@ -239,7 +239,7 @@ fn classify_respawn(
 /// original golden is `RecoveredByApp`; a clean exit with no shrink
 /// means the kill never disturbed the app (same as `Correct`/
 /// `Incorrect` classification); anything else classifies as usual.
-fn classify_app(
+pub(crate) fn classify_app(
     exit: &WorldExit,
     output: &[u8],
     app_shrinks: u32,
@@ -259,7 +259,7 @@ fn classify_app(
 
 /// Classify a replicated run: a clean matching winner with at least one
 /// replica voted out means the fault was masked by replication.
-fn classify_replicated(
+pub(crate) fn classify_replicated(
     exit: &WorldExit,
     output: &[u8],
     votes: u32,

@@ -65,7 +65,7 @@ impl GuardedTrialRecord {
 /// [`Manifestation::ALL`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransitionMatrix {
-    counts: [[u32; 11]; 11],
+    counts: [[u32; 12]; 12],
 }
 
 impl TransitionMatrix {

@@ -39,6 +39,7 @@
 
 pub mod builder;
 pub mod campaign;
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod faultmodel;
@@ -53,6 +54,7 @@ pub mod report;
 pub mod sampling;
 pub mod ser;
 pub mod spec;
+pub mod suggest;
 pub mod target;
 
 pub use builder::CampaignBuilder;
@@ -60,6 +62,11 @@ pub use builder::CampaignBuilder;
 pub use campaign::{run_trial, run_trial_forked, run_trial_traced};
 pub use campaign::{
     trial_seed, CampaignConfig, CampaignResult, ClassResult, Dictionaries, TrialRecord,
+};
+pub use chaos::{
+    chaos_classes, chaos_jsonl, draw_chaos, is_covered, render_chaos, render_chaos_focus,
+    render_chaos_tsv, run_chaos_engine, syscall_counts, ChaosCell, ChaosFault, ChaosPolicy,
+    ChaosResult, ContractCheck, Defense, SyscallCounts,
 };
 pub use config::{parse_spec, ConfigError, ExperimentSpec};
 pub use engine::{
@@ -94,6 +101,7 @@ pub use report::{
 pub use sampling::{confidence_interval, estimation_error, sample_size, z_value};
 pub use ser::{application_corruptions_per_run, SerModel};
 pub use spec::{CampaignSpec, SpecMode};
+pub use suggest::{edit_distance, suggest};
 pub use target::{
     fp_registers, regular_registers, resolve_heap_target, resolve_stack_target, FaultDictionary,
     TargetClass,

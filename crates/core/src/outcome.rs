@@ -55,13 +55,19 @@ pub enum Manifestation {
     /// output matching the fault-free reference. The harness never
     /// intervened.
     RecoveredByApp,
+    /// The channel guard's CRC caught an in-flight corruption and the
+    /// retransmitted pristine copy completed the run with correct
+    /// output — the fault never left the wire (fl-chaos' provable CRC
+    /// coverage class).
+    MaskedByChannel,
 }
 
 impl Manifestation {
     /// All classes: the paper's six in table order, the two
     /// guarded-execution classes fl-guard added, the two process-level
-    /// classes fl-ft added, then fl-ulfm's application-recovery class.
-    pub const ALL: [Manifestation; 11] = [
+    /// classes fl-ft added, fl-ulfm's application-recovery class, then
+    /// fl-chaos' channel-masking class.
+    pub const ALL: [Manifestation; 12] = [
         Manifestation::Correct,
         Manifestation::Crash,
         Manifestation::Hang,
@@ -73,6 +79,7 @@ impl Manifestation {
         Manifestation::RankLost,
         Manifestation::MaskedByReplica,
         Manifestation::RecoveredByApp,
+        Manifestation::MaskedByChannel,
     ];
 
     /// True if the fault manifested at all (everything except `Correct`).
@@ -98,6 +105,7 @@ impl Manifestation {
             Manifestation::RankLost => "rank-lost",
             Manifestation::MaskedByReplica => "masked-by-replica",
             Manifestation::RecoveredByApp => "recovered-by-app",
+            Manifestation::MaskedByChannel => "masked-by-channel",
         }
     }
 
@@ -121,6 +129,7 @@ impl fmt::Display for Manifestation {
             Manifestation::RankLost => "Rank Lost",
             Manifestation::MaskedByReplica => "Masked (Replica)",
             Manifestation::RecoveredByApp => "Recovered (App)",
+            Manifestation::MaskedByChannel => "Masked (Channel)",
         };
         f.write_str(s)
     }
@@ -152,7 +161,7 @@ pub struct Tally {
     /// Injections performed.
     pub executions: u32,
     /// Count per manifestation class, indexed as [`Manifestation::ALL`].
-    counts: [u32; 11],
+    counts: [u32; 12],
 }
 
 impl Tally {

@@ -14,6 +14,7 @@
 //! bytes (the server keys resumable campaign state on this property).
 
 use crate::campaign::CampaignConfig;
+use crate::chaos::ChaosPolicy;
 use crate::json::{parse, Json};
 use crate::target::TargetClass;
 use fl_apps::AppKind;
@@ -30,6 +31,9 @@ pub enum SpecMode {
     Guard(GuardPolicy),
     /// Rank-kill recovery + replication campaign.
     Ft(FtPolicy),
+    /// Chaos defense-coverage matrix: every chaos fault model against
+    /// every defense column.
+    Chaos(ChaosPolicy),
 }
 
 impl SpecMode {
@@ -39,6 +43,7 @@ impl SpecMode {
             SpecMode::Campaign => "campaign",
             SpecMode::Guard(_) => "guard",
             SpecMode::Ft(_) => "ft",
+            SpecMode::Chaos(_) => "chaos",
         }
     }
 }
@@ -122,6 +127,28 @@ impl CampaignSpec {
                     f.detector.suspect_rounds,
                 );
             }
+            SpecMode::Chaos(p) => {
+                let (lo, hi) = p.partition_rounds;
+                let _ = write!(
+                    out,
+                    ",\"chaos\":{{\"partition_lo\":{},\"partition_hi\":{},\"reorder_max_delay\":{},\"burst_max\":{},\"node_ranks\":{},\"checkpoint_rounds\":{},\"max_restarts\":{},\"window_rounds\":{},\"stall_windows\":{},\"max_retransmits\":{},\"buddy_rounds\":{},\"max_respawns\":{},\"replicas\":{},\"probe_rounds\":{},\"suspect_rounds\":{}}}",
+                    lo,
+                    hi,
+                    p.reorder_max_delay,
+                    p.burst_max,
+                    p.node_ranks,
+                    p.guard.checkpoint_rounds,
+                    p.guard.max_restarts,
+                    p.guard.window_rounds,
+                    p.guard.stall_windows,
+                    p.guard.max_retransmits,
+                    p.ft.buddy_rounds,
+                    p.ft.max_respawns,
+                    p.ft.replicas,
+                    p.ft.detector.probe_rounds,
+                    p.ft.detector.suspect_rounds,
+                );
+            }
         }
         out.push('}');
         out
@@ -135,7 +162,7 @@ impl CampaignSpec {
         let Json::Obj(map) = &v else {
             return Err("spec must be a JSON object".into());
         };
-        const KEYS: [&str; 12] = [
+        const KEYS: [&str; 14] = [
             "app",
             "tiny",
             "regions",
@@ -148,10 +175,12 @@ impl CampaignSpec {
             "fastpath",
             "mode",
             "guard",
+            "ft",
+            "chaos",
         ];
         for key in map.keys() {
-            if !KEYS.contains(&key.as_str()) && key != "ft" {
-                return Err(format!("unknown spec key `{key}`"));
+            if !KEYS.contains(&key.as_str()) {
+                return Err(crate::suggest::unknown("spec key", key, &KEYS));
             }
         }
         let app: AppKind = v
@@ -231,13 +260,97 @@ impl CampaignSpec {
                 }
                 SpecMode::Ft(f)
             }
+            Some("chaos") => {
+                let mut p = ChaosPolicy::default();
+                if let Some(obj) = v.get("chaos") {
+                    const CHAOS_KEYS: [&str; 15] = [
+                        "partition_lo",
+                        "partition_hi",
+                        "reorder_max_delay",
+                        "burst_max",
+                        "node_ranks",
+                        "checkpoint_rounds",
+                        "max_restarts",
+                        "window_rounds",
+                        "stall_windows",
+                        "max_retransmits",
+                        "buddy_rounds",
+                        "max_respawns",
+                        "replicas",
+                        "probe_rounds",
+                        "suspect_rounds",
+                    ];
+                    let Json::Obj(cm) = obj else {
+                        return Err("`chaos` must be an object".into());
+                    };
+                    for key in cm.keys() {
+                        if !CHAOS_KEYS.contains(&key.as_str()) {
+                            return Err(crate::suggest::unknown("chaos key", key, &CHAOS_KEYS));
+                        }
+                    }
+                    p.partition_rounds.0 =
+                        opt_u64(obj, "partition_lo")?.unwrap_or(p.partition_rounds.0);
+                    p.partition_rounds.1 =
+                        opt_u64(obj, "partition_hi")?.unwrap_or(p.partition_rounds.1);
+                    p.reorder_max_delay =
+                        opt_u64(obj, "reorder_max_delay")?.unwrap_or(p.reorder_max_delay);
+                    p.burst_max = opt_u64(obj, "burst_max")?.unwrap_or(p.burst_max as u64) as u16;
+                    p.node_ranks =
+                        opt_u64(obj, "node_ranks")?.unwrap_or(p.node_ranks as u64) as u16;
+                    let g = &mut p.guard;
+                    g.checkpoint_rounds = opt_u64(obj, "checkpoint_rounds")?
+                        .unwrap_or(g.checkpoint_rounds as u64)
+                        as u32;
+                    g.max_restarts =
+                        opt_u64(obj, "max_restarts")?.unwrap_or(g.max_restarts as u64) as u32;
+                    g.window_rounds =
+                        opt_u64(obj, "window_rounds")?.unwrap_or(g.window_rounds as u64) as u32;
+                    g.stall_windows =
+                        opt_u64(obj, "stall_windows")?.unwrap_or(g.stall_windows as u64) as u32;
+                    g.max_retransmits =
+                        opt_u64(obj, "max_retransmits")?.unwrap_or(g.max_retransmits as u64) as u8;
+                    let f = &mut p.ft;
+                    f.buddy_rounds = opt_u64(obj, "buddy_rounds")?.unwrap_or(f.buddy_rounds);
+                    f.max_respawns =
+                        opt_u64(obj, "max_respawns")?.unwrap_or(f.max_respawns as u64) as u32;
+                    f.replicas = opt_u64(obj, "replicas")?.unwrap_or(f.replicas as u64) as u16;
+                    f.detector.probe_rounds =
+                        opt_u64(obj, "probe_rounds")?.unwrap_or(f.detector.probe_rounds);
+                    f.detector.suspect_rounds =
+                        opt_u64(obj, "suspect_rounds")?.unwrap_or(f.detector.suspect_rounds);
+                }
+                SpecMode::Chaos(p)
+            }
             Some(other) => {
                 return Err(format!(
-                    "unknown mode `{other}` (expected campaign, guard or ft)"
+                    "unknown mode `{other}` (expected campaign, guard, ft or chaos)"
                 ))
             }
         };
         Ok(spec)
+    }
+
+    /// The per-slot target classes of this spec's record stream — the
+    /// `classes` argument [`crate::engine::CompletedSlots::from_jsonl`]
+    /// needs to adopt records on resume. Plain campaigns stream one slot
+    /// per requested region; chaos campaigns stream the fixed 9 × 6
+    /// model × defense grid; guard and ft campaigns do not stream
+    /// adoptable records, so their slot space is empty.
+    pub fn record_classes(&self) -> Vec<TargetClass> {
+        match &self.mode {
+            SpecMode::Campaign => self.classes.clone(),
+            SpecMode::Chaos(_) => crate::chaos::chaos_classes(),
+            SpecMode::Guard(_) | SpecMode::Ft(_) => Vec::new(),
+        }
+    }
+
+    /// Trials per record-stream slot — the companion bound to
+    /// [`CampaignSpec::record_classes`] for record adoption.
+    pub fn record_injections(&self) -> u32 {
+        match &self.mode {
+            SpecMode::Campaign | SpecMode::Chaos(_) => self.campaign.injections,
+            SpecMode::Guard(_) | SpecMode::Ft(_) => 0,
+        }
     }
 }
 
@@ -319,6 +432,96 @@ mod tests {
         };
         assert_eq!(f.replicas, 2);
         assert_eq!(f.buddy_rounds, FtPolicy::default().buddy_rounds);
+    }
+
+    #[test]
+    fn chaos_mode_round_trips() {
+        let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+        spec.tiny = true;
+        spec.campaign.injections = 25;
+        spec.mode = SpecMode::Chaos(ChaosPolicy {
+            partition_rounds: (32, 96),
+            burst_max: 2,
+            ..ChaosPolicy::default()
+        });
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), spec.to_json(), "canonical fixed point");
+    }
+
+    #[test]
+    fn chaos_spec_golden_json_is_stable() {
+        // The canonical one-line wire form — the service keys resumable
+        // state on these exact bytes, so the field order is a contract.
+        let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+        spec.tiny = true;
+        spec.classes = vec![TargetClass::Message];
+        spec.campaign.injections = 10;
+        spec.campaign.seed = 81;
+        spec.mode = SpecMode::Chaos(ChaosPolicy::default());
+        assert_eq!(
+            spec.to_json(),
+            "{\"app\":\"wavetoy\",\"tiny\":true,\"regions\":[\"message\"],\
+             \"injections\":10,\"seed\":81,\"budget_factor\":3,\"threads\":0,\
+             \"epoch_rounds\":16,\"ring\":0,\"fastpath\":true,\"mode\":\"chaos\",\
+             \"chaos\":{\"partition_lo\":64,\"partition_hi\":512,\
+             \"reorder_max_delay\":64,\"burst_max\":3,\"node_ranks\":2,\
+             \"checkpoint_rounds\":64,\"max_restarts\":3,\"window_rounds\":8,\
+             \"stall_windows\":24,\"max_retransmits\":3,\"buddy_rounds\":64,\
+             \"max_respawns\":3,\"replicas\":3,\"probe_rounds\":8,\
+             \"suspect_rounds\":32}}"
+        );
+        assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn partial_chaos_policies_keep_defaults() {
+        let spec = CampaignSpec::from_json(
+            r#"{"app":"wavetoy","mode":"chaos","chaos":{"burst_max":5,"partition_hi":2048}}"#,
+        )
+        .unwrap();
+        let SpecMode::Chaos(p) = spec.mode else {
+            panic!("expected chaos mode");
+        };
+        assert_eq!(p.burst_max, 5);
+        assert_eq!(p.partition_rounds, (64, 2048));
+        assert_eq!(p.node_ranks, ChaosPolicy::default().node_ranks);
+        assert_eq!(p.guard, ChaosPolicy::default().guard);
+
+        // Mode alone is enough; the whole policy defaults.
+        let spec = CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"chaos"}"#).unwrap();
+        assert_eq!(spec.mode, SpecMode::Chaos(ChaosPolicy::default()));
+    }
+
+    #[test]
+    fn unknown_chaos_keys_are_rejected_with_a_hint() {
+        let err =
+            CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"chaos","chaos":{"burst_mx":5}}"#)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            "unknown chaos key `burst_mx` (did you mean `burst_max`?)"
+        );
+        let err =
+            CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"chaos","chaos":[]}"#).unwrap_err();
+        assert!(err.contains("`chaos` must be an object"), "{err}");
+    }
+
+    #[test]
+    fn record_slot_space_matches_the_mode() {
+        let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+        spec.campaign.injections = 7;
+        assert_eq!(spec.record_classes(), TargetClass::ALL.to_vec());
+        assert_eq!(spec.record_injections(), 7);
+
+        spec.mode = SpecMode::Chaos(ChaosPolicy::default());
+        let classes = spec.record_classes();
+        assert_eq!(classes.len(), 9 * 6, "9 chaos models x 6 defenses");
+        assert_eq!(spec.record_injections(), 7);
+
+        spec.mode = SpecMode::Ft(FtPolicy::default());
+        assert!(spec.record_classes().is_empty());
+        assert_eq!(spec.record_injections(), 0);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Chaos determinism, test-enforced: any chaos spec — whatever its
+//! partition window, burst width, reorder delay or seed — must produce
+//! a byte-identical record stream at 1 worker and 4 workers, and across
+//! a kill + resume from an arbitrary prefix of the streamed file (the
+//! same durability contract `engine_resume.rs` pins for plain
+//! campaigns).
+
+use fl_inject::{
+    run_spec, sort_records_jsonl, CampaignSpec, ChaosPolicy, CompletedSlots, EngineControl,
+    SpecMode, SpecOutcome, VecSink,
+};
+use proptest::prelude::*;
+
+fn spec_with(policy: ChaosPolicy, seed: u64, threads: usize) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(fl_apps::AppKind::Wavetoy);
+    spec.tiny = true;
+    spec.campaign.injections = 1;
+    spec.campaign.seed = seed;
+    spec.campaign.threads = threads;
+    spec.mode = SpecMode::Chaos(policy);
+    spec
+}
+
+/// Run the spec, returning (completion-order lines, canonical stream,
+/// total guest instructions).
+fn run(spec: &CampaignSpec, resume: Option<CompletedSlots>) -> (Vec<String>, String, u64) {
+    let sink = VecSink::new(spec.app);
+    let out = run_spec(spec, &sink, &EngineControl::new(), resume)
+        .expect("uncontrolled chaos runs always complete");
+    let SpecOutcome::Chaos(result) = out else {
+        panic!("chaos spec must produce a chaos outcome");
+    };
+    let lines = sink.into_lines();
+    let canonical = sort_records_jsonl(&(lines.join("\n") + "\n"));
+    (lines, canonical, result.insns_total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// One worker, four workers, and a resumed run killed at an
+    /// arbitrary slot boundary (possibly with a torn tail line) all
+    /// land on the same canonical record bytes and instruction totals.
+    #[test]
+    fn any_chaos_spec_is_deterministic_and_resumable(
+        seed in 0u64..1 << 48,
+        partition_lo in 16u64..128,
+        partition_len in 1u64..512,
+        reorder_max_delay in 1u64..96,
+        burst_max in 2u16..4,
+        node_ranks in 1u16..3,
+        cut in 0usize..55,
+        torn in any::<bool>(),
+    ) {
+        let policy = ChaosPolicy {
+            partition_rounds: (partition_lo, partition_lo + partition_len),
+            reorder_max_delay,
+            burst_max,
+            node_ranks,
+            ..ChaosPolicy::default()
+        };
+        let spec1 = spec_with(policy, seed, 1);
+        let (lines, canonical, insns) = run(&spec1, None);
+        prop_assert_eq!(lines.len(), spec1.record_classes().len());
+
+        let spec4 = spec_with(policy, seed, 4);
+        let (_, canonical4, insns4) = run(&spec4, None);
+        prop_assert_eq!(&canonical4, &canonical, "4-worker stream diverged");
+        prop_assert_eq!(insns4, insns);
+
+        // Kill after `cut` completed trials and resume from the
+        // surviving file, as the campaign service would.
+        let cut = cut.min(lines.len());
+        let mut file = lines[..cut].join("\n");
+        if cut > 0 {
+            file.push('\n');
+        }
+        if torn {
+            file.push_str("{\"app\":\"wavetoy\",\"class\":\"net");
+        }
+        let (slots, _skipped) = CompletedSlots::from_jsonl(
+            &file,
+            &spec4.record_classes(),
+            spec4.record_injections(),
+        );
+        prop_assert_eq!(slots.len(), cut, "every surviving line must be adopted");
+        let (fresh, _, insns_r) = run(&spec4, Some(slots));
+        let mut all = String::new();
+        for line in file.lines() {
+            if fl_inject::parse_record_line(line).is_ok() {
+                all.push_str(line);
+                all.push('\n');
+            }
+        }
+        for line in fresh {
+            all.push_str(&line);
+            all.push('\n');
+        }
+        prop_assert_eq!(&sort_records_jsonl(&all), &canonical,
+            "record stream diverged after resume from {} lines (torn={})", cut, torn);
+        prop_assert_eq!(insns_r, insns, "adopted slots must not re-execute");
+    }
+}

@@ -38,7 +38,10 @@ pub use layout::{
     align_up, AddressSpaceMap, Mapping, Perms, Region, DEFAULT_STACK_SIZE, KERNEL_BASE, LIB_BASE,
     PAGE_SIZE, STACK_TOP, TEXT_BASE,
 };
-pub use machine::{Counters, Cpu, Exit, Machine, MachineConfig, MachineSnapshot, Signal};
+pub use machine::{
+    Counters, Cpu, Exit, Machine, MachineConfig, MachineSnapshot, Signal, SyscallFault,
+    SyscallFaultKind,
+};
 pub use malloc::{
     AllocTag, ChunkInfo, HeapAllocator, HeapError, HEADER_SIZE, MAGIC_FREE, MAGIC_MPI, MAGIC_USER,
 };

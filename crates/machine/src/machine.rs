@@ -121,6 +121,35 @@ pub struct Counters {
     pub mallocs: u64,
     /// MPI syscalls issued.
     pub mpi_calls: u64,
+    /// Output syscalls issued (console/file write family) — the draw
+    /// denominator for fl-chaos write-failure injection.
+    pub io_writes: u64,
+}
+
+/// Which syscall family a [`SyscallFault`] fails (fl-chaos' OS-level
+/// failure model — the SystemTap-style "make the kernel say no").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallFaultKind {
+    /// `malloc` returns NULL (allocation denied).
+    Malloc,
+    /// An output syscall fails: nothing reaches the console or output
+    /// file and EAX reads back -1, like a full disk or a closed fd.
+    Write,
+}
+
+/// An armed OS-level failure: the `at_call`-th matching syscall issued
+/// after arming fails instead of being serviced. `Copy`, carried by
+/// [`MachineSnapshot`]s — restoring a pre-fire checkpoint re-arms it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallFault {
+    /// Which family of syscalls fails.
+    pub kind: SyscallFaultKind,
+    /// 1-based index (among matching calls, counted from arming) of the
+    /// call that fails.
+    pub at_call: u64,
+    /// True: every subsequent matching call fails too (a resource gone
+    /// for good). False: one-shot (a transient EINTR-style denial).
+    pub persist: bool,
 }
 
 /// Configuration for machine construction.
@@ -264,6 +293,12 @@ pub struct Machine {
     /// Lowest ESP observed on a push — measures peak stack depth for the
     /// Table 1 profile ("the stack size varied between 5-10 KB").
     min_esp: u32,
+    /// fl-chaos: armed OS-level syscall failure.
+    syscall_fault: Option<SyscallFault>,
+    /// Matching syscalls seen since the fault was armed.
+    syscall_fault_seen: u64,
+    /// Syscall failures applied so far (0 = armed fault never fired).
+    syscall_faults_fired: u64,
 }
 
 impl Machine {
@@ -355,7 +390,22 @@ impl Machine {
             bcache_app: BlockCache::new(TEXT_BASE, text_len.max(4)),
             bcache_lib: BlockCache::new(LIB_BASE, lib_text_len.max(4)),
             min_esp: STACK_TOP - 16,
+            syscall_fault: None,
+            syscall_fault_seen: 0,
+            syscall_faults_fired: 0,
         }
+    }
+
+    /// Arm an OS-level syscall failure (fl-chaos). Replaces any armed
+    /// one and restarts the matching-call count.
+    pub fn set_syscall_fault(&mut self, f: SyscallFault) {
+        self.syscall_fault = Some(f);
+        self.syscall_fault_seen = 0;
+    }
+
+    /// Syscall failures applied so far (0 = armed fault never fired).
+    pub fn syscall_faults_fired(&self) -> u64 {
+        self.syscall_faults_fired
     }
 
     /// Peak stack usage in bytes.
@@ -978,6 +1028,65 @@ impl Machine {
         let eax = self.cpu.get(Gpr::Eax);
         let ecx = self.cpu.get(Gpr::Ecx);
         let now = self.counters.blocks;
+        let is_write = matches!(
+            call,
+            Syscall::PrintStr
+                | Syscall::FileWrite
+                | Syscall::PrintInt
+                | Syscall::PrintFlt
+                | Syscall::FileWriteFlt
+                | Syscall::FileWriteBin
+        );
+        if is_write {
+            self.counters.io_writes += 1;
+        }
+        if let Some(f) = self.syscall_fault {
+            let hit = match f.kind {
+                SyscallFaultKind::Malloc => call == Syscall::Malloc,
+                SyscallFaultKind::Write => is_write,
+            };
+            if hit {
+                self.syscall_fault_seen += 1;
+                if self.syscall_fault_seen >= f.at_call {
+                    if !f.persist {
+                        self.syscall_fault = None;
+                    }
+                    self.syscall_faults_fired += 1;
+                    self.obs.record(
+                        now,
+                        EventKind::FaultFired {
+                            at_insns: self.counters.insns,
+                        },
+                    );
+                    return match f.kind {
+                        SyscallFaultKind::Malloc => {
+                            // Allocation denied: the call is still counted
+                            // and recorded, but the arena is untouched and
+                            // the program sees NULL.
+                            self.counters.mallocs += 1;
+                            self.obs
+                                .record(now, EventKind::MallocCall { size: ecx, ptr: 0 });
+                            self.cpu.set(Gpr::Eax, 0);
+                            Err(SysOutcome::Continue)
+                        }
+                        SyscallFaultKind::Write => {
+                            // The write fails after consuming its operands
+                            // (the FPU pop still happens, like a kernel
+                            // that read the user buffer before erroring)
+                            // and nothing reaches the sink; EAX reads -1.
+                            if matches!(
+                                call,
+                                Syscall::PrintFlt | Syscall::FileWriteFlt | Syscall::FileWriteBin
+                            ) {
+                                self.cpu.fpu.pop();
+                            }
+                            self.cpu.set(Gpr::Eax, u32::MAX);
+                            Err(SysOutcome::Continue)
+                        }
+                    };
+                }
+            }
+        }
         match call {
             Syscall::Exit => Ok(Exit::Halted(eax as i32)),
             Syscall::PrintStr | Syscall::FileWrite => {
@@ -1202,6 +1311,9 @@ impl Machine {
             text_end: self.text_end,
             lib_text_end: self.lib_text_end,
             min_esp: self.min_esp,
+            syscall_fault: self.syscall_fault,
+            syscall_fault_seen: self.syscall_fault_seen,
+            syscall_faults_fired: self.syscall_faults_fired,
         }
     }
 }
@@ -1225,6 +1337,9 @@ pub struct MachineSnapshot {
     pub text_end: u32,
     pub lib_text_end: u32,
     pub min_esp: u32,
+    pub syscall_fault: Option<SyscallFault>,
+    pub syscall_fault_seen: u64,
+    pub syscall_faults_fired: u64,
 }
 
 impl MachineSnapshot {
@@ -1252,6 +1367,9 @@ impl MachineSnapshot {
             bcache_app: BlockCache::new(TEXT_BASE, text_len),
             bcache_lib: BlockCache::new(LIB_BASE, lib_text_len),
             min_esp: self.min_esp,
+            syscall_fault: self.syscall_fault,
+            syscall_fault_seen: self.syscall_fault_seen,
+            syscall_faults_fired: self.syscall_faults_fired,
         }
     }
 }
@@ -1525,6 +1643,144 @@ mod tests {
         assert!(matches!(e, Exit::Halted(_)));
         assert_eq!(m.counters.mallocs, 1);
         assert_eq!(m.heap.live_chunks().len(), 0);
+    }
+
+    #[test]
+    fn syscall_fault_denies_malloc() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Ecx, imm: 128 },
+            Insn::Sys {
+                num: Syscall::Malloc as u16,
+            },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.set_syscall_fault(SyscallFault {
+            kind: SyscallFaultKind::Malloc,
+            at_call: 1,
+            persist: false,
+        });
+        assert!(matches!(m.run(100), Exit::Halted(_)));
+        assert_eq!(m.cpu.get(Eax), 0, "denied malloc returns NULL");
+        assert_eq!(m.counters.mallocs, 1, "the call is still counted");
+        assert_eq!(m.syscall_faults_fired(), 1);
+        assert!(m.heap.live_chunks().is_empty(), "nothing was allocated");
+    }
+
+    #[test]
+    fn syscall_fault_fails_the_drawn_write_only() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Eax, imm: 42 },
+            Insn::Sys {
+                num: Syscall::PrintInt as u16,
+            },
+            Insn::MovI { rd: Eax, imm: 43 },
+            Insn::Sys {
+                num: Syscall::PrintInt as u16,
+            },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.set_syscall_fault(SyscallFault {
+            kind: SyscallFaultKind::Write,
+            at_call: 1,
+            persist: false,
+        });
+        assert!(matches!(m.run(100), Exit::Halted(_)));
+        assert_eq!(m.console_text(), "43", "only the drawn write fails");
+        assert_eq!(m.counters.io_writes, 2, "both calls are counted");
+        assert_eq!(m.syscall_faults_fired(), 1);
+    }
+
+    #[test]
+    fn persistent_write_fault_suppresses_everything_after() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Eax, imm: 1 },
+            Insn::Sys {
+                num: Syscall::PrintInt as u16,
+            },
+            Insn::MovI { rd: Eax, imm: 2 },
+            Insn::Sys {
+                num: Syscall::PrintInt as u16,
+            },
+            Insn::MovI { rd: Eax, imm: 3 },
+            Insn::Sys {
+                num: Syscall::PrintInt as u16,
+            },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.set_syscall_fault(SyscallFault {
+            kind: SyscallFaultKind::Write,
+            at_call: 2,
+            persist: true,
+        });
+        assert!(matches!(m.run(100), Exit::Halted(_)));
+        assert_eq!(m.console_text(), "1", "writes 2 and 3 both fail");
+        assert_eq!(m.syscall_faults_fired(), 2);
+    }
+
+    #[test]
+    fn failed_float_write_still_pops_the_fpu() {
+        use Gpr::*;
+        // Push 2.0 then 3.0; the first (failed) print must consume 3.0
+        // so the second prints 2.0 — a fault may deny the write, never
+        // desynchronize the FPU stack.
+        let data_base = image(&[Insn::Nop; 8]).data_base();
+        let img = {
+            let mut i = image(&[
+                Insn::FldG { addr: data_base },
+                Insn::FldG {
+                    addr: data_base + 8,
+                },
+                Insn::MovI { rd: Ecx, imm: 1 },
+                Insn::Sys {
+                    num: Syscall::PrintFlt as u16,
+                },
+                Insn::MovI { rd: Ecx, imm: 1 },
+                Insn::Sys {
+                    num: Syscall::PrintFlt as u16,
+                },
+                Insn::Halt,
+            ]);
+            i.data[..8].copy_from_slice(&2.0f64.to_le_bytes());
+            i.data[8..16].copy_from_slice(&3.0f64.to_le_bytes());
+            i
+        };
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.set_syscall_fault(SyscallFault {
+            kind: SyscallFaultKind::Write,
+            at_call: 1,
+            persist: false,
+        });
+        assert!(matches!(m.run(100), Exit::Halted(_)));
+        assert_eq!(m.console_text(), "2.0");
+    }
+
+    #[test]
+    fn syscall_fault_rides_snapshots() {
+        use Gpr::*;
+        let img = image(&[
+            Insn::MovI { rd: Ecx, imm: 64 },
+            Insn::Sys {
+                num: Syscall::Malloc as u16,
+            },
+            Insn::Halt,
+        ]);
+        let mut m = Machine::load(&img, MachineConfig::default());
+        m.set_syscall_fault(SyscallFault {
+            kind: SyscallFaultKind::Malloc,
+            at_call: 1,
+            persist: false,
+        });
+        let snap = m.snapshot();
+        let mut r = snap.to_machine();
+        assert!(matches!(r.run(100), Exit::Halted(_)));
+        assert_eq!(r.cpu.get(Eax), 0, "the restored machine replays the denial");
+        assert_eq!(r.syscall_faults_fired(), 1);
     }
 
     #[test]

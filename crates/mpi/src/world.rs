@@ -137,6 +137,79 @@ pub struct RankKill {
     pub wedge: bool,
 }
 
+/// What a [`NetFault`] does to the struck in-flight message (fl-chaos'
+/// lossy-network models). Every kind targets exactly one message — the
+/// one whose wire bytes cover the drawn cumulative receive offset — so
+/// the draw space is identical to [`MessageFault`]'s and trials stay
+/// schedulable against the same per-rank traffic volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The message vanishes at the channel (a lossy link).
+    Drop,
+    /// The message is delivered, then delivered again one round later
+    /// (a duplicating link; no receiver-side dedup exists below the
+    /// guard, exactly like raw datagrams).
+    Duplicate,
+    /// Delivery is deferred by `delay_rounds` scheduler rounds, letting
+    /// later traffic overtake it (bounded-delay reordering).
+    Reorder {
+        /// Rounds the message waits before delivery.
+        delay_rounds: u64,
+    },
+    /// One wire byte is XOR-inverted in flight: a payload byte when the
+    /// message has one (which the CRC covers — the guard's provable
+    /// catch), else the CRC field itself of a header-only message.
+    Corrupt,
+}
+
+/// A channel-level network fault (fl-chaos): apply `kind` to the message
+/// whose bytes cover cumulative received-volume offset `at_recv_byte` on
+/// `rank`. One-shot, `Copy` (rides inside [`WorldSnapshot`]s), and
+/// drawn/armed exactly like a [`MessageFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFault {
+    /// Receiving rank.
+    pub rank: u16,
+    /// Offset into the rank's cumulative incoming byte stream.
+    pub at_recv_byte: u64,
+    /// What happens to the struck message.
+    pub kind: NetFaultKind,
+}
+
+/// A rank-set network partition (fl-chaos): once `trigger_rank`'s
+/// retired-block clock reaches `at_blocks`, every channel between the
+/// `mask` group and its complement is severed for `rounds` scheduler
+/// rounds — all cross-partition traffic (including guard redeliveries)
+/// silently vanishes. `Copy`; carried by [`WorldSnapshot`]s, so a
+/// recovery path restoring a pre-trigger checkpoint replays it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Bitmask of ranks on one side of the cut (bit r = rank r).
+    pub mask: u32,
+    /// Rank whose retired-block clock schedules the cut.
+    pub trigger_rank: u16,
+    /// Retired-block clock value at which the cut begins.
+    pub at_blocks: u64,
+    /// Scheduler rounds the cut lasts.
+    pub rounds: u64,
+}
+
+/// A node-level fault (FINJ's node model, via fl-chaos): once
+/// `trigger_rank`'s retired-block clock reaches `at_blocks`, every
+/// not-yet-exited rank in `mask` dies (or wedges) at once — the
+/// machine-check / PSU-failure shape where co-located ranks share fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKill {
+    /// Bitmask of ranks sharing the failing node (bit r = rank r).
+    pub mask: u32,
+    /// Rank whose retired-block clock schedules the failure.
+    pub trigger_rank: u16,
+    /// Retired-block clock value at which the node fails.
+    pub at_blocks: u64,
+    /// True: processes stay resident but silent. False: gone outright.
+    pub wedge: bool,
+}
+
 /// Pristine wire images a sender keeps for retransmission (per rank).
 const SENT_HISTORY_CAP: usize = 16;
 
@@ -385,6 +458,24 @@ pub struct MpiWorld {
     message_fault: Option<MessageFault>,
     message_fault_hit: Option<MessageFaultHit>,
     rank_kill: Option<RankKill>,
+    /// fl-chaos: armed burst kills (correlated MTBF arrivals). Fire
+    /// independently, exactly like `rank_kill`. Empty unless armed.
+    rank_kills: Vec<RankKill>,
+    /// fl-chaos: armed network fault (drop/dup/reorder/corrupt).
+    net_fault: Option<NetFault>,
+    /// Network-fault strikes applied so far (0 or 1; an accessor for
+    /// miss detection, like `message_fault_hit`).
+    net_faults_fired: u32,
+    /// fl-chaos: armed (not yet triggered) partition.
+    partition: Option<Partition>,
+    /// Round before which the active partition's cut holds (0 = none).
+    partition_until: u64,
+    /// Active partition's rank bitmask (valid while the cut holds).
+    partition_mask: u32,
+    /// Cross-partition messages silently dropped by the active cut.
+    partition_drops: u64,
+    /// fl-chaos: armed node-level kill.
+    node_kill: Option<NodeKill>,
     /// Set once a fatal event is recorded.
     fatal: Option<WorldExit>,
     /// Scheduler rounds completed (drives retransmit backoff timing).
@@ -440,6 +531,14 @@ impl MpiWorld {
             message_fault: None,
             message_fault_hit: None,
             rank_kill: None,
+            rank_kills: Vec::new(),
+            net_fault: None,
+            net_faults_fired: 0,
+            partition: None,
+            partition_until: 0,
+            partition_mask: 0,
+            partition_drops: 0,
+            node_kill: None,
             fatal: None,
             round: 0,
             pending_redelivery: VecDeque::new(),
@@ -477,8 +576,64 @@ impl MpiWorld {
     /// restoring a pre-fire checkpoint call this so the kill does not
     /// re-fire on re-execution (a snapshot carries the `Copy` fault —
     /// see [`MpiWorld::snapshot`]).
+    ///
+    /// Also disarms every other armed *process-level* chaos fault (burst
+    /// kills, the node kill): all of them are `Copy`, all ride
+    /// snapshots, and a recovery path that means to survive one process
+    /// fault means to survive them all.
     pub fn take_rank_kill(&mut self) -> Option<RankKill> {
+        self.rank_kills.clear();
+        self.node_kill = None;
         self.rank_kill.take()
+    }
+
+    /// Arm an additional, independent rank kill (fl-chaos burst model).
+    /// Unlike [`MpiWorld::set_rank_kill`] this accumulates: each armed
+    /// kill fires on its own victim's block clock.
+    pub fn add_rank_kill(&mut self, k: RankKill) {
+        assert!((k.rank as usize) < self.ranks.len());
+        self.rank_kills.push(k);
+    }
+
+    /// Arm a network fault (drop/duplicate/reorder/corrupt in flight).
+    pub fn set_net_fault(&mut self, f: NetFault) {
+        assert!((f.rank as usize) < self.ranks.len());
+        self.net_fault = Some(f);
+    }
+
+    /// Network-fault strikes applied so far (0 = armed fault missed or
+    /// still pending). Where it landed is in
+    /// [`MpiWorld::message_fault_hit`], shared with the bit-flip model.
+    pub fn net_faults_fired(&self) -> u32 {
+        self.net_faults_fired
+    }
+
+    /// Arm a rank-set partition. Masks address ranks as bits, so worlds
+    /// larger than 32 ranks cannot be partitioned.
+    pub fn set_partition(&mut self, p: Partition) {
+        assert!(
+            self.ranks.len() <= 32,
+            "partitions carry rank sets as 32-bit masks"
+        );
+        assert!((p.trigger_rank as usize) < self.ranks.len());
+        self.partition = Some(p);
+    }
+
+    /// Cross-partition messages the active (or expired) cut silently
+    /// dropped — 0 means an armed partition never triggered or cut no
+    /// traffic.
+    pub fn partition_drops(&self) -> u64 {
+        self.partition_drops
+    }
+
+    /// Arm a node-level kill (whole rank group dies at once).
+    pub fn set_node_kill(&mut self, k: NodeKill) {
+        assert!(
+            self.ranks.len() <= 32,
+            "node kills carry rank sets as 32-bit masks"
+        );
+        assert!((k.trigger_rank as usize) < self.ranks.len());
+        self.node_kill = Some(k);
     }
 
     /// A rank's process-level liveness.
@@ -616,6 +771,14 @@ impl MpiWorld {
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
             rank_kill: self.rank_kill,
+            rank_kills: self.rank_kills.clone(),
+            net_fault: self.net_fault,
+            net_faults_fired: self.net_faults_fired,
+            partition: self.partition,
+            partition_until: self.partition_until,
+            partition_mask: self.partition_mask,
+            partition_drops: self.partition_drops,
+            node_kill: self.node_kill,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),
@@ -710,6 +873,16 @@ impl MpiWorld {
     /// rank (scheduler knowledge, not trusted wire bytes — a flip can
     /// corrupt the header's src field).
     fn ingest(&mut self, src: u16, dst: u16, mut msg: WireMsg) {
+        if self.round < self.partition_until
+            && (self.partition_mask >> (src as u32) ^ self.partition_mask >> (dst as u32)) & 1 == 1
+        {
+            // An active partition severs the channel before anything else
+            // sees the bytes: no traffic accounting, and — crucially — no
+            // piggybacked heartbeat, so a cut also silences liveness
+            // evidence exactly like a real switch failure.
+            self.partition_drops += 1;
+            return;
+        }
         if self.cfg.ft.enabled {
             // Piggybacked heartbeat: traffic from a rank proves it alive.
             self.ranks[src as usize].last_heard = self.round;
@@ -752,6 +925,62 @@ impl MpiWorld {
                         in_header,
                     },
                 );
+            }
+        }
+        if let Some(f) = self.net_fault {
+            if f.rank == dst && f.at_recv_byte >= start && f.at_recv_byte < start + len {
+                self.net_fault = None;
+                self.net_faults_fired += 1;
+                let off = (f.at_recv_byte - start) as usize;
+                let in_header = off < crate::message::HEADER_SIZE;
+                self.message_fault_hit = Some(MessageFaultHit {
+                    offset_in_msg: off,
+                    in_header,
+                    msg_len: msg.len(),
+                });
+                self.obs_record(
+                    dst as usize,
+                    EventKind::MessageFaultHit {
+                        offset: off as u32,
+                        in_header,
+                    },
+                );
+                match f.kind {
+                    NetFaultKind::Drop => return,
+                    NetFaultKind::Duplicate => {
+                        // Deliver now, and again next round: the copy
+                        // re-enters the channel like any redelivery.
+                        self.pending_redelivery.push_back(Redelivery {
+                            due_round: self.round + 1,
+                            src,
+                            dst,
+                            msg: msg.clone(),
+                        });
+                    }
+                    NetFaultKind::Reorder { delay_rounds } => {
+                        // Defer delivery so later traffic overtakes it.
+                        self.pending_redelivery.push_back(Redelivery {
+                            due_round: self.round + delay_rounds.max(1),
+                            src,
+                            dst,
+                            msg,
+                        });
+                        return;
+                    }
+                    NetFaultKind::Corrupt => {
+                        // Invert a CRC-covered payload byte when there is
+                        // one; a header-only message gets its CRC field
+                        // inverted instead (harmless unguarded, caught
+                        // guarded — either way the flip is in the wire).
+                        let at = if msg.len() > crate::message::HEADER_SIZE {
+                            crate::message::HEADER_SIZE
+                                + off % (msg.len() - crate::message::HEADER_SIZE)
+                        } else {
+                            crate::message::CRC_OFFSET
+                        };
+                        msg.raw[at] ^= 0xFF;
+                    }
+                }
             }
         }
         if self.cfg.guard.enabled && !msg.crc_ok() {
@@ -1499,6 +1728,80 @@ impl MpiWorld {
         }
     }
 
+    /// Fire every armed burst kill whose victim's block clock has been
+    /// reached (fl-chaos correlated model: each arrival is an
+    /// independent [`RankKill`] drawn from one MTBF process).
+    fn apply_burst_kills(&mut self) {
+        let kills = std::mem::take(&mut self.rank_kills);
+        let mut armed = Vec::new();
+        for k in kills {
+            let i = k.rank as usize;
+            if matches!(self.ranks[i].status, Status::Exited)
+                || !matches!(self.ranks[i].health, Health::Alive)
+            {
+                continue; // finished first (missed) or already dead
+            }
+            if self.ranks[i].machine.counters.blocks >= k.at_blocks {
+                self.obs_record(i, EventKind::RankKilled { wedge: k.wedge });
+                self.ranks[i].health = if k.wedge {
+                    Health::Wedged
+                } else {
+                    Health::Dead
+                };
+            } else {
+                armed.push(k);
+            }
+        }
+        self.rank_kills = armed;
+    }
+
+    /// Fire the armed node kill once the trigger rank's block clock is
+    /// reached: every live, unfinished rank in the mask dies at once.
+    fn apply_node_kill(&mut self) {
+        let Some(k) = self.node_kill else { return };
+        let t = k.trigger_rank as usize;
+        if matches!(self.ranks[t].status, Status::Exited) {
+            // The trigger rank finished before the failure point: missed.
+            self.node_kill = None;
+            return;
+        }
+        if self.ranks[t].machine.counters.blocks < k.at_blocks {
+            return;
+        }
+        self.node_kill = None;
+        for i in 0..self.ranks.len() {
+            if k.mask >> (i as u32) & 1 == 0
+                || matches!(self.ranks[i].status, Status::Exited)
+                || !matches!(self.ranks[i].health, Health::Alive)
+            {
+                continue;
+            }
+            self.obs_record(i, EventKind::RankKilled { wedge: k.wedge });
+            self.ranks[i].health = if k.wedge {
+                Health::Wedged
+            } else {
+                Health::Dead
+            };
+        }
+    }
+
+    /// Activate the armed partition once the trigger rank's block clock
+    /// is reached; the cut holds for the drawn window of rounds.
+    fn apply_partition(&mut self) {
+        let Some(p) = self.partition else { return };
+        let t = p.trigger_rank as usize;
+        if matches!(self.ranks[t].status, Status::Exited) {
+            // The trigger rank finished before the cut point: missed.
+            self.partition = None;
+            return;
+        }
+        if self.ranks[t].machine.counters.blocks >= p.at_blocks {
+            self.partition = None;
+            self.partition_mask = p.mask;
+            self.partition_until = self.round + p.rounds.max(1);
+        }
+    }
+
     /// One detector pass: probe quiet ranks, declare a rank failed after
     /// the suspicion threshold. Probes and suspicions are charged to the
     /// rank's ring buddy `(r + 1) % n` — the same partner that stores its
@@ -1663,6 +1966,52 @@ impl MpiWorld {
             .collect::<Vec<_>>();
         self.ranks = survivors;
         let new_n = self.ranks.len() as u16;
+        // Armed chaos faults were drawn against the old numbering:
+        // follow surviving targets through the renumbering; a fault
+        // aimed at a dropped rank (or triggered by one) dies with it.
+        let remap = |r: u16| -> Option<u16> {
+            if dead.contains(&r) {
+                return None;
+            }
+            Some(r - dead.iter().filter(|&&d| d < r).count() as u16)
+        };
+        let remap_mask = |mask: u32| -> u32 {
+            let mut m = 0;
+            for old in 0..32u16 {
+                if mask >> old & 1 == 1 {
+                    if let Some(new) = remap(old) {
+                        m |= 1 << new;
+                    }
+                }
+            }
+            m
+        };
+        self.rank_kill = self.rank_kill.and_then(|mut k| {
+            k.rank = remap(k.rank)?;
+            Some(k)
+        });
+        self.rank_kills = std::mem::take(&mut self.rank_kills)
+            .into_iter()
+            .filter_map(|mut k| {
+                k.rank = remap(k.rank)?;
+                Some(k)
+            })
+            .collect();
+        self.node_kill = self.node_kill.and_then(|mut nk| {
+            nk.mask = remap_mask(nk.mask);
+            nk.trigger_rank = remap(nk.trigger_rank)?;
+            (nk.mask != 0).then_some(nk)
+        });
+        self.partition = self.partition.and_then(|mut p| {
+            p.mask = remap_mask(p.mask);
+            p.trigger_rank = remap(p.trigger_rank)?;
+            Some(p)
+        });
+        self.partition_mask = remap_mask(self.partition_mask);
+        self.net_fault = self.net_fault.and_then(|mut f| {
+            f.rank = remap(f.rank)?;
+            Some(f)
+        });
         self.shrinks += 1;
         self.known_failed = 0;
         self.idle_rounds = 0;
@@ -1709,6 +2058,15 @@ impl MpiWorld {
         }
         if self.rank_kill.is_some() {
             self.apply_rank_kill();
+        }
+        if !self.rank_kills.is_empty() {
+            self.apply_burst_kills();
+        }
+        if self.node_kill.is_some() {
+            self.apply_node_kill();
+        }
+        if self.partition.is_some() {
+            self.apply_partition();
         }
         if self.cfg.ft.enabled {
             if let Some(e) = self.detect_failures() {
@@ -1946,6 +2304,14 @@ pub struct WorldSnapshot {
     message_fault: Option<MessageFault>,
     message_fault_hit: Option<MessageFaultHit>,
     rank_kill: Option<RankKill>,
+    rank_kills: Vec<RankKill>,
+    net_fault: Option<NetFault>,
+    net_faults_fired: u32,
+    partition: Option<Partition>,
+    partition_until: u64,
+    partition_mask: u32,
+    partition_drops: u64,
+    node_kill: Option<NodeKill>,
     fatal: Option<WorldExit>,
     round: u64,
     pending_redelivery: VecDeque<Redelivery>,
@@ -1985,6 +2351,14 @@ impl WorldSnapshot {
             message_fault: self.message_fault,
             message_fault_hit: self.message_fault_hit,
             rank_kill: self.rank_kill,
+            rank_kills: self.rank_kills.clone(),
+            net_fault: self.net_fault,
+            net_faults_fired: self.net_faults_fired,
+            partition: self.partition,
+            partition_until: self.partition_until,
+            partition_mask: self.partition_mask,
+            partition_drops: self.partition_drops,
+            node_kill: self.node_kill,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),

@@ -1087,3 +1087,240 @@ fn ulfm_unhandled_failure_hangs_instead_of_terminating() {
         other => panic!("expected Hung, got {other:?}"),
     }
 }
+
+// --- fl-chaos: network, partition, node, burst faults --------------------
+
+use fl_mpi::{ChannelGuard, Health, NetFault, NetFaultKind, NodeKill, Partition};
+
+/// One-shot send with the receiver printing what it got — the unguarded
+/// corrupt-in-flight probe.
+const ONE_SEND: &str = "global float buf[1];
+     fn main() {
+         mpi_init();
+         if (mpi_rank() == 0) {
+             buf[0] = 1.0;
+             mpi_send(addr(buf), 8, 1, 2);
+         } else {
+             mpi_recv(addr(buf), 8, 0, 2);
+             print_flt(buf[0], 6);
+         }
+         mpi_finalize();
+     }";
+
+fn mid_run_recv_bytes(src: &str, nranks: u16, rank: u16) -> u64 {
+    let mut w = world(src, nranks);
+    assert_eq!(w.run(), WorldExit::Clean);
+    w.received_bytes(rank) / 2
+}
+
+#[test]
+fn net_drop_strands_the_receiver() {
+    let at = mid_run_recv_bytes(PING_LOOP, 2, 0);
+    let mut w = world(PING_LOOP, 2);
+    w.set_net_fault(NetFault {
+        rank: 0,
+        at_recv_byte: at,
+        kind: NetFaultKind::Drop,
+    });
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+    assert_eq!(w.net_faults_fired(), 1);
+    assert!(w.message_fault_hit().is_some(), "strike location recorded");
+}
+
+#[test]
+fn net_duplicate_still_completes() {
+    // The duplicated echo matches a later same-tag receive; every recv
+    // still finds a message, so the lockstep loop runs to completion.
+    let at = mid_run_recv_bytes(PING_LOOP, 2, 0);
+    let mut w = world(PING_LOOP, 2);
+    w.set_net_fault(NetFault {
+        rank: 0,
+        at_recv_byte: at,
+        kind: NetFaultKind::Duplicate,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.net_faults_fired(), 1);
+}
+
+#[test]
+fn net_reorder_only_delays_a_serialized_exchange() {
+    // Ping-pong is fully serialized: deferring one echo stalls both
+    // ranks until the delay elapses, then the run finishes clean.
+    let at = mid_run_recv_bytes(PING_LOOP, 2, 0);
+    let mut w = world(PING_LOOP, 2);
+    w.set_net_fault(NetFault {
+        rank: 0,
+        at_recv_byte: at,
+        kind: NetFaultKind::Reorder { delay_rounds: 64 },
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.net_faults_fired(), 1);
+}
+
+#[test]
+fn net_corrupt_unguarded_reaches_the_user_buffer() {
+    let mut g = world(ONE_SEND, 2);
+    assert_eq!(g.run(), WorldExit::Clean);
+    let golden = g.machine(1).console_text();
+    let mut w = world(ONE_SEND, 2);
+    w.set_net_fault(NetFault {
+        rank: 1,
+        at_recv_byte: 54,
+        kind: NetFaultKind::Corrupt,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.net_faults_fired(), 1);
+    assert_ne!(
+        w.machine(1).console_text(),
+        golden,
+        "an inverted payload byte must show in the output"
+    );
+}
+
+#[test]
+fn net_corrupt_guarded_is_caught_and_retransmitted() {
+    let img = compile(ONE_SEND).unwrap();
+    let cfg = WorldConfig {
+        nranks: 2,
+        guard: ChannelGuard {
+            enabled: true,
+            max_retransmits: 3,
+        },
+        machine: MachineConfig {
+            budget: 50_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut g = MpiWorld::new(&img, cfg);
+    assert_eq!(g.run(), WorldExit::Clean);
+    let golden = g.machine(1).console_text();
+    let mut w = MpiWorld::new(&img, cfg);
+    w.set_net_fault(NetFault {
+        rank: 1,
+        at_recv_byte: 54,
+        kind: NetFaultKind::Corrupt,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.net_faults_fired(), 1);
+    assert!(w.retransmits() >= 1, "the CRC guard must NACK the flip");
+    assert_eq!(
+        w.machine(1).console_text(),
+        golden,
+        "the retransmitted pristine copy masks the corruption"
+    );
+}
+
+#[test]
+fn partition_severs_cross_traffic_and_hangs_the_job() {
+    let at = mid_run_blocks(PING_LOOP, 2, 0);
+    let mut w = world(PING_LOOP, 2);
+    w.set_partition(Partition {
+        mask: 0b10,
+        trigger_rank: 0,
+        at_blocks: at,
+        rounds: 1_000_000,
+    });
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+    assert!(w.partition_drops() >= 1, "the cut must drop real traffic");
+}
+
+#[test]
+fn partition_within_one_group_cuts_nothing() {
+    // Both ranks on the same side of the cut: no channel is severed.
+    let at = mid_run_blocks(PING_LOOP, 2, 0);
+    let mut w = world(PING_LOOP, 2);
+    w.set_partition(Partition {
+        mask: 0b11,
+        trigger_rank: 0,
+        at_blocks: at,
+        rounds: 1_000_000,
+    });
+    assert_eq!(w.run(), WorldExit::Clean);
+    assert_eq!(w.partition_drops(), 0);
+}
+
+/// Four ranks in a barrier loop: group faults strand the survivors.
+const BARRIER_LOOP: &str = "fn main() {
+         var int i;
+         mpi_init();
+         for (i = 0; i < 40; i = i + 1) { mpi_barrier(); }
+         mpi_finalize();
+     }";
+
+#[test]
+fn node_kill_takes_the_whole_group_at_once() {
+    let at = mid_run_blocks(BARRIER_LOOP, 4, 2);
+    let mut w = world(BARRIER_LOOP, 4);
+    w.set_node_kill(NodeKill {
+        mask: 0b1100,
+        trigger_rank: 2,
+        at_blocks: at,
+        wedge: false,
+    });
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+    assert_eq!(w.health(2), Health::Dead);
+    assert_eq!(w.health(3), Health::Dead);
+    assert_eq!(w.health(0), Health::Alive);
+    assert_eq!(w.health(1), Health::Alive);
+}
+
+#[test]
+fn burst_kills_fire_on_their_own_clocks() {
+    let a1 = mid_run_blocks(BARRIER_LOOP, 4, 1);
+    let a3 = mid_run_blocks(BARRIER_LOOP, 4, 3);
+    let mut w = world(BARRIER_LOOP, 4);
+    w.add_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: a1,
+        wedge: false,
+    });
+    // Both clocks sit at the same barrier round of the lockstep loop, so
+    // both victims cross their thresholds before either stall bites.
+    w.add_rank_kill(RankKill {
+        rank: 3,
+        at_blocks: a3,
+        wedge: true,
+    });
+    assert!(matches!(w.run(), WorldExit::Hung { .. }));
+    assert_eq!(w.health(1), Health::Dead);
+    assert_eq!(w.health(3), Health::Wedged);
+}
+
+#[test]
+fn take_rank_kill_disarms_every_process_fault() {
+    let mut w = world(BARRIER_LOOP, 4);
+    w.add_rank_kill(RankKill {
+        rank: 1,
+        at_blocks: 1,
+        wedge: false,
+    });
+    w.set_node_kill(NodeKill {
+        mask: 0b1100,
+        trigger_rank: 2,
+        at_blocks: 1,
+        wedge: false,
+    });
+    assert!(w.take_rank_kill().is_none());
+    assert_eq!(w.run(), WorldExit::Clean, "disarmed faults never fire");
+}
+
+#[test]
+fn chaos_faults_ride_snapshots() {
+    // Arm a corrupt-in-flight fault, snapshot before it fires, and run
+    // both worlds: the restored one replays the identical strike.
+    let mut w = world(ONE_SEND, 2);
+    w.set_net_fault(NetFault {
+        rank: 1,
+        at_recv_byte: 54,
+        kind: NetFaultKind::Corrupt,
+    });
+    let snap = w.snapshot();
+    assert_eq!(w.run(), WorldExit::Clean);
+    let out_a = w.machine(1).console_text().to_string();
+    assert_eq!(w.net_faults_fired(), 1);
+    let mut r = snap.restore();
+    assert_eq!(r.run(), WorldExit::Clean);
+    assert_eq!(r.net_faults_fired(), 1);
+    assert_eq!(r.machine(1).console_text(), out_a);
+}

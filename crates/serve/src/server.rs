@@ -37,7 +37,7 @@ use crate::http::{read_request, respond, start_stream, Request};
 use fl_apps::AppKind;
 use fl_inject::json::{parse, Json};
 use fl_inject::{
-    coverage_jsonl, ft_jsonl, record_line, run_spec, sort_records_jsonl, CampaignSpec,
+    chaos_jsonl, coverage_jsonl, ft_jsonl, record_line, run_spec, sort_records_jsonl, CampaignSpec,
     CompletedSlots, EngineControl, EngineProgress, EngineSink, SpecMode, SpecOutcome, TrialOutput,
 };
 use std::collections::BTreeMap;
@@ -153,6 +153,8 @@ fn planned_total(spec: &CampaignSpec) -> u64 {
         // Ft campaigns run `injections` kill trials + `injections`
         // replica trials.
         SpecMode::Ft(_) => 2 * spec.campaign.injections as u64,
+        // Chaos campaigns run the fixed model × defense grid.
+        SpecMode::Chaos(_) => spec.record_classes().len() as u64 * spec.campaign.injections as u64,
         _ => spec.classes.len() as u64 * spec.campaign.injections as u64,
     }
 }
@@ -355,7 +357,8 @@ fn launch(inner: &Arc<Inner>, camp: Arc<Campaign>) {
 fn run_campaign(camp: &Arc<Campaign>) {
     let records = camp.dir.join("records.jsonl");
     let mut resume = None;
-    if camp.spec.mode == SpecMode::Campaign {
+    let slot_classes = camp.spec.record_classes();
+    if matches!(camp.spec.mode, SpecMode::Campaign | SpecMode::Chaos(_)) {
         if let Ok(text) = fs::read_to_string(&records) {
             // Sanitize before appending: a kill mid-write leaves a torn
             // tail with no trailing newline, and appending fresh lines
@@ -366,11 +369,8 @@ fn run_campaign(camp: &Arc<Campaign>) {
                 camp.set_status(Status::Failed);
                 return;
             }
-            let (slots, _torn) = CompletedSlots::from_jsonl(
-                &kept,
-                &camp.spec.classes,
-                camp.spec.campaign.injections,
-            );
+            let (slots, _torn) =
+                CompletedSlots::from_jsonl(&kept, &slot_classes, camp.spec.record_injections());
             if !slots.is_empty() {
                 resume = Some(slots);
             }
@@ -418,6 +418,12 @@ fn run_campaign(camp: &Arc<Campaign>) {
                 SpecOutcome::Ft(f) => {
                     let _ = fs::write(&records, ft_jsonl(&f));
                 }
+                SpecOutcome::Chaos(r) => {
+                    // The streamed per-trial records stay in place (they
+                    // are the resume state); the cell-level coverage
+                    // matrix lands next to them.
+                    let _ = fs::write(camp.dir.join("matrix.jsonl"), chaos_jsonl(&r));
+                }
             }
             // The done marker is the commit point: it is written last,
             // so a kill before this line leaves a resumable campaign.
@@ -438,13 +444,12 @@ fn run_campaign(camp: &Arc<Campaign>) {
 /// resume, each newline-terminated — the same filter
 /// [`CompletedSlots::from_jsonl`] applies.
 fn adoptable_lines(text: &str, spec: &CampaignSpec) -> String {
+    let classes = spec.record_classes();
+    let injections = spec.record_injections();
     let mut kept = String::new();
     for line in text.lines() {
         if let Ok(t) = fl_inject::parse_record_line(line) {
-            if t.ci < spec.classes.len()
-                && t.k < spec.campaign.injections
-                && spec.classes[t.ci] == t.record.class
-            {
+            if t.ci < classes.len() && t.k < injections && classes[t.ci] == t.record.class {
                 kept.push_str(line);
                 kept.push('\n');
             }
@@ -495,7 +500,7 @@ fn route(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> Result<Re
             let text = fs::read_to_string(camp.dir.join("records.jsonl"))
                 .map_err(|_| (404, format!("campaign {id} has no records yet")))?;
             let body = match camp.spec.mode {
-                SpecMode::Campaign => sort_records_jsonl(&text),
+                SpecMode::Campaign | SpecMode::Chaos(_) => sort_records_jsonl(&text),
                 _ => text,
             };
             Ok(Some((200, JSONL, body)))

@@ -203,14 +203,25 @@ fn guard_and_ft_specs_run_to_completion() {
     ft.mode = fl_inject::SpecMode::Ft(fl_inject::FtPolicy::default());
     let fid = client::submit(&addr, &ft.to_json()).unwrap();
 
+    let mut chaos = tiny_spec(0x6C, 1);
+    chaos.mode = fl_inject::SpecMode::Chaos(fl_inject::ChaosPolicy::default());
+    let cid = client::submit(&addr, &chaos.to_json()).unwrap();
+
     client::wait_done(&addr, &gid, WAIT).unwrap();
     client::wait_done(&addr, &fid, WAIT).unwrap();
+    client::wait_done(&addr, &cid, WAIT).unwrap();
     let grecords = client::records(&addr, &gid).unwrap();
     assert!(grecords.lines().count() >= 3, "coverage records present");
     let frecords = client::records(&addr, &fid).unwrap();
     assert!(
         frecords.lines().count() >= 4,
         "kill + replica records present"
+    );
+    let crecords = client::records(&addr, &cid).unwrap();
+    assert_eq!(
+        crecords.lines().count(),
+        chaos.record_classes().len(),
+        "one streamed record per model x defense cell"
     );
 
     // Bad input is rejected, not crashed on.
