@@ -529,15 +529,25 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Human-readable campaign throughput summary (one line).
+/// Human-readable campaign throughput summary: one line of rates, one
+/// line of exec-cache behaviour (block/trace hits, side exits,
+/// demotions) so a cold cache or a demotion storm is visible at a
+/// glance.
 fn throughput_line(result: &fl_inject::CampaignResult) -> String {
+    let s = &result.exec_stats;
     format!(
-        "throughput: {} trials, {:.1}M guest insns in {:.2}s — {:.1} MIPS, {:.1} trials/sec",
+        "throughput: {} trials, {:.1}M guest insns in {:.2}s — {:.1} MIPS, {:.1} trials/sec\n\
+         exec-cache: {} block hits, {} block misses, {} trace passes, {} side exits, {} demotions",
         result.trials_total(),
         result.insns_total as f64 / 1e6,
         result.wall_nanos as f64 / 1e9,
         result.mips(),
         result.trials_per_sec(),
+        s.block_hits,
+        s.block_misses,
+        s.trace_hits,
+        s.trace_side_exits,
+        s.demotions,
     )
 }
 
@@ -785,6 +795,7 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let view = MetricsReport {
         app: kind,
         metrics: &metrics,
+        exec: Some(&result.exec_stats),
     };
     // Default stays JSONL: this verb's stdout is machine-readable.
     let fmt = ReportFormat::from_flags(o.has("tsv"), !o.has("tsv"));

@@ -373,6 +373,7 @@ impl<'a> CampaignBuilder<'a> {
             // `run_model_trial`; no counters survive to aggregate.
             insns_total: 0,
             wall_nanos: started.elapsed().as_nanos() as u64,
+            exec_stats: fl_machine::ExecStats::default(),
         }
     }
 }

@@ -15,6 +15,7 @@ use crate::target::{
     TargetClass,
 };
 use fl_apps::{App, AppKind, Golden};
+use fl_machine::{ExecStats, SharedCode};
 use fl_mpi::{MessageFault, MpiWorld, PendingInjection, WorldConfig};
 use fl_snap::EpochCache;
 use rand::rngs::StdRng;
@@ -114,6 +115,13 @@ pub struct CampaignResult {
     /// Wall-clock duration of the trial-execution phase, in
     /// nanoseconds (excludes the golden run and dictionary builds).
     pub wall_nanos: u64,
+    /// Decoded-code cache effectiveness summed over every trial's
+    /// machines. Telemetry, like `wall_nanos`: hit/miss ratios depend
+    /// on fork warmth and worker scheduling, so they are reported in
+    /// the throughput footer and telemetry rows but never enter
+    /// records, metrics rows or any byte-identity contract. Zero for
+    /// model campaigns.
+    pub exec_stats: ExecStats,
 }
 
 impl CampaignResult {
@@ -179,7 +187,12 @@ pub(crate) fn trial_world_config(
 
 /// Build the epoch snapshot cache for the campaign fast path, or `None`
 /// when the configuration or the application rules forking out.
-pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Option<EpochCache> {
+pub(crate) fn build_epochs(
+    app: &App,
+    cfg: &CampaignConfig,
+    budget: u64,
+    code: Option<&SharedCode>,
+) -> Option<EpochCache> {
     if cfg.epoch_rounds == 0 {
         return None;
     }
@@ -190,7 +203,12 @@ pub(crate) fn build_epochs(app: &App, cfg: &CampaignConfig, budget: u64) -> Opti
     if wcfg.nondet {
         return None;
     }
-    Some(EpochCache::build(&app.image, wcfg, cfg.epoch_rounds))
+    Some(EpochCache::build_with_code(
+        &app.image,
+        wcfg,
+        cfg.epoch_rounds,
+        code,
+    ))
 }
 
 /// Campaign execution (the [`crate::CampaignBuilder`] backend): a thin
@@ -229,7 +247,8 @@ pub(crate) fn replay_trial_impl(
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
-    let epochs = build_epochs(app, cfg, budget);
+    let code = cfg.fastpath.then(|| app.image.pre_decode());
+    let epochs = build_epochs(app, cfg, budget, code.as_ref());
     let run = run_trial_inner(
         app,
         &golden,
@@ -240,6 +259,7 @@ pub(crate) fn replay_trial_impl(
         epochs.as_ref(),
         cfg.obs_capacity,
         cfg.fastpath,
+        code.as_ref(),
     );
     TrialTrace {
         record: run.record,
@@ -289,7 +309,10 @@ pub fn run_trial(
     trial_seed: u64,
     budget: u64,
 ) -> TrialRecord {
-    run_trial_inner(app, golden, dicts, class, trial_seed, budget, None, 0, true).record
+    run_trial_inner(
+        app, golden, dicts, class, trial_seed, budget, None, 0, true, None,
+    )
+    .record
 }
 
 /// The state mutation an armed machine fault applies when it fires.
@@ -448,7 +471,7 @@ pub fn run_trial_forked(
     epochs: Option<&EpochCache>,
 ) -> TrialRecord {
     run_trial_inner(
-        app, golden, dicts, class, trial_seed, budget, epochs, 0, true,
+        app, golden, dicts, class, trial_seed, budget, epochs, 0, true, None,
     )
     .record
 }
@@ -481,6 +504,7 @@ pub fn run_trial_traced(
         epochs,
         obs_capacity,
         true,
+        None,
     );
     TrialTrace {
         record: run.record,
@@ -511,6 +535,7 @@ pub(crate) fn run_trial_inner(
     epochs: Option<&EpochCache>,
     obs_capacity: u32,
     fastpath: bool,
+    code: Option<&SharedCode>,
 ) -> TrialRun {
     let drawn = draw_fault(golden, dicts, class, trial_seed, app.params.nranks);
     let (rank, detail) = (drawn.rank, drawn.detail.clone());
@@ -527,7 +552,7 @@ pub(crate) fn run_trial_inner(
         None => {
             let mut cfg = trial_world_config(app, budget, obs_capacity, fastpath);
             cfg.seed = trial_seed; // vary moldyn's schedule per trial (§4.2.2)
-            MpiWorld::new(&app.image, cfg)
+            MpiWorld::new_with_code(&app.image, cfg, code)
         }
     };
     drawn.arm(&mut world);

@@ -38,6 +38,7 @@ use crate::progress::EngineProgress;
 use crate::spec::{CampaignSpec, SpecMode};
 use crate::target::TargetClass;
 use fl_apps::{App, AppKind};
+use fl_machine::ExecStats;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -443,8 +444,15 @@ pub fn run_campaign_engine(
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
-    let epochs = build_epochs(app, cfg, budget);
+    // One campaign-wide pre-decoded store: the golden/epoch run and every
+    // trial fork share it, so decode work is paid once per campaign.
+    let code = cfg.fastpath.then(|| app.image.pre_decode());
+    let epochs = build_epochs(app, cfg, budget, code.as_ref());
     let observe = cfg.obs_capacity > 0;
+    // Exec-cache telemetry. Sums are commutative, so the totals are
+    // independent of worker count; resume-adopted slots contribute zero
+    // (their worlds ran in a previous process).
+    let exec_stats = Mutex::new(ExecStats::default());
     let resume = resume.unwrap_or_default();
     let resumed_total = resume.len() as u64;
     let total = classes.len() as u64 * cfg.injections as u64;
@@ -466,7 +474,9 @@ pub fn run_campaign_engine(
                     epochs.as_ref(),
                     cfg.obs_capacity,
                     cfg.fastpath,
+                    code.as_ref(),
                 );
+                exec_stats.lock().unwrap().add(&run.world.exec_stats());
                 let metrics = observe.then(|| {
                     trial_metrics(&run.record, run.rank, &run.world.event_streams(), run.insns)
                 });
@@ -542,6 +552,7 @@ pub fn run_campaign_engine(
             metrics: observe.then_some(CampaignMetrics { classes: metrics }),
             insns_total,
             wall_nanos: progress.wall_nanos,
+            exec_stats: exec_stats.into_inner().unwrap(),
         }),
         progress,
     }

@@ -237,7 +237,8 @@ pub fn run_coverage_engine(
     let golden = app.golden(2_000_000_000);
     let budget = trial_budget(&golden, cfg);
     let dicts = Dictionaries::build(app);
-    let epochs = build_epochs(app, cfg, budget);
+    let code = cfg.fastpath.then(|| app.image.pre_decode());
+    let epochs = build_epochs(app, cfg, budget, code.as_ref());
 
     let total = classes.len() as u64 * cfg.injections as u64;
     let done = AtomicU64::new(0);
@@ -256,6 +257,7 @@ pub fn run_coverage_engine(
             epochs.as_ref(),
             0,
             cfg.fastpath,
+            code.as_ref(),
         )
         .record;
         let (guarded, report) = run_guarded_trial(

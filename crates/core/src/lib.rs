@@ -88,7 +88,10 @@ pub use guarded::{
     coverage_jsonl, render_coverage, render_coverage_tsv, run_coverage_engine, run_guarded_trial,
     CoverageClassResult, CoverageResult, GuardedTrialRecord, TransitionMatrix,
 };
-pub use obs::{trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics, TrialTrace};
+pub use obs::{
+    exec_cache_jsonl, exec_cache_tsv, trial_metrics, CampaignMetrics, ClassMetrics, TrialMetrics,
+    TrialTrace,
+};
 pub use outcome::{classify, Manifestation, Tally};
 pub use progress::{
     EngineProgress, ProgressMonitor, ProgressSample, ProgressVerdict, StderrProgress,

@@ -22,6 +22,7 @@ use crate::campaign::TrialRecord;
 use crate::outcome::Manifestation;
 use crate::target::TargetClass;
 use fl_apps::AppKind;
+use fl_machine::ExecStats;
 use fl_obs::{merge_ranks, Event, EventKind, EventLog};
 use std::fmt::Write as _;
 
@@ -333,6 +334,38 @@ impl CampaignMetrics {
         }
         out
     }
+}
+
+/// Exec-cache telemetry as one trailing TSV row (a `#`-prefixed header
+/// plus a `#`-prefixed value row, so per-class data rows parse
+/// unchanged). Telemetry is campaign-wide and execution-path-dependent —
+/// it never enters the per-class rows, which stay byte-identical across
+/// the trace, block, and slow paths.
+pub fn exec_cache_tsv(app: AppKind, s: &ExecStats) -> String {
+    format!(
+        "# exec_cache\tapp\tblock_hits\tblock_misses\ttrace_hits\ttrace_side_exits\tdemotions\n\
+         # exec_cache\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        app.name(),
+        s.block_hits,
+        s.block_misses,
+        s.trace_hits,
+        s.trace_side_exits,
+        s.demotions,
+    )
+}
+
+/// Exec-cache telemetry as one trailing JSONL object, tagged with a
+/// `"telemetry"` discriminator so class-row consumers can skip it.
+pub fn exec_cache_jsonl(app: AppKind, s: &ExecStats) -> String {
+    format!(
+        "{{\"telemetry\":\"exec_cache\",\"app\":\"{}\",\"block_hits\":{},\"block_misses\":{},\"trace_hits\":{},\"trace_side_exits\":{},\"demotions\":{}}}\n",
+        app.name(),
+        s.block_hits,
+        s.block_misses,
+        s.trace_hits,
+        s.trace_side_exits,
+        s.demotions,
+    )
 }
 
 #[cfg(test)]

@@ -141,6 +141,10 @@ pub struct MetricsReport<'a> {
     pub app: AppKind,
     /// The event-stream aggregates.
     pub metrics: &'a CampaignMetrics,
+    /// Exec-cache telemetry for the campaign, appended as a trailing
+    /// TSV/JSONL row when present. `None` leaves the rendering exactly
+    /// as before (model campaigns have no exec caches).
+    pub exec: Option<&'a fl_machine::ExecStats>,
 }
 
 impl Report for MetricsReport<'_> {
@@ -170,11 +174,19 @@ impl Report for MetricsReport<'_> {
     }
 
     fn tsv(&self) -> String {
-        self.metrics.to_tsv(self.app)
+        let mut out = self.metrics.to_tsv(self.app);
+        if let Some(s) = self.exec {
+            out.push_str(&crate::obs::exec_cache_tsv(self.app, s));
+        }
+        out
     }
 
     fn jsonl(&self) -> String {
-        self.metrics.to_jsonl(self.app)
+        let mut out = self.metrics.to_jsonl(self.app);
+        if let Some(s) = self.exec {
+            out.push_str(&crate::obs::exec_cache_jsonl(self.app, s));
+        }
+        out
     }
 }
 
@@ -361,12 +373,26 @@ mod tests {
         let view = MetricsReport {
             app: r.app,
             metrics,
+            exec: None,
         };
         let table = view.table("metrics demo");
         assert!(table.contains("Regular Reg."));
         assert!(table.contains("MeanTTM"));
         assert_eq!(view.tsv(), metrics.to_tsv(r.app));
         assert_eq!(view.jsonl(), metrics.to_jsonl(r.app));
+
+        // With telemetry attached, the per-class rows stay untouched and
+        // the exec-cache counters land as a trailing row/object.
+        let telem = MetricsReport {
+            app: r.app,
+            metrics,
+            exec: Some(&r.exec_stats),
+        };
+        assert!(telem.tsv().starts_with(&metrics.to_tsv(r.app)));
+        assert!(telem.tsv().contains("# exec_cache"));
+        assert!(telem.jsonl().starts_with(&metrics.to_jsonl(r.app)));
+        assert!(telem.jsonl().contains("\"telemetry\":\"exec_cache\""));
+        assert!(telem.jsonl().contains("\"block_hits\":"));
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl ProgramImage {
             .min_by_key(|s| s.size)
     }
 
+    /// Link-time pre-decode: eagerly decode both text sections into a
+    /// campaign-shareable [`crate::SharedCode`] store. Build this once
+    /// per image and pass it to [`crate::Machine::load_shared`] so every
+    /// machine — across ranks, worlds and snapshot forks — starts with
+    /// warm decoded caches instead of decoding lazily on first
+    /// execution.
+    pub fn pre_decode(&self) -> crate::SharedCode {
+        crate::SharedCode::build(self)
+    }
+
     /// Section sizes for the Table 1 profile: (text, data, bss) in bytes,
     /// application sections only.
     pub fn section_sizes(&self) -> (u32, u32, u32) {

@@ -39,8 +39,8 @@ pub use layout::{
     PAGE_SIZE, STACK_TOP, TEXT_BASE,
 };
 pub use machine::{
-    Counters, Cpu, Exit, Machine, MachineConfig, MachineSnapshot, Signal, SyscallFault,
-    SyscallFaultKind,
+    CodeHandle, Counters, Cpu, ExecStats, Exit, Machine, MachineConfig, MachineSnapshot,
+    SharedCode, Signal, SyscallFault, SyscallFaultKind,
 };
 pub use malloc::{
     AllocTag, ChunkInfo, HeapAllocator, HeapError, HEADER_SIZE, MAGIC_FREE, MAGIC_MPI, MAGIC_USER,

@@ -22,6 +22,8 @@ use fl_obs::{EventKind, EventLog, SigKind};
 
 use crate::f80::F80;
 
+use std::sync::{Arc, OnceLock};
+
 /// CPU register state (the paper's register fault targets).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cpu {
@@ -232,17 +234,313 @@ struct Block {
 /// invalidation costs nothing measurable); `generation` detects a flush
 /// that lands while a block is checked out for execution.
 struct BlockCache {
-    base: u32,
     slots: Vec<Option<Block>>,
     generation: u64,
 }
 
 impl BlockCache {
-    fn new(base: u32, len: u32) -> Self {
+    fn new(len: u32) -> Self {
         BlockCache {
-            base,
             slots: (0..(len as usize).div_ceil(4)).map(|_| None).collect(),
             generation: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.generation += 1;
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+/// Straight-line blocks stop at the first block-ending instruction or
+/// at this many instructions, on both the shared and private paths.
+const MAX_BLOCK_INSNS: usize = 64;
+
+/// Block-entry dispatch count after which a superblock is compiled.
+const TRACE_HOT_THRESHOLD: u16 = 16;
+
+/// Superblock size caps: architectural instructions per pass and chained
+/// basic blocks. Bounds both compile time and the headroom a pass needs.
+const MAX_TRACE_INSNS: u64 = 256;
+const MAX_TRACE_BLOCKS: u32 = 16;
+
+/// Decoded-code cache effectiveness counters. Telemetry only — never
+/// part of snapshots, records or metrics rows, because hit/miss ratios
+/// depend on fork warmth and worker scheduling while the architectural
+/// results must stay byte-identical across all of that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Block dispatches that found a ready decoded block.
+    pub block_hits: u64,
+    /// Block dispatches that had to assemble the block first.
+    pub block_misses: u64,
+    /// Superblock passes entered (each retires up to a whole loop body).
+    pub trace_hits: u64,
+    /// Superblock passes abandoned mid-body by a mispredicted branch.
+    pub trace_side_exits: u64,
+    /// Text banks demoted from the shared store by a poke.
+    pub demotions: u64,
+}
+
+impl ExecStats {
+    /// Accumulate another machine's counters into this one.
+    pub fn add(&mut self, o: &ExecStats) {
+        self.block_hits += o.block_hits;
+        self.block_misses += o.block_misses;
+        self.trace_hits += o.trace_hits;
+        self.trace_side_exits += o.trace_side_exits;
+        self.demotions += o.demotions;
+    }
+}
+
+/// One operation of a compiled superblock. Inline variants skip the
+/// full `exec` dispatch and do not touch EIP on the non-faulting path
+/// (`exec` never *reads* EIP, so it may go stale inside a trace as long
+/// as every fault, exit and side exit restores it); the `Exec` variants
+/// wrap the general interpreter for everything else. `CmpIJ`/`CmpJ` and
+/// `LdAlu` are the macro-op fusions of the FL compiler's compare+branch
+/// and load+op idioms.
+#[derive(Debug, Clone)]
+enum TraceOp {
+    MovI {
+        rd: Gpr,
+        imm: u32,
+    },
+    Mov {
+        rd: Gpr,
+        rs: Gpr,
+    },
+    AddI {
+        rd: Gpr,
+        ra: Gpr,
+        imm: u32,
+    },
+    /// Non-trapping ALU only; Div/Mod go through `Exec` for SIGFPE.
+    Alu {
+        op: AluOp,
+        rd: Gpr,
+        ra: Gpr,
+        rb: Gpr,
+    },
+    Ld {
+        rd: Gpr,
+        base: Gpr,
+        off: i32,
+        at: u32,
+    },
+    St {
+        rb: Gpr,
+        base: Gpr,
+        off: i32,
+        at: u32,
+    },
+    LdG {
+        rd: Gpr,
+        addr: u32,
+        at: u32,
+    },
+    StG {
+        rs: Gpr,
+        addr: u32,
+        at: u32,
+    },
+    /// Fused load + ALU over the loaded value (two retired insns; on a
+    /// load fault only the load has retired and EIP points at it).
+    LdAlu {
+        rd: Gpr,
+        base: Gpr,
+        off: i32,
+        at: u32,
+        op: AluOp,
+        ard: Gpr,
+        ara: Gpr,
+        arb: Gpr,
+    },
+    /// Fused compare-immediate + conditional branch (two retired insns,
+    /// one retired block; flags are still architecturally written).
+    CmpIJ {
+        ra: Gpr,
+        imm: u32,
+        cond: Cond,
+        target: u32,
+        fall: u32,
+        expect_taken: bool,
+    },
+    /// Fused register compare + conditional branch.
+    CmpJ {
+        ra: Gpr,
+        rb: Gpr,
+        cond: Cond,
+        target: u32,
+        fall: u32,
+        expect_taken: bool,
+    },
+    MulI {
+        rd: Gpr,
+        ra: Gpr,
+        imm: u32,
+    },
+    /// Standalone compare (not fused with a branch): flags only.
+    CmpOnly {
+        ra: Gpr,
+        rb: Gpr,
+    },
+    CmpIOnly {
+        ra: Gpr,
+        imm: u32,
+    },
+    LdB {
+        rd: Gpr,
+        base: Gpr,
+        off: i32,
+        at: u32,
+    },
+    StB {
+        rb: Gpr,
+        base: Gpr,
+        off: i32,
+        at: u32,
+    },
+    Push {
+        rs: Gpr,
+        at: u32,
+    },
+    Pop {
+        rd: Gpr,
+        at: u32,
+    },
+    Enter {
+        frame: u32,
+        at: u32,
+    },
+    Leave {
+        at: u32,
+    },
+    /// Conditional branch with a predicted direction; always writes EIP
+    /// (it is a control transfer either way), side-exits on the
+    /// unpredicted one.
+    Jmp {
+        cond: Cond,
+        target: u32,
+        fall: u32,
+        expect_taken: bool,
+    },
+    /// Unconditional direct jump: retires counters only — the trace
+    /// already continues at the target.
+    JmpU,
+    /// Direct call chained through: push the return address and continue
+    /// into the callee inline.
+    CallPush {
+        ret: u32,
+        at: u32,
+    },
+    /// Return whose address is known from a `CallPush` earlier in the
+    /// same trace: pop, jump, side-exit if the stack was retargeted.
+    RetTo {
+        expect: u32,
+        at: u32,
+    },
+    /// Any FPU instruction, through the shared `exec_fpu` body inlined
+    /// into the trace loop.
+    Fpu {
+        insn: Insn,
+        at: u32,
+    },
+    /// Any other instruction, through the full interpreter.
+    Exec {
+        insn: Insn,
+        at: u32,
+        next: u32,
+        end: bool,
+    },
+    /// A control transfer with a statically predicted continuation:
+    /// execution leaves the pass when EIP lands anywhere else.
+    ExecBranch {
+        insn: Insn,
+        at: u32,
+        next: u32,
+        expect: u32,
+        end: bool,
+    },
+    /// Restore EIP at a trace tail that falls off mid-block (the
+    /// preceding inline op left it stale).
+    FallThrough {
+        to: u32,
+    },
+}
+
+/// A superblock: hot basic blocks chained across statically predicted
+/// branch directions, entered only at `entry`. The dispatcher admits a
+/// pass only when `insn_count` fits under both the budget and the
+/// quantum, which is what lets the body run with no per-instruction
+/// limit checks while staying exact to the instruction.
+#[derive(Debug, Clone)]
+struct Trace {
+    entry: u32,
+    /// Architectural instructions one full pass retires.
+    insn_count: u64,
+    /// The chain closes back on `entry`: loop in-trace without
+    /// re-dispatching.
+    closes_loop: bool,
+    ops: Vec<TraceOp>,
+}
+
+/// One text bank's share of the campaign-wide decoded-code store: every
+/// aligned word pre-decoded at image-load time, plus lazily assembled
+/// basic blocks and hot-promoted superblocks published through
+/// `OnceLock` slots (first publisher wins; contents are pure functions
+/// of `insns`, so a lost race publishes an identical value). The bank
+/// is immutable after construction, so any number of machines — across
+/// ranks, snapshot forks and worker threads — share one `Arc` and warm
+/// each other's caches for free.
+pub(crate) struct SharedBank {
+    base: u32,
+    insns: Vec<Option<(Insn, u8)>>,
+    blocks: Vec<OnceLock<Block>>,
+    traces: Vec<OnceLock<Trace>>,
+}
+
+impl SharedBank {
+    /// Pre-decode a text section. Replicates `Memory::fetch_words`
+    /// exactly: the mapping covers `bytes.len().max(4)` bytes, a word is
+    /// fetchable iff it lies wholly inside the mapping, the lookahead
+    /// word reads zero past the end, and unwritten mapping bytes are
+    /// zero.
+    fn build(base: u32, bytes: &[u8]) -> SharedBank {
+        let map_len = bytes.len().max(4);
+        let words = map_len.div_ceil(4);
+        let word_at = |i: usize| -> u32 {
+            let mut w = [0u8; 4];
+            for (j, b) in w.iter_mut().enumerate() {
+                *b = bytes.get(4 * i + j).copied().unwrap_or(0);
+            }
+            u32::from_le_bytes(w)
+        };
+        let mut insns = Vec::with_capacity(words);
+        for i in 0..words {
+            if 4 * i + 4 > map_len {
+                insns.push(None);
+                continue;
+            }
+            let w0 = word_at(i);
+            let w1 = if 4 * i + 8 <= map_len {
+                word_at(i + 1)
+            } else {
+                0
+            };
+            insns.push(
+                decode_at(&[w0, w1], 0)
+                    .ok()
+                    .map(|(insn, len)| (insn, len as u8)),
+            );
+        }
+        SharedBank {
+            base,
+            blocks: (0..words).map(|_| OnceLock::new()).collect(),
+            traces: (0..words).map(|_| OnceLock::new()).collect(),
+            insns,
         }
     }
 
@@ -251,14 +549,471 @@ impl BlockCache {
             return None;
         }
         let i = ((addr - self.base) / 4) as usize;
-        (i < self.slots.len()).then_some(i)
+        (i < self.insns.len()).then_some(i)
     }
 
-    fn flush(&mut self) {
-        self.generation += 1;
-        for s in &mut self.slots {
-            *s = None;
+    /// The shared decoded block at slot `i`, assembling and publishing
+    /// it on first use anywhere in the campaign.
+    fn block(&self, i: usize, stats: &mut ExecStats) -> Option<&Block> {
+        if let Some(b) = self.blocks[i].get() {
+            stats.block_hits += 1;
+            return Some(b);
         }
+        stats.block_misses += 1;
+        let b = self.assemble_block(i)?;
+        Some(self.blocks[i].get_or_init(|| b))
+    }
+
+    /// Assemble the straight-line block at slot `i` from the pre-decoded
+    /// words — the shared-store twin of `Machine::build_block`, with the
+    /// identical stop conditions.
+    fn assemble_block(&self, i: usize) -> Option<Block> {
+        let mut insns = Vec::new();
+        let mut j = i;
+        while let Some(Some((insn, len))) = self.insns.get(j).copied() {
+            insns.push((insn, len));
+            if insn.is_block_end() || insns.len() >= MAX_BLOCK_INSNS {
+                break;
+            }
+            j += len as usize;
+        }
+        (!insns.is_empty()).then_some(Block { insns })
+    }
+
+    /// Compile the superblock starting at `entry`: follow the straight
+    /// line, predict conditional branches (backward = taken loop edge,
+    /// forward = fall through), chain through direct jumps/calls and
+    /// continuing syscalls, fuse compare+branch and load+op pairs, and
+    /// stop at indirect control flow, undecodable words, the size caps,
+    /// or when the chain closes back on the entry.
+    fn build_trace(&self, entry: u32) -> Option<Trace> {
+        let mut ops: Vec<TraceOp> = Vec::new();
+        let mut insn_count: u64 = 0;
+        let mut blocks: u32 = 0;
+        let mut at = entry;
+        let mut closes_loop = false;
+        // Return addresses pushed by calls chained into this trace, so a
+        // matching RET can chain through with a known continuation.
+        let mut callstack: Vec<u32> = Vec::new();
+        let peek = |a: u32| self.idx(a).and_then(|i| self.insns[i]);
+        loop {
+            if insn_count >= MAX_TRACE_INSNS || blocks >= MAX_TRACE_BLOCKS {
+                break;
+            }
+            let Some((insn, len)) = peek(at) else {
+                break;
+            };
+            let next = at.wrapping_add(4 * len as u32);
+
+            // Macro-op fusion: compare + conditional branch.
+            if let Insn::CmpI { ra, imm } = insn {
+                if let Some((Insn::J { cond, target }, jlen)) = peek(next) {
+                    let fall = next.wrapping_add(4 * jlen as u32);
+                    let expect_taken = cond == Cond::Always || target < next;
+                    ops.push(TraceOp::CmpIJ {
+                        ra,
+                        imm,
+                        cond,
+                        target,
+                        fall,
+                        expect_taken,
+                    });
+                    insn_count += 2;
+                    blocks += 1;
+                    at = if expect_taken { target } else { fall };
+                    if at == entry {
+                        closes_loop = true;
+                        break;
+                    }
+                    continue;
+                }
+            }
+            if let Insn::Cmp { ra, rb } = insn {
+                if let Some((Insn::J { cond, target }, jlen)) = peek(next) {
+                    let fall = next.wrapping_add(4 * jlen as u32);
+                    let expect_taken = cond == Cond::Always || target < next;
+                    ops.push(TraceOp::CmpJ {
+                        ra,
+                        rb,
+                        cond,
+                        target,
+                        fall,
+                        expect_taken,
+                    });
+                    insn_count += 2;
+                    blocks += 1;
+                    at = if expect_taken { target } else { fall };
+                    if at == entry {
+                        closes_loop = true;
+                        break;
+                    }
+                    continue;
+                }
+            }
+            // Macro-op fusion: load + non-trapping ALU.
+            if let Insn::Ld { rd, base, off } = insn {
+                if let Some((
+                    Insn::Alu {
+                        op,
+                        rd: ard,
+                        ra: ara,
+                        rb: arb,
+                    },
+                    alen,
+                )) = peek(next)
+                {
+                    if !matches!(op, AluOp::Div | AluOp::Mod) {
+                        ops.push(TraceOp::LdAlu {
+                            rd,
+                            base,
+                            off,
+                            at,
+                            op,
+                            ard,
+                            ara,
+                            arb,
+                        });
+                        insn_count += 2;
+                        at = next.wrapping_add(4 * alen as u32);
+                        if at == entry {
+                            closes_loop = true;
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            let mut cont = next;
+            let mut stop = false;
+            let op = match insn {
+                Insn::MovI { rd, imm } => TraceOp::MovI { rd, imm },
+                Insn::Mov { rd, rs } => TraceOp::Mov { rd, rs },
+                Insn::AddI { rd, ra, imm } => TraceOp::AddI { rd, ra, imm },
+                Insn::MulI { rd, ra, imm } => TraceOp::MulI { rd, ra, imm },
+                Insn::Alu { op, rd, ra, rb } if !matches!(op, AluOp::Div | AluOp::Mod) => {
+                    TraceOp::Alu { op, rd, ra, rb }
+                }
+                // Unfused compares (the branch fusion above didn't fire).
+                Insn::Cmp { ra, rb } => TraceOp::CmpOnly { ra, rb },
+                Insn::CmpI { ra, imm } => TraceOp::CmpIOnly { ra, imm },
+                Insn::Ld { rd, base, off } => TraceOp::Ld { rd, base, off, at },
+                Insn::St { rb, base, off } => TraceOp::St { rb, base, off, at },
+                Insn::LdG { rd, addr } => TraceOp::LdG { rd, addr, at },
+                Insn::StG { rs, addr } => TraceOp::StG { rs, addr, at },
+                Insn::LdB { rd, base, off } => TraceOp::LdB { rd, base, off, at },
+                Insn::StB { rb, base, off } => TraceOp::StB { rb, base, off, at },
+                Insn::Push { rs } => TraceOp::Push { rs, at },
+                Insn::Pop { rd } => TraceOp::Pop { rd, at },
+                Insn::Enter { frame } => TraceOp::Enter { frame, at },
+                Insn::Leave => TraceOp::Leave { at },
+                Insn::J { cond, target } => {
+                    if cond == Cond::Always {
+                        cont = target;
+                        TraceOp::JmpU
+                    } else {
+                        let expect_taken = target < at;
+                        cont = if expect_taken { target } else { next };
+                        TraceOp::Jmp {
+                            cond,
+                            target,
+                            fall: next,
+                            expect_taken,
+                        }
+                    }
+                }
+                Insn::Call { target } => {
+                    cont = target;
+                    callstack.push(next);
+                    TraceOp::CallPush { ret: next, at }
+                }
+                // A return whose address was pushed by a call earlier in
+                // this same trace chains through; any other return is an
+                // indirect transfer and stops the trace.
+                Insn::Ret => match callstack.pop() {
+                    Some(expect) => {
+                        cont = expect;
+                        TraceOp::RetTo { expect, at }
+                    }
+                    None => {
+                        stop = true;
+                        TraceOp::Exec {
+                            insn,
+                            at,
+                            next,
+                            end: true,
+                        }
+                    }
+                },
+                // Print-family syscalls continue at `next`; MPI traps and
+                // exits leave the pass through their Exit instead.
+                Insn::Sys { .. } => TraceOp::ExecBranch {
+                    insn,
+                    at,
+                    next,
+                    expect: next,
+                    end: true,
+                },
+                Insn::JmpR { .. } | Insn::CallR { .. } | Insn::Halt => {
+                    stop = true;
+                    TraceOp::Exec {
+                        insn,
+                        at,
+                        next,
+                        end: true,
+                    }
+                }
+                other if is_fpu_insn(&other) => TraceOp::Fpu { insn: other, at },
+                other => TraceOp::Exec {
+                    insn: other,
+                    at,
+                    next,
+                    end: false,
+                },
+            };
+            ops.push(op);
+            insn_count += 1;
+            if insn.is_block_end() {
+                blocks += 1;
+            }
+            if stop {
+                break;
+            }
+            at = cont;
+            if at == entry {
+                closes_loop = true;
+                break;
+            }
+        }
+        if ops.is_empty() {
+            return None;
+        }
+        // A pass must leave EIP correct when it falls off the tail: ops
+        // that only write EIP on faults get an explicit fall-through to
+        // the chain continuation (`at` holds it at every break above).
+        if let Some(
+            TraceOp::MovI { .. }
+            | TraceOp::Mov { .. }
+            | TraceOp::AddI { .. }
+            | TraceOp::MulI { .. }
+            | TraceOp::Alu { .. }
+            | TraceOp::CmpOnly { .. }
+            | TraceOp::CmpIOnly { .. }
+            | TraceOp::Ld { .. }
+            | TraceOp::St { .. }
+            | TraceOp::LdG { .. }
+            | TraceOp::StG { .. }
+            | TraceOp::LdB { .. }
+            | TraceOp::StB { .. }
+            | TraceOp::LdAlu { .. }
+            | TraceOp::Push { .. }
+            | TraceOp::Pop { .. }
+            | TraceOp::Enter { .. }
+            | TraceOp::Leave { .. }
+            | TraceOp::JmpU
+            | TraceOp::CallPush { .. }
+            | TraceOp::Fpu { .. },
+        ) = ops.last()
+        {
+            ops.push(TraceOp::FallThrough { to: at });
+        }
+        Some(Trace {
+            entry,
+            insn_count,
+            closes_loop,
+            ops,
+        })
+    }
+}
+
+/// The campaign-wide decoded-code store: one pre-decoded `SharedBank`
+/// per text bank, cheaply cloneable (two `Arc`s). Build it once per
+/// image and pass it to every machine loaded from that image — all
+/// ranks, forks and worker threads then share decoded blocks and
+/// promoted superblocks, and snapshots carry the handles so forked
+/// trials start warm.
+#[derive(Clone)]
+pub struct SharedCode {
+    pub(crate) app: Arc<SharedBank>,
+    pub(crate) lib: Arc<SharedBank>,
+}
+
+impl SharedCode {
+    /// Eagerly pre-decode both text sections of an image.
+    pub fn build(image: &ProgramImage) -> SharedCode {
+        SharedCode {
+            app: Arc::new(SharedBank::build(TEXT_BASE, &image.text)),
+            lib: Arc::new(SharedBank::build(LIB_BASE, &image.lib_text)),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCode")
+            .field("app_words", &self.app.insns.len())
+            .field("lib_words", &self.lib.insns.len())
+            .finish()
+    }
+}
+
+/// One text bank's view of the decode machinery: the `Arc`-shared
+/// pre-decoded store while the bank's text still matches the image, or
+/// private lazy caches after a poke demotes it (copy-on-poke — the
+/// shared store always describes pristine text, so a text-corrupting
+/// fault drops the handle and falls back to the PR 4 per-machine
+/// caches with their generation-flush semantics).
+struct CacheBank {
+    base: u32,
+    /// Mapping length in bytes (`text_len.max(4)`, like the mappings).
+    len: u32,
+    /// The shared store; `None` once demoted or when loaded cold.
+    shared: Option<Arc<SharedBank>>,
+    /// Per-machine promotion heat for shared block entries (lazily
+    /// sized — most forks never run anything hot).
+    hotness: Vec<u16>,
+    /// Private decode caches, used only when `shared` is gone.
+    icache: Option<Box<ICache>>,
+    bcache: Option<Box<BlockCache>>,
+}
+
+impl CacheBank {
+    fn cold(base: u32, len: u32) -> CacheBank {
+        CacheBank {
+            base,
+            len: len.max(4),
+            shared: None,
+            hotness: Vec::new(),
+            icache: None,
+            bcache: None,
+        }
+    }
+
+    fn warm(base: u32, len: u32, shared: Arc<SharedBank>) -> CacheBank {
+        CacheBank {
+            shared: Some(shared),
+            ..CacheBank::cold(base, len)
+        }
+    }
+
+    fn idx(&self, addr: u32) -> Option<usize> {
+        if addr < self.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((addr - self.base) / 4) as usize;
+        (i < (self.len as usize).div_ceil(4)).then_some(i)
+    }
+
+    fn heat(&mut self, i: usize) -> &mut u16 {
+        if self.hotness.is_empty() {
+            self.hotness = vec![0; (self.len as usize).div_ceil(4)];
+        }
+        &mut self.hotness[i]
+    }
+
+    fn icache_mut(&mut self) -> &mut ICache {
+        self.icache
+            .get_or_insert_with(|| Box::new(ICache::new(self.base, self.len)))
+    }
+
+    fn bcache_mut(&mut self) -> &mut BlockCache {
+        self.bcache
+            .get_or_insert_with(|| Box::new(BlockCache::new(self.len)))
+    }
+
+    /// A privileged poke landed on [lo, hi): demote a shared bank to
+    /// the private caches, or flush the private caches (the
+    /// pre-demotion semantics).
+    fn poke(&mut self, lo: u32, hi: u32, stats: &mut ExecStats) {
+        let bank_end = self.base + self.len;
+        if lo >= bank_end || hi <= self.base {
+            return;
+        }
+        if self.shared.take().is_some() {
+            self.hotness = Vec::new();
+            self.icache = None;
+            self.bcache = None;
+            stats.demotions += 1;
+            return;
+        }
+        if let Some(ic) = self.icache.as_deref_mut() {
+            for a in lo..hi {
+                ic.invalidate(a);
+            }
+        }
+        if let Some(bc) = self.bcache.as_deref_mut() {
+            bc.flush();
+        }
+    }
+}
+
+/// The two text banks (app at `TEXT_BASE`, lib at `LIB_BASE`) behind
+/// one probe: every use site resolves a bank by address instead of
+/// repeating the app-then-lib fallback dance.
+struct CodeCache {
+    app: CacheBank,
+    lib: CacheBank,
+}
+
+impl CodeCache {
+    fn bank(&self, addr: u32) -> &CacheBank {
+        if addr < LIB_BASE {
+            &self.app
+        } else {
+            &self.lib
+        }
+    }
+
+    fn bank_mut(&mut self, addr: u32) -> &mut CacheBank {
+        if addr < LIB_BASE {
+            &mut self.app
+        } else {
+            &mut self.lib
+        }
+    }
+}
+
+/// The FPU family — exactly the variants `Machine::exec_fpu` handles, so
+/// the trace builder can route them to the inline [`TraceOp::Fpu`] arm.
+fn is_fpu_insn(i: &Insn) -> bool {
+    matches!(
+        i,
+        Insn::Fld { .. }
+            | Insn::FldG { .. }
+            | Insn::Fst { .. }
+            | Insn::Fstp { .. }
+            | Insn::FstpG { .. }
+            | Insn::Fild { .. }
+            | Insn::Fistp { .. }
+            | Insn::FildR { .. }
+            | Insn::FistpR { .. }
+            | Insn::Fldz
+            | Insn::Fld1
+            | Insn::Fbinp { .. }
+            | Insn::Funop { .. }
+            | Insn::Fxch { .. }
+            | Insn::FldSt { .. }
+            | Insn::Fcomip
+            | Insn::Fpop
+    )
+}
+
+/// ALU ops that cannot trap (everything but Div/Mod) — the trace path's
+/// inline arms share this with nothing else; `exec` keeps its own match
+/// because it must also raise SIGFPE.
+#[inline]
+fn alu_nontrapping(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b & 31),
+        AluOp::Shr => a.wrapping_shr(b & 31),
+        AluOp::Sar => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Div | AluOp::Mod => unreachable!("trapping ALU ops never inline into traces"),
     }
 }
 
@@ -283,13 +1038,13 @@ pub struct Machine {
     /// architectural state: snapshots carry it, so a forked trial
     /// replays the identical event stream a cold run produces.
     pub obs: EventLog,
+    /// Decoded-code cache effectiveness counters (telemetry, not
+    /// architectural state: snapshots neither carry nor compare them).
+    pub exec_stats: ExecStats,
     budget: u64,
     text_end: u32,
     lib_text_end: u32,
-    icache_app: ICache,
-    icache_lib: ICache,
-    bcache_app: BlockCache,
-    bcache_lib: BlockCache,
+    code: CodeCache,
     /// Lowest ESP observed on a push — measures peak stack depth for the
     /// Table 1 profile ("the stack size varied between 5-10 KB").
     min_esp: u32,
@@ -302,8 +1057,25 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Load a program image.
+    /// Load a program image, pre-decoding its text sections.
     pub fn load(image: &ProgramImage, cfg: MachineConfig) -> Machine {
+        Machine::load_shared(image, cfg, None)
+    }
+
+    /// Load a program image, attaching an existing [`SharedCode`] store
+    /// (which must have been built from the same image) instead of
+    /// pre-decoding a fresh one. Campaigns build one store per app and
+    /// hand it to every world, so all ranks, snapshot forks and worker
+    /// threads share decoded blocks and promoted superblocks.
+    ///
+    /// With `None`, a fresh store is built — unless the configuration
+    /// cannot use it (fast path off, or access tracing on), in which
+    /// case the machine loads cold and decodes lazily as before.
+    pub fn load_shared(
+        image: &ProgramImage,
+        cfg: MachineConfig,
+        code: Option<&SharedCode>,
+    ) -> Machine {
         let mut map = AddressSpaceMap::new();
         let text_len = image.text.len() as u32;
         map.add(Mapping {
@@ -369,6 +1141,30 @@ impl Machine {
         mem.poke(lib_data_base, &image.lib_data);
 
         let heap_limit = heap_base + cfg.heap_limit.min(LIB_BASE - heap_base);
+        let code = if cfg.fastpath && !cfg.trace {
+            let owned;
+            let code = match code {
+                Some(c) => c,
+                None => {
+                    owned = SharedCode::build(image);
+                    &owned
+                }
+            };
+            debug_assert_eq!(
+                code.app.insns.len(),
+                (text_len.max(4) as usize).div_ceil(4),
+                "shared store was built from a different image"
+            );
+            CodeCache {
+                app: CacheBank::warm(TEXT_BASE, text_len, code.app.clone()),
+                lib: CacheBank::warm(LIB_BASE, lib_text_len, code.lib.clone()),
+            }
+        } else {
+            CodeCache {
+                app: CacheBank::cold(TEXT_BASE, text_len),
+                lib: CacheBank::cold(LIB_BASE, lib_text_len),
+            }
+        };
         Machine {
             cpu: Cpu::new(image.entry, STACK_TOP - 16),
             mem,
@@ -382,13 +1178,11 @@ impl Machine {
             } else {
                 EventLog::disabled()
             },
+            exec_stats: ExecStats::default(),
             budget: cfg.budget,
             text_end: TEXT_BASE + text_len,
             lib_text_end: LIB_BASE + lib_text_len,
-            icache_app: ICache::new(TEXT_BASE, text_len.max(4)),
-            icache_lib: ICache::new(LIB_BASE, lib_text_len.max(4)),
-            bcache_app: BlockCache::new(TEXT_BASE, text_len.max(4)),
-            bcache_lib: BlockCache::new(LIB_BASE, lib_text_len.max(4)),
+            code,
             min_esp: STACK_TOP - 16,
             syscall_fault: None,
             syscall_fault_seen: 0,
@@ -521,68 +1315,475 @@ impl Machine {
         }
     }
 
-    /// Basic-block dispatch: look up (or build) the decoded block at EIP
-    /// and execute it in a tight inner loop, paying the cache-probe and
-    /// dispatch overhead once per block instead of once per instruction.
+    /// Block/superblock dispatch: look up the shared decoded block (or
+    /// superblock) at EIP and execute it in a tight inner loop, paying
+    /// the cache-probe and dispatch overhead once per block — or once
+    /// per whole loop body when a superblock pass is admitted — instead
+    /// of once per instruction.
     fn run_fast(&mut self, stop_at: u64) -> Exit {
+        let limit = self.budget.min(stop_at);
+        // The shared banks cannot change during a run (demotion happens
+        // on privileged pokes, between runs), so resolve them once.
+        let app = self.code.app.shared.clone();
+        let lib = self.code.lib.shared.clone();
         loop {
-            if self.counters.insns >= self.budget {
-                return Exit::Budget;
-            }
-            if self.counters.insns >= stop_at {
-                return Exit::Quantum;
+            if self.counters.insns >= limit {
+                return if self.counters.insns >= self.budget {
+                    Exit::Budget
+                } else {
+                    Exit::Quantum
+                };
             }
             let eip = self.cpu.eip;
-            let (in_app, idx) = match (self.bcache_app.idx(eip), self.bcache_lib.idx(eip)) {
-                (Some(i), _) => (true, i),
-                (None, Some(i)) => (false, i),
-                // Not a block-cacheable address (unaligned or outside
-                // text): single-step, which raises the right signal.
-                (None, None) => {
-                    if let Some(exit) = self.step() {
-                        return exit;
-                    }
-                    continue;
-                }
+            let bank = if eip < LIB_BASE { &app } else { &lib };
+            let exit = match bank.as_deref() {
+                Some(b) => self.dispatch_shared(b, eip, stop_at, limit),
+                None => self.dispatch_private(eip, stop_at),
             };
-            let (generation, slot) = if in_app {
-                (
-                    self.bcache_app.generation,
-                    self.bcache_app.slots[idx].take(),
-                )
-            } else {
-                (
-                    self.bcache_lib.generation,
-                    self.bcache_lib.slots[idx].take(),
-                )
-            };
-            let block = match slot.or_else(|| self.build_block(eip)) {
-                Some(b) => b,
-                // Head instruction unfetchable/undecodable: the step
-                // path raises the proper SIGSEGV/SIGILL with events.
-                None => {
-                    if let Some(exit) = self.step() {
-                        return exit;
-                    }
-                    continue;
-                }
-            };
-            let exit = self.exec_block(&block, eip, stop_at);
-            // Put the block back unless a flush raced the execution
-            // (nothing inside exec can poke text today, but the
-            // generation check keeps the contract local).
-            let cache = if in_app {
-                &mut self.bcache_app
-            } else {
-                &mut self.bcache_lib
-            };
-            if cache.generation == generation {
-                cache.slots[idx] = Some(block);
-            }
             if let Some(exit) = exit {
                 return exit;
             }
         }
+    }
+
+    /// One dispatch against the shared store: enter a promoted
+    /// superblock if a full pass fits under the limits, otherwise heat
+    /// the entry (compiling a superblock at the threshold) and run the
+    /// shared decoded block.
+    fn dispatch_shared(
+        &mut self,
+        bank: &SharedBank,
+        eip: u32,
+        stop_at: u64,
+        limit: u64,
+    ) -> Option<Exit> {
+        let Some(i) = bank.idx(eip) else {
+            // Unaligned or outside the bank: single-step raises whatever
+            // is architecturally right.
+            return self.step();
+        };
+        match bank.traces[i].get() {
+            Some(tr) if limit.saturating_sub(self.counters.insns) >= tr.insn_count => {
+                return self.exec_trace(tr, limit);
+            }
+            // Not enough headroom for a full pass: the block path below
+            // finishes the quantum with per-instruction exactness.
+            Some(_) => {}
+            None => {
+                let h = self.code.bank_mut(eip).heat(i);
+                *h = h.saturating_add(1);
+                if *h == TRACE_HOT_THRESHOLD {
+                    if let Some(tr) = bank.build_trace(eip) {
+                        let _ = bank.traces[i].set(tr);
+                    }
+                }
+            }
+        }
+        let Some(block) = bank.block(i, &mut self.exec_stats) else {
+            // Head instruction unfetchable/undecodable: the step path
+            // raises the proper SIGSEGV/SIGILL with events.
+            return self.step();
+        };
+        self.exec_block(block, eip, stop_at)
+    }
+
+    /// One dispatch against the private caches (a demoted bank, or a
+    /// configuration that never attached the shared store).
+    fn dispatch_private(&mut self, eip: u32, stop_at: u64) -> Option<Exit> {
+        let bank = self.code.bank_mut(eip);
+        let Some(idx) = bank.idx(eip) else {
+            // Not a block-cacheable address (unaligned or outside
+            // text): single-step, which raises the right signal.
+            return self.step();
+        };
+        let bc = bank.bcache_mut();
+        let generation = bc.generation;
+        let slot = bc.slots[idx].take();
+        if slot.is_some() {
+            self.exec_stats.block_hits += 1;
+        } else {
+            self.exec_stats.block_misses += 1;
+        }
+        let block = match slot.or_else(|| self.build_block(eip)) {
+            Some(b) => b,
+            // Head instruction unfetchable/undecodable: the step path
+            // raises the proper SIGSEGV/SIGILL with events.
+            None => return self.step(),
+        };
+        let exit = self.exec_block(&block, eip, stop_at);
+        // Put the block back unless a flush raced the execution
+        // (nothing inside exec can poke text today, but the generation
+        // check keeps the contract local).
+        let bc = self.code.bank_mut(eip).bcache_mut();
+        if bc.generation == generation {
+            bc.slots[idx] = Some(block);
+        }
+        exit
+    }
+
+    /// Execute one full pass (or several, for a loop-closing trace) of a
+    /// compiled superblock. The dispatcher has already verified that an
+    /// entire pass fits under both the budget and the quantum, so the
+    /// body runs with no per-instruction limit checks; counters still
+    /// advance per instruction because syscalls and events read them.
+    ///
+    /// EIP discipline: inline ops leave EIP stale and restore it on a
+    /// fault; `Exec`-family ops set it before dispatching (so early
+    /// interpreter returns see the right value); every return path
+    /// below therefore leaves `cpu.eip` architecturally exact.
+    fn exec_trace(&mut self, tr: &Trace, limit: u64) -> Option<Exit> {
+        // Counters are batched in locals so the hot arms touch registers,
+        // not memory; they are written back (`sync!`) before anything that
+        // can observe them — the interpreter, `raise`'s event record, a
+        // side exit — and reloaded after the interpreter returns. Safe
+        // because access tracing is always off on this path, so nothing
+        // else reads the counters mid-pass.
+        let mut insns = self.counters.insns;
+        let mut blocks = self.counters.blocks;
+        macro_rules! sync {
+            () => {{
+                self.counters.insns = insns;
+                self.counters.blocks = blocks;
+            }};
+        }
+        loop {
+            self.exec_stats.trace_hits += 1;
+            let last = tr.ops.len() - 1;
+            for (i, op) in tr.ops.iter().enumerate() {
+                match *op {
+                    TraceOp::MovI { rd, imm } => {
+                        insns += 1;
+                        self.cpu.set(rd, imm);
+                    }
+                    TraceOp::Mov { rd, rs } => {
+                        insns += 1;
+                        let v = self.cpu.get(rs);
+                        self.cpu.set(rd, v);
+                    }
+                    TraceOp::AddI { rd, ra, imm } => {
+                        insns += 1;
+                        let v = self.cpu.get(ra).wrapping_add(imm);
+                        self.cpu.set(rd, v);
+                    }
+                    TraceOp::MulI { rd, ra, imm } => {
+                        insns += 1;
+                        let v = self.cpu.get(ra).wrapping_mul(imm);
+                        self.cpu.set(rd, v);
+                    }
+                    TraceOp::Alu { op, rd, ra, rb } => {
+                        insns += 1;
+                        let v = alu_nontrapping(op, self.cpu.get(ra), self.cpu.get(rb));
+                        self.cpu.set(rd, v);
+                    }
+                    TraceOp::CmpOnly { ra, rb } => {
+                        insns += 1;
+                        let (a, b) = (self.cpu.get(ra), self.cpu.get(rb));
+                        self.flags_from_sub(a, b);
+                    }
+                    TraceOp::CmpIOnly { ra, imm } => {
+                        insns += 1;
+                        let a = self.cpu.get(ra);
+                        self.flags_from_sub(a, imm);
+                    }
+                    TraceOp::Ld { rd, base, off, at } => {
+                        insns += 1;
+                        let addr = self.cpu.get(base).wrapping_add(off as u32);
+                        match self.mem.load_u32(addr, blocks) {
+                            Ok(v) => self.cpu.set(rd, v),
+                            Err(f) => {
+                                sync!();
+                                return Some(self.trace_fault(at, f.addr));
+                            }
+                        }
+                    }
+                    TraceOp::St { rb, base, off, at } => {
+                        insns += 1;
+                        let addr = self.cpu.get(base).wrapping_add(off as u32);
+                        let v = self.cpu.get(rb);
+                        if let Err(f) = self.mem.store_u32(addr, v, blocks) {
+                            sync!();
+                            return Some(self.trace_fault(at, f.addr));
+                        }
+                    }
+                    TraceOp::LdG { rd, addr, at } => {
+                        insns += 1;
+                        match self.mem.load_u32(addr, blocks) {
+                            Ok(v) => self.cpu.set(rd, v),
+                            Err(f) => {
+                                sync!();
+                                return Some(self.trace_fault(at, f.addr));
+                            }
+                        }
+                    }
+                    TraceOp::StG { rs, addr, at } => {
+                        insns += 1;
+                        let v = self.cpu.get(rs);
+                        if let Err(f) = self.mem.store_u32(addr, v, blocks) {
+                            sync!();
+                            return Some(self.trace_fault(at, f.addr));
+                        }
+                    }
+                    TraceOp::LdB { rd, base, off, at } => {
+                        insns += 1;
+                        let addr = self.cpu.get(base).wrapping_add(off as u32);
+                        match self.mem.load_u8(addr, blocks) {
+                            Ok(v) => self.cpu.set(rd, v as u32),
+                            Err(f) => {
+                                sync!();
+                                return Some(self.trace_fault(at, f.addr));
+                            }
+                        }
+                    }
+                    TraceOp::StB { rb, base, off, at } => {
+                        insns += 1;
+                        let addr = self.cpu.get(base).wrapping_add(off as u32);
+                        let v = self.cpu.get(rb) as u8;
+                        if let Err(f) = self.mem.store_u8(addr, v, blocks) {
+                            sync!();
+                            return Some(self.trace_fault(at, f.addr));
+                        }
+                    }
+                    TraceOp::LdAlu {
+                        rd,
+                        base,
+                        off,
+                        at,
+                        op,
+                        ard,
+                        ara,
+                        arb,
+                    } => {
+                        insns += 1;
+                        let addr = self.cpu.get(base).wrapping_add(off as u32);
+                        match self.mem.load_u32(addr, blocks) {
+                            Ok(v) => self.cpu.set(rd, v),
+                            Err(f) => {
+                                sync!();
+                                return Some(self.trace_fault(at, f.addr));
+                            }
+                        }
+                        insns += 1;
+                        let v = alu_nontrapping(op, self.cpu.get(ara), self.cpu.get(arb));
+                        self.cpu.set(ard, v);
+                    }
+                    TraceOp::Push { rs, at } => {
+                        insns += 1;
+                        let v = self.cpu.get(rs);
+                        if let Err(sig) = self.push(v) {
+                            sync!();
+                            self.cpu.eip = at;
+                            return Some(self.raise(sig));
+                        }
+                    }
+                    TraceOp::Pop { rd, at } => {
+                        insns += 1;
+                        match self.pop() {
+                            Ok(v) => self.cpu.set(rd, v),
+                            Err(sig) => {
+                                sync!();
+                                self.cpu.eip = at;
+                                return Some(self.raise(sig));
+                            }
+                        }
+                    }
+                    TraceOp::Enter { frame, at } => {
+                        insns += 1;
+                        let ebp = self.cpu.get(Gpr::Ebp);
+                        if let Err(sig) = self.push(ebp) {
+                            sync!();
+                            self.cpu.eip = at;
+                            return Some(self.raise(sig));
+                        }
+                        let esp = self.cpu.get(Gpr::Esp);
+                        self.cpu.set(Gpr::Ebp, esp);
+                        self.cpu.set(Gpr::Esp, esp.wrapping_sub(frame));
+                    }
+                    TraceOp::Leave { at } => {
+                        insns += 1;
+                        let ebp = self.cpu.get(Gpr::Ebp);
+                        self.cpu.set(Gpr::Esp, ebp);
+                        match self.pop() {
+                            Ok(saved) => self.cpu.set(Gpr::Ebp, saved),
+                            Err(sig) => {
+                                sync!();
+                                self.cpu.eip = at;
+                                return Some(self.raise(sig));
+                            }
+                        }
+                    }
+                    TraceOp::CmpIJ {
+                        ra,
+                        imm,
+                        cond,
+                        target,
+                        fall,
+                        expect_taken,
+                    } => {
+                        let a = self.cpu.get(ra);
+                        self.flags_from_sub(a, imm);
+                        insns += 2;
+                        blocks += 1;
+                        let taken = self.cond_holds(cond);
+                        self.cpu.eip = if taken { target } else { fall };
+                        if taken != expect_taken {
+                            if i != last {
+                                self.exec_stats.trace_side_exits += 1;
+                            }
+                            sync!();
+                            return None;
+                        }
+                    }
+                    TraceOp::CmpJ {
+                        ra,
+                        rb,
+                        cond,
+                        target,
+                        fall,
+                        expect_taken,
+                    } => {
+                        let (a, b) = (self.cpu.get(ra), self.cpu.get(rb));
+                        self.flags_from_sub(a, b);
+                        insns += 2;
+                        blocks += 1;
+                        let taken = self.cond_holds(cond);
+                        self.cpu.eip = if taken { target } else { fall };
+                        if taken != expect_taken {
+                            if i != last {
+                                self.exec_stats.trace_side_exits += 1;
+                            }
+                            sync!();
+                            return None;
+                        }
+                    }
+                    TraceOp::Jmp {
+                        cond,
+                        target,
+                        fall,
+                        expect_taken,
+                    } => {
+                        insns += 1;
+                        blocks += 1;
+                        let taken = self.cond_holds(cond);
+                        self.cpu.eip = if taken { target } else { fall };
+                        if taken != expect_taken {
+                            if i != last {
+                                self.exec_stats.trace_side_exits += 1;
+                            }
+                            sync!();
+                            return None;
+                        }
+                    }
+                    TraceOp::JmpU => {
+                        insns += 1;
+                        blocks += 1;
+                    }
+                    TraceOp::CallPush { ret, at } => {
+                        insns += 1;
+                        blocks += 1;
+                        if let Err(sig) = self.push(ret) {
+                            sync!();
+                            self.cpu.eip = at;
+                            return Some(self.raise(sig));
+                        }
+                    }
+                    TraceOp::RetTo { expect, at } => {
+                        insns += 1;
+                        blocks += 1;
+                        match self.pop() {
+                            Ok(t) => {
+                                self.cpu.eip = t;
+                                if t != expect {
+                                    if i != last {
+                                        self.exec_stats.trace_side_exits += 1;
+                                    }
+                                    sync!();
+                                    return None;
+                                }
+                            }
+                            Err(sig) => {
+                                sync!();
+                                self.cpu.eip = at;
+                                return Some(self.raise(sig));
+                            }
+                        }
+                    }
+                    TraceOp::Fpu { insn, at } => {
+                        insns += 1;
+                        if let Err(sig) = self.exec_fpu(insn, at, blocks) {
+                            sync!();
+                            self.cpu.eip = at;
+                            return Some(self.raise(sig));
+                        }
+                    }
+                    TraceOp::Exec {
+                        insn,
+                        at,
+                        next,
+                        end,
+                    } => {
+                        insns += 1;
+                        if end {
+                            blocks += 1;
+                        }
+                        sync!();
+                        self.cpu.eip = at;
+                        match self.exec(insn, at, next) {
+                            Ok(None) => {
+                                insns = self.counters.insns;
+                                blocks = self.counters.blocks;
+                            }
+                            Ok(Some(exit)) => return Some(exit),
+                            Err(sig) => return Some(self.raise(sig)),
+                        }
+                    }
+                    TraceOp::ExecBranch {
+                        insn,
+                        at,
+                        next,
+                        expect,
+                        end,
+                    } => {
+                        insns += 1;
+                        if end {
+                            blocks += 1;
+                        }
+                        sync!();
+                        self.cpu.eip = at;
+                        match self.exec(insn, at, next) {
+                            Ok(None) => {
+                                insns = self.counters.insns;
+                                blocks = self.counters.blocks;
+                                if self.cpu.eip != expect {
+                                    if i != last {
+                                        self.exec_stats.trace_side_exits += 1;
+                                    }
+                                    return None;
+                                }
+                            }
+                            Ok(Some(exit)) => return Some(exit),
+                            Err(sig) => return Some(self.raise(sig)),
+                        }
+                    }
+                    TraceOp::FallThrough { to } => self.cpu.eip = to,
+                }
+            }
+            // Loop in-trace only while another full pass fits under the
+            // limits; otherwise the dispatcher (or block path) resumes.
+            if !(tr.closes_loop
+                && self.cpu.eip == tr.entry
+                && limit.saturating_sub(insns) >= tr.insn_count)
+            {
+                sync!();
+                return None;
+            }
+        }
+    }
+
+    /// An inline trace op faulted: restore EIP to the faulting
+    /// instruction (where the interpreter leaves it) and raise.
+    fn trace_fault(&mut self, at: u32, addr: u32) -> Exit {
+        self.cpu.eip = at;
+        self.raise(Signal::Segv { addr })
     }
 
     /// Decode the straight-line run starting at `eip`, up to the first
@@ -615,13 +1816,18 @@ impl Machine {
     /// counters, then exec. Leaves the block early on any taken branch,
     /// trap or raised signal. `None` means continue at `self.cpu.eip`.
     fn exec_block(&mut self, block: &Block, eip: u32, stop_at: u64) -> Option<Exit> {
+        let limit = self.budget.min(stop_at);
         let mut at = eip;
         for &(insn, len) in &block.insns {
-            if self.counters.insns >= self.budget {
-                return Some(Exit::Budget);
-            }
-            if self.counters.insns >= stop_at {
-                return Some(Exit::Quantum);
+            if self.counters.insns >= limit {
+                // One folded compare per instruction; disambiguate only
+                // at the boundary (budget wins, exactly as the slow
+                // path's check order has it).
+                return Some(if self.counters.insns >= self.budget {
+                    Exit::Budget
+                } else {
+                    Exit::Quantum
+                });
             }
             self.counters.insns += 1;
             if insn.is_block_end() {
@@ -648,16 +1854,14 @@ impl Machine {
         let eip = self.cpu.eip;
         let now = self.counters.blocks;
 
-        // Decode (through the i-cache for aligned text addresses).
-        let cached = self
-            .icache_app
-            .idx(eip)
-            .and_then(|i| self.icache_app.entries[i])
-            .or_else(|| {
-                self.icache_lib
-                    .idx(eip)
-                    .and_then(|i| self.icache_lib.entries[i])
-            });
+        // Decode: through the shared pre-decoded store while the bank is
+        // pristine, else through the private i-cache (aligned text only).
+        let bank = self.code.bank(eip);
+        let cached = match (bank.idx(eip), &bank.shared) {
+            (Some(i), Some(s)) => s.insns[i],
+            (Some(i), None) => bank.icache.as_ref().and_then(|ic| ic.entries[i]),
+            (None, _) => None,
+        };
         let (insn, len) = match cached {
             Some((insn, len)) => {
                 // Protection was checked when the cache entry was built and
@@ -677,10 +1881,14 @@ impl Machine {
                 };
                 match decode_at(&words, 0) {
                     Ok((insn, len)) => {
-                        if let Some(i) = self.icache_app.idx(eip) {
-                            self.icache_app.entries[i] = Some((insn, len as u8));
-                        } else if let Some(i) = self.icache_lib.idx(eip) {
-                            self.icache_lib.entries[i] = Some((insn, len as u8));
+                        // A shared bank can never miss on a decodable word
+                        // (its text is pristine by construction), so an
+                        // insert only ever targets the private cache.
+                        let bank = self.code.bank_mut(eip);
+                        if bank.shared.is_none() {
+                            if let Some(i) = bank.idx(eip) {
+                                bank.icache_mut().entries[i] = Some((insn, len as u8));
+                            }
                         }
                         (insn, len)
                     }
@@ -870,7 +2078,26 @@ impl Machine {
             }
             Halt => return Ok(Some(Exit::Halted(self.cpu.get(Gpr::Eax) as i32))),
 
-            // --- FPU ------------------------------------------------------
+            // --- FPU: dispatched through `exec_fpu`, which the
+            // superblock fast path also calls directly (one source of
+            // truth for the op bodies, minus this interpreter frame).
+            other => self.exec_fpu(other, eip, now)?,
+        }
+        if !jumped {
+            self.cpu.eip = next;
+        }
+        Ok(None)
+    }
+
+    /// Execute one FPU instruction. Shared verbatim between the
+    /// general interpreter and the superblock fast path: `eip` is the
+    /// instruction address (for `note_insn` and fault reporting), and
+    /// EIP advancement is the caller's business. Inlined so the trace
+    /// loop pays one dispatch, not a nested interpreter call.
+    #[inline(always)]
+    fn exec_fpu(&mut self, insn: Insn, eip: u32, now: u64) -> Result<(), Signal> {
+        use Insn::*;
+        match insn {
             Fld { base, off } => {
                 let addr = self.cpu.get(base).wrapping_add(off as u32);
                 let v = self
@@ -1011,13 +2238,10 @@ impl Machine {
                 self.cpu.fpu.pop();
                 self.cpu.fpu.note_insn(eip, None);
             }
+            other => unreachable!("non-FPU insn {other:?} routed to exec_fpu"),
         }
-        if !jumped {
-            self.cpu.eip = next;
-        }
-        Ok(None)
+        Ok(())
     }
-
     fn exec_sys(&mut self, num: u16, eip: u32) -> Result<Exit, SysOutcome> {
         let call = match Syscall::from_num(num) {
             Some(c) => c,
@@ -1176,23 +2400,15 @@ impl Machine {
 
     // --- fault-injection interface (the `ptrace` analogue, §3.1) ---------
 
-    /// Privileged memory write; keeps the decode caches coherent.
+    /// Privileged memory write; keeps the decode caches coherent. A
+    /// poke landing in a shared text bank demotes it to private caches
+    /// (copy-on-poke); private caches invalidate per-word and flush
+    /// blocks coarsely, as before (pokes happen at injection rate).
     pub fn poke_mem(&mut self, addr: u32, data: &[u8]) {
         self.mem.poke(addr, data);
         let end = addr.saturating_add(data.len() as u32);
-        for i in 0..data.len() as u32 {
-            self.icache_app.invalidate(addr + i);
-            self.icache_lib.invalidate(addr + i);
-        }
-        // The block caches invalidate coarsely: any text poke flushes the
-        // whole cache (pokes happen at injection rate — blocks rebuild on
-        // demand, and a poked word may sit mid-block in many blocks).
-        if addr < self.text_end && end > TEXT_BASE {
-            self.bcache_app.flush();
-        }
-        if addr < self.lib_text_end && end > LIB_BASE {
-            self.bcache_lib.flush();
-        }
+        self.code.app.poke(addr, end, &mut self.exec_stats);
+        self.code.lib.poke(addr, end, &mut self.exec_stats);
     }
 
     /// Flip one bit of memory (privileged).
@@ -1294,9 +2510,10 @@ impl Machine {
     /// Capture the complete architectural state of the process: CPU
     /// (GPRs, EFLAGS, EIP, full FPU), memory (COW page table + region
     /// map), malloc-runtime records, console/output buffers, counters
-    /// and budget. The decoded-instruction cache is *not* part of the
-    /// state — it is a pure performance artifact and is rebuilt lazily
-    /// after [`MachineSnapshot::to_machine`].
+    /// and budget. Decoded code is *not* architectural state — the
+    /// snapshot only carries the shared-store handles (if the banks are
+    /// still pristine) so forks start with warm caches; demoted banks
+    /// hand their forks cold private caches that refill lazily.
     pub fn snapshot(&self) -> MachineSnapshot {
         MachineSnapshot {
             cpu: self.cpu.clone(),
@@ -1310,11 +2527,41 @@ impl Machine {
             budget: self.budget,
             text_end: self.text_end,
             lib_text_end: self.lib_text_end,
+            code: CodeHandle {
+                app: self.code.app.shared.clone(),
+                lib: self.code.lib.shared.clone(),
+            },
             min_esp: self.min_esp,
             syscall_fault: self.syscall_fault,
             syscall_fault_seen: self.syscall_fault_seen,
             syscall_faults_fired: self.syscall_faults_fired,
         }
+    }
+}
+
+/// The shared-store handles a [`MachineSnapshot`] carries so forked
+/// machines start with warm decoded caches. A pure performance
+/// artifact: `PartialEq` ignores it entirely — two snapshots are
+/// architecturally equal whether their forks will run warm or cold —
+/// mirroring how `MemorySnapshot` equality ignores the fastpath flag.
+#[derive(Clone, Default)]
+pub struct CodeHandle {
+    app: Option<Arc<SharedBank>>,
+    lib: Option<Arc<SharedBank>>,
+}
+
+impl PartialEq for CodeHandle {
+    fn eq(&self, _: &CodeHandle) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for CodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodeHandle")
+            .field("app_warm", &self.app.is_some())
+            .field("lib_warm", &self.lib.is_some())
+            .finish()
     }
 }
 
@@ -1336,6 +2583,9 @@ pub struct MachineSnapshot {
     pub budget: u64,
     pub text_end: u32,
     pub lib_text_end: u32,
+    /// Shared decoded-code handles (warm-cache fork); compares equal
+    /// regardless of warmth.
+    pub code: CodeHandle,
     pub min_esp: u32,
     pub syscall_fault: Option<SyscallFault>,
     pub syscall_fault_seen: u64,
@@ -1345,11 +2595,16 @@ pub struct MachineSnapshot {
 impl MachineSnapshot {
     /// Materialise a runnable [`Machine`] from this snapshot. Memory
     /// pages are shared copy-on-write with the snapshot (and with every
-    /// other machine forked from it); the instruction caches start cold
-    /// and refill on execution.
+    /// other machine forked from it); decoded code reattaches warm from
+    /// the shared store when the snapshot carries the handles, else the
+    /// private caches start cold and refill on execution.
     pub fn to_machine(&self) -> Machine {
         let text_len = (self.text_end - TEXT_BASE).max(4);
         let lib_text_len = (self.lib_text_end - LIB_BASE).max(4);
+        let bank = |base: u32, len: u32, shared: &Option<Arc<SharedBank>>| match shared {
+            Some(s) => CacheBank::warm(base, len, s.clone()),
+            None => CacheBank::cold(base, len),
+        };
         Machine {
             cpu: self.cpu.clone(),
             mem: self.mem.to_memory(),
@@ -1359,13 +2614,14 @@ impl MachineSnapshot {
             in_mpi: self.in_mpi,
             counters: self.counters,
             obs: self.obs.clone(),
+            exec_stats: ExecStats::default(),
             budget: self.budget,
             text_end: self.text_end,
             lib_text_end: self.lib_text_end,
-            icache_app: ICache::new(TEXT_BASE, text_len),
-            icache_lib: ICache::new(LIB_BASE, lib_text_len),
-            bcache_app: BlockCache::new(TEXT_BASE, text_len),
-            bcache_lib: BlockCache::new(LIB_BASE, lib_text_len),
+            code: CodeCache {
+                app: bank(TEXT_BASE, text_len, &self.code.app),
+                lib: bank(LIB_BASE, lib_text_len, &self.code.lib),
+            },
             min_esp: self.min_esp,
             syscall_fault: self.syscall_fault,
             syscall_fault_seen: self.syscall_fault_seen,

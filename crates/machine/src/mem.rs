@@ -20,10 +20,13 @@ use std::sync::Arc;
 /// Low bits of an address within its page.
 const PAGE_MASK: u32 = PAGE_SIZE - 1;
 
-/// Software-TLB size. Direct-mapped on the page number; 64 slots cover
-/// a 256 KiB working set, comfortably more than the hot stack/data/text
-/// pages of the guest apps.
-const TLB_ENTRIES: usize = 64;
+/// Software-TLB size. Direct-mapped on the page number; 512 slots cover
+/// a 2 MiB working set. The superblock fast path leans on TLB hits hard
+/// enough that conflict evictions (a strided grid sweep repeatedly
+/// knocking out the stack page's slot) showed up as whole percents of
+/// run time at 64 slots; 512 makes them rare at a memcpy-able flush
+/// cost.
+const TLB_ENTRIES: usize = 512;
 
 /// One software-TLB slot: a cached translation from a page base to the
 /// raw backing page, with the mapping's permissions and the in-page
@@ -522,11 +525,19 @@ impl Memory {
         Ok(())
     }
 
-    /// Load a 32-bit little-endian word.
+    /// Load a 32-bit little-endian word. The TLB hit is inlined into
+    /// callers (the superblock loop in particular); the miss path is
+    /// outlined and cold.
+    #[inline]
     pub fn load_u32(&mut self, addr: u32, now: u64) -> Result<u32, MemFault> {
         if let Some(src) = self.tlb_read(addr, 4) {
             return Ok(u32::from_le_bytes(src.try_into().unwrap()));
         }
+        self.load_u32_slow(addr, now)
+    }
+
+    #[cold]
+    fn load_u32_slow(&mut self, addr: u32, now: u64) -> Result<u32, MemFault> {
         let m = self.check(addr, 4, AccessKind::Read)?;
         self.note(m.region, addr, 4, now, TraceKind::Load);
         let mut b = [0u8; 4];
@@ -536,10 +547,16 @@ impl Memory {
     }
 
     /// Load a byte.
+    #[inline]
     pub fn load_u8(&mut self, addr: u32, now: u64) -> Result<u8, MemFault> {
         if let Some(src) = self.tlb_read(addr, 1) {
             return Ok(src[0]);
         }
+        self.load_u8_slow(addr, now)
+    }
+
+    #[cold]
+    fn load_u8_slow(&mut self, addr: u32, now: u64) -> Result<u8, MemFault> {
         let m = self.check(addr, 1, AccessKind::Read)?;
         self.note(m.region, addr, 1, now, TraceKind::Load);
         let mut b = [0u8; 1];
@@ -549,10 +566,16 @@ impl Memory {
     }
 
     /// Load a 64-bit float.
+    #[inline]
     pub fn load_f64(&mut self, addr: u32, now: u64) -> Result<f64, MemFault> {
         if let Some(src) = self.tlb_read(addr, 8) {
             return Ok(f64::from_le_bytes(src.try_into().unwrap()));
         }
+        self.load_f64_slow(addr, now)
+    }
+
+    #[cold]
+    fn load_f64_slow(&mut self, addr: u32, now: u64) -> Result<f64, MemFault> {
         let m = self.check(addr, 8, AccessKind::Read)?;
         self.note(m.region, addr, 8, now, TraceKind::Load);
         let mut b = [0u8; 8];
@@ -562,11 +585,17 @@ impl Memory {
     }
 
     /// Store a 32-bit word.
+    #[inline]
     pub fn store_u32(&mut self, addr: u32, v: u32, _now: u64) -> Result<(), MemFault> {
         if let Some(dst) = self.tlb_write(addr, 4) {
             dst.copy_from_slice(&v.to_le_bytes());
             return Ok(());
         }
+        self.store_u32_slow(addr, v)
+    }
+
+    #[cold]
+    fn store_u32_slow(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
         let m = self.check(addr, 4, AccessKind::Write)?;
         self.raw_write(addr, &v.to_le_bytes());
         self.tlb_fill_write(addr, &m);
@@ -574,11 +603,17 @@ impl Memory {
     }
 
     /// Store a byte.
+    #[inline]
     pub fn store_u8(&mut self, addr: u32, v: u8, _now: u64) -> Result<(), MemFault> {
         if let Some(dst) = self.tlb_write(addr, 1) {
             dst[0] = v;
             return Ok(());
         }
+        self.store_u8_slow(addr, v)
+    }
+
+    #[cold]
+    fn store_u8_slow(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
         let m = self.check(addr, 1, AccessKind::Write)?;
         self.raw_write(addr, &[v]);
         self.tlb_fill_write(addr, &m);
@@ -586,11 +621,17 @@ impl Memory {
     }
 
     /// Store a 64-bit float.
+    #[inline]
     pub fn store_f64(&mut self, addr: u32, v: f64, _now: u64) -> Result<(), MemFault> {
         if let Some(dst) = self.tlb_write(addr, 8) {
             dst.copy_from_slice(&v.to_le_bytes());
             return Ok(());
         }
+        self.store_f64_slow(addr, v)
+    }
+
+    #[cold]
+    fn store_f64_slow(&mut self, addr: u32, v: f64) -> Result<(), MemFault> {
         let m = self.check(addr, 8, AccessKind::Write)?;
         self.raw_write(addr, &v.to_le_bytes());
         self.tlb_fill_write(addr, &m);

@@ -236,6 +236,99 @@ proptest! {
         prop_assert_eq!(&fast_end, &fast_restored);
     }
 
+    /// Poke text *inside* a promoted, actively-running superblock: the
+    /// bank must demote to private caches (copy-on-poke) and keep
+    /// retiring bit-identically with a slow twin, fork/restore included.
+    #[test]
+    fn poke_inside_hot_trace_matches_slow(
+        warm_iters in 20u64..120,
+        poke_word in 0u32..16,
+        poke_byte in any::<u8>(),
+        quantum in 7u64..900,
+    ) {
+        let img = loop_program();
+        let body = TEXT_BASE + 16; // loop body: 16 words from here
+        let drive = |fastpath: bool| {
+            let cfg = MachineConfig { budget: 150_000, fastpath, ..Default::default() };
+            let mut m = Machine::load(&img, cfg);
+            let mut exits = Vec::new();
+            // ~16 insns per iteration: past the promotion threshold the
+            // loop runs as a superblock (on the fast side).
+            let warm = warm_iters * 16;
+            while m.counters.insns < warm {
+                let e = m.run(quantum);
+                if e != Exit::Quantum {
+                    exits.push(e);
+                    break;
+                }
+            }
+            m.poke_mem(body + 4 * poke_word, &[poke_byte; 4]);
+            let snap = m.snapshot();
+            let mut restored = snap.to_machine();
+            for mach in [&mut m, &mut restored] {
+                loop {
+                    let e = mach.run(quantum);
+                    if e != Exit::Quantum {
+                        exits.push(e);
+                        break;
+                    }
+                }
+            }
+            (exits, m.snapshot(), restored.snapshot(), m.exec_stats)
+        };
+        let (fast_exits, fast_end, fast_restored, stats) = drive(true);
+        let (slow_exits, slow_end, slow_restored, _) = drive(false);
+        prop_assert_eq!(fast_exits, slow_exits);
+        prop_assert_eq!(&fast_end, &slow_end);
+        prop_assert_eq!(&fast_restored, &slow_restored);
+        // The poke hit a pristine shared bank, so it must have demoted.
+        prop_assert!(stats.demotions >= 1, "text poke must demote the shared bank");
+    }
+
+    /// A machine attached to a store another machine already warmed
+    /// (superblocks promoted), a cold machine that pre-decodes its own
+    /// fresh store, and the slow interpreter must agree exactly: same
+    /// exits, same architectural snapshot, same counters.
+    #[test]
+    fn warm_shared_store_matches_cold_and_slow(
+        quantum in 3u64..900,
+        budget in 30_000u64..150_000,
+    ) {
+        let img = loop_program();
+        let code = img.pre_decode();
+        let cfg = |fastpath| MachineConfig { budget, fastpath, ..Default::default() };
+        let run_to_end = |m: &mut Machine| {
+            loop {
+                let e = m.run(quantum);
+                if e != Exit::Quantum {
+                    return e;
+                }
+            }
+        };
+        // Warm the store: one full run promotes the hot loop.
+        let mut warmer = Machine::load_shared(&img, cfg(true), Some(&code));
+        let exit_warming = run_to_end(&mut warmer);
+        let mut warm = Machine::load_shared(&img, cfg(true), Some(&code));
+        let exit_warm = run_to_end(&mut warm);
+        let mut cold = Machine::load(&img, cfg(true));
+        let exit_cold = run_to_end(&mut cold);
+        let mut slow = Machine::load(&img, cfg(false));
+        let exit_slow = run_to_end(&mut slow);
+        prop_assert_eq!(exit_warming, exit_warm);
+        prop_assert_eq!(exit_warm, exit_cold);
+        prop_assert_eq!(exit_cold, exit_slow);
+        prop_assert_eq!(warm.snapshot(), cold.snapshot());
+        prop_assert_eq!(cold.snapshot(), slow.snapshot());
+        prop_assert_eq!(warm.counters.insns, slow.counters.insns);
+        prop_assert_eq!(warm.counters.blocks, slow.counters.blocks);
+        // The warm machine really did enter promoted superblocks — when
+        // the quantum leaves room for a whole pass at all (a pass is only
+        // admitted when it fits under the quantum headroom).
+        if quantum >= 64 {
+            prop_assert!(warm.exec_stats.trace_hits > 0, "warm store must serve traces");
+        }
+    }
+
     /// F80 conversion total and idempotent through f64.
     #[test]
     fn f80_total(bits in any::<u64>(), se in any::<u16>(), flip in 0u32..80) {

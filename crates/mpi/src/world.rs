@@ -27,7 +27,9 @@
 use crate::message::{CtlOp, Header, MsgKind, WireMsg, MAX_PAYLOAD};
 use crate::profile::TrafficProfile;
 use fl_isa::{Gpr, Syscall};
-use fl_machine::{Exit, Machine, MachineConfig, MachineSnapshot, ProgramImage};
+use fl_machine::{
+    ExecStats, Exit, Machine, MachineConfig, MachineSnapshot, ProgramImage, SharedCode,
+};
 use fl_obs::EventKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -497,7 +499,20 @@ pub struct MpiWorld {
 
 impl MpiWorld {
     /// Create a world of `cfg.nranks` processes all running `image`.
+    /// Pre-decodes the image once and shares the store across all ranks.
     pub fn new(image: &ProgramImage, cfg: WorldConfig) -> MpiWorld {
+        MpiWorld::new_with_code(image, cfg, None)
+    }
+
+    /// Like [`MpiWorld::new`], but attach an existing campaign-wide
+    /// [`SharedCode`] store (which must have been built from `image`)
+    /// so decoded blocks and promoted superblocks carry over between
+    /// worlds instead of being rebuilt per world.
+    pub fn new_with_code(
+        image: &ProgramImage,
+        cfg: WorldConfig,
+        code: Option<&SharedCode>,
+    ) -> MpiWorld {
         assert!(cfg.nranks >= 1);
         if cfg.ulfm {
             assert!(
@@ -505,9 +520,20 @@ impl MpiWorld {
                 "ulfm mode carries failure knowledge as a 32-bit rank mask"
             );
         }
+        // One store for every rank: build here rather than per-machine
+        // (ranks run identical text).
+        let owned;
+        let code = match code {
+            Some(c) => Some(c),
+            None if cfg.machine.fastpath && !cfg.machine.trace => {
+                owned = SharedCode::build(image);
+                Some(&owned)
+            }
+            None => None,
+        };
         let ranks = (0..cfg.nranks)
             .map(|_| Rank {
-                machine: Machine::load(image, cfg.machine),
+                machine: Machine::load_shared(image, cfg.machine, code),
                 status: Status::Ready,
                 errhandler: false,
                 arrived: VecDeque::new(),
@@ -660,6 +686,16 @@ impl MpiWorld {
     /// Mutable access (used by the injector for immediate faults).
     pub fn machine_mut(&mut self, rank: u16) -> &mut Machine {
         &mut self.ranks[rank as usize].machine
+    }
+
+    /// Decoded-code cache effectiveness counters summed over all ranks
+    /// (telemetry — campaign throughput reporting, never records).
+    pub fn exec_stats(&self) -> ExecStats {
+        let mut total = ExecStats::default();
+        for r in &self.ranks {
+            total.add(&r.machine.exec_stats);
+        }
+        total
     }
 
     /// A rank's channel-level traffic profile.

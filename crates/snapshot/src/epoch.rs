@@ -2,7 +2,7 @@
 //! injection trials fork from instead of re-executing the fault-free
 //! prefix.
 
-use fl_machine::ProgramImage;
+use fl_machine::{ProgramImage, SharedCode};
 use fl_mpi::{MpiWorld, WorldConfig, WorldExit, WorldSnapshot};
 
 /// One checkpoint of the golden world, taken at a scheduler-round
@@ -46,8 +46,21 @@ impl EpochCache {
     ///
     /// Panics if `every_rounds` is zero.
     pub fn build(image: &ProgramImage, cfg: WorldConfig, every_rounds: u32) -> EpochCache {
+        EpochCache::build_with_code(image, cfg, every_rounds, None)
+    }
+
+    /// Like [`EpochCache::build`], but run the golden world against a
+    /// campaign-wide [`SharedCode`] store so every epoch snapshot hands
+    /// its forks warm decoded caches (and superblocks promoted during
+    /// the golden run carry straight into the trials).
+    pub fn build_with_code(
+        image: &ProgramImage,
+        cfg: WorldConfig,
+        every_rounds: u32,
+        code: Option<&SharedCode>,
+    ) -> EpochCache {
         assert!(every_rounds > 0, "every_rounds must be nonzero");
-        let mut world = MpiWorld::new(image, cfg);
+        let mut world = MpiWorld::new_with_code(image, cfg, code);
         let mut epochs = vec![Epoch {
             snap: world.snapshot(),
             round: 0,
