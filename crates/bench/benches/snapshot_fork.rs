@@ -61,7 +61,8 @@ fn bench_snapshot_fork(c: &mut Criterion) {
         "{{\n  \"bench\": \"snapshot_fork\",\n  \"app\": \"wavetoy-tiny\",\n  \
          \"class\": \"regular-reg\",\n  \"epoch_rounds\": 8,\n  \"epochs\": {},\n  \
          \"cold_trials_per_sec\": {cold_tps:.3},\n  \
-         \"forked_trials_per_sec\": {forked_tps:.3},\n  \"speedup\": {speedup:.3}\n}}\n",
+         \"forked_trials_per_sec\": {forked_tps:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"threshold_speedup\": 1.25\n}}\n",
         cache.len()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");

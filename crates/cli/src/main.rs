@@ -10,6 +10,7 @@
 //! faultlab guard    <app> [options]             guard-on/off detection coverage
 //! faultlab ft       <app> [options]             rank-kill recovery + replication campaign
 //! faultlab chaos    <app> [options]             chaos-model x defense coverage matrix
+//! faultlab perturb  <app> [options]             interference-model x detection matrix
 //! faultlab sample-size --error D [--conf C]     §4.3 sample-size calculator
 //! faultlab source   <app>                       print the generated FL source
 //! faultlab disasm   <app> [--limit N]           disassemble the app text
@@ -22,10 +23,11 @@
 use fl_apps::{App, AppKind, AppParams};
 use fl_inject::{
     estimation_error, render_chaos, render_chaos_focus, render_chaos_tsv, render_ft_focus,
-    render_register_breakdown, run_spec, sample_size, sort_records_jsonl, CampaignBuilder,
-    CampaignConfig, CampaignSpec, ChaosPolicy, EngineControl, EngineProgress, EngineSink,
-    FaultModel, FtMode, FtPolicy, GuardPolicy, MetricsReport, Report, ReportFormat, SpecMode,
-    SpecOutcome, StderrProgress, TargetClass, TrialOutput, VecSink,
+    render_perturb, render_perturb_focus, render_perturb_tsv, render_register_breakdown, run_spec,
+    sample_size, sort_records_jsonl, CampaignBuilder, CampaignConfig, CampaignSpec, ChaosPolicy,
+    EngineControl, EngineProgress, EngineSink, FaultModel, FtMode, FtPolicy, GuardPolicy,
+    MetricsReport, PerturbPolicy, PerturbResult, Report, ReportFormat, SpecMode, SpecOutcome,
+    StderrProgress, TargetClass, TrialOutput, VecSink,
 };
 use fl_serve::{ServeConfig, Server};
 use fl_snap::RecoveryConfig;
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "guard" => cmd_guard(rest),
         "ft" => cmd_ft(rest),
         "chaos" => cmd_chaos(rest),
+        "perturb" => cmd_perturb(rest),
         "recovery" => cmd_recovery(rest),
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
@@ -116,10 +119,18 @@ fn print_usage() {
          \x20                   [--partition-lo L] [--partition-hi H] [--reorder-delay D]\n\
          \x20                   [--burst-max K] [--node-ranks R] [guard/ft flags ...]\n\
          \x20                   [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
+         \x20 faultlab perturb  <app> [--injections N] [--seed S] [--jobs N]\n\
+         \x20                   [--model quantum-tax|hog-rank|mem-stall|kill-rank|wedge-rank]\n\
+         \x20                   [--probe-rounds P] [--suspect-rounds Q]\n\
+         \x20                   [--tax-lo L] [--tax-hi H] [--tax-rounds-lo L] [--tax-rounds-hi H]\n\
+         \x20                   [--hog-share-lo L] [--hog-share-hi H] [--hog-node-ranks R]\n\
+         \x20                   [--stall-access-lo L] [--stall-access-hi H]\n\
+         \x20                   [--stall-window-lo L] [--stall-window-hi H]\n\
+         \x20                   [--degraded-permille D] [--tiny] [--tsv] [--jsonl] [--no-fastpath]\n\
          \x20 faultlab recovery <app> [--checkpoint-every K] [--kill-rank R]\n\
          \x20                   [--kill-round N] [--tiny]\n\
          \x20 faultlab run-config <file.cfg>\n\
-         \x20 faultlab spec     <app> [--mode campaign|guard|ft|chaos] [spec flags ...]\n\
+         \x20 faultlab spec     <app> [--mode campaign|guard|ft|chaos|perturb] [spec flags ...]\n\
          \x20 faultlab serve    [--addr HOST:PORT] [--state-dir DIR]\n\
          \x20 faultlab submit   [<spec.json>|-] [--addr HOST:PORT]\n\
          \x20 faultlab status   [<id>] [--addr HOST:PORT]\n\
@@ -145,8 +156,10 @@ fn print_usage() {
          \x20                     (observably identical, much slower)\n\
          \x20 --mode M            ft: focus the table on one recovery discipline\n\
          \x20                     (baseline|shrink|respawn|replicated|app);\n\
-         \x20                     spec: experiment family (campaign|guard|ft|chaos)\n\
-         \x20 --model M           chaos: focus the table on one fault model's row\n\
+         \x20                     spec: experiment family (campaign|guard|ft|chaos|perturb)\n\
+         \x20 --model M           chaos/perturb: focus the table on one fault model's row\n\
+         \x20 --degraded-permille D  perturb: slowdown threshold separating Correct from\n\
+         \x20                     Degraded, in permille of the clean reference (1050 = 5%)\n\
          \n\
          APPS: wavetoy (Cactus Wavetoy), moldyn (NAMD), climsim (CAM),\n\
          \x20     jacobi3d (Jacobi-3D, fl-ulfm app-side recovery)\n\
@@ -310,6 +323,22 @@ const CHAOS_FLAGS: &[&str] = &[
     "burst-max",
     "node-ranks",
 ];
+const PERTURB_FLAGS: &[&str] = &[
+    "probe-rounds",
+    "suspect-rounds",
+    "tax-lo",
+    "tax-hi",
+    "tax-rounds-lo",
+    "tax-rounds-hi",
+    "hog-share-lo",
+    "hog-share-hi",
+    "hog-node-ranks",
+    "stall-access-lo",
+    "stall-access-hi",
+    "stall-window-lo",
+    "stall-window-hi",
+    "degraded-permille",
+];
 
 fn guard_policy_from(o: &Opts) -> Result<GuardPolicy, String> {
     Ok(GuardPolicy {
@@ -377,6 +406,53 @@ fn chaos_policy_from(o: &Opts) -> Result<ChaosPolicy, String> {
 /// Build a [`CampaignSpec`] from a verb's flags — the single source the
 /// one-shot verbs, `faultlab spec` and the service submissions share.
 /// `--jobs` and `--threads` are aliases (0 = one worker per core).
+fn perturb_policy_from(o: &Opts) -> Result<PerturbPolicy, String> {
+    let mut p = PerturbPolicy::default();
+    if let Some(v) = o.get_num("probe-rounds")? {
+        p.probe_rounds = v;
+    }
+    if let Some(v) = o.get_num("suspect-rounds")? {
+        p.suspect_rounds = v;
+    }
+    if let Some(v) = o.get_num("tax-lo")? {
+        p.tax_permille.0 = v;
+    }
+    if let Some(v) = o.get_num("tax-hi")? {
+        p.tax_permille.1 = v;
+    }
+    if let Some(v) = o.get_num("tax-rounds-lo")? {
+        p.tax_rounds.0 = v;
+    }
+    if let Some(v) = o.get_num("tax-rounds-hi")? {
+        p.tax_rounds.1 = v;
+    }
+    if let Some(v) = o.get_num("hog-share-lo")? {
+        p.hog_share_permille.0 = v;
+    }
+    if let Some(v) = o.get_num("hog-share-hi")? {
+        p.hog_share_permille.1 = v;
+    }
+    if let Some(v) = o.get_num("hog-node-ranks")? {
+        p.hog_node_ranks = v;
+    }
+    if let Some(v) = o.get_num("stall-access-lo")? {
+        p.stall_per_access.0 = v;
+    }
+    if let Some(v) = o.get_num("stall-access-hi")? {
+        p.stall_per_access.1 = v;
+    }
+    if let Some(v) = o.get_num("stall-window-lo")? {
+        p.stall_window_per16.0 = v;
+    }
+    if let Some(v) = o.get_num("stall-window-hi")? {
+        p.stall_window_per16.1 = v;
+    }
+    if let Some(v) = o.get_num("degraded-permille")? {
+        p.degraded_permille = v;
+    }
+    Ok(p)
+}
+
 fn spec_from_opts(o: &Opts, mode: &str, default_injections: u32) -> Result<CampaignSpec, String> {
     let app_name = o.words.first().ok_or("needs an app name")?;
     let kind = parse_app(app_name)?;
@@ -399,11 +475,16 @@ fn spec_from_opts(o: &Opts, mode: &str, default_injections: u32) -> Result<Campa
     c.epoch_rounds = o.get_num("epoch-rounds")?.unwrap_or(16);
     c.obs_capacity = o.get_num("ring")?.unwrap_or(0);
     c.fastpath = !o.has("no-fastpath");
-    check_mode(mode, &["campaign", "guard", "ft", "chaos"], "mode")?;
+    check_mode(
+        mode,
+        &["campaign", "guard", "ft", "chaos", "perturb"],
+        "mode",
+    )?;
     spec.mode = match mode {
         "campaign" => SpecMode::Campaign,
         "guard" => SpecMode::Guard(guard_policy_from(o)?),
         "chaos" => SpecMode::Chaos(chaos_policy_from(o)?),
+        "perturb" => SpecMode::Perturb(perturb_policy_from(o)?),
         _ => SpecMode::Ft(ft_policy_from(o)?),
     };
     Ok(spec)
@@ -941,6 +1022,64 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_perturb(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args);
+    let mut valid = SPEC_FLAGS.to_vec();
+    valid.extend(PERTURB_FLAGS);
+    valid.extend(["model", "tsv", "jsonl"]);
+    o.expect(&valid)?;
+    // `--model M` focuses the table on one matrix row; every model
+    // still runs (the detection columns are paired draws). The parse
+    // error carries the registry-wide did-you-mean hint.
+    let focus: Option<FaultModel> = match o.get("model") {
+        None => None,
+        Some(m) => {
+            let model: FaultModel = m.parse()?;
+            if !PerturbResult::models().contains(&model) {
+                let rows: Vec<&str> = PerturbResult::models().iter().map(|m| m.label()).collect();
+                return Err(format!(
+                    "`{model}` is not a perturb model (matrix rows: {})",
+                    rows.join(", ")
+                ));
+            }
+            Some(model)
+        }
+    };
+    let spec = spec_from_opts(&o, "perturb", 10)?;
+    let kind = spec.app;
+    let total = spec.record_classes().len() as u64 * spec.campaign.injections as u64;
+    eprintln!(
+        "perturb: {} x {} injections per cell over {} interference/process models x {} detectors, {} workers ...",
+        kind.name(),
+        spec.campaign.injections,
+        PerturbResult::models().len(),
+        fl_inject::Detection::ALL.len(),
+        jobs_label(spec.campaign.threads),
+    );
+    let sink = CliSink::new(kind, o.has("jsonl"), total);
+    let SpecOutcome::Perturb(result) = run_spec_cli(&spec, &sink) else {
+        unreachable!("perturb mode yields a perturb outcome");
+    };
+    match ReportFormat::from_flags(o.has("tsv"), o.has("jsonl")) {
+        // Like `chaos --jsonl`: stream the canonical per-trial records
+        // (the resumable wire format), not the cell summaries.
+        ReportFormat::Jsonl => print!("{}", sink.canonical_records()),
+        ReportFormat::Tsv => print!("{}", render_perturb_tsv(&result)),
+        ReportFormat::Table => match focus {
+            Some(model) => print!("{}", render_perturb_focus(&result, model)),
+            None => {
+                let title = format!(
+                    "Performance-Interference Detection Matrix ({} / {} analogue), fixed vs accrual",
+                    kind.name(),
+                    kind.paper_name()
+                );
+                print!("{}", render_perturb(&result, &title));
+            }
+        },
+    }
+    Ok(())
+}
+
 fn cmd_spec(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args);
     let mut valid = SPEC_FLAGS.to_vec();
@@ -948,12 +1087,14 @@ fn cmd_spec(args: &[String]) -> Result<(), String> {
     valid.extend(GUARD_FLAGS);
     valid.extend(FT_FLAGS);
     valid.extend(CHAOS_FLAGS);
+    valid.extend(PERTURB_FLAGS);
     o.expect(&valid)?;
     let mode = o.get("mode").unwrap_or("campaign");
     let default_injections = match mode {
         "guard" => 100,
         "ft" => 40,
         "chaos" => 20,
+        "perturb" => 10,
         _ => 500,
     };
     let spec = spec_from_opts(&o, mode, default_injections)?;
@@ -1296,6 +1437,59 @@ mod tests {
         // far from everything: list the valid modes instead
         let err = run(&s(&["spec", "wavetoy", "--mode", "frobnicate"])).unwrap_err();
         assert!(err.contains("valid modes: campaign, guard, ft"), "{err}");
+    }
+
+    #[test]
+    fn perturb_flags_shape_the_policy() {
+        let o = Opts::parse(&s(&[
+            "wavetoy",
+            "--tiny",
+            "--tax-hi",
+            "990",
+            "--hog-node-ranks",
+            "4",
+            "--degraded-permille",
+            "1100",
+        ]));
+        let spec = spec_from_opts(&o, "perturb", 10).unwrap();
+        let SpecMode::Perturb(p) = &spec.mode else {
+            panic!("expected perturb mode");
+        };
+        assert_eq!(p.tax_permille, (900, 990));
+        assert_eq!(p.hog_node_ranks, 4);
+        assert_eq!(p.degraded_permille, 1100);
+        assert_eq!(spec.campaign.injections, 10);
+    }
+
+    #[test]
+    fn perturb_model_flag_surfaces_parse_suggestions() {
+        let err = run(&s(&[
+            "perturb",
+            "wavetoy",
+            "--tiny",
+            "--model",
+            "quantum-tx",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("did you mean `quantum-tax`?"), "{err}");
+        // A real model that is not a matrix row names the rows.
+        let err = run(&s(&["perturb", "wavetoy", "--tiny", "--model", "net-drop"])).unwrap_err();
+        assert!(err.contains("not a perturb model"), "{err}");
+        assert!(err.contains("quantum-tax, hog-rank, mem-stall"), "{err}");
+        // Mistyped perturb flags suggest their nearest valid flag.
+        let err = run(&s(&["perturb", "wavetoy", "--tax-high", "990"])).unwrap_err();
+        assert!(err.contains("did you mean `--tax-hi`?"), "{err}");
+    }
+
+    #[test]
+    fn perturb_mode_is_a_spec_family() {
+        let err = run(&s(&["spec", "wavetoy", "--mode", "pertrb"])).unwrap_err();
+        assert!(err.contains("did you mean `perturb`?"), "{err}");
+        let err = run(&s(&["spec", "wavetoy", "--mode", "frobnicate"])).unwrap_err();
+        assert!(
+            err.contains("perturb"),
+            "mode list must name perturb: {err}"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::ft::{run_ft_impl, FtResult};
 use crate::guarded::{run_coverage_impl, CoverageResult};
 use crate::obs::TrialTrace;
 use crate::outcome::Tally;
+use crate::perturb::{run_perturb_impl, PerturbPolicy, PerturbResult};
 use crate::spec::{CampaignSpec, SpecMode};
 use crate::target::TargetClass;
 use fl_apps::{App, AppParams};
@@ -57,6 +58,7 @@ pub struct CampaignBuilder<'a> {
     guard: Option<GuardPolicy>,
     ft: Option<FtPolicy>,
     chaos: Option<ChaosPolicy>,
+    perturb: Option<PerturbPolicy>,
 }
 
 impl<'a> CampaignBuilder<'a> {
@@ -70,6 +72,7 @@ impl<'a> CampaignBuilder<'a> {
             guard: None,
             ft: None,
             chaos: None,
+            perturb: None,
         }
     }
 
@@ -153,6 +156,14 @@ impl<'a> CampaignBuilder<'a> {
     /// [`ChaosPolicy::default`] if never called).
     pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
         self.chaos = Some(policy);
+        self
+    }
+
+    /// Set the performance-interference policy for
+    /// [`CampaignBuilder::run_perturb`] (defaults to
+    /// [`PerturbPolicy::default`] if never called).
+    pub fn perturb(mut self, policy: PerturbPolicy) -> Self {
+        self.perturb = Some(policy);
         self
     }
 
@@ -303,6 +314,27 @@ impl<'a> CampaignBuilder<'a> {
             return r;
         }
         run_chaos_impl(self.app, &self.cfg, &policy)
+    }
+
+    /// Run the performance-interference detector-comparison matrix:
+    /// `injections` trials for each of the 5 × 3 perturb-model ×
+    /// detection cells, all detection columns replaying the
+    /// byte-identical fault draw (see [`CampaignBuilder::perturb`]).
+    /// Transient model only — the perturb models themselves are the
+    /// matrix rows, not the builder's knob.
+    pub fn run_perturb(self) -> PerturbResult {
+        assert!(
+            self.model == FaultModel::Transient,
+            "perturb campaigns support the transient model only"
+        );
+        let policy = self.perturb.unwrap_or_default();
+        if let Some(spec) = self.lower(SpecMode::Perturb(policy)) {
+            let SpecOutcome::Perturb(r) = Self::run_lowered(&spec) else {
+                unreachable!("perturb mode yields a perturb outcome");
+            };
+            return r;
+        }
+        run_perturb_impl(self.app, &self.cfg, &policy)
     }
 
     /// Replay one recorded trial from its campaign coordinates (class
@@ -517,6 +549,19 @@ mod tests {
         assert_eq!(r.cells.len(), 9 * 6);
         assert!(r.cells.iter().all(|c| c.trials.len() == 1));
         assert!(r.insns_total > 0);
+    }
+
+    #[test]
+    fn perturb_builder_runs_the_matrix() {
+        let app = tiny(AppKind::Wavetoy);
+        let r = CampaignBuilder::new(&app)
+            .injections(1)
+            .seed(4)
+            .perturb(PerturbPolicy::default())
+            .run_perturb();
+        assert_eq!(r.cells.len(), 5 * 3);
+        assert!(r.cells.iter().all(|c| c.trials.len() == 1));
+        assert!(r.insns_total > 0 && r.ref_rounds > 0);
     }
 
     #[test]

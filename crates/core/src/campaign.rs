@@ -433,9 +433,13 @@ pub(crate) fn draw_fault(
                     )
                 }
                 TargetClass::Message => unreachable!(),
-                // Chaos classes are drawn by the chaos engine, never here.
-                TargetClass::Network | TargetClass::Syscall | TargetClass::Process => {
-                    unreachable!("chaos classes are drawn by draw_chaos")
+                // Chaos classes are drawn by the chaos engine, never
+                // here; the perturb class by draw_perturb.
+                TargetClass::Network
+                | TargetClass::Syscall
+                | TargetClass::Process
+                | TargetClass::Sched => {
+                    unreachable!("chaos/perturb classes are drawn by their engines")
                 }
             };
             (

@@ -369,7 +369,10 @@ pub fn draw_chaos(
         | FaultModel::StuckAt0
         | FaultModel::StuckAt1
         | FaultModel::KillRank
-        | FaultModel::WedgeRank => {
+        | FaultModel::WedgeRank
+        | FaultModel::QuantumTax
+        | FaultModel::HogRank
+        | FaultModel::MemStall => {
             unreachable!("draw_chaos only draws chaos models, got {model}")
         }
     }

@@ -569,16 +569,18 @@ pub enum SpecOutcome {
     Ft(crate::ft::FtResult),
     /// A chaos defense-coverage campaign's result.
     Chaos(crate::chaos::ChaosResult),
+    /// A performance-interference campaign's result.
+    Perturb(crate::perturb::PerturbResult),
 }
 
 /// Run a [`CampaignSpec`] end to end on the engine — the single entry
 /// point behind the one-shot CLI verbs and the campaign service.
 /// Returns `None` when `control` stopped the run before completion.
 ///
-/// `resume` pre-fills completed slots and applies to plain campaign and
-/// chaos modes (their per-trial records are what the service streams
-/// and re-parses); guard and ft campaigns always run their remaining
-/// trials from scratch.
+/// `resume` pre-fills completed slots and applies to plain campaign,
+/// chaos and perturb modes (their per-trial records are what the
+/// service streams and re-parses); guard and ft campaigns always run
+/// their remaining trials from scratch.
 pub fn run_spec(
     spec: &CampaignSpec,
     sink: &dyn EngineSink,
@@ -619,6 +621,10 @@ pub fn run_spec(
         SpecMode::Chaos(policy) => {
             crate::chaos::run_chaos_engine(&app, &spec.campaign, policy, sink, control, resume)
                 .map(SpecOutcome::Chaos)
+        }
+        SpecMode::Perturb(policy) => {
+            crate::perturb::run_perturb_engine(&app, &spec.campaign, policy, sink, control, resume)
+                .map(SpecOutcome::Perturb)
         }
     }
 }

@@ -66,6 +66,17 @@ pub enum FaultModel {
     /// Correlated fault: a whole rank group (a "node") dies at once —
     /// FINJ's node-level model.
     NodeKill,
+    /// Performance-interference fault (fl-perturb): a multiplicative tax
+    /// on one rank's scheduling quantum over a block-clock window — the
+    /// rank computes correctly but is starved of CPU time.
+    QuantumTax,
+    /// Performance-interference fault (fl-perturb): a co-scheduled hog
+    /// steals a share of every round's quantum from a whole node group.
+    HogRank,
+    /// Performance-interference fault (fl-perturb): every retired
+    /// load/store in a window pays a latency surcharge in retired-insn
+    /// accounting — contended memory bandwidth.
+    MemStall,
 }
 
 impl FaultModel {
@@ -108,6 +119,16 @@ impl FaultModel {
         [FaultModel::Burst, FaultModel::NodeKill]
     }
 
+    /// The performance-interference models the `perturb` campaign sweeps
+    /// (fl-perturb): faults that degrade timing, never state.
+    pub const fn perturb_models() -> [FaultModel; 3] {
+        [
+            FaultModel::QuantumTax,
+            FaultModel::HogRank,
+            FaultModel::MemStall,
+        ]
+    }
+
     /// Every model the `chaos` campaign sweeps: network, then system,
     /// then correlated.
     pub fn chaos_models() -> [FaultModel; 9] {
@@ -125,21 +146,22 @@ impl FaultModel {
         out
     }
 
-    /// Every variant there is: bit-duration, process-level, then chaos.
-    /// The single source of truth for parsers, round-trip tests and
-    /// did-you-mean suggestions.
-    pub fn all_models() -> [FaultModel; 15] {
-        let mut out = [FaultModel::Transient; 15];
+    /// Every variant there is: bit-duration, process-level, chaos, then
+    /// perturb. The single source of truth for parsers, round-trip tests
+    /// and did-you-mean suggestions.
+    pub fn all_models() -> [FaultModel; 18] {
+        let mut out = [FaultModel::Transient; 18];
         let mut i = 0;
         for m in Self::ALL
             .into_iter()
             .chain(Self::process_models())
             .chain(Self::chaos_models())
+            .chain(Self::perturb_models())
         {
             out[i] = m;
             i += 1;
         }
-        assert_eq!(i, 15);
+        assert_eq!(i, 18);
         out
     }
 
@@ -154,6 +176,9 @@ impl FaultModel {
             | FaultModel::Partition => Some(TargetClass::Network),
             FaultModel::SyscallMalloc | FaultModel::SyscallWrite => Some(TargetClass::Syscall),
             FaultModel::Burst | FaultModel::NodeKill => Some(TargetClass::Process),
+            FaultModel::QuantumTax | FaultModel::HogRank | FaultModel::MemStall => {
+                Some(TargetClass::Sched)
+            }
             FaultModel::Transient
             | FaultModel::Held
             | FaultModel::StuckAt0
@@ -182,11 +207,14 @@ impl FaultModel {
             FaultModel::SyscallWrite => "syscall-write",
             FaultModel::Burst => "burst-kill",
             FaultModel::NodeKill => "node-kill",
+            FaultModel::QuantumTax => "quantum-tax",
+            FaultModel::HogRank => "hog-rank",
+            FaultModel::MemStall => "mem-stall",
         }
     }
 
     /// Every parseable label, used for did-you-mean suggestions.
-    pub const LABELS: [&'static str; 15] = [
+    pub const LABELS: [&'static str; 18] = [
         "transient",
         "held-flip",
         "stuck-at-0",
@@ -202,6 +230,9 @@ impl FaultModel {
         "syscall-write",
         "burst-kill",
         "node-kill",
+        "quantum-tax",
+        "hog-rank",
+        "mem-stall",
     ];
 }
 
@@ -234,6 +265,9 @@ impl std::str::FromStr for FaultModel {
             "syscall-write" => FaultModel::SyscallWrite,
             "burst-kill" | "burst" => FaultModel::Burst,
             "node-kill" => FaultModel::NodeKill,
+            "quantum-tax" => FaultModel::QuantumTax,
+            "hog-rank" | "hog" => FaultModel::HogRank,
+            "mem-stall" => FaultModel::MemStall,
             other => {
                 return Err(crate::suggest::unknown(
                     "fault model",
@@ -323,7 +357,10 @@ pub fn run_model_trial(
                 | FaultModel::SyscallMalloc
                 | FaultModel::SyscallWrite
                 | FaultModel::Burst
-                | FaultModel::NodeKill => unreachable!(),
+                | FaultModel::NodeKill
+                | FaultModel::QuantumTax
+                | FaultModel::HogRank
+                | FaultModel::MemStall => unreachable!(),
             }
         }
         TargetClass::Text | TargetClass::Data | TargetClass::Bss => {
@@ -365,7 +402,10 @@ pub fn run_model_trial(
                 | FaultModel::SyscallMalloc
                 | FaultModel::SyscallWrite
                 | FaultModel::Burst
-                | FaultModel::NodeKill => unreachable!(),
+                | FaultModel::NodeKill
+                | FaultModel::QuantumTax
+                | FaultModel::HogRank
+                | FaultModel::MemStall => unreachable!(),
             }
         }
         other => panic!("run_model_trial does not support {other:?}"),
@@ -490,7 +530,7 @@ mod tests {
     #[test]
     fn registries_partition_the_model_space() {
         let all = FaultModel::all_models();
-        assert_eq!(all.len(), 15);
+        assert_eq!(all.len(), 18);
         // No duplicates across registries.
         for (i, a) in all.iter().enumerate() {
             assert!(!all[i + 1..].contains(a), "{a} listed twice");
@@ -498,6 +538,9 @@ mod tests {
         // Chaos models map to chaos classes; the rest map to none.
         for m in FaultModel::chaos_models() {
             assert!(m.chaos_class().is_some(), "{m} needs a chaos class");
+        }
+        for m in FaultModel::perturb_models() {
+            assert_eq!(m.chaos_class(), Some(crate::target::TargetClass::Sched));
         }
         for m in FaultModel::ALL
             .into_iter()

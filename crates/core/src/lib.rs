@@ -48,6 +48,7 @@ pub mod guarded;
 pub mod json;
 pub mod obs;
 pub mod outcome;
+pub mod perturb;
 pub mod progress;
 pub mod regpressure;
 pub mod report;
@@ -93,6 +94,11 @@ pub use obs::{
     TrialTrace,
 };
 pub use outcome::{classify, Manifestation, Tally};
+pub use perturb::{
+    classify_perturb, draw_perturb, perturb_classes, perturb_jsonl, render_perturb,
+    render_perturb_focus, render_perturb_tsv, run_perturb_engine, Detection, PerturbCell,
+    PerturbFault, PerturbPolicy, PerturbResult,
+};
 pub use progress::{
     EngineProgress, ProgressMonitor, ProgressSample, ProgressVerdict, StderrProgress,
 };

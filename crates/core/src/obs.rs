@@ -197,6 +197,14 @@ pub struct ClassMetrics {
     pub ttm_sum: u64,
     /// Sum of events-between-injection-and-symptom.
     pub events_to_symptom_sum: u64,
+    /// Sum of measured slowdown over correct-output trials, in permille
+    /// of the fault-free reference (fl-perturb campaigns; 0 elsewhere).
+    pub slowdown_permille_sum: u64,
+    /// Trials contributing to [`ClassMetrics::slowdown_permille_sum`].
+    pub slowdown_trials: u32,
+    /// Trials that missed their deadline outright — hung or exhausted
+    /// their budget (fl-perturb campaigns; 0 elsewhere).
+    pub deadline_misses: u32,
 }
 
 impl ClassMetrics {
@@ -213,6 +221,25 @@ impl ClassMetrics {
             ttm_log2: [0; TTM_BUCKETS],
             ttm_sum: 0,
             events_to_symptom_sum: 0,
+            slowdown_permille_sum: 0,
+            slowdown_trials: 0,
+            deadline_misses: 0,
+        }
+    }
+
+    /// Fold one correct-output trial's measured slowdown in (fl-perturb).
+    pub fn fold_slowdown(&mut self, permille: u64) {
+        self.slowdown_permille_sum += permille;
+        self.slowdown_trials += 1;
+    }
+
+    /// Mean slowdown factor over contributing trials (1.0 = clean pace;
+    /// 0.0 with no contributing trials).
+    pub fn mean_slowdown_x(&self) -> f64 {
+        if self.slowdown_trials == 0 {
+            0.0
+        } else {
+            self.slowdown_permille_sum as f64 / (1000.0 * self.slowdown_trials as f64)
         }
     }
 
@@ -287,6 +314,13 @@ impl CampaignMetrics {
                 m.mean_ttm(),
                 m.events_to_symptom_sum,
             );
+            let _ = write!(
+                out,
+                ",\"slowdown_mean_x\":{:.3},\"slowdown_trials\":{},\"deadline_misses\":{}",
+                m.mean_slowdown_x(),
+                m.slowdown_trials,
+                m.deadline_misses,
+            );
             out.push_str(",\"events\":{");
             for (i, name) in EventKind::NAMES.iter().enumerate() {
                 if i > 0 {
@@ -308,7 +342,7 @@ impl CampaignMetrics {
 
     /// Serialize as TSV: a header row, then one row per class.
     pub fn to_tsv(&self, app: AppKind) -> String {
-        let mut out = String::from("app\tclass\ttrials\tlanded\tsymptomatic\tevents_total\tinsns_total\tmean_ttm_blocks\tevents_to_symptom");
+        let mut out = String::from("app\tclass\ttrials\tlanded\tsymptomatic\tevents_total\tinsns_total\tmean_ttm_blocks\tevents_to_symptom\tslowdown_mean_x\tslowdown_trials\tdeadline_misses");
         for name in EventKind::NAMES {
             let _ = write!(out, "\t{name}");
         }
@@ -326,6 +360,13 @@ impl CampaignMetrics {
                 m.insns_total,
                 m.mean_ttm(),
                 m.events_to_symptom_sum,
+            );
+            let _ = write!(
+                out,
+                "\t{:.3}\t{}\t{}",
+                m.mean_slowdown_x(),
+                m.slowdown_trials,
+                m.deadline_misses,
             );
             for n in m.kind_counts {
                 let _ = write!(out, "\t{n}");

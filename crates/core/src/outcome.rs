@@ -60,14 +60,19 @@ pub enum Manifestation {
     /// output — the fault never left the wire (fl-chaos' provable CRC
     /// coverage class).
     MaskedByChannel,
+    /// The run completed with correct output but measurably slower than
+    /// the fault-free reference — the fl-perturb class for performance
+    /// interference that degrades without corrupting.
+    Degraded,
 }
 
 impl Manifestation {
     /// All classes: the paper's six in table order, the two
     /// guarded-execution classes fl-guard added, the two process-level
-    /// classes fl-ft added, fl-ulfm's application-recovery class, then
-    /// fl-chaos' channel-masking class.
-    pub const ALL: [Manifestation; 12] = [
+    /// classes fl-ft added, fl-ulfm's application-recovery class,
+    /// fl-chaos' channel-masking class, then fl-perturb's degradation
+    /// class.
+    pub const ALL: [Manifestation; 13] = [
         Manifestation::Correct,
         Manifestation::Crash,
         Manifestation::Hang,
@@ -80,6 +85,7 @@ impl Manifestation {
         Manifestation::MaskedByReplica,
         Manifestation::RecoveredByApp,
         Manifestation::MaskedByChannel,
+        Manifestation::Degraded,
     ];
 
     /// True if the fault manifested at all (everything except `Correct`).
@@ -106,6 +112,7 @@ impl Manifestation {
             Manifestation::MaskedByReplica => "masked-by-replica",
             Manifestation::RecoveredByApp => "recovered-by-app",
             Manifestation::MaskedByChannel => "masked-by-channel",
+            Manifestation::Degraded => "degraded",
         }
     }
 
@@ -130,6 +137,7 @@ impl fmt::Display for Manifestation {
             Manifestation::MaskedByReplica => "Masked (Replica)",
             Manifestation::RecoveredByApp => "Recovered (App)",
             Manifestation::MaskedByChannel => "Masked (Channel)",
+            Manifestation::Degraded => "Degraded",
         };
         f.write_str(s)
     }
@@ -161,7 +169,7 @@ pub struct Tally {
     /// Injections performed.
     pub executions: u32,
     /// Count per manifestation class, indexed as [`Manifestation::ALL`].
-    counts: [u32; 12],
+    counts: [u32; 13],
 }
 
 impl Tally {

@@ -1,0 +1,1031 @@
+//! Performance-interference campaigns with degradation-aware detection
+//! (fl-perturb).
+//!
+//! Every fault family so far corrupts *state*: bits, messages, whole
+//! processes. This module injects faults that corrupt *timing* only —
+//! a multiplicative tax on one rank's scheduling quantum
+//! ([`FaultModel::QuantumTax`]), a co-scheduled hog stealing a share of
+//! a node group's quanta ([`FaultModel::HogRank`]), and a per-access
+//! latency surcharge on retired loads and stores
+//! ([`FaultModel::MemStall`]). All three draw on the deterministic
+//! block/instruction clocks, never wall time, so perturb campaigns keep
+//! the byte-identity guarantees of every other campaign flavour.
+//!
+//! Interference breaks fixed-threshold liveness detection: a taxed rank
+//! is silent for long stretches but *alive*, and a fixed heartbeat
+//! deadline declares it dead — a false positive whose spurious recovery
+//! costs more than the slowdown it "cured". The matrix this module
+//! produces measures exactly that: every interference model (plus the
+//! two true process failures, kill and wedge, as the detection
+//! denominator) runs under three detection columns — none, the fixed
+//! threshold, and an *accrual* detector whose deadline is calibrated
+//! from each rank's observed worst recovered silence. The contracts at
+//! the bottom are the point: the accrual column must show **zero**
+//! false positives on pure interference while still detecting ≥90% of
+//! real kills and wedges.
+//!
+//! The slot space is `models × detections × injections` on the shared
+//! engine pool; trial `(mi, di, k)` draws from `trial_seed(seed, mi,
+//! k)` — the model index only — so all three detection columns face the
+//! byte-identical interference draw.
+
+use crate::campaign::{trial_budget, trial_seed, trial_world_config, CampaignConfig, TrialRecord};
+use crate::chaos::ContractCheck;
+use crate::engine::{run_pool, CompletedSlots, EngineControl, EngineSink, TrialOutput};
+use crate::faultmodel::FaultModel;
+use crate::guarded::slug;
+use crate::obs::{CampaignMetrics, ClassMetrics};
+use crate::outcome::{classify, Manifestation, Tally};
+use crate::progress::EngineProgress;
+use crate::target::TargetClass;
+use fl_apps::{App, AppKind, Golden};
+use fl_machine::MemStall;
+use fl_mpi::{FailureDetector, HogRank, MpiWorld, QuantumTax, RankKill, WorldExit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One column of the interference matrix: what stands between a slow
+/// rank and a spurious failure verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// No liveness detection: interference shows its bare cost and true
+    /// failures become deadline misses (hangs).
+    None,
+    /// The fixed-threshold heartbeat detector: silence matures into a
+    /// failure verdict after a static number of rounds.
+    Fixed,
+    /// The accrual detector: the deadline is calibrated per rank from
+    /// the longest silence it ever *recovered* from, with a floor of 8x
+    /// the fixed threshold.
+    Accrual,
+}
+
+impl Detection {
+    /// Every column, matrix order.
+    pub const ALL: [Detection; 3] = [Detection::None, Detection::Fixed, Detection::Accrual];
+
+    /// Canonical machine-readable name; round-trips through
+    /// [`std::str::FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Detection::None => "none",
+            Detection::Fixed => "fixed",
+            Detection::Accrual => "accrual",
+        }
+    }
+
+    /// Every parseable detection name, for did-you-mean suggestions.
+    pub const NAMES: [&'static str; 3] = ["none", "fixed", "accrual"];
+}
+
+impl std::fmt::Display for Detection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Detection {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Detection, String> {
+        Ok(match s {
+            "none" => Detection::None,
+            "fixed" => Detection::Fixed,
+            "accrual" => Detection::Accrual,
+            other => {
+                return Err(crate::suggest::unknown(
+                    "detection",
+                    other,
+                    &Detection::NAMES,
+                ))
+            }
+        })
+    }
+}
+
+/// Knobs of a perturb campaign: detector cadence plus the draw ranges
+/// of the three interference models. All integers — the policy rides
+/// the canonical spec JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerturbPolicy {
+    /// Heartbeat probe cadence for the detection columns, in rounds.
+    pub probe_rounds: u64,
+    /// Fixed suspicion deadline, in rounds (the accrual column floors
+    /// at 8x this).
+    pub suspect_rounds: u64,
+    /// Interference window draw range, in scheduler rounds (inclusive;
+    /// shared by the tax and hog models).
+    pub tax_rounds: (u64, u64),
+    /// Quantum-tax severity draw range, in permille of the victim's
+    /// quantum (995 = the rank runs one round in 200).
+    pub tax_permille: (u32, u32),
+    /// Hog share draw range, in permille of each hogged rank's quantum.
+    pub hog_share_permille: (u32, u32),
+    /// Ranks per "node" for the hog model (the hog steals from a whole
+    /// co-scheduled group).
+    pub hog_node_ranks: u16,
+    /// Memory-stall surcharge draw range, in retired-insn units charged
+    /// per load/store (inclusive).
+    pub stall_per_access: (u64, u64),
+    /// Memory-stall window draw range, in sixteenths of the victim's
+    /// golden instruction count (inclusive).
+    pub stall_window_per16: (u64, u64),
+    /// Slowdown threshold separating [`Manifestation::Correct`] from
+    /// [`Manifestation::Degraded`], in permille of the clean reference
+    /// round count (1050 = 5% slower).
+    pub degraded_permille: u64,
+}
+
+impl Default for PerturbPolicy {
+    fn default() -> PerturbPolicy {
+        PerturbPolicy {
+            probe_rounds: 8,
+            suspect_rounds: 32,
+            tax_rounds: (256, 1024),
+            tax_permille: (900, 995),
+            hog_share_permille: (300, 900),
+            hog_node_ranks: 2,
+            stall_per_access: (1, 6),
+            stall_window_per16: (2, 8),
+            degraded_permille: 1050,
+        }
+    }
+}
+
+/// One drawn perturb fault, armable on any world (each detection column
+/// arms the identical draw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbFault {
+    /// A scheduling-quantum tax on one rank.
+    Tax(QuantumTax),
+    /// A co-scheduled hog over a node group.
+    Hog(HogRank),
+    /// A per-access latency surcharge on one rank.
+    Stall {
+        /// The contended rank.
+        rank: u16,
+        /// The armed surcharge window.
+        stall: MemStall,
+    },
+    /// A true process failure — the detection denominator rows.
+    Kill(RankKill),
+}
+
+impl PerturbFault {
+    /// Plant the fault in a freshly built world.
+    pub fn arm(&self, w: &mut MpiWorld) {
+        match self {
+            PerturbFault::Tax(t) => w.set_quantum_tax(*t),
+            PerturbFault::Hog(h) => w.set_hog(*h),
+            PerturbFault::Stall { rank, stall } => w.machine_mut(*rank).set_mem_stall(*stall),
+            PerturbFault::Kill(k) => w.set_rank_kill(*k),
+        }
+    }
+
+    /// Is this a pure-interference fault (degrades timing, never
+    /// state)? False for the kill/wedge denominator rows.
+    pub fn is_interference(&self) -> bool {
+        !matches!(self, PerturbFault::Kill(_))
+    }
+}
+
+/// Draw the perturb fault for one trial seed. Fully determined by
+/// `(golden, model, seed, nranks, policy)` and shared by all three
+/// detection columns of the trial's row.
+pub fn draw_perturb(
+    golden: &Golden,
+    model: FaultModel,
+    seed: u64,
+    nranks: u16,
+    policy: &PerturbPolicy,
+) -> (PerturbFault, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = |rng: &mut StdRng| {
+        let (lo, hi) = policy.tax_rounds;
+        let lo = lo.max(1);
+        rng.gen_range(lo..hi.max(lo) + 1)
+    };
+    match model {
+        FaultModel::QuantumTax => {
+            let rank = rng.gen_range(0..nranks);
+            let at_blocks = rng.gen_range(1..golden.blocks[rank as usize].max(2));
+            let rounds = window(&mut rng);
+            let (lo, hi) = policy.tax_permille;
+            let tax_permille = rng.gen_range(lo..hi.max(lo) + 1).min(999);
+            (
+                PerturbFault::Tax(QuantumTax {
+                    rank,
+                    at_blocks,
+                    rounds,
+                    tax_permille,
+                }),
+                format!("tax {tax_permille}\u{2030} on rank {rank} for {rounds} rounds @ block {at_blocks}"),
+            )
+        }
+        FaultModel::HogRank => {
+            // Contiguous groups of `hog_node_ranks` form the nodes; a
+            // hog lands on one whole group.
+            let per = policy.hog_node_ranks.clamp(1, nranks);
+            let nodes = nranks.div_ceil(per);
+            let node = rng.gen_range(0..nodes);
+            let lo = node * per;
+            let hi = ((node + 1) * per).min(nranks);
+            let mut mask = 0u32;
+            for r in lo..hi {
+                mask |= 1 << r;
+            }
+            let trigger_rank = mask.trailing_zeros() as u16;
+            let at_blocks = rng.gen_range(1..golden.blocks[trigger_rank as usize].max(2));
+            let rounds = window(&mut rng);
+            let (slo, shi) = policy.hog_share_permille;
+            let share_permille = rng.gen_range(slo..shi.max(slo) + 1).min(999);
+            (
+                PerturbFault::Hog(HogRank {
+                    mask,
+                    trigger_rank,
+                    at_blocks,
+                    rounds,
+                    share_permille,
+                }),
+                format!(
+                    "hog steals {share_permille}\u{2030} from node {node} (mask {mask:#06b}) \
+                     for {rounds} rounds @ block {at_blocks}"
+                ),
+            )
+        }
+        FaultModel::MemStall => {
+            let rank = rng.gen_range(0..nranks);
+            let insns = golden.insns[rank as usize].max(16);
+            let at_insns = rng.gen_range(1..insns);
+            let (lo, hi) = policy.stall_window_per16;
+            let per16 = rng.gen_range(lo.max(1)..hi.max(lo.max(1)) + 1).min(16);
+            let window_insns = (insns * per16 / 16).max(1);
+            let (plo, phi) = policy.stall_per_access;
+            let per_access = rng.gen_range(plo.max(1)..phi.max(plo.max(1)) + 1);
+            (
+                PerturbFault::Stall {
+                    rank,
+                    stall: MemStall {
+                        at_insns,
+                        window_insns,
+                        per_access,
+                    },
+                },
+                format!(
+                    "stall +{per_access}/access on rank {rank} for {window_insns} insns @ t={at_insns}"
+                ),
+            )
+        }
+        FaultModel::KillRank | FaultModel::WedgeRank => {
+            let rank = rng.gen_range(0..nranks);
+            let at_blocks = rng.gen_range(1..golden.blocks[rank as usize].max(2));
+            let wedge = model == FaultModel::WedgeRank;
+            (
+                PerturbFault::Kill(RankKill {
+                    rank,
+                    at_blocks,
+                    wedge,
+                }),
+                format!(
+                    "{} rank {rank} @ block {at_blocks}",
+                    if wedge { "wedge" } else { "kill" }
+                ),
+            )
+        }
+        other => unreachable!("draw_perturb only draws perturb/process models, got {other}"),
+    }
+}
+
+/// The record class of one matrix row: the interference models carry
+/// [`TargetClass::Sched`]; the kill/wedge denominator rows are process
+/// failures.
+pub fn perturb_class(model: FaultModel) -> TargetClass {
+    match model {
+        FaultModel::KillRank | FaultModel::WedgeRank => TargetClass::Process,
+        m => m
+            .chaos_class()
+            .expect("perturb interference models carry a class"),
+    }
+}
+
+/// The matrix rows, in slot order: the three interference models, then
+/// the two true process failures as the detection denominator.
+pub fn perturb_models() -> [FaultModel; 5] {
+    let p = FaultModel::perturb_models();
+    let k = FaultModel::process_models();
+    [p[0], p[1], p[2], k[0], k[1]]
+}
+
+/// One cell of the matrix: every trial of one model under one detection
+/// column, with the degradation aggregates the outcome tally cannot
+/// carry.
+#[derive(Debug, Clone)]
+pub struct PerturbCell {
+    /// Row.
+    pub model: FaultModel,
+    /// Column.
+    pub detection: Detection,
+    /// Outcome tally of the cell.
+    pub tally: Tally,
+    /// Per-trial records, slot order.
+    pub trials: Vec<TrialRecord>,
+    /// Sum of measured slowdown over trials that finished with correct
+    /// output, in permille of the clean reference round count.
+    pub slowdown_permille_sum: u64,
+    /// Trials contributing to [`PerturbCell::slowdown_permille_sum`].
+    pub slowdown_trials: u32,
+}
+
+impl PerturbCell {
+    /// Mean slowdown factor over correct-output trials (1.0 = clean
+    /// pace; 0.0 with no contributing trials).
+    pub fn mean_slowdown_x(&self) -> f64 {
+        if self.slowdown_trials == 0 {
+            return 0.0;
+        }
+        self.slowdown_permille_sum as f64 / (1000.0 * self.slowdown_trials as f64)
+    }
+
+    /// Trials this column ended with a failure verdict — detections on
+    /// the process rows, false positives on the interference rows.
+    pub fn detected(&self) -> u32 {
+        self.tally.count(Manifestation::RankLost)
+    }
+
+    /// Trials that missed their deadline entirely (hung or ran out of
+    /// budget).
+    pub fn deadline_misses(&self) -> u32 {
+        self.tally.count(Manifestation::Hang)
+    }
+}
+
+/// A finished perturb campaign: the full `models × detections` matrix.
+#[derive(Debug, Clone)]
+pub struct PerturbResult {
+    /// Which application.
+    pub app: AppKind,
+    /// The knobs every run used.
+    pub policy: PerturbPolicy,
+    /// Cells in row-major order: `cells[mi * 3 + di]`.
+    pub cells: Vec<PerturbCell>,
+    /// The fault-free reference.
+    pub golden: Golden,
+    /// Scheduler rounds of the fault-free reference run — the slowdown
+    /// denominator.
+    pub ref_rounds: u64,
+    /// Guest instructions retired across every trial.
+    pub insns_total: u64,
+}
+
+impl PerturbResult {
+    /// The matrix rows, in slot order — [`perturb_models`].
+    pub fn models() -> [FaultModel; 5] {
+        perturb_models()
+    }
+
+    /// The cell at row `mi`, column `di`.
+    pub fn cell(&self, mi: usize, di: usize) -> &PerturbCell {
+        &self.cells[mi * Detection::ALL.len() + di]
+    }
+
+    /// False-positive rate of column `di` over interference row `mi`,
+    /// in percent of the row's trials.
+    pub fn false_positive_percent(&self, mi: usize, di: usize) -> f64 {
+        let c = self.cell(mi, di);
+        if c.tally.executions == 0 {
+            return 0.0;
+        }
+        100.0 * c.detected() as f64 / c.tally.executions as f64
+    }
+
+    /// The degradation aggregates as [`CampaignMetrics`]: one
+    /// [`ClassMetrics`] row per matrix cell carrying the per-trial
+    /// slowdown and deadline-miss folds (`faultlab metrics` renders
+    /// these like any other campaign's).
+    pub fn metrics(&self) -> CampaignMetrics {
+        let classes = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut m = ClassMetrics::new(perturb_class(c.model));
+                m.trials = c.tally.executions;
+                m.deadline_misses = c.deadline_misses();
+                m.slowdown_permille_sum = c.slowdown_permille_sum;
+                m.slowdown_trials = c.slowdown_trials;
+                m
+            })
+            .collect();
+        CampaignMetrics { classes }
+    }
+
+    /// The floors this campaign is contracted to hold: the accrual
+    /// detector never false-positives on pure interference, and both
+    /// real detectors still catch ≥90% of true kills and wedges.
+    pub fn contracts(&self) -> Vec<ContractCheck> {
+        let ndet = Detection::ALL.len();
+        let di_of = |d: Detection| Detection::ALL.iter().position(|&x| x == d).unwrap();
+        let interference = 0..FaultModel::perturb_models().len();
+        let process = FaultModel::perturb_models().len()..Self::models().len();
+
+        // 1. Zero false positives: over ALL pure-interference trials
+        //    under the accrual detector, none may end in a failure
+        //    verdict. The floor is 100% — a single spurious recovery
+        //    breaks the contract.
+        let di = di_of(Detection::Accrual);
+        let (mut quiet, mut denom) = (0u32, 0u32);
+        for mi in interference.clone() {
+            let c = self.cell(mi, di);
+            denom += c.tally.executions;
+            quiet += c.tally.executions - c.detected();
+        }
+        let fp_check = ContractCheck {
+            name: "accrual-zero-false-positives",
+            what: "pure-interference trials the accrual detector left alone",
+            covered: quiet,
+            denom,
+            floor_percent: 100.0,
+        };
+        let _ = ndet;
+
+        // 2./3. Detection coverage: over the kill and wedge rows, each
+        //    real detector must convert ≥90% of trials into an explicit
+        //    failure verdict instead of a silent deadline miss.
+        let mut checks = vec![fp_check];
+        for (name, det) in [
+            ("fixed-detects-process-failures", Detection::Fixed),
+            ("accrual-detects-process-failures", Detection::Accrual),
+        ] {
+            let di = di_of(det);
+            let (mut caught, mut denom) = (0u32, 0u32);
+            for mi in process.clone() {
+                let c = self.cell(mi, di);
+                denom += c.tally.executions;
+                caught += c.detected();
+            }
+            checks.push(ContractCheck {
+                name,
+                what: "kill/wedge trials the detector converted into a failure verdict",
+                covered: caught,
+                denom,
+                floor_percent: 90.0,
+            });
+        }
+        checks
+    }
+}
+
+/// The per-slot record class vector of a perturb campaign, len `5 × 3`
+/// — what [`CompletedSlots::from_jsonl`] validates resumes against.
+pub fn perturb_classes() -> Vec<TargetClass> {
+    perturb_models()
+        .iter()
+        .flat_map(|m| {
+            let c = perturb_class(*m);
+            std::iter::repeat_n(c, Detection::ALL.len())
+        })
+        .collect()
+}
+
+/// Sum of retired guest instructions across a world's ranks.
+fn world_insns(w: &MpiWorld) -> u64 {
+    (0..w.nranks()).map(|r| w.machine(r).counters.insns).sum()
+}
+
+/// Classify one finished perturb trial: the ordinary §5.1 classes,
+/// except that a correct-output clean exit further splits into
+/// [`Manifestation::Correct`] vs [`Manifestation::Degraded`] on the
+/// measured slowdown. Returns the classification and the slowdown in
+/// permille of the clean reference.
+pub fn classify_perturb(
+    exit: &WorldExit,
+    output: &[u8],
+    golden_output: &[u8],
+    rounds: u64,
+    ref_rounds: u64,
+    degraded_permille: u64,
+) -> (Manifestation, u64) {
+    let permille = rounds.saturating_mul(1000) / ref_rounds.max(1);
+    let m = match exit {
+        WorldExit::Clean if output == golden_output => {
+            if permille > degraded_permille {
+                Manifestation::Degraded
+            } else {
+                Manifestation::Correct
+            }
+        }
+        e => classify(e, output, golden_output),
+    };
+    (m, permille)
+}
+
+/// Perturb-campaign execution, no control/sink/resume (the
+/// [`crate::CampaignBuilder::run_perturb`] backend).
+pub(crate) fn run_perturb_impl(
+    app: &App,
+    cfg: &CampaignConfig,
+    policy: &PerturbPolicy,
+) -> PerturbResult {
+    run_perturb_engine(
+        app,
+        cfg,
+        policy,
+        &crate::engine::NullSink,
+        &EngineControl::new(),
+        None,
+    )
+    .expect("uncontrolled perturb runs always complete")
+}
+
+/// Run a perturb campaign on the shared engine pool. `cfg.injections`
+/// trials per `model × detection` cell; pause/stop via `control`,
+/// records and progress through `sink`, optional record-level resume.
+/// Returns `None` when stopped before every slot completed.
+pub fn run_perturb_engine(
+    app: &App,
+    cfg: &CampaignConfig,
+    policy: &PerturbPolicy,
+    sink: &dyn EngineSink,
+    control: &EngineControl,
+    resume: Option<CompletedSlots>,
+) -> Option<PerturbResult> {
+    let golden = app.golden(2_000_000_000);
+    // Interference inflates rounds — and the mem-stall surcharge
+    // inflates retired-insn accounting — without adding real work.
+    // Double the ordinary hang budget so a slow-but-correct run never
+    // masquerades as non-termination.
+    let budget = trial_budget(&golden, cfg).saturating_mul(2);
+    let models = perturb_models();
+    let ndet = Detection::ALL.len();
+    let nranks = app.params.nranks;
+
+    // The slowdown denominator: one fault-free run under the bare
+    // (detection-off) configuration. Probe answers never add rounds, so
+    // the reference holds for every column.
+    let ref_rounds = {
+        let mut c = trial_world_config(app, budget, 0, cfg.fastpath);
+        c.ulfm = false;
+        c.ft.enabled = false;
+        let mut w = MpiWorld::new(&app.image, c);
+        let exit = w.run();
+        assert_eq!(exit, WorldExit::Clean, "reference run must be clean");
+        w.round()
+    };
+
+    let resume = resume.unwrap_or_default();
+    let resumed_total = resume.len() as u64;
+    let total = (models.len() * ndet) as u64 * cfg.injections as u64;
+    let done = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+
+    let run_cell = |mi: usize, di: usize, k: u32| -> (Manifestation, String, u64) {
+        let seed = trial_seed(cfg.seed, mi, k);
+        let model = models[mi];
+        let (fault, detail) = draw_perturb(&golden, model, seed, nranks, policy);
+        let det = Detection::ALL[di];
+        let mut wcfg = trial_world_config(app, budget, 0, cfg.fastpath);
+        wcfg.seed = seed;
+        // Each column isolates exactly one detector: app-visible ULFM
+        // recovery would absorb failure verdicts and hide both the
+        // detections and the false positives this matrix measures.
+        wcfg.ulfm = false;
+        wcfg.ft = FailureDetector {
+            enabled: det != Detection::None,
+            probe_rounds: policy.probe_rounds,
+            suspect_rounds: policy.suspect_rounds,
+            accrual: det == Detection::Accrual,
+        };
+        let mut w = MpiWorld::new(&app.image, wcfg);
+        fault.arm(&mut w);
+        let exit = w.run();
+        let out = app.comparable_output(&w);
+        let (outcome, permille) = classify_perturb(
+            &exit,
+            &out,
+            &golden.output,
+            w.round(),
+            ref_rounds,
+            policy.degraded_permille,
+        );
+        (
+            outcome,
+            format!(
+                "{}/{model}: {detail} [{permille}\u{2030} of clean]",
+                det.name()
+            ),
+            world_insns(&w),
+        )
+    };
+
+    let counts = vec![cfg.injections; models.len() * ndet];
+    let (slots, complete) = run_pool(&counts, cfg.threads, control, |ci, k| {
+        let out = match resume.take(ci, k) {
+            Some(t) => t,
+            None => {
+                let (mi, di) = (ci / ndet, ci % ndet);
+                let (outcome, detail, insns) = run_cell(mi, di, k);
+                let t = TrialOutput {
+                    ci,
+                    k,
+                    record: TrialRecord {
+                        class: perturb_class(models[mi]),
+                        detail,
+                        outcome,
+                    },
+                    insns,
+                    metrics: None,
+                };
+                sink.trial(&t);
+                t
+            }
+        };
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        sink.progress(EngineProgress {
+            total,
+            done: d,
+            resumed: resumed_total,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        out
+    });
+    if !complete {
+        return None;
+    }
+
+    let mut insns_total = 0u64;
+    let mut cells = Vec::with_capacity(models.len() * ndet);
+    for (ci, cell_slots) in slots.into_iter().enumerate() {
+        let (mi, di) = (ci / ndet, ci % ndet);
+        let mut tally = Tally::default();
+        let mut slowdown_permille_sum = 0u64;
+        let mut slowdown_trials = 0u32;
+        let trials: Vec<TrialRecord> = cell_slots
+            .into_iter()
+            .map(|s| {
+                let t = s.expect("complete run fills every slot");
+                insns_total += t.insns;
+                tally.record(t.record.outcome);
+                if matches!(
+                    t.record.outcome,
+                    Manifestation::Correct | Manifestation::Degraded
+                ) {
+                    // The permille is embedded in the detail, but the
+                    // record stream is the wire: recompute from the
+                    // trial coordinates instead of parsing text.
+                    slowdown_permille_sum += detail_permille(&t.record.detail);
+                    slowdown_trials += 1;
+                }
+                t.record
+            })
+            .collect();
+        cells.push(PerturbCell {
+            model: models[mi],
+            detection: Detection::ALL[di],
+            tally,
+            trials,
+            slowdown_permille_sum,
+            slowdown_trials,
+        });
+    }
+    Some(PerturbResult {
+        app: app.kind,
+        policy: *policy,
+        cells,
+        golden,
+        ref_rounds,
+        insns_total,
+    })
+}
+
+/// Read the measured slowdown back out of a record's detail suffix
+/// `[N\u{2030} of clean]` — the one number that must survive the record
+/// stream so resumed campaigns aggregate identically to uninterrupted
+/// ones.
+fn detail_permille(detail: &str) -> u64 {
+    detail
+        .rsplit_once('[')
+        .and_then(|(_, tail)| tail.split('\u{2030}').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Render the detector-comparison matrix as a text table: per model,
+/// each detection column's failure verdicts (false positives on the
+/// interference rows, detections on the process rows) and mean
+/// slowdown.
+pub fn render_perturb(r: &PerturbResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "verdicts = trials ended by a failure verdict (false positives on \
+         interference rows, detections on kill/wedge rows); x = mean slowdown"
+    );
+    let _ = write!(out, "{:<13} {:>6} |", "model", "trials");
+    for d in Detection::ALL {
+        let _ = write!(out, " {:>19}", d.name());
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(22 + 20 * Detection::ALL.len()));
+    for (mi, model) in PerturbResult::models().iter().enumerate() {
+        let trials = r.cell(mi, 0).tally.executions;
+        let _ = write!(out, "{:<13} {:>6} |", model.to_string(), trials);
+        for di in 0..Detection::ALL.len() {
+            let c = r.cell(mi, di);
+            let _ = write!(
+                out,
+                " {:>4} verd  x{:>6.2}",
+                c.detected(),
+                c.mean_slowdown_x()
+            );
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{}", "-".repeat(22 + 20 * Detection::ALL.len()));
+    for c in r.contracts() {
+        let _ = writeln!(
+            out,
+            "contract {:<34} {:>3}/{:<3} = {:>5.1}% (floor {:.0}%) {}",
+            c.name,
+            c.covered,
+            c.denom,
+            c.percent(),
+            c.floor_percent,
+            if c.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+    out
+}
+
+/// Render the single-row focus view (the CLI's `perturb --model M`):
+/// one model's outcome tallies under every detection column.
+pub fn render_perturb_focus(r: &PerturbResult, model: FaultModel) -> String {
+    let mi = PerturbResult::models()
+        .iter()
+        .position(|&m| m == model)
+        .expect("focus model is a perturb matrix model");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} / model {model}: {} trials per detection column",
+        r.app.name(),
+        r.cell(mi, 0).tally.executions
+    );
+    for (di, d) in Detection::ALL.iter().enumerate() {
+        let c = r.cell(mi, di);
+        let _ = write!(out, "  {:<8}", d.name());
+        let mut first = true;
+        for m in Manifestation::ALL {
+            let n = c.tally.count(m);
+            if n > 0 {
+                let _ = write!(out, "{}{m} {n}", if first { " " } else { ", " });
+                first = false;
+            }
+        }
+        if c.slowdown_trials > 0 {
+            let _ = write!(out, "  [mean slowdown x{:.2}]", c.mean_slowdown_x());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the matrix as TSV: one row per `model × detection` cell with
+/// full outcome counts and the degradation aggregates.
+pub fn render_perturb_tsv(r: &PerturbResult) -> String {
+    let mut out =
+        String::from("model\tdetection\ttrials\tverdicts\tdeadline_misses\tslowdown_mean_permille");
+    for m in Manifestation::ALL {
+        let _ = write!(out, "\t{}", slug(m));
+    }
+    out.push('\n');
+    for (mi, model) in PerturbResult::models().iter().enumerate() {
+        for (di, d) in Detection::ALL.iter().enumerate() {
+            let c = r.cell(mi, di);
+            let mean = if c.slowdown_trials == 0 {
+                0
+            } else {
+                c.slowdown_permille_sum / c.slowdown_trials as u64
+            };
+            let _ = write!(
+                out,
+                "{model}\t{d}\t{}\t{}\t{}\t{mean}",
+                c.tally.executions,
+                c.detected(),
+                c.deadline_misses(),
+            );
+            for m in Manifestation::ALL {
+                let _ = write!(out, "\t{}", c.tally.count(m));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialize the matrix as JSONL: one object per `model × detection`
+/// cell.
+pub fn perturb_jsonl(r: &PerturbResult) -> String {
+    let mut out = String::new();
+    for (mi, model) in PerturbResult::models().iter().enumerate() {
+        for (di, d) in Detection::ALL.iter().enumerate() {
+            let c = r.cell(mi, di);
+            let mean = if c.slowdown_trials == 0 {
+                0
+            } else {
+                c.slowdown_permille_sum / c.slowdown_trials as u64
+            };
+            let _ = write!(
+                out,
+                "{{\"app\":\"{}\",\"model\":\"{model}\",\"detection\":\"{d}\",\"trials\":{},\"verdicts\":{},\"deadline_misses\":{},\"slowdown_mean_permille\":{mean},\"outcomes\":{{",
+                r.app.name(),
+                c.tally.executions,
+                c.detected(),
+                c.deadline_misses(),
+            );
+            let mut first = true;
+            for m in Manifestation::ALL {
+                let n = c.tally.count(m);
+                if n > 0 {
+                    let _ = write!(out, "{}\"{}\":{n}", if first { "" } else { "," }, slug(m));
+                    first = false;
+                }
+            }
+            out.push_str("}}\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{parse_record_line, VecSink};
+    use fl_apps::AppParams;
+
+    fn tiny() -> App {
+        App::build(AppKind::Wavetoy, AppParams::tiny(AppKind::Wavetoy))
+    }
+
+    #[test]
+    fn perturb_draws_are_reproducible_and_model_shaped() {
+        let app = tiny();
+        let golden = app.golden(2_000_000_000);
+        let policy = PerturbPolicy::default();
+        for (mi, model) in perturb_models().iter().enumerate() {
+            for k in 0..4u32 {
+                let seed = trial_seed(11, mi, k);
+                let a = draw_perturb(&golden, *model, seed, app.params.nranks, &policy);
+                let b = draw_perturb(&golden, *model, seed, app.params.nranks, &policy);
+                assert_eq!(a, b, "{model} draw must be pure in the seed");
+                match (model, &a.0) {
+                    (FaultModel::QuantumTax, PerturbFault::Tax(t)) => {
+                        assert!((900..=995).contains(&t.tax_permille));
+                        assert!((256..=1024).contains(&t.rounds));
+                        assert!(t.at_blocks >= 1);
+                    }
+                    (FaultModel::HogRank, PerturbFault::Hog(h)) => {
+                        assert!(h.mask > 0 && h.mask < (1 << app.params.nranks));
+                        assert_eq!(h.mask >> h.trigger_rank & 1, 1);
+                        assert!((300..=900).contains(&h.share_permille));
+                    }
+                    (FaultModel::MemStall, PerturbFault::Stall { rank, stall }) => {
+                        assert!((*rank as usize) < app.params.nranks as usize);
+                        assert!((1..=6).contains(&stall.per_access));
+                        assert!(stall.window_insns >= 1);
+                    }
+                    (FaultModel::KillRank, PerturbFault::Kill(k)) => assert!(!k.wedge),
+                    (FaultModel::WedgeRank, PerturbFault::Kill(k)) => assert!(k.wedge),
+                    (m, f) => panic!("{m} drew {f:?}"),
+                }
+                assert_eq!(
+                    a.0.is_interference(),
+                    !matches!(model, FaultModel::KillRank | FaultModel::WedgeRank)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_engine_fills_the_matrix_and_streams_records() {
+        let app = tiny();
+        let cfg = CampaignConfig {
+            injections: 2,
+            seed: 0x9E27,
+            ..Default::default()
+        };
+        let sink = VecSink::new(app.kind);
+        let r = run_perturb_engine(
+            &app,
+            &cfg,
+            &PerturbPolicy::default(),
+            &sink,
+            &EngineControl::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.cells.len(), 5 * 3);
+        assert!(r.ref_rounds > 0);
+        for c in &r.cells {
+            assert_eq!(c.tally.executions, 2);
+            assert_eq!(c.trials.len(), 2);
+        }
+        let lines = sink.into_lines();
+        assert_eq!(lines.len(), 5 * 3 * 2);
+        let classes = perturb_classes();
+        for l in &lines {
+            let t = parse_record_line(l).expect("perturb records parse back");
+            assert_eq!(t.record.class, classes[t.ci]);
+        }
+        let table = render_perturb(&r, "perturb demo");
+        assert!(table.contains("quantum-tax"), "{table}");
+        assert!(
+            table.contains("contract accrual-zero-false-positives"),
+            "{table}"
+        );
+        let tsv = render_perturb_tsv(&r);
+        assert_eq!(tsv.lines().count(), 1 + 5 * 3, "{tsv}");
+        let jsonl = perturb_jsonl(&r);
+        assert_eq!(jsonl.lines().count(), 5 * 3);
+        let focus = render_perturb_focus(&r, FaultModel::QuantumTax);
+        assert!(focus.contains("model quantum-tax"), "{focus}");
+        // The degradation aggregates surface as campaign metrics.
+        let metrics = r.metrics();
+        assert_eq!(metrics.classes.len(), 5 * 3);
+        assert!(metrics.to_jsonl(app.kind).contains("slowdown"));
+    }
+
+    #[test]
+    fn accrual_contract_holds_on_the_tiny_matrix() {
+        // The tentpole's acceptance floor in unit form: interference
+        // trials under the accrual detector never end in a failure
+        // verdict, while kills and wedges still do.
+        let app = tiny();
+        let cfg = CampaignConfig {
+            injections: 3,
+            seed: 0xACC,
+            ..Default::default()
+        };
+        let r = run_perturb_impl(&app, &cfg, &PerturbPolicy::default());
+        for check in r.contracts() {
+            assert!(
+                check.passed(),
+                "{}: {}/{} = {:.1}%",
+                check.name,
+                check.covered,
+                check.denom,
+                check.percent()
+            );
+        }
+        // The fixed detector must show the problem the accrual detector
+        // fixes somewhere in the interference rows: either false
+        // positives or nothing to detect at all — but the quantum-tax
+        // row specifically is built to starve past the fixed deadline.
+        let tax_fixed = r.cell(0, 1);
+        let tax_accrual = r.cell(0, 2);
+        assert!(
+            tax_fixed.detected() > 0,
+            "a 900-995 permille tax must trip the 32-round fixed deadline"
+        );
+        assert_eq!(tax_accrual.detected(), 0);
+    }
+
+    #[test]
+    fn classify_perturb_splits_correct_from_degraded() {
+        let g = b"out".to_vec();
+        let (m, p) = classify_perturb(&WorldExit::Clean, b"out", &g, 1000, 1000, 1050);
+        assert_eq!((m, p), (Manifestation::Correct, 1000));
+        let (m, p) = classify_perturb(&WorldExit::Clean, b"out", &g, 1500, 1000, 1050);
+        assert_eq!((m, p), (Manifestation::Degraded, 1500));
+        let (m, _) = classify_perturb(&WorldExit::Clean, b"bad", &g, 1500, 1000, 1050);
+        assert_eq!(m, Manifestation::Incorrect);
+        let (m, _) = classify_perturb(
+            &WorldExit::RankFailed { rank: 1, round: 9 },
+            b"",
+            &g,
+            1200,
+            1000,
+            1050,
+        );
+        assert_eq!(m, Manifestation::RankLost);
+        let (m, _) = classify_perturb(
+            &WorldExit::Hung { reason: "x".into() },
+            b"",
+            &g,
+            4000,
+            1000,
+            1050,
+        );
+        assert_eq!(m, Manifestation::Hang);
+    }
+
+    #[test]
+    fn detail_permille_round_trips_through_the_record_stream() {
+        assert_eq!(
+            detail_permille("fixed/quantum-tax: tax 950\u{2030} on rank 1 [1342\u{2030} of clean]"),
+            1342
+        );
+        assert_eq!(detail_permille("no suffix"), 0);
+    }
+}

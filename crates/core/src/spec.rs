@@ -16,6 +16,7 @@
 use crate::campaign::CampaignConfig;
 use crate::chaos::ChaosPolicy;
 use crate::json::{parse, Json};
+use crate::perturb::PerturbPolicy;
 use crate::target::TargetClass;
 use fl_apps::AppKind;
 use fl_ft::FtPolicy;
@@ -34,6 +35,9 @@ pub enum SpecMode {
     /// Chaos defense-coverage matrix: every chaos fault model against
     /// every defense column.
     Chaos(ChaosPolicy),
+    /// Performance-interference matrix: every perturb fault model (plus
+    /// the kill/wedge denominator) against every detection column.
+    Perturb(PerturbPolicy),
 }
 
 impl SpecMode {
@@ -44,6 +48,7 @@ impl SpecMode {
             SpecMode::Guard(_) => "guard",
             SpecMode::Ft(_) => "ft",
             SpecMode::Chaos(_) => "chaos",
+            SpecMode::Perturb(_) => "perturb",
         }
     }
 }
@@ -149,6 +154,26 @@ impl CampaignSpec {
                     p.ft.detector.suspect_rounds,
                 );
             }
+            SpecMode::Perturb(p) => {
+                let _ = write!(
+                    out,
+                    ",\"perturb\":{{\"probe_rounds\":{},\"suspect_rounds\":{},\"tax_rounds_lo\":{},\"tax_rounds_hi\":{},\"tax_permille_lo\":{},\"tax_permille_hi\":{},\"hog_share_lo\":{},\"hog_share_hi\":{},\"hog_node_ranks\":{},\"stall_per_access_lo\":{},\"stall_per_access_hi\":{},\"stall_window_per16_lo\":{},\"stall_window_per16_hi\":{},\"degraded_permille\":{}}}",
+                    p.probe_rounds,
+                    p.suspect_rounds,
+                    p.tax_rounds.0,
+                    p.tax_rounds.1,
+                    p.tax_permille.0,
+                    p.tax_permille.1,
+                    p.hog_share_permille.0,
+                    p.hog_share_permille.1,
+                    p.hog_node_ranks,
+                    p.stall_per_access.0,
+                    p.stall_per_access.1,
+                    p.stall_window_per16.0,
+                    p.stall_window_per16.1,
+                    p.degraded_permille,
+                );
+            }
         }
         out.push('}');
         out
@@ -162,7 +187,7 @@ impl CampaignSpec {
         let Json::Obj(map) = &v else {
             return Err("spec must be a JSON object".into());
         };
-        const KEYS: [&str; 14] = [
+        const KEYS: [&str; 15] = [
             "app",
             "tiny",
             "regions",
@@ -177,6 +202,7 @@ impl CampaignSpec {
             "guard",
             "ft",
             "chaos",
+            "perturb",
         ];
         for key in map.keys() {
             if !KEYS.contains(&key.as_str()) {
@@ -321,9 +347,65 @@ impl CampaignSpec {
                 }
                 SpecMode::Chaos(p)
             }
+            Some("perturb") => {
+                let mut p = PerturbPolicy::default();
+                if let Some(obj) = v.get("perturb") {
+                    const PERTURB_KEYS: [&str; 14] = [
+                        "probe_rounds",
+                        "suspect_rounds",
+                        "tax_rounds_lo",
+                        "tax_rounds_hi",
+                        "tax_permille_lo",
+                        "tax_permille_hi",
+                        "hog_share_lo",
+                        "hog_share_hi",
+                        "hog_node_ranks",
+                        "stall_per_access_lo",
+                        "stall_per_access_hi",
+                        "stall_window_per16_lo",
+                        "stall_window_per16_hi",
+                        "degraded_permille",
+                    ];
+                    let Json::Obj(pm) = obj else {
+                        return Err("`perturb` must be an object".into());
+                    };
+                    for key in pm.keys() {
+                        if !PERTURB_KEYS.contains(&key.as_str()) {
+                            return Err(crate::suggest::unknown("perturb key", key, &PERTURB_KEYS));
+                        }
+                    }
+                    p.probe_rounds = opt_u64(obj, "probe_rounds")?.unwrap_or(p.probe_rounds);
+                    p.suspect_rounds = opt_u64(obj, "suspect_rounds")?.unwrap_or(p.suspect_rounds);
+                    p.tax_rounds.0 = opt_u64(obj, "tax_rounds_lo")?.unwrap_or(p.tax_rounds.0);
+                    p.tax_rounds.1 = opt_u64(obj, "tax_rounds_hi")?.unwrap_or(p.tax_rounds.1);
+                    p.tax_permille.0 =
+                        opt_u64(obj, "tax_permille_lo")?.unwrap_or(p.tax_permille.0 as u64) as u32;
+                    p.tax_permille.1 =
+                        opt_u64(obj, "tax_permille_hi")?.unwrap_or(p.tax_permille.1 as u64) as u32;
+                    p.hog_share_permille.0 = opt_u64(obj, "hog_share_lo")?
+                        .unwrap_or(p.hog_share_permille.0 as u64)
+                        as u32;
+                    p.hog_share_permille.1 = opt_u64(obj, "hog_share_hi")?
+                        .unwrap_or(p.hog_share_permille.1 as u64)
+                        as u32;
+                    p.hog_node_ranks =
+                        opt_u64(obj, "hog_node_ranks")?.unwrap_or(p.hog_node_ranks as u64) as u16;
+                    p.stall_per_access.0 =
+                        opt_u64(obj, "stall_per_access_lo")?.unwrap_or(p.stall_per_access.0);
+                    p.stall_per_access.1 =
+                        opt_u64(obj, "stall_per_access_hi")?.unwrap_or(p.stall_per_access.1);
+                    p.stall_window_per16.0 =
+                        opt_u64(obj, "stall_window_per16_lo")?.unwrap_or(p.stall_window_per16.0);
+                    p.stall_window_per16.1 =
+                        opt_u64(obj, "stall_window_per16_hi")?.unwrap_or(p.stall_window_per16.1);
+                    p.degraded_permille =
+                        opt_u64(obj, "degraded_permille")?.unwrap_or(p.degraded_permille);
+                }
+                SpecMode::Perturb(p)
+            }
             Some(other) => {
                 return Err(format!(
-                    "unknown mode `{other}` (expected campaign, guard, ft or chaos)"
+                    "unknown mode `{other}` (expected campaign, guard, ft, chaos or perturb)"
                 ))
             }
         };
@@ -334,12 +416,14 @@ impl CampaignSpec {
     /// `classes` argument [`crate::engine::CompletedSlots::from_jsonl`]
     /// needs to adopt records on resume. Plain campaigns stream one slot
     /// per requested region; chaos campaigns stream the fixed 9 × 6
-    /// model × defense grid; guard and ft campaigns do not stream
+    /// model × defense grid; perturb campaigns the fixed 5 × 3
+    /// model × detection grid; guard and ft campaigns do not stream
     /// adoptable records, so their slot space is empty.
     pub fn record_classes(&self) -> Vec<TargetClass> {
         match &self.mode {
             SpecMode::Campaign => self.classes.clone(),
             SpecMode::Chaos(_) => crate::chaos::chaos_classes(),
+            SpecMode::Perturb(_) => crate::perturb::perturb_classes(),
             SpecMode::Guard(_) | SpecMode::Ft(_) => Vec::new(),
         }
     }
@@ -348,7 +432,9 @@ impl CampaignSpec {
     /// [`CampaignSpec::record_classes`] for record adoption.
     pub fn record_injections(&self) -> u32 {
         match &self.mode {
-            SpecMode::Campaign | SpecMode::Chaos(_) => self.campaign.injections,
+            SpecMode::Campaign | SpecMode::Chaos(_) | SpecMode::Perturb(_) => {
+                self.campaign.injections
+            }
             SpecMode::Guard(_) | SpecMode::Ft(_) => 0,
         }
     }
@@ -508,6 +594,78 @@ mod tests {
     }
 
     #[test]
+    fn perturb_mode_round_trips() {
+        let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+        spec.tiny = true;
+        spec.campaign.injections = 12;
+        spec.mode = SpecMode::Perturb(PerturbPolicy {
+            tax_permille: (950, 990),
+            hog_node_ranks: 4,
+            ..PerturbPolicy::default()
+        });
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), spec.to_json(), "canonical fixed point");
+    }
+
+    #[test]
+    fn perturb_spec_golden_json_is_stable() {
+        // Same bytes-are-the-key contract as the chaos golden test.
+        let mut spec = CampaignSpec::new(AppKind::Wavetoy);
+        spec.tiny = true;
+        spec.classes = vec![TargetClass::Message];
+        spec.campaign.injections = 10;
+        spec.campaign.seed = 81;
+        spec.mode = SpecMode::Perturb(PerturbPolicy::default());
+        assert_eq!(
+            spec.to_json(),
+            "{\"app\":\"wavetoy\",\"tiny\":true,\"regions\":[\"message\"],\
+             \"injections\":10,\"seed\":81,\"budget_factor\":3,\"threads\":0,\
+             \"epoch_rounds\":16,\"ring\":0,\"fastpath\":true,\"mode\":\"perturb\",\
+             \"perturb\":{\"probe_rounds\":8,\"suspect_rounds\":32,\
+             \"tax_rounds_lo\":256,\"tax_rounds_hi\":1024,\
+             \"tax_permille_lo\":900,\"tax_permille_hi\":995,\
+             \"hog_share_lo\":300,\"hog_share_hi\":900,\"hog_node_ranks\":2,\
+             \"stall_per_access_lo\":1,\"stall_per_access_hi\":6,\
+             \"stall_window_per16_lo\":2,\"stall_window_per16_hi\":8,\
+             \"degraded_permille\":1050}}"
+        );
+        assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn partial_perturb_policies_keep_defaults() {
+        let spec = CampaignSpec::from_json(
+            r#"{"app":"wavetoy","mode":"perturb","perturb":{"tax_permille_hi":990,"degraded_permille":1100}}"#,
+        )
+        .unwrap();
+        let SpecMode::Perturb(p) = spec.mode else {
+            panic!("expected perturb mode");
+        };
+        assert_eq!(p.tax_permille, (900, 990));
+        assert_eq!(p.degraded_permille, 1100);
+        assert_eq!(p.hog_node_ranks, PerturbPolicy::default().hog_node_ranks);
+
+        let spec = CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"perturb"}"#).unwrap();
+        assert_eq!(spec.mode, SpecMode::Perturb(PerturbPolicy::default()));
+    }
+
+    #[test]
+    fn unknown_perturb_keys_are_rejected_with_a_hint() {
+        let err = CampaignSpec::from_json(
+            r#"{"app":"wavetoy","mode":"perturb","perturb":{"tax_permil_lo":5}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "unknown perturb key `tax_permil_lo` (did you mean `tax_permille_lo`?)"
+        );
+        let err = CampaignSpec::from_json(r#"{"app":"wavetoy","mode":"perturb","perturb":[]}"#)
+            .unwrap_err();
+        assert!(err.contains("`perturb` must be an object"), "{err}");
+    }
+
+    #[test]
     fn record_slot_space_matches_the_mode() {
         let mut spec = CampaignSpec::new(AppKind::Wavetoy);
         spec.campaign.injections = 7;
@@ -517,6 +675,11 @@ mod tests {
         spec.mode = SpecMode::Chaos(ChaosPolicy::default());
         let classes = spec.record_classes();
         assert_eq!(classes.len(), 9 * 6, "9 chaos models x 6 defenses");
+        assert_eq!(spec.record_injections(), 7);
+
+        spec.mode = SpecMode::Perturb(PerturbPolicy::default());
+        let classes = spec.record_classes();
+        assert_eq!(classes.len(), 5 * 3, "5 perturb models x 3 detections");
         assert_eq!(spec.record_injections(), 7);
 
         spec.mode = SpecMode::Ft(FtPolicy::default());

@@ -52,6 +52,9 @@ pub enum TargetClass {
     /// Process-level faults: rank kills, correlated bursts and node
     /// kills (fl-ft / fl-chaos).
     Process,
+    /// Scheduling/CPU-time interference — quantum taxes, co-scheduled
+    /// hogs and memory stalls (fl-perturb).
+    Sched,
 }
 
 impl TargetClass {
@@ -90,6 +93,7 @@ impl TargetClass {
             TargetClass::Network => "Network",
             TargetClass::Syscall => "Syscall",
             TargetClass::Process => "Process",
+            TargetClass::Sched => "Sched",
         }
     }
 
@@ -106,7 +110,8 @@ impl TargetClass {
             | TargetClass::Message
             | TargetClass::Network
             | TargetClass::Syscall
-            | TargetClass::Process => None,
+            | TargetClass::Process
+            | TargetClass::Sched => None,
         }
     }
 
@@ -126,6 +131,7 @@ impl TargetClass {
             TargetClass::Network => "network",
             TargetClass::Syscall => "syscall",
             TargetClass::Process => "process",
+            TargetClass::Sched => "sched",
         }
     }
 
@@ -133,7 +139,7 @@ impl TargetClass {
     /// chaos classes), used for did-you-mean suggestions.
     ///
     /// [`ALL`]: TargetClass::ALL
-    pub const NAMES: [&'static str; 11] = [
+    pub const NAMES: [&'static str; 12] = [
         "regular-reg",
         "fp-reg",
         "bss",
@@ -145,6 +151,7 @@ impl TargetClass {
         "network",
         "syscall",
         "process",
+        "sched",
     ];
 }
 
@@ -172,6 +179,7 @@ impl std::str::FromStr for TargetClass {
             "network" | "net" => TargetClass::Network,
             "syscall" | "sys" => TargetClass::Syscall,
             "process" | "proc" => TargetClass::Process,
+            "sched" => TargetClass::Sched,
             other => {
                 return Err(crate::suggest::unknown(
                     "region",

@@ -39,7 +39,7 @@ pub use layout::{
     PAGE_SIZE, STACK_TOP, TEXT_BASE,
 };
 pub use machine::{
-    CodeHandle, Counters, Cpu, ExecStats, Exit, Machine, MachineConfig, MachineSnapshot,
+    CodeHandle, Counters, Cpu, ExecStats, Exit, Machine, MachineConfig, MachineSnapshot, MemStall,
     SharedCode, Signal, SyscallFault, SyscallFaultKind,
 };
 pub use malloc::{

@@ -154,6 +154,23 @@ pub struct SyscallFault {
     pub persist: bool,
 }
 
+/// An armed memory-stall interference fault (fl-perturb): from
+/// `at_insns` until `at_insns + window_insns` on this machine's retired
+/// instruction clock, every checked data access costs `per_access`
+/// extra retired instructions — contention for a shared memory bus,
+/// modelled as a latency surcharge in retired-insn accounting. `Copy`,
+/// carried by [`MachineSnapshot`]s like [`SyscallFault`], so restoring
+/// a mid-window checkpoint resumes the stall deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemStall {
+    /// Instruction clock at which the stall window opens.
+    pub at_insns: u64,
+    /// Window length on the (surcharge-inflated) instruction clock.
+    pub window_insns: u64,
+    /// Extra retired instructions charged per checked load/store.
+    pub per_access: u64,
+}
+
 /// Configuration for machine construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -282,6 +299,16 @@ pub struct ExecStats {
     pub trace_side_exits: u64,
     /// Text banks demoted from the shared store by a poke.
     pub demotions: u64,
+    /// Scheduler quanta this machine was granted (fl-perturb
+    /// effective-quantum telemetry, filled by the round scheduler).
+    pub quanta_granted: u64,
+    /// Instructions' worth of quantum granted across those rounds —
+    /// shrinks under a hog's share steal, so `quantum_insns_granted /
+    /// quanta_granted` is the effective per-round quantum.
+    pub quantum_insns_granted: u64,
+    /// Rounds in which a quantum tax starved this machine outright
+    /// (zero quantum handed out).
+    pub quanta_starved: u64,
 }
 
 impl ExecStats {
@@ -292,6 +319,9 @@ impl ExecStats {
         self.trace_hits += o.trace_hits;
         self.trace_side_exits += o.trace_side_exits;
         self.demotions += o.demotions;
+        self.quanta_granted += o.quanta_granted;
+        self.quantum_insns_granted += o.quantum_insns_granted;
+        self.quanta_starved += o.quanta_starved;
     }
 }
 
@@ -1054,6 +1084,12 @@ pub struct Machine {
     syscall_fault_seen: u64,
     /// Syscall failures applied so far (0 = armed fault never fired).
     syscall_faults_fired: u64,
+    /// fl-perturb: armed memory-latency surcharge window. Cleared when
+    /// the window closes.
+    mem_stall: Option<MemStall>,
+    /// Surcharge instructions charged by mem-stall windows so far —
+    /// part of the architectural insn clock (snapshots carry it).
+    stall_insns: u64,
 }
 
 impl Machine {
@@ -1187,6 +1223,8 @@ impl Machine {
             syscall_fault: None,
             syscall_fault_seen: 0,
             syscall_faults_fired: 0,
+            mem_stall: None,
+            stall_insns: 0,
         }
     }
 
@@ -1200,6 +1238,22 @@ impl Machine {
     /// Syscall failures applied so far (0 = armed fault never fired).
     pub fn syscall_faults_fired(&self) -> u64 {
         self.syscall_faults_fired
+    }
+
+    /// Arm a memory-stall interference window (fl-perturb). Replaces
+    /// any armed one.
+    pub fn set_mem_stall(&mut self, f: MemStall) {
+        self.mem_stall = Some(f);
+    }
+
+    /// The armed (not yet closed) mem-stall window, if any.
+    pub fn mem_stall(&self) -> Option<MemStall> {
+        self.mem_stall
+    }
+
+    /// Surcharge instructions charged by mem-stall windows so far.
+    pub fn stall_insns(&self) -> u64 {
+        self.stall_insns
     }
 
     /// Peak stack usage in bytes.
@@ -1294,10 +1348,64 @@ impl Machine {
     /// with identical counters, events and signal points.
     pub fn run(&mut self, quantum: u64) -> Exit {
         let stop_at = self.counters.insns.saturating_add(quantum);
+        match self.mem_stall {
+            Some(f) => self.run_stalled(f, stop_at),
+            None => self.run_to(stop_at),
+        }
+    }
+
+    fn run_to(&mut self, stop_at: u64) -> Exit {
         if self.mem.fastpath() && !self.mem.tracing_enabled() {
             self.run_fast(stop_at)
         } else {
             self.run_slow(stop_at)
+        }
+    }
+
+    /// Run with an armed [`MemStall`]: outside the window, plain
+    /// execution clipped to the window edges; inside it, execute in
+    /// small chunks and charge `data-accesses × per_access` extra
+    /// retired instructions after each chunk. Chunk boundaries live on
+    /// the instruction clock and the access counter is identical on
+    /// both exec paths, so the inflated clock is path- and
+    /// snapshot-deterministic (slop within one chunk is the same slop
+    /// every run).
+    fn run_stalled(&mut self, f: MemStall, stop_at: u64) -> Exit {
+        /// Surcharge accounting granularity in retired instructions.
+        const STALL_CHUNK: u64 = 64;
+        let window_end = f.at_insns.saturating_add(f.window_insns);
+        loop {
+            let insns = self.counters.insns;
+            if insns >= self.budget {
+                return Exit::Budget;
+            }
+            if insns >= stop_at {
+                return Exit::Quantum;
+            }
+            if insns >= window_end {
+                // Window exhausted: disarm and finish the quantum plain.
+                self.mem_stall = None;
+                return self.run_to(stop_at);
+            }
+            let in_window = insns >= f.at_insns;
+            let chunk_end = if in_window {
+                (insns + STALL_CHUNK).min(stop_at).min(window_end)
+            } else {
+                // Not yet open: run plain up to the window start.
+                f.at_insns.min(stop_at)
+            };
+            let before = self.mem.data_accesses();
+            let exit = self.run_to(chunk_end);
+            if in_window {
+                let tax = (self.mem.data_accesses() - before).saturating_mul(f.per_access);
+                self.counters.insns = self.counters.insns.saturating_add(tax);
+                self.stall_insns += tax;
+            }
+            if exit != Exit::Quantum {
+                return exit;
+            }
+            // Chunk boundary (or surcharge overshoot): loop re-checks
+            // budget/quantum/window on the inflated clock.
         }
     }
 
@@ -2535,6 +2643,8 @@ impl Machine {
             syscall_fault: self.syscall_fault,
             syscall_fault_seen: self.syscall_fault_seen,
             syscall_faults_fired: self.syscall_faults_fired,
+            mem_stall: self.mem_stall,
+            stall_insns: self.stall_insns,
         }
     }
 }
@@ -2590,6 +2700,8 @@ pub struct MachineSnapshot {
     pub syscall_fault: Option<SyscallFault>,
     pub syscall_fault_seen: u64,
     pub syscall_faults_fired: u64,
+    pub mem_stall: Option<MemStall>,
+    pub stall_insns: u64,
 }
 
 impl MachineSnapshot {
@@ -2626,6 +2738,8 @@ impl MachineSnapshot {
             syscall_fault: self.syscall_fault,
             syscall_fault_seen: self.syscall_fault_seen,
             syscall_faults_fired: self.syscall_faults_fired,
+            mem_stall: self.mem_stall,
+            stall_insns: self.stall_insns,
         }
     }
 }

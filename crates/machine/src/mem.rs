@@ -210,6 +210,11 @@ pub struct Memory {
     traces: Option<HashMap<Region, AccessTrace>>,
     /// Bytes currently backed by pages (for diagnostics).
     resident_pages: usize,
+    /// Checked user-mode loads + stores retired (not fetches, not
+    /// privileged peeks/pokes). Counted once per accessor call on both
+    /// the TLB-hit and slow paths, so the count is execution-path
+    /// independent — the mem-stall fault's surcharge clock.
+    accesses: u64,
     /// Translation fast path (see [`Tlb`]).
     tlb: Tlb,
 }
@@ -222,6 +227,7 @@ impl Memory {
             pages: HashMap::new(),
             traces: None,
             resident_pages: 0,
+            accesses: 0,
             tlb: Tlb::new(true),
         }
     }
@@ -273,6 +279,12 @@ impl Memory {
     /// Number of resident (touched) pages.
     pub fn resident_pages(&self) -> usize {
         self.resident_pages
+    }
+
+    /// Checked user-mode loads + stores retired so far (see the field
+    /// doc: identical on the fast and slow execution paths).
+    pub fn data_accesses(&self) -> u64 {
+        self.accesses
     }
 
     /// Writable view of the page containing `addr`, materialising it if
@@ -493,6 +505,7 @@ impl Memory {
     /// protection checks and load tracing — the allocation-free
     /// replacement for the old `Vec`-returning `load`.
     pub fn load_into(&mut self, addr: u32, buf: &mut [u8], now: u64) -> Result<(), MemFault> {
+        self.accesses += 1;
         let len = buf.len() as u32;
         let m = self.check(addr, len, AccessKind::Read)?;
         self.note(m.region, addr, len, now, TraceKind::Load);
@@ -517,6 +530,7 @@ impl Memory {
         now: u64,
         out: &mut Vec<u8>,
     ) -> Result<(), MemFault> {
+        self.accesses += 1;
         let m = self.check(addr, len, AccessKind::Read)?;
         self.note(m.region, addr, len, now, TraceKind::Load);
         let start = out.len();
@@ -530,6 +544,7 @@ impl Memory {
     /// outlined and cold.
     #[inline]
     pub fn load_u32(&mut self, addr: u32, now: u64) -> Result<u32, MemFault> {
+        self.accesses += 1;
         if let Some(src) = self.tlb_read(addr, 4) {
             return Ok(u32::from_le_bytes(src.try_into().unwrap()));
         }
@@ -549,6 +564,7 @@ impl Memory {
     /// Load a byte.
     #[inline]
     pub fn load_u8(&mut self, addr: u32, now: u64) -> Result<u8, MemFault> {
+        self.accesses += 1;
         if let Some(src) = self.tlb_read(addr, 1) {
             return Ok(src[0]);
         }
@@ -568,6 +584,7 @@ impl Memory {
     /// Load a 64-bit float.
     #[inline]
     pub fn load_f64(&mut self, addr: u32, now: u64) -> Result<f64, MemFault> {
+        self.accesses += 1;
         if let Some(src) = self.tlb_read(addr, 8) {
             return Ok(f64::from_le_bytes(src.try_into().unwrap()));
         }
@@ -587,6 +604,7 @@ impl Memory {
     /// Store a 32-bit word.
     #[inline]
     pub fn store_u32(&mut self, addr: u32, v: u32, _now: u64) -> Result<(), MemFault> {
+        self.accesses += 1;
         if let Some(dst) = self.tlb_write(addr, 4) {
             dst.copy_from_slice(&v.to_le_bytes());
             return Ok(());
@@ -605,6 +623,7 @@ impl Memory {
     /// Store a byte.
     #[inline]
     pub fn store_u8(&mut self, addr: u32, v: u8, _now: u64) -> Result<(), MemFault> {
+        self.accesses += 1;
         if let Some(dst) = self.tlb_write(addr, 1) {
             dst[0] = v;
             return Ok(());
@@ -623,6 +642,7 @@ impl Memory {
     /// Store a 64-bit float.
     #[inline]
     pub fn store_f64(&mut self, addr: u32, v: f64, _now: u64) -> Result<(), MemFault> {
+        self.accesses += 1;
         if let Some(dst) = self.tlb_write(addr, 8) {
             dst.copy_from_slice(&v.to_le_bytes());
             return Ok(());
@@ -737,6 +757,7 @@ impl Memory {
             pages: self.pages.clone(),
             traces: self.traces.clone(),
             resident_pages: self.resident_pages,
+            accesses: self.accesses,
             fastpath: self.tlb.enabled,
         }
     }
@@ -751,6 +772,11 @@ pub struct MemorySnapshot {
     pages: HashMap<u32, Arc<Page>>,
     traces: Option<HashMap<Region, AccessTrace>>,
     resident_pages: usize,
+    /// Data-access counter at capture time; restored forks continue the
+    /// count so the mem-stall surcharge clock survives snapshot/restore.
+    /// Excluded from equality like `resident_pages`: it is a clock, not
+    /// memory content.
+    accesses: u64,
     /// Whether the source memory had the translation fast path on;
     /// forks inherit it. Excluded from equality (like
     /// `resident_pages`): it is an execution-strategy knob, not state —
@@ -768,6 +794,7 @@ impl MemorySnapshot {
             pages: self.pages.clone(),
             traces: self.traces.clone(),
             resident_pages: self.resident_pages,
+            accesses: self.accesses,
             tlb: Tlb::new(self.fastpath),
         }
     }

@@ -29,7 +29,7 @@ pub use message::{
 };
 pub use profile::TrafficProfile;
 pub use world::{
-    ChannelGuard, FailureDetector, Health, MessageFault, MessageFaultHit, MpiWorld, NetFault,
-    NetFaultKind, NodeKill, Partition, PendingInjection, RankKill, WorldConfig, WorldExit,
-    WorldSnapshot, ANY_SOURCE, MAX_USER_TAG, MPIX_ERR_PROC_FAILED,
+    ChannelGuard, FailureDetector, Health, HogRank, MessageFault, MessageFaultHit, MpiWorld,
+    NetFault, NetFaultKind, NodeKill, Partition, PendingInjection, QuantumTax, RankKill,
+    WorldConfig, WorldExit, WorldSnapshot, ANY_SOURCE, MAX_USER_TAG, MPIX_ERR_PROC_FAILED,
 };

@@ -95,6 +95,18 @@ pub struct FailureDetector {
     pub probe_rounds: u64,
     /// Rounds of silence before the rank is declared failed.
     pub suspect_rounds: u64,
+    /// Accrual mode (fl-perturb): instead of the fixed `suspect_rounds`
+    /// deadline, suspicion matures at `max(8 * suspect_rounds, 256, 4 *
+    /// max_gap)` where `max_gap` is the longest silence the rank has
+    /// ever recovered from (the 256-round floor clears the credit
+    /// scheduler's 200-round worst-case starvation gap for any
+    /// cadence). A rank that is merely *slow* — starved by a
+    /// scheduling tax but still progressing — keeps teaching the
+    /// detector its worst-case gap and is never declared failed, while
+    /// a dead or wedged process stays silent past any learned gap and
+    /// is still caught. Default off: threshold arithmetic is
+    /// bit-identical to the fixed detector.
+    pub accrual: bool,
 }
 
 impl Default for FailureDetector {
@@ -103,6 +115,7 @@ impl Default for FailureDetector {
             enabled: false,
             probe_rounds: 8,
             suspect_rounds: 32,
+            accrual: false,
         }
     }
 }
@@ -210,6 +223,49 @@ pub struct NodeKill {
     pub at_blocks: u64,
     /// True: processes stay resident but silent. False: gone outright.
     pub wedge: bool,
+}
+
+/// A performance-interference fault (fl-perturb): once `rank`'s
+/// retired-block clock reaches `at_blocks`, a multiplicative tax of
+/// `tax_permille`/1000 is levied on that rank's scheduling quantum for
+/// `rounds` scheduler rounds. The scheduler accounts the tax as
+/// *starvation credit*: the taxed rank accrues `1000 - tax_permille`
+/// credit per round and runs a full quantum only when a whole quantum's
+/// worth (1000) has accrued — so a 900‰ tax schedules the rank once
+/// every 10 rounds, exactly the cadence an external CPU hog co-scheduled
+/// on its core would impose. Entirely on the deterministic round/block
+/// clocks; `Copy`, rides [`WorldSnapshot`]s like the other chaos faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantumTax {
+    /// Taxed rank.
+    pub rank: u16,
+    /// Retired-block clock value at which the tax begins.
+    pub at_blocks: u64,
+    /// Scheduler rounds the tax lasts.
+    pub rounds: u64,
+    /// Share of each round's quantum taken, in permille (capped 999).
+    pub tax_permille: u32,
+}
+
+/// A node-level interference fault (fl-perturb): once `trigger_rank`'s
+/// retired-block clock reaches `at_blocks`, a co-scheduled hog steals
+/// `share_permille`/1000 of *every* round's quantum from every rank in
+/// `mask` for `rounds` rounds. Unlike [`QuantumTax`]'s starvation
+/// cadence, every victim still runs every round — just slower — so the
+/// group degrades uniformly without ever going silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HogRank {
+    /// Bitmask of ranks sharing the hogged node (bit r = rank r).
+    pub mask: u32,
+    /// Rank whose retired-block clock schedules the hog's arrival.
+    pub trigger_rank: u16,
+    /// Retired-block clock value at which the hog lands.
+    pub at_blocks: u64,
+    /// Scheduler rounds the hog stays.
+    pub rounds: u64,
+    /// Share of each victim's quantum the hog steals, in permille
+    /// (capped 999).
+    pub share_permille: u32,
 }
 
 /// Pristine wire images a sender keeps for retransmission (per rank).
@@ -342,6 +398,10 @@ struct Rank {
     /// message ingested, or answered a probe). Detector bookkeeping;
     /// frozen at 0 when the detector is off.
     last_heard: u64,
+    /// Longest silence (in rounds) this rank has ever recovered from —
+    /// the accrual detector's learned progress-rate floor. Frozen at 0
+    /// when the detector is off.
+    max_gap: u64,
     /// Rolling CRC32 over every outbound wire message (replica voting's
     /// comparison key). Frozen at 0 unless `cfg.track_digests`.
     out_digest: u32,
@@ -478,6 +538,28 @@ pub struct MpiWorld {
     partition_drops: u64,
     /// fl-chaos: armed node-level kill.
     node_kill: Option<NodeKill>,
+    /// fl-perturb: armed (not yet triggered) quantum tax.
+    quantum_tax: Option<QuantumTax>,
+    /// Round before which the active tax holds (0 = none).
+    tax_until: u64,
+    /// Active tax's victim rank (valid while the tax holds).
+    tax_rank: u16,
+    /// Active tax's per-round levy in permille.
+    tax_permille_active: u32,
+    /// Starvation credit the taxed rank has accrued (runs at 1000).
+    tax_credit: u64,
+    /// fl-perturb: armed (not yet triggered) hog.
+    hog: Option<HogRank>,
+    /// Round before which the active hog holds (0 = none).
+    hog_until: u64,
+    /// Active hog's victim bitmask.
+    hog_mask: u32,
+    /// Active hog's stolen share in permille.
+    hog_share: u32,
+    /// Ranks starved by the active tax *this round* (recomputed every
+    /// round before detection, so the detector knows a silent rank was
+    /// denied its quantum rather than dead).
+    starved: u32,
     /// Set once a fatal event is recorded.
     fatal: Option<WorldExit>,
     /// Scheduler rounds completed (drives retransmit backoff timing).
@@ -544,6 +626,7 @@ impl MpiWorld {
                 sent_history: VecDeque::new(),
                 health: Health::Alive,
                 last_heard: 0,
+                max_gap: 0,
                 out_digest: 0,
                 ckpt: None,
                 acked: 0,
@@ -565,6 +648,16 @@ impl MpiWorld {
             partition_mask: 0,
             partition_drops: 0,
             node_kill: None,
+            quantum_tax: None,
+            tax_until: 0,
+            tax_rank: 0,
+            tax_permille_active: 0,
+            tax_credit: 0,
+            hog: None,
+            hog_until: 0,
+            hog_mask: 0,
+            hog_share: 0,
+            starved: 0,
             fatal: None,
             round: 0,
             pending_redelivery: VecDeque::new(),
@@ -660,6 +753,32 @@ impl MpiWorld {
         );
         assert!((k.trigger_rank as usize) < self.ranks.len());
         self.node_kill = Some(k);
+    }
+
+    /// Arm a scheduling-quantum tax (fl-perturb interference model).
+    pub fn set_quantum_tax(&mut self, t: QuantumTax) {
+        assert!(
+            self.ranks.len() <= 32,
+            "perturb faults carry starvation state as 32-bit rank masks"
+        );
+        assert!((t.rank as usize) < self.ranks.len());
+        self.quantum_tax = Some(t);
+    }
+
+    /// Arm a node-group quantum hog (fl-perturb interference model).
+    pub fn set_hog(&mut self, h: HogRank) {
+        assert!(
+            self.ranks.len() <= 32,
+            "hogs carry rank sets as 32-bit masks"
+        );
+        assert!((h.trigger_rank as usize) < self.ranks.len());
+        self.hog = Some(h);
+    }
+
+    /// Ranks the active quantum tax starved this round, as a bitmask
+    /// (0 = everyone who wanted a quantum got one).
+    pub fn starved_mask(&self) -> u32 {
+        self.starved
     }
 
     /// A rank's process-level liveness.
@@ -797,6 +916,7 @@ impl MpiWorld {
                     sent_history: r.sent_history.clone(),
                     health: r.health,
                     last_heard: r.last_heard,
+                    max_gap: r.max_gap,
                     out_digest: r.out_digest,
                     ckpt: r.ckpt.clone(),
                     acked: r.acked,
@@ -815,6 +935,16 @@ impl MpiWorld {
             partition_mask: self.partition_mask,
             partition_drops: self.partition_drops,
             node_kill: self.node_kill,
+            quantum_tax: self.quantum_tax,
+            tax_until: self.tax_until,
+            tax_rank: self.tax_rank,
+            tax_permille_active: self.tax_permille_active,
+            tax_credit: self.tax_credit,
+            hog: self.hog,
+            hog_until: self.hog_until,
+            hog_mask: self.hog_mask,
+            hog_share: self.hog_share,
+            starved: self.starved,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),
@@ -829,6 +959,20 @@ impl MpiWorld {
         if self.fatal.is_none() {
             self.fatal = Some(e);
         }
+    }
+
+    /// Detector bookkeeping: `rank` showed life this round. Records the
+    /// silence it just ended into the rank's learned `max_gap` (the
+    /// accrual detector's progress-rate floor) before stamping
+    /// `last_heard`.
+    fn heard(&mut self, i: usize) {
+        let round = self.round;
+        let r = &mut self.ranks[i];
+        let gap = round - r.last_heard;
+        if gap > r.max_gap {
+            r.max_gap = gap;
+        }
+        r.last_heard = round;
     }
 
     // --- observability -----------------------------------------------------
@@ -921,7 +1065,7 @@ impl MpiWorld {
         }
         if self.cfg.ft.enabled {
             // Piggybacked heartbeat: traffic from a rank proves it alive.
-            self.ranks[src as usize].last_heard = self.round;
+            self.heard(src as usize);
         }
         if !matches!(self.ranks[dst as usize].health, Health::Alive) {
             // A dead process's channel is gone; a wedged one services
@@ -1821,6 +1965,69 @@ impl MpiWorld {
         }
     }
 
+    /// Activate the armed quantum tax once the victim's block clock is
+    /// reached; the tax holds for the drawn window of rounds.
+    fn apply_quantum_tax(&mut self) {
+        let Some(t) = self.quantum_tax else { return };
+        let i = t.rank as usize;
+        if matches!(self.ranks[i].status, Status::Exited) {
+            // The rank finished before the tax point: the fault missed.
+            self.quantum_tax = None;
+            return;
+        }
+        if self.ranks[i].machine.counters.blocks >= t.at_blocks {
+            self.quantum_tax = None;
+            self.tax_until = self.round + t.rounds.max(1);
+            self.tax_rank = t.rank;
+            self.tax_permille_active = t.tax_permille.min(999);
+            self.tax_credit = 0;
+        }
+    }
+
+    /// Activate the armed hog once the trigger rank's block clock is
+    /// reached; the hog squats for the drawn window of rounds.
+    fn apply_hog(&mut self) {
+        let Some(h) = self.hog else { return };
+        let t = h.trigger_rank as usize;
+        if matches!(self.ranks[t].status, Status::Exited) {
+            // The trigger rank finished before the hog landed: missed.
+            self.hog = None;
+            return;
+        }
+        if self.ranks[t].machine.counters.blocks >= h.at_blocks {
+            self.hog = None;
+            self.hog_until = self.round + h.rounds.max(1);
+            self.hog_mask = h.mask;
+            self.hog_share = h.share_permille.min(999);
+        }
+    }
+
+    /// Per-round starvation accounting for the active quantum tax. The
+    /// taxed rank accrues `1000 - tax` credit each round and runs only
+    /// on rounds where a full quantum's worth has accrued; every other
+    /// round it is *starved* — denied its slice exactly as if an
+    /// external hog held the core. Recomputed before failure detection
+    /// so the detector can tell "starved" from "silent".
+    fn account_starvation(&mut self) {
+        self.starved = 0;
+        if self.round >= self.tax_until {
+            return;
+        }
+        let i = self.tax_rank as usize;
+        if matches!(self.ranks[i].status, Status::Exited)
+            || !matches!(self.ranks[i].health, Health::Alive)
+        {
+            return;
+        }
+        self.tax_credit += 1000 - self.tax_permille_active as u64;
+        if self.tax_credit >= 1000 {
+            self.tax_credit -= 1000;
+        } else {
+            self.starved |= 1 << (self.tax_rank as u32);
+            self.ranks[i].machine.exec_stats.quanta_starved += 1;
+        }
+    }
+
     /// Activate the armed partition once the trigger rank's block clock
     /// is reached; the cut holds for the drawn window of rounds.
     fn apply_partition(&mut self) {
@@ -1854,7 +2061,25 @@ impl MpiWorld {
             if self.cfg.ulfm && self.known_failed >> (i as u32) & 1 == 1 {
                 continue; // already app-visible knowledge; stop probing
             }
-            if quiet >= suspect {
+            // Fixed mode: silence matures at the static deadline.
+            // Accrual mode: the deadline is calibrated from the rank's
+            // observed progress rate — at least 8x the static deadline
+            // and never below 256 rounds (the credit scheduler bounds a
+            // starved rank's silence at 1000/(1000-tax) <= 200 rounds
+            // for the 995‰ severity cap, so no first-ever starvation
+            // gap can trip it whatever cadence the user picked),
+            // extended to 4x the longest silence the rank has ever
+            // recovered from. A taxed rank keeps ending its gaps and
+            // keeps the threshold above them; only a dead or wedged
+            // process stays silent past every learned gap.
+            let deadline = if self.cfg.ft.accrual {
+                (suspect * 8)
+                    .max(256)
+                    .max(self.ranks[i].max_gap.saturating_mul(4))
+            } else {
+                suspect
+            };
+            if quiet >= deadline {
                 let rank = i as u16;
                 self.obs_record(
                     buddy,
@@ -1875,18 +2100,26 @@ impl MpiWorld {
                     round: self.round,
                 });
             }
-            if quiet >= probe && quiet.is_multiple_of(probe) {
-                self.obs_record(
-                    buddy,
-                    EventKind::HeartbeatProbe {
-                        to: i as u16,
-                        quiet,
-                    },
-                );
-                if matches!(self.ranks[i].health, Health::Alive) {
-                    // An alive rank answers the probe even while blocked
-                    // — only a dead or wedged process stays silent.
-                    self.ranks[i].last_heard = self.round;
+            if quiet >= probe {
+                if quiet.is_multiple_of(probe) {
+                    self.obs_record(
+                        buddy,
+                        EventKind::HeartbeatProbe {
+                            to: i as u16,
+                            quiet,
+                        },
+                    );
+                }
+                if matches!(self.ranks[i].health, Health::Alive)
+                    && self.starved >> (i as u32) & 1 == 0
+                {
+                    // An alive, scheduled rank answers the (re-sent)
+                    // probe even while blocked — only a dead, wedged or
+                    // starved process stays silent. (Without a tax,
+                    // silence resets exactly at the probe cadence, so
+                    // answering on every quiet round past the probe is
+                    // bit-identical to answering on the cadence.)
+                    self.heard(i);
                 }
             }
         }
@@ -2048,6 +2281,27 @@ impl MpiWorld {
             f.rank = remap(f.rank)?;
             Some(f)
         });
+        self.quantum_tax = self.quantum_tax.and_then(|mut t| {
+            t.rank = remap(t.rank)?;
+            Some(t)
+        });
+        if self.round < self.tax_until {
+            match remap(self.tax_rank) {
+                Some(nr) => self.tax_rank = nr,
+                None => {
+                    // The taxed rank died with the old world.
+                    self.tax_until = 0;
+                    self.tax_credit = 0;
+                }
+            }
+        }
+        self.hog = self.hog.and_then(|mut h| {
+            h.mask = remap_mask(h.mask);
+            h.trigger_rank = remap(h.trigger_rank)?;
+            (h.mask != 0).then_some(h)
+        });
+        self.hog_mask = remap_mask(self.hog_mask);
+        self.starved = remap_mask(self.starved);
         self.shrinks += 1;
         self.known_failed = 0;
         self.idle_rounds = 0;
@@ -2104,6 +2358,16 @@ impl MpiWorld {
         if self.partition.is_some() {
             self.apply_partition();
         }
+        if self.quantum_tax.is_some() {
+            self.apply_quantum_tax();
+        }
+        if self.hog.is_some() {
+            self.apply_hog();
+        }
+        // Starvation state must be current *before* detection runs, so
+        // the detector knows a silent rank was denied its quantum this
+        // round rather than dead.
+        self.account_starvation();
         if self.cfg.ft.enabled {
             if let Some(e) = self.detect_failures() {
                 return Some(e);
@@ -2136,10 +2400,16 @@ impl MpiWorld {
             .filter(|&i| {
                 matches!(self.ranks[i].status, Status::Ready | Status::Finalized)
                     && matches!(self.ranks[i].health, Health::Alive)
+                    && self.starved >> (i as u32) & 1 == 0
             })
             .collect();
         // Finalized ranks still need to run to their exit.
         if order.is_empty() {
+            // A starved rank is interference, not deadlock: its credit
+            // keeps accruing and it runs again within the tax cadence.
+            if self.starved != 0 {
+                return None;
+            }
             // A redelivery still waiting out its backoff is traffic: let
             // rounds elapse until it becomes due, this is not a deadlock.
             if !self.pending_redelivery.is_empty() {
@@ -2210,8 +2480,12 @@ impl MpiWorld {
     }
 
     fn step_rank(&mut self, i: usize) {
-        // Clip the quantum to a pending injection point on this rank.
         let mut quantum = self.cfg.quantum;
+        // An active hog steals its share of every victim's quantum.
+        if self.round < self.hog_until && self.hog_mask >> (i as u32) & 1 == 1 {
+            quantum = (quantum * (1000 - self.hog_share as u64) / 1000).max(1);
+        }
+        // Clip the quantum to a pending injection point on this rank.
         let mut fire = false;
         if let Some(inj) = &self.injection {
             if inj.rank as usize == i {
@@ -2240,10 +2514,17 @@ impl MpiWorld {
                 self.injection = Some(inj);
             }
         }
+        {
+            // fl-perturb effective-quantum telemetry: what the scheduler
+            // actually handed out after hog scaling and injection clips.
+            let st = &mut self.ranks[i].machine.exec_stats;
+            st.quanta_granted += 1;
+            st.quantum_insns_granted += quantum;
+        }
         let exit = self.ranks[i].machine.run(quantum);
         if self.cfg.ft.enabled {
             // Executing a quantum is life (piggybacked heartbeat).
-            self.ranks[i].last_heard = self.round;
+            self.heard(i);
         }
         let rank = i as u16;
         match exit {
@@ -2319,6 +2600,7 @@ struct RankSnapshot {
     sent_history: VecDeque<(u32, WireMsg)>,
     health: Health,
     last_heard: u64,
+    max_gap: u64,
     out_digest: u32,
     ckpt: Option<Vec<u8>>,
     acked: u32,
@@ -2348,6 +2630,16 @@ pub struct WorldSnapshot {
     partition_mask: u32,
     partition_drops: u64,
     node_kill: Option<NodeKill>,
+    quantum_tax: Option<QuantumTax>,
+    tax_until: u64,
+    tax_rank: u16,
+    tax_permille_active: u32,
+    tax_credit: u64,
+    hog: Option<HogRank>,
+    hog_until: u64,
+    hog_mask: u32,
+    hog_share: u32,
+    starved: u32,
     fatal: Option<WorldExit>,
     round: u64,
     pending_redelivery: VecDeque<Redelivery>,
@@ -2376,6 +2668,7 @@ impl WorldSnapshot {
                     sent_history: r.sent_history.clone(),
                     health: r.health,
                     last_heard: r.last_heard,
+                    max_gap: r.max_gap,
                     out_digest: r.out_digest,
                     ckpt: r.ckpt.clone(),
                     acked: r.acked,
@@ -2395,6 +2688,16 @@ impl WorldSnapshot {
             partition_mask: self.partition_mask,
             partition_drops: self.partition_drops,
             node_kill: self.node_kill,
+            quantum_tax: self.quantum_tax,
+            tax_until: self.tax_until,
+            tax_rank: self.tax_rank,
+            tax_permille_active: self.tax_permille_active,
+            tax_credit: self.tax_credit,
+            hog: self.hog,
+            hog_until: self.hog_until,
+            hog_mask: self.hog_mask,
+            hog_share: self.hog_share,
+            starved: self.starved,
             fatal: self.fatal.clone(),
             round: self.round,
             pending_redelivery: self.pending_redelivery.clone(),

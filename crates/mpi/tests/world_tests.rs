@@ -718,6 +718,7 @@ fn detector_does_not_false_positive_on_long_blocked_rank() {
                 enabled: true,
                 probe_rounds: 4,
                 suspect_rounds: 16,
+                accrual: false,
             },
             machine: MachineConfig {
                 budget: 50_000_000,
@@ -814,6 +815,7 @@ fn ft_off_world_is_bit_identical_to_pre_ft_config() {
             enabled: false,
             probe_rounds: 8,
             suspect_rounds: 32,
+            accrual: false,
         },
         track_digests: false,
         ..base

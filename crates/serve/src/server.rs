@@ -37,8 +37,9 @@ use crate::http::{read_request, respond, start_stream, Request};
 use fl_apps::AppKind;
 use fl_inject::json::{parse, Json};
 use fl_inject::{
-    chaos_jsonl, coverage_jsonl, ft_jsonl, record_line, run_spec, sort_records_jsonl, CampaignSpec,
-    CompletedSlots, EngineControl, EngineProgress, EngineSink, SpecMode, SpecOutcome, TrialOutput,
+    chaos_jsonl, coverage_jsonl, ft_jsonl, perturb_jsonl, record_line, run_spec,
+    sort_records_jsonl, CampaignSpec, CompletedSlots, EngineControl, EngineProgress, EngineSink,
+    SpecMode, SpecOutcome, TrialOutput,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -153,8 +154,10 @@ fn planned_total(spec: &CampaignSpec) -> u64 {
         // Ft campaigns run `injections` kill trials + `injections`
         // replica trials.
         SpecMode::Ft(_) => 2 * spec.campaign.injections as u64,
-        // Chaos campaigns run the fixed model × defense grid.
-        SpecMode::Chaos(_) => spec.record_classes().len() as u64 * spec.campaign.injections as u64,
+        // Chaos and perturb campaigns run their fixed grids.
+        SpecMode::Chaos(_) | SpecMode::Perturb(_) => {
+            spec.record_classes().len() as u64 * spec.campaign.injections as u64
+        }
         _ => spec.classes.len() as u64 * spec.campaign.injections as u64,
     }
 }
@@ -358,7 +361,10 @@ fn run_campaign(camp: &Arc<Campaign>) {
     let records = camp.dir.join("records.jsonl");
     let mut resume = None;
     let slot_classes = camp.spec.record_classes();
-    if matches!(camp.spec.mode, SpecMode::Campaign | SpecMode::Chaos(_)) {
+    if matches!(
+        camp.spec.mode,
+        SpecMode::Campaign | SpecMode::Chaos(_) | SpecMode::Perturb(_)
+    ) {
         if let Ok(text) = fs::read_to_string(&records) {
             // Sanitize before appending: a kill mid-write leaves a torn
             // tail with no trailing newline, and appending fresh lines
@@ -423,6 +429,16 @@ fn run_campaign(camp: &Arc<Campaign>) {
                     // are the resume state); the cell-level coverage
                     // matrix lands next to them.
                     let _ = fs::write(camp.dir.join("matrix.jsonl"), chaos_jsonl(&r));
+                }
+                SpecOutcome::Perturb(r) => {
+                    // Same layout as chaos: per-trial records stay, the
+                    // detector-comparison matrix and its degradation
+                    // metrics land next to them.
+                    let _ = fs::write(camp.dir.join("matrix.jsonl"), perturb_jsonl(&r));
+                    let _ = fs::write(
+                        camp.dir.join("metrics.jsonl"),
+                        r.metrics().to_jsonl(camp.spec.app),
+                    );
                 }
             }
             // The done marker is the commit point: it is written last,
@@ -500,7 +516,9 @@ fn route(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> Result<Re
             let text = fs::read_to_string(camp.dir.join("records.jsonl"))
                 .map_err(|_| (404, format!("campaign {id} has no records yet")))?;
             let body = match camp.spec.mode {
-                SpecMode::Campaign | SpecMode::Chaos(_) => sort_records_jsonl(&text),
+                SpecMode::Campaign | SpecMode::Chaos(_) | SpecMode::Perturb(_) => {
+                    sort_records_jsonl(&text)
+                }
                 _ => text,
             };
             Ok(Some((200, JSONL, body)))
@@ -623,5 +641,7 @@ mod tests {
         assert_eq!(planned_total(&spec), 80); // 8 classes x 10
         spec.mode = SpecMode::Ft(fl_inject::FtPolicy::default());
         assert_eq!(planned_total(&spec), 20); // kills + replicas
+        spec.mode = SpecMode::Perturb(fl_inject::PerturbPolicy::default());
+        assert_eq!(planned_total(&spec), 150); // 5 models x 3 detections x 10
     }
 }
